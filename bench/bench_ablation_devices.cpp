@@ -1,0 +1,105 @@
+// Device ablation — what if the cluster had PCIe flash instead of SATA?
+//
+// The paper's introduction argues that PCIe devices (FusionIO ioDrive Duo,
+// OCZ RevoDrive) narrow the DRAM gap: "interfaces such as PCIe offer much
+// lower latency", while remaining "at least 8.53 times lower than DRAM
+// rates".  This bench swaps the benefactor SSD model (Table I profiles)
+// under the STREAM TRIAD and MM workloads and quantifies how much of the
+// NVMalloc overhead each device class removes.
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/stream.hpp"
+
+using namespace nvm;
+using namespace nvm::bench;
+using namespace nvm::workloads;
+
+namespace {
+
+// TRIAD with C on the SSD.  `striped`: 16 benefactors behind the NIC
+// (network-bound); otherwise one node-local benefactor (device-bound).
+double TriadWith(const sim::DeviceProfile& profile, bool striped) {
+  TestbedOptions to;
+  to.benefactors = striped ? 16 : 1;
+  to.ssd_profile = profile;
+  Testbed tb(to);
+  StreamOptions o;
+  o.array_bytes = ScaledBytes(2_GiB);
+  o.iterations = 5;
+  o.threads = 1;  // deterministic, single stream
+  o.c_on_nvm = true;
+  o.run_kernel = {false, false, false, true};
+  auto r = RunStream(tb, o);
+  NVM_CHECK(r.verified);
+  return r.mbps[static_cast<int>(StreamKernel::kTriad)];
+}
+
+double MmTotalWith(const sim::DeviceProfile& profile) {
+  TestbedOptions to = MatmulTestbedOptions(16, false);
+  to.ssd_profile = profile;
+  Testbed tb(to);
+  MatmulOptions o;
+  auto r = RunMatmul(tb, o);
+  NVM_CHECK(r.verified);
+  return r.total_s;
+}
+
+}  // namespace
+
+int main() {
+  Title("Device ablation",
+        "Table I device classes under STREAM TRIAD (B&C on SSD) and MM "
+        "L-SSD(8:16:16)");
+
+  struct Row {
+    const char* name;
+    const sim::DeviceProfile& profile;
+  } devices[] = {
+      {"Intel X25-E (SLC SATA)", sim::IntelX25E()},
+      {"OCZ RevoDrive (MLC PCIe)", sim::OczRevoDrive()},
+      {"ioDrive Duo (MLC PCIe)", sim::FusionIoDriveDuo()},
+  };
+
+  Table t({"Benefactor device", "TRIAD local MB/s", "TRIAD striped MB/s",
+           "MM total (s)", "$ per benefactor"});
+  double local_sata = 0, local_fusion = 0;
+  double striped_sata = 0, striped_fusion = 0;
+  double mm_sata = 0, mm_fusion = 0;
+  for (const auto& d : devices) {
+    const double local = TriadWith(d.profile, false);
+    const double striped = TriadWith(d.profile, true);
+    const double mm = MmTotalWith(d.profile);
+    if (&d.profile == &sim::IntelX25E()) {
+      local_sata = local;
+      striped_sata = striped;
+      mm_sata = mm;
+    }
+    if (&d.profile == &sim::FusionIoDriveDuo()) {
+      local_fusion = local;
+      striped_fusion = striped;
+      mm_fusion = mm;
+    }
+    t.AddRow({d.name, Fmt("%.0f", local), Fmt("%.0f", striped),
+              Fmt("%.2f", mm), Fmt("$%.0f", d.profile.cost_usd)});
+  }
+  t.Print();
+
+  Note("node-local access: PCIe flash lifts the device-bound stream "
+       "%.1fx over SATA; striped access gains only %.1fx — the bonded-"
+       "GigE hop now dominates the path, so upgrading the flash without "
+       "the network buys much less for remote access",
+       local_fusion / local_sata, striped_fusion / striped_sata);
+  Note("compute-bound MM moves only %.0f%% — the paper's thesis that the "
+       "cache hierarchy already hides SATA latency where it matters",
+       100.0 * (mm_sata - mm_fusion) / mm_sata);
+  Shape(local_fusion > 2.0 * local_sata,
+        "PCIe flash strongly accelerates device-bound local streaming");
+  Shape(striped_fusion / striped_sata < 0.75 * local_fusion / local_sata,
+        "the network hop damps the device upgrade for striped access");
+  Shape(std::abs(mm_sata - mm_fusion) / mm_sata < 0.5,
+        "compute-bound MM gains far less: caches already hide the SATA "
+        "latency (paper SIV-B-2)");
+  return 0;
+}

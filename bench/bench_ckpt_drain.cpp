@@ -1,0 +1,127 @@
+// Checkpoint drain — the claim the paper builds its checkpoint design on
+// (from the authors' prior work, restated in §III-E): "checkpointing to
+// such an intermediate device and draining to PFS in the background is an
+// extremely viable alternative and can help alleviate the I/O bottleneck."
+//
+// A timestep loop checkpoints a DRAM+NVM state either (a) directly to the
+// PFS — the application blocks for the whole PFS write — or (b) to the
+// aggregate NVM store via ssdcheckpoint(), with a background drainer
+// pushing the restart file to the PFS.  We compare the application-visible
+// checkpoint stall.
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "nvmalloc/runtime.hpp"
+#include "workloads/testbed.hpp"
+
+using namespace nvm;
+using namespace nvm::bench;
+using namespace nvm::workloads;
+
+namespace {
+
+constexpr uint64_t kDramBytes = ScaledBytes(1_GiB);  // 8 MiB
+constexpr uint64_t kNvmBytes = ScaledBytes(4_GiB);   // 32 MiB
+constexpr int kSteps = 4;
+
+struct LoopResult {
+  double visible_stall_s = 0;   // application-blocking checkpoint time
+  double background_s = 0;      // drain completion (virtual), max over steps
+};
+
+// Direct-to-PFS baseline: every checkpoint streams DRAM + NVM content to
+// the PFS synchronously.
+LoopResult DirectToPfs(Testbed& tb) {
+  NvmallocRuntime& nvm = tb.runtime(0);
+  auto& clock = sim::CurrentClock();
+  auto region = nvm.SsdMalloc(kNvmBytes);
+  NVM_CHECK(region.ok());
+  std::vector<uint8_t> dram(kDramBytes, 1);
+  std::vector<uint8_t> chunk(64_KiB);
+  NVM_CHECK((*region)->Write(0, std::vector<uint8_t>(kNvmBytes, 2)).ok());
+
+  LoopResult r;
+  for (int t = 0; t < kSteps; ++t) {
+    const int64_t t0 = clock.now();
+    tb.PfsWrite(clock, kDramBytes);
+    // The NVM variable must be read back from the store and shipped too.
+    for (uint64_t pos = 0; pos < kNvmBytes; pos += chunk.size()) {
+      NVM_CHECK(
+          nvm.mount().cache().Read(clock, (*region)->file_id(), pos, chunk)
+              .ok());
+      tb.PfsWrite(clock, chunk.size());
+    }
+    r.visible_stall_s +=
+        static_cast<double>(clock.now() - t0) / 1e9;
+  }
+  NVM_CHECK(nvm.SsdFree(*region).ok());
+  return r;
+}
+
+// NVMalloc path: ssdcheckpoint to the aggregate store (fast, chunk-linked)
+// plus a background drain of the restart file to the PFS.
+LoopResult ViaNvmStore(Testbed& tb) {
+  NvmallocRuntime& nvm = tb.runtime(0);
+  auto& clock = sim::CurrentClock();
+  auto region = nvm.SsdMalloc(kNvmBytes);
+  NVM_CHECK(region.ok());
+  std::vector<uint8_t> dram(kDramBytes, 1);
+  NVM_CHECK((*region)->Write(0, std::vector<uint8_t>(kNvmBytes, 2)).ok());
+
+  LoopResult r;
+  for (int t = 0; t < kSteps; ++t) {
+    CheckpointSpec spec;
+    spec.dram.push_back({dram.data(), dram.size()});
+    spec.nvm.push_back(*region);
+    const std::string name = "/ckpt/drain_t" + std::to_string(t);
+
+    const int64_t t0 = clock.now();
+    auto info = nvm.SsdCheckpoint(spec, name);
+    NVM_CHECK(info.ok());
+    r.visible_stall_s += static_cast<double>(clock.now() - t0) / 1e9;
+
+    // Background drainer ships the restart file to the PFS.
+    auto drained = nvm.DrainCheckpoint(
+        name, [&](sim::VirtualClock& bg, uint64_t /*offset*/,
+                  std::span<const uint8_t> data) {
+          tb.PfsWrite(bg, data.size());
+          return OkStatus();
+        });
+    NVM_CHECK(drained.ok());
+    r.background_s = std::max(
+        r.background_s, static_cast<double>(drained->background_ns) / 1e9);
+  }
+  NVM_CHECK(nvm.SsdFree(*region).ok());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Title("Checkpoint drain",
+        "application-visible checkpoint stall: direct-to-PFS vs "
+        "ssdcheckpoint + background drain (1 GiB-class DRAM + 4 GiB-class "
+        "NVM state, 4 timesteps)");
+
+  Testbed tb_direct;
+  auto direct = DirectToPfs(tb_direct);
+  Testbed tb_nvm;
+  auto nvm = ViaNvmStore(tb_nvm);
+
+  Table t({"Strategy", "App-visible stall (s)", "Notes"});
+  t.AddRow({"direct to PFS", Fmt("%.3f", direct.visible_stall_s),
+            "application blocks for the full PFS write"});
+  t.AddRow({"NVM store + background drain", Fmt("%.3f", nvm.visible_stall_s),
+            Fmt("drain completes at t=%.3fs in the background",
+                nvm.background_s)});
+  t.Print();
+
+  Note("NVMalloc hides %.0f%% of the checkpoint stall behind the "
+       "intermediate store (paper: the aggregate store 'can help "
+       "alleviate the I/O bottleneck')",
+       100.0 * (1.0 - nvm.visible_stall_s / direct.visible_stall_s));
+  Shape(nvm.visible_stall_s < 0.5 * direct.visible_stall_s,
+        "the intermediate NVM store removes most of the visible stall");
+  Shape(nvm.background_s > 0,
+        "the drain really happens (in background virtual time)");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Flash endurance projection — the paper's §III-A design goal "Optimizing
+// NVM performance and lifetime: ... NVM devices such as SSDs have limited
+// write cycles.  Our design needs to optimize the total write volume on
+// these devices."
+//
+// Runs the checkpoint-every-timestep workload at paper-equivalent write
+// rates and projects device lifetime (from the SSD model's per-block
+// erase accounting) for: naive full-copy checkpoints, linked/incremental
+// checkpoints, and linked checkpoints without the dirty-page write-back
+// optimisation.
+#include "bench_util.hpp"
+#include "workloads/ckpt.hpp"
+
+using namespace nvm;
+using namespace nvm::bench;
+using namespace nvm::workloads;
+
+namespace {
+
+struct Endurance {
+  uint64_t device_writes = 0;  // bytes programmed per checkpoint cycle
+  double wear = 0;             // max block-wear fraction consumed
+};
+
+Endurance RunMode(bool link_nvm, bool page_writeback) {
+  TestbedOptions to;
+  to.fuse.dirty_page_writeback = page_writeback;
+  Testbed tb(to);
+  CkptOptions o;
+  o.dram_bytes = ScaledBytes(1_GiB);
+  o.nvm_bytes = ScaledBytes(4_GiB);
+  o.timesteps = 6;
+  o.link_nvm = link_nvm;
+  auto r = RunCheckpointStudy(tb, o);
+  NVM_CHECK(r.restart_verified);
+
+  Endurance e;
+  // Steady-state cost: average the post-first timesteps.
+  for (size_t s = 1; s < r.steps.size(); ++s) {
+    e.device_writes += r.steps[s].ssd_bytes_written;
+  }
+  e.device_writes /= (r.steps.size() - 1);
+  for (size_t b = 0; b < tb.store().num_benefactors(); ++b) {
+    e.wear = std::max(e.wear, tb.store().benefactor(b).ssd().wear_fraction());
+  }
+  return e;
+}
+
+}  // namespace
+
+int main() {
+  Title("Endurance projection",
+        "SSD write volume and wear per checkpoint cycle (1 GiB-class DRAM "
+        "+ 4 GiB-class NVM variable, 10% dirtied per step)");
+
+  const Endurance linked = RunMode(true, true);
+  const Endurance copied = RunMode(false, true);
+  const Endurance chunk_wb = RunMode(true, false);
+
+  Table t({"Checkpoint mode", "SSD writes / step", "vs linked"});
+  t.AddRow({"linked + dirty-page writeback (NVMalloc)",
+            FormatBytes(linked.device_writes), "1.0x"});
+  t.AddRow({"linked, whole-chunk writeback",
+            FormatBytes(chunk_wb.device_writes),
+            Fmt("%.1fx", static_cast<double>(chunk_wb.device_writes) /
+                             static_cast<double>(linked.device_writes))});
+  t.AddRow({"naive full copy", FormatBytes(copied.device_writes),
+            Fmt("%.1fx", static_cast<double>(copied.device_writes) /
+                             static_cast<double>(linked.device_writes))});
+  t.Print();
+
+  // Lifetime projection at a paper-like checkpoint cadence (hourly), for
+  // the paper-scale volumes (unscale by the data ratio).
+  const double paper_writes_per_ckpt =
+      static_cast<double>(linked.device_writes) * kDataScale;
+  const double naive_writes_per_ckpt =
+      static_cast<double>(copied.device_writes) * kDataScale;
+  // X25-E: 32 GB, 100k P/E cycles => ~3.2 PB per device; 16 devices.
+  const double budget_bytes = 16.0 * 32e9 * 100'000.0;
+  const double years_linked =
+      budget_bytes / (paper_writes_per_ckpt * 24 * 365);
+  const double years_naive =
+      budget_bytes / (naive_writes_per_ckpt * 24 * 365);
+  Note("at one checkpoint per hour, paper-scale volumes: linked "
+       "checkpoints spend the 16-SSD erase budget in ~%.0f years vs "
+       "~%.0f years for naive copies (%.1fx lifetime extension)",
+       years_linked, years_naive, years_linked / years_naive);
+
+  Shape(copied.device_writes > 2 * linked.device_writes,
+        "chunk linking + COW substantially reduces per-checkpoint wear");
+  Shape(chunk_wb.device_writes > linked.device_writes,
+        "dirty-page writeback further reduces wear vs whole-chunk flushes");
+  Shape(years_linked > years_naive,
+        "the paper's design extends device lifetime");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helpers for the matrix-multiplication benchmarks (Figs. 3-6,
+// Tables IV-V): the paper's (x:y:z) configuration notation and a runner
+// that assembles the matching testbed.
+#pragma once
+
+#include "bench_util.hpp"
+#include "workloads/matmul.hpp"
+
+namespace nvm::bench {
+
+struct MmConfig {
+  size_t x;        // processes per node
+  size_t y;        // compute nodes
+  size_t z;        // SSD benefactors (0 = DRAM-only)
+  bool remote;     // benefactors on non-compute nodes
+};
+
+inline std::string MmLabel(const MmConfig& c) {
+  return workloads::ConfigLabel(c.z > 0, c.remote, c.x, c.y, c.z);
+}
+
+inline workloads::MatmulResult RunMmConfig(
+    const MmConfig& c, workloads::MatmulOptions options) {
+  workloads::TestbedOptions to =
+      workloads::MatmulTestbedOptions(c.z, c.remote);
+  options.b_on_nvm = c.z > 0;
+  options.procs_per_node = c.x;
+  options.nodes = c.y;
+  workloads::Testbed tb(to);
+  return workloads::RunMatmul(tb, options);
+}
+
+inline void AddMmRow(Table& t, const MmConfig& c,
+                     const workloads::MatmulResult& r) {
+  if (!r.feasible) {
+    t.AddRow({MmLabel(c), "-", "-", "-", "-", "-", "infeasible (DRAM)"});
+    return;
+  }
+  t.AddRow({MmLabel(c), Fmt("%.2f", r.input_split_a_s),
+            Fmt("%.2f", r.input_b_s), Fmt("%.2f", r.broadcast_b_s),
+            Fmt("%.2f", r.compute_s), Fmt("%.2f", r.collect_output_c_s),
+            Fmt("%.2f%s", r.total_s, r.verified ? "" : " (UNVERIFIED!)")});
+}
+
+inline std::vector<std::string> MmHeaders() {
+  return {"Config",      "Input&Split-A", "Input-B", "Broadcast-B",
+          "Computing",   "Collect&Out-C", "Total (s)"};
+}
+
+}  // namespace nvm::bench

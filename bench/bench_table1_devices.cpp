@@ -1,0 +1,46 @@
+// Table I — device characteristics.
+//
+// Prints the modelled device profiles (they ARE the paper's Table I
+// numbers) plus the derived quantities the paper's argument rests on:
+// the DRAM : SSD bandwidth gap and the $/GB ordering.
+#include "bench_util.hpp"
+#include "sim/device.hpp"
+
+using namespace nvm;
+using namespace nvm::bench;
+
+int main() {
+  Title("Table I", "device characteristics (October 2011 market data)");
+  Table t({"Device", "Type", "Interface", "Read", "Write", "Latency",
+           "Cap.", "Cost", "$/GB"});
+  for (const auto* p : sim::TableIDevices()) {
+    const char* media = p->media == sim::MediaType::kSlcFlash   ? "SLC"
+                        : p->media == sim::MediaType::kMlcFlash ? "MLC"
+                                                                : "SDRAM";
+    const char* iface = p->interface == sim::InterfaceType::kSata   ? "SATA"
+                        : p->interface == sim::InterfaceType::kPcie ? "PCIe"
+                                                                    : "DIMM";
+    t.AddRow({p->name, media, iface,
+              Fmt("%.0f MB/s", p->read_bw_mbps),
+              Fmt("%.0f MB/s", p->write_bw_mbps),
+              FormatDuration(p->read_latency_ns),
+              FormatBytes(p->capacity_bytes), Fmt("$%.0f", p->cost_usd),
+              Fmt("$%.2f", p->cost_usd /
+                               (static_cast<double>(p->capacity_bytes) /
+                                1e9))});
+  }
+  t.Print();
+
+  const double dram_bw = sim::Ddr3_1600().read_bw_mbps;
+  const double x25e_bw = sim::IntelX25E().read_bw_mbps;
+  const double fusion_bw = sim::FusionIoDriveDuo().read_bw_mbps;
+  Note("DRAM : X25-E read-bandwidth gap = %.1fx (paper: \"at least a "
+       "factor of 40\")",
+       dram_bw / x25e_bw);
+  Note("DRAM : ioDrive Duo gap = %.2fx (paper: \"at least 8.53 times "
+       "lower than DRAM rates\")",
+       dram_bw / fusion_bw);
+  Shape(dram_bw / x25e_bw >= 40.0, "DRAM/X25-E bandwidth gap >= 40x");
+  Shape(dram_bw / fusion_bw >= 8.0, "DRAM/ioDrive gap ~ 8.5x");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Table III — STREAM bandwidth with array C on the local SSD, with and
+// without NVMalloc.
+//
+// Paper: accesses *through NVMalloc* are faster than raw mmap on a local
+// SSD file system, because NVMalloc adds a FUSE-level cache with 256 KB
+// chunked read-ahead, beating the kernel's smaller read-ahead window.
+// We model "w/o NVMalloc" as kernel mmap with a 128 KiB read window
+// (scaled: half our chunk) and no asynchronous read-ahead overlap.
+#include "bench_util.hpp"
+#include "workloads/stream.hpp"
+
+using namespace nvm;
+using namespace nvm::bench;
+using namespace nvm::workloads;
+
+namespace {
+
+StreamOptions BaseOptions() {
+  StreamOptions o;
+  o.array_bytes = ScaledBytes(2_GiB);
+  o.iterations = 10;
+  o.threads = 8;
+  o.c_on_nvm = true;  // array C on the local SSD
+  return o;
+}
+
+StreamResult RunMode(bool with_nvmalloc) {
+  TestbedOptions to;
+  to.benefactors = 1;  // node-local SSD only
+  if (!with_nvmalloc) {
+    // Kernel-mmap stand-in: half-size fetch granularity, synchronous.
+    to.store.chunk_bytes = 32_KiB;
+    to.fuse.readahead = false;
+  }
+  Testbed tb(to);
+  auto r = RunStream(tb, BaseOptions());
+  NVM_CHECK(r.verified);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Title("Table III",
+        "STREAM bandwidth (MB/s), array C on local SSD, w/ vs w/o NVMalloc");
+  auto with = RunMode(true);
+  auto without = RunMode(false);
+
+  Table t({"STREAM Kernel", "COPY", "SCALE", "ADD", "TRIAD"});
+  auto row = [&](const char* label, const StreamResult& r) {
+    t.AddRow({label, Fmt("%.1f", r.mbps[0]), Fmt("%.1f", r.mbps[1]),
+              Fmt("%.1f", r.mbps[2]), Fmt("%.1f", r.mbps[3])});
+  };
+  row("w/ NVMalloc", with);
+  row("w/o NVMalloc", without);
+  t.Print();
+
+  Note("paper (MB/s): w/ NVMalloc 211/187/198/189; w/o 153/137/149/147 "
+       "(~1.3x advantage for NVMalloc)");
+  bool all_faster = true;
+  for (int k = 0; k < 4; ++k) {
+    if (with.mbps[static_cast<size_t>(k)] <=
+        without.mbps[static_cast<size_t>(k)]) {
+      all_faster = false;
+    }
+  }
+  Shape(all_faster,
+        "NVMalloc's chunked caching+read-ahead beats raw SSD mmap on "
+        "every kernel");
+  Shape(with.mbps[3] / without.mbps[3] > 1.05 &&
+            with.mbps[3] / without.mbps[3] < 2.5,
+        "advantage is a modest factor (paper: ~1.3x), not orders of "
+        "magnitude");
+  return 0;
+}

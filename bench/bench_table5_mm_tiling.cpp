@@ -1,0 +1,53 @@
+// Table V — MM computing time vs loop-tile size, L-SSD(8:16:16).
+//
+// Paper (seconds, 2 GiB/matrix): tiles 16/32/64/128 give
+//   row-major:    318 / 338 / 339 / 318  (flat — inherently sequential)
+//   column-major: 1360 / 1088 / 808 / 684 (larger tiles help locality).
+// Our tile sweep is scaled alongside the matrix (DESIGN.md): tiles
+// 8/16/32/64 play the role of the paper's 16..128.
+#include "bench_mm_common.hpp"
+
+using namespace nvm;
+using namespace nvm::bench;
+using namespace nvm::workloads;
+
+int main() {
+  Title("Table V",
+        "MM computing time (s) vs tile size, L-SSD(8:16:16)");
+
+  const MmConfig config{8, 16, 16, false};
+  const size_t tiles[] = {8, 16, 32, 64};
+
+  Table t({"Tile Size", "Row-major (s)", "Column-major (s)"});
+  std::vector<double> row_s;
+  std::vector<double> col_s;
+  for (size_t tile : tiles) {
+    MatmulOptions o;
+    o.tile = tile;
+    auto rr = RunMmConfig(config, o);
+    o.column_major = true;
+    auto rc = RunMmConfig(config, o);
+    NVM_CHECK(rr.verified && rc.verified);
+    row_s.push_back(rr.compute_s);
+    col_s.push_back(rc.compute_s);
+    t.AddRow({Fmt("%zu", tile), Fmt("%.2f", rr.compute_s),
+              Fmt("%.2f", rc.compute_s)});
+  }
+  t.Print();
+
+  Note("paper: column-major improves steadily with bigger tiles "
+       "(1360 -> 684 s); row-major is flat (318..339 s)");
+  Shape(col_s.front() > 1.5 * col_s.back(),
+        "column-major compute time falls substantially with tile size");
+  bool monotone = true;
+  for (size_t i = 1; i < col_s.size(); ++i) {
+    if (col_s[i] > col_s[i - 1] * 1.05) monotone = false;
+  }
+  Shape(monotone, "column-major improvement is (near-)monotone in tile");
+  const double row_spread =
+      *std::max_element(row_s.begin(), row_s.end()) /
+      *std::min_element(row_s.begin(), row_s.end());
+  Shape(row_spread < 1.35,
+        "row-major is insensitive to tile size (inherent sequentiality)");
+  return 0;
+}

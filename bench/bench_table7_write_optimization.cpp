@@ -1,0 +1,69 @@
+// Table VII — NVMalloc's dirty-page write-back optimisation under a
+// random-write synthetic workload (128 K byte-granularity writes to
+// random addresses of an SSD-resident variable).
+//
+// Paper: with the optimisation, 467 MB to FUSE / 504 MB to SSD; without,
+// 471 MB to FUSE but 19.3 GB to SSD (whole 256 KB chunks shipped per
+// eviction) — a ~38x write-volume reduction, which also saves flash wear.
+#include "bench_util.hpp"
+#include "workloads/randwrite.hpp"
+
+using namespace nvm;
+using namespace nvm::bench;
+using namespace nvm::workloads;
+
+namespace {
+
+RandWriteResult RunMode(bool optimised, uint64_t* wear_writes) {
+  TestbedOptions to;
+  to.fuse.dirty_page_writeback = optimised;
+  Testbed tb(to);
+  RandWriteOptions o;  // 16 MiB region (2 GiB-class), 131072 writes
+  auto r = RunRandWrite(tb, o);
+  *wear_writes = tb.cluster().TotalSsdBytesWritten();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Title("Table VII",
+        "random byte-writes (131072 into a 2 GiB-class region): data "
+        "written to FUSE vs SSD, w/ and w/o dirty-page write-back");
+
+  uint64_t wear_with = 0;
+  uint64_t wear_without = 0;
+  auto with = RunMode(true, &wear_with);
+  auto without = RunMode(false, &wear_without);
+  NVM_CHECK(with.verified && without.verified);
+
+  auto mb = [](uint64_t b) {
+    return Fmt("%.1f MB", static_cast<double>(b) / 1e6);
+  };
+  Table t({"NVMalloc write optimization", "Data Written to FUSE",
+           "Data Written to SSD"});
+  t.AddRow({"w/ Optimization", mb(with.bytes_to_fuse),
+            mb(with.bytes_to_ssd)});
+  t.AddRow({"w/o Optimization", mb(without.bytes_to_fuse),
+            mb(without.bytes_to_ssd)});
+  t.Print();
+
+  const double reduction = static_cast<double>(without.bytes_to_ssd) /
+                           static_cast<double>(with.bytes_to_ssd);
+  Note("paper: 467/504 MB optimised vs 471 MB/19.3 GB raw (38x); "
+       "measured SSD-write reduction %.1fx (chunk:page = %d:1 here vs "
+       "64:1 in the paper)",
+       reduction, 16);
+  Note("device-level write volume (wear proxy): %s optimised vs %s raw",
+       FormatBytes(wear_with).c_str(), FormatBytes(wear_without).c_str());
+  Shape(reduction > 4.0,
+        "dirty-page write-back cuts SSD write volume by a large factor");
+  const double fuse_ratio = static_cast<double>(without.bytes_to_fuse) /
+                            static_cast<double>(with.bytes_to_fuse);
+  Shape(fuse_ratio > 0.8 && fuse_ratio < 1.25,
+        "FUSE-level traffic is essentially unchanged (paper: 467 vs 471 "
+        "MB)");
+  Shape(wear_without > 2 * wear_with,
+        "the optimisation also reduces flash wear (device write volume)");
+  return 0;
+}

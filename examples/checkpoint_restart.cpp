@@ -1,0 +1,79 @@
+// Checkpoint / restart with copy-on-write chunk sharing (paper §III-E).
+//
+// An iterative "simulation" checkpoints its DRAM state and its NVM-
+// resident field every few timesteps.  ssdcheckpoint() links the NVM
+// variable's chunks into the restart file instead of copying them;
+// subsequent writes copy-on-write only the touched chunks, so every
+// checkpoint after the first is automatically incremental — and older
+// checkpoints remain valid restart points.
+//
+// Run:  ./checkpoint_restart
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "nvmalloc/runtime.hpp"
+#include "workloads/testbed.hpp"
+
+using namespace nvm;
+
+int main() {
+  workloads::TestbedOptions opts;
+  opts.compute_nodes = 4;
+  opts.benefactors = 4;
+  workloads::Testbed testbed(opts);
+  NvmallocRuntime& nvm = testbed.runtime(0);
+  auto& cluster = testbed.cluster();
+
+  // Application state: 2 MiB of DRAM scalars + an 8 MiB NVM field.
+  std::vector<double> dram_state(2_MiB / sizeof(double), 1.0);
+  auto field = nvm.SsdMalloc(8_MiB);
+  NVM_CHECK(field.ok());
+  NvmArray<double> f(*field);
+  for (size_t i = 0; i < f.size(); i += 512) {
+    (void)f.Set(i, static_cast<double>(i));
+  }
+
+  CheckpointSpec spec;
+  spec.dram.push_back({dram_state.data(), dram_state.size() * 8});
+  spec.nvm.push_back(*field);
+
+  Xoshiro256 rng(1);
+  for (int t = 0; t < 4; ++t) {
+    // "Compute": advance the DRAM state, touch ~10% of the field.
+    for (auto& v : dram_state) v += 0.5;
+    const size_t touches = f.size() / 10 / 512;
+    for (size_t k = 0; k < touches; ++k) {
+      const size_t i = (rng.NextBelow(f.size() / 512)) * 512;
+      (void)f.Set(i, static_cast<double>(t) * 1000 + static_cast<double>(i));
+    }
+
+    const uint64_t ssd_before = cluster.TotalSsdBytesWritten();
+    auto info = nvm.SsdCheckpoint(spec, "/ckpt/t" + std::to_string(t));
+    NVM_CHECK(info.ok());
+    std::printf(
+        "t%-2d checkpoint: DRAM copied %-9s NVM linked %-9s SSD writes "
+        "%-9s modelled %.2f ms\n",
+        t, FormatBytes(info->dram_bytes_copied).c_str(),
+        FormatBytes(info->nvm_bytes_linked).c_str(),
+        FormatBytes(cluster.TotalSsdBytesWritten() - ssd_before).c_str(),
+        static_cast<double>(info->duration_ns) / 1e6);
+  }
+
+  // Crash!  Restart from t2 (not even the latest) on a different node —
+  // the restart file is just a file on the aggregate store.
+  std::printf("\nsimulating a failure; restarting from /ckpt/t2 on node 3\n");
+  NvmallocRuntime& other = testbed.runtime(3);
+  std::vector<double> rec_dram(dram_state.size(), 0);
+  auto rec_field = other.SsdMalloc(8_MiB);
+  NVM_CHECK(rec_field.ok());
+  RestoreSpec restore;
+  restore.dram.push_back({rec_dram.data(), rec_dram.size() * 8});
+  restore.nvm.push_back(*rec_field);
+  Status s = other.SsdRestart("/ckpt/t2", restore);
+  std::printf("restart: %s; recovered DRAM[0] = %.1f (state after t2: %.1f)\n",
+              s.ToString().c_str(), rec_dram[0], 1.0 + 3 * 0.5);
+
+  (void)nvm.SsdFree(*field);
+  (void)other.SsdFree(*rec_field);
+  return 0;
+}

@@ -1,0 +1,205 @@
+// nvmsim — config-driven experiment runner.
+//
+// Runs any of the paper's workloads on a testbed described by key=value
+// arguments (or a config file via config=<path>), printing the result and
+// an nvmstat-style store report.  This is the tool for exploring the
+// design space beyond the canned benchmarks.
+//
+// Usage examples:
+//   ./nvmsim workload=stream arrays=BC remote=1
+//   ./nvmsim workload=mm x=8 y=8 z=4 remote=1 column_major=1 tile=32
+//   ./nvmsim workload=sort mode=hybrid nodes=8 dram_fraction=0.25
+//   ./nvmsim workload=randwrite writes=65536 page_writeback=0
+//   ./nvmsim config=experiment.cfg
+//
+// Common keys: nodes, benefactors, remote, chunk=64K, cache=2M, pool=4M,
+// replication, readahead, page_writeback, report (print store status).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "store/report.hpp"
+#include "workloads/ckpt.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/psort.hpp"
+#include "workloads/randwrite.hpp"
+#include "workloads/stream.hpp"
+
+using namespace nvm;
+using namespace nvm::workloads;
+
+namespace {
+
+TestbedOptions BuildTestbed(const Config& cfg) {
+  TestbedOptions to;
+  to.compute_nodes = static_cast<size_t>(cfg.GetInt("nodes", 16));
+  to.benefactors = static_cast<size_t>(
+      cfg.GetInt("benefactors", static_cast<int64_t>(to.compute_nodes)));
+  to.remote_benefactors = cfg.GetBool("remote", false);
+  to.dram_per_node = cfg.GetBytes("node_dram", to.dram_per_node);
+  to.store.chunk_bytes = cfg.GetBytes("chunk", to.store.chunk_bytes);
+  to.store.replication =
+      static_cast<int>(cfg.GetInt("replication", to.store.replication));
+  to.fuse.cache_bytes = cfg.GetBytes("cache", to.fuse.cache_bytes);
+  to.fuse.readahead = cfg.GetBool("readahead", to.fuse.readahead);
+  to.fuse.dirty_page_writeback =
+      cfg.GetBool("page_writeback", to.fuse.dirty_page_writeback);
+  to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
+  return to;
+}
+
+int RunStreamCmd(const Config& cfg, Testbed& tb) {
+  StreamOptions o;
+  o.array_bytes = cfg.GetBytes("array", ScaledBytes(2_GiB));
+  o.iterations = static_cast<int>(cfg.GetInt("iterations", 10));
+  o.threads = static_cast<size_t>(cfg.GetInt("threads", 8));
+  const std::string arrays = cfg.GetString("arrays", "C");
+  o.a_on_nvm = arrays.find('A') != std::string::npos;
+  o.b_on_nvm = arrays.find('B') != std::string::npos;
+  o.c_on_nvm = arrays.find('C') != std::string::npos;
+  auto r = RunStream(tb, o);
+  std::printf("STREAM (arrays %s on NVM, %zu threads):\n", arrays.c_str(),
+              o.threads);
+  for (int k = 0; k < 4; ++k) {
+    std::printf("  %-6s %10.1f MB/s  (%s)\n", kStreamKernelNames[k],
+                r.mbps[k], FormatDuration(r.duration_ns[k]).c_str());
+  }
+  std::printf("  verified: %s\n", r.verified ? "yes" : "NO");
+  return r.verified ? 0 : 1;
+}
+
+int RunMmCmd(const Config& cfg, Testbed& tb) {
+  MatmulOptions o;
+  o.matrix_bytes = cfg.GetBytes("matrix", o.matrix_bytes);
+  o.procs_per_node = static_cast<size_t>(cfg.GetInt("x", 8));
+  o.nodes = static_cast<size_t>(cfg.GetInt("y", 16));
+  o.b_on_nvm = cfg.GetInt("z", 16) > 0;
+  o.shared_mmap = cfg.GetBool("shared", true);
+  o.column_major = cfg.GetBool("column_major", false);
+  o.tile = static_cast<size_t>(cfg.GetInt("tile", 64));
+  auto r = RunMatmul(tb, o);
+  if (!r.feasible) {
+    std::printf("MM: infeasible (B replicas exceed the DRAM budget)\n");
+    return 1;
+  }
+  std::printf(
+      "MM %s %s tile=%zu:\n  A %.2fs | inB %.2fs | bcast %.2fs | compute "
+      "%.2fs | C %.2fs | total %.2fs\n  B traffic: app %s, FUSE %s, SSD "
+      "%s\n  verified: %s\n",
+      o.column_major ? "column-major" : "row-major",
+      o.shared_mmap ? "shared" : "individual", o.tile, r.input_split_a_s,
+      r.input_b_s, r.broadcast_b_s, r.compute_s, r.collect_output_c_s,
+      r.total_s, FormatBytes(r.app_b_bytes).c_str(),
+      FormatBytes(r.fuse_b_bytes).c_str(),
+      FormatBytes(r.ssd_b_bytes).c_str(), r.verified ? "yes" : "NO");
+  return r.verified ? 0 : 1;
+}
+
+int RunSortCmd(const Config& cfg, Testbed& tb) {
+  PsortOptions o;
+  o.list_bytes = cfg.GetBytes("list", SortScaledBytes(200_GiB));
+  o.procs_per_node = static_cast<size_t>(cfg.GetInt("x", 8));
+  o.nodes = static_cast<size_t>(cfg.GetInt("y", 16));
+  o.mode = cfg.GetString("mode", "hybrid") == "hybrid"
+               ? PsortOptions::Mode::kHybridNvm
+               : PsortOptions::Mode::kDramTwoPass;
+  o.dram_fraction = cfg.GetDouble("dram_fraction", 0.5);
+  auto r = RunPsort(tb, o);
+  std::printf(
+      "SORT %s: %.2f s, %d pass(es), %llu elements, verified: %s\n",
+      o.mode == PsortOptions::Mode::kHybridNvm ? "hybrid" : "two-pass",
+      r.seconds, r.passes, static_cast<unsigned long long>(r.elements),
+      r.verified ? "yes" : "NO");
+  return r.verified ? 0 : 1;
+}
+
+int RunRandWriteCmd(const Config& cfg, Testbed& tb) {
+  RandWriteOptions o;
+  o.region_bytes = cfg.GetBytes("region", ScaledBytes(2_GiB));
+  o.num_writes = static_cast<uint64_t>(cfg.GetInt("writes", 131072));
+  auto r = RunRandWrite(tb, o);
+  std::printf(
+      "RANDWRITE %llu writes into %s: to FUSE %s, to SSD %s, %.3f s, "
+      "verified: %s\n",
+      static_cast<unsigned long long>(o.num_writes),
+      FormatBytes(o.region_bytes).c_str(),
+      FormatBytes(r.bytes_to_fuse).c_str(),
+      FormatBytes(r.bytes_to_ssd).c_str(), r.seconds,
+      r.verified ? "yes" : "NO");
+  return r.verified ? 0 : 1;
+}
+
+int RunCkptCmd(const Config& cfg, Testbed& tb) {
+  CkptOptions o;
+  o.dram_bytes = cfg.GetBytes("dram", o.dram_bytes);
+  o.nvm_bytes = cfg.GetBytes("nvm", o.nvm_bytes);
+  o.dirty_fraction = cfg.GetDouble("dirty", 0.1);
+  o.timesteps = static_cast<int>(cfg.GetInt("steps", 3));
+  o.link_nvm = cfg.GetBool("link", true);
+  auto r = RunCheckpointStudy(tb, o);
+  std::printf("CHECKPOINT (%s):\n", o.link_nvm ? "linked" : "full-copy");
+  for (size_t s = 0; s < r.steps.size(); ++s) {
+    std::printf("  t%zu: %.3f s, SSD writes %s\n", s, r.steps[s].seconds,
+                FormatBytes(r.steps[s].ssd_bytes_written).c_str());
+  }
+  std::printf("  restart verified: %s; old checkpoint intact: %s\n",
+              r.restart_verified ? "yes" : "NO",
+              r.old_checkpoint_intact ? "yes" : "NO");
+  return (r.restart_verified && r.old_checkpoint_intact) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto parsed = Config::FromArgs(args);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 2;
+  }
+  Config cfg = *parsed;
+  if (cfg.Has("config")) {
+    auto from_file = Config::FromFile(cfg.GetString("config"));
+    if (!from_file.ok()) {
+      std::fprintf(stderr, "%s\n", from_file.status().ToString().c_str());
+      return 2;
+    }
+    // Command-line keys override file keys.
+    Config merged = *from_file;
+    for (const auto& [k, v] : cfg.values()) merged.Set(k, v);
+    cfg = merged;
+  }
+
+  const std::string workload = cfg.GetString("workload", "stream");
+  // For MM, the paper's z doubles as the benefactor count.
+  if (workload == "mm" && cfg.Has("z") && !cfg.Has("benefactors")) {
+    cfg.Set("benefactors", cfg.GetString("z"));
+  }
+  Testbed tb(BuildTestbed(cfg));
+
+  int rc = 2;
+  if (workload == "stream") {
+    rc = RunStreamCmd(cfg, tb);
+  } else if (workload == "mm") {
+    rc = RunMmCmd(cfg, tb);
+  } else if (workload == "sort") {
+    rc = RunSortCmd(cfg, tb);
+  } else if (workload == "randwrite") {
+    rc = RunRandWriteCmd(cfg, tb);
+  } else if (workload == "checkpoint") {
+    rc = RunCkptCmd(cfg, tb);
+  } else {
+    std::fprintf(stderr,
+                 "unknown workload '%s' (stream|mm|sort|randwrite|"
+                 "checkpoint)\n",
+                 workload.c_str());
+    return 2;
+  }
+
+  if (cfg.GetBool("report", true)) {
+    std::printf("\nstore status:\n%s",
+                store::StatusReport(tb.store()).c_str());
+  }
+  return rc;
+}

@@ -1,0 +1,79 @@
+// Out-of-core matrix multiplication — the paper's flagship use case.
+//
+// Multiplies matrices whose combined footprint exceeds every node's DRAM
+// budget by placing the replicated B matrix on the aggregate SSD store
+// through a shared mmap-style NVMalloc region, with A and C block-
+// distributed in DRAM.  Prints the paper-style five-stage breakdown and
+// compares against the DRAM-only configuration that must leave 75% of
+// the cores idle.
+//
+// Run:  ./out_of_core_matmul
+#include <cstdio>
+
+#include "workloads/matmul.hpp"
+
+using namespace nvm;
+using namespace nvm::workloads;
+
+namespace {
+
+void Report(const char* label, const MatmulResult& r) {
+  if (!r.feasible) {
+    std::printf("%-18s infeasible: B replicas exceed the DRAM budget\n",
+                label);
+    return;
+  }
+  std::printf(
+      "%-18s A:%5.2fs  inB:%5.2fs  bcast:%5.2fs  compute:%5.2fs  "
+      "C:%5.2fs  total:%6.2fs  %s\n",
+      label, r.input_split_a_s, r.input_b_s, r.broadcast_b_s, r.compute_s,
+      r.collect_output_c_s, r.total_s,
+      r.verified ? "[verified: C == B for A = I]" : "[VERIFICATION FAILED]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Out-of-core MM on a 16-node simulated cluster\n");
+  std::printf("matrices: %s each; node DRAM budget: %s\n\n",
+              FormatBytes(MmScaledBytes(2_GiB)).c_str(),
+              FormatBytes(MmScaledBytes(8_GiB)).c_str());
+
+  // DRAM-only: each process needs a full B replica, so only 2 of the 8
+  // cores per node can be used.
+  {
+    Testbed tb(MatmulTestbedOptions(/*benefactors=*/1, /*remote=*/false));
+    MatmulOptions o;
+    o.b_on_nvm = false;
+    o.procs_per_node = 2;
+    Report("DRAM(2:16:0)", RunMatmul(tb, o));
+  }
+  // The same job with 8 processes per node would not fit:
+  {
+    Testbed tb(MatmulTestbedOptions(1, false));
+    MatmulOptions o;
+    o.b_on_nvm = false;
+    o.procs_per_node = 8;
+    Report("DRAM(8:16:0)", RunMatmul(tb, o));
+  }
+  // NVMalloc: B lives on the aggregate SSD store (one shared mapping per
+  // node), freeing the DRAM for 8 processes per node.
+  {
+    Testbed tb(MatmulTestbedOptions(16, false));
+    MatmulOptions o;  // defaults: B on NVM, shared mapping, row-major
+    Report("L-SSD(8:16:16)", RunMatmul(tb, o));
+  }
+  // It even works when the benefactor SSDs live on other nodes entirely.
+  {
+    Testbed tb(MatmulTestbedOptions(8, true));
+    MatmulOptions o;
+    o.nodes = 8;
+    Report("R-SSD(8:8:8)", RunMatmul(tb, o));
+  }
+
+  std::printf(
+      "\nThe NVMalloc runs use every core and beat the DRAM-only run "
+      "outright\n(paper Fig. 3: 53.75%% faster), while the 8-proc DRAM "
+      "run cannot start at all.\n");
+  return 0;
+}

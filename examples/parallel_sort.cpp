@@ -1,0 +1,56 @@
+// Parallel out-of-core sorting — sorting a list 1.5x the machine's
+// aggregate DRAM (paper §IV-B-3).
+//
+// Without NVMalloc, the job needs an external two-pass sort through the
+// parallel file system; with it, every process extends its memory with an
+// ssdmalloc'd region and the whole list sorts in a single pass.
+//
+// Run:  ./parallel_sort
+#include <cstdio>
+
+#include "workloads/psort.hpp"
+
+using namespace nvm;
+using namespace nvm::workloads;
+
+namespace {
+
+void Run(const char* label, PsortOptions::Mode mode, size_t nodes, size_t z,
+         bool remote, double dram_fraction) {
+  TestbedOptions to = PsortTestbedOptions(z, remote);
+  Testbed tb(to);
+  PsortOptions o;
+  o.list_bytes = SortScaledBytes(200_GiB);
+  o.mode = mode;
+  o.nodes = nodes;
+  o.dram_fraction = dram_fraction;
+  auto r = RunPsort(tb, o);
+  std::printf("%-16s %6.2f s   %d pass(es)   %llu elements   %s\n", label,
+              r.seconds, r.passes,
+              static_cast<unsigned long long>(r.elements),
+              r.verified ? "[globally sorted, checksum OK]"
+                         : "[VERIFICATION FAILED]");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Sorting a %s list on a cluster with %s of aggregate DRAM\n\n",
+      FormatBytes(SortScaledBytes(200_GiB)).c_str(),
+      FormatBytes(16 * SortScaledBytes(8_GiB)).c_str());
+
+  // The data cannot fit: the DRAM-only run must sort in two passes with
+  // the PFS holding interim results, then merge.
+  Run("DRAM(8:16:0)", PsortOptions::Mode::kDramTwoPass, 16, 1, false, 1.0);
+  // NVMalloc extends memory: half the list in DRAM, half on local SSDs.
+  Run("L-SSD(8:16:16)", PsortOptions::Mode::kHybridNvm, 16, 16, false, 0.5);
+  // Even 8 nodes with remote SSDs (a quarter in DRAM) beat two passes.
+  Run("R-SSD(8:8:8)", PsortOptions::Mode::kHybridNvm, 8, 8, true, 0.25);
+
+  std::printf(
+      "\nNVMalloc turns an out-of-memory sort into a single in-memory-"
+      "style pass\n(paper Table VI: 10x faster than the two-pass DRAM "
+      "run).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Minimal leveled logger.  Thread-safe, printf-style free functions plus a
+// stream-less NVM_LOG macro that captures file:line.  Default level is
+// kWarn so tests and benches stay quiet; set NVM_LOG_LEVEL=debug|info|...
+// in the environment or call set_log_level() to see more.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+namespace nvm {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Core sink; prefer the NVM_LOG macro below.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+#define NVM_LOG(level, ...)                                              \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::nvm::log_level())) {                          \
+      ::nvm::LogMessage(level, __FILE__, __LINE__, __VA_ARGS__);         \
+    }                                                                    \
+  } while (0)
+
+#define NVM_DLOG(...) NVM_LOG(::nvm::LogLevel::kDebug, __VA_ARGS__)
+#define NVM_ILOG(...) NVM_LOG(::nvm::LogLevel::kInfo, __VA_ARGS__)
+#define NVM_WLOG(...) NVM_LOG(::nvm::LogLevel::kWarn, __VA_ARGS__)
+#define NVM_ELOG(...) NVM_LOG(::nvm::LogLevel::kError, __VA_ARGS__)
+
+// Fatal invariant check: always on (release too), prints and aborts.
+#define NVM_CHECK(cond, ...)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::nvm::LogMessage(::nvm::LogLevel::kError, __FILE__, __LINE__,     \
+                        "CHECK failed: %s", #cond);                      \
+      ::nvm::detail::CheckFailure(__VA_ARGS__);                          \
+    }                                                                    \
+  } while (0)
+
+namespace detail {
+[[noreturn]] void CheckFailure(const char* fmt = nullptr, ...);
+}  // namespace detail
+
+}  // namespace nvm

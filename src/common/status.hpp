@@ -1,0 +1,147 @@
+// Lightweight error-handling vocabulary for the NVMalloc codebase.
+//
+// The library is exception-free on hot paths: fallible operations return
+// Status or StatusOr<T>.  Status carries an error code plus a human-readable
+// message; StatusOr<T> is a tagged union of a value and a Status.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace nvm {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfSpace,
+  kUnavailable,     // component down (e.g. dead benefactor)
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+std::string_view error_code_name(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>" — for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status OutOfSpace(std::string msg) {
+  return {ErrorCode::kOutOfSpace, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status FailedPrecondition(std::string msg) {
+  return {ErrorCode::kFailedPrecondition, std::move(msg)};
+}
+inline Status OutOfRange(std::string msg) {
+  return {ErrorCode::kOutOfRange, std::move(msg)};
+}
+inline Status Internal(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+inline Status Unimplemented(std::string msg) {
+  return {ErrorCode::kUnimplemented, std::move(msg)};
+}
+inline Status IoError(std::string msg) {
+  return {ErrorCode::kIoError, std::move(msg)};
+}
+
+// Value-or-error result.  Accessing value() on an error aborts in debug
+// builds; call ok() first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : repr_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : repr_(std::move(status)) {    // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(repr_).ok() &&
+           "StatusOr must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(repr_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Early-return plumbing.  NVM_RETURN_IF_ERROR propagates a bad Status;
+// NVM_ASSIGN_OR_RETURN unwraps a StatusOr into a new variable.
+#define NVM_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::nvm::Status nvm_status_ = (expr);            \
+    if (!nvm_status_.ok()) return nvm_status_;     \
+  } while (0)
+
+#define NVM_CONCAT_INNER(a, b) a##b
+#define NVM_CONCAT(a, b) NVM_CONCAT_INNER(a, b)
+
+#define NVM_ASSIGN_OR_RETURN(decl, expr)                       \
+  auto NVM_CONCAT(nvm_sor_, __LINE__) = (expr);                \
+  if (!NVM_CONCAT(nvm_sor_, __LINE__).ok())                    \
+    return NVM_CONCAT(nvm_sor_, __LINE__).status();            \
+  decl = std::move(NVM_CONCAT(nvm_sor_, __LINE__)).value()
+
+}  // namespace nvm

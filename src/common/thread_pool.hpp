@@ -1,0 +1,49 @@
+// Simple fixed-size thread pool with a ParallelFor helper.
+//
+// The simulated cluster gives each "process" its own dedicated thread (see
+// net/cluster); this pool is for auxiliary fan-out such as test drivers and
+// workload initialisation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nvm {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Block until every submitted task has completed.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;   // signalled when work arrives / stop
+  std::condition_variable idle_cv_;   // signalled when the pool drains
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace nvm

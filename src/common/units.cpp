@@ -1,0 +1,54 @@
+#include "common/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace nvm {
+
+std::string FormatBytes(uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KiB", "MiB",
+                                                         "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  size_t i = 0;
+  while (v >= 1024.0 && i + 1 < kSuffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[48];
+  if (i == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kSuffix[i]);
+  }
+  return buf;
+}
+
+std::string FormatDuration(int64_t ns) {
+  char buf[48];
+  double v = static_cast<double>(ns);
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(ns));
+  } else if (ns < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", v / 1e3);
+  } else if (ns < 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f s", v / 1e9);
+  }
+  return buf;
+}
+
+double ToMBps(uint64_t bytes, int64_t ns) {
+  if (ns <= 0) return 0.0;
+  return (static_cast<double>(bytes) / 1e6) /
+         (static_cast<double>(ns) / 1e9);
+}
+
+std::string FormatBandwidth(uint64_t bytes, int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f MB/s", ToMBps(bytes, ns));
+  return buf;
+}
+
+}  // namespace nvm

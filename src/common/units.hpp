@@ -1,0 +1,38 @@
+// Byte-size and time-unit helpers used throughout the codebase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvm {
+
+// Binary byte-size literals: 4_KiB, 256_KiB, 64_MiB, 2_GiB...
+constexpr uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+// Time literals expressed in nanoseconds of *virtual* time (see sim/clock).
+constexpr int64_t operator""_ns(unsigned long long v) { return static_cast<int64_t>(v); }
+constexpr int64_t operator""_us(unsigned long long v) { return static_cast<int64_t>(v) * 1000; }
+constexpr int64_t operator""_ms(unsigned long long v) { return static_cast<int64_t>(v) * 1000000; }
+constexpr int64_t operator""_s(unsigned long long v) { return static_cast<int64_t>(v) * 1000000000; }
+
+// "4.0 KiB", "256.0 KiB", "1.5 GiB" — human-readable byte counts.
+std::string FormatBytes(uint64_t bytes);
+
+// "12.5 us", "3.2 ms", "1.8 s" — human-readable durations from nanoseconds.
+std::string FormatDuration(int64_t ns);
+
+// Bandwidth "X MB/s" given bytes moved over a duration in virtual ns.
+std::string FormatBandwidth(uint64_t bytes, int64_t ns);
+
+// bytes / seconds, in MB/s (decimal MB, matching device datasheets).
+double ToMBps(uint64_t bytes, int64_t ns);
+
+// Integer ceiling division, used for chunk/page counts everywhere.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+// Round `a` up to a multiple of `b`.
+constexpr uint64_t RoundUp(uint64_t a, uint64_t b) { return CeilDiv(a, b) * b; }
+
+}  // namespace nvm

@@ -1,0 +1,342 @@
+#include "fuselite/cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace nvm::fuselite {
+
+ChunkCache::ChunkCache(store::StoreClient& client, FuseliteConfig config)
+    : client_(client), config_(config) {
+  capacity_chunks_ =
+      std::max<uint64_t>(1, config_.cache_bytes / chunk_bytes());
+  const int lanes = std::max(1, config_.daemon_threads);
+  for (int i = 0; i < lanes; ++i) {
+    daemons_.push_back(std::make_unique<sim::Resource>(
+        "fuse-daemon" + std::to_string(i)));
+  }
+}
+
+void ChunkCache::SetAdvice(store::FileId file, AccessAdvice advice) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (advice == AccessAdvice::kNormal) {
+    advice_.erase(file);
+  } else {
+    advice_[file] = advice;
+  }
+}
+
+AccessAdvice ChunkCache::advice(store::FileId file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = advice_.find(file);
+  return it == advice_.end() ? AccessAdvice::kNormal : it->second;
+}
+
+size_t ChunkCache::resident_chunks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+void ChunkCache::TouchLocked(const SlotKey& key, Slot& slot) {
+  lru_.erase(slot.lru_it);
+  lru_.push_front(key);
+  slot.lru_it = lru_.begin();
+}
+
+void ChunkCache::SerializeOnDaemon(sim::VirtualClock& clock, int64_t t0) {
+  if (!config_.serialize_daemon) return;
+  const int64_t duration = clock.now() - t0;
+  if (duration <= 0) return;
+  // The operation's device/network reservations stay where they were made;
+  // the *caller* additionally queues on one of the daemon's worker lanes
+  // for the operation's duration, which is what throttles concurrent
+  // processes of one node.
+  auto& lane = *daemons_[daemon_rr_.fetch_add(1, std::memory_order_relaxed) %
+                         daemons_.size()];
+  const int64_t start = lane.Schedule(t0, duration);
+  clock.AdvanceTo(start + duration);
+}
+
+Status ChunkCache::FlushSlotLocked(sim::VirtualClock& clock,
+                                   const SlotKey& key, Slot& slot,
+                                   bool background) {
+  if (slot.dirty.None()) return OkStatus();
+  // Background (eviction-driven) write-back runs on a detached clock —
+  // the modelled kernel-writeback thread — so the evicting process keeps
+  // going while the devices absorb the write.
+  sim::VirtualClock detached(clock.now());
+  sim::VirtualClock& wclock =
+      (background && config_.async_writeback) ? detached : clock;
+  const int64_t t0 = wclock.now();
+  ++traffic_.flushed_chunks;
+  if (config_.dirty_page_writeback) {
+    traffic_.flushed_pages += slot.dirty.PopCount();
+    NVM_RETURN_IF_ERROR(client_.WriteChunkPages(wclock, key.file, key.index,
+                                                slot.dirty, slot.data));
+  } else {
+    // Ablation / Table VII "w/o optimisation": ship the whole chunk.
+    Bitmap all(slot.dirty.size());
+    all.SetAll();
+    traffic_.flushed_pages += all.PopCount();
+    NVM_RETURN_IF_ERROR(client_.WriteChunkPages(wclock, key.file, key.index,
+                                                all, slot.data));
+  }
+  slot.dirty.ClearAll();
+  if (&wclock == &clock) SerializeOnDaemon(wclock, t0);
+  return OkStatus();
+}
+
+Status ChunkCache::EvictIfNeededLocked(sim::VirtualClock& clock) {
+  while (slots_.size() >= capacity_chunks_) {
+    NVM_CHECK(!lru_.empty());
+    const SlotKey victim = lru_.back();
+    auto it = slots_.find(victim);
+    NVM_CHECK(it != slots_.end());
+    NVM_RETURN_IF_ERROR(
+        FlushSlotLocked(clock, victim, it->second, /*background=*/true));
+    lru_.pop_back();
+    slots_.erase(it);
+    ++traffic_.evictions;
+  }
+  return OkStatus();
+}
+
+StatusOr<ChunkCache::Slot*> ChunkCache::GetSlotLocked(
+    sim::VirtualClock& clock, store::FileId file, uint32_t index) {
+  const SlotKey key{file, index};
+  auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    // If this chunk is still in flight from a prefetch, the reader waits
+    // for the remainder of the transfer.
+    clock.AdvanceTo(it->second.ready_at);
+    ++traffic_.hit_chunks;
+    TouchLocked(key, it->second);
+    return &it->second;
+  }
+
+  NVM_RETURN_IF_ERROR(EvictIfNeededLocked(clock));
+
+  Slot slot;
+  slot.data.assign(chunk_bytes(), 0);
+  slot.dirty = Bitmap(chunk_bytes() / page_bytes());
+  slot.valid = Bitmap(chunk_bytes() / page_bytes());
+  slot.ready_at = clock.now();
+  lru_.push_front(key);
+  slot.lru_it = lru_.begin();
+  auto [ins, ok] = slots_.emplace(key, std::move(slot));
+  NVM_CHECK(ok);
+  return &ins->second;
+}
+
+Status ChunkCache::EnsureValidLocked(sim::VirtualClock& clock,
+                                     const SlotKey& key, Slot& slot,
+                                     size_t first_page, size_t last_page) {
+  bool all_valid = true;
+  for (size_t p = first_page; p <= last_page; ++p) {
+    if (!slot.valid.Test(p)) {
+      all_valid = false;
+      break;
+    }
+  }
+  if (all_valid) return OkStatus();
+
+  // Fetch the whole chunk (the store's transfer unit) and fill only the
+  // pages we do not already have locally.
+  std::vector<uint8_t> fetched(chunk_bytes());
+  const int64_t t0 = clock.now();
+  NVM_RETURN_IF_ERROR(client_.ReadChunk(clock, key.file, key.index, fetched));
+  SerializeOnDaemon(clock, t0);
+  ++traffic_.fetched_chunks;
+  for (size_t p = 0; p < slot.valid.size(); ++p) {
+    if (!slot.valid.Test(p)) {
+      std::memcpy(slot.data.data() + p * page_bytes(),
+                  fetched.data() + p * page_bytes(), page_bytes());
+      slot.valid.Set(p);
+    }
+  }
+  slot.ready_at = std::max(slot.ready_at, clock.now());
+  return OkStatus();
+}
+
+void ChunkCache::MaybePrefetchLocked(sim::VirtualClock& clock,
+                                     store::FileId file,
+                                     uint32_t next_index) {
+  if (!config_.readahead) return;
+  const SlotKey key{file, next_index};
+  if (slots_.contains(key)) return;
+
+  // The prefetch occupies devices and network starting now but runs on a
+  // detached clock: the application keeps computing while the chunk is in
+  // flight, and only pays the residual wait if it arrives at the chunk
+  // before the transfer completes (ready_at handling in GetSlotLocked).
+  sim::VirtualClock detached(clock.now());
+  if (slots_.size() >= capacity_chunks_) {
+    // Make room like kernel read-ahead does; the evicted slot's dirty
+    // pages flush on the background writeback clock, so this is cheap.
+    if (!EvictIfNeededLocked(detached).ok()) return;
+  }
+  Slot slot;
+  slot.data.resize(chunk_bytes());
+  slot.dirty = Bitmap(chunk_bytes() / page_bytes());
+  slot.valid = Bitmap(chunk_bytes() / page_bytes());
+  const int64_t t0 = detached.now();
+  Status s = client_.ReadChunk(detached, file, next_index, slot.data);
+  if (!s.ok()) return;  // beyond EOF or store unavailable: no-op
+  SerializeOnDaemon(detached, t0);
+  ++traffic_.prefetched_chunks;
+  slot.valid.SetAll();
+  slot.ready_at = detached.now();
+  lru_.push_front(key);
+  slot.lru_it = lru_.begin();
+  slots_.emplace(key, std::move(slot));
+}
+
+Status ChunkCache::Read(sim::VirtualClock& clock, store::FileId file,
+                        uint64_t offset, std::span<uint8_t> out) {
+  clock.Advance(config_.per_op_software_ns);
+  std::lock_guard<std::mutex> lock(mutex_);
+  traffic_.app_bytes_read += out.size();
+
+  uint64_t done = 0;
+  while (done < out.size()) {
+    const uint64_t pos = offset + done;
+    const auto index = static_cast<uint32_t>(pos / chunk_bytes());
+    const uint64_t within = pos % chunk_bytes();
+    const uint64_t n =
+        std::min<uint64_t>(chunk_bytes() - within, out.size() - done);
+
+    NVM_ASSIGN_OR_RETURN(Slot * slot, GetSlotLocked(clock, file, index));
+    const SlotKey key{file, index};
+    NVM_RETURN_IF_ERROR(EnsureValidLocked(clock, key, *slot,
+                                          within / page_bytes(),
+                                          (within + n - 1) / page_bytes()));
+    std::memcpy(out.data() + done, slot->data.data() + within, n);
+
+    // Sequential-stream detection (multi-stream, like kernel readahead):
+    // a read continuing where one of the file's tracked streams ended
+    // arms read-ahead for the following chunk.
+    auto& streams = streams_[file];
+    ++stream_tick_;
+    bool matched = false;
+    auto adv = AccessAdvice::kNormal;
+    {
+      auto ait = advice_.find(file);
+      if (ait != advice_.end()) adv = ait->second;
+    }
+    for (auto& s : streams) {
+      if (s.next_offset == pos) {
+        s.next_offset = pos + n;
+        s.last_use = stream_tick_;
+        matched = true;
+        MaybePrefetchLocked(clock, file, index + 1);
+        if (adv == AccessAdvice::kWriteOnceReadMany) {
+          // The variable will be streamed repeatedly: run the read-ahead
+          // window one chunk deeper.
+          MaybePrefetchLocked(clock, file, index + 2);
+        }
+        if (adv == AccessAdvice::kStreamOnce && index > 0 &&
+            (pos + n) % chunk_bytes() == 0) {
+          // The previous chunk has been fully consumed and will not be
+          // touched again: drop it immediately (evict-behind), freeing
+          // the slot without disturbing LRU order for other files.
+          const SlotKey prev{file, index - 1};
+          auto pit = slots_.find(prev);
+          if (pit != slots_.end() && pit->second.dirty.None()) {
+            lru_.erase(pit->second.lru_it);
+            slots_.erase(pit);
+            ++traffic_.evictions;
+          }
+        }
+        break;
+      }
+    }
+    if (!matched) {
+      if (streams.size() < kMaxStreams) {
+        streams.push_back({pos + n, stream_tick_});
+      } else {
+        auto* lru = &streams[0];
+        for (auto& s : streams) {
+          if (s.last_use < lru->last_use) lru = &s;
+        }
+        *lru = {pos + n, stream_tick_};
+      }
+    }
+    done += n;
+  }
+  return OkStatus();
+}
+
+Status ChunkCache::Write(sim::VirtualClock& clock, store::FileId file,
+                         uint64_t offset, std::span<const uint8_t> in) {
+  clock.Advance(config_.per_op_software_ns);
+  std::lock_guard<std::mutex> lock(mutex_);
+  traffic_.app_bytes_written += in.size();
+
+  uint64_t done = 0;
+  while (done < in.size()) {
+    const uint64_t pos = offset + done;
+    const auto index = static_cast<uint32_t>(pos / chunk_bytes());
+    const uint64_t within = pos % chunk_bytes();
+    const uint64_t n =
+        std::min<uint64_t>(chunk_bytes() - within, in.size() - done);
+    NVM_ASSIGN_OR_RETURN(Slot * slot, GetSlotLocked(clock, file, index));
+    const SlotKey key{file, index};
+    const size_t first_page = within / page_bytes();
+    const size_t last_page = (within + n - 1) / page_bytes();
+    if (!config_.dirty_page_writeback) {
+      // Chunk-granular baseline (Table VII "w/o optimisation"): the dirty
+      // unit is the whole chunk, so the whole chunk must be materialised
+      // before any modification.
+      NVM_RETURN_IF_ERROR(EnsureValidLocked(clock, key, *slot, 0,
+                                            slot->valid.size() - 1));
+    } else {
+      // Partially covered head/tail pages need their old contents first
+      // (read-modify-write); fully covered pages are written blind.
+      if (within % page_bytes() != 0 && !slot->valid.Test(first_page)) {
+        NVM_RETURN_IF_ERROR(
+            EnsureValidLocked(clock, key, *slot, first_page, first_page));
+      }
+      if ((within + n) % page_bytes() != 0 && !slot->valid.Test(last_page)) {
+        NVM_RETURN_IF_ERROR(
+            EnsureValidLocked(clock, key, *slot, last_page, last_page));
+      }
+    }
+    std::memcpy(slot->data.data() + within, in.data() + done, n);
+    for (size_t p = first_page; p <= last_page; ++p) {
+      slot->dirty.Set(p);
+      slot->valid.Set(p);
+    }
+
+    done += n;
+  }
+  return OkStatus();
+}
+
+Status ChunkCache::Flush(sim::VirtualClock& clock, store::FileId file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, slot] : slots_) {
+    if (file != store::kInvalidFileId && key.file != file) continue;
+    NVM_RETURN_IF_ERROR(
+        FlushSlotLocked(clock, key, slot, /*background=*/false));
+  }
+  return OkStatus();
+}
+
+Status ChunkCache::Drop(sim::VirtualClock& clock, store::FileId file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.file == file) {
+      NVM_RETURN_IF_ERROR(
+          FlushSlotLocked(clock, it->first, it->second, false));
+      lru_.erase(it->second.lru_it);
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  streams_.erase(file);
+  return OkStatus();
+}
+
+}  // namespace nvm::fuselite

@@ -1,0 +1,99 @@
+#include "fuselite/mount.hpp"
+
+#include "common/log.hpp"
+#include "sim/clock.hpp"
+
+namespace nvm::fuselite {
+
+Status FileHandle::Read(uint64_t offset, std::span<uint8_t> out) {
+  NVM_CHECK(valid());
+  return mount_->cache_.Read(sim::CurrentClock(), id_, offset, out);
+}
+
+Status FileHandle::Write(uint64_t offset, std::span<const uint8_t> in) {
+  NVM_CHECK(valid());
+  auto& clock = sim::CurrentClock();
+  NVM_RETURN_IF_ERROR(
+      mount_->EnsureExtent(clock, id_, offset + in.size()));
+  return mount_->cache_.Write(clock, id_, offset, in);
+}
+
+Status FileHandle::Fallocate(uint64_t size) {
+  NVM_CHECK(valid());
+  return mount_->EnsureExtent(sim::CurrentClock(), id_, size);
+}
+
+StatusOr<store::FileInfo> FileHandle::Stat() {
+  NVM_CHECK(valid());
+  return mount_->client_.Stat(sim::CurrentClock(), id_);
+}
+
+Status FileHandle::Sync() {
+  NVM_CHECK(valid());
+  return mount_->cache_.Flush(sim::CurrentClock(), id_);
+}
+
+MountPoint::MountPoint(store::AggregateStore& store, int node_id,
+                       FuseliteConfig config)
+    : client_(store.ClientForNode(node_id)),
+      cache_(client_, config),
+      node_id_(node_id) {}
+
+Status MountPoint::EnsureExtent(sim::VirtualClock& clock, store::FileId id,
+                                uint64_t end) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = known_size_.find(id);
+    if (it != known_size_.end() && it->second >= end) return OkStatus();
+  }
+  NVM_RETURN_IF_ERROR(client_.Fallocate(clock, id, end));
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t& size = known_size_[id];
+  size = std::max(size, end);
+  return OkStatus();
+}
+
+StatusOr<FileHandle> MountPoint::Create(const std::string& name,
+                                        uint64_t size) {
+  auto& clock = sim::CurrentClock();
+  NVM_ASSIGN_OR_RETURN(store::FileId id, client_.Create(clock, name));
+  if (size > 0) {
+    NVM_RETURN_IF_ERROR(client_.Fallocate(clock, id, size));
+    std::lock_guard<std::mutex> lock(mutex_);
+    known_size_[id] = size;
+  }
+  return FileHandle(this, id);
+}
+
+StatusOr<FileHandle> MountPoint::Open(const std::string& name) {
+  auto& clock = sim::CurrentClock();
+  NVM_ASSIGN_OR_RETURN(store::FileId id, client_.Open(clock, name));
+  return FileHandle(this, id);
+}
+
+StatusOr<FileHandle> MountPoint::OpenOrCreate(const std::string& name) {
+  auto opened = Open(name);
+  if (opened.ok()) return opened;
+  if (opened.status().code() != ErrorCode::kNotFound) return opened;
+  auto created = Create(name);
+  if (created.ok()) return created;
+  if (created.status().code() == ErrorCode::kAlreadyExists) {
+    // Lost a create race with a sibling process: open what it made.
+    return Open(name);
+  }
+  return created;
+}
+
+Status MountPoint::Unlink(const std::string& name) {
+  auto& clock = sim::CurrentClock();
+  NVM_ASSIGN_OR_RETURN(store::FileId id, client_.Open(clock, name));
+  // Drop cached state first so no dirty data outlives the file.
+  NVM_RETURN_IF_ERROR(cache_.Drop(clock, id));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    known_size_.erase(id);
+  }
+  return client_.Unlink(clock, id);
+}
+
+}  // namespace nvm::fuselite

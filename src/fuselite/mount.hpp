@@ -1,0 +1,77 @@
+// MountPoint — the per-compute-node file-system veneer over the aggregate
+// store (the paper's /mnt/aggregatenvm FUSE mount).
+//
+// One MountPoint per node, shared by all processes of the node; it owns the
+// node's ChunkCache, so processes mapping the same file share cached chunks
+// (the paper's shared-mmap optimisation falls out of this naturally).
+// Writes extend files implicitly (POSIX semantics) by growing the manager's
+// chunk map through posix_fallocate-style reservations.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "fuselite/cache.hpp"
+#include "store/store.hpp"
+
+namespace nvm::fuselite {
+
+class MountPoint;
+
+// Lightweight handle; copyable, valid as long as the mount lives.
+class FileHandle {
+ public:
+  FileHandle() = default;
+
+  store::FileId id() const { return id_; }
+  bool valid() const { return id_ != store::kInvalidFileId; }
+
+  Status Read(uint64_t offset, std::span<uint8_t> out);
+  Status Write(uint64_t offset, std::span<const uint8_t> in);
+  Status Fallocate(uint64_t size);
+  StatusOr<store::FileInfo> Stat();
+  // Write back all dirty cached pages of this file.
+  Status Sync();
+
+ private:
+  friend class MountPoint;
+  FileHandle(MountPoint* mount, store::FileId id) : mount_(mount), id_(id) {}
+  MountPoint* mount_ = nullptr;
+  store::FileId id_ = store::kInvalidFileId;
+};
+
+class MountPoint {
+ public:
+  MountPoint(store::AggregateStore& store, int node_id,
+             FuseliteConfig config = {});
+
+  int node_id() const { return node_id_; }
+  ChunkCache& cache() { return cache_; }
+  store::StoreClient& client() { return client_; }
+
+  // O_CREAT|O_EXCL + optional posix_fallocate in one step.
+  StatusOr<FileHandle> Create(const std::string& name, uint64_t size = 0);
+  StatusOr<FileHandle> Open(const std::string& name);
+  // Create if missing, open otherwise.
+  StatusOr<FileHandle> OpenOrCreate(const std::string& name);
+  Status Unlink(const std::string& name);
+
+ private:
+  friend class FileHandle;
+
+  // Grow the file if [offset, offset+len) extends past the known size.
+  Status EnsureExtent(sim::VirtualClock& clock, store::FileId id,
+                      uint64_t end);
+
+  store::StoreClient& client_;
+  ChunkCache cache_;
+  const int node_id_;
+
+  std::mutex mutex_;
+  // Cached logical sizes, to avoid a manager round-trip per write.
+  std::unordered_map<store::FileId, uint64_t> known_size_;
+};
+
+}  // namespace nvm::fuselite

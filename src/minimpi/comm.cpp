@@ -1,0 +1,194 @@
+#include "minimpi/comm.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "sim/clock.hpp"
+
+namespace nvm::minimpi {
+
+Comm::Comm(net::Cluster& cluster, std::vector<int> placement)
+    : cluster_(cluster),
+      placement_(std::move(placement)),
+      barrier_(placement_.size()) {
+  NVM_CHECK(!placement_.empty());
+}
+
+std::pair<uint64_t, uint64_t> Comm::BlockRange(uint64_t n, int size,
+                                               int rank) {
+  const uint64_t base = n / static_cast<uint64_t>(size);
+  const uint64_t extra = n % static_cast<uint64_t>(size);
+  const auto r = static_cast<uint64_t>(rank);
+  const uint64_t begin = r * base + std::min(r, extra);
+  const uint64_t end = begin + base + (r < extra ? 1 : 0);
+  return {begin, end};
+}
+
+void Comm::Send(sim::VirtualClock& clock, int src, int dst, int tag,
+                std::span<const uint8_t> data) {
+  // The transfer occupies the NICs starting at the sender's current time;
+  // the sender's clock advances through it (blocking send semantics).
+  cluster_.network().Transfer(clock, node_of(src), node_of(dst),
+                              data.size());
+  Message msg;
+  msg.data.assign(data.begin(), data.end());
+  msg.arrival_ns = clock.now();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mailboxes_[MailboxKey{dst, src, tag}].push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+void Comm::Recv(sim::VirtualClock& clock, int dst, int src, int tag,
+                std::span<uint8_t> out) {
+  Message msg;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto& queue = mailboxes_[MailboxKey{dst, src, tag}];
+    cv_.wait(lock, [&] { return !queue.empty(); });
+    msg = std::move(queue.front());
+    queue.pop_front();
+  }
+  NVM_CHECK(msg.data.size() == out.size(),
+            "Recv size mismatch: posted %zu, message %zu", out.size(),
+            msg.data.size());
+  std::memcpy(out.data(), msg.data.data(), out.size());
+  // The receiver cannot complete before the last byte arrives.
+  clock.AdvanceTo(msg.arrival_ns);
+}
+
+int RankHandle::size() const { return comm_->size(); }
+
+void RankHandle::Send(int dst, std::span<const uint8_t> data, int tag) {
+  comm_->Send(sim::CurrentClock(), rank_, dst, tag, data);
+}
+
+void RankHandle::Recv(int src, std::span<uint8_t> out, int tag) {
+  comm_->Recv(sim::CurrentClock(), rank_, src, tag, out);
+}
+
+void RankHandle::Barrier() {
+  comm_->barrier_.Arrive(sim::CurrentClock());
+}
+
+void RankHandle::Bcast(std::span<uint8_t> data, int root) {
+  const int n = size();
+  if (n == 1) return;
+  // Binomial tree rooted at `root`: rank r's virtual id is (r - root) mod n.
+  const int vid = (rank_ - root + n) % n;
+  constexpr int kBcastTag = 0x6bc;
+
+  // Receive from the parent: the parent differs in the lowest set bit.
+  int mask = 1;
+  while (mask < n) {
+    if ((vid & mask) != 0) {
+      const int parent = ((vid - mask) + root) % n;
+      Recv(parent, data, kBcastTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Forward to children vid + m for every m below our lowest set bit.
+  mask >>= 1;
+  while (mask > 0) {
+    const int child_vid = vid + mask;
+    if (child_vid < n) {
+      Send((child_vid + root) % n, data, kBcastTag);
+    }
+    mask >>= 1;
+  }
+}
+
+void RankHandle::Scatter(std::span<const uint8_t> send,
+                         std::span<uint8_t> recv, int root) {
+  const int n = size();
+  constexpr int kScatterTag = 0x5ca;
+  if (rank_ == root) {
+    NVM_CHECK(send.size() == recv.size() * static_cast<size_t>(n));
+    for (int dst = 0; dst < n; ++dst) {
+      auto block = send.subspan(static_cast<size_t>(dst) * recv.size(),
+                                recv.size());
+      if (dst == rank_) {
+        std::memcpy(recv.data(), block.data(), block.size());
+      } else {
+        Send(dst, block, kScatterTag);
+      }
+    }
+  } else {
+    Recv(root, recv, kScatterTag);
+  }
+}
+
+void RankHandle::Gather(std::span<const uint8_t> send,
+                        std::span<uint8_t> recv, int root) {
+  const int n = size();
+  constexpr int kGatherTag = 0x9a7;
+  if (rank_ == root) {
+    NVM_CHECK(recv.size() == send.size() * static_cast<size_t>(n));
+    std::memcpy(recv.data() + static_cast<size_t>(rank_) * send.size(),
+                send.data(), send.size());
+    for (int src = 0; src < n; ++src) {
+      if (src == rank_) continue;
+      Recv(src,
+           recv.subspan(static_cast<size_t>(src) * send.size(), send.size()),
+           kGatherTag);
+    }
+  } else {
+    Send(root, send, kGatherTag);
+  }
+}
+
+void RankHandle::Allgather(std::span<const uint8_t> send,
+                           std::span<uint8_t> recv) {
+  NVM_CHECK(recv.size() == send.size() * static_cast<size_t>(size()));
+  Gather(send, recv, 0);
+  Bcast(recv, 0);
+}
+
+void RankHandle::Alltoallv(std::span<const uint8_t> send,
+                           std::span<const uint64_t> send_counts,
+                           std::vector<uint8_t>* recv,
+                           std::vector<uint64_t>* recv_counts) {
+  const int n = size();
+  NVM_CHECK(send_counts.size() == static_cast<size_t>(n));
+  constexpr int kSizeTag = 0xa2a;
+  constexpr int kDataTag = 0xa2b;
+
+  // Post all sends first (sends are buffered, so no rendezvous deadlock),
+  // then drain receives in source-rank order.
+  uint64_t offset = 0;
+  uint64_t my_offset = 0;
+  for (int dst = 0; dst < n; ++dst) {
+    const uint64_t count = send_counts[static_cast<size_t>(dst)];
+    if (dst == rank_) {
+      my_offset = offset;
+    } else {
+      SendVal<uint64_t>(dst, count, kSizeTag);
+      if (count > 0) Send(dst, send.subspan(offset, count), kDataTag);
+    }
+    offset += count;
+  }
+  NVM_CHECK(offset == send.size(), "send_counts do not cover the buffer");
+
+  recv_counts->assign(static_cast<size_t>(n), 0);
+  recv->clear();
+  for (int src = 0; src < n; ++src) {
+    uint64_t count;
+    if (src == rank_) {
+      count = send_counts[static_cast<size_t>(rank_)];
+      recv->insert(recv->end(), send.begin() + static_cast<long>(my_offset),
+                   send.begin() + static_cast<long>(my_offset + count));
+    } else {
+      count = RecvVal<uint64_t>(src, kSizeTag);
+      const size_t at = recv->size();
+      recv->resize(at + count);
+      if (count > 0) {
+        Recv(src, {recv->data() + at, count}, kDataTag);
+      }
+    }
+    (*recv_counts)[static_cast<size_t>(src)] = count;
+  }
+}
+
+}  // namespace nvm::minimpi

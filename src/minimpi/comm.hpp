@@ -1,0 +1,158 @@
+// minimpi — the message-passing subset the paper's kernels need (MPI-style
+// pt2pt plus Bcast/Scatter/Gather/Allgather/Allreduce/Barrier), running
+// over the simulated cluster.
+//
+// Data really moves between per-rank mailboxes (memcpy through a queue);
+// time is charged on the modelled network, so same-node ranks communicate
+// at loopback speed and cross-node traffic contends on NICs.  Broadcast
+// uses a binomial tree, matching real MPI implementations closely enough
+// for the paper's Broadcast-B stage.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "sim/sync.hpp"
+
+namespace nvm::minimpi {
+
+class Comm;
+
+// Per-rank endpoint; bind one per process via Comm::rank_handle().
+class RankHandle {
+ public:
+  RankHandle() = default;
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- point to point (blocking, tagged) ---
+  void Send(int dst, std::span<const uint8_t> data, int tag = 0);
+  void Recv(int src, std::span<uint8_t> out, int tag = 0);
+
+  template <typename T>
+  void SendVal(int dst, const T& v, int tag = 0) {
+    Send(dst, {reinterpret_cast<const uint8_t*>(&v), sizeof(T)}, tag);
+  }
+  template <typename T>
+  T RecvVal(int src, int tag = 0) {
+    T v;
+    Recv(src, {reinterpret_cast<uint8_t*>(&v), sizeof(T)}, tag);
+    return v;
+  }
+
+  // --- collectives (all ranks must participate) ---
+  void Barrier();
+  // Binomial-tree broadcast of `data` from `root`.
+  void Bcast(std::span<uint8_t> data, int root);
+  // Root scatters equally sized blocks of `send`; everyone receives into
+  // `recv` (recv.size() == send.size() / size()).
+  void Scatter(std::span<const uint8_t> send, std::span<uint8_t> recv,
+               int root);
+  // Inverse of Scatter.
+  void Gather(std::span<const uint8_t> send, std::span<uint8_t> recv,
+              int root);
+  void Allgather(std::span<const uint8_t> send, std::span<uint8_t> recv);
+
+  // Variable-size all-to-all (the sample-sort exchange): rank r's block
+  // for rank d is send[offset(d) .. offset(d)+send_counts[d]) where
+  // offset is the prefix sum of send_counts.  On return, *recv holds the
+  // incoming blocks concatenated in source-rank order and *recv_counts
+  // their sizes.
+  void Alltoallv(std::span<const uint8_t> send,
+                 std::span<const uint64_t> send_counts,
+                 std::vector<uint8_t>* recv,
+                 std::vector<uint64_t>* recv_counts);
+
+  // Elementwise reduction of a T vector across ranks, result everywhere.
+  template <typename T, typename Op>
+  void Allreduce(std::span<T> values, Op op);
+
+  template <typename T>
+  T AllreduceSum(T value) {
+    Allreduce(std::span<T>(&value, 1), [](T a, T b) { return a + b; });
+    return value;
+  }
+
+ private:
+  friend class Comm;
+  RankHandle(Comm* comm, int rank) : comm_(comm), rank_(rank) {}
+  Comm* comm_ = nullptr;
+  int rank_ = 0;
+};
+
+class Comm {
+ public:
+  // placement[rank] = node id; must match the cluster run's placement.
+  Comm(net::Cluster& cluster, std::vector<int> placement);
+
+  int size() const { return static_cast<int>(placement_.size()); }
+  int node_of(int rank) const {
+    return placement_.at(static_cast<size_t>(rank));
+  }
+  net::Cluster& cluster() { return cluster_; }
+
+  RankHandle rank_handle(int rank) { return RankHandle(this, rank); }
+
+  // Block distribution helper: the half-open element range owned by
+  // `rank` when `n` elements are divided over `size` ranks.
+  static std::pair<uint64_t, uint64_t> BlockRange(uint64_t n, int size,
+                                                  int rank);
+
+ private:
+  friend class RankHandle;
+
+  struct Message {
+    std::vector<uint8_t> data;
+    int64_t arrival_ns;  // virtual time the last byte lands
+  };
+  struct MailboxKey {
+    int dst;
+    int src;
+    int tag;
+    auto operator<=>(const MailboxKey&) const = default;
+  };
+
+  void Send(sim::VirtualClock& clock, int src, int dst, int tag,
+            std::span<const uint8_t> data);
+  void Recv(sim::VirtualClock& clock, int dst, int src, int tag,
+            std::span<uint8_t> out);
+
+  net::Cluster& cluster_;
+  std::vector<int> placement_;
+  sim::VirtualBarrier barrier_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<MailboxKey, std::deque<Message>> mailboxes_;
+};
+
+template <typename T, typename Op>
+void RankHandle::Allreduce(std::span<T> values, Op op) {
+  // Gather-to-0 + reduce + broadcast: simple and adequate at these scales.
+  const int n = size();
+  if (n == 1) return;
+  const size_t bytes = values.size() * sizeof(T);
+  if (rank_ == 0) {
+    std::vector<T> incoming(values.size());
+    for (int src = 1; src < n; ++src) {
+      Recv(src, {reinterpret_cast<uint8_t*>(incoming.data()), bytes},
+           /*tag=*/0x7ed);
+      for (size_t i = 0; i < values.size(); ++i) {
+        values[i] = op(values[i], incoming[i]);
+      }
+    }
+  } else {
+    Send(0, {reinterpret_cast<const uint8_t*>(values.data()), bytes},
+         /*tag=*/0x7ed);
+  }
+  Bcast({reinterpret_cast<uint8_t*>(values.data()), bytes}, 0);
+}
+
+}  // namespace nvm::minimpi

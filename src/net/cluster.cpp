@@ -1,0 +1,128 @@
+#include "net/cluster.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace nvm::net {
+
+Node::Node(int id, const ClusterConfig& config, bool has_ssd)
+    : id_(id),
+      dram_budget_(config.dram_bytes_per_node),
+      dram_(("dram" + std::to_string(id)), sim::Ddr3_1600()) {
+  if (has_ssd) {
+    ssd_ = std::make_unique<sim::SsdDevice>("ssd" + std::to_string(id),
+                                            config.ssd_profile);
+  }
+}
+
+Status Node::ReserveDram(uint64_t bytes) {
+  uint64_t used = dram_used_.load(std::memory_order_relaxed);
+  while (true) {
+    if (used + bytes > dram_budget_) {
+      return OutOfSpace("node " + std::to_string(id_) + ": DRAM budget " +
+                        FormatBytes(dram_budget_) + " exceeded (used " +
+                        FormatBytes(used) + ", requested " +
+                        FormatBytes(bytes) + ")");
+    }
+    if (dram_used_.compare_exchange_weak(used, used + bytes,
+                                         std::memory_order_relaxed)) {
+      return OkStatus();
+    }
+  }
+}
+
+void Node::ReleaseDram(uint64_t bytes) {
+  NVM_CHECK(dram_used_.load(std::memory_order_relaxed) >= bytes);
+  dram_used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Node& ProcessEnv::node() { return cluster->node(node_id); }
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), network_(config_.num_nodes, config_.network) {
+  nodes_.reserve(config_.num_nodes);
+  for (size_t i = 0; i < config_.num_nodes; ++i) {
+    const bool has_ssd =
+        config_.all_nodes_have_ssd ||
+        std::find(config_.ssd_nodes.begin(), config_.ssd_nodes.end(),
+                  static_cast<int>(i)) != config_.ssd_nodes.end();
+    nodes_.push_back(
+        std::make_unique<Node>(static_cast<int>(i), config_, has_ssd));
+  }
+}
+
+std::vector<int> Cluster::BlockPlacement(size_t procs_per_node,
+                                         size_t num_nodes) const {
+  NVM_CHECK(num_nodes <= nodes_.size());
+  std::vector<int> placement;
+  placement.reserve(procs_per_node * num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    for (size_t p = 0; p < procs_per_node; ++p) {
+      placement.push_back(static_cast<int>(n));
+    }
+  }
+  return placement;
+}
+
+int64_t Cluster::RunProcesses(const std::vector<int>& placement,
+                              const std::function<void(ProcessEnv&)>& body) {
+  const size_t nprocs = placement.size();
+  NVM_CHECK(nprocs > 0);
+  sim::VirtualBarrier barrier(nprocs);
+  sim::RealPacer pacer(nprocs);
+  std::vector<sim::ExecutionContext> contexts(nprocs);
+  std::vector<std::thread> threads;
+  threads.reserve(nprocs);
+
+  for (size_t rank = 0; rank < nprocs; ++rank) {
+    contexts[rank].node_id = placement[rank];
+    contexts[rank].rank = static_cast<int>(rank);
+    contexts[rank].name = "proc" + std::to_string(rank);
+    threads.emplace_back([&, rank] {
+      sim::SetCurrentContext(&contexts[rank]);
+      ProcessEnv env;
+      env.cluster = this;
+      env.rank = static_cast<int>(rank);
+      env.node_id = placement[rank];
+      env.nprocs = nprocs;
+      env.clock = &contexts[rank].clock;
+      env.barrier = &barrier;
+      env.pacer = &pacer;
+      body(env);
+      sim::SetCurrentContext(nullptr);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  int64_t makespan = 0;
+  for (const auto& ctx : contexts) {
+    makespan = std::max(makespan, ctx.clock.now());
+  }
+  return makespan;
+}
+
+uint64_t Cluster::TotalSsdBytesRead() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node->has_ssd()) total += node->ssd().host_bytes_read();
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalSsdBytesWritten() const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node->has_ssd()) total += node->ssd().host_bytes_written();
+  }
+  return total;
+}
+
+void Cluster::ResetStats() {
+  network_.ResetStats();
+  for (auto& node : nodes_) {
+    if (node->has_ssd()) node->ssd().ResetStats();
+    node->dram().channel().Reset();
+  }
+}
+
+}  // namespace nvm::net

@@ -1,0 +1,123 @@
+// The simulated cluster: nodes with DRAM (and optionally an SSD), wired
+// together by a modelled network, hosting "processes" that are real OS
+// threads carrying per-process virtual clocks.
+//
+// This substitutes for the paper's 16-node / 128-core HAL testbed: the
+// process body performs real computation on real data while all device and
+// network costs are charged to virtual time (see sim/clock.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/status.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+#include "sim/device.hpp"
+#include "sim/sync.hpp"
+
+namespace nvm::net {
+
+struct ClusterConfig {
+  size_t num_nodes = 16;
+  size_t cores_per_node = 8;
+  // Scaled-down per-node DRAM budget (paper: 8 GiB; default scale 1/128).
+  uint64_t dram_bytes_per_node = 64_MiB;
+  // SSD model for benefactor nodes.  Nodes listed in `ssd_nodes` get a
+  // device; an empty list equips every node (the paper's L-SSD setups).
+  sim::DeviceProfile ssd_profile = sim::IntelX25E();
+  std::vector<int> ssd_nodes;
+  bool all_nodes_have_ssd = true;
+  NetworkProfile network;
+  sim::CpuModel cpu;
+};
+
+class Node {
+ public:
+  Node(int id, const ClusterConfig& config, bool has_ssd);
+
+  int id() const { return id_; }
+  sim::DramDevice& dram() { return dram_; }
+  bool has_ssd() const { return ssd_ != nullptr; }
+  sim::SsdDevice& ssd() {
+    NVM_CHECK(ssd_ != nullptr, "node %d has no SSD", id_);
+    return *ssd_;
+  }
+
+  uint64_t dram_budget() const { return dram_budget_; }
+  uint64_t dram_used() const {
+    return dram_used_.load(std::memory_order_relaxed);
+  }
+
+  // Reserve/release node DRAM; mirrors the paper's mlock()-based fencing of
+  // per-node memory.  Fails with OUT_OF_SPACE when the budget is exceeded.
+  Status ReserveDram(uint64_t bytes);
+  void ReleaseDram(uint64_t bytes);
+
+ private:
+  int id_;
+  uint64_t dram_budget_;
+  std::atomic<uint64_t> dram_used_{0};
+  sim::DramDevice dram_;
+  std::unique_ptr<sim::SsdDevice> ssd_;
+};
+
+class Cluster;
+
+// Handed to every process body.
+struct ProcessEnv {
+  Cluster* cluster = nullptr;
+  int rank = 0;
+  int node_id = 0;
+  size_t nprocs = 0;
+  sim::VirtualClock* clock = nullptr;
+  sim::VirtualBarrier* barrier = nullptr;  // spans all ranks of this run
+  sim::RealPacer* pacer = nullptr;         // real-time-only rendezvous
+
+  Node& node();
+  // Convenience: barrier across all processes of the run, syncing clocks.
+  void Barrier() { barrier->Arrive(*clock); }
+  // Align host-thread progress without touching virtual time (see
+  // sim::RealPacer).
+  void Pace() { pacer->Arrive(); }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  const ClusterConfig& config() const { return config_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  Node& node(int id) { return *nodes_.at(static_cast<size_t>(id)); }
+  Network& network() { return network_; }
+  const sim::CpuModel& cpu() const { return config_.cpu; }
+
+  // Round-robin placement of `procs_per_node * num_nodes` ranks over the
+  // first `num_nodes` nodes, densely: ranks [0, p) on node 0, etc. —
+  // matching the paper's (x:y:z) notation where x = procs/node, y = nodes.
+  std::vector<int> BlockPlacement(size_t procs_per_node,
+                                  size_t num_nodes) const;
+
+  // Run one process per entry of `placement` (placement[rank] = node id).
+  // Returns the maximum final virtual clock across processes — the job
+  // makespan in modelled ns.
+  int64_t RunProcesses(const std::vector<int>& placement,
+                       const std::function<void(ProcessEnv&)>& body);
+
+  // Total SSD bytes read+written across all nodes (for traffic tables).
+  uint64_t TotalSsdBytesRead() const;
+  uint64_t TotalSsdBytesWritten() const;
+
+  void ResetStats();
+
+ private:
+  ClusterConfig config_;
+  Network network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace nvm::net

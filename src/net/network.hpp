@@ -1,0 +1,53 @@
+// Modelled interconnect between simulated nodes.
+//
+// Each node owns one NIC, modelled as a sim::Resource.  A transfer from A to
+// B reserves matching intervals on both NICs and adds the one-way wire
+// latency, so both endpoint bottlenecks and fan-in contention (many clients
+// hammering one benefactor) emerge naturally.  Defaults model the HAL
+// cluster's bonded dual gigabit Ethernet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/resource.hpp"
+
+namespace nvm::net {
+
+struct NetworkProfile {
+  // Bonded dual GigE: ~2 Gbit/s raw; ~230 MB/s effective after framing/TCP.
+  double nic_bw_mbps = 230.0;
+  int64_t wire_latency_ns = 60'000;   // one-way, kernel stack included
+  // Same-node (loopback) transfers bypass the NIC at memory-copy speed.
+  double loopback_bw_mbps = 3000.0;
+  int64_t loopback_latency_ns = 5'000;
+};
+
+class Network {
+ public:
+  Network(size_t num_nodes, NetworkProfile profile = {});
+
+  // Charge a `bytes`-sized message from src to dst to `clock`.
+  void Transfer(sim::VirtualClock& clock, int src_node, int dst_node,
+                uint64_t bytes);
+
+  const NetworkProfile& profile() const { return profile_; }
+  size_t num_nodes() const { return nics_.size(); }
+
+  uint64_t bytes_transferred() const { return bytes_transferred_.value(); }
+  uint64_t remote_bytes() const { return remote_bytes_.value(); }
+  sim::Resource& nic(int node) { return *nics_.at(static_cast<size_t>(node)); }
+
+  void ResetStats();
+
+ private:
+  NetworkProfile profile_;
+  std::vector<std::unique_ptr<sim::Resource>> nics_;
+  Counter bytes_transferred_;  // includes loopback
+  Counter remote_bytes_;       // NIC-crossing only
+};
+
+}  // namespace nvm::net

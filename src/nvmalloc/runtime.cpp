@@ -1,0 +1,308 @@
+#include "nvmalloc/runtime.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "sim/clock.hpp"
+
+namespace nvm {
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x31544B434D564EULL;  // "NVMCKT1"
+
+struct CheckpointHeader {
+  uint64_t magic = kCheckpointMagic;
+  uint64_t n_dram = 0;
+  uint64_t n_nvm = 0;
+  uint64_t linked = 0;
+  // Followed by n_dram + n_nvm little-endian u64 segment sizes.
+};
+
+}  // namespace
+
+NvmallocRuntime::NvmallocRuntime(store::AggregateStore& store, int node_id,
+                                 NvmallocConfig config)
+    : store_(store),
+      node_id_(node_id),
+      config_(config),
+      mount_(store, node_id, config.fuse),
+      pool_(config.page_pool_bytes / NvmRegion::kPageBytes) {}
+
+std::string NvmallocRuntime::FreshFileName() {
+  // Internal names, invisible to the application (paper §III-C: "the
+  // client need not be aware of the file name").
+  return "/nvmalloc/node" + std::to_string(node_id_) + "/var" +
+         std::to_string(next_var_id_++);
+}
+
+namespace {
+std::string PersistentFileName(const std::string& name) {
+  // Node-independent namespace: any job on any node can re-attach.
+  return "/nvmalloc/persistent/" + name;
+}
+}  // namespace
+
+StatusOr<NvmRegion*> NvmallocRuntime::SsdMalloc(uint64_t bytes,
+                                                SsdMallocOptions opts) {
+  if (bytes == 0) return InvalidArgument("ssdmalloc of zero bytes");
+  if (opts.persistent && opts.persist_name.empty()) {
+    return InvalidArgument("persistent ssdmalloc needs a persist_name");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (opts.shared) {
+    NVM_CHECK(!opts.shared_name.empty(),
+              "shared ssdmalloc needs a shared_name");
+    auto it = shared_.find(opts.shared_name);
+    if (it != shared_.end()) {
+      if (it->second.region->size_bytes() != bytes) {
+        return InvalidArgument("shared region '" + opts.shared_name +
+                               "' exists with different size");
+      }
+      ++it->second.refcount;
+      return it->second.region;
+    }
+  }
+
+  std::string name;
+  if (opts.persistent) {
+    name = PersistentFileName(opts.persist_name);
+  } else if (opts.shared) {
+    name = "/nvmalloc/node" + std::to_string(node_id_) + "/shared/" +
+           opts.shared_name;
+  } else {
+    name = FreshFileName();
+  }
+  NVM_ASSIGN_OR_RETURN(fuselite::FileHandle file,
+                       mount_.Create(name, bytes));
+  auto region = std::make_unique<NvmRegion>(
+      mount_, pool_, file, bytes, opts.shared, config_.page_fault_ns);
+  region->set_persistent(opts.persistent);
+  mount_.cache().SetAdvice(file.id(), opts.advice);
+  NvmRegion* raw = region.get();
+  regions_.push_back(std::move(region));
+  if (opts.shared) {
+    shared_[opts.shared_name] = SharedEntry{raw, 1};
+  }
+  return raw;
+}
+
+StatusOr<NvmRegion*> NvmallocRuntime::OpenPersistent(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NVM_ASSIGN_OR_RETURN(fuselite::FileHandle file,
+                       mount_.Open(PersistentFileName(name)));
+  NVM_ASSIGN_OR_RETURN(store::FileInfo info, file.Stat());
+  auto region = std::make_unique<NvmRegion>(
+      mount_, pool_, file, info.size, /*shared=*/false,
+      config_.page_fault_ns);
+  region->set_persistent(true);
+  NvmRegion* raw = region.get();
+  regions_.push_back(std::move(region));
+  return raw;
+}
+
+Status NvmallocRuntime::DropPersistent(const std::string& name) {
+  return mount_.Unlink(PersistentFileName(name));
+}
+
+Status NvmallocRuntime::SsdFree(NvmRegion* region) {
+  if (region == nullptr) return InvalidArgument("ssdfree(nullptr)");
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (region->persistent()) {
+    // Lifetime extends past the job: sync instead of unlink.
+    NVM_RETURN_IF_ERROR(region->Sync());
+    region->Invalidate();
+    for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+      if (it->get() == region) {
+        regions_.erase(it);
+        return OkStatus();
+      }
+    }
+    return InvalidArgument("ssdfree of a region this runtime does not own");
+  }
+
+  if (region->shared()) {
+    for (auto it = shared_.begin(); it != shared_.end(); ++it) {
+      if (it->second.region == region) {
+        if (--it->second.refcount > 0) return OkStatus();
+        shared_.erase(it);
+        break;
+      }
+    }
+  }
+
+  auto& clock = sim::CurrentClock();
+  // munmap drops the mapping without persisting; the backing file goes
+  // with it (checkpointed chunks survive through their own refcounts).
+  region->Invalidate();
+  NVM_RETURN_IF_ERROR(mount_.cache().Drop(clock, region->file_id()));
+  NVM_RETURN_IF_ERROR(
+      mount_.client().Unlink(clock, region->file_id()));
+  for (auto it = regions_.begin(); it != regions_.end(); ++it) {
+    if (it->get() == region) {
+      regions_.erase(it);
+      return OkStatus();
+    }
+  }
+  return InvalidArgument("ssdfree of a region this runtime does not own");
+}
+
+StatusOr<CheckpointInfo> NvmallocRuntime::SsdCheckpoint(
+    const CheckpointSpec& spec, const std::string& name) {
+  auto& clock = sim::CurrentClock();
+  const int64_t t0 = clock.now();
+  const uint64_t chunk = mount_.client().config().chunk_bytes;
+  CheckpointInfo info;
+
+  NVM_ASSIGN_OR_RETURN(fuselite::FileHandle file, mount_.Create(name));
+
+  // Header chunk: magic, counts, then all segment sizes.
+  std::vector<uint8_t> header(chunk, 0);
+  CheckpointHeader h;
+  h.n_dram = spec.dram.size();
+  h.n_nvm = spec.nvm.size();
+  h.linked = spec.link_nvm ? 1 : 0;
+  std::memcpy(header.data(), &h, sizeof(h));
+  uint64_t* sizes = reinterpret_cast<uint64_t*>(header.data() + sizeof(h));
+  NVM_CHECK(sizeof(h) + (spec.dram.size() + spec.nvm.size()) * 8 <= chunk,
+            "too many checkpoint segments for one header chunk");
+  size_t si = 0;
+  for (const auto& seg : spec.dram) sizes[si++] = seg.bytes;
+  for (const auto* region : spec.nvm) sizes[si++] = region->size_bytes();
+  NVM_RETURN_IF_ERROR(file.Write(0, header));
+
+  // DRAM segments, each starting on a chunk boundary so that linked NVM
+  // chunks can follow without copying.
+  uint64_t offset = chunk;
+  for (const auto& seg : spec.dram) {
+    NVM_RETURN_IF_ERROR(file.Write(
+        offset, {static_cast<const uint8_t*>(seg.data), seg.bytes}));
+    info.dram_bytes_copied += seg.bytes;
+    offset = RoundUp(offset + seg.bytes, chunk);
+  }
+  // Make the DRAM part durable and the file chunk-aligned before linking.
+  NVM_RETURN_IF_ERROR(file.Sync());
+  NVM_RETURN_IF_ERROR(file.Fallocate(offset));
+
+  for (NvmRegion* region : spec.nvm) {
+    // The store must hold the variable's current bytes before we share
+    // its chunks.
+    NVM_RETURN_IF_ERROR(region->Sync());
+    if (spec.link_nvm) {
+      NVM_ASSIGN_OR_RETURN(uint64_t link_off,
+                           mount_.client().LinkFileChunks(
+                               clock, file.id(), region->file_id()));
+      NVM_CHECK(link_off == offset,
+                "checkpoint layout drift: linked at %llu, expected %llu",
+                static_cast<unsigned long long>(link_off),
+                static_cast<unsigned long long>(offset));
+      info.nvm_bytes_linked += region->size_bytes();
+    } else {
+      // Ablation baseline: copy the variable's bytes like DRAM state.
+      std::vector<uint8_t> buf(chunk);
+      for (uint64_t pos = 0; pos < region->size_bytes(); pos += chunk) {
+        const uint64_t n = std::min(chunk, region->size_bytes() - pos);
+        NVM_RETURN_IF_ERROR(mount_.cache().Read(
+            clock, region->file_id(), pos, {buf.data(), n}));
+        NVM_RETURN_IF_ERROR(file.Write(offset + pos, {buf.data(), n}));
+      }
+      info.nvm_bytes_copied += region->size_bytes();
+    }
+    offset = RoundUp(offset + region->size_bytes(), chunk);
+    if (!spec.link_nvm) {
+      NVM_RETURN_IF_ERROR(file.Fallocate(offset));
+    }
+  }
+
+  NVM_RETURN_IF_ERROR(file.Sync());
+  info.duration_ns = clock.now() - t0;
+  return info;
+}
+
+Status NvmallocRuntime::SsdRestart(const std::string& name,
+                                   const RestoreSpec& spec) {
+  auto& clock = sim::CurrentClock();
+  const uint64_t chunk = mount_.client().config().chunk_bytes;
+  NVM_ASSIGN_OR_RETURN(fuselite::FileHandle file, mount_.Open(name));
+
+  std::vector<uint8_t> header(chunk);
+  NVM_RETURN_IF_ERROR(file.Read(0, header));
+  CheckpointHeader h;
+  std::memcpy(&h, header.data(), sizeof(h));
+  if (h.magic != kCheckpointMagic) {
+    return IoError("'" + name + "' is not an NVMalloc checkpoint");
+  }
+  if (h.n_dram != spec.dram.size() || h.n_nvm != spec.nvm.size()) {
+    return InvalidArgument("restore spec shape does not match checkpoint");
+  }
+  const uint64_t* sizes =
+      reinterpret_cast<const uint64_t*>(header.data() + sizeof(h));
+  size_t si = 0;
+  for (const auto& seg : spec.dram) {
+    if (sizes[si++] != seg.bytes) {
+      return InvalidArgument("DRAM segment size mismatch on restore");
+    }
+  }
+  for (const auto* region : spec.nvm) {
+    if (sizes[si++] != region->size_bytes()) {
+      return InvalidArgument("NVM region size mismatch on restore");
+    }
+  }
+
+  uint64_t offset = chunk;
+  for (const auto& seg : spec.dram) {
+    NVM_RETURN_IF_ERROR(
+        file.Read(offset, {static_cast<uint8_t*>(seg.data), seg.bytes}));
+    offset = RoundUp(offset + seg.bytes, chunk);
+  }
+  std::vector<uint8_t> buf(chunk);
+  for (NvmRegion* region : spec.nvm) {
+    for (uint64_t pos = 0; pos < region->size_bytes(); pos += chunk) {
+      const uint64_t n = std::min(chunk, region->size_bytes() - pos);
+      NVM_RETURN_IF_ERROR(file.Read(offset + pos, {buf.data(), n}));
+      NVM_RETURN_IF_ERROR(region->Write(pos, {buf.data(), n}));
+    }
+    offset = RoundUp(offset + region->size_bytes(), chunk);
+  }
+  (void)clock;
+  return OkStatus();
+}
+
+StatusOr<NvmallocRuntime::DrainResult> NvmallocRuntime::DrainCheckpoint(
+    const std::string& name, const DrainSink& sink) {
+  // The drain is the background drainer process's work: it reads the
+  // checkpoint from the store and pushes it to the sink on its own clock,
+  // starting "now" but never charging the application.
+  sim::VirtualClock background(sim::CurrentClock().now());
+  NVM_ASSIGN_OR_RETURN(store::FileId id,
+                       mount_.client().Open(background, name));
+  NVM_ASSIGN_OR_RETURN(store::FileInfo info,
+                       mount_.client().Stat(background, id));
+  const uint64_t chunk = mount_.client().config().chunk_bytes;
+
+  DrainResult result;
+  std::vector<uint8_t> buf(chunk);
+  for (uint64_t pos = 0; pos < info.size; pos += chunk) {
+    const uint64_t n = std::min(chunk, info.size - pos);
+    NVM_RETURN_IF_ERROR(
+        mount_.client().ReadChunk(background, id,
+                                  static_cast<uint32_t>(pos / chunk), buf));
+    NVM_RETURN_IF_ERROR(sink(background, pos, {buf.data(), n}));
+    result.bytes += n;
+  }
+  result.background_ns = background.now();
+  return result;
+}
+
+Status NvmallocRuntime::ReleaseCheckpoint(const std::string& name) {
+  return mount_.Unlink(name);
+}
+
+size_t NvmallocRuntime::live_regions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return regions_.size();
+}
+
+}  // namespace nvm

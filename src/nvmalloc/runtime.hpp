@@ -1,0 +1,166 @@
+// NvmallocRuntime — the per-node NVMalloc library instance.
+//
+// This is the paper's public API surface:
+//   ssdmalloc()     -> SsdMalloc():   allocate a memory region backed by a
+//                                     file on the aggregate NVM store,
+//                                     optionally shared by the node's
+//                                     processes (the shared-mmap flag),
+//   ssdfree()       -> SsdFree():     unmap and delete the backing file,
+//   ssdcheckpoint() -> SsdCheckpoint(): dump DRAM state + link NVM
+//                                     variables into one restart file with
+//                                     copy-on-write chunk sharing,
+//                     SsdRestart():   rebuild state from a restart file.
+//
+// One runtime per compute node, shared by all of the node's processes —
+// it owns the node's fuselite mount (the FUSE client of the paper) and the
+// PagePool bounding mapped-in pages.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fuselite/mount.hpp"
+#include "nvmalloc/region.hpp"
+
+namespace nvm {
+
+struct NvmallocConfig {
+  fuselite::FuseliteConfig fuse;
+  // DRAM the modelled OS grants to mapped-in NVM pages on this node.
+  uint64_t page_pool_bytes = 8_MiB;
+  // Cost of one page fault (trap + FUSE request dispatch).
+  int64_t page_fault_ns = 4'000;
+};
+
+struct SsdMallocOptions {
+  // Map a per-node shared backing file instead of a private one: all
+  // processes of the node calling SsdMalloc with the same shared_name get
+  // the same region (paper Fig. 4's "-S" configurations).
+  bool shared = false;
+  std::string shared_name;
+  // Give the variable a lifetime beyond the allocating job (paper §III-C:
+  // "one can imagine associating a lifetime with these memory-mapped
+  // variables... such a scheme can aid data sharing between a workflow of
+  // jobs or a simulation and its in-situ analysis").  A persistent
+  // variable's backing file survives SsdFree (after a sync) and can be
+  // re-attached — from any node — with OpenPersistent(name).
+  bool persistent = false;
+  std::string persist_name;
+  // Access-pattern hint for the node's chunk cache (paper §III-B's
+  // write-once-read-many placement idea).
+  fuselite::AccessAdvice advice = fuselite::AccessAdvice::kNormal;
+};
+
+// What to save: raw DRAM segments are copied into the checkpoint; NVM
+// regions are linked zero-copy (unless link_nvm is disabled, the ablation
+// baseline that copies everything).
+struct CheckpointSpec {
+  struct DramSegment {
+    const void* data;
+    uint64_t bytes;
+  };
+  std::vector<DramSegment> dram;
+  std::vector<NvmRegion*> nvm;
+  bool link_nvm = true;
+};
+
+struct CheckpointInfo {
+  uint64_t dram_bytes_copied = 0;
+  uint64_t nvm_bytes_linked = 0;   // shared via refcount, not moved
+  uint64_t nvm_bytes_copied = 0;   // only when link_nvm == false
+  int64_t duration_ns = 0;         // virtual time spent checkpointing
+};
+
+struct RestoreSpec {
+  struct DramSegment {
+    void* data;
+    uint64_t bytes;
+  };
+  std::vector<DramSegment> dram;
+  std::vector<NvmRegion*> nvm;
+};
+
+class NvmallocRuntime {
+ public:
+  NvmallocRuntime(store::AggregateStore& store, int node_id,
+                  NvmallocConfig config = {});
+
+  int node_id() const { return node_id_; }
+  fuselite::MountPoint& mount() { return mount_; }
+  PagePool& pool() { return pool_; }
+  const NvmallocConfig& config() const { return config_; }
+
+  // Allocate `bytes` from the aggregate NVM store.  The returned region is
+  // owned by the runtime; release it with SsdFree.
+  StatusOr<NvmRegion*> SsdMalloc(uint64_t bytes, SsdMallocOptions opts = {});
+
+  // Re-attach a persistent variable created (possibly by another job or on
+  // another node) with SsdMalloc({.persistent=true, .persist_name=name}).
+  StatusOr<NvmRegion*> OpenPersistent(const std::string& name);
+
+  // Delete a persistent variable's backing file for good (its data is
+  // otherwise retained by the store indefinitely).
+  Status DropPersistent(const std::string& name);
+
+  // Unmap and (for the last sharer) delete the backing file.  Unless the
+  // region was checkpointed, its contents are gone — the paper's
+  // no-persistence-without-checkpoint contract.
+  Status SsdFree(NvmRegion* region);
+
+  // Write a restart file named `name` on the aggregate store containing
+  // the DRAM segments plus the (linked) NVM variables of `spec`.
+  StatusOr<CheckpointInfo> SsdCheckpoint(const CheckpointSpec& spec,
+                                         const std::string& name);
+
+  // Repopulate DRAM segments and NVM regions from a restart file.  Segment
+  // and region sizes must match the checkpointed layout.
+  Status SsdRestart(const std::string& name, const RestoreSpec& spec);
+
+  // Drain a checkpoint file from the aggregate store to external storage
+  // (paper §III-E / prior work: "checkpointing to such an intermediate
+  // device and draining to PFS in the background is an extremely viable
+  // alternative").  `sink(offset, bytes)` writes to the external target;
+  // the drain runs on a background virtual clock, so the caller's time is
+  // untouched.  Returns the bytes drained and the background completion
+  // time.
+  struct DrainResult {
+    uint64_t bytes = 0;
+    int64_t background_ns = 0;
+  };
+  using DrainSink = std::function<Status(
+      sim::VirtualClock& clock, uint64_t offset, std::span<const uint8_t>)>;
+  StatusOr<DrainResult> DrainCheckpoint(const std::string& name,
+                                        const DrainSink& sink);
+
+  // Delete a drained (or abandoned) checkpoint from the aggregate store,
+  // releasing its NVM space for the next timestep.
+  Status ReleaseCheckpoint(const std::string& name);
+
+  size_t live_regions() const;
+
+ private:
+  struct SharedEntry {
+    NvmRegion* region = nullptr;
+    int refcount = 0;
+  };
+
+  std::string FreshFileName();
+
+  store::AggregateStore& store_;
+  const int node_id_;
+  NvmallocConfig config_;
+  fuselite::MountPoint mount_;
+  PagePool pool_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<NvmRegion>> regions_;
+  std::unordered_map<std::string, SharedEntry> shared_;
+  uint64_t next_var_id_ = 0;
+};
+
+}  // namespace nvm

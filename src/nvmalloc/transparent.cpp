@@ -1,0 +1,274 @@
+#include "nvmalloc/transparent.hpp"
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <ucontext.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/log.hpp"
+#include "sim/clock.hpp"
+
+namespace nvm {
+namespace {
+
+constexpr uint64_t kPage = NvmRegion::kPageBytes;
+
+// Process-wide registry of mapped ranges and the SIGSEGV dispatcher.
+class FaultRegistry {
+ public:
+  static FaultRegistry& Instance() {
+    static FaultRegistry registry;
+    return registry;
+  }
+
+  void Register(uintptr_t start, uintptr_t end, TransparentMap* map) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ranges_[start] = Range{end, map};
+    EnsureHandlerInstalled();
+  }
+
+  void Unregister(uintptr_t start) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ranges_.erase(start);
+  }
+
+  TransparentMap* Find(uintptr_t addr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ranges_.upper_bound(addr);
+    if (it == ranges_.begin()) return nullptr;
+    --it;
+    return (addr < it->second.end) ? it->second.map : nullptr;
+  }
+
+ private:
+  struct Range {
+    uintptr_t end;
+    TransparentMap* map;
+  };
+
+  static void Handler(int signo, siginfo_t* info, void* ucontext) {
+    const auto addr = reinterpret_cast<uintptr_t>(info->si_addr);
+    TransparentMap* map = Instance().Find(addr);
+    bool handled = false;
+    if (map != nullptr) {
+#if defined(__x86_64__)
+      // Bit 1 of the page-fault error code distinguishes writes.
+      auto* uc = static_cast<ucontext_t*>(ucontext);
+      const bool is_write =
+          (uc->uc_mcontext.gregs[REG_ERR] & 0x2) != 0;
+#else
+      // Portable fallback: treat every fault as a write (conservatively
+      // grants RW and marks dirty; correctness preserved, write-back
+      // volume may be overstated on non-x86 hosts).
+      (void)ucontext;
+      const bool is_write = true;
+#endif
+      handled = map->HandleFault(info->si_addr, is_write);
+    }
+    if (!handled) {
+      // A genuine crash: fall back to the default action.
+      signal(signo, SIG_DFL);
+      raise(signo);
+    }
+  }
+
+  void EnsureHandlerInstalled() {
+    if (installed_) return;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &Handler;
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    NVM_CHECK(sigaction(SIGSEGV, &sa, nullptr) == 0);
+    installed_ = true;
+  }
+
+  std::mutex mutex_;
+  std::map<uintptr_t, Range> ranges_;
+  bool installed_ = false;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<TransparentMap>> TransparentMap::Create(
+    NvmallocRuntime& runtime, uint64_t bytes, Options options) {
+  NVM_ASSIGN_OR_RETURN(NvmRegion * region,
+                       runtime.SsdMalloc(bytes, options.alloc));
+  const uint64_t map_bytes = RoundUp(bytes, kPage);
+  void* base = mmap(nullptr, map_bytes, PROT_NONE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    (void)runtime.SsdFree(region);
+    return Internal("mmap failed for transparent mapping");
+  }
+  auto map = std::unique_ptr<TransparentMap>(new TransparentMap(
+      runtime, region, base, bytes, options.max_resident_pages));
+  FaultRegistry::Instance().Register(
+      reinterpret_cast<uintptr_t>(base),
+      reinterpret_cast<uintptr_t>(base) + map_bytes, map.get());
+  return map;
+}
+
+TransparentMap::TransparentMap(NvmallocRuntime& runtime, NvmRegion* region,
+                               void* base, uint64_t size,
+                               size_t max_resident)
+    : runtime_(runtime),
+      region_(region),
+      base_(static_cast<uint8_t*>(base)),
+      size_(size),
+      map_bytes_(RoundUp(size, kPage)),
+      max_resident_(std::max<size_t>(1, max_resident)),
+      states_(map_bytes_ / kPage, PageState::kAbsent) {
+  scratch_ = static_cast<uint8_t*>(mmap(
+      nullptr, kPage, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0));
+  NVM_CHECK(scratch_ != MAP_FAILED);
+}
+
+TransparentMap::~TransparentMap() {
+  (void)Sync();
+  FaultRegistry::Instance().Unregister(reinterpret_cast<uintptr_t>(base_));
+  munmap(base_, map_bytes_);
+  munmap(scratch_, kPage);
+  (void)runtime_.SsdFree(region_);
+}
+
+Status TransparentMap::WriteBackLocked(size_t page) {
+  if (states_[page] != PageState::kDirty) return OkStatus();
+  const uint64_t offset = page * kPage;
+  const uint64_t len = std::min(kPage, size_ - offset);
+
+  // Atomically steal the page out of the mapping before writing it back:
+  // the slot becomes PROT_NONE in one step, so a concurrent store either
+  // lands before the steal (and is included in the write-back) or faults
+  // and blocks on our mutex — never lost.  This mirrors what a kernel's
+  // TLB-shootdown-then-writeback does.
+  void* stolen = mremap(base_ + offset, kPage, kPage,
+                        MREMAP_MAYMOVE | MREMAP_FIXED, scratch_);
+  NVM_CHECK(stolen == scratch_, "mremap steal failed");
+  // The slot is now unmapped; remap it PROT_NONE so later faults route
+  // back here instead of crashing.
+  NVM_CHECK(mmap(base_ + offset, kPage, PROT_NONE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1,
+                 0) == base_ + offset);
+  states_[page] = PageState::kAbsent;
+
+  Status s = runtime_.mount().cache().Write(
+      sim::CurrentClock(), region_->file_id(), offset,
+      {static_cast<uint8_t*>(stolen), len});
+  // Reset the scratch slot for the next steal.
+  NVM_CHECK(mmap(scratch_, kPage, PROT_NONE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_FIXED, -1, 0) == scratch_);
+  return s;
+}
+
+Status TransparentMap::EvictOneLocked() {
+  while (fifo_head_ < fifo_.size()) {
+    const uint32_t victim = fifo_[fifo_head_++];
+    if (states_[victim] == PageState::kAbsent) continue;  // stale
+    if (states_[victim] == PageState::kDirty) {
+      NVM_RETURN_IF_ERROR(WriteBackLocked(victim));  // also unmaps
+    } else {
+      NVM_CHECK(mprotect(base_ + victim * kPage, kPage, PROT_NONE) == 0);
+      states_[victim] = PageState::kAbsent;
+    }
+    ++evictions_;
+    // Compact the FIFO backlog occasionally.
+    if (fifo_head_ > 4096 && fifo_head_ * 2 > fifo_.size()) {
+      fifo_.erase(fifo_.begin(),
+                  fifo_.begin() + static_cast<ptrdiff_t>(fifo_head_));
+      fifo_head_ = 0;
+    }
+    return OkStatus();
+  }
+  // Nothing evictable: every remaining entry was stale (its page already
+  // written back by Sync()).  Draining them corrected the residency
+  // bookkeeping, so the pending load may simply proceed.
+  return OkStatus();
+}
+
+Status TransparentMap::LoadPageLocked(size_t page, bool for_write) {
+  const size_t resident = fifo_.size() - fifo_head_;
+  if (resident >= max_resident_) {
+    NVM_RETURN_IF_ERROR(EvictOneLocked());
+  }
+  const uint64_t offset = page * kPage;
+  const uint64_t len = std::min(kPage, size_ - offset);
+
+  // Prepare the page's contents in a donor mapping, set the final
+  // protection there, then splice it into place atomically with mremap.
+  // Until the splice, every access to the slot faults and blocks on our
+  // mutex, so no store can slip in while the contents are in flight.
+  void* donor = mmap(nullptr, kPage, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  NVM_CHECK(donor != MAP_FAILED);
+  auto& clock = sim::CurrentClock();
+  clock.Advance(runtime_.config().page_fault_ns);
+  Status s = runtime_.mount().cache().Read(
+      clock, region_->file_id(), offset,
+      {static_cast<uint8_t*>(donor), len});
+  if (!s.ok()) {
+    munmap(donor, kPage);
+    return s;
+  }
+  if (!for_write) {
+    NVM_CHECK(mprotect(donor, kPage, PROT_READ) == 0);
+  }
+  NVM_CHECK(mremap(donor, kPage, kPage, MREMAP_MAYMOVE | MREMAP_FIXED,
+                   base_ + offset) == base_ + offset);
+  states_[page] = for_write ? PageState::kDirty : PageState::kClean;
+  fifo_.push_back(static_cast<uint32_t>(page));
+  ++faults_;
+  return OkStatus();
+}
+
+bool TransparentMap::HandleFault(void* addr, bool is_write) {
+  const auto offset =
+      static_cast<uint64_t>(static_cast<uint8_t*>(addr) - base_);
+  if (offset >= map_bytes_) return false;
+  const size_t page = offset / kPage;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (states_[page]) {
+    case PageState::kAbsent:
+      return LoadPageLocked(page, is_write).ok();
+    case PageState::kClean:
+      if (!is_write) {
+        // Raced with another thread that already loaded it.
+        return true;
+      }
+      // Write upgrade: grant RW and start tracking the page as dirty.
+      NVM_CHECK(mprotect(base_ + page * kPage, kPage,
+                         PROT_READ | PROT_WRITE) == 0);
+      states_[page] = PageState::kDirty;
+      sim::CurrentClock().Advance(runtime_.config().page_fault_ns);
+      return true;
+    case PageState::kDirty:
+      // Raced with a concurrent upgrade; retry the access.
+      return true;
+  }
+  return false;
+}
+
+Status TransparentMap::Sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Write-back steals each dirty page (leaving it absent); the next access
+  // refaults it — msync-like cost semantics.
+  for (size_t p = 0; p < states_.size(); ++p) {
+    NVM_RETURN_IF_ERROR(WriteBackLocked(p));
+  }
+  return runtime_.mount().cache().Flush(sim::CurrentClock(),
+                                        region_->file_id());
+}
+
+size_t TransparentMap::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = 0;
+  for (PageState s : states_) {
+    if (s != PageState::kAbsent) ++n;
+  }
+  return n;
+}
+
+}  // namespace nvm

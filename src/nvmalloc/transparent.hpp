@@ -1,0 +1,107 @@
+// TransparentMap — genuine pointer-transparent access to an NVM-backed
+// allocation, realised with mmap + a user-level page-fault handler.
+//
+// The paper's ssdmalloc() returns an address from mmap()ing a FUSE file;
+// plain loads and stores then fault 4 KB pages through the kernel.  A
+// kernel FUSE mount is unavailable in this environment, so we reproduce
+// the mechanism one level up, the way user-level DSM systems do:
+//
+//   * the region is an anonymous PROT_NONE mapping,
+//   * SIGSEGV on first touch loads the page from the fuselite chunk cache
+//     and reprotects it PROT_READ,
+//   * SIGSEGV on first store marks the page dirty and grants PROT_WRITE,
+//   * a FIFO residency cap evicts pages: dirty ones are written back
+//     through fuselite (and thence to the aggregate store), then the page
+//     reverts to PROT_NONE.
+//
+// The result is real byte-addressability on real pointers: `nvmvar[i] = x`
+// works on a plain double*.  Virtual time is charged on the same paths as
+// NvmRegion, so semantics match the deterministic engine.
+//
+// Caveat (documented design trade-off): the fault handler takes locks and
+// allocates, which POSIX does not sanction inside a signal handler.  This
+// is the standard practice in user-level paging systems (TreadMarks et
+// al.) and is safe here because faults only arise from application data
+// access, never from inside the allocator or cache (whose buffers live
+// outside any mapped region).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nvmalloc/runtime.hpp"
+
+namespace nvm {
+
+class TransparentMap {
+ public:
+  struct Options {
+    // Residency cap for this mapping (modelled OS page-cache share).
+    size_t max_resident_pages = 2048;
+    SsdMallocOptions alloc;
+  };
+
+  // Allocate `bytes` on the aggregate store and expose them as a mapped
+  // address range.
+  static StatusOr<std::unique_ptr<TransparentMap>> Create(
+      NvmallocRuntime& runtime, uint64_t bytes, Options options);
+  static StatusOr<std::unique_ptr<TransparentMap>> Create(
+      NvmallocRuntime& runtime, uint64_t bytes) {
+    return Create(runtime, bytes, Options{});
+  }
+
+  ~TransparentMap();
+
+  TransparentMap(const TransparentMap&) = delete;
+  TransparentMap& operator=(const TransparentMap&) = delete;
+
+  void* data() { return base_; }
+  const void* data() const { return base_; }
+  uint64_t size_bytes() const { return size_; }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(base_);
+  }
+
+  // Flush dirty pages through fuselite to the store.
+  Status Sync();
+
+  uint64_t faults() const { return faults_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t resident_pages() const;
+
+  // Internal: invoked by the process-wide SIGSEGV dispatcher.
+  bool HandleFault(void* addr, bool is_write);
+
+ private:
+  TransparentMap(NvmallocRuntime& runtime, NvmRegion* region, void* base,
+                 uint64_t size, size_t max_resident);
+
+  enum class PageState : uint8_t { kAbsent, kClean, kDirty };
+
+  // mutex_ held.
+  Status LoadPageLocked(size_t page, bool for_write);
+  Status EvictOneLocked();
+  Status WriteBackLocked(size_t page);
+
+  NvmallocRuntime& runtime_;
+  NvmRegion* region_;  // backing file owner (its pager is bypassed; we
+                       // page directly against the fuselite cache)
+  uint8_t* base_ = nullptr;
+  uint8_t* scratch_ = nullptr;  // landing slot for atomically stolen pages
+  const uint64_t size_;
+  const uint64_t map_bytes_;  // page-rounded
+  const size_t max_resident_;
+
+  mutable std::mutex mutex_;
+  std::vector<PageState> states_;
+  std::vector<uint32_t> fifo_;  // resident pages in fault order
+  size_t fifo_head_ = 0;
+  uint64_t faults_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace nvm

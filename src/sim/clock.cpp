@@ -1,0 +1,19 @@
+#include "sim/clock.hpp"
+
+namespace nvm::sim {
+namespace {
+
+thread_local ExecutionContext t_default_context;
+thread_local ExecutionContext* t_context = nullptr;
+
+}  // namespace
+
+ExecutionContext& CurrentContext() {
+  return (t_context != nullptr) ? *t_context : t_default_context;
+}
+
+void SetCurrentContext(ExecutionContext* ctx) { t_context = ctx; }
+
+VirtualClock& CurrentClock() { return CurrentContext().clock; }
+
+}  // namespace nvm::sim

@@ -1,0 +1,81 @@
+#include "sim/resource.hpp"
+
+#include "common/log.hpp"
+
+namespace nvm::sim {
+
+int64_t Resource::Schedule(int64_t earliest_start_ns, int64_t duration_ns) {
+  NVM_CHECK(duration_ns >= 0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++num_requests_;
+  busy_ns_ += duration_ns;
+  if (duration_ns == 0) return earliest_start_ns;
+
+  // Find the earliest gap of length >= duration starting at or after
+  // earliest_start_ns.  Walk intervals that end after the candidate start.
+  int64_t start = earliest_start_ns;
+  auto it = intervals_.upper_bound(start);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) start = prev->second;  // inside prev interval
+  }
+  while (it != intervals_.end() && it->first < start + duration_ns) {
+    // Gap before *it is too small (or negative); jump past it.
+    start = it->second;
+    ++it;
+  }
+  const int64_t end = start + duration_ns;
+  queue_delay_ns_ += start - earliest_start_ns;
+
+  // Insert [start, end), coalescing with touching neighbours to keep the
+  // interval map compact under streaming workloads.
+  int64_t new_start = start;
+  int64_t new_end = end;
+  auto lo = intervals_.lower_bound(new_start);
+  if (lo != intervals_.begin()) {
+    auto prev = std::prev(lo);
+    if (prev->second >= new_start) {
+      new_start = prev->first;
+      new_end = std::max(new_end, prev->second);
+      lo = prev;
+    }
+  }
+  while (lo != intervals_.end() && lo->first <= new_end) {
+    new_end = std::max(new_end, lo->second);
+    lo = intervals_.erase(lo);
+  }
+  intervals_[new_start] = new_end;
+  return start;
+}
+
+int64_t Resource::Acquire(VirtualClock& clock, int64_t duration_ns) {
+  const int64_t arrival = clock.now();
+  const int64_t start = Schedule(arrival, duration_ns);
+  clock.AdvanceTo(start + duration_ns);
+  return start - arrival;
+}
+
+int64_t Resource::busy_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_ns_;
+}
+
+int64_t Resource::queue_delay_ns() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_delay_ns_;
+}
+
+uint64_t Resource::num_requests() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return num_requests_;
+}
+
+void Resource::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  intervals_.clear();
+  busy_ns_ = 0;
+  queue_delay_ns_ = 0;
+  num_requests_ = 0;
+}
+
+}  // namespace nvm::sim

@@ -1,0 +1,85 @@
+// Virtual-time synchronisation primitives.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "sim/clock.hpp"
+
+namespace nvm::sim {
+
+// Reusable barrier that also synchronises virtual clocks: every participant
+// leaves with its clock advanced to the maximum clock among arrivals (plus a
+// fixed cost modelling the barrier's own communication).  This is how
+// collective phases keep the per-process clocks coherent.
+class VirtualBarrier {
+ public:
+  explicit VirtualBarrier(size_t parties, int64_t barrier_cost_ns = 20'000)
+      : parties_(parties), barrier_cost_ns_(barrier_cost_ns) {}
+
+  VirtualBarrier(const VirtualBarrier&) = delete;
+  VirtualBarrier& operator=(const VirtualBarrier&) = delete;
+
+  // Block until all parties arrive; clocks leave synchronised.
+  void Arrive(VirtualClock& clock) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    max_clock_ = std::max(max_clock_, clock.now());
+    const uint64_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      release_clock_ = max_clock_ + barrier_cost_ns_;
+      max_clock_ = 0;
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+    clock.AdvanceTo(release_clock_);
+  }
+
+  size_t parties() const { return parties_; }
+
+ private:
+  const size_t parties_;
+  const int64_t barrier_cost_ns_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t arrived_ = 0;
+  uint64_t generation_ = 0;
+  int64_t max_clock_ = 0;
+  int64_t release_clock_ = 0;
+};
+
+// Real-time-only rendezvous: aligns the *host threads'* progress without
+// touching virtual clocks.  On a host with fewer cores than simulated
+// processes, run-to-completion scheduling would let one process race far
+// ahead in real time, destroying shared-cache reuse that virtually-
+// simultaneous processes would enjoy.  Workloads place one of these at
+// natural phase boundaries (e.g. per tile strip) to keep real
+// interleaving consistent with virtual simultaneity.
+class RealPacer {
+ public:
+  explicit RealPacer(size_t parties) : parties_(parties) {}
+
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const uint64_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+  }
+
+ private:
+  const size_t parties_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace nvm::sim

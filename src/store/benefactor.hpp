@@ -1,0 +1,104 @@
+// Benefactor process: contributes a node-local SSD partition to the
+// aggregate store and serves chunk-granularity data-plane requests.
+//
+// Chunks are stored as individual buffers keyed by ChunkKey (the paper
+// stores them as individual files on the benefactor's SSD).  Every data
+// access charges the node's modelled SSD; space accounting enforces the
+// contributed capacity; Kill()/Revive() support failure-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/status.hpp"
+#include "net/cluster.hpp"
+#include "store/types.hpp"
+
+namespace nvm::store {
+
+class Benefactor {
+ public:
+  Benefactor(int id, net::Node& node, uint64_t contributed_bytes,
+             const StoreConfig& config);
+
+  int id() const { return id_; }
+  int node_id() const { return node_.id(); }
+  uint64_t contributed_bytes() const { return contributed_bytes_; }
+  uint64_t bytes_used() const;
+  uint64_t bytes_free() const;
+  size_t num_chunks() const;
+
+  // --- control plane (invoked via the manager) ---
+
+  // Reserve space for `count` chunks (posix_fallocate path).  No device
+  // traffic: reservation only.
+  Status ReserveChunks(uint64_t count);
+  void ReleaseChunkReservation(uint64_t count);
+
+  // --- data plane (invoked by StoreClient after a location lookup) ---
+
+  // Read the full chunk into `out` (out.size() == chunk_bytes).  A chunk
+  // that was reserved but never written reads as zeros without touching
+  // the device (the backing file is sparse); `*sparse` reports this so the
+  // client can skip the wire transfer (an ENOENT-for-the-chunk-file, as in
+  // the paper's store).
+  Status ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
+                   std::span<uint8_t> out, bool* sparse = nullptr);
+
+  // Write the pages marked in `dirty_pages` from the chunk image `data`
+  // into the stored chunk, materialising it if absent.  Only dirty pages
+  // are charged to the device — this is the write-optimisation path of
+  // Table VII.
+  Status WritePages(sim::VirtualClock& clock, const ChunkKey& key,
+                    const Bitmap& dirty_pages, std::span<const uint8_t> data);
+
+  // Copy-on-write support: duplicate `from` under key `to` locally
+  // (device read + write of one chunk, no network).
+  Status CloneChunk(sim::VirtualClock& clock, const ChunkKey& from,
+                    const ChunkKey& to);
+
+  // Drop the chunk (refcount reached zero at the manager).
+  Status DeleteChunk(const ChunkKey& key);
+
+  // --- liveness / failure injection ---
+  bool alive() const { return alive_; }
+  void Kill() { alive_ = false; }
+  void Revive() { alive_ = true; }
+
+  sim::SsdDevice& ssd() { return node_.ssd(); }
+
+  // Bytes actually written to / read from this benefactor's device by
+  // store traffic (excludes unrelated users of the same SSD).
+  uint64_t data_bytes_in() const { return data_bytes_in_.value(); }
+  uint64_t data_bytes_out() const { return data_bytes_out_.value(); }
+
+ private:
+  struct StoredChunk {
+    std::vector<uint8_t> data;
+    uint64_t ssd_offset = 0;  // position in the device address space
+  };
+
+  // Assign a device offset for a newly materialised chunk.
+  uint64_t AllocateOffset();
+  Status EnsureAlive() const;
+
+  const int id_;
+  net::Node& node_;
+  const uint64_t contributed_bytes_;
+  const StoreConfig config_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<ChunkKey, StoredChunk, ChunkKeyHash> chunks_;
+  uint64_t reserved_chunks_ = 0;
+  uint64_t next_offset_ = 0;
+  std::vector<uint64_t> free_offsets_;
+  bool alive_ = true;
+  Counter data_bytes_in_;
+  Counter data_bytes_out_;
+};
+
+}  // namespace nvm::store

@@ -1,0 +1,170 @@
+#include "store/client.hpp"
+
+#include "common/log.hpp"
+
+namespace nvm::store {
+
+StoreClient::StoreClient(net::Cluster& cluster, Manager& manager,
+                         int local_node)
+    : cluster_(cluster), manager_(manager), local_node_(local_node) {}
+
+void StoreClient::ChargeMetaRoundTrip(sim::VirtualClock& clock) {
+  const StoreConfig& cfg = manager_.config();
+  cluster_.network().Transfer(clock, local_node_, manager_.node_id(),
+                              cfg.meta_request_bytes);
+  cluster_.network().Transfer(clock, manager_.node_id(), local_node_,
+                              cfg.meta_response_bytes);
+}
+
+StatusOr<FileId> StoreClient::Create(sim::VirtualClock& clock,
+                                     const std::string& name) {
+  ChargeMetaRoundTrip(clock);
+  return manager_.CreateFile(clock, name);
+}
+
+StatusOr<FileId> StoreClient::Open(sim::VirtualClock& clock,
+                                   const std::string& name) {
+  ChargeMetaRoundTrip(clock);
+  return manager_.LookupFile(clock, name);
+}
+
+StatusOr<FileInfo> StoreClient::Stat(sim::VirtualClock& clock, FileId id) {
+  ChargeMetaRoundTrip(clock);
+  return manager_.Stat(clock, id);
+}
+
+Status StoreClient::Fallocate(sim::VirtualClock& clock, FileId id,
+                              uint64_t size) {
+  ChargeMetaRoundTrip(clock);
+  return manager_.Fallocate(clock, id, size, local_node_);
+}
+
+Status StoreClient::Unlink(sim::VirtualClock& clock, FileId id) {
+  ChargeMetaRoundTrip(clock);
+  return manager_.Unlink(clock, id);
+}
+
+StatusOr<uint64_t> StoreClient::LinkFileChunks(sim::VirtualClock& clock,
+                                               FileId dst, FileId src) {
+  ChargeMetaRoundTrip(clock);
+  return manager_.LinkFileChunks(clock, dst, src);
+}
+
+StatusOr<ReadLocation> StoreClient::LookupRead(sim::VirtualClock& clock,
+                                               FileId id,
+                                               uint32_t chunk_index,
+                                               bool refresh) {
+  const LocKey key{id, chunk_index};
+  if (!refresh) {
+    std::lock_guard<std::mutex> lock(loc_mutex_);
+    auto it = loc_cache_.find(key);
+    if (it != loc_cache_.end()) return it->second;
+  }
+  ChargeMetaRoundTrip(clock);
+  NVM_ASSIGN_OR_RETURN(ReadLocation loc,
+                       manager_.GetReadLocation(clock, id, chunk_index));
+  std::lock_guard<std::mutex> lock(loc_mutex_);
+  loc_cache_[key] = loc;
+  return loc;
+}
+
+void StoreClient::InvalidateLocation(FileId id, uint32_t chunk_index) {
+  std::lock_guard<std::mutex> lock(loc_mutex_);
+  loc_cache_.erase(LocKey{id, chunk_index});
+}
+
+Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
+                              uint32_t chunk_index, std::span<uint8_t> out) {
+  const StoreConfig& cfg = manager_.config();
+  NVM_CHECK(out.size() == cfg.chunk_bytes);
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    // Second attempt forces a fresh manager lookup (the cached location
+    // may be stale after a COW or a benefactor failure).
+    NVM_ASSIGN_OR_RETURN(
+        ReadLocation loc,
+        LookupRead(clock, id, chunk_index, /*refresh=*/attempt > 0));
+
+    Status last = Unavailable("no replicas");
+    for (int bid : loc.benefactors) {
+      Benefactor* b = manager_.benefactor(bid);
+      NVM_CHECK(b != nullptr);
+      // Request message to the benefactor, then the chunk comes back.
+      cluster_.network().Transfer(clock, local_node_, b->node_id(),
+                                  cfg.meta_request_bytes);
+      bool sparse = false;
+      Status s = b->ReadChunk(clock, loc.key, out, &sparse);
+      if (s.ok()) {
+        // A hole costs only the "no such chunk" reply, not a data
+        // transfer.
+        cluster_.network().Transfer(
+            clock, b->node_id(), local_node_,
+            sparse ? cfg.meta_response_bytes : cfg.chunk_bytes);
+        if (!sparse) bytes_fetched_.Add(cfg.chunk_bytes);
+        return OkStatus();
+      }
+      last = s;
+      if (s.code() == ErrorCode::kUnavailable) {
+        manager_.MarkDead(bid);
+        NVM_WLOG("benefactor %d unavailable reading %s; trying next replica",
+                 bid, loc.key.ToString().c_str());
+      }
+    }
+    InvalidateLocation(id, chunk_index);
+    if (attempt > 0) return last;
+  }
+  return Unavailable("no replicas");
+}
+
+Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
+                                    uint32_t chunk_index,
+                                    const Bitmap& dirty_pages,
+                                    std::span<const uint8_t> chunk_image) {
+  const StoreConfig& cfg = manager_.config();
+  NVM_CHECK(chunk_image.size() == cfg.chunk_bytes);
+  if (dirty_pages.None()) return OkStatus();
+
+  ChargeMetaRoundTrip(clock);
+  NVM_ASSIGN_OR_RETURN(WriteLocation loc,
+                       manager_.PrepareWrite(clock, id, chunk_index));
+  {
+    // The write may have produced a new chunk version: refresh the read
+    // cache so later fetches hit the right key.
+    std::lock_guard<std::mutex> lock(loc_mutex_);
+    loc_cache_[LocKey{id, chunk_index}] =
+        ReadLocation{loc.key, loc.benefactors};
+  }
+
+  const uint64_t dirty_bytes = dirty_pages.PopCount() * cfg.page_bytes;
+  Status result = OkStatus();
+  for (int bid : loc.benefactors) {
+    Benefactor* b = manager_.benefactor(bid);
+    NVM_CHECK(b != nullptr);
+    if (loc.needs_clone) {
+      // COW: instruct the benefactor to clone locally before the write.
+      cluster_.network().Transfer(clock, local_node_, b->node_id(),
+                                  cfg.meta_request_bytes);
+      NVM_RETURN_IF_ERROR(b->CloneChunk(clock, loc.clone_from, loc.key));
+    }
+    // Ship only the dirty pages.
+    cluster_.network().Transfer(clock, local_node_, b->node_id(),
+                                dirty_bytes + cfg.meta_request_bytes);
+    Status s = b->WritePages(clock, loc.key, dirty_pages, chunk_image);
+    if (!s.ok()) {
+      if (s.code() == ErrorCode::kUnavailable) manager_.MarkDead(bid);
+      result = s;
+      continue;
+    }
+    cluster_.network().Transfer(clock, b->node_id(), local_node_,
+                                cfg.meta_response_bytes);
+    bytes_flushed_.Add(dirty_bytes);
+  }
+  return result;
+}
+
+void StoreClient::ResetCounters() {
+  bytes_fetched_.Reset();
+  bytes_flushed_.Reset();
+}
+
+}  // namespace nvm::store

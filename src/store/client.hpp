@@ -1,0 +1,92 @@
+// Client-side stub for the aggregate NVM store.
+//
+// One StoreClient lives on each compute node (inside the fuselite mount).
+// Control-plane calls go to the manager (charging the metadata round-trip
+// on the modelled network); data-plane transfers go directly to the owning
+// benefactor — the paper's two-step "ask the manager, then fetch from the
+// benefactor" protocol.  Failed benefactors are reported back to the
+// manager and reads fall over to surviving replicas.
+#pragma once
+
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "common/bitmap.hpp"
+#include "common/status.hpp"
+#include "store/manager.hpp"
+
+namespace nvm::store {
+
+class StoreClient {
+ public:
+  StoreClient(net::Cluster& cluster, Manager& manager, int local_node);
+
+  int local_node() const { return local_node_; }
+  const StoreConfig& config() const { return manager_.config(); }
+
+  // All operations charge modelled time to the explicit `clock` — callers
+  // that issue background transfers (read-ahead) pass a detached clock so
+  // the foreground process does not pay for the prefetch.
+
+  // --- control plane ---
+  StatusOr<FileId> Create(sim::VirtualClock& clock, const std::string& name);
+  StatusOr<FileId> Open(sim::VirtualClock& clock, const std::string& name);
+  StatusOr<FileInfo> Stat(sim::VirtualClock& clock, FileId id);
+  Status Fallocate(sim::VirtualClock& clock, FileId id, uint64_t size);
+  Status Unlink(sim::VirtualClock& clock, FileId id);
+  StatusOr<uint64_t> LinkFileChunks(sim::VirtualClock& clock, FileId dst,
+                                    FileId src);
+
+  // --- data plane ---
+
+  // Fetch a full chunk into `out` (sized chunk_bytes).
+  Status ReadChunk(sim::VirtualClock& clock, FileId id, uint32_t chunk_index,
+                   std::span<uint8_t> out);
+
+  // Flush the dirty pages of a cached chunk image back to the store.
+  // Performs the manager's copy-on-write protocol when the chunk is shared
+  // with a checkpoint.
+  Status WriteChunkPages(sim::VirtualClock& clock, FileId id,
+                         uint32_t chunk_index, const Bitmap& dirty_pages,
+                         std::span<const uint8_t> chunk_image);
+
+  // Data-plane traffic observed by this client (the "to SSD" column of the
+  // paper's traffic tables).
+  uint64_t bytes_fetched() const { return bytes_fetched_.value(); }
+  uint64_t bytes_flushed() const { return bytes_flushed_.value(); }
+  void ResetCounters();
+
+ private:
+  struct LocKey {
+    FileId file;
+    uint32_t index;
+    bool operator==(const LocKey&) const = default;
+  };
+  struct LocKeyHash {
+    size_t operator()(const LocKey& k) const {
+      return std::hash<uint64_t>()(k.file * 0x9e3779b97f4a7c15ULL ^ k.index);
+    }
+  };
+
+  // Charge the metadata round-trip to the manager node.
+  void ChargeMetaRoundTrip(sim::VirtualClock& clock);
+  // Chunk locations are immutable until a COW bumps the version, so the
+  // client caches read locations after the first manager lookup (the
+  // paper's FUSE client keeps the same mapping state).  A failed read
+  // falls back to a fresh lookup.
+  StatusOr<ReadLocation> LookupRead(sim::VirtualClock& clock, FileId id,
+                                    uint32_t chunk_index, bool refresh);
+  void InvalidateLocation(FileId id, uint32_t chunk_index);
+
+  net::Cluster& cluster_;
+  Manager& manager_;
+  const int local_node_;
+  Counter bytes_fetched_;
+  Counter bytes_flushed_;
+  std::mutex loc_mutex_;
+  std::unordered_map<LocKey, ReadLocation, LocKeyHash> loc_cache_;
+};
+
+}  // namespace nvm::store

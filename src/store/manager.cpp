@@ -1,0 +1,471 @@
+#include "store/manager.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace nvm::store {
+
+Manager::Manager(net::Cluster& cluster, int manager_node, StoreConfig config)
+    : cluster_(cluster),
+      manager_node_(manager_node),
+      config_(config),
+      service_("manager") {
+  NVM_CHECK(config_.chunk_bytes % config_.page_bytes == 0);
+  NVM_CHECK(config_.replication >= 1);
+}
+
+int Manager::RegisterBenefactor(Benefactor* benefactor) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  benefactors_.push_back(benefactor);
+  return static_cast<int>(benefactors_.size() - 1);
+}
+
+Benefactor* Manager::benefactor(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || static_cast<size_t>(id) >= benefactors_.size()) return nullptr;
+  return benefactors_[static_cast<size_t>(id)];
+}
+
+size_t Manager::num_benefactors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return benefactors_.size();
+}
+
+std::vector<int> Manager::AliveBenefactors() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> alive;
+  for (size_t i = 0; i < benefactors_.size(); ++i) {
+    if (benefactors_[i]->alive()) alive.push_back(static_cast<int>(i));
+  }
+  return alive;
+}
+
+void Manager::MarkDead(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= 0 && static_cast<size_t>(id) < benefactors_.size()) {
+    benefactors_[static_cast<size_t>(id)]->Kill();
+  }
+}
+
+size_t Manager::CheckLiveness(sim::VirtualClock& clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t alive = 0;
+  for (auto* b : benefactors_) {
+    service_.Acquire(clock, config_.manager_op_ns);
+    // Heartbeat ping: a small round-trip to the benefactor's node.
+    cluster_.network().Transfer(clock, manager_node_, b->node_id(),
+                                config_.meta_request_bytes);
+    cluster_.network().Transfer(clock, b->node_id(), manager_node_,
+                                config_.meta_response_bytes);
+    if (b->alive()) ++alive;
+  }
+  return alive;
+}
+
+StatusOr<uint64_t> Manager::RepairReplication(sim::VirtualClock& clock,
+                                              uint64_t* lost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (lost != nullptr) *lost = 0;
+  // A shared chunk (checkpoint link) appears in several files: repair it
+  // once and reuse the fixed replica list everywhere.
+  std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash> repaired;
+  uint64_t recreated = 0;
+  std::vector<uint8_t> buf(config_.chunk_bytes);
+  Bitmap all_pages(config_.pages_per_chunk());
+  all_pages.SetAll();
+
+  for (auto& [fid, meta] : files_) {
+    for (ChunkRef& ref : meta.chunks) {
+      bool degraded = false;
+      for (int bid : ref.benefactors) {
+        if (!benefactors_[static_cast<size_t>(bid)]->alive()) {
+          degraded = true;
+          break;
+        }
+      }
+      if (!degraded) continue;
+
+      auto done = repaired.find(ref.key);
+      if (done != repaired.end()) {
+        ref.benefactors = done->second;
+        continue;
+      }
+
+      // Partition into survivors and casualties.
+      std::vector<int> alive_ids;
+      for (int bid : ref.benefactors) {
+        Benefactor* b = benefactors_[static_cast<size_t>(bid)];
+        if (b->alive()) {
+          alive_ids.push_back(bid);
+        } else {
+          // The dead benefactor's space bookkeeping is reclaimed; its data
+          // is gone with it.
+          b->ReleaseChunkReservation(1);
+          (void)b->DeleteChunk(ref.key);
+        }
+      }
+      if (alive_ids.empty()) {
+        if (lost != nullptr) ++*lost;
+        repaired[ref.key] = ref.benefactors;  // nothing we can do
+        continue;
+      }
+
+      Benefactor* source = benefactors_[static_cast<size_t>(alive_ids[0])];
+      while (alive_ids.size() < static_cast<size_t>(config_.replication)) {
+        // Next healthy benefactor that does not already hold a replica.
+        int dst = -1;
+        for (size_t scan = 0; scan < benefactors_.size(); ++scan) {
+          Benefactor* cand = benefactors_[scan];
+          if (!cand->alive()) continue;
+          if (std::find(alive_ids.begin(), alive_ids.end(),
+                        static_cast<int>(scan)) != alive_ids.end()) {
+            continue;
+          }
+          if (cand->ReserveChunks(1).ok()) {
+            dst = static_cast<int>(scan);
+            break;
+          }
+        }
+        if (dst < 0) break;  // no capacity left; stay degraded
+
+        bool sparse = false;
+        NVM_RETURN_IF_ERROR(source->ReadChunk(clock, ref.key, buf, &sparse));
+        if (!sparse) {
+          cluster_.network().Transfer(
+              clock, source->node_id(),
+              benefactors_[static_cast<size_t>(dst)]->node_id(),
+              config_.chunk_bytes);
+          NVM_RETURN_IF_ERROR(benefactors_[static_cast<size_t>(dst)]
+                                  ->WritePages(clock, ref.key, all_pages,
+                                               buf));
+        }
+        alive_ids.push_back(dst);
+        ++recreated;
+      }
+      ref.benefactors = alive_ids;
+      repaired[ref.key] = alive_ids;
+    }
+  }
+  return recreated;
+}
+
+StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || static_cast<size_t>(id) >= benefactors_.size()) {
+    return NotFound("benefactor " + std::to_string(id));
+  }
+  Benefactor* leaving = benefactors_[static_cast<size_t>(id)];
+  if (!leaving->alive()) {
+    return FailedPrecondition("cannot drain a dead benefactor");
+  }
+
+  // Collect every (file, slot) placement that references the leaver.  A
+  // shared chunk (checkpoint link) appears in several files but must
+  // migrate only once; track migrated keys.
+  std::unordered_map<ChunkKey, int, ChunkKeyHash> new_home;
+  uint64_t migrated = 0;
+  std::vector<uint8_t> buf(config_.chunk_bytes);
+  Bitmap all_pages(config_.pages_per_chunk());
+  all_pages.SetAll();
+
+  for (auto& [fid, meta] : files_) {
+    for (ChunkRef& ref : meta.chunks) {
+      for (int& bid : ref.benefactors) {
+        if (bid != id) continue;
+        auto moved = new_home.find(ref.key);
+        if (moved == new_home.end()) {
+          // Pick a destination: the next alive benefactor with space that
+          // does not already hold a replica of this chunk.
+          int dst = -1;
+          for (size_t scan = 1; scan < benefactors_.size(); ++scan) {
+            const size_t cand = (static_cast<size_t>(id) + scan) %
+                                benefactors_.size();
+            Benefactor* b = benefactors_[cand];
+            if (!b->alive() || static_cast<int>(cand) == id) continue;
+            if (std::find(ref.benefactors.begin(), ref.benefactors.end(),
+                          static_cast<int>(cand)) != ref.benefactors.end()) {
+              continue;
+            }
+            if (b->ReserveChunks(1).ok()) {
+              dst = static_cast<int>(cand);
+              break;
+            }
+          }
+          if (dst < 0) {
+            return OutOfSpace("no destination for chunk " +
+                              ref.key.ToString());
+          }
+          // Move the data benefactor-to-benefactor (read + network hop +
+          // write), like the paper's re-configuration path would.
+          bool sparse = false;
+          NVM_RETURN_IF_ERROR(
+              leaving->ReadChunk(clock, ref.key, buf, &sparse));
+          if (!sparse) {
+            cluster_.network().Transfer(
+                clock, leaving->node_id(),
+                benefactors_[static_cast<size_t>(dst)]->node_id(),
+                config_.chunk_bytes);
+            NVM_RETURN_IF_ERROR(
+                benefactors_[static_cast<size_t>(dst)]->WritePages(
+                    clock, ref.key, all_pages, buf));
+          }
+          (void)leaving->DeleteChunk(ref.key);
+          leaving->ReleaseChunkReservation(1);
+          new_home[ref.key] = dst;
+          ++migrated;
+          moved = new_home.find(ref.key);
+        }
+        bid = moved->second;
+      }
+    }
+  }
+  leaving->Kill();  // retired: no longer schedulable
+  return migrated;
+}
+
+StatusOr<FileId> Manager::CreateFile(sim::VirtualClock& clock,
+                                     const std::string& name) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (names_.contains(name)) {
+    return AlreadyExists("file '" + name + "' already exists");
+  }
+  const FileId id = next_file_id_++;
+  names_[name] = id;
+  FileMeta meta;
+  meta.name = name;
+  meta.stripe_cursor = stripe_cursor_;
+  // Stagger striping start points so many small files still spread load.
+  if (!benefactors_.empty()) {
+    stripe_cursor_ = (stripe_cursor_ + 1) % benefactors_.size();
+  }
+  files_[id] = std::move(meta);
+  return id;
+}
+
+StatusOr<FileId> Manager::LookupFile(sim::VirtualClock& clock,
+                                     const std::string& name) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = names_.find(name);
+  if (it == names_.end()) return NotFound("no file named '" + name + "'");
+  return it->second;
+}
+
+StatusOr<FileInfo> Manager::Stat(sim::VirtualClock& clock, FileId id) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it == files_.end()) {
+    return NotFound("file id " + std::to_string(id));
+  }
+  FileInfo info;
+  info.id = id;
+  info.name = it->second.name;
+  info.size = it->second.size;
+  info.num_chunks = it->second.chunks.size();
+  return info;
+}
+
+void Manager::UnrefChunkLocked(const ChunkRef& ref) {
+  auto it = refcounts_.find(ref.key);
+  NVM_CHECK(it != refcounts_.end(), "unref of untracked chunk");
+  if (--it->second == 0) {
+    refcounts_.erase(it);
+    for (int bid : ref.benefactors) {
+      Benefactor* b = benefactors_[static_cast<size_t>(bid)];
+      (void)b->DeleteChunk(ref.key);
+      b->ReleaseChunkReservation(1);
+    }
+  }
+}
+
+Status Manager::Unlink(sim::VirtualClock& clock, FileId id) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+  for (const ChunkRef& ref : it->second.chunks) {
+    UnrefChunkLocked(ref);
+  }
+  names_.erase(it->second.name);
+  files_.erase(it);
+  return OkStatus();
+}
+
+size_t Manager::PlacementStartLocked(const FileMeta& meta,
+                                     int client_node) const {
+  const size_t n = benefactors_.size();
+  switch (config_.stripe_policy) {
+    case StripePolicy::kRoundRobin:
+      return meta.stripe_cursor;
+    case StripePolicy::kLocalityAware:
+      // Prefer a benefactor co-located with the allocating client; fall
+      // back to the round-robin cursor when none exists.
+      for (size_t i = 0; i < n; ++i) {
+        if (benefactors_[i]->alive() &&
+            benefactors_[i]->node_id() == client_node &&
+            benefactors_[i]->bytes_free() >= config_.chunk_bytes) {
+          return i;
+        }
+      }
+      return meta.stripe_cursor;
+    case StripePolicy::kCapacityBalanced: {
+      size_t best = meta.stripe_cursor;
+      uint64_t best_free = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!benefactors_[i]->alive()) continue;
+        const uint64_t free = benefactors_[i]->bytes_free();
+        if (free > best_free) {
+          best_free = free;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return meta.stripe_cursor;
+}
+
+Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
+                          uint64_t size, int client_node) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+  FileMeta& meta = it->second;
+
+  const uint64_t want_chunks = CeilDiv(size, config_.chunk_bytes);
+  const size_t n = benefactors_.size();
+  if (want_chunks > meta.chunks.size() && n == 0) {
+    return Unavailable("no benefactors registered");
+  }
+  while (meta.chunks.size() < want_chunks) {
+    // First choice per the stripe policy; then scan onward, skipping dead
+    // or full benefactors; replicas land on consecutive distinct ones.
+    ChunkRef ref;
+    ref.key.origin_file = id;
+    ref.key.index = static_cast<uint32_t>(meta.chunks.size());
+    ref.key.version = 0;
+    const size_t start = PlacementStartLocked(meta, client_node);
+    size_t placed = 0;
+    for (size_t scanned = 0;
+         placed < static_cast<size_t>(config_.replication) && scanned < n;
+         ++scanned) {
+      const size_t i = (start + scanned) % n;
+      Benefactor* b = benefactors_[i];
+      if (!b->alive()) continue;
+      if (!b->ReserveChunks(1).ok()) continue;
+      ref.benefactors.push_back(static_cast<int>(i));
+      ++placed;
+    }
+    if (placed < static_cast<size_t>(config_.replication)) {
+      // Roll back partial placement.
+      for (int bid : ref.benefactors) {
+        benefactors_[static_cast<size_t>(bid)]->ReleaseChunkReservation(1);
+      }
+      return OutOfSpace("aggregate store out of space at chunk " +
+                        std::to_string(meta.chunks.size()) + " of '" +
+                        meta.name + "'");
+    }
+    meta.stripe_cursor = (meta.stripe_cursor + 1) % n;
+    refcounts_[ref.key] = 1;
+    meta.chunks.push_back(std::move(ref));
+  }
+  meta.size = std::max(meta.size, size);
+  return OkStatus();
+}
+
+StatusOr<ReadLocation> Manager::GetReadLocation(sim::VirtualClock& clock,
+                                                FileId id,
+                                                uint32_t chunk_index) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+  if (chunk_index >= it->second.chunks.size()) {
+    return OutOfRange("chunk " + std::to_string(chunk_index) +
+                      " beyond EOF of '" + it->second.name + "'");
+  }
+  const ChunkRef& ref = it->second.chunks[chunk_index];
+  return ReadLocation{ref.key, ref.benefactors};
+}
+
+StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
+                                              FileId id,
+                                              uint32_t chunk_index) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+  if (chunk_index >= it->second.chunks.size()) {
+    return OutOfRange("chunk " + std::to_string(chunk_index) +
+                      " beyond EOF of '" + it->second.name + "'");
+  }
+  ChunkRef& ref = it->second.chunks[chunk_index];
+  auto rc = refcounts_.find(ref.key);
+  NVM_CHECK(rc != refcounts_.end());
+
+  WriteLocation loc;
+  if (rc->second == 1) {
+    // Sole owner: write in place.
+    loc.key = ref.key;
+    loc.benefactors = ref.benefactors;
+    return loc;
+  }
+
+  // Shared with a checkpoint: copy-on-write.  The live file always carries
+  // the highest version for its slot, so version+1 is fresh.
+  ChunkKey fresh = ref.key;
+  ++fresh.version;
+  NVM_CHECK(!refcounts_.contains(fresh), "COW version collision");
+
+  // The clone stays on the same benefactors (local device copy, no
+  // network); reserve space for the new version.
+  for (int bid : ref.benefactors) {
+    Status s = benefactors_[static_cast<size_t>(bid)]->ReserveChunks(1);
+    if (!s.ok()) return s;
+  }
+  --rc->second;  // live file drops its reference to the shared version
+  refcounts_[fresh] = 1;
+
+  loc.needs_clone = true;
+  loc.clone_from = ref.key;
+  loc.key = fresh;
+  loc.benefactors = ref.benefactors;
+  ref.key = fresh;
+  return loc;
+}
+
+StatusOr<uint64_t> Manager::LinkFileChunks(sim::VirtualClock& clock,
+                                           FileId dst, FileId src) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto dst_it = files_.find(dst);
+  auto src_it = files_.find(src);
+  if (dst_it == files_.end()) return NotFound("dst file " + std::to_string(dst));
+  if (src_it == files_.end()) return NotFound("src file " + std::to_string(src));
+  // Linked chunks land at the next chunk boundary of dst.
+  const uint64_t link_offset =
+      dst_it->second.chunks.size() * config_.chunk_bytes;
+  for (const ChunkRef& ref : src_it->second.chunks) {
+    ++refcounts_[ref.key];
+    dst_it->second.chunks.push_back(ref);
+  }
+  dst_it->second.size = link_offset + src_it->second.size;
+  return link_offset;
+}
+
+uint32_t Manager::ChunkRefcount(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = refcounts_.find(key);
+  return (it == refcounts_.end()) ? 0 : it->second;
+}
+
+uint64_t Manager::num_files() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return files_.size();
+}
+
+}  // namespace nvm::store

@@ -1,0 +1,154 @@
+// Manager process of the aggregate NVM store.
+//
+// The manager owns all metadata: the benefactor registry (with liveness),
+// per-file chunk maps, striping, space accounting, chunk refcounts (for
+// checkpoint linking), and copy-on-write version management.  Data never
+// flows through the manager — clients look up locations here and then talk
+// to benefactors directly, exactly as in the paper.
+//
+// Every operation charges a modelled metadata service time to the caller's
+// virtual clock via a sim::Resource, so manager contention shows up in
+// benchmark results.  Network cost for reaching the manager is charged by
+// StoreClient, not here.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/cluster.hpp"
+#include "store/benefactor.hpp"
+#include "store/types.hpp"
+
+namespace nvm::store {
+
+// Location info for reading one chunk.
+struct ReadLocation {
+  ChunkKey key;
+  std::vector<int> benefactors;  // replicas, primary first
+};
+
+// Location info for writing one chunk.  If `needs_clone` is set the chunk
+// is shared with a checkpoint: the client must ask the (first) benefactor
+// to CloneChunk(clone_from -> key) before writing.
+struct WriteLocation {
+  ChunkKey key;
+  std::vector<int> benefactors;
+  bool needs_clone = false;
+  ChunkKey clone_from;
+};
+
+class Manager {
+ public:
+  Manager(net::Cluster& cluster, int manager_node, StoreConfig config);
+
+  const StoreConfig& config() const { return config_; }
+  int node_id() const { return manager_node_; }
+
+  // --- benefactor registry ---
+
+  // Takes shared ownership is not needed: benefactors outlive the manager
+  // in AggregateStore (see store.hpp); raw pointers keep wiring simple.
+  int RegisterBenefactor(Benefactor* benefactor);
+  Benefactor* benefactor(int id);
+  size_t num_benefactors() const;
+  std::vector<int> AliveBenefactors() const;
+  // Client-observed failure report.
+  void MarkDead(int id);
+  // Heartbeat sweep: polls every registered benefactor, updating liveness.
+  // Returns the number found alive.  Charges one metadata op per poll.
+  size_t CheckLiveness(sim::VirtualClock& clock);
+
+  // Repair replication after failures: for every chunk that lost replicas
+  // to dead benefactors, re-copy the data from a surviving replica onto
+  // healthy benefactors until the configured replication factor is met
+  // again.  Returns the number of replicas recreated; chunks with no
+  // surviving replica are left untouched (and counted in *lost if given).
+  StatusOr<uint64_t> RepairReplication(sim::VirtualClock& clock,
+                                       uint64_t* lost = nullptr);
+
+  // Decommission a benefactor for maintenance/upgrade (the paper's
+  // "aggregation ... allows for ... easy system hardware upgrades or
+  // re-configuration"): migrate every chunk it holds to the surviving
+  // benefactors, rewrite the placement metadata, then retire it.
+  // Returns the number of chunks migrated.
+  StatusOr<uint64_t> Decommission(sim::VirtualClock& clock, int id);
+
+  // --- namespace ---
+
+  StatusOr<FileId> CreateFile(sim::VirtualClock& clock,
+                              const std::string& name);
+  StatusOr<FileId> LookupFile(sim::VirtualClock& clock,
+                              const std::string& name);
+  StatusOr<FileInfo> Stat(sim::VirtualClock& clock, FileId id);
+  Status Unlink(sim::VirtualClock& clock, FileId id);
+
+  // Extend the file to at least `size` bytes, allocating chunk placements
+  // per the configured stripe policy over alive benefactors
+  // (posix_fallocate semantics: reservation only, no data transfer).
+  // `client_node` is the allocating client's node, used by the
+  // locality-aware policy (-1: unknown).
+  Status Fallocate(sim::VirtualClock& clock, FileId id, uint64_t size,
+                   int client_node = -1);
+
+  // --- data-plane lookups ---
+
+  StatusOr<ReadLocation> GetReadLocation(sim::VirtualClock& clock, FileId id,
+                                         uint32_t chunk_index);
+  // Resolve the target for writing a chunk, performing the copy-on-write
+  // decision: a chunk shared with a checkpoint gets a fresh version.
+  StatusOr<WriteLocation> PrepareWrite(sim::VirtualClock& clock, FileId id,
+                                       uint32_t chunk_index);
+
+  // --- checkpoint support ---
+
+  // Append all of `src`'s chunk refs to `dst` (incrementing refcounts) —
+  // the zero-copy linking of an NVM variable into a checkpoint file.
+  // Returns the chunk-aligned logical offset in `dst` where `src`'s data
+  // now begins.
+  StatusOr<uint64_t> LinkFileChunks(sim::VirtualClock& clock, FileId dst,
+                                    FileId src);
+
+  // Refcount of a chunk (test/diagnostic hook).
+  uint32_t ChunkRefcount(const ChunkKey& key) const;
+
+  sim::Resource& service() { return service_; }
+  uint64_t num_files() const;
+
+ private:
+  struct FileMeta {
+    std::string name;
+    uint64_t size = 0;
+    std::vector<ChunkRef> chunks;
+    // Next benefactor (index into benefactors_) for striping continuation.
+    size_t stripe_cursor = 0;
+  };
+
+  void ChargeOp(sim::VirtualClock& clock) {
+    service_.Acquire(clock, config_.manager_op_ns);
+  }
+  // Drop one reference; frees the chunk on its benefactors at zero.
+  void UnrefChunkLocked(const ChunkRef& ref);
+  // First-choice benefactor index for the next chunk of `meta`, per the
+  // stripe policy (mutex held).
+  size_t PlacementStartLocked(const FileMeta& meta, int client_node) const;
+
+  net::Cluster& cluster_;
+  const int manager_node_;
+  const StoreConfig config_;
+  sim::Resource service_;
+
+  mutable std::mutex mutex_;
+  std::vector<Benefactor*> benefactors_;
+  std::unordered_map<std::string, FileId> names_;
+  std::unordered_map<FileId, FileMeta> files_;
+  std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> refcounts_;
+  FileId next_file_id_ = 1;
+  size_t stripe_cursor_ = 0;
+};
+
+}  // namespace nvm::store

@@ -1,0 +1,51 @@
+#include "store/report.hpp"
+
+#include <cstdio>
+
+#include "common/units.hpp"
+
+namespace nvm::store {
+
+std::string StatusReport(AggregateStore& store) {
+  std::string out;
+  char line[256];
+
+  uint64_t total_contrib = 0;
+  uint64_t total_used = 0;
+  size_t alive = 0;
+  std::snprintf(line, sizeof(line),
+                "%-4s %-6s %-6s %-10s %-10s %-12s %-12s %-8s\n", "id",
+                "node", "state", "used", "free", "data-in", "data-out",
+                "wear");
+  out += line;
+  for (size_t i = 0; i < store.num_benefactors(); ++i) {
+    Benefactor& b = store.benefactor(i);
+    total_contrib += b.contributed_bytes();
+    total_used += b.bytes_used();
+    if (b.alive()) ++alive;
+    std::snprintf(line, sizeof(line),
+                  "%-4d %-6d %-6s %-10s %-10s %-12s %-12s %-7.4f%%\n",
+                  b.id(), b.node_id(), b.alive() ? "up" : "DOWN",
+                  FormatBytes(b.bytes_used()).c_str(),
+                  FormatBytes(b.bytes_free()).c_str(),
+                  FormatBytes(b.data_bytes_in()).c_str(),
+                  FormatBytes(b.data_bytes_out()).c_str(),
+                  100.0 * b.ssd().wear_fraction());
+    out += line;
+  }
+  std::snprintf(
+      line, sizeof(line),
+      "aggregate: %zu/%zu benefactors up, %s used of %s (%.1f%%), "
+      "%llu files\n",
+      alive, store.num_benefactors(), FormatBytes(total_used).c_str(),
+      FormatBytes(total_contrib).c_str(),
+      total_contrib > 0
+          ? 100.0 * static_cast<double>(total_used) /
+                static_cast<double>(total_contrib)
+          : 0.0,
+      static_cast<unsigned long long>(store.manager().num_files()));
+  out += line;
+  return out;
+}
+
+}  // namespace nvm::store

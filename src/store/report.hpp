@@ -1,0 +1,15 @@
+// Human-readable status report for an aggregate store — the "nvmstat"
+// view an operator would use: per-benefactor space, liveness, traffic and
+// flash wear, plus manager-level totals.
+#pragma once
+
+#include <string>
+
+#include "store/store.hpp"
+
+namespace nvm::store {
+
+// Multi-line report of the store's current state.
+std::string StatusReport(AggregateStore& store);
+
+}  // namespace nvm::store

@@ -1,0 +1,33 @@
+#include "store/store.hpp"
+
+#include "common/log.hpp"
+
+namespace nvm::store {
+
+AggregateStore::AggregateStore(net::Cluster& cluster,
+                               AggregateStoreConfig config)
+    : cluster_(cluster), config_(std::move(config)) {
+  NVM_CHECK(!config_.benefactor_nodes.empty(),
+            "aggregate store needs at least one benefactor node");
+  manager_ = std::make_unique<Manager>(cluster_, config_.manager_node,
+                                       config_.store);
+  for (int node : config_.benefactor_nodes) {
+    auto b = std::make_unique<Benefactor>(
+        static_cast<int>(benefactors_.size()), cluster_.node(node),
+        config_.contribution_bytes, config_.store);
+    manager_->RegisterBenefactor(b.get());
+    benefactors_.push_back(std::move(b));
+  }
+  clients_.resize(cluster_.num_nodes());
+}
+
+StoreClient& AggregateStore::ClientForNode(int node) {
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  auto& slot = clients_.at(static_cast<size_t>(node));
+  if (!slot) {
+    slot = std::make_unique<StoreClient>(cluster_, *manager_, node);
+  }
+  return *slot;
+}
+
+}  // namespace nvm::store

@@ -1,0 +1,49 @@
+// AggregateStore — convenience wiring of one manager plus a set of
+// benefactors over a simulated cluster.
+//
+// This mirrors the paper's two deployment models:
+//  * center-wide: benefactors on a dedicated partition of SSD-equipped
+//    "fat" nodes (pass an explicit benefactor node list), or
+//  * per-job: benefactors on (a subset of) the job's own nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "store/client.hpp"
+
+namespace nvm::store {
+
+struct AggregateStoreConfig {
+  StoreConfig store;
+  // Nodes that run a benefactor process; each must have an SSD.
+  std::vector<int> benefactor_nodes;
+  // SSD capacity each benefactor contributes.
+  uint64_t contribution_bytes = 1_GiB;
+  // Node hosting the manager process.
+  int manager_node = 0;
+};
+
+class AggregateStore {
+ public:
+  AggregateStore(net::Cluster& cluster, AggregateStoreConfig config);
+
+  Manager& manager() { return *manager_; }
+  Benefactor& benefactor(size_t i) { return *benefactors_.at(i); }
+  size_t num_benefactors() const { return benefactors_.size(); }
+  const AggregateStoreConfig& config() const { return config_; }
+
+  // A client stub bound to `node` (one per compute node, shared by the
+  // node's processes, like the single FUSE mount per node in the paper).
+  StoreClient& ClientForNode(int node);
+
+ private:
+  net::Cluster& cluster_;
+  AggregateStoreConfig config_;
+  std::unique_ptr<Manager> manager_;
+  std::vector<std::unique_ptr<Benefactor>> benefactors_;
+  std::vector<std::unique_ptr<StoreClient>> clients_;  // indexed by node id
+  std::mutex clients_mutex_;
+};
+
+}  // namespace nvm::store

@@ -1,0 +1,75 @@
+// Shared vocabulary types for the aggregate NVM store.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nvm::store {
+
+using FileId = uint64_t;
+constexpr FileId kInvalidFileId = 0;
+
+// Identity of one immutable chunk version.  Copy-on-write bumps `version`;
+// checkpoint linking shares (file, index, version) triples across files via
+// refcounting in the manager.
+struct ChunkKey {
+  FileId origin_file = kInvalidFileId;  // file that first created the chunk
+  uint32_t index = 0;                   // chunk index within the origin file
+  uint32_t version = 0;
+
+  bool operator==(const ChunkKey&) const = default;
+  std::string ToString() const {
+    return "chunk(" + std::to_string(origin_file) + "," +
+           std::to_string(index) + ",v" + std::to_string(version) + ")";
+  }
+};
+
+struct ChunkKeyHash {
+  size_t operator()(const ChunkKey& k) const {
+    uint64_t h = k.origin_file * 0x9e3779b97f4a7c15ULL;
+    h ^= (static_cast<uint64_t>(k.index) << 32) | k.version;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return static_cast<size_t>(h ^ (h >> 31));
+  }
+};
+
+// Where the replicas of one chunk live.
+struct ChunkRef {
+  ChunkKey key;
+  std::vector<int> benefactors;  // benefactor ids, primary first
+};
+
+// Chunk placement policy (paper §III-A: "we need to optimize the NVM
+// store by taking into account the locality of the NVM, data access
+// patterns, etc.").
+enum class StripePolicy : uint8_t {
+  kRoundRobin,        // the paper's striping: spread for parallel bandwidth
+  kLocalityAware,     // prefer a benefactor on the allocating client's node
+  kCapacityBalanced,  // always the emptiest alive benefactor
+};
+
+struct StoreConfig {
+  uint64_t chunk_bytes = 256_KiB;  // paper default stripe unit
+  uint64_t page_bytes = 4_KiB;     // OS page / flash page
+  int replication = 1;             // replicas per chunk (1 = paper setup)
+  StripePolicy stripe_policy = StripePolicy::kRoundRobin;
+  // Modelled control-plane costs.
+  int64_t manager_op_ns = 3'000;       // metadata service time per op
+  uint64_t meta_request_bytes = 64;    // modelled RPC request size
+  uint64_t meta_response_bytes = 128;  // modelled RPC response size
+
+  uint64_t pages_per_chunk() const { return chunk_bytes / page_bytes; }
+};
+
+struct FileInfo {
+  FileId id = kInvalidFileId;
+  std::string name;
+  uint64_t size = 0;            // logical size (posix_fallocate extent)
+  uint64_t num_chunks = 0;
+};
+
+}  // namespace nvm::store

@@ -1,0 +1,39 @@
+// Checkpointing study (paper §III-E / §IV-B-5): measure ssdcheckpoint()'s
+// chunk-linking against a naive full-copy baseline across several
+// timesteps, including the copy-on-write traffic that keeps earlier
+// checkpoints intact while the application keeps writing.
+#pragma once
+
+#include <vector>
+
+#include "workloads/testbed.hpp"
+
+namespace nvm::workloads {
+
+struct CkptOptions {
+  uint64_t dram_bytes = ScaledBytes(1_GiB);  // 8 MiB of DRAM state
+  uint64_t nvm_bytes = ScaledBytes(4_GiB);   // 32 MiB NVM variable
+  double dirty_fraction = 0.10;  // pages modified between timesteps
+  int timesteps = 3;
+  bool link_nvm = true;  // false = naive copy baseline
+  uint64_t seed = 11;
+};
+
+struct CkptTimestep {
+  double seconds = 0;
+  uint64_t dram_bytes_copied = 0;
+  uint64_t nvm_bytes_linked = 0;
+  uint64_t nvm_bytes_copied = 0;
+  uint64_t ssd_bytes_written = 0;  // actual device write volume
+};
+
+struct CkptResult {
+  std::vector<CkptTimestep> steps;
+  bool restart_verified = false;
+  // An earlier checkpoint must survive later writes (COW correctness).
+  bool old_checkpoint_intact = false;
+};
+
+CkptResult RunCheckpointStudy(Testbed& testbed, const CkptOptions& options);
+
+}  // namespace nvm::workloads

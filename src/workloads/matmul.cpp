@@ -1,0 +1,331 @@
+#include "workloads/matmul.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "minimpi/comm.hpp"
+
+namespace nvm::workloads {
+namespace {
+
+// B is seeded with a closed-form value per element; with A = identity the
+// product C must reproduce it bit-exactly.
+double BValue(uint64_t k, uint64_t j) {
+  return 0.5 + static_cast<double>(k) * 1e-4 + static_cast<double>(j) * 1e-7;
+}
+
+// Binomial-tree broadcast among an explicit rank subset (used for the
+// shared-mmap mode, where only one writer per node receives B).
+void SubsetBcast(minimpi::RankHandle& mpi, const std::vector<int>& members,
+                 int my_index, std::span<uint8_t> data) {
+  const int m = static_cast<int>(members.size());
+  constexpr int kTag = 0x5bb;
+  int mask = 1;
+  while (mask < m) {
+    if ((my_index & mask) != 0) {
+      mpi.Recv(members[static_cast<size_t>(my_index - mask)], data, kTag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    const int child = my_index + mask;
+    if (child < m) mpi.Send(members[static_cast<size_t>(child)], data, kTag);
+    mask >>= 1;
+  }
+}
+
+}  // namespace
+
+TestbedOptions MatmulTestbedOptions(size_t benefactors, bool remote) {
+  TestbedOptions o;
+  // MM data scale (512): 8 GiB/node -> 16 MiB, page cache share -> 2 MiB.
+  o.dram_per_node = MmScaledBytes(8_GiB);
+  o.page_pool_bytes = 2_MiB;
+  o.benefactors = std::max<size_t>(1, benefactors);
+  o.remote_benefactors = remote;
+  return o;
+}
+
+MatmulResult RunMatmul(Testbed& testbed, const MatmulOptions& options) {
+  MatmulResult result;
+  const uint64_t n = static_cast<uint64_t>(
+      std::sqrt(static_cast<double>(options.matrix_bytes / sizeof(double))));
+  const size_t nprocs = options.procs_per_node * options.nodes;
+  const uint64_t matrix_bytes = n * n * sizeof(double);
+
+  // Feasibility (the paper's DRAM-only premise): every rank needs a full
+  // replica of B plus its A and C slices inside the node budget.
+  if (!options.b_on_nvm) {
+    const uint64_t slices =
+        2 * CeilDiv(n, nprocs) * n * sizeof(double) + 1_MiB;
+    const uint64_t per_node =
+        options.procs_per_node * (matrix_bytes + slices);
+    if (per_node > testbed.options().dram_per_node) {
+      result.feasible = false;
+      return result;
+    }
+  }
+
+  const std::vector<int> placement =
+      testbed.Placement(options.procs_per_node, options.nodes);
+  minimpi::Comm comm(testbed.cluster(), placement);
+
+  // Shared-mmap writers: the lowest rank on each node.
+  std::vector<int> writers;
+  for (size_t r = 0; r < nprocs; ++r) {
+    if (r % options.procs_per_node == 0) writers.push_back(static_cast<int>(r));
+  }
+
+  std::atomic<uint64_t> app_b_bytes{0};
+  std::atomic<bool> verified{true};
+  std::array<std::atomic<int64_t>, 6> stage_end{};
+  for (auto& s : stage_end) s.store(0);
+
+  testbed.cluster().RunProcesses(placement, [&](net::ProcessEnv& env) {
+    auto mpi = comm.rank_handle(env.rank);
+    auto& clock = *env.clock;
+    const auto& cpu = env.cluster->cpu();
+    const int rank = env.rank;
+    const bool master = rank == 0;
+    auto [r0, r1] = minimpi::Comm::BlockRange(n, static_cast<int>(nprocs),
+                                              rank);
+    const uint64_t my_rows = r1 - r0;
+
+    std::vector<double> a_local(my_rows * n, 0.0);
+    std::vector<double> c_local(my_rows * n, 0.0);
+
+    auto mark = [&](size_t stage) {
+      env.Barrier();
+      if (master) stage_end[stage].store(clock.now());
+    };
+    mark(0);  // synced start
+
+    // ---- Stage (i): Input & Split A ----
+    constexpr int kTagA = 0x0a, kTagC = 0x0c;
+    if (master) {
+      testbed.PfsRead(clock, matrix_bytes);
+      for (size_t dst = 1; dst < nprocs; ++dst) {
+        auto [d0, d1] = minimpi::Comm::BlockRange(
+            n, static_cast<int>(nprocs), static_cast<int>(dst));
+        std::vector<double> slice((d1 - d0) * n, 0.0);
+        for (uint64_t i = d0; i < d1; ++i) slice[(i - d0) * n + i] = 1.0;
+        mpi.Send(static_cast<int>(dst),
+                 {reinterpret_cast<const uint8_t*>(slice.data()),
+                  slice.size() * sizeof(double)},
+                 kTagA);
+      }
+      for (uint64_t i = r0; i < r1; ++i) a_local[(i - r0) * n + i] = 1.0;
+    } else {
+      mpi.Recv(0,
+               {reinterpret_cast<uint8_t*>(a_local.data()),
+                a_local.size() * sizeof(double)},
+               kTagA);
+    }
+    mark(1);
+
+    // ---- Stage (ii): Input B ----
+    std::vector<double> b_stage;  // master's staging copy of B
+    if (master) {
+      testbed.PfsRead(clock, matrix_bytes);
+      b_stage.resize(n * n);
+      for (uint64_t k = 0; k < n; ++k) {
+        for (uint64_t j = 0; j < n; ++j) b_stage[k * n + j] = BValue(k, j);
+      }
+    }
+    mark(2);
+
+    // ---- Stage (iii): Broadcast B & place it ----
+    std::vector<double> b_dram;     // DRAM-replicated copy
+    NvmRegion* b_region = nullptr;  // NVM placement
+    uint64_t dram_reserved = 0;
+
+    if (!options.b_on_nvm) {
+      NVM_CHECK(env.node().ReserveDram(matrix_bytes).ok(),
+                "DRAM feasibility pre-check missed an overcommit");
+      dram_reserved = matrix_bytes;
+      b_dram = master ? b_stage : std::vector<double>(n * n);
+      mpi.Bcast({reinterpret_cast<uint8_t*>(b_dram.data()),
+                 b_dram.size() * sizeof(double)},
+                0);
+    } else if (options.shared_mmap) {
+      auto r = testbed.runtime(env.node_id)
+                   .SsdMalloc(matrix_bytes, {.shared = true,
+                                             .shared_name = "mm_b"});
+      NVM_CHECK(r.ok(), "%s", r.status().ToString().c_str());
+      b_region = *r;
+      const bool writer = rank % static_cast<int>(options.procs_per_node) == 0;
+      if (writer) {
+        int my_index = -1;
+        for (size_t w = 0; w < writers.size(); ++w) {
+          if (writers[w] == rank) my_index = static_cast<int>(w);
+        }
+        std::vector<double> buf = master ? b_stage
+                                         : std::vector<double>(n * n);
+        SubsetBcast(mpi, writers, my_index,
+                    {reinterpret_cast<uint8_t*>(buf.data()),
+                     buf.size() * sizeof(double)});
+        NVM_CHECK(b_region
+                      ->Write(0, {reinterpret_cast<const uint8_t*>(buf.data()),
+                                  buf.size() * sizeof(double)})
+                      .ok());
+      }
+    } else {
+      // Individual mmap files: everyone receives B and writes its own copy.
+      auto r = testbed.runtime(env.node_id).SsdMalloc(matrix_bytes);
+      NVM_CHECK(r.ok(), "%s", r.status().ToString().c_str());
+      b_region = *r;
+      std::vector<double> buf = master ? b_stage : std::vector<double>(n * n);
+      mpi.Bcast({reinterpret_cast<uint8_t*>(buf.data()),
+                 buf.size() * sizeof(double)},
+                0);
+      NVM_CHECK(b_region
+                    ->Write(0, {reinterpret_cast<const uint8_t*>(buf.data()),
+                                buf.size() * sizeof(double)})
+                    .ok());
+    }
+    b_stage.clear();
+    b_stage.shrink_to_fit();
+    mark(3);
+
+    // Reset B traffic counters so Table IV sees the compute stage only.
+    if (master) {
+      for (size_t node = 0; node < options.nodes; ++node) {
+        auto& rt = testbed.runtime(static_cast<int>(node));
+        rt.mount().cache().ResetTraffic();
+        rt.mount().client().ResetCounters();
+      }
+    }
+    env.Barrier();
+
+    // ---- Stage (iv): tiled compute ----
+    const size_t T = options.tile;
+    NvmArray<double> b_array(b_region);
+    std::vector<const double*> b_rows(T);
+    std::vector<PinnedArray<const double>> b_guards(T);
+    uint64_t my_b_accesses = 0;
+
+    auto compute_tile = [&](uint64_t i0, uint64_t k0, uint64_t j0) {
+      const uint64_t ti = std::min<uint64_t>(T, r1 - r0 - i0);
+      const uint64_t tk = std::min<uint64_t>(T, n - k0);
+      const uint64_t tj = std::min<uint64_t>(T, n - j0);
+      // Fault in the B tile: one pin per row segment, charging exactly the
+      // pages/chunks the paged accesses of this tile would touch.
+      for (uint64_t k = 0; k < tk; ++k) {
+        if (options.b_on_nvm) {
+          auto p = b_array.PinRead((k0 + k) * n + j0, tj);
+          NVM_CHECK(p.ok(), "%s", p.status().ToString().c_str());
+          b_guards[k] = std::move(*p);
+          b_rows[k] = b_guards[k].data();
+        } else {
+          b_rows[k] = &b_dram[(k0 + k) * n + j0];
+        }
+      }
+      for (uint64_t i = 0; i < ti; ++i) {
+        const double* a_row = &a_local[(i0 + i) * n + k0];
+        double* c_row = &c_local[(i0 + i) * n + j0];
+        for (uint64_t k = 0; k < tk; ++k) {
+          const double a = a_row[k];
+          const double* b_row = b_rows[k];
+          for (uint64_t j = 0; j < tj; ++j) c_row[j] += a * b_row[j];
+        }
+      }
+      const uint64_t flops = 2 * ti * tk * tj;
+      cpu.ChargeFlops(clock, static_cast<uint64_t>(
+                                 static_cast<double>(flops) *
+                                 options.compute_scale));
+      my_b_accesses += ti * tk * tj * sizeof(double);
+      for (uint64_t k = 0; k < tk; ++k) b_guards[k].Release();
+    };
+
+    // env.Pace() per strip keeps the host threads' real progress aligned
+    // with their (virtually simultaneous) clocks, preserving the shared-B
+    // cache reuse that genuinely parallel processes get (no virtual-time
+    // effect; every rank executes the same strip count).
+    for (uint64_t i0 = 0; i0 < my_rows; i0 += T) {
+      if (!options.column_major) {
+        // Row-major sweep of B: k strips outer, j inner (sequential).
+        for (uint64_t k0 = 0; k0 < n; k0 += T) {
+          for (uint64_t j0 = 0; j0 < n; j0 += T) compute_tile(i0, k0, j0);
+          env.Pace();
+        }
+      } else {
+        // Column-major sweep: j strips outer, k inner (stride-n over B).
+        for (uint64_t j0 = 0; j0 < n; j0 += T) {
+          for (uint64_t k0 = 0; k0 < n; k0 += T) compute_tile(i0, k0, j0);
+          env.Pace();
+        }
+      }
+    }
+    app_b_bytes.fetch_add(my_b_accesses);
+    mark(4);
+
+    // Collect Table IV counters before anything else touches the caches.
+    if (master) {
+      uint64_t fuse = 0;
+      uint64_t ssd = 0;
+      for (size_t node = 0; node < options.nodes; ++node) {
+        auto& rt = testbed.runtime(static_cast<int>(node));
+        fuse += rt.mount().cache().traffic().app_bytes_read;
+        ssd += rt.mount().client().bytes_fetched();
+      }
+      result.fuse_b_bytes = fuse;
+      result.ssd_b_bytes = ssd;
+    }
+    env.Barrier();
+
+    // ---- Stage (v): Collect & Output C ----
+    if (master) {
+      std::vector<double> c_full(n * n);
+      std::memcpy(c_full.data(), c_local.data(),
+                  c_local.size() * sizeof(double));
+      for (size_t src = 1; src < nprocs; ++src) {
+        auto [s0, s1] = minimpi::Comm::BlockRange(
+            n, static_cast<int>(nprocs), static_cast<int>(src));
+        mpi.Recv(static_cast<int>(src),
+                 {reinterpret_cast<uint8_t*>(&c_full[s0 * n]),
+                  (s1 - s0) * n * sizeof(double)},
+                 kTagC);
+      }
+      testbed.PfsWrite(clock, matrix_bytes);
+      // A = I  =>  C must equal B, bit-exactly.
+      for (uint64_t s = 0; s < 4096; ++s) {
+        const uint64_t i = (s * 2654435761u) % n;
+        const uint64_t j = (s * 40503u) % n;
+        if (c_full[i * n + j] != BValue(i, j)) verified.store(false);
+      }
+    } else {
+      mpi.Send(0,
+               {reinterpret_cast<const uint8_t*>(c_local.data()),
+                c_local.size() * sizeof(double)},
+               kTagC);
+    }
+    mark(5);
+
+    // Cleanup.
+    if (b_region != nullptr) {
+      NVM_CHECK(testbed.runtime(env.node_id).SsdFree(b_region).ok());
+    }
+    if (dram_reserved > 0) env.node().ReleaseDram(dram_reserved);
+  });
+
+  auto stage_s = [&](size_t i) {
+    return static_cast<double>(stage_end[i].load() -
+                               stage_end[i - 1].load()) /
+           1e9;
+  };
+  result.input_split_a_s = stage_s(1);
+  result.input_b_s = stage_s(2);
+  result.broadcast_b_s = stage_s(3);
+  result.compute_s = stage_s(4);
+  result.collect_output_c_s = stage_s(5);
+  result.total_s =
+      static_cast<double>(stage_end[5].load() - stage_end[0].load()) / 1e9;
+  result.app_b_bytes = app_b_bytes.load();
+  result.verified = verified.load();
+  return result;
+}
+
+}  // namespace nvm::workloads

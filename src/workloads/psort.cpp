@@ -1,0 +1,622 @@
+#include "workloads/psort.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <queue>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "minimpi/comm.hpp"
+
+namespace nvm::workloads {
+namespace {
+
+using Elem = uint64_t;
+constexpr uint64_t kElemBytes = sizeof(Elem);
+constexpr uint64_t kIoBufElems = 8192;     // 64 KiB streaming buffers
+constexpr uint64_t kSortWindowElems = 32768;  // 256 KiB out-of-core windows
+
+double Log2(uint64_t n) { return n > 1 ? std::log2(static_cast<double>(n)) : 1.0; }
+
+// A process's local list: the first `dram_elems` entries in a host vector,
+// the remainder in an NVMalloc region — the paper's hybrid placement.
+struct LocalList {
+  std::vector<Elem> dram;
+  NvmRegion* region = nullptr;  // may be null (pure-DRAM mode)
+  uint64_t region_elems = 0;
+  uint64_t dram_reserved_bytes = 0;  // portion charged to the node budget
+
+  uint64_t size() const { return dram.size() + region_elems; }
+
+  Elem Get(uint64_t i) const {
+    if (i < dram.size()) return dram[i];
+    Elem v;
+    NVM_CHECK(region
+                  ->Read((i - dram.size()) * kElemBytes,
+                         {reinterpret_cast<uint8_t*>(&v), kElemBytes})
+                  .ok());
+    return v;
+  }
+};
+
+// Sequential buffered reader over a LocalList range [begin, end).
+class ListReader {
+ public:
+  ListReader(const LocalList& list, uint64_t begin, uint64_t end)
+      : list_(list), pos_(begin), end_(end) {}
+
+  bool Done() const { return pos_ >= end_; }
+  uint64_t remaining() const { return end_ - pos_; }
+
+  Elem Next() {
+    if (buf_pos_ >= buf_.size()) Refill();
+    ++pos_;
+    return buf_[buf_pos_++];
+  }
+
+ private:
+  void Refill() {
+    const uint64_t n = std::min<uint64_t>(kIoBufElems, end_ - pos_);
+    buf_.resize(n);
+    buf_pos_ = 0;
+    uint64_t i = pos_;
+    uint64_t filled = 0;
+    // DRAM prefix.
+    if (i < list_.dram.size()) {
+      const uint64_t take = std::min<uint64_t>(n, list_.dram.size() - i);
+      std::memcpy(buf_.data(), list_.dram.data() + i, take * kElemBytes);
+      filled = take;
+      i += take;
+    }
+    if (filled < n) {
+      const uint64_t off = (i - list_.dram.size()) * kElemBytes;
+      NVM_CHECK(list_.region != nullptr);
+      NVM_CHECK(list_.region
+                    ->Read(off, {reinterpret_cast<uint8_t*>(
+                                     buf_.data() + filled),
+                                 (n - filled) * kElemBytes})
+                    .ok());
+    }
+  }
+
+  const LocalList& list_;
+  uint64_t pos_;
+  uint64_t end_;
+  std::vector<Elem> buf_;
+  size_t buf_pos_ = 0;
+};
+
+// Sequential buffered writer into a LocalList.
+class ListWriter {
+ public:
+  explicit ListWriter(LocalList& list) : list_(list) {}
+  ~ListWriter() { Flush(); }
+
+  void Push(Elem v) {
+    buf_.push_back(v);
+    if (buf_.size() == kIoBufElems) Flush();
+  }
+
+  void Flush() {
+    if (buf_.empty()) return;
+    uint64_t i = pos_;
+    uint64_t taken = 0;
+    if (i < list_.dram.size()) {
+      const uint64_t take =
+          std::min<uint64_t>(buf_.size(), list_.dram.size() - i);
+      std::memcpy(list_.dram.data() + i, buf_.data(), take * kElemBytes);
+      taken = take;
+      i += take;
+    }
+    if (taken < buf_.size()) {
+      NVM_CHECK(list_.region != nullptr);
+      const uint64_t off = (i - list_.dram.size()) * kElemBytes;
+      NVM_CHECK(list_.region
+                    ->Write(off, {reinterpret_cast<const uint8_t*>(
+                                      buf_.data() + taken),
+                                  (buf_.size() - taken) * kElemBytes})
+                    .ok());
+    }
+    pos_ += buf_.size();
+    buf_.clear();
+  }
+
+ private:
+  LocalList& list_;
+  uint64_t pos_ = 0;
+  std::vector<Elem> buf_;
+};
+
+struct SortContext {
+  Testbed* testbed;
+  const PsortOptions* options;
+  minimpi::Comm* comm;
+};
+
+// Local out-of-core sort of `list` in place (logically): sorts the DRAM
+// part with std::sort, the NVM part window-by-window, then multiway-merges
+// everything into `out`.  Charges n·log n compute (scaled).
+void LocalSort(SortContext& ctx, net::ProcessEnv& env, LocalList& list,
+               LocalList& out) {
+  auto& clock = *env.clock;
+  const auto& cpu = env.cluster->cpu();
+  const double scale = ctx.options->compute_scale;
+
+  std::sort(list.dram.begin(), list.dram.end());
+  cpu.ChargeOps(clock, static_cast<uint64_t>(
+                           static_cast<double>(list.dram.size()) *
+                           Log2(list.dram.size()) * scale));
+
+  // Sort NVM windows in place.
+  std::vector<Elem> window;
+  uint64_t num_runs = list.dram.empty() ? 0 : 1;
+  for (uint64_t w = 0; w < list.region_elems; w += kSortWindowElems) {
+    const uint64_t n = std::min(kSortWindowElems, list.region_elems - w);
+    window.resize(n);
+    NVM_CHECK(list.region
+                  ->Read(w * kElemBytes,
+                         {reinterpret_cast<uint8_t*>(window.data()),
+                          n * kElemBytes})
+                  .ok());
+    std::sort(window.begin(), window.end());
+    cpu.ChargeOps(clock,
+                  static_cast<uint64_t>(static_cast<double>(n) * Log2(n) *
+                                        scale));
+    NVM_CHECK(list.region
+                  ->Write(w * kElemBytes,
+                          {reinterpret_cast<const uint8_t*>(window.data()),
+                           n * kElemBytes})
+                  .ok());
+    ++num_runs;
+  }
+
+  // Multiway merge of the DRAM run plus every window run (all sequential
+  // streams — the access pattern NVMalloc's chunk cache likes).
+  std::vector<std::unique_ptr<ListReader>> runs;
+  if (!list.dram.empty()) {
+    runs.push_back(std::make_unique<ListReader>(list, 0, list.dram.size()));
+  }
+  for (uint64_t w = 0; w < list.region_elems; w += kSortWindowElems) {
+    const uint64_t n = std::min(kSortWindowElems, list.region_elems - w);
+    runs.push_back(std::make_unique<ListReader>(
+        list, list.dram.size() + w, list.dram.size() + w + n));
+  }
+  using HeapEntry = std::pair<Elem, size_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  for (size_t r = 0; r < runs.size(); ++r) {
+    if (!runs[r]->Done()) heap.emplace(runs[r]->Next(), r);
+  }
+  ListWriter writer(out);
+  while (!heap.empty()) {
+    auto [v, r] = heap.top();
+    heap.pop();
+    writer.Push(v);
+    if (!runs[r]->Done()) heap.emplace(runs[r]->Next(), r);
+  }
+  writer.Flush();
+  cpu.ChargeOps(clock, static_cast<uint64_t>(
+                           static_cast<double>(list.size()) *
+                           Log2(std::max<uint64_t>(2, runs.size())) * scale));
+}
+
+// One distributed sample-sort pass over `local` (already loaded, unsorted).
+// On return, `local` holds this rank's globally ordered range.  Allocations
+// for the merged output reuse the same DRAM/NVM split; superseded storage
+// is released promptly so the node's DRAM budget is honoured.
+void SampleSortPass(SortContext& ctx, net::ProcessEnv& env,
+                    minimpi::RankHandle& mpi, LocalList& local,
+                    const std::function<LocalList(uint64_t)>& alloc,
+                    const std::function<void(LocalList&)>& release) {
+  auto& clock = *env.clock;
+  const auto& cpu = env.cluster->cpu();
+  const int P = mpi.size();
+  const double scale = ctx.options->compute_scale;
+
+  // Phase 1: local out-of-core sort.
+  LocalList sorted = alloc(local.size());
+  LocalSort(ctx, env, local, sorted);
+  std::swap(local, sorted);
+  release(sorted);  // the pre-sort storage
+
+  // Phase 2: splitter selection from P local samples per rank.
+  std::vector<Elem> samples(static_cast<size_t>(P));
+  for (int s = 0; s < P; ++s) {
+    const uint64_t idx =
+        local.size() > 0
+            ? (static_cast<uint64_t>(s) * local.size()) / static_cast<uint64_t>(P)
+            : 0;
+    samples[static_cast<size_t>(s)] =
+        local.size() > 0 ? local.Get(idx) : 0;
+  }
+  std::vector<Elem> all_samples(static_cast<size_t>(P) * samples.size());
+  mpi.Allgather({reinterpret_cast<const uint8_t*>(samples.data()),
+                 samples.size() * kElemBytes},
+                {reinterpret_cast<uint8_t*>(all_samples.data()),
+                 all_samples.size() * kElemBytes});
+  std::sort(all_samples.begin(), all_samples.end());
+  std::vector<Elem> splitters(static_cast<size_t>(P - 1));
+  for (int s = 1; s < P; ++s) {
+    splitters[static_cast<size_t>(s - 1)] =
+        all_samples[static_cast<size_t>(s) * samples.size()];
+  }
+
+  // Phase 3: bucket boundaries via one sequential scan.
+  std::vector<uint64_t> bounds(static_cast<size_t>(P + 1), local.size());
+  bounds[0] = 0;
+  {
+    ListReader scan(local, 0, local.size());
+    size_t bucket = 0;
+    for (uint64_t i = 0; i < local.size(); ++i) {
+      const Elem v = scan.Next();
+      while (bucket < splitters.size() && v >= splitters[bucket]) {
+        bounds[++bucket] = i;
+      }
+    }
+    while (bucket < splitters.size()) bounds[++bucket] = local.size();
+    cpu.ChargeOps(clock, local.size());
+  }
+
+  // Phase 4: all-to-all exchange of contiguous ranges.
+  constexpr int kSizeTag = 0x51;
+  constexpr int kDataTag = 0x52;
+  for (int dst = 0; dst < P; ++dst) {
+    if (dst == mpi.rank()) continue;
+    const uint64_t b = bounds[static_cast<size_t>(dst)];
+    const uint64_t e = bounds[static_cast<size_t>(dst) + 1];
+    mpi.SendVal<uint64_t>(dst, e - b, kSizeTag);
+    if (e > b) {
+      std::vector<Elem> buf;
+      buf.reserve(e - b);
+      ListReader r(local, b, e);
+      while (!r.Done()) buf.push_back(r.Next());
+      mpi.Send(dst,
+               {reinterpret_cast<const uint8_t*>(buf.data()),
+                buf.size() * kElemBytes},
+               kDataTag);
+    }
+  }
+  std::vector<std::vector<Elem>> received(static_cast<size_t>(P));
+  {
+    // Own bucket.
+    const uint64_t b = bounds[static_cast<size_t>(mpi.rank())];
+    const uint64_t e = bounds[static_cast<size_t>(mpi.rank()) + 1];
+    auto& own = received[static_cast<size_t>(mpi.rank())];
+    own.reserve(e - b);
+    ListReader r(local, b, e);
+    while (!r.Done()) own.push_back(r.Next());
+  }
+  uint64_t total = received[static_cast<size_t>(mpi.rank())].size();
+  for (int src = 0; src < P; ++src) {
+    if (src == mpi.rank()) continue;
+    const auto count = mpi.RecvVal<uint64_t>(src, kSizeTag);
+    auto& buf = received[static_cast<size_t>(src)];
+    buf.resize(count);
+    if (count > 0) {
+      mpi.Recv(src,
+               {reinterpret_cast<uint8_t*>(buf.data()), count * kElemBytes},
+               kDataTag);
+    }
+    total += count;
+  }
+
+  // Phase 5: multiway merge of the P sorted runs into the final storage.
+  LocalList merged = alloc(total);
+  {
+    using HeapEntry = std::pair<Elem, size_t>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap;
+    std::vector<size_t> cursor(static_cast<size_t>(P), 0);
+    for (size_t r = 0; r < received.size(); ++r) {
+      if (!received[r].empty()) heap.emplace(received[r][0], r);
+    }
+    ListWriter writer(merged);
+    while (!heap.empty()) {
+      auto [v, r] = heap.top();
+      heap.pop();
+      writer.Push(v);
+      if (++cursor[r] < received[r].size()) {
+        heap.emplace(received[r][cursor[r]], r);
+      }
+    }
+    writer.Flush();
+    cpu.ChargeOps(clock,
+                  static_cast<uint64_t>(static_cast<double>(total) *
+                                        Log2(static_cast<uint64_t>(P)) *
+                                        scale));
+  }
+  std::swap(local, merged);
+  release(merged);  // the pre-exchange storage
+}
+
+}  // namespace
+
+TestbedOptions PsortTestbedOptions(size_t benefactors, bool remote) {
+  TestbedOptions o;
+  o.dram_per_node = SortScaledBytes(8_GiB);  // 8 MiB per node
+  o.page_pool_bytes = 2_MiB;
+  o.benefactors = std::max<size_t>(1, benefactors);
+  o.remote_benefactors = remote;
+  return o;
+}
+
+PsortResult RunPsort(Testbed& testbed, const PsortOptions& options) {
+  PsortResult result;
+  const uint64_t total_elems = options.list_bytes / kElemBytes;
+  const size_t nprocs = options.procs_per_node * options.nodes;
+  result.elements = total_elems;
+  result.passes =
+      options.mode == PsortOptions::Mode::kDramTwoPass ? 2 : 1;
+
+  // Seed the PFS input file (uncharged: the data pre-exists).
+  uint64_t input_checksum = 0;
+  {
+    auto& file = testbed.PfsHostFile("sort_input");
+    file.resize(options.list_bytes);
+    auto* elems = reinterpret_cast<Elem*>(file.data());
+    Xoshiro256 rng(options.seed);
+    for (uint64_t i = 0; i < total_elems; ++i) {
+      elems[i] = rng.Next();
+      input_checksum += elems[i];
+    }
+  }
+
+  const std::vector<int> placement =
+      testbed.Placement(options.procs_per_node, options.nodes);
+  minimpi::Comm comm(testbed.cluster(), placement);
+  SortContext ctx{&testbed, &options, &comm};
+
+  std::atomic<bool> verified{true};
+  std::atomic<uint64_t> out_checksum{0};
+  std::atomic<uint64_t> out_count{0};
+
+  const int64_t makespan = testbed.cluster().RunProcesses(
+      placement, [&](net::ProcessEnv& env) {
+    auto mpi = comm.rank_handle(env.rank);
+    auto& clock = *env.clock;
+    auto& runtime = testbed.runtime(env.node_id);
+    const int P = static_cast<int>(nprocs);
+
+    // Storage allocator for this rank: DRAM-first split per the mode.
+    // release() must be called on storage that leaves scope so the DRAM
+    // budget and NVM space are returned promptly.
+    uint64_t dram_reserved = 0;
+    auto alloc = [&](uint64_t elems) -> LocalList {
+      LocalList list;
+      uint64_t dram_elems = elems;
+      if (options.mode == PsortOptions::Mode::kHybridNvm) {
+        dram_elems = static_cast<uint64_t>(
+            static_cast<double>(elems) * options.dram_fraction);
+      }
+      // Out-of-core spill: when the node's DRAM budget is exhausted (e.g.
+      // while the pre-sort and post-sort copies briefly coexist), a
+      // hybrid allocation falls back to the NVM store entirely — exactly
+      // what an out-of-core sort does with its scratch space.  The
+      // DRAM-only mode has nowhere to spill: its transient double-buffer
+      // is tolerated unreserved, like the paper's (in-place) quicksort
+      // working memory — the budget still forces its two-pass structure.
+      uint64_t reserved_now = 0;
+      if (env.node().ReserveDram(dram_elems * kElemBytes).ok()) {
+        reserved_now = dram_elems * kElemBytes;
+      } else if (options.mode == PsortOptions::Mode::kHybridNvm) {
+        dram_elems = 0;
+      }
+      const uint64_t region_elems = elems - dram_elems;
+      dram_reserved += reserved_now;
+      list.dram_reserved_bytes = reserved_now;
+      list.dram.resize(dram_elems);
+      list.region_elems = region_elems;
+      if (region_elems > 0) {
+        auto r = runtime.SsdMalloc(region_elems * kElemBytes);
+        NVM_CHECK(r.ok(), "%s", r.status().ToString().c_str());
+        list.region = *r;
+      }
+      return list;
+    };
+    std::function<void(LocalList&)> release = [&](LocalList& list) {
+      const uint64_t bytes = list.dram_reserved_bytes;
+      if (bytes > 0) {
+        env.node().ReleaseDram(bytes);
+        NVM_CHECK(dram_reserved >= bytes);
+        dram_reserved -= bytes;
+        list.dram_reserved_bytes = 0;
+      }
+      if (list.region != nullptr) {
+        NVM_CHECK(runtime.SsdFree(list.region).ok());
+        list.region = nullptr;
+      }
+      list.dram.clear();
+      list.dram.shrink_to_fit();
+      list.region_elems = 0;
+    };
+
+    auto load_from_pfs = [&](const std::string& name, uint64_t begin,
+                             uint64_t count) -> LocalList {
+      LocalList list = alloc(count);
+      std::vector<Elem> buf;
+      uint64_t done = 0;
+      ListWriter writer(list);
+      while (done < count) {
+        const uint64_t n = std::min<uint64_t>(kIoBufElems, count - done);
+        buf.resize(n);
+        NVM_CHECK(testbed
+                      .PfsReadFile(clock, name, (begin + done) * kElemBytes,
+                                   {reinterpret_cast<uint8_t*>(buf.data()),
+                                    n * kElemBytes})
+                      .ok());
+        for (Elem v : buf) writer.Push(v);
+        done += n;
+      }
+      writer.Flush();
+      return list;
+    };
+
+    auto verify_and_account = [&](LocalList& local) {
+      // Local sortedness + cross-rank boundary order + global checksum.
+      ListReader r(local, 0, local.size());
+      Elem prev = 0;
+      Elem first = 0;
+      Elem last = 0;
+      uint64_t sum = 0;
+      bool sorted = true;
+      for (uint64_t i = 0; i < local.size(); ++i) {
+        const Elem v = r.Next();
+        if (i == 0) {
+          first = v;
+        } else if (v < prev) {
+          sorted = false;
+        }
+        sum += v;
+        prev = v;
+        last = v;
+      }
+      if (!sorted) verified.store(false);
+      constexpr int kEdgeTag = 0x3e;
+      if (mpi.rank() + 1 < P) mpi.SendVal<Elem>(mpi.rank() + 1, last, kEdgeTag);
+      if (mpi.rank() > 0) {
+        const Elem prev_max = mpi.RecvVal<Elem>(mpi.rank() - 1, kEdgeTag);
+        if (local.size() > 0 && prev_max > first) verified.store(false);
+      }
+      out_checksum.fetch_add(sum);
+      out_count.fetch_add(local.size());
+    };
+
+    if (options.mode == PsortOptions::Mode::kHybridNvm) {
+      auto [e0, e1] = minimpi::Comm::BlockRange(total_elems, P, env.rank);
+      LocalList local = load_from_pfs("sort_input", e0, e1 - e0);
+      SampleSortPass(ctx, env, mpi, local, alloc, release);
+      env.Barrier();
+      verify_and_account(local);
+      release(local);
+    } else {
+      // Two-pass external sort: each half sorted independently through the
+      // PFS, then a final global merge by the master.
+      for (int half = 0; half < 2; ++half) {
+        const uint64_t h0 = half == 0 ? 0 : total_elems / 2;
+        const uint64_t h1 = half == 0 ? total_elems / 2 : total_elems;
+        auto [e0, e1] =
+            minimpi::Comm::BlockRange(h1 - h0, P, env.rank);
+        LocalList local = load_from_pfs("sort_input", h0 + e0, e1 - e0);
+        SampleSortPass(ctx, env, mpi, local, alloc, release);
+
+        // Compute my write offset within the sorted half (prefix sum of
+        // per-rank counts) and stream it out to the PFS.
+        std::vector<uint64_t> counts(static_cast<size_t>(P));
+        const uint64_t mine = local.size();
+        mpi.Allgather({reinterpret_cast<const uint8_t*>(&mine), 8},
+                      {reinterpret_cast<uint8_t*>(counts.data()),
+                       counts.size() * 8});
+        uint64_t offset = 0;
+        for (int r = 0; r < mpi.rank(); ++r) {
+          offset += counts[static_cast<size_t>(r)];
+        }
+        const std::string half_name = "sort_half" + std::to_string(half);
+        ListReader reader(local, 0, local.size());
+        std::vector<Elem> buf;
+        uint64_t done = 0;
+        while (done < local.size()) {
+          const uint64_t n =
+              std::min<uint64_t>(kIoBufElems, local.size() - done);
+          buf.resize(n);
+          for (uint64_t i = 0; i < n; ++i) buf[i] = reader.Next();
+          NVM_CHECK(testbed
+                        .PfsWriteFile(clock, half_name,
+                                      (offset + done) * kElemBytes,
+                                      {reinterpret_cast<const uint8_t*>(
+                                           buf.data()),
+                                       n * kElemBytes})
+                        .ok());
+          done += n;
+        }
+        // Release this pass's storage before the next one.
+        release(local);
+        env.Barrier();
+      }
+
+      // Final merge of the two sorted halves (master-streamed, the
+      // "significant data exchange between passes" of the paper).
+      if (env.rank == 0) {
+        const uint64_t n0 = total_elems / 2;
+        const uint64_t n1 = total_elems - n0;
+        std::vector<Elem> buf_a(kIoBufElems);
+        std::vector<Elem> buf_b(kIoBufElems);
+        std::vector<Elem> out;
+        out.reserve(kIoBufElems);
+        uint64_t ia = 0, ib = 0, la = 0, lb = 0, fa = 0, fb = 0, wo = 0;
+        auto refill = [&](const char* name, std::vector<Elem>& buf,
+                          uint64_t& idx, uint64_t& len, uint64_t& fetched,
+                          uint64_t total) {
+          if (idx < len || fetched >= total) return;
+          const uint64_t n = std::min<uint64_t>(kIoBufElems, total - fetched);
+          NVM_CHECK(testbed
+                        .PfsReadFile(clock, name, fetched * kElemBytes,
+                                     {reinterpret_cast<uint8_t*>(buf.data()),
+                                      n * kElemBytes})
+                        .ok());
+          fetched += n;
+          len = n;
+          idx = 0;
+        };
+        auto flush_out = [&] {
+          if (out.empty()) return;
+          NVM_CHECK(testbed
+                        .PfsWriteFile(clock, "sort_output", wo * kElemBytes,
+                                      {reinterpret_cast<const uint8_t*>(
+                                           out.data()),
+                                       out.size() * kElemBytes})
+                        .ok());
+          wo += out.size();
+          out.clear();
+        };
+        while (fa < n0 || fb < n1 || ia < la || ib < lb) {
+          refill("sort_half0", buf_a, ia, la, fa, n0);
+          refill("sort_half1", buf_b, ib, lb, fb, n1);
+          const bool a_live = ia < la;
+          const bool b_live = ib < lb;
+          if (!a_live && !b_live) break;
+          Elem v;
+          if (a_live && (!b_live || buf_a[ia] <= buf_b[ib])) {
+            v = buf_a[ia++];
+          } else {
+            v = buf_b[ib++];
+          }
+          out.push_back(v);
+          if (out.size() == kIoBufElems) flush_out();
+        }
+        flush_out();
+        env.cluster->cpu().ChargeOps(
+            clock, static_cast<uint64_t>(static_cast<double>(total_elems) *
+                                         options.compute_scale));
+      }
+      env.Barrier();
+    }
+
+    NVM_CHECK(dram_reserved == 0, "leaked sort DRAM reservation");
+  });
+
+  result.seconds = static_cast<double>(makespan) / 1e9;
+
+  if (options.mode == PsortOptions::Mode::kHybridNvm) {
+    result.verified = verified.load() && out_count.load() == total_elems &&
+                      out_checksum.load() == input_checksum;
+  } else {
+    // Check the final PFS output host-side.
+    auto& out = testbed.PfsHostFile("sort_output");
+    const auto* elems = reinterpret_cast<const Elem*>(out.data());
+    const uint64_t n = out.size() / kElemBytes;
+    bool ok = n == total_elems;
+    uint64_t sum = 0;
+    for (uint64_t i = 0; ok && i < n; ++i) {
+      if (i > 0 && elems[i] < elems[i - 1]) ok = false;
+      sum += elems[i];
+    }
+    result.verified = ok && sum == input_checksum;
+  }
+  return result;
+}
+
+}  // namespace nvm::workloads

@@ -1,0 +1,56 @@
+// Parallel out-of-core sorting (paper §IV-B-3, Table VI).
+//
+// The paper sorts a 200 GB list on a machine with 128 GB of aggregate
+// DRAM, comparing
+//   DRAM(8:16:0)  — data does not fit: two-pass external sort with the
+//                   PFS holding interim sorted runs, plus a final merge,
+//   L/R-SSD(x:y:z) — hybrid DRAM + NVMalloc: part of every process's block
+//                   lives in DRAM, the rest in an ssdmalloc'd region, and
+//                   the whole list sorts in a single pass.
+//
+// Both modes use the same distributed sample-sort skeleton (local sort →
+// splitter selection → all-to-all exchange → local multiway merge); the
+// hybrid mode's local phase is itself out-of-core: the NVM-resident part
+// is sorted window-by-window and merged with sequential streams — the
+// NVM-friendly access pattern the paper advocates.
+//
+// Scale: 1 GiB paper : 1 MiB here (node DRAM 8 GiB -> 8 MiB, list
+// 200 GB -> 200 MiB), preserving the paper's 1.5625 list : DRAM ratio.
+#pragma once
+
+#include "workloads/testbed.hpp"
+
+namespace nvm::workloads {
+
+inline constexpr uint64_t kSortDataScale = 1024;
+inline constexpr uint64_t SortScaledBytes(uint64_t paper_bytes) {
+  return paper_bytes / kSortDataScale;
+}
+
+TestbedOptions PsortTestbedOptions(size_t benefactors, bool remote);
+
+struct PsortOptions {
+  enum class Mode { kDramTwoPass, kHybridNvm };
+
+  uint64_t list_bytes = SortScaledBytes(200_GiB);  // 200 MiB of uint64
+  size_t procs_per_node = 8;
+  size_t nodes = 16;
+  Mode mode = Mode::kHybridNvm;
+  // Fraction of each process's block held in DRAM (hybrid mode):
+  // L-SSD(8:16:16) = 100/200 GB -> 0.5; R-SSD(8:8:8) = 50/200 -> 0.25.
+  double dram_fraction = 0.5;
+  // n·log n correction for the scaled-down element count.
+  double compute_scale = 1.4;
+  uint64_t seed = 42;
+};
+
+struct PsortResult {
+  double seconds = 0;
+  int passes = 1;
+  bool verified = false;
+  uint64_t elements = 0;
+};
+
+PsortResult RunPsort(Testbed& testbed, const PsortOptions& options);
+
+}  // namespace nvm::workloads

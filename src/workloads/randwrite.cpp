@@ -1,0 +1,57 @@
+#include "workloads/randwrite.hpp"
+
+#include <atomic>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace nvm::workloads {
+
+RandWriteResult RunRandWrite(Testbed& testbed,
+                             const RandWriteOptions& options) {
+  RandWriteResult result;
+  constexpr int kNode = 0;
+  auto& runtime = testbed.runtime(kNode);
+  runtime.mount().cache().ResetTraffic();
+  runtime.mount().client().ResetCounters();
+
+  std::atomic<bool> verified{true};
+  const std::vector<int> placement = {kNode};
+  const int64_t makespan = testbed.cluster().RunProcesses(
+      placement, [&](net::ProcessEnv& env) {
+        auto r = runtime.SsdMalloc(options.region_bytes);
+        NVM_CHECK(r.ok(), "%s", r.status().ToString().c_str());
+        NvmRegion* region = *r;
+
+        // Host shadow of the expected contents for verification.
+        std::vector<uint8_t> shadow(options.region_bytes, 0);
+        Xoshiro256 rng(options.seed);
+        for (uint64_t w = 0; w < options.num_writes; ++w) {
+          const uint64_t offset = rng.NextBelow(options.region_bytes);
+          const uint8_t value = static_cast<uint8_t>(rng.Next());
+          NVM_CHECK(region->Write(offset, {&value, 1}).ok());
+          shadow[offset] = value;
+        }
+        NVM_CHECK(region->Sync().ok());
+
+        // Spot-check 4096 random offsets against the shadow.
+        Xoshiro256 check(options.seed ^ 0xABCD);
+        for (int s = 0; s < 4096; ++s) {
+          const uint64_t offset = check.NextBelow(options.region_bytes);
+          uint8_t got = 0;
+          NVM_CHECK(region->Read(offset, {&got, 1}).ok());
+          if (got != shadow[offset]) verified.store(false);
+        }
+        NVM_CHECK(runtime.SsdFree(region).ok());
+        (void)env;
+      });
+
+  const auto& traffic = runtime.mount().cache().traffic();
+  result.bytes_to_fuse = traffic.app_bytes_written;
+  result.bytes_to_ssd = runtime.mount().client().bytes_flushed();
+  result.seconds = static_cast<double>(makespan) / 1e9;
+  result.verified = verified.load();
+  return result;
+}
+
+}  // namespace nvm::workloads

@@ -1,0 +1,30 @@
+// Random-write synthetic application (paper §IV-B-4, Table VII): byte-
+// granularity writes to random addresses inside an NVM-resident variable,
+// the extreme case for NVMalloc's dirty-page write-back optimisation.
+//
+// With the optimisation on, a chunk eviction ships only its dirty 4 KB
+// pages to the benefactor; with it off, the whole chunk travels.  The
+// toggle lives in the testbed's fuselite config (dirty_page_writeback).
+#pragma once
+
+#include "workloads/testbed.hpp"
+
+namespace nvm::workloads {
+
+struct RandWriteOptions {
+  uint64_t region_bytes = ScaledBytes(2_GiB);  // 16 MiB
+  uint64_t num_writes = 131072;                // paper: 128 K byte-writes
+  uint64_t seed = 7;
+};
+
+struct RandWriteResult {
+  uint64_t bytes_to_fuse = 0;  // page traffic handed to the FUSE layer
+  uint64_t bytes_to_ssd = 0;   // data shipped to benefactor SSDs
+  double seconds = 0;
+  bool verified = false;
+};
+
+RandWriteResult RunRandWrite(Testbed& testbed,
+                             const RandWriteOptions& options);
+
+}  // namespace nvm::workloads

@@ -1,0 +1,235 @@
+#include "workloads/stream.hpp"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/log.hpp"
+#include "minimpi/comm.hpp"
+
+namespace nvm::workloads {
+namespace {
+
+constexpr double kScalar = 3.0;
+constexpr uint64_t kBlockElems = 512;  // one 4 KiB page of doubles
+
+// Standard McCalpin STREAM kernels over arrays a, b, c (note that every
+// kernel involves array c — this is why the paper's Table III, with c on
+// the SSD, sees similar bandwidth on all four):
+//   COPY:  c = a;  SCALE: b = q*c;  ADD: c = a + b;  TRIAD: a = b + q*c.
+struct KernelSpec {
+  int dst;
+  int src1;
+  int src2;  // -1 when unused
+};
+constexpr KernelSpec kKernels[4] = {
+    /*COPY*/ {2, 0, -1},
+    /*SCALE*/ {1, 2, -1},
+    /*ADD*/ {2, 0, 1},
+    /*TRIAD*/ {0, 1, 2},
+};
+
+// A pinned view of one block of a STREAM array: for a DRAM array, a bare
+// pointer; for an NVM array, a pin guard keeping the pages resident until
+// the block has been processed.
+struct BlockRef {
+  double* ptr = nullptr;
+  PinnedSpan guard;
+};
+
+// One of the three STREAM arrays: either a slice of host DRAM (charged on
+// the node's memory channel) or an NVMalloc region.
+class StreamArray {
+ public:
+  StreamArray(bool on_nvm, std::vector<double>* dram, NvmRegion* region)
+      : on_nvm_(on_nvm), dram_(dram), region_(region) {}
+
+  // Pin `count` elements at `index`; fault costs are charged for NVM
+  // arrays, nothing for DRAM (its stream traffic is charged by the kernel).
+  BlockRef Pin(size_t index, size_t count, bool for_write) {
+    BlockRef ref;
+    if (!on_nvm_) {
+      ref.ptr = dram_->data() + index;
+      return ref;
+    }
+    auto p = region_->Pin(index * sizeof(double), count * sizeof(double),
+                          for_write);
+    NVM_CHECK(p.ok(), "stream pin failed: %s", p.status().ToString().c_str());
+    ref.guard = std::move(*p);
+    ref.ptr = reinterpret_cast<double*>(ref.guard.data());
+    return ref;
+  }
+
+ private:
+  bool on_nvm_;
+  std::vector<double>* dram_;
+  NvmRegion* region_;
+};
+
+void RunKernelBlock(StreamKernel kernel, double* dst, const double* s1,
+                    const double* s2, uint64_t n) {
+  switch (kernel) {
+    case StreamKernel::kCopy:
+      for (uint64_t i = 0; i < n; ++i) dst[i] = s1[i];
+      break;
+    case StreamKernel::kScale:
+      for (uint64_t i = 0; i < n; ++i) dst[i] = kScalar * s1[i];
+      break;
+    case StreamKernel::kAdd:
+      for (uint64_t i = 0; i < n; ++i) dst[i] = s1[i] + s2[i];
+      break;
+    case StreamKernel::kTriad:
+      for (uint64_t i = 0; i < n; ++i) dst[i] = s1[i] + kScalar * s2[i];
+      break;
+  }
+}
+
+}  // namespace
+
+std::string PlacementLabel(const StreamOptions& opts) {
+  std::string label;
+  if (opts.a_on_nvm) label += "A";
+  if (opts.b_on_nvm) label += label.empty() ? "B" : "&B";
+  if (opts.c_on_nvm) label += label.empty() ? "C" : "&C";
+  return label.empty() ? "None" : label;
+}
+
+StreamResult RunStream(Testbed& testbed, const StreamOptions& options) {
+  const uint64_t n = options.array_bytes / sizeof(double);
+  const size_t threads = options.threads;
+  constexpr int kNode = 0;
+
+  // DRAM-resident arrays live in plain host vectors; their footprint is
+  // reserved against the node budget the way the paper mlock()s memory.
+  const bool on_nvm[3] = {options.a_on_nvm, options.b_on_nvm,
+                          options.c_on_nvm};
+  std::vector<double> dram_arrays[3];
+  NvmRegion* nvm_regions[3] = {nullptr, nullptr, nullptr};
+  uint64_t dram_reserved = 0;
+  auto& node = testbed.cluster().node(kNode);
+  auto& runtime = testbed.runtime(kNode);
+  static const char* kNames[3] = {"stream_a", "stream_b", "stream_c"};
+  for (int i = 0; i < 3; ++i) {
+    if (on_nvm[i]) {
+      auto r = runtime.SsdMalloc(options.array_bytes,
+                                 {.shared = true, .shared_name = kNames[i]});
+      NVM_CHECK(r.ok(), "ssdmalloc failed: %s",
+                r.status().ToString().c_str());
+      nvm_regions[i] = *r;
+    } else {
+      NVM_CHECK(node.ReserveDram(options.array_bytes).ok(),
+                "STREAM DRAM arrays exceed the node budget");
+      dram_reserved += options.array_bytes;
+      dram_arrays[i].assign(n, 0.0);
+    }
+  }
+
+  // Scalar shadow of the element value each array holds after all enabled
+  // kernels ran (all elements evolve identically; each kernel is
+  // idempotent across its iterations), for exact verification.
+  double expect[3] = {1.0, 2.0, 0.0};
+  for (int k = 0; k < 4; ++k) {
+    if (!options.run_kernel[static_cast<size_t>(k)]) continue;
+    const KernelSpec spec = kKernels[k];
+    const double s1 = expect[spec.src1];
+    const double s2 = spec.src2 >= 0 ? expect[spec.src2] : 0.0;
+    switch (static_cast<StreamKernel>(k)) {
+      case StreamKernel::kCopy: expect[spec.dst] = s1; break;
+      case StreamKernel::kScale: expect[spec.dst] = kScalar * s1; break;
+      case StreamKernel::kAdd: expect[spec.dst] = s1 + s2; break;
+      case StreamKernel::kTriad: expect[spec.dst] = s1 + kScalar * s2; break;
+    }
+  }
+
+  StreamResult result;
+  std::array<std::atomic<int64_t>, 4> kernel_ns;
+  for (auto& t : kernel_ns) t.store(0);
+  std::atomic<bool> verify_ok{true};
+
+  const std::vector<int> placement(threads, kNode);
+  testbed.cluster().RunProcesses(placement, [&](net::ProcessEnv& env) {
+    StreamArray arrays[3] = {
+        StreamArray(on_nvm[0], &dram_arrays[0], nvm_regions[0]),
+        StreamArray(on_nvm[1], &dram_arrays[1], nvm_regions[1]),
+        StreamArray(on_nvm[2], &dram_arrays[2], nvm_regions[2]),
+    };
+    auto [begin, end] = minimpi::Comm::BlockRange(
+        n, static_cast<int>(env.nprocs), env.rank);
+    auto& dram = env.node().dram();
+    const auto& cpu = env.cluster->cpu();
+
+    // Initialise this rank's slice (outside the timed phase).
+    for (uint64_t i = begin; i < end; i += kBlockElems) {
+      const uint64_t len = std::min(kBlockElems, end - i);
+      BlockRef pa = arrays[0].Pin(i, len, true);
+      BlockRef pb = arrays[1].Pin(i, len, true);
+      BlockRef pc = arrays[2].Pin(i, len, true);
+      for (uint64_t j = 0; j < len; ++j) {
+        pa.ptr[j] = 1.0;
+        pb.ptr[j] = 2.0;
+        pc.ptr[j] = 0.0;
+      }
+    }
+    env.Barrier();
+
+    for (int k = 0; k < 4; ++k) {
+      if (!options.run_kernel[static_cast<size_t>(k)]) continue;
+      const KernelSpec spec = kKernels[k];
+      const int arrays_touched = spec.src2 >= 0 ? 3 : 2;
+      const int64_t t0 = env.clock->now();
+      for (int iter = 0; iter < options.iterations; ++iter) {
+        for (uint64_t i = begin; i < end; i += kBlockElems) {
+          const uint64_t len = std::min(kBlockElems, end - i);
+          BlockRef s1 = arrays[spec.src1].Pin(i, len, false);
+          BlockRef s2 = spec.src2 >= 0
+                            ? arrays[spec.src2].Pin(i, len, false)
+                            : BlockRef{};
+          BlockRef d = arrays[spec.dst].Pin(i, len, true);
+          RunKernelBlock(static_cast<StreamKernel>(k), d.ptr, s1.ptr,
+                         s2.ptr, len);
+          // Streamed bytes hit the node memory channel for every array
+          // (mapped-in NVM pages are DRAM pages too).
+          dram.ChargeRead(*env.clock, static_cast<uint64_t>(
+                                          arrays_touched - 1) *
+                                          len * sizeof(double));
+          dram.ChargeWrite(*env.clock, len * sizeof(double));
+          cpu.ChargeFlops(*env.clock, 2 * len);
+        }
+      }
+      env.Barrier();
+      const int64_t dt = env.clock->now() - t0;
+      int64_t prev = kernel_ns[static_cast<size_t>(k)].load();
+      while (prev < dt && !kernel_ns[static_cast<size_t>(k)]
+                               .compare_exchange_weak(prev, dt)) {
+      }
+    }
+
+    // Verify every array against the scalar shadow on this rank's slice.
+    for (int a = 0; a < 3; ++a) {
+      for (uint64_t i = begin; i < end;
+           i += (end - begin > 64) ? 977 : 1) {
+        BlockRef p = arrays[a].Pin(i, 1, false);
+        if (*p.ptr != expect[a]) verify_ok.store(false);
+      }
+    }
+  });
+
+  for (int k = 0; k < 4; ++k) {
+    if (!options.run_kernel[static_cast<size_t>(k)]) continue;
+    const int64_t dt = kernel_ns[static_cast<size_t>(k)].load();
+    const int arrays = (k >= 2) ? 3 : 2;
+    const uint64_t bytes = static_cast<uint64_t>(arrays) *
+                           options.array_bytes *
+                           static_cast<uint64_t>(options.iterations);
+    result.duration_ns[static_cast<size_t>(k)] = dt;
+    result.mbps[static_cast<size_t>(k)] = ToMBps(bytes, dt);
+  }
+  result.verified = verify_ok.load();
+
+  for (auto* region : nvm_regions) {
+    if (region != nullptr) NVM_CHECK(runtime.SsdFree(region).ok());
+  }
+  node.ReleaseDram(dram_reserved);
+  return result;
+}
+
+}  // namespace nvm::workloads

@@ -1,0 +1,46 @@
+// STREAM (McCalpin) vector kernels — COPY / SCALE / ADD / TRIAD — with any
+// subset of the three arrays placed on the aggregate NVM store via
+// NVMalloc (paper §IV-B-1, Fig. 2 and Table III).
+//
+// Every array's bytes are streamed through the node's modelled DRAM (a
+// page that is mapped in is read from memory like any other); arrays on
+// NVM additionally pay page-fault + chunk-fetch costs through the full
+// NVMalloc stack.  This is the paper's worst case: no reuse, no compute to
+// hide latency behind.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "workloads/testbed.hpp"
+
+namespace nvm::workloads {
+
+enum class StreamKernel : int { kCopy = 0, kScale, kAdd, kTriad };
+inline constexpr std::array<const char*, 4> kStreamKernelNames = {
+    "COPY", "SCALE", "ADD", "TRIAD"};
+
+struct StreamOptions {
+  uint64_t array_bytes = ScaledBytes(2_GiB);  // 16 MiB per array
+  int iterations = 10;                        // paper: TIMES = 10
+  size_t threads = 8;                         // one node, 8 cores
+  bool a_on_nvm = false;
+  bool b_on_nvm = false;
+  bool c_on_nvm = false;
+  // Which kernels to run (all four by default).
+  std::array<bool, 4> run_kernel = {true, true, true, true};
+};
+
+struct StreamResult {
+  // Sustained modelled bandwidth per kernel, MB/s (0 if not run).
+  std::array<double, 4> mbps = {};
+  std::array<int64_t, 4> duration_ns = {};
+  bool verified = false;  // TRIAD output spot-checked
+};
+
+// Human label for an array-placement combination ("None", "A", "B&C"...).
+std::string PlacementLabel(const StreamOptions& opts);
+
+StreamResult RunStream(Testbed& testbed, const StreamOptions& options);
+
+}  // namespace nvm::workloads

@@ -1,0 +1,99 @@
+#include "workloads/testbed.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "sim/device.hpp"
+
+namespace nvm::workloads {
+
+Testbed::Testbed(TestbedOptions options) : options_(options) {
+  net::ClusterConfig cc;
+  // Compute nodes plus an equal pool of spare nodes for remote benefactors.
+  cc.num_nodes = options_.compute_nodes * 2;
+  cc.cores_per_node = options_.cores_per_node;
+  cc.dram_bytes_per_node = options_.dram_per_node;
+  cc.ssd_profile = options_.ssd_profile;
+  cc.all_nodes_have_ssd = true;
+  cluster_ = std::make_unique<net::Cluster>(cc);
+
+  store::AggregateStoreConfig sc;
+  sc.store = options_.store;
+  sc.contribution_bytes = options_.contribution_bytes;
+  const int base =
+      options_.remote_benefactors ? static_cast<int>(options_.compute_nodes)
+                                  : 0;
+  for (size_t i = 0; i < options_.benefactors; ++i) {
+    sc.benefactor_nodes.push_back(base + static_cast<int>(i));
+  }
+  // The manager runs alongside the first benefactor (a "fat node" role).
+  sc.manager_node = sc.benefactor_nodes.front();
+  store_ = std::make_unique<store::AggregateStore>(*cluster_, sc);
+
+  NvmallocConfig nc;
+  nc.fuse = options_.fuse;
+  nc.page_pool_bytes = options_.page_pool_bytes;
+  nc.page_fault_ns = options_.page_fault_ns;
+  runtimes_.reserve(cc.num_nodes);
+  for (size_t n = 0; n < cc.num_nodes; ++n) {
+    runtimes_.push_back(std::make_unique<NvmallocRuntime>(
+        *store_, static_cast<int>(n), nc));
+  }
+}
+
+void Testbed::PfsRead(sim::VirtualClock& clock, uint64_t bytes) {
+  pfs_bytes_.Add(bytes);
+  pfs_.Acquire(clock, sim::TransferNs(bytes, options_.pfs.bw_mbps,
+                                      options_.pfs.latency_ns));
+}
+
+void Testbed::PfsWrite(sim::VirtualClock& clock, uint64_t bytes) {
+  pfs_bytes_.Add(bytes);
+  pfs_.Acquire(clock, sim::TransferNs(bytes, options_.pfs.bw_mbps,
+                                      options_.pfs.latency_ns));
+}
+
+Status Testbed::PfsWriteFile(sim::VirtualClock& clock,
+                             const std::string& name, uint64_t offset,
+                             std::span<const uint8_t> data) {
+  PfsWrite(clock, data.size());
+  std::lock_guard<std::mutex> lock(pfs_mutex_);
+  auto& file = pfs_files_[name];
+  if (file.size() < offset + data.size()) file.resize(offset + data.size());
+  std::memcpy(file.data() + offset, data.data(), data.size());
+  return OkStatus();
+}
+
+Status Testbed::PfsReadFile(sim::VirtualClock& clock,
+                            const std::string& name, uint64_t offset,
+                            std::span<uint8_t> out) {
+  PfsRead(clock, out.size());
+  std::lock_guard<std::mutex> lock(pfs_mutex_);
+  auto it = pfs_files_.find(name);
+  if (it == pfs_files_.end()) return NotFound("PFS file '" + name + "'");
+  if (offset + out.size() > it->second.size()) {
+    return OutOfRange("PFS read past EOF of '" + name + "'");
+  }
+  std::memcpy(out.data(), it->second.data() + offset, out.size());
+  return OkStatus();
+}
+
+std::vector<uint8_t>& Testbed::PfsHostFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(pfs_mutex_);
+  return pfs_files_[name];
+}
+
+std::string ConfigLabel(bool on_nvm, bool remote, size_t x, size_t y,
+                        size_t z) {
+  std::string label;
+  if (!on_nvm) {
+    label = "DRAM(";
+  } else {
+    label = remote ? "R-SSD(" : "L-SSD(";
+  }
+  label += std::to_string(x) + ":" + std::to_string(y) + ":" +
+           std::to_string(on_nvm ? z : 0) + ")";
+  return label;
+}
+
+}  // namespace nvm::workloads

@@ -1,0 +1,170 @@
+// Tests for access-pattern advice (paper §III-B): write-once-read-many
+// deepens read-ahead; stream-once evicts behind the read cursor.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nvmalloc/runtime.hpp"
+#include "sim/clock.hpp"
+
+namespace nvm {
+namespace {
+
+constexpr uint64_t kChunk = 64_KiB;
+constexpr uint64_t kPage = NvmRegion::kPageBytes;
+
+struct Rig {
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<store::AggregateStore> store;
+  std::unique_ptr<NvmallocRuntime> runtime;
+
+  explicit Rig(uint64_t cache_bytes = 2_MiB) {
+    net::ClusterConfig cc;
+    cc.num_nodes = 3;
+    cluster = std::make_unique<net::Cluster>(cc);
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.benefactor_nodes = {1, 2};
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = 1;
+    store = std::make_unique<store::AggregateStore>(*cluster, sc);
+    NvmallocConfig nc;
+    nc.fuse.cache_bytes = cache_bytes;
+    runtime = std::make_unique<NvmallocRuntime>(*store, 0, nc);
+    sim::CurrentClock().Reset();
+  }
+};
+
+// Stream a region start to end through the cache (page-sized reads).
+void StreamOnce(NvmRegion* r) {
+  std::vector<uint8_t> buf(kPage);
+  for (uint64_t off = 0; off + kPage <= r->size_bytes(); off += kPage) {
+    NVM_CHECK(r->Read(off, buf).ok());
+  }
+}
+
+TEST(AdviceTest, StreamOnceEvictsBehindTheCursor) {
+  Rig rig;
+  constexpr uint64_t kBytes = 16 * kChunk;
+  auto mk = [&](fuselite::AccessAdvice advice) {
+    SsdMallocOptions o;
+    o.advice = advice;
+    auto r = rig.runtime->SsdMalloc(kBytes, o);
+    NVM_CHECK(r.ok());
+    NVM_CHECK((*r)->Write(0, std::vector<uint8_t>(kBytes, 1)).ok());
+    NVM_CHECK((*r)->Sync().ok());
+    (*r)->Invalidate();
+    NVM_CHECK(
+        rig.runtime->mount().cache().Drop(sim::CurrentClock(), (*r)->file_id())
+            .ok());
+    return *r;
+  };
+
+  // Normal advice leaves the streamed chunks resident (cache has room).
+  NvmRegion* normal = mk(fuselite::AccessAdvice::kNormal);
+  StreamOnce(normal);
+  const size_t resident_normal = rig.runtime->mount().cache().resident_chunks();
+
+  NvmRegion* once = mk(fuselite::AccessAdvice::kStreamOnce);
+  const size_t before = rig.runtime->mount().cache().resident_chunks();
+  StreamOnce(once);
+  const size_t resident_after = rig.runtime->mount().cache().resident_chunks();
+  // Evict-behind keeps at most a couple of this file's chunks resident.
+  EXPECT_LE(resident_after - before + 2, 4u);
+  EXPECT_GT(resident_normal, 8u);
+}
+
+TEST(AdviceTest, StreamOnceNeverDropsDirtyChunks) {
+  Rig rig;
+  SsdMallocOptions o;
+  o.advice = fuselite::AccessAdvice::kStreamOnce;
+  auto r = rig.runtime->SsdMalloc(8 * kChunk, o);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> data(8 * kChunk);
+  Xoshiro256 rng(3);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  // Read through the dirty data sequentially; nothing may be lost.
+  StreamOnce(*r);
+  ASSERT_TRUE((*r)->Sync().ok());
+  (*r)->Invalidate();
+  std::vector<uint8_t> got(8 * kChunk);
+  ASSERT_TRUE((*r)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+}
+
+TEST(AdviceTest, WormPrefetchesDeeper) {
+  auto prefetches = [&](fuselite::AccessAdvice advice) {
+    Rig rig;
+    SsdMallocOptions o;
+    o.advice = advice;
+    auto r = rig.runtime->SsdMalloc(16 * kChunk, o);
+    NVM_CHECK(r.ok());
+    NVM_CHECK((*r)->Write(0, std::vector<uint8_t>(16 * kChunk, 2)).ok());
+    NVM_CHECK((*r)->Sync().ok());
+    (*r)->Invalidate();
+    NVM_CHECK(rig.runtime->mount()
+                  .cache()
+                  .Drop(sim::CurrentClock(), (*r)->file_id())
+                  .ok());
+    // Read only the first half; deeper read-ahead shows up as extra
+    // prefetched chunks beyond the cursor.
+    std::vector<uint8_t> buf(kPage);
+    for (uint64_t off = 0; off < 8 * kChunk; off += kPage) {
+      NVM_CHECK((*r)->Read(off, buf).ok());
+    }
+    return rig.runtime->mount().cache().traffic().prefetched_chunks;
+  };
+  const uint64_t normal = prefetches(fuselite::AccessAdvice::kNormal);
+  const uint64_t worm = prefetches(fuselite::AccessAdvice::kWriteOnceReadMany);
+  EXPECT_GT(worm, normal);
+}
+
+TEST(AdviceTest, StreamOnceCorrectUnderMixedAccess) {
+  // Adversarial pattern for evict-behind: interleave sequential scans
+  // (which trigger the drops) with random writes and re-reads; contents
+  // must match a flat reference throughout.
+  Rig rig(/*cache_bytes=*/512_KiB);
+  SsdMallocOptions opts;
+  opts.advice = fuselite::AccessAdvice::kStreamOnce;
+  constexpr uint64_t kBytes = 12 * kChunk;
+  auto r = rig.runtime->SsdMalloc(kBytes, opts);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> reference(kBytes, 0);
+
+  Xoshiro256 rng(99);
+  std::vector<uint8_t> buf;
+  for (int round = 0; round < 6; ++round) {
+    // Random writes.
+    for (int w = 0; w < 40; ++w) {
+      const uint64_t off = rng.NextBelow(kBytes);
+      const uint64_t len =
+          1 + rng.NextBelow(std::min<uint64_t>(kBytes - off, 3 * kPage));
+      buf.resize(len);
+      for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+      ASSERT_TRUE((*r)->Write(off, buf).ok());
+      std::copy(buf.begin(), buf.end(), reference.begin() + off);
+    }
+    // A full sequential scan (the evict-behind trigger), verifying.
+    buf.resize(kPage);
+    for (uint64_t off = 0; off + kPage <= kBytes; off += kPage) {
+      ASSERT_TRUE((*r)->Read(off, buf).ok());
+      ASSERT_TRUE(std::equal(buf.begin(), buf.end(),
+                             reference.begin() + off))
+          << "round " << round << " offset " << off;
+    }
+  }
+  ASSERT_TRUE(rig.runtime->SsdFree(*r).ok());
+}
+
+TEST(AdviceTest, AdviceClearsWithNormal) {
+  Rig rig;
+  auto& cache = rig.runtime->mount().cache();
+  cache.SetAdvice(42, fuselite::AccessAdvice::kStreamOnce);
+  EXPECT_EQ(cache.advice(42), fuselite::AccessAdvice::kStreamOnce);
+  cache.SetAdvice(42, fuselite::AccessAdvice::kNormal);
+  EXPECT_EQ(cache.advice(42), fuselite::AccessAdvice::kNormal);
+  EXPECT_EQ(cache.advice(7), fuselite::AccessAdvice::kNormal);
+}
+
+}  // namespace
+}  // namespace nvm

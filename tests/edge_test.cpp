@@ -1,0 +1,300 @@
+// Edge-case and boundary tests across modules: exact-boundary pins,
+// zero-length operations, header-capacity limits, self-sends, PFS file
+// store semantics, device-profile arithmetic, and concurrent
+// open-or-create races.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "minimpi/comm.hpp"
+#include "nvmalloc/runtime.hpp"
+#include "sim/device.hpp"
+#include "workloads/testbed.hpp"
+
+namespace nvm {
+namespace {
+
+constexpr uint64_t kChunk = 64_KiB;
+constexpr uint64_t kPage = NvmRegion::kPageBytes;
+
+struct Rig {
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<store::AggregateStore> store;
+  std::unique_ptr<NvmallocRuntime> runtime;
+
+  Rig() {
+    net::ClusterConfig cc;
+    cc.num_nodes = 4;
+    cluster = std::make_unique<net::Cluster>(cc);
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.benefactor_nodes = {1, 2, 3};
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = 1;
+    store = std::make_unique<store::AggregateStore>(*cluster, sc);
+    runtime = std::make_unique<NvmallocRuntime>(*store, 0);
+    sim::CurrentClock().Reset();
+  }
+};
+
+// ---- region boundaries ----
+
+TEST(EdgeTest, PinAtExactRegionEnd) {
+  Rig rig;
+  auto r = rig.runtime->SsdMalloc(kPage * 3 + 100);  // unaligned size
+  ASSERT_TRUE(r.ok());
+  // The very last byte is accessible; one past is not.
+  auto last = (*r)->Pin(kPage * 3 + 99, 1, true);
+  ASSERT_TRUE(last.ok());
+  last->data()[0] = 0x7E;
+  EXPECT_EQ((*r)->Pin(kPage * 3 + 100, 1, false).status().code(),
+            ErrorCode::kOutOfRange);
+  EXPECT_EQ((*r)->Pin(0, kPage * 3 + 101, false).status().code(),
+            ErrorCode::kOutOfRange);
+  // Zero-length pin at the end boundary is fine.
+  EXPECT_TRUE((*r)->Pin(kPage * 3 + 100, 0, false).ok());
+  // The tail partial page round-trips through the store.
+  ASSERT_TRUE((*r)->Sync().ok());
+  uint8_t got = 0;
+  ASSERT_TRUE((*r)->Read(kPage * 3 + 99, {&got, 1}).ok());
+  EXPECT_EQ(got, 0x7E);
+}
+
+TEST(EdgeTest, EmptyReadsAndWritesAreNoops) {
+  Rig rig;
+  auto r = rig.runtime->SsdMalloc(kPage);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> empty;
+  EXPECT_TRUE((*r)->Read(0, empty).ok());
+  EXPECT_TRUE((*r)->Write(kPage, empty).ok());  // at end, zero length
+  EXPECT_TRUE((*r)->Sync().ok());
+}
+
+TEST(EdgeTest, SyncWithNothingDirtyIsCheap) {
+  Rig rig;
+  auto r = rig.runtime->SsdMalloc(4 * kPage);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> buf(kPage);
+  ASSERT_TRUE((*r)->Read(0, buf).ok());
+  const int64_t t0 = sim::CurrentClock().now();
+  ASSERT_TRUE((*r)->Sync().ok());
+  // No dirty pages: no store writes, negligible time.
+  EXPECT_EQ(rig.cluster->TotalSsdBytesWritten(), 0u);
+  EXPECT_LT(sim::CurrentClock().now() - t0, 1'000'000);
+}
+
+TEST(EdgeTest, RegionStatsAccumulate) {
+  Rig rig;
+  auto r = rig.runtime->SsdMalloc(8 * kPage);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> buf(3 * kPage);
+  ASSERT_TRUE((*r)->Read(kPage, buf).ok());
+  auto s = (*r)->stats();
+  EXPECT_EQ(s.page_faults, 3u);
+  EXPECT_EQ(s.bytes_faulted_in, 3 * kPage);
+  ASSERT_TRUE((*r)->Write(0, {buf.data(), 1}).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  s = (*r)->stats();
+  EXPECT_EQ(s.page_faults, 4u);
+  EXPECT_EQ(s.bytes_written_back, kPage);
+}
+
+// ---- checkpoint header limits ----
+
+TEST(EdgeTest, CheckpointRejectsTooManySegments) {
+  Rig rig;
+  std::vector<uint8_t> tiny(8, 1);
+  CheckpointSpec spec;
+  // Header chunk holds (chunk - header) / 8 sizes; exceed it.
+  const size_t too_many = kChunk / 8;
+  for (size_t i = 0; i < too_many; ++i) {
+    spec.dram.push_back({tiny.data(), tiny.size()});
+  }
+  EXPECT_DEATH(
+      { (void)rig.runtime->SsdCheckpoint(spec, "/ckpt/toomany"); },
+      "too many checkpoint segments");
+}
+
+TEST(EdgeTest, EmptyCheckpointRoundTrips) {
+  Rig rig;
+  CheckpointSpec spec;  // nothing to save
+  auto info = rig.runtime->SsdCheckpoint(spec, "/ckpt/empty");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->dram_bytes_copied, 0u);
+  RestoreSpec restore;
+  EXPECT_TRUE(rig.runtime->SsdRestart("/ckpt/empty", restore).ok());
+}
+
+TEST(EdgeTest, DuplicateCheckpointNameRejected) {
+  Rig rig;
+  CheckpointSpec spec;
+  ASSERT_TRUE(rig.runtime->SsdCheckpoint(spec, "/ckpt/dup").ok());
+  EXPECT_EQ(rig.runtime->SsdCheckpoint(spec, "/ckpt/dup").status().code(),
+            ErrorCode::kAlreadyExists);
+}
+
+// ---- mount semantics ----
+
+TEST(EdgeTest, ConcurrentOpenOrCreateConverges) {
+  Rig rig;
+  fuselite::MountPoint& mount = rig.runtime->mount();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<store::FileId> ids(kThreads, store::kInvalidFileId);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto f = mount.OpenOrCreate("/raced");
+      if (f.ok()) ids[static_cast<size_t>(t)] = f->id();
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<size_t>(t)], ids[0]);
+    EXPECT_NE(ids[static_cast<size_t>(t)], store::kInvalidFileId);
+  }
+}
+
+TEST(EdgeTest, StatReflectsImplicitGrowth) {
+  Rig rig;
+  auto f = rig.runtime->mount().Create("/grow");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->Stat()->size, 0u);
+  std::vector<uint8_t> page(kPage, 3);
+  ASSERT_TRUE(f->Write(10 * kChunk + 5, page).ok());
+  EXPECT_GE(f->Stat()->size, 10 * kChunk + 5 + kPage);
+}
+
+// ---- minimpi corners ----
+
+TEST(EdgeTest, SendToSelfWorks) {
+  net::ClusterConfig cc;
+  cc.num_nodes = 1;
+  net::Cluster cluster(cc);
+  minimpi::Comm comm(cluster, {0});
+  cluster.RunProcesses({0}, [&](net::ProcessEnv& env) {
+    auto mpi = comm.rank_handle(env.rank);
+    mpi.SendVal<int>(0, 1234);
+    EXPECT_EQ(mpi.RecvVal<int>(0), 1234);
+  });
+}
+
+TEST(EdgeTest, ZeroByteMessage) {
+  net::ClusterConfig cc;
+  cc.num_nodes = 2;
+  net::Cluster cluster(cc);
+  minimpi::Comm comm(cluster, {0, 1});
+  cluster.RunProcesses({0, 1}, [&](net::ProcessEnv& env) {
+    auto mpi = comm.rank_handle(env.rank);
+    if (env.rank == 0) {
+      mpi.Send(1, {});
+    } else {
+      std::vector<uint8_t> none;
+      mpi.Recv(0, none);
+    }
+  });
+}
+
+TEST(EdgeTest, SingleRankCollectivesAreIdentity) {
+  net::ClusterConfig cc;
+  cc.num_nodes = 1;
+  net::Cluster cluster(cc);
+  minimpi::Comm comm(cluster, {0});
+  cluster.RunProcesses({0}, [&](net::ProcessEnv& env) {
+    auto mpi = comm.rank_handle(env.rank);
+    std::vector<uint8_t> data(64, 9);
+    mpi.Bcast(data, 0);
+    EXPECT_EQ(data[0], 9);
+    EXPECT_EQ(mpi.AllreduceSum<int64_t>(41), 41);
+    std::vector<uint8_t> out(64);
+    mpi.Allgather(data, out);
+    EXPECT_EQ(out, data);
+    mpi.Barrier();
+  });
+}
+
+// ---- PFS file store ----
+
+TEST(EdgeTest, PfsFilesRoundTripAndCharge) {
+  workloads::TestbedOptions to;
+  to.compute_nodes = 2;
+  to.benefactors = 2;
+  workloads::Testbed tb(to);
+  auto& clock = sim::CurrentClock();
+  std::vector<uint8_t> data(100'000);
+  Xoshiro256 rng(1);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+
+  const int64_t t0 = clock.now();
+  ASSERT_TRUE(tb.PfsWriteFile(clock, "f", 5000, data).ok());
+  EXPECT_GT(clock.now(), t0);  // PFS time charged
+
+  std::vector<uint8_t> got(data.size());
+  ASSERT_TRUE(tb.PfsReadFile(clock, "f", 5000, got).ok());
+  EXPECT_EQ(got, data);
+  // The hole before offset 5000 reads as zeros.
+  std::vector<uint8_t> hole(5000, 0xFF);
+  ASSERT_TRUE(tb.PfsReadFile(clock, "f", 0, hole).ok());
+  for (uint8_t b : hole) ASSERT_EQ(b, 0);
+
+  EXPECT_EQ(tb.PfsReadFile(clock, "missing", 0, got).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(tb.PfsReadFile(clock, "f", 100'000, got).code(),
+            ErrorCode::kOutOfRange);
+}
+
+// ---- device model arithmetic ----
+
+TEST(EdgeTest, AlignedWritesHaveNoAmplification) {
+  sim::SsdDevice ssd("ssd", sim::IntelX25E());
+  sim::VirtualClock c;
+  ssd.ChargeWrite(c, 0, 16 * sim::SsdDevice::kPageBytes);
+  EXPECT_DOUBLE_EQ(ssd.write_amplification(), 1.0);
+}
+
+TEST(EdgeTest, FusionIoIsProportionallyFaster) {
+  sim::SsdDevice sata("sata", sim::IntelX25E());
+  sim::SsdDevice pcie("pcie", sim::FusionIoDriveDuo());
+  sim::VirtualClock a;
+  sim::VirtualClock b;
+  sata.ChargeRead(a, 0, 10_MiB);
+  pcie.ChargeRead(b, 0, 10_MiB);
+  // 250 vs 1500 MB/s: about 6x once latency is amortised.
+  EXPECT_NEAR(static_cast<double>(a.now()) / static_cast<double>(b.now()),
+              6.0, 0.5);
+}
+
+TEST(EdgeTest, WearLevelingSpreadsHotspots) {
+  // Hammer one block after touching 16: a levelled FTL spreads the
+  // erases; a naive one concentrates them.
+  auto hammer = [](bool leveling) {
+    sim::SsdDevice ssd("ssd", sim::IntelX25E(), leveling);
+    sim::VirtualClock c;
+    // Touch 16 blocks once each.
+    for (uint64_t b = 0; b < 16; ++b) {
+      ssd.ChargeWrite(c, b * sim::SsdDevice::kEraseBlockBytes,
+                      sim::SsdDevice::kEraseBlockBytes);
+    }
+    // Then rewrite block 0 another 64 times.
+    for (int i = 0; i < 64; ++i) {
+      ssd.ChargeWrite(c, 0, sim::SsdDevice::kEraseBlockBytes);
+    }
+    return ssd.max_block_erases();
+  };
+  const uint64_t leveled = hammer(true);
+  const uint64_t naive = hammer(false);
+  EXPECT_EQ(naive, 65u);            // the hot block ate everything
+  EXPECT_EQ(leveled, (16u + 64u + 15u) / 16u);  // 80 erases over 16 blocks
+  EXPECT_LT(leveled, naive / 10);
+}
+
+TEST(EdgeTest, ZeroByteDeviceWriteIsFree) {
+  sim::SsdDevice ssd("ssd", sim::IntelX25E());
+  sim::VirtualClock c;
+  ssd.ChargeWrite(c, 123, 0);
+  EXPECT_EQ(c.now(), 0);
+  EXPECT_EQ(ssd.device_bytes_programmed(), 0u);
+}
+
+}  // namespace
+}  // namespace nvm

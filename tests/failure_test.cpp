@@ -1,0 +1,356 @@
+// Failure-injection and reconfiguration tests: benefactor crashes during
+// live workloads (with and without replication), heartbeat-driven
+// liveness, allocation rerouting around dead benefactors, and the
+// decommission/drain path for hardware upgrades.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nvmalloc/runtime.hpp"
+#include "sim/clock.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/testbed.hpp"
+
+namespace nvm {
+namespace {
+
+constexpr uint64_t kChunk = 64_KiB;
+
+struct Rig {
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<store::AggregateStore> store;
+
+  explicit Rig(int replication, int benefactors = 4) {
+    net::ClusterConfig cc;
+    cc.num_nodes = static_cast<size_t>(benefactors + 1);
+    cluster = std::make_unique<net::Cluster>(cc);
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.replication = replication;
+    for (int b = 0; b < benefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = 1;
+    store = std::make_unique<store::AggregateStore>(*cluster, sc);
+    sim::CurrentClock().Reset();
+  }
+};
+
+std::vector<uint8_t> Pattern(uint64_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : v) b = static_cast<uint8_t>(rng.Next());
+  return v;
+}
+
+TEST(FailureTest, RegionSurvivesBenefactorDeathWithReplication) {
+  Rig rig(/*replication=*/2);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(8 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(8 * kChunk, 1);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  // Drop all cached state (both the mapped-in pages and the chunk
+  // cache), kill one benefactor, read everything back from the store.
+  (*r)->Invalidate();
+  ASSERT_TRUE(
+      runtime.mount().cache().Drop(sim::CurrentClock(), (*r)->file_id()).ok());
+  rig.store->benefactor(1).Kill();
+  std::vector<uint8_t> got(8 * kChunk);
+  ASSERT_TRUE((*r)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+  ASSERT_TRUE(runtime.SsdFree(*r).ok());
+}
+
+TEST(FailureTest, UnreplicatedReadsFailCleanlyAfterDeath) {
+  Rig rig(/*replication=*/1);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(8 * kChunk);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE((*r)->Write(0, Pattern(8 * kChunk, 2)).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  (*r)->Invalidate();
+  ASSERT_TRUE(
+      runtime.mount().cache().Drop(sim::CurrentClock(), (*r)->file_id()).ok());
+  rig.store->benefactor(0).Kill();
+
+  // Some chunks are on the dead benefactor: reads return UNAVAILABLE, not
+  // garbage and not a crash.
+  int failures = 0;
+  std::vector<uint8_t> buf(kChunk);
+  for (uint32_t c = 0; c < 8; ++c) {
+    Status s = (*r)->Read(static_cast<uint64_t>(c) * kChunk, buf);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), ErrorCode::kUnavailable);
+      ++failures;
+    }
+  }
+  EXPECT_EQ(failures, 2);  // 8 chunks striped over 4 benefactors
+}
+
+TEST(FailureTest, AllocationRoutesAroundDeadBenefactors) {
+  Rig rig(1);
+  rig.store->benefactor(0).Kill();
+  rig.store->benefactor(2).Kill();
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(8 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(8 * kChunk, 3);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  EXPECT_EQ(rig.store->benefactor(0).num_chunks(), 0u);
+  EXPECT_EQ(rig.store->benefactor(2).num_chunks(), 0u);
+  std::vector<uint8_t> got(8 * kChunk);
+  ASSERT_TRUE((*r)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+}
+
+TEST(FailureTest, HeartbeatTracksChurn) {
+  Rig rig(1);
+  auto& m = rig.store->manager();
+  auto& clock = sim::CurrentClock();
+  EXPECT_EQ(m.CheckLiveness(clock), 4u);
+  rig.store->benefactor(0).Kill();
+  rig.store->benefactor(3).Kill();
+  EXPECT_EQ(m.CheckLiveness(clock), 2u);
+  EXPECT_EQ(m.AliveBenefactors(), (std::vector<int>{1, 2}));
+  rig.store->benefactor(0).Revive();
+  EXPECT_EQ(m.CheckLiveness(clock), 3u);
+  // Heartbeats cost modelled time (manager service + pings).
+  const int64_t before = clock.now();
+  m.CheckLiveness(clock);
+  EXPECT_GT(clock.now(), before);
+}
+
+TEST(FailureTest, MidRunDeathFailsWorkloadCleanly) {
+  // Kill a benefactor while a region is half-written; continued use must
+  // produce clean UNAVAILABLE errors (no corruption, no crash).
+  Rig rig(1);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(16 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(16 * kChunk, 4);
+  ASSERT_TRUE((*r)->Write(0, {data.data(), 8 * kChunk}).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  rig.store->benefactor(2).Kill();
+
+  int errors = 0;
+  for (uint32_t c = 8; c < 16; ++c) {
+    Status s = (*r)->Write(static_cast<uint64_t>(c) * kChunk,
+                           {data.data() + c * kChunk, kChunk});
+    if (!s.ok()) ++errors;
+    s = (*r)->Sync();
+    if (!s.ok()) ++errors;
+  }
+  EXPECT_GT(errors, 0);
+  // Chunks on surviving benefactors still read back intact.
+  (*r)->Invalidate();
+  ASSERT_TRUE(
+      runtime.mount().cache().Drop(sim::CurrentClock(), (*r)->file_id()).ok());
+  std::vector<uint8_t> buf(kChunk);
+  int readable = 0;
+  for (uint32_t c = 0; c < 8; ++c) {
+    if ((*r)->Read(static_cast<uint64_t>(c) * kChunk, buf).ok()) {
+      EXPECT_TRUE(std::equal(buf.begin(), buf.end(),
+                             data.begin() + c * kChunk));
+      ++readable;
+    }
+  }
+  EXPECT_GE(readable, 6);  // all chunks not striped onto the dead node
+}
+
+// ---- decommission / drain ----
+
+TEST(DecommissionTest, DrainMigratesDataAndRetiresBenefactor) {
+  Rig rig(1);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(16 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(16 * kChunk, 5);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+
+  const size_t victim_chunks = rig.store->benefactor(1).num_chunks();
+  EXPECT_GT(victim_chunks, 0u);
+  auto migrated =
+      rig.store->manager().Decommission(sim::CurrentClock(), 1);
+  ASSERT_TRUE(migrated.ok());
+  EXPECT_EQ(*migrated, victim_chunks);
+  EXPECT_EQ(rig.store->benefactor(1).num_chunks(), 0u);
+  EXPECT_FALSE(rig.store->benefactor(1).alive());
+
+  // Every byte still readable after dropping caches.
+  (*r)->Invalidate();
+  ASSERT_TRUE(
+      runtime.mount().cache().Drop(sim::CurrentClock(), (*r)->file_id()).ok());
+  std::vector<uint8_t> got(16 * kChunk);
+  ASSERT_TRUE((*r)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+  ASSERT_TRUE(runtime.SsdFree(*r).ok());
+}
+
+TEST(DecommissionTest, SharedCheckpointChunksMigrateOnce) {
+  Rig rig(1);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(8 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(8 * kChunk, 6);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  CheckpointSpec spec;
+  spec.nvm.push_back(*r);
+  ASSERT_TRUE(runtime.SsdCheckpoint(spec, "/ckpt/drain").ok());
+
+  // The variable's chunks are shared with the checkpoint; draining the
+  // benefactor must keep both views intact.
+  auto migrated =
+      rig.store->manager().Decommission(sim::CurrentClock(), 0);
+  ASSERT_TRUE(migrated.ok());
+
+  auto fresh = runtime.SsdMalloc(8 * kChunk);
+  RestoreSpec restore;
+  restore.nvm.push_back(*fresh);
+  ASSERT_TRUE(runtime.SsdRestart("/ckpt/drain", restore).ok());
+  std::vector<uint8_t> got(8 * kChunk);
+  ASSERT_TRUE((*fresh)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+}
+
+TEST(DecommissionTest, SequentialDrainsConsolidateOntoSurvivors) {
+  Rig rig(1);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(12 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(12 * kChunk, 7);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+
+  auto& m = rig.store->manager();
+  ASSERT_TRUE(m.Decommission(sim::CurrentClock(), 0).ok());
+  ASSERT_TRUE(m.Decommission(sim::CurrentClock(), 1).ok());
+  // Two survivors hold everything.
+  EXPECT_EQ(rig.store->benefactor(0).num_chunks() +
+                rig.store->benefactor(1).num_chunks(),
+            0u);
+  (*r)->Invalidate();
+  ASSERT_TRUE(
+      runtime.mount().cache().Drop(sim::CurrentClock(), (*r)->file_id()).ok());
+  std::vector<uint8_t> got(12 * kChunk);
+  ASSERT_TRUE((*r)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+
+  // Draining a dead benefactor is refused.
+  EXPECT_EQ(m.Decommission(sim::CurrentClock(), 0).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(DecommissionTest, ChargesDataMovementTime) {
+  Rig rig(1);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(16 * kChunk);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE((*r)->Write(0, Pattern(16 * kChunk, 8)).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  auto& clock = sim::CurrentClock();
+  const int64_t before = clock.now();
+  ASSERT_TRUE(rig.store->manager().Decommission(clock, 0).ok());
+  // 4 chunks moved: at least read+transfer+write per chunk.
+  EXPECT_GT(clock.now() - before, 4 * 500'000);
+}
+
+// ---- replication repair ----
+
+TEST(RepairTest, RestoresReplicationAfterLoss) {
+  Rig rig(/*replication=*/2);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(8 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(8 * kChunk, 11);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+
+  rig.store->benefactor(2).Kill();
+  uint64_t lost = 0;
+  auto recreated =
+      rig.store->manager().RepairReplication(sim::CurrentClock(), &lost);
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_GT(*recreated, 0u);
+  EXPECT_EQ(lost, 0u);
+
+  // After repair, even a SECOND failure cannot lose data.
+  rig.store->benefactor(0).Kill();
+  (*r)->Invalidate();
+  ASSERT_TRUE(
+      runtime.mount().cache().Drop(sim::CurrentClock(), (*r)->file_id()).ok());
+  std::vector<uint8_t> got(8 * kChunk);
+  ASSERT_TRUE((*r)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+}
+
+TEST(RepairTest, CountsUnrecoverableChunks) {
+  Rig rig(/*replication=*/1);  // no replicas: death means loss
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(8 * kChunk);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE((*r)->Write(0, Pattern(8 * kChunk, 12)).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  rig.store->benefactor(1).Kill();
+  uint64_t lost = 0;
+  auto recreated =
+      rig.store->manager().RepairReplication(sim::CurrentClock(), &lost);
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_EQ(*recreated, 0u);
+  EXPECT_EQ(lost, 2u);  // 8 chunks over 4 benefactors
+}
+
+TEST(RepairTest, SharedCheckpointChunksRepairedOnce) {
+  Rig rig(/*replication=*/2);
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(4 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(4 * kChunk, 13);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  CheckpointSpec spec;
+  spec.nvm.push_back(*r);
+  ASSERT_TRUE(runtime.SsdCheckpoint(spec, "/ckpt/repair").ok());
+
+  rig.store->benefactor(0).Kill();
+  auto recreated =
+      rig.store->manager().RepairReplication(sim::CurrentClock(), nullptr);
+  ASSERT_TRUE(recreated.ok());
+  // Chunks shared between the live file and the checkpoint were repaired
+  // once each, not once per referencing file.
+  EXPECT_LE(*recreated, 4u + 1u);  // variable chunks + ckpt header chunk
+
+  auto fresh = runtime.SsdMalloc(4 * kChunk);
+  RestoreSpec restore;
+  restore.nvm.push_back(*fresh);
+  ASSERT_TRUE(runtime.SsdRestart("/ckpt/repair", restore).ok());
+  std::vector<uint8_t> got(4 * kChunk);
+  ASSERT_TRUE((*fresh)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+}
+
+// ---- workload-level resilience ----
+
+TEST(FailureTest, MatmulCompletesWithReplicationAfterMidBcastDeath) {
+  workloads::TestbedOptions to =
+      workloads::MatmulTestbedOptions(4, false);
+  to.compute_nodes = 4;
+  to.store.replication = 2;
+  workloads::Testbed tb(to);
+
+  // Kill one benefactor *before* the run: placement avoids it, and reads
+  // during compute fall over to replicas where needed.
+  tb.store().benefactor(2).Kill();
+
+  workloads::MatmulOptions o;
+  o.matrix_bytes = 512_KiB;
+  o.procs_per_node = 2;
+  o.nodes = 4;
+  o.tile = 16;
+  auto r = workloads::RunMatmul(tb, o);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.verified);
+}
+
+}  // namespace
+}  // namespace nvm

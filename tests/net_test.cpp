@@ -1,0 +1,162 @@
+// Unit tests for the simulated cluster: network transfers (loopback vs
+// NIC, fan-in contention), node DRAM budgets, placements, and process
+// execution with virtual clocks.
+#include <gtest/gtest.h>
+
+#include "net/cluster.hpp"
+#include "net/network.hpp"
+#include "sim/clock.hpp"
+
+namespace nvm::net {
+namespace {
+
+NetworkProfile TestProfile() {
+  NetworkProfile p;
+  p.nic_bw_mbps = 100.0;  // 100 MB/s for easy arithmetic
+  p.wire_latency_ns = 10'000;
+  p.loopback_bw_mbps = 1000.0;
+  p.loopback_latency_ns = 1'000;
+  return p;
+}
+
+TEST(NetworkTest, LoopbackIsCheap) {
+  Network net(2, TestProfile());
+  sim::VirtualClock c;
+  net.Transfer(c, 0, 0, 1'000'000);  // 1 MB at 1000 MB/s = 1 ms
+  EXPECT_NEAR(static_cast<double>(c.now()), 1e6 + 1e3, 1e3);
+  EXPECT_EQ(net.remote_bytes(), 0u);
+  EXPECT_EQ(net.bytes_transferred(), 1'000'000u);
+}
+
+TEST(NetworkTest, RemoteTransferChargesNicAndLatency) {
+  Network net(2, TestProfile());
+  sim::VirtualClock c;
+  net.Transfer(c, 0, 1, 1'000'000);  // 1 MB at 100 MB/s = 10 ms + latency
+  EXPECT_NEAR(static_cast<double>(c.now()), 1e7 + 1e4, 1e4);
+  EXPECT_EQ(net.remote_bytes(), 1'000'000u);
+}
+
+TEST(NetworkTest, FanInContendsOnReceiverNic) {
+  Network net(3, TestProfile());
+  sim::VirtualClock a;
+  sim::VirtualClock b;
+  net.Transfer(a, 0, 2, 1'000'000);
+  net.Transfer(b, 1, 2, 1'000'000);  // queues behind the first at node 2
+  EXPECT_NEAR(static_cast<double>(b.now()), 2e7 + 1e4, 1e5);
+}
+
+TEST(NetworkTest, DistinctPathsDontContend) {
+  Network net(4, TestProfile());
+  sim::VirtualClock a;
+  sim::VirtualClock b;
+  net.Transfer(a, 0, 1, 1'000'000);
+  net.Transfer(b, 2, 3, 1'000'000);
+  EXPECT_NEAR(static_cast<double>(a.now()),
+              static_cast<double>(b.now()), 1e3);
+}
+
+TEST(NetworkTest, ResetStats) {
+  Network net(2, TestProfile());
+  sim::VirtualClock c;
+  net.Transfer(c, 0, 1, 1000);
+  net.ResetStats();
+  EXPECT_EQ(net.bytes_transferred(), 0u);
+  EXPECT_EQ(net.remote_bytes(), 0u);
+}
+
+ClusterConfig SmallCluster() {
+  ClusterConfig cc;
+  cc.num_nodes = 4;
+  cc.cores_per_node = 2;
+  cc.dram_bytes_per_node = 1_MiB;
+  return cc;
+}
+
+TEST(NodeTest, DramBudgetEnforced) {
+  Cluster cluster(SmallCluster());
+  Node& node = cluster.node(0);
+  EXPECT_TRUE(node.ReserveDram(512_KiB).ok());
+  EXPECT_TRUE(node.ReserveDram(512_KiB).ok());
+  EXPECT_EQ(node.dram_used(), 1_MiB);
+  EXPECT_EQ(node.ReserveDram(1).code(), ErrorCode::kOutOfSpace);
+  node.ReleaseDram(512_KiB);
+  EXPECT_TRUE(node.ReserveDram(100).ok());
+  node.ReleaseDram(node.dram_used());
+}
+
+TEST(NodeTest, AllNodesHaveSsdByDefault) {
+  Cluster cluster(SmallCluster());
+  for (size_t n = 0; n < cluster.num_nodes(); ++n) {
+    EXPECT_TRUE(cluster.node(static_cast<int>(n)).has_ssd());
+  }
+}
+
+TEST(NodeTest, SelectiveSsdPlacement) {
+  ClusterConfig cc = SmallCluster();
+  cc.all_nodes_have_ssd = false;
+  cc.ssd_nodes = {1, 3};
+  Cluster cluster(cc);
+  EXPECT_FALSE(cluster.node(0).has_ssd());
+  EXPECT_TRUE(cluster.node(1).has_ssd());
+  EXPECT_FALSE(cluster.node(2).has_ssd());
+  EXPECT_TRUE(cluster.node(3).has_ssd());
+}
+
+TEST(ClusterTest, BlockPlacement) {
+  Cluster cluster(SmallCluster());
+  const auto p = cluster.BlockPlacement(2, 3);
+  EXPECT_EQ(p, (std::vector<int>{0, 0, 1, 1, 2, 2}));
+}
+
+TEST(ClusterTest, RunProcessesReturnsMakespan) {
+  Cluster cluster(SmallCluster());
+  const auto placement = cluster.BlockPlacement(2, 2);
+  const int64_t makespan =
+      cluster.RunProcesses(placement, [](ProcessEnv& env) {
+        env.clock->Advance(1000 * (env.rank + 1));
+      });
+  EXPECT_EQ(makespan, 4000);
+}
+
+TEST(ClusterTest, ProcessEnvWiring) {
+  Cluster cluster(SmallCluster());
+  const auto placement = cluster.BlockPlacement(2, 2);
+  std::atomic<int> checks{0};
+  cluster.RunProcesses(placement, [&](ProcessEnv& env) {
+    EXPECT_EQ(env.nprocs, 4u);
+    EXPECT_EQ(env.node_id, env.rank / 2);
+    EXPECT_EQ(env.node().id(), env.node_id);
+    // The thread-local context must match the env.
+    EXPECT_EQ(&sim::CurrentClock(), env.clock);
+    EXPECT_EQ(sim::CurrentContext().rank, env.rank);
+    checks.fetch_add(1);
+  });
+  EXPECT_EQ(checks.load(), 4);
+}
+
+TEST(ClusterTest, BarrierSyncsAllProcesses) {
+  Cluster cluster(SmallCluster());
+  const auto placement = cluster.BlockPlacement(2, 2);
+  std::array<std::atomic<int64_t>, 4> after{};
+  cluster.RunProcesses(placement, [&](ProcessEnv& env) {
+    env.clock->Advance(env.rank * 500);
+    env.Barrier();
+    after[static_cast<size_t>(env.rank)].store(env.clock->now());
+  });
+  for (const auto& a : after) EXPECT_EQ(a.load(), after[0].load());
+  EXPECT_GE(after[0].load(), 1500);
+}
+
+TEST(ClusterTest, SsdByteTotals) {
+  Cluster cluster(SmallCluster());
+  sim::VirtualClock c;
+  cluster.node(0).ssd().ChargeWrite(c, 0, 4_KiB);
+  cluster.node(1).ssd().ChargeRead(c, 0, 8_KiB);
+  EXPECT_EQ(cluster.TotalSsdBytesWritten(), 4_KiB);
+  EXPECT_EQ(cluster.TotalSsdBytesRead(), 8_KiB);
+  cluster.ResetStats();
+  EXPECT_EQ(cluster.TotalSsdBytesWritten(), 0u);
+}
+
+}  // namespace
+}  // namespace nvm::net

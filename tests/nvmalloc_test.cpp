@@ -1,0 +1,487 @@
+// Tests for the NVMalloc core: ssdmalloc/ssdfree, region paging (faults,
+// eviction under the page pool, dirty write-back), shared mappings,
+// checkpoint/restart with chunk linking and COW, and typed arrays.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nvmalloc/runtime.hpp"
+#include "sim/clock.hpp"
+
+namespace nvm {
+namespace {
+
+constexpr uint64_t kChunk = 64_KiB;
+constexpr uint64_t kPage = NvmRegion::kPageBytes;
+
+class NvmallocTest : public ::testing::Test {
+ protected:
+  NvmallocTest() { Rebuild({}); }
+
+  void Rebuild(NvmallocConfig config) {
+    net::ClusterConfig cc;
+    cc.num_nodes = 4;
+    cluster_ = std::make_unique<net::Cluster>(cc);
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.benefactor_nodes = {1, 2, 3};
+    sc.contribution_bytes = 256_MiB;
+    sc.manager_node = 1;
+    store_ = std::make_unique<store::AggregateStore>(*cluster_, sc);
+    runtime_ = std::make_unique<NvmallocRuntime>(*store_, /*node=*/0, config);
+    sim::CurrentClock().Reset();
+  }
+
+  std::vector<uint8_t> Pattern(uint64_t bytes, uint64_t seed) {
+    std::vector<uint8_t> v(bytes);
+    Xoshiro256 rng(seed);
+    for (auto& b : v) b = static_cast<uint8_t>(rng.Next());
+    return v;
+  }
+
+  std::unique_ptr<net::Cluster> cluster_;
+  std::unique_ptr<store::AggregateStore> store_;
+  std::unique_ptr<NvmallocRuntime> runtime_;
+};
+
+TEST_F(NvmallocTest, SsdMallocAndFree) {
+  auto r = runtime_->SsdMalloc(1_MiB);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->size_bytes(), 1_MiB);
+  EXPECT_EQ(runtime_->live_regions(), 1u);
+  EXPECT_TRUE(runtime_->SsdFree(*r).ok());
+  EXPECT_EQ(runtime_->live_regions(), 0u);
+  EXPECT_EQ(runtime_->SsdFree(nullptr).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(NvmallocTest, ZeroByteMallocRejected) {
+  EXPECT_EQ(runtime_->SsdMalloc(0).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(NvmallocTest, FreshRegionReadsZero) {
+  auto r = runtime_->SsdMalloc(256_KiB);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> buf(10000, 0xFF);
+  ASSERT_TRUE((*r)->Read(12345, buf).ok());
+  for (uint8_t b : buf) ASSERT_EQ(b, 0);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, WriteReadRoundTrip) {
+  auto r = runtime_->SsdMalloc(1_MiB);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(300'000, 3);
+  ASSERT_TRUE((*r)->Write(777, data).ok());
+  std::vector<uint8_t> got(data.size());
+  ASSERT_TRUE((*r)->Read(777, got).ok());
+  EXPECT_EQ(got, data);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, OutOfRangeAccessRejected) {
+  auto r = runtime_->SsdMalloc(64_KiB);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> buf(16);
+  EXPECT_EQ((*r)->Read(64_KiB - 8, buf).code(), ErrorCode::kOutOfRange);
+  EXPECT_TRUE((*r)->Read(64_KiB - 16, buf).ok());
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, PageFaultsAreCountedAndCharged) {
+  auto r = runtime_->SsdMalloc(16 * kPage);
+  ASSERT_TRUE(r.ok());
+  const int64_t t0 = sim::CurrentClock().now();
+  std::vector<uint8_t> buf(kPage);
+  ASSERT_TRUE((*r)->Read(0, buf).ok());
+  EXPECT_EQ((*r)->stats().page_faults, 1u);
+  EXPECT_GT(sim::CurrentClock().now(), t0);
+  // Re-reading a resident page faults nothing.
+  ASSERT_TRUE((*r)->Read(0, buf).ok());
+  EXPECT_EQ((*r)->stats().page_faults, 1u);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, ResidentAccessIsMuchCheaperThanFault) {
+  auto r = runtime_->SsdMalloc(kChunk);
+  ASSERT_TRUE(r.ok());
+  std::vector<uint8_t> buf(kPage);
+  ASSERT_TRUE((*r)->Read(0, buf).ok());
+  const int64_t after_fault = sim::CurrentClock().now();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*r)->Read(0, buf).ok());
+  }
+  // 100 resident accesses cost nothing on the virtual clock (DRAM charges
+  // are the workload's business, see stream.cpp).
+  EXPECT_EQ(sim::CurrentClock().now(), after_fault);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, PagePoolEvictsFifoAndWritesBackDirty) {
+  NvmallocConfig cfg;
+  cfg.page_pool_bytes = 8 * kPage;  // tiny pool
+  Rebuild(cfg);
+  auto r = runtime_->SsdMalloc(32 * kPage);
+  ASSERT_TRUE(r.ok());
+
+  // Dirty every page: pool pressure must evict and write back.
+  const auto page_data = Pattern(kPage, 9);
+  for (uint64_t p = 0; p < 32; ++p) {
+    ASSERT_TRUE((*r)->Write(p * kPage, page_data).ok());
+  }
+  EXPECT_LE(runtime_->pool().resident_pages(), 8u);
+  EXPECT_GE(runtime_->pool().evictions(), 24u);
+  EXPECT_GE((*r)->stats().bytes_written_back, 24 * kPage);
+
+  // All data still correct (evicted pages re-fault from the cache/store).
+  std::vector<uint8_t> got(kPage);
+  for (uint64_t p = 0; p < 32; ++p) {
+    ASSERT_TRUE((*r)->Read(p * kPage, got).ok());
+    EXPECT_EQ(got, page_data);
+  }
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, PoolSharedAcrossRegions) {
+  NvmallocConfig cfg;
+  cfg.page_pool_bytes = 8 * kPage;
+  Rebuild(cfg);
+  auto a = runtime_->SsdMalloc(8 * kPage);
+  auto b = runtime_->SsdMalloc(8 * kPage);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<uint8_t> buf(kPage);
+  for (uint64_t p = 0; p < 8; ++p) {
+    ASSERT_TRUE((*a)->Read(p * kPage, buf).ok());
+    ASSERT_TRUE((*b)->Read(p * kPage, buf).ok());
+  }
+  EXPECT_LE(runtime_->pool().resident_pages(), 8u);
+  EXPECT_GT(runtime_->pool().evictions(), 0u);
+  ASSERT_TRUE(runtime_->SsdFree(*a).ok());
+  ASSERT_TRUE(runtime_->SsdFree(*b).ok());
+}
+
+TEST_F(NvmallocTest, SyncMakesDataDurableAcrossNodes) {
+  auto r = runtime_->SsdMalloc(2 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(2 * kChunk, 17);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  // The same backing file read through another node sees the bytes.
+  NvmallocRuntime other(*store_, /*node=*/3);
+  auto info = runtime_->mount().client().Stat(sim::CurrentClock(),
+                                              (*r)->file_id());
+  ASSERT_TRUE(info.ok());
+  auto f = other.mount().Open(info->name);
+  ASSERT_TRUE(f.ok());
+  std::vector<uint8_t> got(data.size());
+  ASSERT_TRUE(f->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, SharedMappingReturnsSameRegion) {
+  SsdMallocOptions opts{.shared = true, .shared_name = "b_matrix"};
+  auto a = runtime_->SsdMalloc(1_MiB, opts);
+  auto b = runtime_->SsdMalloc(1_MiB, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(runtime_->live_regions(), 1u);
+
+  // Size conflict is rejected.
+  EXPECT_FALSE(runtime_->SsdMalloc(2_MiB, opts).ok());
+
+  // Refcounted free: the first free keeps it alive.
+  ASSERT_TRUE(runtime_->SsdFree(*a).ok());
+  EXPECT_EQ(runtime_->live_regions(), 1u);
+  ASSERT_TRUE(runtime_->SsdFree(*b).ok());
+  EXPECT_EQ(runtime_->live_regions(), 0u);
+}
+
+TEST_F(NvmallocTest, SharedMappingSharesFaults) {
+  // A second "process" touching the same shared region must not refetch.
+  SsdMallocOptions opts{.shared = true, .shared_name = "warm"};
+  auto a = runtime_->SsdMalloc(kChunk, opts);
+  ASSERT_TRUE(a.ok());
+  std::vector<uint8_t> buf(kChunk);
+  ASSERT_TRUE((*a)->Read(0, buf).ok());
+  const uint64_t faults = (*a)->stats().page_faults;
+  auto b = runtime_->SsdMalloc(kChunk, opts);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*b)->Read(0, buf).ok());
+  EXPECT_EQ((*b)->stats().page_faults, faults);  // same region, no refault
+  ASSERT_TRUE(runtime_->SsdFree(*a).ok());
+  ASSERT_TRUE(runtime_->SsdFree(*b).ok());
+}
+
+TEST_F(NvmallocTest, SsdFreeDiscardsBackingFile) {
+  auto r = runtime_->SsdMalloc(kChunk);
+  ASSERT_TRUE(r.ok());
+  auto info = runtime_->mount().client().Stat(sim::CurrentClock(),
+                                              (*r)->file_id());
+  ASSERT_TRUE(info.ok());
+  const std::string name = info->name;
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+  EXPECT_EQ(runtime_->mount().Open(name).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(NvmallocTest, NvmArrayTypedAccess) {
+  auto r = runtime_->SsdMalloc(1000 * sizeof(double));
+  ASSERT_TRUE(r.ok());
+  NvmArray<double> arr(*r);
+  EXPECT_EQ(arr.size(), 1000u);
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(arr.Set(i, static_cast<double>(i) * 1.5).ok());
+  }
+  for (size_t i = 0; i < 1000; ++i) {
+    auto v = arr.Get(i);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, static_cast<double>(i) * 1.5);
+  }
+  auto span = arr.PinRead(100, 50);
+  ASSERT_TRUE(span.ok());
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*span)[i], static_cast<double>(100 + i) * 1.5);
+  }
+  span->Release();
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+// ---- checkpoint / restart ----
+
+TEST_F(NvmallocTest, CheckpointAndRestartRoundTrip) {
+  auto r = runtime_->SsdMalloc(3 * kChunk + 100);
+  ASSERT_TRUE(r.ok());
+  const auto nvm_data = Pattern(3 * kChunk + 100, 5);
+  ASSERT_TRUE((*r)->Write(0, nvm_data).ok());
+  std::vector<uint8_t> dram = Pattern(10'000, 6);
+
+  CheckpointSpec spec;
+  spec.dram.push_back({dram.data(), dram.size()});
+  spec.nvm.push_back(*r);
+  auto info = runtime_->SsdCheckpoint(spec, "/ckpt/rt");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->dram_bytes_copied, 10'000u);
+  EXPECT_EQ(info->nvm_bytes_linked, 3 * kChunk + 100);
+  EXPECT_EQ(info->nvm_bytes_copied, 0u);
+  EXPECT_GT(info->duration_ns, 0);
+
+  // Restore into fresh storage.
+  std::vector<uint8_t> dram2(10'000, 0);
+  auto r2 = runtime_->SsdMalloc(3 * kChunk + 100);
+  ASSERT_TRUE(r2.ok());
+  RestoreSpec restore;
+  restore.dram.push_back({dram2.data(), dram2.size()});
+  restore.nvm.push_back(*r2);
+  ASSERT_TRUE(runtime_->SsdRestart("/ckpt/rt", restore).ok());
+  EXPECT_EQ(dram2, dram);
+  std::vector<uint8_t> got(nvm_data.size());
+  ASSERT_TRUE((*r2)->Read(0, got).ok());
+  EXPECT_EQ(got, nvm_data);
+
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+  ASSERT_TRUE(runtime_->SsdFree(*r2).ok());
+}
+
+TEST_F(NvmallocTest, CheckpointSurvivesSubsequentWrites) {
+  auto r = runtime_->SsdMalloc(2 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto v1 = Pattern(2 * kChunk, 1);
+  ASSERT_TRUE((*r)->Write(0, v1).ok());
+  CheckpointSpec spec;
+  spec.nvm.push_back(*r);
+  ASSERT_TRUE(runtime_->SsdCheckpoint(spec, "/ckpt/cow").ok());
+
+  // Mutate the live variable heavily.
+  const auto v2 = Pattern(2 * kChunk, 2);
+  ASSERT_TRUE((*r)->Write(0, v2).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+
+  // Restore must see v1, not v2.
+  auto r2 = runtime_->SsdMalloc(2 * kChunk);
+  ASSERT_TRUE(r2.ok());
+  RestoreSpec restore;
+  restore.nvm.push_back(*r2);
+  ASSERT_TRUE(runtime_->SsdRestart("/ckpt/cow", restore).ok());
+  std::vector<uint8_t> got(2 * kChunk);
+  ASSERT_TRUE((*r2)->Read(0, got).ok());
+  EXPECT_EQ(got, v1);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+  ASSERT_TRUE(runtime_->SsdFree(*r2).ok());
+}
+
+TEST_F(NvmallocTest, LinkedCheckpointAvoidsCopyingNvmData) {
+  auto r = runtime_->SsdMalloc(8 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(8 * kChunk, 3);
+  ASSERT_TRUE((*r)->Write(0, data).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+
+  const uint64_t ssd_before = cluster_->TotalSsdBytesWritten();
+  CheckpointSpec spec;
+  spec.nvm.push_back(*r);
+  ASSERT_TRUE(runtime_->SsdCheckpoint(spec, "/ckpt/linked").ok());
+  const uint64_t linked_cost = cluster_->TotalSsdBytesWritten() - ssd_before;
+
+  // The naive copy baseline writes the full variable again.
+  spec.link_nvm = false;
+  ASSERT_TRUE(runtime_->SsdCheckpoint(spec, "/ckpt/copied").ok());
+  const uint64_t copied_cost =
+      cluster_->TotalSsdBytesWritten() - ssd_before - linked_cost;
+
+  // Linking writes only the header chunk; the baseline rewrites all data.
+  EXPECT_LE(linked_cost, 2 * kChunk);
+  EXPECT_GE(copied_cost, 8 * kChunk);
+  EXPECT_GT(copied_cost, 3 * linked_cost);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, IncrementalCheckpointWritesOnlyCowChunks) {
+  auto r = runtime_->SsdMalloc(8 * kChunk);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE((*r)->Write(0, Pattern(8 * kChunk, 4)).ok());
+  CheckpointSpec spec;
+  spec.nvm.push_back(*r);
+  ASSERT_TRUE(runtime_->SsdCheckpoint(spec, "/ckpt/t0").ok());
+
+  // Touch one chunk between checkpoints.
+  ASSERT_TRUE((*r)->Write(2 * kChunk, Pattern(kChunk, 44)).ok());
+  const uint64_t before = cluster_->TotalSsdBytesWritten();
+  ASSERT_TRUE(runtime_->SsdCheckpoint(spec, "/ckpt/t1").ok());
+  const uint64_t incremental = cluster_->TotalSsdBytesWritten() - before;
+  // Header chunk + one COW clone + one chunk of dirty pages — not the
+  // whole 8-chunk variable.
+  EXPECT_LE(incremental, 4 * kChunk);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, RestartValidatesShape) {
+  std::vector<uint8_t> dram(100);
+  CheckpointSpec spec;
+  spec.dram.push_back({dram.data(), dram.size()});
+  ASSERT_TRUE(runtime_->SsdCheckpoint(spec, "/ckpt/shape").ok());
+
+  RestoreSpec wrong_count;
+  EXPECT_EQ(runtime_->SsdRestart("/ckpt/shape", wrong_count).code(),
+            ErrorCode::kInvalidArgument);
+
+  std::vector<uint8_t> small(50);
+  RestoreSpec wrong_size;
+  wrong_size.dram.push_back({small.data(), small.size()});
+  EXPECT_EQ(runtime_->SsdRestart("/ckpt/shape", wrong_size).code(),
+            ErrorCode::kInvalidArgument);
+
+  RestoreSpec missing;
+  std::vector<uint8_t> buf(100);
+  missing.dram.push_back({buf.data(), buf.size()});
+  EXPECT_EQ(runtime_->SsdRestart("/ckpt/nothere", missing).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(NvmallocTest, RestartRejectsNonCheckpointFile) {
+  auto f = runtime_->mount().Create("/notackpt", kChunk);
+  ASSERT_TRUE(f.ok());
+  std::vector<uint8_t> junk(kChunk, 0x77);
+  ASSERT_TRUE(f->Write(0, junk).ok());
+  RestoreSpec spec;
+  EXPECT_EQ(runtime_->SsdRestart("/notackpt", spec).code(),
+            ErrorCode::kIoError);
+}
+
+TEST_F(NvmallocTest, MultiVariableCheckpointLayout) {
+  auto r1 = runtime_->SsdMalloc(kChunk + 10);
+  auto r2 = runtime_->SsdMalloc(2 * kChunk);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  const auto d1 = Pattern(kChunk + 10, 8);
+  const auto d2 = Pattern(2 * kChunk, 9);
+  ASSERT_TRUE((*r1)->Write(0, d1).ok());
+  ASSERT_TRUE((*r2)->Write(0, d2).ok());
+  std::vector<uint8_t> dram_a = Pattern(123, 10);
+  std::vector<uint8_t> dram_b = Pattern(70'000, 11);
+
+  CheckpointSpec spec;
+  spec.dram.push_back({dram_a.data(), dram_a.size()});
+  spec.dram.push_back({dram_b.data(), dram_b.size()});
+  spec.nvm.push_back(*r1);
+  spec.nvm.push_back(*r2);
+  ASSERT_TRUE(runtime_->SsdCheckpoint(spec, "/ckpt/multi").ok());
+
+  std::vector<uint8_t> ra(123), rb(70'000);
+  auto n1 = runtime_->SsdMalloc(kChunk + 10);
+  auto n2 = runtime_->SsdMalloc(2 * kChunk);
+  RestoreSpec restore;
+  restore.dram.push_back({ra.data(), ra.size()});
+  restore.dram.push_back({rb.data(), rb.size()});
+  restore.nvm.push_back(*n1);
+  restore.nvm.push_back(*n2);
+  ASSERT_TRUE(runtime_->SsdRestart("/ckpt/multi", restore).ok());
+  EXPECT_EQ(ra, dram_a);
+  EXPECT_EQ(rb, dram_b);
+  std::vector<uint8_t> g1(d1.size()), g2(d2.size());
+  ASSERT_TRUE((*n1)->Read(0, g1).ok());
+  ASSERT_TRUE((*n2)->Read(0, g2).ok());
+  EXPECT_EQ(g1, d1);
+  EXPECT_EQ(g2, d2);
+  for (auto* r : {*r1, *r2, *n1, *n2}) {
+    ASSERT_TRUE(runtime_->SsdFree(r).ok());
+  }
+}
+
+TEST_F(NvmallocTest, DrainCheckpointShipsExactBytes) {
+  auto r = runtime_->SsdMalloc(3 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto nvm_data = Pattern(3 * kChunk, 21);
+  ASSERT_TRUE((*r)->Write(0, nvm_data).ok());
+  std::vector<uint8_t> dram = Pattern(5000, 22);
+  CheckpointSpec spec;
+  spec.dram.push_back({dram.data(), dram.size()});
+  spec.nvm.push_back(*r);
+  ASSERT_TRUE(runtime_->SsdCheckpoint(spec, "/ckpt/drainme").ok());
+
+  // Drain into a host buffer and compare against a direct read of the
+  // restart file.
+  auto info = runtime_->mount().Open("/ckpt/drainme");
+  ASSERT_TRUE(info.ok());
+  auto stat = info->Stat();
+  ASSERT_TRUE(stat.ok());
+  std::vector<uint8_t> direct(stat->size);
+  ASSERT_TRUE(info->Read(0, direct).ok());
+
+  std::vector<uint8_t> drained(stat->size, 0);
+  const int64_t app_before = sim::CurrentClock().now();
+  auto result = runtime_->DrainCheckpoint(
+      "/ckpt/drainme",
+      [&](sim::VirtualClock& bg, uint64_t offset,
+          std::span<const uint8_t> data) {
+        bg.Advance(1000);  // the external target costs something
+        std::copy(data.begin(), data.end(), drained.begin() + offset);
+        return OkStatus();
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->bytes, stat->size);
+  EXPECT_EQ(drained, direct);
+  // The drain charged only the background clock.
+  EXPECT_EQ(sim::CurrentClock().now(), app_before);
+  EXPECT_GT(result->background_ns, app_before);
+
+  // Release frees the checkpoint; the live variable is untouched.
+  ASSERT_TRUE(runtime_->ReleaseCheckpoint("/ckpt/drainme").ok());
+  EXPECT_EQ(runtime_->mount().Open("/ckpt/drainme").status().code(),
+            ErrorCode::kNotFound);
+  std::vector<uint8_t> still(3 * kChunk);
+  ASSERT_TRUE((*r)->Read(0, still).ok());
+  EXPECT_EQ(still, nvm_data);
+  ASSERT_TRUE(runtime_->SsdFree(*r).ok());
+}
+
+TEST_F(NvmallocTest, DrainMissingCheckpointFails) {
+  auto result = runtime_->DrainCheckpoint(
+      "/ckpt/ghost", [](sim::VirtualClock&, uint64_t,
+                        std::span<const uint8_t>) { return OkStatus(); });
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace nvm

@@ -1,0 +1,140 @@
+// Tests for the chunk-placement (striping) policies.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+#include "store/store.hpp"
+
+namespace nvm::store {
+namespace {
+
+constexpr uint64_t kChunk = 64_KiB;
+
+struct Rig {
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<AggregateStore> store;
+
+  explicit Rig(StripePolicy policy, uint64_t contribution = 4_MiB) {
+    net::ClusterConfig cc;
+    cc.num_nodes = 4;
+    cluster = std::make_unique<net::Cluster>(cc);
+    AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.stripe_policy = policy;
+    // A benefactor on every node, including the clients'.
+    sc.benefactor_nodes = {0, 1, 2, 3};
+    sc.contribution_bytes = contribution;
+    sc.manager_node = 1;
+    store = std::make_unique<AggregateStore>(*cluster, sc);
+    sim::CurrentClock().Reset();
+  }
+};
+
+TEST(StripingTest, RoundRobinSpreadsEvenly) {
+  Rig rig(StripePolicy::kRoundRobin);
+  auto& client = rig.store->ClientForNode(0);
+  auto& clock = sim::CurrentClock();
+  auto id = client.Create(clock, "/rr");
+  ASSERT_TRUE(client.Fallocate(clock, *id, 16 * kChunk).ok());
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(rig.store->benefactor(b).bytes_used(), 4 * kChunk)
+        << "benefactor " << b;
+  }
+}
+
+TEST(StripingTest, LocalityAwarePrefersClientNode) {
+  Rig rig(StripePolicy::kLocalityAware);
+  auto& client = rig.store->ClientForNode(2);  // benefactor 2 is co-located
+  auto& clock = sim::CurrentClock();
+  auto id = client.Create(clock, "/local");
+  ASSERT_TRUE(client.Fallocate(clock, *id, 8 * kChunk).ok());
+  EXPECT_EQ(rig.store->benefactor(2).bytes_used(), 8 * kChunk);
+  EXPECT_EQ(rig.store->benefactor(0).bytes_used(), 0u);
+}
+
+TEST(StripingTest, LocalityAwareSpillsWhenLocalIsFull) {
+  Rig rig(StripePolicy::kLocalityAware, /*contribution=*/4 * kChunk);
+  auto& client = rig.store->ClientForNode(2);
+  auto& clock = sim::CurrentClock();
+  auto id = client.Create(clock, "/spill");
+  // 6 chunks: 4 fit locally, 2 must spill elsewhere.
+  ASSERT_TRUE(client.Fallocate(clock, *id, 6 * kChunk).ok());
+  EXPECT_EQ(rig.store->benefactor(2).bytes_used(), 4 * kChunk);
+  uint64_t elsewhere = 0;
+  for (size_t b = 0; b < 4; ++b) {
+    if (b != 2) elsewhere += rig.store->benefactor(b).bytes_used();
+  }
+  EXPECT_EQ(elsewhere, 2 * kChunk);
+}
+
+TEST(StripingTest, LocalityAwareFallsBackWithoutLocalBenefactor) {
+  // Client on a node with no benefactor: behaves like round-robin.
+  net::ClusterConfig cc;
+  cc.num_nodes = 4;
+  net::Cluster cluster(cc);
+  AggregateStoreConfig sc;
+  sc.store.chunk_bytes = kChunk;
+  sc.store.stripe_policy = StripePolicy::kLocalityAware;
+  sc.benefactor_nodes = {1, 2};
+  sc.contribution_bytes = 4_MiB;
+  sc.manager_node = 1;
+  AggregateStore store(cluster, sc);
+  auto& client = store.ClientForNode(0);
+  auto& clock = sim::CurrentClock();
+  auto id = client.Create(clock, "/nolocal");
+  ASSERT_TRUE(client.Fallocate(clock, *id, 4 * kChunk).ok());
+  EXPECT_EQ(store.benefactor(0).bytes_used() +
+                store.benefactor(1).bytes_used(),
+            4 * kChunk);
+}
+
+TEST(StripingTest, CapacityBalancedFillsTheEmptiest) {
+  Rig rig(StripePolicy::kCapacityBalanced);
+  auto& client = rig.store->ClientForNode(0);
+  auto& clock = sim::CurrentClock();
+
+  // Pre-skew the store with one file, then check that later allocations
+  // level everything out (the policy always picks the emptiest).
+  auto skew = client.Create(clock, "/skew");
+  ASSERT_TRUE(client.Fallocate(clock, *skew, 8 * kChunk).ok());
+
+  auto id = client.Create(clock, "/balance");
+  ASSERT_TRUE(client.Fallocate(clock, *id, 24 * kChunk).ok());
+  // 32 chunks over 4 equal benefactors: perfect balance within 1 chunk.
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (size_t b = 0; b < 4; ++b) {
+    lo = std::min(lo, rig.store->benefactor(b).bytes_used());
+    hi = std::max(hi, rig.store->benefactor(b).bytes_used());
+  }
+  EXPECT_LE(hi - lo, kChunk);
+}
+
+TEST(StripingTest, LocalityReducesNetworkTraffic) {
+  // The point of the policy: a client streaming its own variable touches
+  // the network far less when its chunks are co-located.
+  auto run = [&](StripePolicy policy) {
+    Rig rig(policy);
+    auto& client = rig.store->ClientForNode(2);
+    auto& clock = sim::CurrentClock();
+    auto id = client.Create(clock, "/stream");
+    NVM_CHECK(client.Fallocate(clock, *id, 16 * kChunk).ok());
+    Bitmap all(kChunk / 4_KiB);
+    all.SetAll();
+    std::vector<uint8_t> img(kChunk, 7);
+    for (uint32_t c = 0; c < 16; ++c) {
+      NVM_CHECK(client.WriteChunkPages(clock, *id, c, all, img).ok());
+    }
+    std::vector<uint8_t> buf(kChunk);
+    for (uint32_t c = 0; c < 16; ++c) {
+      NVM_CHECK(client.ReadChunk(clock, *id, c, buf).ok());
+    }
+    return rig.cluster->network().remote_bytes();
+  };
+  const uint64_t remote_rr = run(StripePolicy::kRoundRobin);
+  const uint64_t remote_local = run(StripePolicy::kLocalityAware);
+  EXPECT_LT(remote_local, remote_rr / 4);
+}
+
+}  // namespace
+}  // namespace nvm::store

@@ -1,0 +1,381 @@
+// Integration tests across the whole stack: the paper's workloads at
+// reduced size, verifying correctness and the performance *relationships*
+// the paper reports (DRAM >> SSD for STREAM, remote < local, shared beats
+// individual mmap, row beats column major, write optimisation shrinks
+// traffic, single-pass hybrid sort beats two-pass).
+#include <gtest/gtest.h>
+
+#include "workloads/ckpt.hpp"
+#include "workloads/matmul.hpp"
+#include "workloads/psort.hpp"
+#include "workloads/randwrite.hpp"
+#include "workloads/stream.hpp"
+#include "workloads/testbed.hpp"
+
+namespace nvm::workloads {
+namespace {
+
+// ---------- STREAM ----------
+
+StreamOptions QuickStream() {
+  StreamOptions o;
+  o.array_bytes = 2_MiB;
+  o.iterations = 2;
+  o.threads = 4;
+  return o;
+}
+
+TEST(StreamTest, DramOnlyApproachesMemoryBandwidth) {
+  Testbed tb;
+  auto r = RunStream(tb, QuickStream());
+  EXPECT_TRUE(r.verified);
+  // 3 arrays over a 12.8 GB/s channel: thousands of MB/s.
+  EXPECT_GT(r.mbps[static_cast<int>(StreamKernel::kTriad)], 3000.0);
+}
+
+TEST(StreamTest, NvmArraysAreMuchSlower) {
+  Testbed tb;
+  auto base = QuickStream();
+  auto dram = RunStream(tb, base);
+
+  auto opts = base;
+  opts.b_on_nvm = true;
+  opts.c_on_nvm = true;
+  // Arrays must dwarf the page pool and FUSE cache, as in the paper.
+  TestbedOptions small;
+  small.page_pool_bytes = 256_KiB;
+  small.fuse.cache_bytes = 128_KiB;
+  Testbed tb2(small);
+  auto nvm = RunStream(tb2, opts);
+  EXPECT_TRUE(nvm.verified);
+  const int triad = static_cast<int>(StreamKernel::kTriad);
+  // Paper Fig. 2: a factor of tens.
+  EXPECT_GT(dram.mbps[triad], 10.0 * nvm.mbps[triad]);
+}
+
+TEST(StreamTest, RemoteSsdSlowerThanLocal) {
+  auto opts = QuickStream();
+  opts.c_on_nvm = true;
+  // One thread: with several threads the single SSD's service time
+  // dominates both placements equally and the locality difference
+  // drowns in queueing.
+  opts.threads = 1;
+  TestbedOptions local;
+  local.benefactors = 1;
+  local.page_pool_bytes = 256_KiB;
+  local.fuse.cache_bytes = 128_KiB;
+  // Compare the unpipelined fetch path: with read-ahead on, the prefetch
+  // pipeline overlaps the network hop with the SSD and the two placements
+  // converge to the SSD's service rate (which is correct, but hides the
+  // locality difference this test is about).
+  local.fuse.readahead = false;
+  Testbed tb_local(local);
+  auto l = RunStream(tb_local, opts);
+
+  TestbedOptions remote = local;
+  remote.remote_benefactors = true;
+  Testbed tb_remote(remote);
+  auto r = RunStream(tb_remote, opts);
+
+  const int triad = static_cast<int>(StreamKernel::kTriad);
+  EXPECT_TRUE(l.verified);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(l.mbps[triad], r.mbps[triad]);
+}
+
+TEST(StreamTest, PlacementLabels) {
+  StreamOptions o;
+  EXPECT_EQ(PlacementLabel(o), "None");
+  o.a_on_nvm = true;
+  EXPECT_EQ(PlacementLabel(o), "A");
+  o.c_on_nvm = true;
+  EXPECT_EQ(PlacementLabel(o), "A&C");
+  o.a_on_nvm = false;
+  o.b_on_nvm = true;
+  EXPECT_EQ(PlacementLabel(o), "B&C");
+}
+
+// ---------- Matrix multiplication ----------
+
+MatmulOptions QuickMm() {
+  MatmulOptions o;
+  o.matrix_bytes = 512_KiB;  // n = 256
+  o.procs_per_node = 2;
+  o.nodes = 4;
+  o.tile = 16;
+  return o;
+}
+
+// Quick-test testbed: pool and cache well below B so the out-of-core
+// behaviour (the paper's regime) actually engages.
+TestbedOptions QuickMmTestbed(size_t benefactors, bool remote) {
+  TestbedOptions to = MatmulTestbedOptions(benefactors, remote);
+  to.compute_nodes = 4;
+  to.page_pool_bytes = 128_KiB;
+  to.fuse.cache_bytes = 128_KiB;
+  return to;
+}
+
+TEST(MatmulTest, NvmSharedVerifies) {
+  Testbed tb(QuickMmTestbed(4, false));
+  auto r = RunMatmul(tb, QuickMm());
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.verified);
+  EXPECT_GT(r.compute_s, 0.0);
+  EXPECT_GT(r.total_s, r.compute_s);
+  EXPECT_GT(r.app_b_bytes, 0u);
+  EXPECT_GT(r.ssd_b_bytes, 0u);
+}
+
+TEST(MatmulTest, DramModeVerifiesWhenItFits) {
+  TestbedOptions to = MatmulTestbedOptions(1, false);
+  to.compute_nodes = 4;
+  to.dram_per_node = 64_MiB;  // roomy: DRAM mode fits
+  Testbed tb(to);
+  auto o = QuickMm();
+  o.b_on_nvm = false;
+  auto r = RunMatmul(tb, o);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.ssd_b_bytes, 0u);
+}
+
+TEST(MatmulTest, DramModeInfeasibleUnderPaperBudget) {
+  TestbedOptions to = MatmulTestbedOptions(1, false);
+  to.compute_nodes = 4;
+  to.dram_per_node = 1_MiB;  // 2 procs x 512 KiB B replicas cannot fit
+  Testbed tb(to);
+  auto o = QuickMm();
+  o.b_on_nvm = false;
+  auto r = RunMatmul(tb, o);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(MatmulTest, IndividualMmapSlowerThanShared) {
+  auto o = QuickMm();
+  const TestbedOptions to = QuickMmTestbed(4, false);
+
+  Testbed tb_s(to);
+  o.shared_mmap = true;
+  auto shared = RunMatmul(tb_s, o);
+
+  Testbed tb_i(to);
+  o.shared_mmap = false;
+  auto individual = RunMatmul(tb_i, o);
+
+  ASSERT_TRUE(shared.verified);
+  ASSERT_TRUE(individual.verified);
+  EXPECT_LT(shared.total_s, individual.total_s);
+}
+
+TEST(MatmulTest, ColumnMajorSlowerAndFetchesMore) {
+  auto o = QuickMm();
+  o.matrix_bytes = 1_MiB;  // enough rows for the stride to matter
+  const TestbedOptions to = QuickMmTestbed(4, false);
+
+  Testbed tb_row(to);
+  auto row = RunMatmul(tb_row, o);
+
+  Testbed tb_col(to);
+  o.column_major = true;
+  auto col = RunMatmul(tb_col, o);
+
+  ASSERT_TRUE(row.verified);
+  ASSERT_TRUE(col.verified);
+  EXPECT_GT(col.compute_s, row.compute_s);
+  EXPECT_GT(col.ssd_b_bytes, 2 * row.ssd_b_bytes);
+}
+
+TEST(MatmulTest, TrafficShrinksThroughTheStack) {
+  Testbed tb(QuickMmTestbed(4, false));
+  auto r = RunMatmul(tb, QuickMm());
+  ASSERT_TRUE(r.verified);
+  // App element accesses >> page traffic to FUSE >= chunk traffic reuse.
+  EXPECT_GT(r.app_b_bytes, r.fuse_b_bytes);
+  EXPECT_GT(r.fuse_b_bytes, 0u);
+}
+
+// ---------- Parallel sort ----------
+
+PsortOptions QuickSort(PsortOptions::Mode mode) {
+  PsortOptions o;
+  o.list_bytes = 4_MiB;
+  o.procs_per_node = 2;
+  o.nodes = 4;
+  o.mode = mode;
+  return o;
+}
+
+TEST(PsortTest, HybridSortsCorrectly) {
+  TestbedOptions to = PsortTestbedOptions(4, false);
+  to.compute_nodes = 4;
+  Testbed tb(to);
+  auto r = RunPsort(tb, QuickSort(PsortOptions::Mode::kHybridNvm));
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.passes, 1);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(PsortTest, TwoPassSortsCorrectly) {
+  TestbedOptions to = PsortTestbedOptions(4, false);
+  to.compute_nodes = 4;
+  Testbed tb(to);
+  auto r = RunPsort(tb, QuickSort(PsortOptions::Mode::kDramTwoPass));
+  EXPECT_TRUE(r.verified);
+  EXPECT_EQ(r.passes, 2);
+}
+
+TEST(PsortTest, HybridFasterThanTwoPass) {
+  TestbedOptions to = PsortTestbedOptions(4, false);
+  to.compute_nodes = 4;
+  Testbed tb1(to);
+  auto hybrid = RunPsort(tb1, QuickSort(PsortOptions::Mode::kHybridNvm));
+  Testbed tb2(to);
+  auto two_pass = RunPsort(tb2, QuickSort(PsortOptions::Mode::kDramTwoPass));
+  ASSERT_TRUE(hybrid.verified);
+  ASSERT_TRUE(two_pass.verified);
+  EXPECT_LT(hybrid.seconds, two_pass.seconds);
+}
+
+TEST(PsortTest, DifferentSeedsStillSort) {
+  TestbedOptions to = PsortTestbedOptions(4, false);
+  to.compute_nodes = 4;
+  for (uint64_t seed : {1ULL, 99ULL}) {
+    Testbed tb(to);
+    auto o = QuickSort(PsortOptions::Mode::kHybridNvm);
+    o.seed = seed;
+    auto r = RunPsort(tb, o);
+    EXPECT_TRUE(r.verified) << "seed " << seed;
+  }
+}
+
+TEST(PsortTest, OddSizesAndSingleProc) {
+  TestbedOptions to = PsortTestbedOptions(2, false);
+  to.compute_nodes = 2;
+  // Element count not divisible by the rank count; one rank per node.
+  Testbed tb(to);
+  auto o = QuickSort(PsortOptions::Mode::kHybridNvm);
+  o.list_bytes = 1_MiB + 8 * 137;  // 131209 elements... odd on purpose
+  o.procs_per_node = 1;
+  o.nodes = 2;
+  auto r = RunPsort(tb, o);
+  EXPECT_TRUE(r.verified);
+
+  // Truly serial (one rank).
+  Testbed tb2(to);
+  o.nodes = 1;
+  auto r2 = RunPsort(tb2, o);
+  EXPECT_TRUE(r2.verified);
+}
+
+TEST(MatmulTest, RaggedSizesVerify) {
+  // n not divisible by the tile or the rank count.
+  Testbed tb(QuickMmTestbed(4, false));
+  MatmulOptions o;
+  o.matrix_bytes = 300 * 300 * sizeof(double);
+  o.procs_per_node = 2;
+  o.nodes = 4;  // 8 ranks over 300 rows
+  o.tile = 32;  // 300 % 32 != 0
+  auto r = RunMatmul(tb, o);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(StreamTest, AllFourKernelsVerifyOnNvm) {
+  TestbedOptions small;
+  small.page_pool_bytes = 256_KiB;
+  small.fuse.cache_bytes = 256_KiB;
+  Testbed tb(small);
+  auto o = QuickStream();
+  o.a_on_nvm = o.b_on_nvm = o.c_on_nvm = true;  // everything out-of-core
+  auto r = RunStream(tb, o);
+  EXPECT_TRUE(r.verified);
+  for (int k = 0; k < 4; ++k) EXPECT_GT(r.mbps[static_cast<size_t>(k)], 0);
+}
+
+// ---------- Random-write synthetic ----------
+
+TEST(RandWriteTest, OptimizationShrinksSsdTraffic) {
+  RandWriteOptions o;
+  o.region_bytes = 2_MiB;
+  o.num_writes = 16384;
+
+  TestbedOptions with_opt;
+  with_opt.fuse.dirty_page_writeback = true;
+  with_opt.page_pool_bytes = 256_KiB;
+  with_opt.fuse.cache_bytes = 128_KiB;
+  Testbed tb1(with_opt);
+  auto opt = RunRandWrite(tb1, o);
+
+  TestbedOptions without_opt = with_opt;
+  without_opt.fuse.dirty_page_writeback = false;
+  Testbed tb2(without_opt);
+  auto raw = RunRandWrite(tb2, o);
+
+  EXPECT_TRUE(opt.verified);
+  EXPECT_TRUE(raw.verified);
+  // Paper Table VII: orders of magnitude more SSD traffic without the
+  // dirty-page optimisation; FUSE traffic roughly unchanged.
+  EXPECT_GT(raw.bytes_to_ssd, 4 * opt.bytes_to_ssd);
+  EXPECT_NEAR(static_cast<double>(raw.bytes_to_fuse),
+              static_cast<double>(opt.bytes_to_fuse),
+              0.25 * static_cast<double>(opt.bytes_to_fuse));
+}
+
+// ---------- Checkpoint study ----------
+
+TEST(CkptTest, LinkedCheckpointingWorksAndIsIncremental) {
+  Testbed tb;
+  CkptOptions o;
+  o.dram_bytes = 1_MiB;
+  o.nvm_bytes = 4_MiB;
+  o.timesteps = 3;
+  auto r = RunCheckpointStudy(tb, o);
+  ASSERT_EQ(r.steps.size(), 3u);
+  EXPECT_TRUE(r.restart_verified);
+  EXPECT_TRUE(r.old_checkpoint_intact);
+  // Every step links (not copies) the NVM variable.
+  for (const auto& s : r.steps) {
+    EXPECT_EQ(s.nvm_bytes_copied, 0u);
+    EXPECT_EQ(s.nvm_bytes_linked, o.nvm_bytes);
+  }
+  // Later steps write far less than a full NVM copy (incremental).
+  EXPECT_LT(r.steps[1].ssd_bytes_written, o.nvm_bytes);
+}
+
+TEST(CkptTest, NaiveCopyBaselineWritesEverything) {
+  Testbed tb;
+  CkptOptions o;
+  o.dram_bytes = 512_KiB;
+  o.nvm_bytes = 2_MiB;
+  o.timesteps = 2;
+  o.link_nvm = false;
+  auto r = RunCheckpointStudy(tb, o);
+  EXPECT_TRUE(r.restart_verified);
+  for (const auto& s : r.steps) {
+    EXPECT_EQ(s.nvm_bytes_copied, o.nvm_bytes);
+    EXPECT_GE(s.ssd_bytes_written, o.nvm_bytes);
+  }
+}
+
+TEST(CkptTest, LinkedCheaperThanCopied) {
+  CkptOptions o;
+  o.dram_bytes = 512_KiB;
+  o.nvm_bytes = 4_MiB;
+  o.timesteps = 2;
+
+  Testbed tb1;
+  auto linked = RunCheckpointStudy(tb1, o);
+  o.link_nvm = false;
+  Testbed tb2;
+  auto copied = RunCheckpointStudy(tb2, o);
+
+  ASSERT_TRUE(linked.restart_verified);
+  ASSERT_TRUE(copied.restart_verified);
+  EXPECT_LT(linked.steps[1].seconds, copied.steps[1].seconds);
+  EXPECT_LT(linked.steps[1].ssd_bytes_written,
+            copied.steps[1].ssd_bytes_written);
+}
+
+}  // namespace
+}  // namespace nvm::workloads
