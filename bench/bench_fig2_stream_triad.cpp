@@ -68,6 +68,8 @@ int main() {
            "Local MB/s", "Remote MB/s"});
   t.AddRow({"None", "100.00", "100.00", Fmt("%.0f", dram),
             Fmt("%.0f", dram)});
+  JsonReport json("fig2_stream_triad");
+  json.Add("dram_mbps", dram);
   double log_local = 0;
   double log_remote = 0;
   double min_local_gap = 1e30;
@@ -78,6 +80,12 @@ int main() {
     t.AddRow({p.label, Fmt("%.2f", 100.0 * local / dram),
               Fmt("%.2f", 100.0 * remote / dram), Fmt("%.0f", local),
               Fmt("%.0f", remote)});
+    std::string slug = p.label;
+    for (auto& ch : slug) {
+      if (ch == '&') ch = '_';
+    }
+    json.Add("local_" + slug + "_mbps", local);
+    json.Add("remote_" + slug + "_mbps", remote);
     log_local += std::log(dram / local);
     log_remote += std::log(dram / remote);
     min_local_gap = std::min(min_local_gap, dram / local);
@@ -119,5 +127,11 @@ int main() {
        probe_local, probe_remote);
   Shape(probe_remote < probe_local,
         "remote-SSD slower than local-SSD (paper: 115x vs 62x)");
+
+  json.Add("gm_local_gap", gm_local);
+  json.Add("gm_remote_gap", gm_remote);
+  json.Add("probe_local_mbps", probe_local);
+  json.Add("probe_remote_mbps", probe_remote);
+  json.Print();
   return 0;
 }

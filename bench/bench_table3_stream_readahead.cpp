@@ -71,5 +71,16 @@ int main() {
             with.mbps[3] / without.mbps[3] < 2.5,
         "advantage is a modest factor (paper: ~1.3x), not orders of "
         "magnitude");
+
+  JsonReport json("table3_stream_readahead");
+  const char* kernels[] = {"copy", "scale", "add", "triad"};
+  for (size_t k = 0; k < 4; ++k) {
+    json.Add(std::string("with_nvmalloc_") + kernels[k] + "_mbps",
+             with.mbps[k]);
+    json.Add(std::string("without_nvmalloc_") + kernels[k] + "_mbps",
+             without.mbps[k]);
+  }
+  json.Add("triad_advantage", with.mbps[3] / without.mbps[3]);
+  json.Print();
   return 0;
 }

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace nvm::bench {
@@ -75,6 +77,53 @@ inline std::string Fmt(const char* fmt, ...) {
   va_end(args);
   return buf;
 }
+
+// Machine-readable companion to the human tables: collects flat
+// key/value metrics and emits them as one `BENCH_JSON {...}` line so
+// driver scripts can diff runs without scraping the formatted output.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& bench) { Add("bench", bench); }
+
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Add(const std::string& key, double value) {
+    fields_.emplace_back(key, Fmt2("%.4f", value));
+  }
+  void Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+
+  void Print() const {
+    std::printf("BENCH_JSON {");
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::printf("%s\"%s\": %s", i ? ", " : "", fields_[i].first.c_str(),
+                  fields_[i].second.c_str());
+    }
+    std::printf("}\n");
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  static std::string Fmt2(const char* fmt, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 // Record a qualitative-shape check, printed as the bench's verdict.
 inline bool Shape(bool holds, const char* fmt, ...) {

@@ -13,7 +13,8 @@
 //   ./nvmsim config=experiment.cfg
 //
 // Common keys: nodes, benefactors, remote, chunk=64K, cache=2M, pool=4M,
-// replication, readahead, page_writeback, report (print store status).
+// replication, readahead, readahead_max, cache_shards, batch_fetch,
+// page_writeback, report (print store status).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -45,6 +46,11 @@ TestbedOptions BuildTestbed(const Config& cfg) {
   to.fuse.readahead = cfg.GetBool("readahead", to.fuse.readahead);
   to.fuse.dirty_page_writeback =
       cfg.GetBool("page_writeback", to.fuse.dirty_page_writeback);
+  to.fuse.cache_shards = static_cast<size_t>(
+      cfg.GetInt("cache_shards", static_cast<int64_t>(to.fuse.cache_shards)));
+  to.fuse.readahead_max_chunks = static_cast<uint32_t>(
+      cfg.GetInt("readahead_max", to.fuse.readahead_max_chunks));
+  to.fuse.batch_fetch = cfg.GetBool("batch_fetch", to.fuse.batch_fetch);
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }

@@ -1,0 +1,40 @@
+// 64-bit mixing helpers shared by the hash functors of the store, cache
+// and client layers.
+//
+// The folklore multiply-then-XOR pattern (`k.file * GOLDEN ^ k.index`)
+// leaves the low bits of the second operand essentially unmixed, so the
+// contiguous chunk indices of one file cluster into the same hash-table
+// buckets — and, worse, into the same lock shards once the cache is
+// sharded by the low bits.  The splitmix64 finalizer below passes every
+// input bit through two full-width multiplies, giving avalanche behaviour
+// good enough for power-of-two bucket/shard masking.
+#pragma once
+
+#include <cstdint>
+
+namespace nvm {
+
+// splitmix64 finalizer (Steele, Lea & Flood; same constants as the
+// reference implementation).  Bijective on uint64_t.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Hash of an (id, index)-style pair.  The golden-ratio multiply spreads
+// `a` before the indices are folded in, and the finalizer mixes the
+// combined word so both high and low output bits are usable as masks.
+constexpr uint64_t HashPair64(uint64_t a, uint64_t b) {
+  return Mix64(a * 0x9e3779b97f4a7c15ULL + b + 0x9e3779b97f4a7c15ULL);
+}
+
+// Three-word variant for (file, index, version)-style keys.
+constexpr uint64_t HashTriple64(uint64_t a, uint64_t b, uint64_t c) {
+  return Mix64(HashPair64(a, b) + c);
+}
+
+}  // namespace nvm

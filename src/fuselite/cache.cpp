@@ -7,10 +7,28 @@
 
 namespace nvm::fuselite {
 
+namespace {
+// Upper bound on one batched fetch, independent of cache size: keeps a
+// single huge read from monopolising the daemon lanes and the NICs.
+constexpr uint32_t kMaxBatchChunks = 32;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
 ChunkCache::ChunkCache(store::StoreClient& client, FuseliteConfig config)
     : client_(client), config_(config) {
   capacity_chunks_ =
       std::max<uint64_t>(1, config_.cache_bytes / chunk_bytes());
+  const size_t shards = RoundUpPow2(std::max<size_t>(1, config_.cache_shards));
+  shard_mask_ = shards - 1;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   const int lanes = std::max(1, config_.daemon_threads);
   for (int i = 0; i < lanes; ++i) {
     daemons_.push_back(std::make_unique<sim::Resource>(
@@ -19,7 +37,7 @@ ChunkCache::ChunkCache(store::StoreClient& client, FuseliteConfig config)
 }
 
 void ChunkCache::SetAdvice(store::FileId file, AccessAdvice advice) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stream_mutex_);
   if (advice == AccessAdvice::kNormal) {
     advice_.erase(file);
   } else {
@@ -28,34 +46,55 @@ void ChunkCache::SetAdvice(store::FileId file, AccessAdvice advice) {
 }
 
 AccessAdvice ChunkCache::advice(store::FileId file) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stream_mutex_);
   auto it = advice_.find(file);
   return it == advice_.end() ? AccessAdvice::kNormal : it->second;
 }
 
-size_t ChunkCache::resident_chunks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return slots_.size();
+std::vector<size_t> ChunkCache::ShardOccupancy() const {
+  std::vector<size_t> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mutex);
+    out.push_back(sh->slots.size());
+  }
+  return out;
 }
 
-void ChunkCache::TouchLocked(const SlotKey& key, Slot& slot) {
-  lru_.erase(slot.lru_it);
-  lru_.push_front(key);
-  slot.lru_it = lru_.begin();
+uint32_t ChunkCache::readahead_window(store::FileId file) const {
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  auto it = streams_.find(file);
+  if (it == streams_.end() || it->second.empty()) return 0;
+  const StreamState* best = &it->second[0];
+  for (const auto& s : it->second) {
+    if (s.last_use > best->last_use) best = &s;
+  }
+  return best->window;
+}
+
+void ChunkCache::TouchLocked(Shard& sh, const SlotKey& key, Slot& slot) {
+  const uint64_t tick = lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  sh.lru.erase(slot.lru_it);
+  sh.lru.push_front({key, tick});
+  slot.lru_it = sh.lru.begin();
+  sh.oldest_tick.store(sh.lru.back().second, std::memory_order_relaxed);
+}
+
+int64_t ChunkCache::ScheduleOnDaemon(int64_t t0, int64_t duration_ns) {
+  if (duration_ns <= 0) return t0;
+  if (!config_.serialize_daemon) return t0 + duration_ns;
+  auto& lane = *daemons_[daemon_rr_.fetch_add(1, std::memory_order_relaxed) %
+                         daemons_.size()];
+  return lane.Schedule(t0, duration_ns) + duration_ns;
 }
 
 void ChunkCache::SerializeOnDaemon(sim::VirtualClock& clock, int64_t t0) {
   if (!config_.serialize_daemon) return;
-  const int64_t duration = clock.now() - t0;
-  if (duration <= 0) return;
   // The operation's device/network reservations stay where they were made;
   // the *caller* additionally queues on one of the daemon's worker lanes
   // for the operation's duration, which is what throttles concurrent
   // processes of one node.
-  auto& lane = *daemons_[daemon_rr_.fetch_add(1, std::memory_order_relaxed) %
-                         daemons_.size()];
-  const int64_t start = lane.Schedule(t0, duration);
-  clock.AdvanceTo(start + duration);
+  clock.AdvanceTo(ScheduleOnDaemon(t0, clock.now() - t0));
 }
 
 Status ChunkCache::FlushSlotLocked(sim::VirtualClock& clock,
@@ -87,45 +126,93 @@ Status ChunkCache::FlushSlotLocked(sim::VirtualClock& clock,
   return OkStatus();
 }
 
-Status ChunkCache::EvictIfNeededLocked(sim::VirtualClock& clock) {
-  while (slots_.size() >= capacity_chunks_) {
-    NVM_CHECK(!lru_.empty());
-    const SlotKey victim = lru_.back();
-    auto it = slots_.find(victim);
-    NVM_CHECK(it != slots_.end());
+Status ChunkCache::ReserveResidency(sim::VirtualClock& clock, size_t count) {
+  resident_.fetch_add(count, std::memory_order_relaxed);
+  while (resident_.load(std::memory_order_relaxed) > capacity_chunks_) {
+    // Evict from the shard whose LRU tail is globally oldest.  Under
+    // concurrency the relaxed scan is a heuristic; single-threaded it
+    // reproduces the old global LRU exactly.
+    Shard* victim = nullptr;
+    uint64_t best = ~0ULL;
+    for (const auto& sh : shards_) {
+      const uint64_t t = sh->oldest_tick.load(std::memory_order_relaxed);
+      if (t < best) {
+        best = t;
+        victim = sh.get();
+      }
+    }
+    if (victim == nullptr) break;  // nothing resident to evict
+    std::lock_guard<std::mutex> lock(victim->mutex);
+    if (victim->lru.empty()) continue;  // raced with another evictor
+    const SlotKey key = victim->lru.back().first;
+    auto it = victim->slots.find(key);
+    NVM_CHECK(it != victim->slots.end());
     NVM_RETURN_IF_ERROR(
-        FlushSlotLocked(clock, victim, it->second, /*background=*/true));
-    lru_.pop_back();
-    slots_.erase(it);
+        FlushSlotLocked(clock, key, it->second, /*background=*/true));
+    if (it->second.ra_pending) {
+      ra_pending_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    victim->lru.pop_back();
+    victim->slots.erase(it);
+    victim->oldest_tick.store(
+        victim->lru.empty() ? ~0ULL : victim->lru.back().second,
+        std::memory_order_relaxed);
+    resident_.fetch_sub(1, std::memory_order_relaxed);
     ++traffic_.evictions;
   }
   return OkStatus();
 }
 
-StatusOr<ChunkCache::Slot*> ChunkCache::GetSlotLocked(
-    sim::VirtualClock& clock, store::FileId file, uint32_t index) {
-  const SlotKey key{file, index};
-  auto it = slots_.find(key);
-  if (it != slots_.end()) {
-    // If this chunk is still in flight from a prefetch, the reader waits
-    // for the remainder of the transfer.
+StatusOr<ChunkCache::Slot*> ChunkCache::GetOrCreateSlot(
+    std::unique_lock<std::mutex>& lk, Shard& sh, sim::VirtualClock& clock,
+    const SlotKey& key) {
+  auto it = sh.slots.find(key);
+  if (it != sh.slots.end()) {
+    // If this chunk is still in flight from a prefetch or a batched
+    // fetch, the reader waits for the remainder of the transfer.
     clock.AdvanceTo(it->second.ready_at);
-    ++traffic_.hit_chunks;
-    TouchLocked(key, it->second);
+    if (it->second.fresh_fetch) {
+      it->second.fresh_fetch = false;  // the miss that paid for the fetch
+    } else {
+      ++traffic_.hit_chunks;
+    }
+    if (it->second.ra_pending) {
+      it->second.ra_pending = false;
+      ra_pending_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    TouchLocked(sh, key, it->second);
     return &it->second;
   }
 
-  NVM_RETURN_IF_ERROR(EvictIfNeededLocked(clock));
+  // Make room before inserting.  Eviction may target any shard (including
+  // this one), so the shard lock must be dropped around it.
+  lk.unlock();
+  Status evicted = ReserveResidency(clock, 1);
+  lk.lock();
+  if (!evicted.ok()) {
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    return evicted;
+  }
+  it = sh.slots.find(key);
+  if (it != sh.slots.end()) {
+    // Another thread materialised the slot while the lock was dropped.
+    resident_.fetch_sub(1, std::memory_order_relaxed);
+    clock.AdvanceTo(it->second.ready_at);
+    TouchLocked(sh, key, it->second);
+    return &it->second;
+  }
 
   Slot slot;
   slot.data.assign(chunk_bytes(), 0);
   slot.dirty = Bitmap(chunk_bytes() / page_bytes());
   slot.valid = Bitmap(chunk_bytes() / page_bytes());
   slot.ready_at = clock.now();
-  lru_.push_front(key);
-  slot.lru_it = lru_.begin();
-  auto [ins, ok] = slots_.emplace(key, std::move(slot));
+  const uint64_t tick = lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  sh.lru.push_front({key, tick});
+  auto [ins, ok] = sh.slots.emplace(key, std::move(slot));
   NVM_CHECK(ok);
+  ins->second.lru_it = sh.lru.begin();
+  sh.oldest_tick.store(sh.lru.back().second, std::memory_order_relaxed);
   return &ins->second;
 }
 
@@ -159,43 +246,201 @@ Status ChunkCache::EnsureValidLocked(sim::VirtualClock& clock,
   return OkStatus();
 }
 
-void ChunkCache::MaybePrefetchLocked(sim::VirtualClock& clock,
-                                     store::FileId file,
-                                     uint32_t next_index) {
-  if (!config_.readahead) return;
-  const SlotKey key{file, next_index};
-  if (slots_.contains(key)) return;
-
-  // The prefetch occupies devices and network starting now but runs on a
-  // detached clock: the application keeps computing while the chunk is in
-  // flight, and only pays the residual wait if it arrives at the chunk
-  // before the transfer completes (ready_at handling in GetSlotLocked).
-  sim::VirtualClock detached(clock.now());
-  if (slots_.size() >= capacity_chunks_) {
-    // Make room like kernel read-ahead does; the evicted slot's dirty
-    // pages flush on the background writeback clock, so this is cheap.
-    if (!EvictIfNeededLocked(detached).ok()) return;
+uint32_t ChunkCache::AbsentRunLength(store::FileId file, uint32_t first,
+                                     uint32_t max) {
+  uint32_t run = 0;
+  while (run < max) {
+    const SlotKey key{file, first + run};
+    Shard& sh = shard_for(key);
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    if (sh.slots.contains(key)) break;
+    ++run;
   }
-  Slot slot;
-  slot.data.resize(chunk_bytes());
-  slot.dirty = Bitmap(chunk_bytes() / page_bytes());
-  slot.valid = Bitmap(chunk_bytes() / page_bytes());
-  const int64_t t0 = detached.now();
-  Status s = client_.ReadChunk(detached, file, next_index, slot.data);
-  if (!s.ok()) return;  // beyond EOF or store unavailable: no-op
-  SerializeOnDaemon(detached, t0);
-  ++traffic_.prefetched_chunks;
-  slot.valid.SetAll();
-  slot.ready_at = detached.now();
-  lru_.push_front(key);
-  slot.lru_it = lru_.begin();
-  slots_.emplace(key, std::move(slot));
+  return run;
+}
+
+Status ChunkCache::FetchRun(sim::VirtualClock& clock, store::FileId file,
+                            uint32_t first, uint32_t count, bool prefetch) {
+  count = static_cast<uint32_t>(std::min<uint64_t>(
+      count, std::min<uint64_t>(capacity_chunks_, kMaxBatchChunks)));
+  std::vector<uint32_t> absent;
+  for (uint32_t i = 0; i < count; ++i) {
+    const SlotKey key{file, first + i};
+    Shard& sh = shard_for(key);
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    if (!sh.slots.contains(key)) absent.push_back(first + i);
+  }
+  if (absent.empty()) return OkStatus();
+
+  // Read-ahead runs entirely on a detached clock: the application keeps
+  // computing while the chunks are in flight and only pays the residual
+  // wait on arrival (ready_at handling in GetOrCreateSlot).  A foreground
+  // batch charges the single metadata lookup to the caller and detaches
+  // only the data transfers, which the reader then drains chunk by chunk.
+  sim::VirtualClock detached(clock.now());
+  sim::VirtualClock& bclock = prefetch ? detached : clock;
+
+  // Reserve residency up front so the batch's own inserts cannot evict
+  // its not-yet-consumed members mid-flight.
+  Status reserved = ReserveResidency(bclock, absent.size());
+  if (!reserved.ok()) {
+    resident_.fetch_sub(absent.size(), std::memory_order_relaxed);
+    return prefetch ? OkStatus() : reserved;
+  }
+
+  std::vector<Slot> slots(absent.size());
+  std::vector<store::StoreClient::ChunkFetch> fetches(absent.size());
+  for (size_t i = 0; i < absent.size(); ++i) {
+    slots[i].data.assign(chunk_bytes(), 0);
+    slots[i].dirty = Bitmap(chunk_bytes() / page_bytes());
+    slots[i].valid = Bitmap(chunk_bytes() / page_bytes());
+    fetches[i].index = absent[i];
+    fetches[i].out = slots[i].data;
+  }
+
+  Status looked_up = client_.ReadChunks(bclock, file, fetches);
+  if (!looked_up.ok()) {
+    // Beyond EOF or store unavailable: leave the chunks absent.  A
+    // foreground read recovers through the single-chunk path, which
+    // reports the error with the usual context.
+    resident_.fetch_sub(absent.size(), std::memory_order_relaxed);
+    return OkStatus();
+  }
+
+  const int64_t t_base = bclock.now();
+  uint64_t landed = 0;
+  int64_t prev_done = t_base;
+  for (size_t i = 0; i < absent.size(); ++i) {
+    if (!fetches[i].status.ok()) {
+      resident_.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    Slot& slot = slots[i];
+    slot.valid.SetAll();
+    // Charge a daemon lane only the chunk's marginal completion time
+    // within the batch: the shared NICs already model the transfer
+    // queueing, and billing each chunk for the whole time since batch
+    // start would occupy the lanes quadratically in the batch size.
+    const int64_t marginal = std::max<int64_t>(
+        0, fetches[i].ready_at - prev_done);
+    slot.ready_at =
+        ScheduleOnDaemon(fetches[i].ready_at - marginal, marginal);
+    prev_done = std::max(prev_done, fetches[i].ready_at);
+    slot.fresh_fetch = !prefetch;
+    slot.ra_pending = prefetch;
+    const SlotKey key{file, absent[i]};
+    Shard& sh = shard_for(key);
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    if (sh.slots.contains(key)) {
+      resident_.fetch_sub(1, std::memory_order_relaxed);
+      continue;  // raced with another fetcher; keep the existing copy
+    }
+    const uint64_t tick =
+        lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    sh.lru.push_front({key, tick});
+    auto [ins, ok] = sh.slots.emplace(key, std::move(slot));
+    NVM_CHECK(ok);
+    ins->second.lru_it = sh.lru.begin();
+    sh.oldest_tick.store(sh.lru.back().second, std::memory_order_relaxed);
+    if (prefetch) {
+      ++traffic_.prefetched_chunks;
+      ra_pending_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++traffic_.fetched_chunks;
+    }
+    ++landed;
+  }
+  if (landed > 0) {
+    ++traffic_.batch_fetches;
+    traffic_.batched_chunks += landed;
+  }
+  return OkStatus();
+}
+
+ChunkCache::PrefetchPlan ChunkCache::UpdateStreams(store::FileId file,
+                                                   uint64_t pos, uint64_t n,
+                                                   uint32_t index) {
+  PrefetchPlan plan;
+  std::lock_guard<std::mutex> lock(stream_mutex_);
+  auto adv = AccessAdvice::kNormal;
+  if (auto ait = advice_.find(file); ait != advice_.end()) adv = ait->second;
+  auto& streams = streams_[file];
+  ++stream_tick_;
+  // A read continuing where one of the file's tracked streams ended
+  // advances that stream and may trigger the next read-ahead batch.
+  for (auto& s : streams) {
+    if (s.next_offset != pos) continue;
+    s.next_offset = pos + n;
+    s.last_use = stream_tick_;
+    if (adv == AccessAdvice::kStreamOnce && index > 0 &&
+        (pos + n) % chunk_bytes() == 0) {
+      // The previous chunk has been fully consumed and will not be
+      // touched again: drop it immediately (evict-behind).
+      plan.evict_behind = true;
+    }
+    if (!config_.readahead) return plan;
+    // Kernel-style ramp: each batch doubles the window up to the advice
+    // cap, and reaching the start of the previously issued batch (the
+    // marker) triggers the next one.  The ahead-limit keeps the pipeline
+    // from running more than `cap` chunks past the consumer.
+    const uint32_t cap = ReadaheadCap(adv);
+    if (s.ra_head == 0 || index >= s.ra_marker) {
+      // Scale the batch to the global read-ahead budget: speculative
+      // chunks nobody has consumed yet may fill at most half the cache,
+      // or concurrent streams evict each other's windows before use.
+      // Every live stream always gets at least one chunk ahead (the old
+      // fixed prefetch) — a stream starved to zero would fall back to
+      // full-cost foreground misses, which is worse than over-budget.
+      const size_t pending = ra_pending_.load(std::memory_order_relaxed);
+      const size_t budget_total = std::max<size_t>(1, capacity_chunks_ / 2);
+      const auto budget = static_cast<uint32_t>(
+          pending < budget_total ? budget_total - pending : 0);
+      const uint32_t allowed = std::max(1u, std::min(s.window, budget));
+      const uint32_t start = std::max(s.ra_head, index + 1);
+      const uint32_t end = std::min(start + allowed, index + 1 + cap);
+      if (end > start) {
+        plan.start = start;
+        plan.count = end - start;
+        s.ra_marker = start;
+        s.ra_head = end;
+        s.window = std::min(s.window * 2, cap);
+      }
+    }
+    return plan;
+  }
+  // New stream: remember it (replacing the least recently used slot when
+  // the table is full) with a fresh 1-chunk read-ahead window.
+  if (streams.size() < kMaxStreams) {
+    streams.push_back({pos + n, stream_tick_, 1, 0, 0});
+  } else {
+    auto* lru = &streams[0];
+    for (auto& s : streams) {
+      if (s.last_use < lru->last_use) lru = &s;
+    }
+    *lru = {pos + n, stream_tick_, 1, 0, 0};
+  }
+  return plan;
+}
+
+uint32_t ChunkCache::ReadaheadCap(AccessAdvice advice) const {
+  const uint32_t base = std::max<uint32_t>(1, config_.readahead_max_chunks);
+  switch (advice) {
+    case AccessAdvice::kWriteOnceReadMany:
+      // The variable will be streamed repeatedly: run the pipeline twice
+      // as deep.
+      return base * 2;
+    case AccessAdvice::kStreamOnce:
+      // Evict-behind keeps the footprint tiny; a deep window would just
+      // re-grow it, so stay one chunk ahead like the old fixed prefetch.
+      return 1;
+    default:
+      return base;
+  }
 }
 
 Status ChunkCache::Read(sim::VirtualClock& clock, store::FileId file,
                         uint64_t offset, std::span<uint8_t> out) {
   clock.Advance(config_.per_op_software_ns);
-  std::lock_guard<std::mutex> lock(mutex_);
   traffic_.app_bytes_read += out.size();
 
   uint64_t done = 0;
@@ -205,61 +450,57 @@ Status ChunkCache::Read(sim::VirtualClock& clock, store::FileId file,
     const uint64_t within = pos % chunk_bytes();
     const uint64_t n =
         std::min<uint64_t>(chunk_bytes() - within, out.size() - done);
-
-    NVM_ASSIGN_OR_RETURN(Slot * slot, GetSlotLocked(clock, file, index));
     const SlotKey key{file, index};
+
+    if (config_.batch_fetch) {
+      // A cold read spanning several wholly-absent chunks fetches the
+      // run with one metadata round-trip and overlapped transfers
+      // instead of a lookup per chunk.
+      const uint64_t span_chunks =
+          (pos + (out.size() - done) + chunk_bytes() - 1) / chunk_bytes() -
+          index;
+      if (span_chunks >= 2) {
+        const uint32_t max_run = static_cast<uint32_t>(std::min<uint64_t>(
+            span_chunks,
+            std::min<uint64_t>(capacity_chunks_, kMaxBatchChunks)));
+        const uint32_t run = AbsentRunLength(file, index, max_run);
+        if (run >= 2) {
+          NVM_RETURN_IF_ERROR(
+              FetchRun(clock, file, index, run, /*prefetch=*/false));
+        }
+      }
+    }
+
+    Shard& sh = shard_for(key);
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    NVM_ASSIGN_OR_RETURN(Slot * slot, GetOrCreateSlot(lk, sh, clock, key));
     NVM_RETURN_IF_ERROR(EnsureValidLocked(clock, key, *slot,
                                           within / page_bytes(),
                                           (within + n - 1) / page_bytes()));
     std::memcpy(out.data() + done, slot->data.data() + within, n);
+    lk.unlock();
 
-    // Sequential-stream detection (multi-stream, like kernel readahead):
-    // a read continuing where one of the file's tracked streams ended
-    // arms read-ahead for the following chunk.
-    auto& streams = streams_[file];
-    ++stream_tick_;
-    bool matched = false;
-    auto adv = AccessAdvice::kNormal;
-    {
-      auto ait = advice_.find(file);
-      if (ait != advice_.end()) adv = ait->second;
+    const PrefetchPlan plan = UpdateStreams(file, pos, n, index);
+    if (plan.count > 0) {
+      NVM_RETURN_IF_ERROR(
+          FetchRun(clock, file, plan.start, plan.count, /*prefetch=*/true));
     }
-    for (auto& s : streams) {
-      if (s.next_offset == pos) {
-        s.next_offset = pos + n;
-        s.last_use = stream_tick_;
-        matched = true;
-        MaybePrefetchLocked(clock, file, index + 1);
-        if (adv == AccessAdvice::kWriteOnceReadMany) {
-          // The variable will be streamed repeatedly: run the read-ahead
-          // window one chunk deeper.
-          MaybePrefetchLocked(clock, file, index + 2);
+    if (plan.evict_behind) {
+      const SlotKey prev{file, index - 1};
+      Shard& psh = shard_for(prev);
+      std::lock_guard<std::mutex> plock(psh.mutex);
+      auto pit = psh.slots.find(prev);
+      if (pit != psh.slots.end() && pit->second.dirty.None()) {
+        if (pit->second.ra_pending) {
+          ra_pending_.fetch_sub(1, std::memory_order_relaxed);
         }
-        if (adv == AccessAdvice::kStreamOnce && index > 0 &&
-            (pos + n) % chunk_bytes() == 0) {
-          // The previous chunk has been fully consumed and will not be
-          // touched again: drop it immediately (evict-behind), freeing
-          // the slot without disturbing LRU order for other files.
-          const SlotKey prev{file, index - 1};
-          auto pit = slots_.find(prev);
-          if (pit != slots_.end() && pit->second.dirty.None()) {
-            lru_.erase(pit->second.lru_it);
-            slots_.erase(pit);
-            ++traffic_.evictions;
-          }
-        }
-        break;
-      }
-    }
-    if (!matched) {
-      if (streams.size() < kMaxStreams) {
-        streams.push_back({pos + n, stream_tick_});
-      } else {
-        auto* lru = &streams[0];
-        for (auto& s : streams) {
-          if (s.last_use < lru->last_use) lru = &s;
-        }
-        *lru = {pos + n, stream_tick_};
+        psh.lru.erase(pit->second.lru_it);
+        psh.slots.erase(pit);
+        psh.oldest_tick.store(
+            psh.lru.empty() ? ~0ULL : psh.lru.back().second,
+            std::memory_order_relaxed);
+        resident_.fetch_sub(1, std::memory_order_relaxed);
+        ++traffic_.evictions;
       }
     }
     done += n;
@@ -270,7 +511,6 @@ Status ChunkCache::Read(sim::VirtualClock& clock, store::FileId file,
 Status ChunkCache::Write(sim::VirtualClock& clock, store::FileId file,
                          uint64_t offset, std::span<const uint8_t> in) {
   clock.Advance(config_.per_op_software_ns);
-  std::lock_guard<std::mutex> lock(mutex_);
   traffic_.app_bytes_written += in.size();
 
   uint64_t done = 0;
@@ -280,8 +520,10 @@ Status ChunkCache::Write(sim::VirtualClock& clock, store::FileId file,
     const uint64_t within = pos % chunk_bytes();
     const uint64_t n =
         std::min<uint64_t>(chunk_bytes() - within, in.size() - done);
-    NVM_ASSIGN_OR_RETURN(Slot * slot, GetSlotLocked(clock, file, index));
     const SlotKey key{file, index};
+    Shard& sh = shard_for(key);
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    NVM_ASSIGN_OR_RETURN(Slot * slot, GetOrCreateSlot(lk, sh, clock, key));
     const size_t first_page = within / page_bytes();
     const size_t last_page = (within + n - 1) / page_bytes();
     if (!config_.dirty_page_writeback) {
@@ -314,27 +556,51 @@ Status ChunkCache::Write(sim::VirtualClock& clock, store::FileId file,
 }
 
 Status ChunkCache::Flush(sim::VirtualClock& clock, store::FileId file) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [key, slot] : slots_) {
-    if (file != store::kInvalidFileId && key.file != file) continue;
-    NVM_RETURN_IF_ERROR(
-        FlushSlotLocked(clock, key, slot, /*background=*/false));
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lock(shp->mutex);
+    for (auto& [key, slot] : shp->slots) {
+      if (file != store::kInvalidFileId && key.file != file) continue;
+      NVM_RETURN_IF_ERROR(
+          FlushSlotLocked(clock, key, slot, /*background=*/false));
+    }
   }
   return OkStatus();
 }
 
 Status ChunkCache::Drop(sim::VirtualClock& clock, store::FileId file) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = slots_.begin(); it != slots_.end();) {
-    if (it->first.file == file) {
-      NVM_RETURN_IF_ERROR(
-          FlushSlotLocked(clock, it->first, it->second, false));
-      lru_.erase(it->second.lru_it);
-      it = slots_.erase(it);
-    } else {
-      ++it;
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lock(shp->mutex);
+    for (auto it = shp->slots.begin(); it != shp->slots.end();) {
+      if (it->first.file != file) {
+        ++it;
+        continue;
+      }
+      const Status flushed =
+          FlushSlotLocked(clock, it->first, it->second, false);
+      if (!flushed.ok()) {
+        // Drop destroys the slot either way (ssdfree / invalidate), and
+        // Sync() is the durability barrier that already surfaced this
+        // error.  Losing dirty data here is the documented consequence of
+        // an unreplicated benefactor failure; wedging the drop would just
+        // leak the slot.
+        NVM_WLOG("dropping dirty chunk %u of file %llu after failed "
+                 "write-back: %s",
+                 it->first.index,
+                 static_cast<unsigned long long>(it->first.file),
+                 flushed.message().c_str());
+      }
+      if (it->second.ra_pending) {
+        ra_pending_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      shp->lru.erase(it->second.lru_it);
+      it = shp->slots.erase(it);
+      resident_.fetch_sub(1, std::memory_order_relaxed);
     }
+    shp->oldest_tick.store(
+        shp->lru.empty() ? ~0ULL : shp->lru.back().second,
+        std::memory_order_relaxed);
   }
+  std::lock_guard<std::mutex> lock(stream_mutex_);
   streams_.erase(file);
   return OkStatus();
 }

@@ -1,5 +1,7 @@
 #include "store/client.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace nvm::store {
@@ -10,6 +12,7 @@ StoreClient::StoreClient(net::Cluster& cluster, Manager& manager,
 
 void StoreClient::ChargeMetaRoundTrip(sim::VirtualClock& clock) {
   const StoreConfig& cfg = manager_.config();
+  meta_rtts_.Add(1);
   cluster_.network().Transfer(clock, local_node_, manager_.node_id(),
                               cfg.meta_request_bytes);
   cluster_.network().Transfer(clock, manager_.node_id(), local_node_,
@@ -68,6 +71,30 @@ StatusOr<ReadLocation> StoreClient::LookupRead(sim::VirtualClock& clock,
   return loc;
 }
 
+Status StoreClient::LookupReadMany(sim::VirtualClock& clock, FileId id,
+                                   uint32_t first, uint32_t count) {
+  if (count == 0) return OkStatus();
+  bool all_cached = true;
+  {
+    std::lock_guard<std::mutex> lock(loc_mutex_);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!loc_cache_.contains(LocKey{id, first + i})) {
+        all_cached = false;
+        break;
+      }
+    }
+  }
+  if (all_cached) return OkStatus();
+  ChargeMetaRoundTrip(clock);
+  NVM_ASSIGN_OR_RETURN(std::vector<ReadLocation> locs,
+                       manager_.GetReadLocations(clock, id, first, count));
+  std::lock_guard<std::mutex> lock(loc_mutex_);
+  for (uint32_t i = 0; i < locs.size(); ++i) {
+    loc_cache_[LocKey{id, first + i}] = locs[i];
+  }
+  return OkStatus();
+}
+
 void StoreClient::InvalidateLocation(FileId id, uint32_t chunk_index) {
   std::lock_guard<std::mutex> lock(loc_mutex_);
   loc_cache_.erase(LocKey{id, chunk_index});
@@ -114,6 +141,32 @@ Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
     if (attempt > 0) return last;
   }
   return Unavailable("no replicas");
+}
+
+Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
+                               std::span<ChunkFetch> fetches) {
+  if (fetches.empty()) return OkStatus();
+  uint32_t lo = fetches[0].index;
+  uint32_t hi = fetches[0].index;
+  for (const ChunkFetch& f : fetches) {
+    lo = std::min(lo, f.index);
+    hi = std::max(hi, f.index);
+  }
+  // One control-plane hop covers the whole span (present chunks included —
+  // the extra locations just warm the cache).
+  NVM_RETURN_IF_ERROR(LookupReadMany(clock, id, lo, hi - lo + 1));
+  const int64_t t0 = clock.now();
+  for (ChunkFetch& f : fetches) {
+    // Each transfer branches off the post-lookup time: requests to
+    // distinct benefactors overlap, and shared NICs/devices serialise
+    // naturally through their modelled resources.  The location cache is
+    // already warm, so ReadChunk issues no further lookups unless a
+    // replica fails.
+    sim::VirtualClock detached(t0);
+    f.status = ReadChunk(detached, id, f.index, f.out);
+    f.ready_at = detached.now();
+  }
+  return OkStatus();
 }
 
 Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
@@ -165,6 +218,7 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
 void StoreClient::ResetCounters() {
   bytes_fetched_.Reset();
   bytes_flushed_.Reset();
+  meta_rtts_.Reset();
 }
 
 }  // namespace nvm::store

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "common/bitmap.hpp"
+#include "common/hash.hpp"
 #include "common/status.hpp"
 #include "store/manager.hpp"
 
@@ -45,6 +46,32 @@ class StoreClient {
   Status ReadChunk(sim::VirtualClock& clock, FileId id, uint32_t chunk_index,
                    std::span<uint8_t> out);
 
+  // One element of a batched read.
+  struct ChunkFetch {
+    uint32_t index = 0;
+    std::span<uint8_t> out;  // destination, sized chunk_bytes
+    Status status;           // per-chunk outcome
+    int64_t ready_at = 0;    // virtual completion time of the transfer
+  };
+
+  // Batched fetch of several chunks of one file.  The locations of the
+  // whole index span are resolved with at most one metadata round-trip
+  // (LookupReadMany); each chunk's benefactor transfer then runs on its
+  // own detached clock branched at the post-lookup time, so transfers
+  // from distinct benefactors overlap on the modelled network.  `clock`
+  // itself advances only past the metadata lookup; callers consume the
+  // per-chunk `ready_at` completion times.  Returns non-OK only if the
+  // batched lookup fails outright; per-chunk failures (EOF, dead
+  // replicas) land in fetches[i].status.
+  Status ReadChunks(sim::VirtualClock& clock, FileId id,
+                    std::span<ChunkFetch> fetches);
+
+  // Resolve read locations for `count` consecutive chunks starting at
+  // `first` with at most one metadata round-trip (none when all are
+  // already location-cached).  The resolved range is clamped at EOF.
+  Status LookupReadMany(sim::VirtualClock& clock, FileId id, uint32_t first,
+                        uint32_t count);
+
   // Flush the dirty pages of a cached chunk image back to the store.
   // Performs the manager's copy-on-write protocol when the chunk is shared
   // with a checkpoint.
@@ -56,6 +83,9 @@ class StoreClient {
   // paper's traffic tables).
   uint64_t bytes_fetched() const { return bytes_fetched_.value(); }
   uint64_t bytes_flushed() const { return bytes_flushed_.value(); }
+  // Metadata round-trips this client issued to the manager (control-plane
+  // cost; the batched read path exists to keep this flat).
+  uint64_t meta_round_trips() const { return meta_rtts_.value(); }
   void ResetCounters();
 
  private:
@@ -66,7 +96,7 @@ class StoreClient {
   };
   struct LocKeyHash {
     size_t operator()(const LocKey& k) const {
-      return std::hash<uint64_t>()(k.file * 0x9e3779b97f4a7c15ULL ^ k.index);
+      return static_cast<size_t>(HashPair64(k.file, k.index));
     }
   };
 
@@ -85,6 +115,7 @@ class StoreClient {
   const int local_node_;
   Counter bytes_fetched_;
   Counter bytes_flushed_;
+  Counter meta_rtts_;
   std::mutex loc_mutex_;
   std::unordered_map<LocKey, ReadLocation, LocKeyHash> loc_cache_;
 };

@@ -392,6 +392,28 @@ StatusOr<ReadLocation> Manager::GetReadLocation(sim::VirtualClock& clock,
   return ReadLocation{ref.key, ref.benefactors};
 }
 
+StatusOr<std::vector<ReadLocation>> Manager::GetReadLocations(
+    sim::VirtualClock& clock, FileId id, uint32_t first, uint32_t count) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+  const auto& chunks = it->second.chunks;
+  if (first >= chunks.size()) {
+    return OutOfRange("chunk " + std::to_string(first) + " beyond EOF of '" +
+                      it->second.name + "'");
+  }
+  const auto n =
+      static_cast<uint32_t>(std::min<uint64_t>(count, chunks.size() - first));
+  std::vector<ReadLocation> locs;
+  locs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const ChunkRef& ref = chunks[first + i];
+    locs.push_back(ReadLocation{ref.key, ref.benefactors});
+  }
+  return locs;
+}
+
 StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
                                               FileId id,
                                               uint32_t chunk_index) {

@@ -99,6 +99,12 @@ class Manager {
 
   StatusOr<ReadLocation> GetReadLocation(sim::VirtualClock& clock, FileId id,
                                          uint32_t chunk_index);
+  // Batched variant: locations of `count` consecutive chunks starting at
+  // `first`, clamped at EOF.  Charges ONE metadata service op for the
+  // whole batch — the control-plane saving behind the client's coalesced
+  // miss and read-ahead paths.
+  StatusOr<std::vector<ReadLocation>> GetReadLocations(
+      sim::VirtualClock& clock, FileId id, uint32_t first, uint32_t count);
   // Resolve the target for writing a chunk, performing the copy-on-write
   // decision: a chunk shared with a checkpoint gets a fresh version.
   StatusOr<WriteLocation> PrepareWrite(sim::VirtualClock& clock, FileId id,

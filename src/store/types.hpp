@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/units.hpp"
 
 namespace nvm::store {
@@ -30,10 +31,7 @@ struct ChunkKey {
 
 struct ChunkKeyHash {
   size_t operator()(const ChunkKey& k) const {
-    uint64_t h = k.origin_file * 0x9e3779b97f4a7c15ULL;
-    h ^= (static_cast<uint64_t>(k.index) << 32) | k.version;
-    h *= 0xbf58476d1ce4e5b9ULL;
-    return static_cast<size_t>(h ^ (h >> 31));
+    return static_cast<size_t>(HashTriple64(k.origin_file, k.index, k.version));
   }
 };
 

@@ -112,7 +112,7 @@ TEST(AdviceTest, WormPrefetchesDeeper) {
     for (uint64_t off = 0; off < 8 * kChunk; off += kPage) {
       NVM_CHECK((*r)->Read(off, buf).ok());
     }
-    return rig.runtime->mount().cache().traffic().prefetched_chunks;
+    return rig.runtime->mount().cache().traffic().prefetched_chunks.load();
   };
   const uint64_t normal = prefetches(fuselite::AccessAdvice::kNormal);
   const uint64_t worm = prefetches(fuselite::AccessAdvice::kWriteOnceReadMany);
