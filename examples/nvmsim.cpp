@@ -14,7 +14,7 @@
 //
 // Common keys: nodes, benefactors, remote, chunk=64K, cache=2M, pool=4M,
 // replication, readahead, readahead_max, cache_shards, batch_fetch,
-// page_writeback, report (print store status).
+// batch_rpc, page_writeback, report (print store status).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -51,8 +51,30 @@ TestbedOptions BuildTestbed(const Config& cfg) {
   to.fuse.readahead_max_chunks = static_cast<uint32_t>(
       cfg.GetInt("readahead_max", to.fuse.readahead_max_chunks));
   to.fuse.batch_fetch = cfg.GetBool("batch_fetch", to.fuse.batch_fetch);
+  to.store.batch_rpc = cfg.GetBool("batch_rpc", to.store.batch_rpc);
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
+}
+
+// Snapshot every compute node's mount cache for the status report.
+std::vector<store::MountCacheStats> CollectMountStats(Testbed& tb,
+                                                      size_t compute_nodes) {
+  std::vector<store::MountCacheStats> mounts;
+  mounts.reserve(compute_nodes);
+  for (size_t n = 0; n < compute_nodes; ++n) {
+    auto& cache = tb.runtime(static_cast<int>(n)).mount().cache();
+    const fuselite::CacheTraffic& t = cache.traffic();
+    store::MountCacheStats m;
+    m.node = static_cast<int>(n);
+    m.resident_chunks = cache.resident_chunks();
+    m.hit_chunks = t.hit_chunks.load();
+    m.fetched_chunks = t.fetched_chunks.load();
+    m.prefetched_chunks = t.prefetched_chunks.load();
+    m.evictions = t.evictions.load();
+    m.dropped_dirty = t.dropped_dirty.load();
+    mounts.push_back(m);
+  }
+  return mounts;
 }
 
 int RunStreamCmd(const Config& cfg, Testbed& tb) {
@@ -204,8 +226,10 @@ int main(int argc, char** argv) {
   }
 
   if (cfg.GetBool("report", true)) {
+    const auto mounts =
+        CollectMountStats(tb, static_cast<size_t>(cfg.GetInt("nodes", 16)));
     std::printf("\nstore status:\n%s",
-                store::StatusReport(tb.store()).c_str());
+                store::StatusReport(tb.store(), mounts).c_str());
   }
   return rc;
 }

@@ -310,7 +310,16 @@ Status ChunkCache::FetchRun(sim::VirtualClock& clock, store::FileId file,
   const int64_t t_base = bclock.now();
   uint64_t landed = 0;
   int64_t prev_done = t_base;
-  for (size_t i = 0; i < absent.size(); ++i) {
+  // Consume completions in arrival order: the batched store path streams
+  // chunks per benefactor, so array order and arrival order diverge.
+  // Ordering by ready_at keeps the marginal daemon charge equal to each
+  // chunk's true inter-arrival gap.
+  std::vector<size_t> arrival(absent.size());
+  for (size_t i = 0; i < arrival.size(); ++i) arrival[i] = i;
+  std::stable_sort(arrival.begin(), arrival.end(), [&](size_t a, size_t b) {
+    return fetches[a].ready_at < fetches[b].ready_at;
+  });
+  for (size_t i : arrival) {
     if (!fetches[i].status.ok()) {
       resident_.fetch_sub(1, std::memory_order_relaxed);
       continue;
@@ -583,6 +592,7 @@ Status ChunkCache::Drop(sim::VirtualClock& clock, store::FileId file) {
         // error.  Losing dirty data here is the documented consequence of
         // an unreplicated benefactor failure; wedging the drop would just
         // leak the slot.
+        ++traffic_.dropped_dirty;
         NVM_WLOG("dropping dirty chunk %u of file %llu after failed "
                  "write-back: %s",
                  it->first.index,

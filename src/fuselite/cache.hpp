@@ -91,6 +91,10 @@ struct CacheTraffic {
   // Batched-fetch observability: batches issued and chunks they carried.
   std::atomic<uint64_t> batch_fetches{0};
   std::atomic<uint64_t> batched_chunks{0};
+  // Dirty chunks discarded by Drop() after the best-effort write-back
+  // failed (unreplicated benefactor loss).  The data loss was already
+  // surfaced through Sync(); this makes the discard itself observable.
+  std::atomic<uint64_t> dropped_dirty{0};
 
   CacheTraffic() = default;
   CacheTraffic(const CacheTraffic& o) { *this = o; }
@@ -106,6 +110,7 @@ struct CacheTraffic {
       evictions = o.evictions.load();
       batch_fetches = o.batch_fetches.load();
       batched_chunks = o.batched_chunks.load();
+      dropped_dirty = o.dropped_dirty.load();
     }
     return *this;
   }

@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "sim/device.hpp"
 
@@ -37,6 +39,48 @@ void Network::Transfer(sim::VirtualClock& clock, int src_node, int dst_node,
   const int64_t recv_start = nics_[static_cast<size_t>(dst_node)]->Schedule(
       send_start, duration);
   clock.AdvanceTo(recv_start + duration + profile_.wire_latency_ns);
+}
+
+StreamTransfer::StreamTransfer(Network& network, int src_node, int dst_node)
+    : network_(network), src_node_(src_node), dst_node_(dst_node) {
+  NVM_CHECK(src_node >= 0 &&
+            static_cast<size_t>(src_node) < network.nics_.size());
+  NVM_CHECK(dst_node >= 0 &&
+            static_cast<size_t>(dst_node) < network.nics_.size());
+}
+
+int64_t StreamTransfer::Push(int64_t earliest_ns, uint64_t bytes) {
+  const NetworkProfile& p = network_.profile_;
+  network_.bytes_transferred_.Add(bytes);
+
+  if (src_node_ == dst_node_) {
+    // Loopback stream: a memory copy per message, back to back; the fixed
+    // latency (the syscall/VFS hop) is paid once per stream.
+    const int64_t latency = messages_ == 0 ? p.loopback_latency_ns : 0;
+    const int64_t start = std::max(earliest_ns, send_floor_);
+    last_arrival_ =
+        start + sim::TransferNs(bytes, p.loopback_bw_mbps, latency);
+    send_floor_ = last_arrival_;
+    ++messages_;
+    return last_arrival_;
+  }
+
+  network_.remote_bytes_.Add(bytes);
+  const int64_t duration = sim::TransferNs(bytes, p.nic_bw_mbps, 0);
+  // Same cut-through shape as Transfer(), with in-order floors: a message
+  // cannot start sending before its predecessor left the sender NIC, nor
+  // start arriving before its predecessor cleared the receiver NIC.
+  const int64_t send_start =
+      network_.nics_[static_cast<size_t>(src_node_)]->Schedule(
+          std::max(earliest_ns, send_floor_), duration);
+  const int64_t recv_start =
+      network_.nics_[static_cast<size_t>(dst_node_)]->Schedule(
+          std::max(send_start, recv_floor_), duration);
+  send_floor_ = send_start + duration;
+  recv_floor_ = recv_start + duration;
+  ++messages_;
+  last_arrival_ = recv_start + duration + p.wire_latency_ns;
+  return last_arrival_;
 }
 
 void Network::ResetStats() {

@@ -26,6 +26,8 @@ struct NetworkProfile {
   int64_t loopback_latency_ns = 5'000;
 };
 
+class StreamTransfer;
+
 class Network {
  public:
   Network(size_t num_nodes, NetworkProfile profile = {});
@@ -44,10 +46,41 @@ class Network {
   void ResetStats();
 
  private:
+  friend class StreamTransfer;
+
   NetworkProfile profile_;
   std::vector<std::unique_ptr<sim::Resource>> nics_;
   Counter bytes_transferred_;  // includes loopback
   Counter remote_bytes_;       // NIC-crossing only
+};
+
+// A streamed multi-message transfer: the messages of one logical reply
+// (e.g. the chunks of a benefactor read run) ride back-to-back from one
+// fixed sender to one fixed receiver.  The first message costs exactly
+// what Transfer() charges; every later message is pipelined behind its
+// predecessor on both NICs (in-order delivery), so it adds only its own
+// serialisation time beyond the previous message — the marginal network
+// charging that lets a run amortise per-request overheads.
+class StreamTransfer {
+ public:
+  StreamTransfer(Network& network, int src_node, int dst_node);
+
+  // Append a message whose payload becomes available to send at
+  // `earliest_ns`; returns the virtual time it has fully arrived at the
+  // receiver.  Arrival times are monotone across pushes.
+  int64_t Push(int64_t earliest_ns, uint64_t bytes);
+
+  uint64_t messages() const { return messages_; }
+  int64_t last_arrival() const { return last_arrival_; }
+
+ private:
+  Network& network_;
+  const int src_node_;
+  const int dst_node_;
+  uint64_t messages_ = 0;
+  int64_t send_floor_ = 0;  // in-order: a message sends after its predecessor
+  int64_t recv_floor_ = 0;
+  int64_t last_arrival_ = 0;
 };
 
 }  // namespace nvm::net

@@ -97,6 +97,15 @@ void SsdDevice::ChargeRead(VirtualClock& clock, uint64_t offset,
                                      profile_.read_latency_ns));
 }
 
+void SsdDevice::ChargeRunRead(VirtualClock& clock, uint64_t offset,
+                              uint64_t bytes, bool first_in_run) {
+  (void)offset;
+  host_bytes_read_.Add(bytes);
+  channel_.Acquire(
+      clock, TransferNs(bytes, profile_.read_bw_mbps,
+                        first_in_run ? profile_.read_latency_ns : 0));
+}
+
 void SsdDevice::ChargeWrite(VirtualClock& clock, uint64_t offset,
                             uint64_t bytes) {
   if (bytes == 0) return;

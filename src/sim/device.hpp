@@ -68,6 +68,13 @@ class SsdDevice {
   void ChargeRead(VirtualClock& clock, uint64_t offset, uint64_t bytes);
   void ChargeWrite(VirtualClock& clock, uint64_t offset, uint64_t bytes);
 
+  // Charge one chunk of a streamed multi-chunk read (a read run): the run
+  // occupies a single command/queueing slot, so only its first chunk pays
+  // the per-request fixed latency; later chunks stream at bandwidth.  With
+  // `first_in_run` true this is exactly ChargeRead.
+  void ChargeRunRead(VirtualClock& clock, uint64_t offset, uint64_t bytes,
+                     bool first_in_run);
+
   const DeviceProfile& profile() const { return profile_; }
   Resource& channel() { return channel_; }
 

@@ -66,9 +66,19 @@ uint64_t Benefactor::AllocateOffset() {
   return off;
 }
 
+void Benefactor::MaybeKillAfterRead() {
+  uint64_t n = kill_after_reads_.load(std::memory_order_relaxed);
+  while (n > 0 &&
+         !kill_after_reads_.compare_exchange_weak(n, n - 1,
+                                                  std::memory_order_relaxed)) {
+  }
+  if (n == 1) alive_ = false;
+}
+
 Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
                              std::span<uint8_t> out, bool* sparse) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
+  read_requests_.Add(1);
   NVM_CHECK(out.size() == config_.chunk_bytes);
   if (sparse != nullptr) *sparse = false;
   uint64_t offset = 0;
@@ -87,6 +97,54 @@ Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
   }
   node_.ssd().ChargeRead(clock, offset, config_.chunk_bytes);
   data_bytes_out_.Add(config_.chunk_bytes);
+  MaybeKillAfterRead();
+  return OkStatus();
+}
+
+Status Benefactor::ReadChunkRun(sim::VirtualClock& clock,
+                                std::span<const ChunkKey> keys,
+                                const ChunkRunSink& sink) {
+  NVM_RETURN_IF_ERROR(EnsureAlive());
+  read_requests_.Add(1);
+  std::vector<uint8_t> buf;
+  bool first_data_chunk = true;
+  for (const ChunkKey& key : keys) {
+    // A crash between chunks takes down the rest of the run: the caller
+    // sees one UNAVAILABLE for the whole run and must discard whatever it
+    // already received.
+    NVM_RETURN_IF_ERROR(EnsureAlive());
+    ChunkRunItem item;
+    item.key = key;
+    uint64_t offset = 0;
+    bool stored = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = chunks_.find(key);
+      if (it != chunks_.end()) {
+        stored = true;
+        buf.resize(config_.chunk_bytes);
+        std::memcpy(buf.data(), it->second.data.data(), config_.chunk_bytes);
+        offset = it->second.ssd_offset;
+      }
+    }
+    if (!stored) {
+      // Sparse chunk: the stream carries only the "no such chunk" marker,
+      // no device access (the backing file has a hole here).
+      item.sparse = true;
+      item.ready_at = clock.now();
+      NVM_RETURN_IF_ERROR(sink(item, {}));
+      continue;
+    }
+    // The run occupies one device queueing slot: the first stored chunk
+    // pays the per-request read latency, the rest stream at bandwidth.
+    node_.ssd().ChargeRunRead(clock, offset, config_.chunk_bytes,
+                              first_data_chunk);
+    first_data_chunk = false;
+    data_bytes_out_.Add(config_.chunk_bytes);
+    item.ready_at = clock.now();
+    NVM_RETURN_IF_ERROR(sink(item, buf));
+    MaybeKillAfterRead();
+  }
   return OkStatus();
 }
 
@@ -154,6 +212,19 @@ Status Benefactor::CloneChunk(sim::VirtualClock& clock, const ChunkKey& from,
     node_.ssd().ChargeWrite(clock, dst_offset, config_.chunk_bytes);
   }
   return OkStatus();
+}
+
+bool Benefactor::HasChunk(const ChunkKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return chunks_.contains(key);
+}
+
+std::vector<ChunkKey> Benefactor::StoredChunkKeys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ChunkKey> keys;
+  keys.reserve(chunks_.size());
+  for (const auto& [key, chunk] : chunks_) keys.push_back(key);
+  return keys;
 }
 
 Status Benefactor::DeleteChunk(const ChunkKey& key) {

@@ -7,6 +7,7 @@
 // contributed capacity; Kill()/Revive() support failure-injection tests.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <span>
@@ -49,6 +50,18 @@ class Benefactor {
   Status ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
                    std::span<uint8_t> out, bool* sparse = nullptr);
 
+  // Multi-chunk streamed read — the run RPC.  One call is ONE request at
+  // this benefactor (one header, one device queueing slot): each stored
+  // chunk is charged to the device on `clock` (reads of a run serialise on
+  // the SSD channel), but only the first pays the per-request read
+  // latency.  Chunks are handed to `sink` in request order, stamped with
+  // their device completion time; sparse chunks skip the device and carry
+  // no data.  If the benefactor dies mid-run the whole run fails with
+  // UNAVAILABLE — the caller must discard any chunks already streamed (no
+  // partial runs are surfaced).
+  Status ReadChunkRun(sim::VirtualClock& clock, std::span<const ChunkKey> keys,
+                      const ChunkRunSink& sink);
+
   // Write the pages marked in `dirty_pages` from the chunk image `data`
   // into the stored chunk, materialising it if absent.  Only dirty pages
   // are charged to the device — this is the write-optimisation path of
@@ -68,6 +81,11 @@ class Benefactor {
   bool alive() const { return alive_; }
   void Kill() { alive_ = false; }
   void Revive() { alive_ = true; }
+  // Die after `n` more chunks have been read off the device — lets tests
+  // crash a benefactor in the middle of a read run.  0 disarms.
+  void KillAfterReads(uint64_t n) {
+    kill_after_reads_.store(n, std::memory_order_relaxed);
+  }
 
   sim::SsdDevice& ssd() { return node_.ssd(); }
 
@@ -75,6 +93,14 @@ class Benefactor {
   // store traffic (excludes unrelated users of the same SSD).
   uint64_t data_bytes_in() const { return data_bytes_in_.value(); }
   uint64_t data_bytes_out() const { return data_bytes_out_.value(); }
+  // Read-plane requests served: every ReadChunk and every ReadChunkRun
+  // counts once — the "request header + queueing slot" unit the run RPC
+  // amortises across a batch.
+  uint64_t read_requests() const { return read_requests_.value(); }
+
+  // Introspection for invariant tests: the exact chunk set stored here.
+  bool HasChunk(const ChunkKey& key) const;
+  std::vector<ChunkKey> StoredChunkKeys() const;
 
  private:
   struct StoredChunk {
@@ -85,6 +111,8 @@ class Benefactor {
   // Assign a device offset for a newly materialised chunk.
   uint64_t AllocateOffset();
   Status EnsureAlive() const;
+  // Tick the KillAfterReads countdown after a data chunk left the device.
+  void MaybeKillAfterRead();
 
   const int id_;
   net::Node& node_;
@@ -97,8 +125,10 @@ class Benefactor {
   uint64_t next_offset_ = 0;
   std::vector<uint64_t> free_offsets_;
   bool alive_ = true;
+  std::atomic<uint64_t> kill_after_reads_{0};
   Counter data_bytes_in_;
   Counter data_bytes_out_;
+  Counter read_requests_;
 };
 
 }  // namespace nvm::store

@@ -1,6 +1,8 @@
 #include "store/client.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 #include "common/log.hpp"
 
@@ -143,9 +145,55 @@ Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
   return Unavailable("no replicas");
 }
 
+Status StoreClient::ReadRun(sim::VirtualClock& clock,
+                            const BenefactorRun& run,
+                            std::span<const ReadLocation> locs,
+                            std::span<ChunkFetch> fetches) {
+  const StoreConfig& cfg = manager_.config();
+  Benefactor* b = manager_.benefactor(run.benefactor);
+  NVM_CHECK(b != nullptr);
+  run_rpcs_.Add(1);
+
+  // One request header covers the whole run.
+  cluster_.network().Transfer(clock, local_node_, b->node_id(),
+                              cfg.meta_request_bytes);
+
+  std::vector<ChunkKey> keys;
+  keys.reserve(run.items.size());
+  for (size_t idx : run.items) keys.push_back(locs[idx].key);
+
+  // The reply is one stream: each chunk is pushed as soon as it leaves the
+  // device and rides back-to-back behind its predecessor on the NICs.
+  net::StreamTransfer reply(cluster_.network(), b->node_id(), local_node_);
+  size_t next = 0;
+  uint64_t data_bytes = 0;
+  Status streamed = b->ReadChunkRun(
+      clock, keys,
+      [&](const ChunkRunItem& item, std::span<const uint8_t> data) -> Status {
+        ChunkFetch& f = fetches[run.items[next]];
+        ++next;
+        if (item.sparse) {
+          // A hole costs only the "no such chunk" marker in the stream.
+          std::memset(f.out.data(), 0, f.out.size());
+          f.ready_at = reply.Push(item.ready_at, cfg.meta_response_bytes);
+        } else {
+          NVM_CHECK(data.size() == f.out.size());
+          std::memcpy(f.out.data(), data.data(), data.size());
+          f.ready_at = reply.Push(item.ready_at, cfg.chunk_bytes);
+          data_bytes += cfg.chunk_bytes;
+        }
+        f.status = OkStatus();
+        return OkStatus();
+      });
+  if (!streamed.ok()) return streamed;
+  bytes_fetched_.Add(data_bytes);
+  return OkStatus();
+}
+
 Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
                                std::span<ChunkFetch> fetches) {
   if (fetches.empty()) return OkStatus();
+  const StoreConfig& cfg = manager_.config();
   uint32_t lo = fetches[0].index;
   uint32_t hi = fetches[0].index;
   for (const ChunkFetch& f : fetches) {
@@ -156,15 +204,62 @@ Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
   // the extra locations just warm the cache).
   NVM_RETURN_IF_ERROR(LookupReadMany(clock, id, lo, hi - lo + 1));
   const int64_t t0 = clock.now();
-  for (ChunkFetch& f : fetches) {
-    // Each transfer branches off the post-lookup time: requests to
-    // distinct benefactors overlap, and shared NICs/devices serialise
-    // naturally through their modelled resources.  The location cache is
-    // already warm, so ReadChunk issues no further lookups unless a
-    // replica fails.
+
+  if (!cfg.batch_rpc) {
+    for (ChunkFetch& f : fetches) {
+      // Each transfer branches off the post-lookup time: requests to
+      // distinct benefactors overlap, and shared NICs/devices serialise
+      // naturally through their modelled resources.  The location cache is
+      // already warm, so ReadChunk issues no further lookups unless a
+      // replica fails.
+      sim::VirtualClock detached(t0);
+      f.status = ReadChunk(detached, id, f.index, f.out);
+      f.ready_at = detached.now();
+    }
+    return OkStatus();
+  }
+
+  // Resolve the batch from the (just warmed) location cache.  A fetch with
+  // no cached location (beyond EOF) keeps the per-chunk path so it reports
+  // the usual per-chunk error.
+  std::vector<ReadLocation> locs(fetches.size());
+  {
+    std::lock_guard<std::mutex> lock(loc_mutex_);
+    for (size_t i = 0; i < fetches.size(); ++i) {
+      auto it = loc_cache_.find(LocKey{id, fetches[i].index});
+      if (it != loc_cache_.end()) locs[i] = it->second;
+    }
+  }
+  for (size_t i = 0; i < fetches.size(); ++i) {
+    if (!locs[i].benefactors.empty()) continue;
     sim::VirtualClock detached(t0);
-    f.status = ReadChunk(detached, id, f.index, f.out);
-    f.ready_at = detached.now();
+    fetches[i].status = ReadChunk(detached, id, fetches[i].index,
+                                  fetches[i].out);
+    fetches[i].ready_at = detached.now();
+  }
+
+  // One streamed run per benefactor, each on its own clock branched at the
+  // post-lookup time, so runs against distinct benefactors overlap.
+  for (const BenefactorRun& run : GroupByPrimaryBenefactor(locs)) {
+    sim::VirtualClock run_clock(t0);
+    Status s = ReadRun(run_clock, run, locs, fetches);
+    if (s.ok()) continue;
+    if (s.code() == ErrorCode::kUnavailable) {
+      manager_.MarkDead(run.benefactor);
+      NVM_WLOG(
+          "benefactor %d failed mid-run (%zu chunks); discarding the run "
+          "and falling back to per-chunk reads",
+          run.benefactor, run.items.size());
+    }
+    // The run failed as a whole: nothing it streamed counts.  Re-read every
+    // chunk through the per-chunk path, which refreshes stale locations and
+    // falls over to surviving replicas.
+    for (size_t idx : run.items) {
+      sim::VirtualClock fallback(t0);
+      fetches[idx].status =
+          ReadChunk(fallback, id, fetches[idx].index, fetches[idx].out);
+      fetches[idx].ready_at = fallback.now();
+    }
   }
   return OkStatus();
 }
@@ -219,6 +314,7 @@ void StoreClient::ResetCounters() {
   bytes_fetched_.Reset();
   bytes_flushed_.Reset();
   meta_rtts_.Reset();
+  run_rpcs_.Reset();
 }
 
 }  // namespace nvm::store

@@ -56,13 +56,21 @@ class StoreClient {
 
   // Batched fetch of several chunks of one file.  The locations of the
   // whole index span are resolved with at most one metadata round-trip
-  // (LookupReadMany); each chunk's benefactor transfer then runs on its
-  // own detached clock branched at the post-lookup time, so transfers
-  // from distinct benefactors overlap on the modelled network.  `clock`
-  // itself advances only past the metadata lookup; callers consume the
-  // per-chunk `ready_at` completion times.  Returns non-OK only if the
-  // batched lookup fails outright; per-chunk failures (EOF, dead
-  // replicas) land in fetches[i].status.
+  // (LookupReadMany).  With config().batch_rpc the resolved chunks are
+  // grouped by primary benefactor and each group is fetched with ONE
+  // streamed Benefactor::ReadChunkRun — one request header and one device
+  // queueing slot per benefactor, chunks riding back-to-back on the wire
+  // (net::StreamTransfer).  Each run uses its own detached clock branched
+  // at the post-lookup time, so runs against distinct benefactors overlap.
+  // A run that fails (benefactor death mid-stream) is discarded whole and
+  // every chunk of it is re-read through the per-chunk replica-failover
+  // path.  With batch_rpc off, every chunk goes through the per-chunk path
+  // on its own detached clock (a run of one is arithmetically identical,
+  // so traffic tables do not depend on the knob).  `clock` itself advances
+  // only past the metadata lookup; callers consume the per-chunk
+  // `ready_at` completion times.  Returns non-OK only if the batched
+  // lookup fails outright; per-chunk failures (EOF, dead replicas) land in
+  // fetches[i].status.
   Status ReadChunks(sim::VirtualClock& clock, FileId id,
                     std::span<ChunkFetch> fetches);
 
@@ -86,6 +94,8 @@ class StoreClient {
   // Metadata round-trips this client issued to the manager (control-plane
   // cost; the batched read path exists to keep this flat).
   uint64_t meta_round_trips() const { return meta_rtts_.value(); }
+  // Benefactor read-run RPCs issued (batch_rpc path only).
+  uint64_t run_rpcs() const { return run_rpcs_.value(); }
   void ResetCounters();
 
  private:
@@ -109,6 +119,14 @@ class StoreClient {
   StatusOr<ReadLocation> LookupRead(sim::VirtualClock& clock, FileId id,
                                     uint32_t chunk_index, bool refresh);
   void InvalidateLocation(FileId id, uint32_t chunk_index);
+  // One streamed ReadChunkRun against run.benefactor, filling the fetches
+  // named by run.items.  All-or-nothing: on failure the caller must
+  // re-read every item of the run per chunk (partially streamed chunks
+  // are superseded) — no fetched-bytes traffic is committed for a failed
+  // run.
+  Status ReadRun(sim::VirtualClock& clock, const BenefactorRun& run,
+                 std::span<const ReadLocation> locs,
+                 std::span<ChunkFetch> fetches);
 
   net::Cluster& cluster_;
   Manager& manager_;
@@ -116,6 +134,7 @@ class StoreClient {
   Counter bytes_fetched_;
   Counter bytes_flushed_;
   Counter meta_rtts_;
+  Counter run_rpcs_;
   std::mutex loc_mutex_;
   std::unordered_map<LocKey, ReadLocation, LocKeyHash> loc_cache_;
 };

@@ -6,6 +6,20 @@
 
 namespace nvm::store {
 
+std::vector<BenefactorRun> GroupByPrimaryBenefactor(
+    std::span<const ReadLocation> locs) {
+  std::vector<BenefactorRun> runs;
+  std::unordered_map<int, size_t> run_of;  // benefactor id -> index in runs
+  for (size_t i = 0; i < locs.size(); ++i) {
+    if (locs[i].benefactors.empty()) continue;
+    const int primary = locs[i].benefactors.front();
+    auto [it, fresh] = run_of.try_emplace(primary, runs.size());
+    if (fresh) runs.push_back(BenefactorRun{primary, {}});
+    runs[it->second].items.push_back(i);
+  }
+  return runs;
+}
+
 Manager::Manager(net::Cluster& cluster, int manager_node, StoreConfig config)
     : cluster_(cluster),
       manager_node_(manager_node),

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,22 @@ struct ReadLocation {
   ChunkKey key;
   std::vector<int> benefactors;  // replicas, primary first
 };
+
+// One benefactor's slice of a batched read: the indices (into the caller's
+// location array) of the chunks whose primary replica lives on
+// `benefactor` — the unit of one Benefactor::ReadChunkRun RPC.
+struct BenefactorRun {
+  int benefactor = -1;
+  std::vector<size_t> items;  // indices into the grouped span, input order
+};
+
+// Group read locations by primary (first-listed) benefactor, preserving
+// input order within each run; runs are ordered by first appearance, so
+// the result is deterministic for a given input.  Locations with no
+// benefactor (unresolved/EOF) are skipped — callers handle those through
+// the per-chunk path.
+std::vector<BenefactorRun> GroupByPrimaryBenefactor(
+    std::span<const ReadLocation> locs);
 
 // Location info for writing one chunk.  If `needs_clone` is set the chunk
 // is shared with a checkpoint: the client must ask the (first) benefactor

@@ -6,7 +6,8 @@
 
 namespace nvm::store {
 
-std::string StatusReport(AggregateStore& store) {
+std::string StatusReport(AggregateStore& store,
+                         std::span<const MountCacheStats> mounts) {
   std::string out;
   char line[256];
 
@@ -45,6 +46,25 @@ std::string StatusReport(AggregateStore& store) {
           : 0.0,
       static_cast<unsigned long long>(store.manager().num_files()));
   out += line;
+
+  if (!mounts.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "%-6s %-10s %-10s %-10s %-10s %-10s %-10s\n", "node",
+                  "resident", "hits", "fetched", "prefetch", "evicted",
+                  "drop-dirty");
+    out += line;
+    for (const MountCacheStats& m : mounts) {
+      std::snprintf(line, sizeof(line),
+                    "%-6d %-10llu %-10llu %-10llu %-10llu %-10llu %-10llu\n",
+                    m.node, static_cast<unsigned long long>(m.resident_chunks),
+                    static_cast<unsigned long long>(m.hit_chunks),
+                    static_cast<unsigned long long>(m.fetched_chunks),
+                    static_cast<unsigned long long>(m.prefetched_chunks),
+                    static_cast<unsigned long long>(m.evictions),
+                    static_cast<unsigned long long>(m.dropped_dirty));
+      out += line;
+    }
+  }
   return out;
 }
 

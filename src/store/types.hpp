@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/status.hpp"
 #include "common/units.hpp"
 
 namespace nvm::store {
@@ -41,6 +43,21 @@ struct ChunkRef {
   std::vector<int> benefactors;  // benefactor ids, primary first
 };
 
+// Reply header for one chunk inside a multi-chunk read run
+// (Benefactor::ReadChunkRun).  `ready_at` is the virtual time the chunk
+// left the device — the earliest instant its wire transfer can start.
+struct ChunkRunItem {
+  ChunkKey key;
+  bool sparse = false;   // reserved-but-never-written: reads as zeros
+  int64_t ready_at = 0;  // device completion time on the run's clock
+};
+
+// Receives the chunks of a run in request order.  `data` is the full chunk
+// image, or empty when the item is sparse (the reply then carries only the
+// "no such chunk" marker).  A non-OK return aborts the rest of the run.
+using ChunkRunSink =
+    std::function<Status(const ChunkRunItem&, std::span<const uint8_t>)>;
+
 // Chunk placement policy (paper §III-A: "we need to optimize the NVM
 // store by taking into account the locality of the NVM, data access
 // patterns, etc.").
@@ -59,6 +76,11 @@ struct StoreConfig {
   int64_t manager_op_ns = 3'000;       // metadata service time per op
   uint64_t meta_request_bytes = 64;    // modelled RPC request size
   uint64_t meta_response_bytes = 128;  // modelled RPC response size
+  // Batched benefactor-side reads: StoreClient::ReadChunks groups a batch
+  // by primary benefactor and issues one streamed ReadChunkRun per group —
+  // one request header and one device queueing slot per run instead of per
+  // chunk.  Off reverts to per-chunk requests.
+  bool batch_rpc = true;
 
   uint64_t pages_per_chunk() const { return chunk_bytes / page_bytes; }
 };

@@ -100,6 +100,23 @@ TEST(EdgeTest, RegionStatsAccumulate) {
   EXPECT_EQ(s.bytes_written_back, kPage);
 }
 
+TEST(EdgeTest, DropCountsDirtyChunksDiscardedAfterFailedWriteback) {
+  // Drop() write-back is best-effort: when every replica is dead the dirty
+  // chunks are discarded (Sync is the durability barrier), and the
+  // discards are visible in the cache traffic counters.
+  Rig rig;
+  auto& mount = rig.runtime->mount();
+  auto f = mount.Create("/doomed", 2 * kChunk);
+  ASSERT_TRUE(f.ok());
+  std::vector<uint8_t> data(2 * kChunk, 0xAB);
+  ASSERT_TRUE(f->Write(0, data).ok());
+  EXPECT_EQ(mount.cache().traffic().dropped_dirty.load(), 0u);
+  for (size_t b = 0; b < 3; ++b) rig.store->benefactor(b).Kill();
+  ASSERT_TRUE(mount.cache().Drop(sim::CurrentClock(), f->id()).ok());
+  EXPECT_EQ(mount.cache().traffic().dropped_dirty.load(), 2u);
+  EXPECT_EQ(mount.cache().resident_chunks(), 0u);
+}
+
 // ---- checkpoint header limits ----
 
 TEST(EdgeTest, CheckpointRejectsTooManySegments) {

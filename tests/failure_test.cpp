@@ -4,6 +4,8 @@
 // decommission/drain path for hardware upgrades.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.hpp"
 #include "nvmalloc/runtime.hpp"
 #include "sim/clock.hpp"
@@ -156,6 +158,121 @@ TEST(FailureTest, MidRunDeathFailsWorkloadCleanly) {
     }
   }
   EXPECT_GE(readable, 6);  // all chunks not striped onto the dead node
+}
+
+// ---- mid-run death on the batched read path ----
+
+store::FileId WriteStoreFile(store::StoreClient& c, const std::string& name,
+                             uint32_t chunks,
+                             const std::vector<uint8_t>& data) {
+  sim::VirtualClock clock(0);
+  auto id = c.Create(clock, name);
+  EXPECT_TRUE(id.ok());
+  EXPECT_TRUE(c.Fallocate(clock, *id, chunks * kChunk).ok());
+  Bitmap all(kChunk / c.config().page_bytes);
+  all.SetAll();
+  for (uint32_t i = 0; i < chunks; ++i) {
+    EXPECT_TRUE(c.WriteChunkPages(clock, *id, i, all,
+                                  {data.data() + i * kChunk, kChunk})
+                    .ok());
+  }
+  return *id;
+}
+
+// The primary benefactor of at least two of the file's chunks — its run
+// dies with one chunk already streamed and more still owed.
+int PrimaryOfAtLeastTwo(store::Manager& m, store::FileId id,
+                        uint32_t chunks) {
+  auto locs = m.GetReadLocations(sim::CurrentClock(), id, 0, chunks);
+  EXPECT_TRUE(locs.ok());
+  std::vector<int> primaries(8, 0);
+  for (const store::ReadLocation& loc : *locs) {
+    EXPECT_FALSE(loc.benefactors.empty());
+    ++primaries[static_cast<size_t>(loc.benefactors.front())];
+  }
+  for (size_t b = 0; b < primaries.size(); ++b) {
+    if (primaries[b] >= 2) return static_cast<int>(b);
+  }
+  return -1;
+}
+
+TEST(FailureTest, BatchedRunFailsOverToReplicasWhenBenefactorDiesMidRun) {
+  // A benefactor dies after streaming the first chunk of its run.  The
+  // whole run must fail cleanly and the client must re-read every chunk of
+  // the run from the surviving replicas — including the chunk it already
+  // streamed — so the caller sees a fully successful batched read.
+  Rig rig(/*replication=*/2);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  constexpr uint32_t kChunks = 8;
+  const auto data = Pattern(kChunks * kChunk, 21);
+  const store::FileId id = WriteStoreFile(c, "/midrun2", kChunks, data);
+
+  const int victim = PrimaryOfAtLeastTwo(rig.store->manager(), id, kChunks);
+  ASSERT_GE(victim, 0);
+  rig.store->benefactor(static_cast<size_t>(victim)).KillAfterReads(1);
+
+  sim::VirtualClock clock(0);
+  std::vector<std::vector<uint8_t>> bufs(kChunks,
+                                         std::vector<uint8_t>(kChunk));
+  std::vector<store::StoreClient::ChunkFetch> fetches(kChunks);
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    fetches[i].index = i;
+    fetches[i].out = bufs[i];
+  }
+  ASSERT_TRUE(c.ReadChunks(clock, id, fetches).ok());
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    EXPECT_TRUE(fetches[i].status.ok()) << "chunk " << i;
+    EXPECT_EQ(0, std::memcmp(bufs[i].data(), data.data() + i * kChunk,
+                             kChunk))
+        << "chunk " << i;
+  }
+  // The failure was detected and reported to the manager.
+  EXPECT_FALSE(rig.store->benefactor(static_cast<size_t>(victim)).alive());
+}
+
+TEST(FailureTest, MidRunDeathSurfacesNoPartialChunksWithoutReplicas) {
+  // Same mid-run death, but with no replicas to fall back to: every chunk
+  // of the failed run must report a clean UNAVAILABLE — including the one
+  // the benefactor streamed before dying.  A partial run must never be
+  // silently surfaced as data.
+  Rig rig(/*replication=*/1);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  constexpr uint32_t kChunks = 8;
+  const auto data = Pattern(kChunks * kChunk, 22);
+  const store::FileId id = WriteStoreFile(c, "/midrun1", kChunks, data);
+
+  auto locs = rig.store->manager().GetReadLocations(sim::CurrentClock(), id,
+                                                    0, kChunks);
+  ASSERT_TRUE(locs.ok());
+  const int victim = PrimaryOfAtLeastTwo(rig.store->manager(), id, kChunks);
+  ASSERT_GE(victim, 0);
+  rig.store->benefactor(static_cast<size_t>(victim)).KillAfterReads(1);
+
+  sim::VirtualClock clock(0);
+  std::vector<std::vector<uint8_t>> bufs(kChunks,
+                                         std::vector<uint8_t>(kChunk));
+  std::vector<store::StoreClient::ChunkFetch> fetches(kChunks);
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    fetches[i].index = i;
+    fetches[i].out = bufs[i];
+  }
+  ASSERT_TRUE(c.ReadChunks(clock, id, fetches).ok());
+
+  int failed = 0;
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    if ((*locs)[i].benefactors.front() == victim) {
+      EXPECT_FALSE(fetches[i].status.ok()) << "chunk " << i;
+      EXPECT_EQ(fetches[i].status.code(), ErrorCode::kUnavailable);
+      ++failed;
+    } else {
+      EXPECT_TRUE(fetches[i].status.ok()) << "chunk " << i;
+      EXPECT_EQ(0, std::memcmp(bufs[i].data(), data.data() + i * kChunk,
+                               kChunk))
+          << "chunk " << i;
+    }
+  }
+  EXPECT_GE(failed, 2);
+  EXPECT_FALSE(rig.store->benefactor(static_cast<size_t>(victim)).alive());
 }
 
 // ---- decommission / drain ----

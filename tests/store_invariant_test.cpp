@@ -1,0 +1,231 @@
+// Randomised cross-layer invariant harness for the aggregate store.
+//
+// A seeded op sequence (create / write / read / sync / drop / unlink over
+// several striped files, through a small fuselite mount that forces
+// eviction and write-back) runs against a byte-exact shadow model.  After
+// every operation the harness asserts that the layers never disagree:
+// manager location maps vs benefactor stored-chunk sets, reservation
+// accounting vs placement, chunk refcounts, and cache residency vs shard
+// occupancy.  Reads must always return exactly the shadow bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fuselite/mount.hpp"
+#include "sim/clock.hpp"
+#include "store/store.hpp"
+
+namespace nvm {
+namespace {
+
+constexpr uint64_t kChunk = 64_KiB;
+constexpr uint64_t kCacheChunks = 8;
+constexpr int kBenefactors = 4;
+constexpr size_t kMaxFiles = 4;
+constexpr uint32_t kMaxFileChunks = 6;
+
+struct Harness {
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<store::AggregateStore> store;
+  std::unique_ptr<fuselite::MountPoint> mount;
+  // Shadow model: the exact bytes every live file must read back.
+  std::map<std::string, std::vector<uint8_t>> shadow;
+
+  explicit Harness(int replication) {
+    net::ClusterConfig cc;
+    cc.num_nodes = kBenefactors + 1;
+    cluster = std::make_unique<net::Cluster>(cc);
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.replication = replication;
+    for (int b = 0; b < kBenefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = 1;
+    store = std::make_unique<store::AggregateStore>(*cluster, sc);
+    fuselite::FuseliteConfig fc;
+    fc.cache_bytes = kCacheChunks * kChunk;  // far below the working set
+    mount = std::make_unique<fuselite::MountPoint>(*store, /*node=*/0, fc);
+    sim::CurrentClock().Reset();
+  }
+
+  // The invariant sweep: every view of "which chunks exist where" must
+  // agree after every operation.
+  void CheckInvariants(int replication) {
+    auto& clock = sim::CurrentClock();
+
+    // 1. Cache self-consistency: the residency counter, the per-shard
+    //    occupancy, and the capacity bound always agree.
+    auto& cache = mount->cache();
+    const auto occ = cache.ShardOccupancy();
+    size_t occupied = 0;
+    for (size_t n : occ) occupied += n;
+    ASSERT_EQ(occupied, cache.resident_chunks());
+    ASSERT_LE(occupied, kCacheChunks);
+
+    // Union of every live file's location map: chunk key -> replicas.
+    std::map<std::string, std::set<int>> placed;  // key string -> benefactors
+    std::vector<uint64_t> expected_reserved(kBenefactors, 0);
+    for (const auto& [name, bytes] : shadow) {
+      auto f = mount->Open(name);
+      ASSERT_TRUE(f.ok());
+      auto info = f->Stat();
+      ASSERT_TRUE(info.ok());
+      const auto want_chunks =
+          static_cast<uint32_t>((bytes.size() + kChunk - 1) / kChunk);
+      ASSERT_EQ(info->num_chunks, want_chunks) << name;
+
+      auto locs = store->manager().GetReadLocations(clock, info->id, 0,
+                                                    want_chunks);
+      ASSERT_TRUE(locs.ok());
+      ASSERT_EQ(locs->size(), want_chunks) << name;
+      for (const store::ReadLocation& loc : *locs) {
+        // 2. Placement sanity: exactly `replication` distinct, valid
+        //    benefactors per chunk, and a live refcount.
+        ASSERT_EQ(loc.benefactors.size(), static_cast<size_t>(replication));
+        std::set<int> distinct(loc.benefactors.begin(), loc.benefactors.end());
+        ASSERT_EQ(distinct.size(), loc.benefactors.size());
+        for (int b : loc.benefactors) {
+          ASSERT_GE(b, 0);
+          ASSERT_LT(b, kBenefactors);
+          ++expected_reserved[static_cast<size_t>(b)];
+        }
+        ASSERT_GE(store->manager().ChunkRefcount(loc.key), 1u);
+        auto& entry = placed[loc.key.ToString()];
+        entry.insert(loc.benefactors.begin(), loc.benefactors.end());
+      }
+    }
+
+    for (int b = 0; b < kBenefactors; ++b) {
+      store::Benefactor& ben = store->benefactor(static_cast<size_t>(b));
+      // 3. Space accounting: reservations equal the chunks the manager has
+      //    placed here — no leaks, no double counting.
+      ASSERT_EQ(ben.bytes_used(),
+                expected_reserved[static_cast<size_t>(b)] * kChunk)
+          << "benefactor " << b;
+      // 4. No orphans: every chunk a benefactor stores is a chunk some
+      //    live file's location map names on this very benefactor.
+      //    (The reverse need not hold: reserved-but-never-flushed chunks
+      //    are sparse and stored nowhere.)
+      for (const store::ChunkKey& key : ben.StoredChunkKeys()) {
+        auto it = placed.find(key.ToString());
+        ASSERT_NE(it, placed.end())
+            << "benefactor " << b << " stores orphan " << key.ToString();
+        ASSERT_TRUE(it->second.contains(b))
+            << "benefactor " << b << " stores " << key.ToString()
+            << " but is not in its replica list";
+      }
+    }
+  }
+
+  std::string NameFor(uint64_t i) { return "/f" + std::to_string(i % 100); }
+};
+
+void RunSequence(uint64_t seed, int replication, int ops) {
+  Harness h(replication);
+  Xoshiro256 rng(seed);
+  uint64_t next_name = 0;
+
+  auto pick_file = [&]() -> std::string {
+    if (h.shadow.empty()) return {};
+    auto it = h.shadow.begin();
+    std::advance(it, static_cast<long>(rng.NextBelow(h.shadow.size())));
+    return it->first;
+  };
+
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t dice = rng.NextBelow(100);
+    if (dice < 15 || h.shadow.empty()) {
+      // Create (bounded number of live files).
+      if (h.shadow.size() < kMaxFiles) {
+        const std::string name = "/f" + std::to_string(next_name++);
+        const uint64_t chunks = 1 + rng.NextBelow(kMaxFileChunks);
+        auto f = h.mount->Create(name, chunks * kChunk);
+        ASSERT_TRUE(f.ok()) << name;
+        h.shadow[name] = std::vector<uint8_t>(chunks * kChunk, 0);
+      }
+    } else if (dice < 45) {
+      // Write a random range (arbitrary alignment: exercises partial-page
+      // read-modify-write and the batched fetch path underneath).
+      const std::string name = pick_file();
+      auto f = h.mount->Open(name);
+      ASSERT_TRUE(f.ok());
+      auto& bytes = h.shadow[name];
+      const uint64_t off = rng.NextBelow(bytes.size());
+      const uint64_t len = 1 + rng.NextBelow(
+                                   std::min<uint64_t>(bytes.size() - off,
+                                                      3 * kChunk));
+      std::vector<uint8_t> buf(len);
+      for (auto& v : buf) v = static_cast<uint8_t>(rng.Next());
+      ASSERT_TRUE(f->Write(off, buf).ok());
+      std::copy(buf.begin(), buf.end(),
+                bytes.begin() + static_cast<int64_t>(off));
+    } else if (dice < 75) {
+      // Read a random range and demand exactly the shadow bytes.
+      const std::string name = pick_file();
+      auto f = h.mount->Open(name);
+      ASSERT_TRUE(f.ok());
+      auto& bytes = h.shadow[name];
+      const uint64_t off = rng.NextBelow(bytes.size());
+      const uint64_t len =
+          1 + rng.NextBelow(std::min<uint64_t>(bytes.size() - off, 4 * kChunk));
+      std::vector<uint8_t> got(len);
+      ASSERT_TRUE(f->Read(off, got).ok());
+      ASSERT_EQ(0, std::memcmp(got.data(),
+                               bytes.data() + static_cast<int64_t>(off), len))
+          << name << " off=" << off << " len=" << len << " op=" << op;
+    } else if (dice < 85) {
+      const std::string name = pick_file();
+      auto f = h.mount->Open(name);
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(f->Sync().ok());
+    } else if (dice < 93) {
+      // Flush + discard all cached state of one file; the store copy must
+      // carry the bytes from here on.
+      const std::string name = pick_file();
+      auto f = h.mount->Open(name);
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE(h.mount->cache().Drop(sim::CurrentClock(), f->id()).ok());
+    } else {
+      // Free: unlink the file entirely.
+      const std::string name = pick_file();
+      ASSERT_TRUE(h.mount->Unlink(name).ok());
+      h.shadow.erase(name);
+    }
+    ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(replication)) << "op " << op;
+  }
+
+  // Teardown: freeing everything must return the store to empty — no
+  // leaked reservations, no orphaned chunks, no stale cache slots.
+  while (!h.shadow.empty()) {
+    ASSERT_TRUE(h.mount->Unlink(h.shadow.begin()->first).ok());
+    h.shadow.erase(h.shadow.begin());
+  }
+  ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(replication));
+  for (int b = 0; b < kBenefactors; ++b) {
+    EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).num_chunks(), 0u);
+    EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).bytes_used(), 0u);
+  }
+  EXPECT_EQ(h.mount->cache().resident_chunks(), 0u);
+}
+
+TEST(StoreInvariantTest, RandomOpsKeepLayersConsistent) {
+  RunSequence(/*seed=*/1, /*replication=*/1, /*ops=*/160);
+}
+
+TEST(StoreInvariantTest, RandomOpsKeepLayersConsistentSecondSeed) {
+  RunSequence(/*seed=*/0xfeedbeef, /*replication=*/1, /*ops=*/160);
+}
+
+TEST(StoreInvariantTest, RandomOpsKeepLayersConsistentWithReplication) {
+  RunSequence(/*seed=*/7, /*replication=*/2, /*ops=*/120);
+}
+
+}  // namespace
+}  // namespace nvm
