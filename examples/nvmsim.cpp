@@ -14,7 +14,7 @@
 //
 // Common keys: nodes, benefactors, remote, chunk=64K, cache=2M, pool=4M,
 // replication, readahead, readahead_max, cache_shards, batch_fetch,
-// batch_rpc, page_writeback, report (print store status).
+// batch_rpc, batch_write_rpc, page_writeback, report (print store status).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -52,6 +52,8 @@ TestbedOptions BuildTestbed(const Config& cfg) {
       cfg.GetInt("readahead_max", to.fuse.readahead_max_chunks));
   to.fuse.batch_fetch = cfg.GetBool("batch_fetch", to.fuse.batch_fetch);
   to.store.batch_rpc = cfg.GetBool("batch_rpc", to.store.batch_rpc);
+  to.store.batch_write_rpc =
+      cfg.GetBool("batch_write_rpc", to.store.batch_write_rpc);
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }
@@ -72,6 +74,9 @@ std::vector<store::MountCacheStats> CollectMountStats(Testbed& tb,
     m.prefetched_chunks = t.prefetched_chunks.load();
     m.evictions = t.evictions.load();
     m.dropped_dirty = t.dropped_dirty.load();
+    m.flush_batches = t.flush_batches.load();
+    m.degraded_writes =
+        tb.runtime(static_cast<int>(n)).mount().client().degraded_writes();
     mounts.push_back(m);
   }
   return mounts;

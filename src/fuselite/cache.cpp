@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 
 #include "common/log.hpp"
 
@@ -97,10 +98,60 @@ void ChunkCache::SerializeOnDaemon(sim::VirtualClock& clock, int64_t t0) {
   clock.AdvanceTo(ScheduleOnDaemon(t0, clock.now() - t0));
 }
 
-Status ChunkCache::FlushSlotLocked(sim::VirtualClock& clock,
-                                   const SlotKey& key, Slot& slot,
+Status ChunkCache::FlushFileWindow(sim::VirtualClock& clock,
+                                   store::FileId file,
+                                   std::span<const uint32_t> indices,
                                    bool background) {
-  if (slot.dirty.None()) return OkStatus();
+  if (indices.empty()) return OkStatus();
+  // Lock every involved shard in ascending shard-index order.  Every other
+  // code path holds at most one shard lock at a time, so this total order
+  // cannot cycle.
+  std::vector<size_t> shard_idx;
+  shard_idx.reserve(indices.size());
+  for (uint32_t index : indices) {
+    shard_idx.push_back(HashPair64(file, index) & shard_mask_);
+  }
+  std::sort(shard_idx.begin(), shard_idx.end());
+  shard_idx.erase(std::unique(shard_idx.begin(), shard_idx.end()),
+                  shard_idx.end());
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shard_idx.size());
+  for (size_t si : shard_idx) locks.emplace_back(shards_[si]->mutex);
+
+  // Re-find the slots (the caller peeked without holding all the locks):
+  // clean and evicted ones are skipped.  `whole` is reserved up front so
+  // the all-set bitmaps the ablation path points into never relocate.
+  struct Entry {
+    Slot* slot;
+    size_t pages;  // pages submitted for this chunk
+  };
+  std::vector<Entry> entries;
+  std::vector<store::StoreClient::ChunkWrite> writes;
+  std::vector<Bitmap> whole;
+  entries.reserve(indices.size());
+  writes.reserve(indices.size());
+  whole.reserve(indices.size());
+  for (uint32_t index : indices) {
+    const SlotKey key{file, index};
+    Shard& sh = shard_for(key);
+    auto it = sh.slots.find(key);
+    if (it == sh.slots.end() || it->second.dirty.None()) continue;
+    store::StoreClient::ChunkWrite w;
+    w.index = index;
+    if (config_.dirty_page_writeback) {
+      w.dirty = &it->second.dirty;
+    } else {
+      // Ablation / Table VII "w/o optimisation": ship the whole chunk.
+      whole.emplace_back(it->second.dirty.size());
+      whole.back().SetAll();
+      w.dirty = &whole.back();
+    }
+    w.image = it->second.data;
+    writes.push_back(w);
+    entries.push_back({&it->second, w.dirty->PopCount()});
+  }
+  if (writes.empty()) return OkStatus();
+
   // Background (eviction-driven) write-back runs on a detached clock —
   // the modelled kernel-writeback thread — so the evicting process keeps
   // going while the devices absorb the write.
@@ -108,22 +159,30 @@ Status ChunkCache::FlushSlotLocked(sim::VirtualClock& clock,
   sim::VirtualClock& wclock =
       (background && config_.async_writeback) ? detached : clock;
   const int64_t t0 = wclock.now();
-  ++traffic_.flushed_chunks;
-  if (config_.dirty_page_writeback) {
-    traffic_.flushed_pages += slot.dirty.PopCount();
-    NVM_RETURN_IF_ERROR(client_.WriteChunkPages(wclock, key.file, key.index,
-                                                slot.dirty, slot.data));
-  } else {
-    // Ablation / Table VII "w/o optimisation": ship the whole chunk.
-    Bitmap all(slot.dirty.size());
-    all.SetAll();
-    traffic_.flushed_pages += all.PopCount();
-    NVM_RETURN_IF_ERROR(client_.WriteChunkPages(wclock, key.file, key.index,
-                                                all, slot.data));
+  // A failed batched prepare leaves every slot dirty and no traffic
+  // counted — failed flushes must not inflate store_bytes_flushed().
+  NVM_RETURN_IF_ERROR(client_.WriteChunks(wclock, file, writes));
+
+  Status first = OkStatus();
+  uint64_t flushed = 0;
+  for (size_t i = 0; i < writes.size(); ++i) {
+    if (!writes[i].status.ok()) {
+      // The store never acknowledged this chunk: the pages stay dirty
+      // (the cache copy is still the only one) and nothing is counted.
+      if (first.ok()) first = writes[i].status;
+      continue;
+    }
+    ++traffic_.flushed_chunks;
+    traffic_.flushed_pages += entries[i].pages;
+    entries[i].slot->dirty.ClearAll();
+    ++flushed;
   }
-  slot.dirty.ClearAll();
+  if (flushed >= 2) {
+    ++traffic_.flush_batches;
+    traffic_.flush_batched_chunks += flushed;
+  }
   if (&wclock == &clock) SerializeOnDaemon(wclock, t0);
-  return OkStatus();
+  return first;
 }
 
 Status ChunkCache::ReserveResidency(sim::VirtualClock& clock, size_t count) {
@@ -142,23 +201,48 @@ Status ChunkCache::ReserveResidency(sim::VirtualClock& clock, size_t count) {
       }
     }
     if (victim == nullptr) break;  // nothing resident to evict
-    std::lock_guard<std::mutex> lock(victim->mutex);
-    if (victim->lru.empty()) continue;  // raced with another evictor
-    const SlotKey key = victim->lru.back().first;
-    auto it = victim->slots.find(key);
-    NVM_CHECK(it != victim->slots.end());
-    NVM_RETURN_IF_ERROR(
-        FlushSlotLocked(clock, key, it->second, /*background=*/true));
-    if (it->second.ra_pending) {
-      ra_pending_.fetch_sub(1, std::memory_order_relaxed);
+    store::FileId flush_file = store::kInvalidFileId;
+    std::vector<uint32_t> flush_indices;
+    {
+      std::lock_guard<std::mutex> lock(victim->mutex);
+      if (victim->lru.empty()) continue;  // raced with another evictor
+      const SlotKey key = victim->lru.back().first;
+      auto it = victim->slots.find(key);
+      NVM_CHECK(it != victim->slots.end());
+      if (it->second.dirty.None()) {
+        // Clean victim: evict immediately.
+        if (it->second.ra_pending) {
+          ra_pending_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        victim->lru.pop_back();
+        victim->slots.erase(it);
+        victim->oldest_tick.store(
+            victim->lru.empty() ? ~0ULL : victim->lru.back().second,
+            std::memory_order_relaxed);
+        resident_.fetch_sub(1, std::memory_order_relaxed);
+        ++traffic_.evictions;
+        continue;
+      }
+      // Dirty victim: coalesce it with the other dirty chunks of the same
+      // file living in this shard into one write-back window, so eviction
+      // pressure drains in batched runs instead of chunk-sized writes.
+      flush_file = key.file;
+      flush_indices.push_back(key.index);
+      for (const auto& [skey, slot] : victim->slots) {
+        if (flush_indices.size() >= kMaxBatchChunks) break;
+        if (skey.file != flush_file || skey.index == key.index) continue;
+        if (slot.dirty.None()) continue;
+        flush_indices.push_back(skey.index);
+      }
     }
-    victim->lru.pop_back();
-    victim->slots.erase(it);
-    victim->oldest_tick.store(
-        victim->lru.empty() ? ~0ULL : victim->lru.back().second,
-        std::memory_order_relaxed);
-    resident_.fetch_sub(1, std::memory_order_relaxed);
-    ++traffic_.evictions;
+    // Write back outside the victim's lock (the window locks its shards
+    // itself); the victim is clean on the next sweep and evicts then.  A
+    // total write-back failure (no replicas reached) still wedges the
+    // reservation — the dirty data has nowhere else to live — but a
+    // degraded write that reached one replica is a success and no longer
+    // blocks eviction.
+    NVM_RETURN_IF_ERROR(FlushFileWindow(clock, flush_file, flush_indices,
+                                        /*background=*/true));
   }
   return OkStatus();
 }
@@ -565,18 +649,55 @@ Status ChunkCache::Write(sim::VirtualClock& clock, store::FileId file,
 }
 
 Status ChunkCache::Flush(sim::VirtualClock& clock, store::FileId file) {
+  // Snapshot the dirty set with short per-shard peeks, then write each
+  // file's chunks back in batched windows.  std::map keeps the file order
+  // (and with the sort below, the window contents) deterministic.
+  std::map<store::FileId, std::vector<uint32_t>> dirty;
   for (const auto& shp : shards_) {
     std::lock_guard<std::mutex> lock(shp->mutex);
     for (auto& [key, slot] : shp->slots) {
       if (file != store::kInvalidFileId && key.file != file) continue;
-      NVM_RETURN_IF_ERROR(
-          FlushSlotLocked(clock, key, slot, /*background=*/false));
+      if (slot.dirty.None()) continue;
+      dirty[key.file].push_back(key.index);
     }
   }
-  return OkStatus();
+  Status first = OkStatus();
+  for (auto& [fid, indices] : dirty) {
+    std::sort(indices.begin(), indices.end());
+    for (size_t i = 0; i < indices.size(); i += kMaxBatchChunks) {
+      const size_t n = std::min<size_t>(kMaxBatchChunks, indices.size() - i);
+      Status s = FlushFileWindow(
+          clock, fid, std::span<const uint32_t>(indices).subspan(i, n),
+          /*background=*/false);
+      if (first.ok() && !s.ok()) first = s;
+    }
+  }
+  return first;
 }
 
 Status ChunkCache::Drop(sim::VirtualClock& clock, store::FileId file) {
+  // Best-effort write-back of the file's dirty chunks, in batched windows.
+  std::vector<uint32_t> indices;
+  for (const auto& shp : shards_) {
+    std::lock_guard<std::mutex> lock(shp->mutex);
+    for (auto& [key, slot] : shp->slots) {
+      if (key.file != file || slot.dirty.None()) continue;
+      indices.push_back(key.index);
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  for (size_t i = 0; i < indices.size(); i += kMaxBatchChunks) {
+    const size_t n = std::min<size_t>(kMaxBatchChunks, indices.size() - i);
+    const Status flushed = FlushFileWindow(
+        clock, file, std::span<const uint32_t>(indices).subspan(i, n),
+        /*background=*/false);
+    if (!flushed.ok()) {
+      NVM_WLOG("write-back failed while dropping file %llu: %s",
+               static_cast<unsigned long long>(file),
+               flushed.message().c_str());
+    }
+  }
+
   for (const auto& shp : shards_) {
     std::lock_guard<std::mutex> lock(shp->mutex);
     for (auto it = shp->slots.begin(); it != shp->slots.end();) {
@@ -584,9 +705,7 @@ Status ChunkCache::Drop(sim::VirtualClock& clock, store::FileId file) {
         ++it;
         continue;
       }
-      const Status flushed =
-          FlushSlotLocked(clock, it->first, it->second, false);
-      if (!flushed.ok()) {
+      if (it->second.dirty.Any()) {
         // Drop destroys the slot either way (ssdfree / invalidate), and
         // Sync() is the durability barrier that already surfaced this
         // error.  Losing dirty data here is the documented consequence of
@@ -594,10 +713,9 @@ Status ChunkCache::Drop(sim::VirtualClock& clock, store::FileId file) {
         // leak the slot.
         ++traffic_.dropped_dirty;
         NVM_WLOG("dropping dirty chunk %u of file %llu after failed "
-                 "write-back: %s",
+                 "write-back",
                  it->first.index,
-                 static_cast<unsigned long long>(it->first.file),
-                 flushed.message().c_str());
+                 static_cast<unsigned long long>(it->first.file));
       }
       if (it->second.ra_pending) {
         ra_pending_.fetch_sub(1, std::memory_order_relaxed);

@@ -91,6 +91,10 @@ struct CacheTraffic {
   // Batched-fetch observability: batches issued and chunks they carried.
   std::atomic<uint64_t> batch_fetches{0};
   std::atomic<uint64_t> batched_chunks{0};
+  // Batched write-back observability: flush windows that coalesced ≥2
+  // dirty chunks, and the chunks they carried.
+  std::atomic<uint64_t> flush_batches{0};
+  std::atomic<uint64_t> flush_batched_chunks{0};
   // Dirty chunks discarded by Drop() after the best-effort write-back
   // failed (unreplicated benefactor loss).  The data loss was already
   // surfaced through Sync(); this makes the discard itself observable.
@@ -110,6 +114,8 @@ struct CacheTraffic {
       evictions = o.evictions.load();
       batch_fetches = o.batch_fetches.load();
       batched_chunks = o.batched_chunks.load();
+      flush_batches = o.flush_batches.load();
+      flush_batched_chunks = o.flush_batched_chunks.load();
       dropped_dirty = o.dropped_dirty.load();
     }
     return *this;
@@ -222,8 +228,16 @@ class ChunkCache {
   // Runs with the slot's shard lock held; other shards stay available.
   Status EnsureValidLocked(sim::VirtualClock& clock, const SlotKey& key,
                            Slot& slot, size_t first_page, size_t last_page);
-  Status FlushSlotLocked(sim::VirtualClock& clock, const SlotKey& key,
-                         Slot& slot, bool background);
+  // Write back the dirty slots among `indices` of one file as ONE batched
+  // store write (StoreClient::WriteChunks): one metadata round-trip and
+  // one streamed run per benefactor for the whole window.  Locks every
+  // involved shard in ascending shard-index order (all other paths hold
+  // at most one shard lock, so this cannot deadlock), re-finds the slots
+  // (clean/evicted ones are skipped), and clears dirty bits — and counts
+  // flushed traffic — only for chunks the store acknowledged.  Returns
+  // the first per-chunk failure; those chunks stay dirty.
+  Status FlushFileWindow(sim::VirtualClock& clock, store::FileId file,
+                         std::span<const uint32_t> indices, bool background);
   // Re-schedule the store operation that ran on `clock` since `t0` onto
   // the per-node daemon pipeline (single service point).
   void SerializeOnDaemon(sim::VirtualClock& clock, int64_t t0);

@@ -108,6 +108,17 @@ void SsdDevice::ChargeRunRead(VirtualClock& clock, uint64_t offset,
 
 void SsdDevice::ChargeWrite(VirtualClock& clock, uint64_t offset,
                             uint64_t bytes) {
+  ChargeWriteInternal(clock, offset, bytes, profile_.write_latency_ns);
+}
+
+void SsdDevice::ChargeRunWrite(VirtualClock& clock, uint64_t offset,
+                               uint64_t bytes, bool first_in_run) {
+  ChargeWriteInternal(clock, offset, bytes,
+                      first_in_run ? profile_.write_latency_ns : 0);
+}
+
+void SsdDevice::ChargeWriteInternal(VirtualClock& clock, uint64_t offset,
+                                    uint64_t bytes, int64_t latency_ns) {
   if (bytes == 0) return;
   host_bytes_written_.Add(bytes);
   // Flash programs whole pages: the device touches every page the byte
@@ -141,7 +152,7 @@ void SsdDevice::ChargeWrite(VirtualClock& clock, uint64_t offset,
   }
 
   channel_.Acquire(clock, TransferNs(programmed, profile_.write_bw_mbps,
-                                     profile_.write_latency_ns));
+                                     latency_ns));
 }
 
 double SsdDevice::write_amplification() const {

@@ -75,6 +75,13 @@ class SsdDevice {
   void ChargeRunRead(VirtualClock& clock, uint64_t offset, uint64_t bytes,
                      bool first_in_run);
 
+  // Write-side counterpart: one chunk of a streamed multi-chunk write run.
+  // Page rounding and wear accounting are identical to ChargeWrite; only
+  // the first chunk of the run pays the per-request write latency.  With
+  // `first_in_run` true this is exactly ChargeWrite.
+  void ChargeRunWrite(VirtualClock& clock, uint64_t offset, uint64_t bytes,
+                      bool first_in_run);
+
   const DeviceProfile& profile() const { return profile_; }
   Resource& channel() { return channel_; }
 
@@ -96,6 +103,9 @@ class SsdDevice {
   void ResetStats();
 
  private:
+  void ChargeWriteInternal(VirtualClock& clock, uint64_t offset,
+                           uint64_t bytes, int64_t latency_ns);
+
   DeviceProfile profile_;
   Resource channel_;
   const bool wear_leveling_;

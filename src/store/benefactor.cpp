@@ -75,6 +75,15 @@ void Benefactor::MaybeKillAfterRead() {
   if (n == 1) alive_ = false;
 }
 
+void Benefactor::MaybeKillAfterWrite() {
+  uint64_t n = kill_after_writes_.load(std::memory_order_relaxed);
+  while (n > 0 &&
+         !kill_after_writes_.compare_exchange_weak(
+             n, n - 1, std::memory_order_relaxed)) {
+  }
+  if (n == 1) alive_ = false;
+}
+
 Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
                              std::span<uint8_t> out, bool* sparse) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
@@ -152,6 +161,7 @@ Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
                               const Bitmap& dirty_pages,
                               std::span<const uint8_t> data) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
+  write_requests_.Add(1);
   NVM_CHECK(data.size() == config_.chunk_bytes);
   NVM_CHECK(dirty_pages.size() == config_.pages_per_chunk());
 
@@ -182,6 +192,76 @@ Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
     const uint64_t bytes = pages_written * config_.page_bytes;
     node_.ssd().ChargeWrite(clock, offset, bytes);
     data_bytes_in_.Add(bytes);
+    MaybeKillAfterWrite();
+  }
+  return OkStatus();
+}
+
+Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
+                                 std::span<const ChunkWriteItem> items,
+                                 const ChunkRunSend& send) {
+  NVM_RETURN_IF_ERROR(EnsureAlive());
+  write_requests_.Add(1);
+  const int64_t t0 = clock.now();
+  bool first_data_chunk = true;
+  for (const ChunkWriteItem& item : items) {
+    // A crash between chunks takes down the rest of the run: the caller
+    // sees one UNAVAILABLE for the whole run and must treat every item as
+    // unwritten on this replica.
+    NVM_RETURN_IF_ERROR(EnsureAlive());
+    NVM_CHECK(item.dirty != nullptr);
+    NVM_CHECK(item.data.size() == config_.chunk_bytes);
+    NVM_CHECK(item.dirty->size() == config_.pages_per_chunk());
+
+    if (item.needs_clone) {
+      // The clone instruction is its own control message (exactly as in
+      // the per-chunk path); the local copy must complete before the
+      // dirty pages can land on the fresh version.
+      const int64_t instr_at =
+          send(RunMsg::kControl, t0, config_.meta_request_bytes);
+      clock.AdvanceTo(instr_at);
+      NVM_RETURN_IF_ERROR(CloneChunk(clock, item.clone_from, item.key));
+    }
+
+    const uint64_t dirty_bytes = item.dirty->PopCount() * config_.page_bytes;
+    // Dirty pages stream from the run's start (the client has them all in
+    // hand at t0); a post-clone payload can only start once the clone has
+    // been instructed and applied.
+    const int64_t arrive = send(RunMsg::kPayload,
+                                item.needs_clone ? clock.now() : t0,
+                                dirty_bytes);
+    clock.AdvanceTo(arrive);
+
+    uint64_t offset = 0;
+    size_t pages_written = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = chunks_.find(item.key);
+      if (it == chunks_.end()) {
+        StoredChunk chunk;
+        chunk.data.assign(config_.chunk_bytes, 0);
+        chunk.ssd_offset = AllocateOffset();
+        it = chunks_.emplace(item.key, std::move(chunk)).first;
+      }
+      offset = it->second.ssd_offset;
+      item.dirty->ForEachSet([&](size_t page) {
+        const uint64_t off = page * config_.page_bytes;
+        std::memcpy(it->second.data.data() + off, item.data.data() + off,
+                    config_.page_bytes);
+        ++pages_written;
+      });
+    }
+    if (pages_written > 0) {
+      // The run occupies one device queueing slot: the first programmed
+      // chunk pays the per-request write latency, the rest stream at
+      // bandwidth.
+      node_.ssd().ChargeRunWrite(clock, offset,
+                                 pages_written * config_.page_bytes,
+                                 first_data_chunk);
+      first_data_chunk = false;
+      data_bytes_in_.Add(pages_written * config_.page_bytes);
+      MaybeKillAfterWrite();
+    }
   }
   return OkStatus();
 }

@@ -69,6 +69,19 @@ class Benefactor {
   Status WritePages(sim::VirtualClock& clock, const ChunkKey& key,
                     const Bitmap& dirty_pages, std::span<const uint8_t> data);
 
+  // Multi-chunk streamed write — the write-side run RPC.  One call is ONE
+  // request at this benefactor (one header, one device queueing slot).
+  // The client streams each item's messages via `send` (clone instructions
+  // as kControl, dirty pages as kPayload; the first payload also carries
+  // the run header): the NIC pipelines them in order while the device
+  // serialises on `clock`, and only the first programmed chunk pays the
+  // per-request write latency.  If the benefactor dies mid-run the whole
+  // run fails with UNAVAILABLE and the caller must treat every item as
+  // unwritten on this replica.
+  Status WriteChunkRun(sim::VirtualClock& clock,
+                       std::span<const ChunkWriteItem> items,
+                       const ChunkRunSend& send);
+
   // Copy-on-write support: duplicate `from` under key `to` locally
   // (device read + write of one chunk, no network).
   Status CloneChunk(sim::VirtualClock& clock, const ChunkKey& from,
@@ -86,6 +99,11 @@ class Benefactor {
   void KillAfterReads(uint64_t n) {
     kill_after_reads_.store(n, std::memory_order_relaxed);
   }
+  // Die after `n` more chunks have been programmed — lets tests crash a
+  // benefactor in the middle of a write run or flush.  0 disarms.
+  void KillAfterWrites(uint64_t n) {
+    kill_after_writes_.store(n, std::memory_order_relaxed);
+  }
 
   sim::SsdDevice& ssd() { return node_.ssd(); }
 
@@ -97,6 +115,9 @@ class Benefactor {
   // counts once — the "request header + queueing slot" unit the run RPC
   // amortises across a batch.
   uint64_t read_requests() const { return read_requests_.value(); }
+  // Write-plane requests served: every WritePages and every WriteChunkRun
+  // counts once — the unit the write run RPC amortises across a window.
+  uint64_t write_requests() const { return write_requests_.value(); }
 
   // Introspection for invariant tests: the exact chunk set stored here.
   bool HasChunk(const ChunkKey& key) const;
@@ -113,6 +134,9 @@ class Benefactor {
   Status EnsureAlive() const;
   // Tick the KillAfterReads countdown after a data chunk left the device.
   void MaybeKillAfterRead();
+  // Tick the KillAfterWrites countdown after a chunk's pages were
+  // programmed.
+  void MaybeKillAfterWrite();
 
   const int id_;
   net::Node& node_;
@@ -126,9 +150,11 @@ class Benefactor {
   std::vector<uint64_t> free_offsets_;
   bool alive_ = true;
   std::atomic<uint64_t> kill_after_reads_{0};
+  std::atomic<uint64_t> kill_after_writes_{0};
   Counter data_bytes_in_;
   Counter data_bytes_out_;
   Counter read_requests_;
+  Counter write_requests_;
 };
 
 }  // namespace nvm::store

@@ -264,6 +264,29 @@ Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
   return OkStatus();
 }
 
+Status StoreClient::WriteReplica(sim::VirtualClock& clock,
+                                 const WriteLocation& loc, int bid,
+                                 const Bitmap& dirty_pages,
+                                 std::span<const uint8_t> chunk_image) {
+  const StoreConfig& cfg = manager_.config();
+  Benefactor* b = manager_.benefactor(bid);
+  NVM_CHECK(b != nullptr);
+  if (loc.needs_clone) {
+    // COW: instruct the benefactor to clone locally before the write.
+    cluster_.network().Transfer(clock, local_node_, b->node_id(),
+                                cfg.meta_request_bytes);
+    NVM_RETURN_IF_ERROR(b->CloneChunk(clock, loc.clone_from, loc.key));
+  }
+  // Ship only the dirty pages.
+  const uint64_t dirty_bytes = dirty_pages.PopCount() * cfg.page_bytes;
+  cluster_.network().Transfer(clock, local_node_, b->node_id(),
+                              dirty_bytes + cfg.meta_request_bytes);
+  NVM_RETURN_IF_ERROR(b->WritePages(clock, loc.key, dirty_pages, chunk_image));
+  cluster_.network().Transfer(clock, b->node_id(), local_node_,
+                              cfg.meta_response_bytes);
+  return OkStatus();
+}
+
 Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
                                     uint32_t chunk_index,
                                     const Bitmap& dirty_pages,
@@ -275,39 +298,202 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
   ChargeMetaRoundTrip(clock);
   NVM_ASSIGN_OR_RETURN(WriteLocation loc,
                        manager_.PrepareWrite(clock, id, chunk_index));
+
+  // Each replica is written on its own clock forked at the post-prepare
+  // time: the transfers and device programs overlap, and the caller pays
+  // max(replica times), not their sum.
+  const uint64_t dirty_bytes = dirty_pages.PopCount() * cfg.page_bytes;
+  const int64_t t0 = clock.now();
+  int64_t done = t0;
+  size_t ok_replicas = 0;
+  Status last = Unavailable("no replicas");
+  for (int bid : loc.benefactors) {
+    sim::VirtualClock replica_clock(t0);
+    Status s = WriteReplica(replica_clock, loc, bid, dirty_pages, chunk_image);
+    if (s.ok()) {
+      ++ok_replicas;
+      bytes_flushed_.Add(dirty_bytes);
+      done = std::max(done, replica_clock.now());
+    } else {
+      if (s.code() == ErrorCode::kUnavailable) {
+        manager_.MarkDead(bid);
+        NVM_WLOG("benefactor %d unavailable writing %s; continuing with "
+                 "surviving replicas",
+                 bid, loc.key.ToString().c_str());
+      }
+      last = s;
+    }
+  }
+  clock.AdvanceTo(done);
+
+  if (ok_replicas == 0) {
+    // Nothing holds the (possibly fresh) version: make sure later reads
+    // re-resolve instead of finding a location that has no data.
+    InvalidateLocation(id, chunk_index);
+    return last;
+  }
+  if (ok_replicas < loc.benefactors.size()) degraded_writes_.Add(1);
   {
-    // The write may have produced a new chunk version: refresh the read
-    // cache so later fetches hit the right key.
+    // At least one replica holds the data: NOW the read cache may point at
+    // the new chunk version.
     std::lock_guard<std::mutex> lock(loc_mutex_);
     loc_cache_[LocKey{id, chunk_index}] =
         ReadLocation{loc.key, loc.benefactors};
   }
+  return OkStatus();
+}
 
-  const uint64_t dirty_bytes = dirty_pages.PopCount() * cfg.page_bytes;
-  Status result = OkStatus();
-  for (int bid : loc.benefactors) {
-    Benefactor* b = manager_.benefactor(bid);
-    NVM_CHECK(b != nullptr);
-    if (loc.needs_clone) {
-      // COW: instruct the benefactor to clone locally before the write.
-      cluster_.network().Transfer(clock, local_node_, b->node_id(),
-                                  cfg.meta_request_bytes);
-      NVM_RETURN_IF_ERROR(b->CloneChunk(clock, loc.clone_from, loc.key));
+Status StoreClient::WriteRun(sim::VirtualClock& clock,
+                             const BenefactorRun& run,
+                             std::span<const WriteLocation> locs,
+                             std::span<const ChunkWrite> writes,
+                             std::span<const size_t> active) {
+  const StoreConfig& cfg = manager_.config();
+  Benefactor* b = manager_.benefactor(run.benefactor);
+  NVM_CHECK(b != nullptr);
+  write_run_rpcs_.Add(1);
+
+  std::vector<ChunkWriteItem> items;
+  items.reserve(run.items.size());
+  for (size_t j : run.items) {
+    const ChunkWrite& w = writes[active[j]];
+    ChunkWriteItem item;
+    item.key = locs[j].key;
+    item.dirty = w.dirty;
+    item.data = w.image;
+    item.needs_clone = locs[j].needs_clone;
+    item.clone_from = locs[j].clone_from;
+    items.push_back(item);
+  }
+
+  // The request is one stream: the first payload also carries the run
+  // header (which is what makes a run of one byte-identical to the legacy
+  // single-chunk write message); clone instructions ride as their own
+  // control messages, exactly as in the per-chunk path.
+  net::StreamTransfer stream(cluster_.network(), local_node_, b->node_id());
+  bool header_sent = false;
+  const ChunkRunSend send = [&](RunMsg kind, int64_t earliest,
+                                uint64_t bytes) -> int64_t {
+    if (kind == RunMsg::kPayload && !header_sent) {
+      header_sent = true;
+      bytes += cfg.meta_request_bytes;
     }
-    // Ship only the dirty pages.
-    cluster_.network().Transfer(clock, local_node_, b->node_id(),
-                                dirty_bytes + cfg.meta_request_bytes);
-    Status s = b->WritePages(clock, loc.key, dirty_pages, chunk_image);
-    if (!s.ok()) {
-      if (s.code() == ErrorCode::kUnavailable) manager_.MarkDead(bid);
-      result = s;
+    return stream.Push(earliest, bytes);
+  };
+  NVM_RETURN_IF_ERROR(b->WriteChunkRun(clock, items, send));
+  // One response acknowledges the whole run.
+  cluster_.network().Transfer(clock, b->node_id(), local_node_,
+                              cfg.meta_response_bytes);
+  return OkStatus();
+}
+
+Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
+                                std::span<ChunkWrite> writes) {
+  if (writes.empty()) return OkStatus();
+  const StoreConfig& cfg = manager_.config();
+
+  // Clean entries are done before they start (mirrors WriteChunkPages).
+  std::vector<size_t> active;
+  active.reserve(writes.size());
+  for (size_t i = 0; i < writes.size(); ++i) {
+    NVM_CHECK(writes[i].dirty != nullptr);
+    NVM_CHECK(writes[i].image.size() == cfg.chunk_bytes);
+    writes[i].status = OkStatus();
+    writes[i].ready_at = clock.now();
+    if (!writes[i].dirty->None()) active.push_back(i);
+  }
+  if (active.empty()) return OkStatus();
+
+  if (!cfg.batch_write_rpc) {
+    // Per-chunk path: one PrepareWrite round-trip and one write request
+    // per chunk, serialised on the caller's clock.
+    for (size_t i : active) {
+      ChunkWrite& w = writes[i];
+      w.status = WriteChunkPages(clock, id, w.index, *w.dirty, w.image);
+      w.ready_at = clock.now();
+    }
+    return OkStatus();
+  }
+
+  // One metadata round-trip COW-resolves the whole window.
+  ChargeMetaRoundTrip(clock);
+  std::vector<uint32_t> indices;
+  indices.reserve(active.size());
+  for (size_t i : active) indices.push_back(writes[i].index);
+  auto prepared = manager_.PrepareWriteBatch(clock, id, indices);
+  if (!prepared.ok()) {
+    for (size_t i : active) writes[i].status = prepared.status();
+    return prepared.status();
+  }
+  const std::vector<WriteLocation>& locs = *prepared;  // parallel to active
+  const int64_t t0 = clock.now();
+
+  // Per-item replica outcomes across all runs.
+  std::vector<size_t> ok_replicas(active.size(), 0);
+  std::vector<Status> last_err(active.size(), OkStatus());
+  std::vector<int64_t> done(active.size(), t0);
+
+  // One streamed run per benefactor — every replica holder gets its own
+  // run — each on a clock forked at the post-prepare time, so runs (and
+  // with them the replicas of each chunk) overlap.
+  for (const BenefactorRun& run : GroupByBenefactor(locs)) {
+    sim::VirtualClock run_clock(t0);
+    Status s = WriteRun(run_clock, run, locs, writes, active);
+    if (s.ok()) {
+      for (size_t j : run.items) {
+        ++ok_replicas[j];
+        bytes_flushed_.Add(writes[active[j]].dirty->PopCount() *
+                           cfg.page_bytes);
+        done[j] = std::max(done[j], run_clock.now());
+      }
       continue;
     }
-    cluster_.network().Transfer(clock, b->node_id(), local_node_,
-                                cfg.meta_response_bytes);
-    bytes_flushed_.Add(dirty_bytes);
+    if (s.code() == ErrorCode::kUnavailable) {
+      manager_.MarkDead(run.benefactor);
+      NVM_WLOG(
+          "benefactor %d failed mid write run (%zu chunks); discarding the "
+          "run and retrying per chunk",
+          run.benefactor, run.items.size());
+    }
+    // The run failed as a whole: nothing it streamed counts.  Retry every
+    // item per chunk against the same benefactor (its other replicas are
+    // covered by their own runs); a dead benefactor fails fast here.
+    for (size_t j : run.items) {
+      const ChunkWrite& w = writes[active[j]];
+      sim::VirtualClock fallback(t0);
+      Status rs = WriteReplica(fallback, locs[j], run.benefactor, *w.dirty,
+                               w.image);
+      if (rs.ok()) {
+        ++ok_replicas[j];
+        bytes_flushed_.Add(w.dirty->PopCount() * cfg.page_bytes);
+        done[j] = std::max(done[j], fallback.now());
+      } else {
+        if (rs.code() == ErrorCode::kUnavailable) {
+          manager_.MarkDead(run.benefactor);
+        }
+        last_err[j] = rs;
+      }
+    }
   }
-  return result;
+
+  // Per-chunk verdicts, location-cache updates, and the caller's join.
+  int64_t joined = t0;
+  for (size_t j = 0; j < active.size(); ++j) {
+    ChunkWrite& w = writes[active[j]];
+    const WriteLocation& loc = locs[j];
+    if (ok_replicas[j] == 0) {
+      w.status = last_err[j].ok() ? Unavailable("no replicas") : last_err[j];
+      InvalidateLocation(id, w.index);
+    } else {
+      if (ok_replicas[j] < loc.benefactors.size()) degraded_writes_.Add(1);
+      std::lock_guard<std::mutex> lock(loc_mutex_);
+      loc_cache_[LocKey{id, w.index}] = ReadLocation{loc.key, loc.benefactors};
+    }
+    w.ready_at = done[j];
+    joined = std::max(joined, done[j]);
+  }
+  clock.AdvanceTo(joined);
+  return OkStatus();
 }
 
 void StoreClient::ResetCounters() {
@@ -315,6 +501,8 @@ void StoreClient::ResetCounters() {
   bytes_flushed_.Reset();
   meta_rtts_.Reset();
   run_rpcs_.Reset();
+  write_run_rpcs_.Reset();
+  degraded_writes_.Reset();
 }
 
 }  // namespace nvm::store

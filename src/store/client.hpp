@@ -82,10 +82,43 @@ class StoreClient {
 
   // Flush the dirty pages of a cached chunk image back to the store.
   // Performs the manager's copy-on-write protocol when the chunk is shared
-  // with a checkpoint.
+  // with a checkpoint.  Replicas are written on clocks forked at the
+  // post-prepare time and the caller joins at the max, so a replicated
+  // write costs max(replica times), not their sum.  A write that reached
+  // at least one replica is a (possibly degraded) success; only total
+  // failure returns an error, and the location cache is updated only
+  // after a replica holds the data.
   Status WriteChunkPages(sim::VirtualClock& clock, FileId id,
                          uint32_t chunk_index, const Bitmap& dirty_pages,
                          std::span<const uint8_t> chunk_image);
+
+  // One element of a batched write-back.
+  struct ChunkWrite {
+    uint32_t index = 0;
+    const Bitmap* dirty = nullptr;       // pages to flush (may be all-set)
+    std::span<const uint8_t> image;      // full chunk image, sized chunk_bytes
+    Status status;                       // per-chunk outcome
+    int64_t ready_at = 0;                // virtual completion time
+  };
+
+  // Batched write-back of several dirty chunks of one file — the write-side
+  // mirror of ReadChunks.  With config().batch_write_rpc the whole window
+  // is COW-resolved in ONE metadata round-trip (Manager::PrepareWriteBatch),
+  // grouped by benefactor (every replica holder gets the chunk) and flushed
+  // with ONE streamed Benefactor::WriteChunkRun per benefactor — one
+  // request header and one device queueing slot per run, dirty pages riding
+  // back-to-back on the wire.  Runs use clocks forked at the post-prepare
+  // time so runs against distinct benefactors — and replicas of the same
+  // chunk — overlap; the caller joins at the max.  A run that fails
+  // (benefactor death mid-stream) is discarded whole and every item is
+  // retried per chunk against that benefactor; a chunk that reached ≥1
+  // replica is a (degraded) success.  With the knob off every chunk goes
+  // through WriteChunkPages serially (a run of one is arithmetically
+  // identical, so traffic tables do not depend on the knob).  Returns
+  // non-OK only if the batched prepare fails outright; per-chunk outcomes
+  // land in writes[i].status.
+  Status WriteChunks(sim::VirtualClock& clock, FileId id,
+                     std::span<ChunkWrite> writes);
 
   // Data-plane traffic observed by this client (the "to SSD" column of the
   // paper's traffic tables).
@@ -96,6 +129,11 @@ class StoreClient {
   uint64_t meta_round_trips() const { return meta_rtts_.value(); }
   // Benefactor read-run RPCs issued (batch_rpc path only).
   uint64_t run_rpcs() const { return run_rpcs_.value(); }
+  // Benefactor write-run RPCs issued (batch_write_rpc path only).
+  uint64_t write_run_rpcs() const { return write_run_rpcs_.value(); }
+  // Writes that succeeded on ≥1 but not all replicas (failed benefactors
+  // were MarkDead'd; re-replication is the manager's repair job).
+  uint64_t degraded_writes() const { return degraded_writes_.value(); }
   void ResetCounters();
 
  private:
@@ -127,6 +165,20 @@ class StoreClient {
   Status ReadRun(sim::VirtualClock& clock, const BenefactorRun& run,
                  std::span<const ReadLocation> locs,
                  std::span<ChunkFetch> fetches);
+  // The legacy per-replica write wire sequence (clone instruction, dirty
+  // pages + header, device program, response) against one benefactor on
+  // the given clock.  Does not touch counters or the location cache.
+  Status WriteReplica(sim::VirtualClock& clock, const WriteLocation& loc,
+                      int bid, const Bitmap& dirty_pages,
+                      std::span<const uint8_t> chunk_image);
+  // One streamed WriteChunkRun against run.benefactor covering the items
+  // named by run.items (indices into locs/active).  All-or-nothing: on
+  // failure the caller retries every item per chunk — nothing a failed
+  // run streamed counts.
+  Status WriteRun(sim::VirtualClock& clock, const BenefactorRun& run,
+                  std::span<const WriteLocation> locs,
+                  std::span<const ChunkWrite> writes,
+                  std::span<const size_t> active);
 
   net::Cluster& cluster_;
   Manager& manager_;
@@ -135,6 +187,8 @@ class StoreClient {
   Counter bytes_flushed_;
   Counter meta_rtts_;
   Counter run_rpcs_;
+  Counter write_run_rpcs_;
+  Counter degraded_writes_;
   std::mutex loc_mutex_;
   std::unordered_map<LocKey, ReadLocation, LocKeyHash> loc_cache_;
 };

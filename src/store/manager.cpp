@@ -20,6 +20,20 @@ std::vector<BenefactorRun> GroupByPrimaryBenefactor(
   return runs;
 }
 
+std::vector<BenefactorRun> GroupByBenefactor(
+    std::span<const WriteLocation> locs) {
+  std::vector<BenefactorRun> runs;
+  std::unordered_map<int, size_t> run_of;  // benefactor id -> index in runs
+  for (size_t i = 0; i < locs.size(); ++i) {
+    for (int b : locs[i].benefactors) {
+      auto [it, fresh] = run_of.try_emplace(b, runs.size());
+      if (fresh) runs.push_back(BenefactorRun{b, {}});
+      runs[it->second].items.push_back(i);
+    }
+  }
+  return runs;
+}
+
 Manager::Manager(net::Cluster& cluster, int manager_node, StoreConfig config)
     : cluster_(cluster),
       manager_node_(manager_node),
@@ -428,18 +442,13 @@ StatusOr<std::vector<ReadLocation>> Manager::GetReadLocations(
   return locs;
 }
 
-StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
-                                              FileId id,
-                                              uint32_t chunk_index) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = files_.find(id);
-  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
-  if (chunk_index >= it->second.chunks.size()) {
+StatusOr<WriteLocation> Manager::PrepareWriteLocked(FileMeta& meta,
+                                                    uint32_t chunk_index) {
+  if (chunk_index >= meta.chunks.size()) {
     return OutOfRange("chunk " + std::to_string(chunk_index) +
-                      " beyond EOF of '" + it->second.name + "'");
+                      " beyond EOF of '" + meta.name + "'");
   }
-  ChunkRef& ref = it->second.chunks[chunk_index];
+  ChunkRef& ref = meta.chunks[chunk_index];
   auto rc = refcounts_.find(ref.key);
   NVM_CHECK(rc != refcounts_.end());
 
@@ -458,10 +467,19 @@ StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
   NVM_CHECK(!refcounts_.contains(fresh), "COW version collision");
 
   // The clone stays on the same benefactors (local device copy, no
-  // network); reserve space for the new version.
+  // network); reserve space for the new version on every replica, rolling
+  // back if one runs out mid-way so a failed COW leaks nothing.
+  size_t reserved = 0;
   for (int bid : ref.benefactors) {
     Status s = benefactors_[static_cast<size_t>(bid)]->ReserveChunks(1);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      for (size_t r = 0; r < reserved; ++r) {
+        benefactors_[static_cast<size_t>(ref.benefactors[r])]
+            ->ReleaseChunkReservation(1);
+      }
+      return s;
+    }
+    ++reserved;
   }
   --rc->second;  // live file drops its reference to the shared version
   refcounts_[fresh] = 1;
@@ -472,6 +490,32 @@ StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
   loc.benefactors = ref.benefactors;
   ref.key = fresh;
   return loc;
+}
+
+StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
+                                              FileId id,
+                                              uint32_t chunk_index) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+  return PrepareWriteLocked(it->second, chunk_index);
+}
+
+StatusOr<std::vector<WriteLocation>> Manager::PrepareWriteBatch(
+    sim::VirtualClock& clock, FileId id, std::span<const uint32_t> indices) {
+  ChargeOp(clock);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = files_.find(id);
+  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+  std::vector<WriteLocation> locs;
+  locs.reserve(indices.size());
+  for (uint32_t index : indices) {
+    auto loc = PrepareWriteLocked(it->second, index);
+    NVM_RETURN_IF_ERROR(loc.status());
+    locs.push_back(*std::move(loc));
+  }
+  return locs;
 }
 
 StatusOr<uint64_t> Manager::LinkFileChunks(sim::VirtualClock& clock,

@@ -59,6 +59,14 @@ struct WriteLocation {
   ChunkKey clone_from;
 };
 
+// Group write locations by benefactor for the write-side run RPC.  Unlike
+// the read-side grouping, a chunk appears in the run of EVERY benefactor
+// that holds a replica (writes must reach all replicas, reads only one).
+// Runs are ordered by first appearance and preserve input order within
+// each run, so the result is deterministic for a given input.
+std::vector<BenefactorRun> GroupByBenefactor(
+    std::span<const WriteLocation> locs);
+
 class Manager {
  public:
   Manager(net::Cluster& cluster, int manager_node, StoreConfig config);
@@ -126,6 +134,12 @@ class Manager {
   // decision: a chunk shared with a checkpoint gets a fresh version.
   StatusOr<WriteLocation> PrepareWrite(sim::VirtualClock& clock, FileId id,
                                        uint32_t chunk_index);
+  // Batched variant: resolve a whole flush window (any set of chunk
+  // indices of one file) in ONE metadata service op, including the
+  // copy-on-write version bumps — the control-plane saving behind the
+  // client's batched write-back path.  Result order matches `indices`.
+  StatusOr<std::vector<WriteLocation>> PrepareWriteBatch(
+      sim::VirtualClock& clock, FileId id, std::span<const uint32_t> indices);
 
   // --- checkpoint support ---
 
@@ -156,6 +170,10 @@ class Manager {
   }
   // Drop one reference; frees the chunk on its benefactors at zero.
   void UnrefChunkLocked(const ChunkRef& ref);
+  // COW-resolve one chunk of `meta` (mutex held).  Rolls back partial
+  // space reservations if a replica runs out of space mid-COW.
+  StatusOr<WriteLocation> PrepareWriteLocked(FileMeta& meta,
+                                             uint32_t chunk_index);
   // First-choice benefactor index for the next chunk of `meta`, per the
   // stripe policy (mutex held).
   size_t PlacementStartLocked(const FileMeta& meta, int client_node) const;

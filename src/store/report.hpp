@@ -23,6 +23,12 @@ struct MountCacheStats {
   // Dirty chunks discarded on Drop() after a failed best-effort
   // write-back — data lost to unreplicated benefactor failure.
   uint64_t dropped_dirty = 0;
+  // Write-back windows that coalesced ≥2 dirty chunks into batched store
+  // writes (the write-side run RPC).
+  uint64_t flush_batches = 0;
+  // Writes that reached only a subset of their replicas (the failed
+  // benefactors were reported dead; repair restores replication).
+  uint64_t degraded_writes = 0;
 };
 
 // Multi-line report of the store's current state; any supplied mount cache

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitmap.hpp"
 #include "common/hash.hpp"
 #include "common/status.hpp"
 #include "common/units.hpp"
@@ -58,6 +59,30 @@ struct ChunkRunItem {
 using ChunkRunSink =
     std::function<Status(const ChunkRunItem&, std::span<const uint8_t>)>;
 
+// One chunk inside a multi-chunk write run (Benefactor::WriteChunkRun).
+// `data` is the full chunk image; `dirty` selects the pages to program.
+// When `needs_clone` is set the benefactor must copy `clone_from` into
+// `key` before applying the dirty pages (COW of a shared version).
+struct ChunkWriteItem {
+  ChunkKey key;
+  const Bitmap* dirty = nullptr;
+  std::span<const uint8_t> data;
+  bool needs_clone = false;
+  ChunkKey clone_from;
+};
+
+// Wire-message kinds inside a write run.  kControl carries run/clone
+// bookkeeping (charged like a metadata request); kPayload carries dirty
+// page data — the first payload of a run also carries the run's request
+// header, which is what makes a run of one byte-identical to the legacy
+// single-chunk write message.
+enum class RunMsg : uint8_t { kControl, kPayload };
+
+// Sends one client→benefactor message of a write run and returns its
+// arrival time on the benefactor.  `earliest_ns` is the send floor (the
+// NIC pipelines messages in order from there).
+using ChunkRunSend = std::function<int64_t(RunMsg, int64_t, uint64_t)>;
+
 // Chunk placement policy (paper §III-A: "we need to optimize the NVM
 // store by taking into account the locality of the NVM, data access
 // patterns, etc.").
@@ -81,6 +106,12 @@ struct StoreConfig {
   // one request header and one device queueing slot per run instead of per
   // chunk.  Off reverts to per-chunk requests.
   bool batch_rpc = true;
+  // Batched benefactor-side writes: StoreClient::WriteChunks resolves a
+  // whole flush window in one metadata RTT (Manager::PrepareWriteBatch),
+  // groups the prepared chunks by benefactor and streams one WriteChunkRun
+  // per benefactor — one request header and one device queueing slot per
+  // run.  Off reverts to per-chunk WriteChunkPages calls.
+  bool batch_write_rpc = true;
 
   uint64_t pages_per_chunk() const { return chunk_bytes / page_bytes; }
 };

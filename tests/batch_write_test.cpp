@@ -1,0 +1,455 @@
+// Conformance tests for the benefactor-side multi-chunk write RPC
+// (Benefactor::WriteChunkRun + the batched StoreClient::WriteChunks path):
+// request-count amortisation (a K-chunk flush window to one benefactor is
+// exactly ONE write request), byte-for-byte equality of batched vs
+// chunk-at-a-time write-back, virtual-time identity of a batch of one with
+// the legacy per-chunk path (dense, partial-dirty and COW-clone cases),
+// device-latency amortisation, parallel replica charging (a replicated
+// flush costs max(replica times), not their sum), degraded writes when a
+// replica dies, and a multi-process write storm over the streamed path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+#include "store/store.hpp"
+
+namespace nvm::store {
+namespace {
+
+constexpr uint64_t kChunk = 64_KiB;
+
+std::vector<uint8_t> Pattern(uint64_t bytes, uint64_t seed) {
+  std::vector<uint8_t> v(bytes);
+  Xoshiro256 rng(seed);
+  for (auto& b : v) b = static_cast<uint8_t>(rng.Next());
+  return v;
+}
+
+struct Rig {
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<AggregateStore> store;
+
+  explicit Rig(int benefactors, bool batch_write_rpc, int replication = 1,
+               int client_nodes = 1, double nic_bw_mbps = 0.0) {
+    net::ClusterConfig cc;
+    cc.num_nodes = static_cast<size_t>(benefactors + client_nodes);
+    if (nic_bw_mbps > 0.0) cc.network.nic_bw_mbps = nic_bw_mbps;
+    cluster = std::make_unique<net::Cluster>(cc);
+    AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.batch_write_rpc = batch_write_rpc;
+    sc.store.replication = replication;
+    for (int b = 0; b < benefactors; ++b) {
+      sc.benefactor_nodes.push_back(client_nodes + b);
+    }
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = client_nodes;
+    store = std::make_unique<AggregateStore>(*cluster, sc);
+  }
+
+  StoreClient& client(int node = 0) { return store->ClientForNode(node); }
+
+  // Create a file of `chunks` chunks (sparse: no data written yet).
+  FileId CreateFile(const std::string& name, uint32_t chunks) {
+    sim::VirtualClock clock(0);
+    StoreClient& c = client();
+    auto id = c.Create(clock, name);
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(c.Fallocate(clock, *id, chunks * kChunk).ok());
+    return *id;
+  }
+};
+
+// Issue one batched write of chunks [0, n) carrying `data`, all pages
+// dirty, and return the per-chunk outcomes.
+std::vector<StoreClient::ChunkWrite> BatchWrite(
+    StoreClient& c, sim::VirtualClock& clock, FileId id, uint32_t n,
+    const std::vector<uint8_t>& data, std::vector<Bitmap>& dirty) {
+  dirty.assign(n, Bitmap(kChunk / c.config().page_bytes));
+  std::vector<StoreClient::ChunkWrite> writes(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    dirty[i].SetAll();
+    writes[i].index = i;
+    writes[i].dirty = &dirty[i];
+    writes[i].image = {data.data() + i * kChunk, kChunk};
+  }
+  EXPECT_TRUE(c.WriteChunks(clock, id, writes).ok());
+  return writes;
+}
+
+// Read chunks [0, n) back through the batched read path and compare.
+void ExpectReadsBack(StoreClient& c, FileId id, uint32_t n,
+                     const std::vector<uint8_t>& data) {
+  sim::VirtualClock clock(0);
+  std::vector<std::vector<uint8_t>> bufs(n, std::vector<uint8_t>(kChunk));
+  std::vector<StoreClient::ChunkFetch> fetches(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    fetches[i].index = i;
+    fetches[i].out = bufs[i];
+  }
+  ASSERT_TRUE(c.ReadChunks(clock, id, fetches).ok());
+  for (uint32_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(fetches[i].status.ok()) << "chunk " << i;
+    EXPECT_EQ(0,
+              std::memcmp(bufs[i].data(), data.data() + i * kChunk, kChunk))
+        << "chunk " << i;
+  }
+}
+
+TEST(BatchWriteTest, KChunkWindowIsOneBenefactorWriteRequest) {
+  constexpr uint32_t kChunks = 8;
+  Rig rig(/*benefactors=*/1, /*batch_write_rpc=*/true);
+  const FileId id = rig.CreateFile("/one", kChunks);
+  const auto data = Pattern(kChunks * kChunk, 7);
+
+  Benefactor& b = rig.store->benefactor(0);
+  const uint64_t requests_before = b.write_requests();
+  const uint64_t runs_before = rig.client().write_run_rpcs();
+
+  sim::VirtualClock clock(0);
+  std::vector<Bitmap> dirty;
+  auto writes = BatchWrite(rig.client(), clock, id, kChunks, data, dirty);
+  for (const auto& w : writes) ASSERT_TRUE(w.status.ok());
+
+  // The whole K-chunk window lives on one benefactor: exactly ONE write
+  // request (one header + one queueing slot), not one per chunk.
+  EXPECT_EQ(b.write_requests() - requests_before, 1u);
+  EXPECT_EQ(rig.client().write_run_rpcs() - runs_before, 1u);
+  ExpectReadsBack(rig.client(), id, kChunks, data);
+}
+
+TEST(BatchWriteTest, OneRunPerBenefactorAcrossStripes) {
+  constexpr int kBenefactors = 4;
+  constexpr uint32_t kChunks = 12;  // 3 chunks per benefactor, round-robin
+  Rig rig(kBenefactors, /*batch_write_rpc=*/true);
+  const FileId id = rig.CreateFile("/spread", kChunks);
+  const auto data = Pattern(kChunks * kChunk, 13);
+
+  std::vector<uint64_t> before(kBenefactors);
+  for (int b = 0; b < kBenefactors; ++b) {
+    before[static_cast<size_t>(b)] =
+        rig.store->benefactor(static_cast<size_t>(b)).write_requests();
+  }
+
+  sim::VirtualClock clock(0);
+  std::vector<Bitmap> dirty;
+  auto writes = BatchWrite(rig.client(), clock, id, kChunks, data, dirty);
+  for (const auto& w : writes) ASSERT_TRUE(w.status.ok());
+
+  for (int b = 0; b < kBenefactors; ++b) {
+    EXPECT_EQ(rig.store->benefactor(static_cast<size_t>(b)).write_requests() -
+                  before[static_cast<size_t>(b)],
+              1u)
+        << "benefactor " << b;
+  }
+  EXPECT_EQ(rig.client().write_run_rpcs(),
+            static_cast<uint64_t>(kBenefactors));
+  ExpectReadsBack(rig.client(), id, kChunks, data);
+}
+
+TEST(BatchWriteTest, BatchedEqualsChunkAtATimeByteForByte) {
+  constexpr uint32_t kChunks = 10;
+  Rig batched(/*benefactors=*/3, /*batch_write_rpc=*/true);
+  Rig legacy(/*benefactors=*/3, /*batch_write_rpc=*/false);
+  const auto data = Pattern(kChunks * kChunk, 29);
+  const FileId idb = batched.CreateFile("/bytes", kChunks);
+  const FileId idl = legacy.CreateFile("/bytes", kChunks);
+
+  sim::VirtualClock cb(0);
+  sim::VirtualClock cl(0);
+  std::vector<Bitmap> db;
+  std::vector<Bitmap> dl;
+  auto wb = BatchWrite(batched.client(), cb, idb, kChunks, data, db);
+  auto wl = BatchWrite(legacy.client(), cl, idl, kChunks, data, dl);
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    ASSERT_TRUE(wb[i].status.ok());
+    ASSERT_TRUE(wl[i].status.ok());
+  }
+  ExpectReadsBack(batched.client(), idb, kChunks, data);
+  ExpectReadsBack(legacy.client(), idl, kChunks, data);
+  // Identical data-plane traffic: the run RPC changes timing, not volume.
+  EXPECT_EQ(batched.client().bytes_flushed(), legacy.client().bytes_flushed());
+  for (size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(batched.store->benefactor(b).data_bytes_in(),
+              legacy.store->benefactor(b).data_bytes_in());
+  }
+}
+
+TEST(BatchWriteTest, BatchOfOneMatchesLegacyVirtualTime) {
+  // Arithmetic identity: with one chunk per run, the streamed write path
+  // must charge exactly what the per-chunk path charges — same completion
+  // times, same network bytes, same device busy time.
+  for (const bool partial : {false, true}) {
+    Rig batched(/*benefactors=*/2, /*batch_write_rpc=*/true);
+    Rig legacy(/*benefactors=*/2, /*batch_write_rpc=*/false);
+    const auto data = Pattern(kChunk, 31);
+    const FileId idb = batched.CreateFile("/one", 1);
+    const FileId idl = legacy.CreateFile("/one", 1);
+    const size_t pages = kChunk / batched.client().config().page_bytes;
+    Bitmap dirty(pages);
+    if (partial) {
+      dirty.Set(0);
+      dirty.Set(pages / 2);
+      dirty.Set(pages - 1);
+    } else {
+      dirty.SetAll();
+    }
+
+    sim::VirtualClock tb(0);
+    sim::VirtualClock tl(0);
+    std::vector<StoreClient::ChunkWrite> wb(1);
+    std::vector<StoreClient::ChunkWrite> wl(1);
+    wb[0].index = wl[0].index = 0;
+    wb[0].dirty = wl[0].dirty = &dirty;
+    wb[0].image = wl[0].image = {data.data(), kChunk};
+    ASSERT_TRUE(batched.client().WriteChunks(tb, idb, wb).ok());
+    ASSERT_TRUE(legacy.client().WriteChunks(tl, idl, wl).ok());
+    ASSERT_TRUE(wb[0].status.ok());
+    ASSERT_TRUE(wl[0].status.ok());
+
+    EXPECT_EQ(wb[0].ready_at, wl[0].ready_at) << "partial=" << partial;
+    EXPECT_EQ(tb.now(), tl.now()) << "partial=" << partial;
+    EXPECT_EQ(batched.cluster->network().remote_bytes(),
+              legacy.cluster->network().remote_bytes());
+    EXPECT_EQ(batched.cluster->network().bytes_transferred(),
+              legacy.cluster->network().bytes_transferred());
+    EXPECT_EQ(batched.store->benefactor(0).ssd().channel().busy_ns(),
+              legacy.store->benefactor(0).ssd().channel().busy_ns());
+    EXPECT_EQ(batched.store->benefactor(0).write_requests(),
+              legacy.store->benefactor(0).write_requests());
+  }
+}
+
+TEST(BatchWriteTest, BatchOfOneCloneMatchesLegacyVirtualTime) {
+  // Same identity through the copy-on-write path: the chunk is shared
+  // with a second file (a checkpoint link), so the write must clone first.
+  // The run path ships the clone instruction as a standalone control
+  // message; a run of one must still cost exactly the legacy sequence.
+  Rig batched(/*benefactors=*/2, /*batch_write_rpc=*/true);
+  Rig legacy(/*benefactors=*/2, /*batch_write_rpc=*/false);
+  const auto data = Pattern(kChunk, 33);
+  const auto update = Pattern(kChunk, 34);
+
+  auto setup = [&](Rig& rig) -> FileId {
+    sim::VirtualClock clock(0);
+    StoreClient& c = rig.client();
+    auto id = c.Create(clock, "/live");
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(c.Fallocate(clock, *id, kChunk).ok());
+    Bitmap all(kChunk / c.config().page_bytes);
+    all.SetAll();
+    EXPECT_TRUE(
+        c.WriteChunkPages(clock, *id, 0, all, {data.data(), kChunk}).ok());
+    auto ckpt = c.Create(clock, "/ckpt");
+    EXPECT_TRUE(ckpt.ok());
+    EXPECT_TRUE(c.LinkFileChunks(clock, *ckpt, *id).ok());
+    return *id;
+  };
+  const FileId idb = setup(batched);
+  const FileId idl = setup(legacy);
+
+  Bitmap all(kChunk / batched.client().config().page_bytes);
+  all.SetAll();
+  sim::VirtualClock tb(0);
+  sim::VirtualClock tl(0);
+  std::vector<StoreClient::ChunkWrite> wb(1);
+  std::vector<StoreClient::ChunkWrite> wl(1);
+  wb[0].index = wl[0].index = 0;
+  wb[0].dirty = wl[0].dirty = &all;
+  wb[0].image = wl[0].image = {update.data(), kChunk};
+  ASSERT_TRUE(batched.client().WriteChunks(tb, idb, wb).ok());
+  ASSERT_TRUE(legacy.client().WriteChunks(tl, idl, wl).ok());
+  ASSERT_TRUE(wb[0].status.ok());
+  ASSERT_TRUE(wl[0].status.ok());
+
+  EXPECT_EQ(wb[0].ready_at, wl[0].ready_at);
+  EXPECT_EQ(tb.now(), tl.now());
+  EXPECT_EQ(batched.cluster->network().remote_bytes(),
+            legacy.cluster->network().remote_bytes());
+  EXPECT_EQ(batched.cluster->network().bytes_transferred(),
+            legacy.cluster->network().bytes_transferred());
+  for (size_t b = 0; b < 2; ++b) {
+    EXPECT_EQ(batched.store->benefactor(b).ssd().channel().busy_ns(),
+              legacy.store->benefactor(b).ssd().channel().busy_ns());
+  }
+  // Both views unchanged: the live file carries the update, the
+  // checkpoint still reads the original bytes.
+  ExpectReadsBack(batched.client(), idb, 1, update);
+  ExpectReadsBack(legacy.client(), idl, 1, update);
+}
+
+TEST(BatchWriteTest, RunAmortisesDeviceRequestLatency) {
+  // A fast NIC makes the SSD the bottleneck, so the per-request latency
+  // saved by the single queueing slot shows up in the end-to-end makespan.
+  constexpr uint32_t kChunks = 8;
+  constexpr double kFastNic = 100'000.0;
+  Rig batched(/*benefactors=*/1, /*batch_write_rpc=*/true, /*replication=*/1,
+              /*client_nodes=*/1, kFastNic);
+  Rig legacy(/*benefactors=*/1, /*batch_write_rpc=*/false, /*replication=*/1,
+             /*client_nodes=*/1, kFastNic);
+  const auto data = Pattern(kChunks * kChunk, 37);
+  const FileId idb = batched.CreateFile("/amortise", kChunks);
+  const FileId idl = legacy.CreateFile("/amortise", kChunks);
+
+  sim::VirtualClock tb(0);
+  sim::VirtualClock tl(0);
+  std::vector<Bitmap> db;
+  std::vector<Bitmap> dl;
+  auto wb = BatchWrite(batched.client(), tb, idb, kChunks, data, db);
+  auto wl = BatchWrite(legacy.client(), tl, idl, kChunks, data, dl);
+  int64_t done_b = 0;
+  int64_t done_l = 0;
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    ASSERT_TRUE(wb[i].status.ok());
+    ASSERT_TRUE(wl[i].status.ok());
+    done_b = std::max(done_b, wb[i].ready_at);
+    done_l = std::max(done_l, wl[i].ready_at);
+  }
+
+  // One queueing slot per run: K chunks save exactly (K-1) per-request
+  // write latencies of device busy time...
+  const int64_t latency =
+      batched.store->benefactor(0).ssd().profile().write_latency_ns;
+  const int64_t busy_b = batched.store->benefactor(0).ssd().channel().busy_ns();
+  const int64_t busy_l = legacy.store->benefactor(0).ssd().channel().busy_ns();
+  EXPECT_EQ(busy_l - busy_b, (kChunks - 1) * latency);
+  // ...and the single-benefactor window (SSD-bound under the fast NIC)
+  // finishes at least that much earlier end to end.
+  EXPECT_GE(done_l - done_b, (kChunks - 1) * latency);
+}
+
+TEST(BatchWriteTest, ReplicatedFlushJoinsAtMaxOfReplicaTimes) {
+  // The serial-replica-charging fix: a replicated flush forks a clock per
+  // replica and joins at the max, so under a fast NIC (devices dominate,
+  // replicas program in parallel on distinct SSDs) replication 2 costs
+  // about one replica's time — not the sum the old serial path charged.
+  constexpr double kFastNic = 100'000.0;
+  auto elapsed_with_replication = [&](int replication) -> int64_t {
+    Rig rig(/*benefactors=*/4, /*batch_write_rpc=*/true, replication,
+            /*client_nodes=*/1, kFastNic);
+    const FileId id = rig.CreateFile("/join", 1);
+    const auto data = Pattern(kChunk, 41);
+    sim::VirtualClock clock(0);
+    std::vector<Bitmap> dirty;
+    auto writes = BatchWrite(rig.client(), clock, id, 1, data, dirty);
+    EXPECT_TRUE(writes[0].status.ok());
+    return clock.now();
+  };
+  const int64_t one = elapsed_with_replication(1);
+  const int64_t two = elapsed_with_replication(2);
+  EXPECT_GE(two, one);
+  EXPECT_LT(two, one + one / 2) << "replicated flush must overlap replicas";
+}
+
+TEST(BatchWriteTest, DegradedWriteSucceedsOnSurvivingReplica) {
+  // One of the two replica holders is dead at flush time: the write must
+  // still succeed (degraded), report the death, keep the location cache
+  // pointing at data a replica actually holds, and read back intact.
+  constexpr uint32_t kChunks = 4;
+  Rig rig(/*benefactors=*/4, /*batch_write_rpc=*/true, /*replication=*/2);
+  StoreClient& c = rig.client();
+  const FileId id = rig.CreateFile("/degraded", kChunks);
+  const auto data = Pattern(kChunks * kChunk, 43);
+  {
+    sim::VirtualClock clock(0);
+    std::vector<Bitmap> dirty;
+    auto writes = BatchWrite(c, clock, id, kChunks, data, dirty);
+    for (const auto& w : writes) ASSERT_TRUE(w.status.ok());
+  }
+  EXPECT_EQ(c.degraded_writes(), 0u);
+
+  // Kill one replica holder of chunk 0, then rewrite everything.
+  sim::VirtualClock lookup(0);
+  auto locs = rig.store->manager().GetReadLocations(lookup, id, 0, kChunks);
+  ASSERT_TRUE(locs.ok());
+  const int victim = (*locs)[0].benefactors.front();
+  rig.store->benefactor(static_cast<size_t>(victim)).Kill();
+
+  const auto update = Pattern(kChunks * kChunk, 44);
+  sim::VirtualClock clock(0);
+  std::vector<Bitmap> dirty;
+  auto writes = BatchWrite(c, clock, id, kChunks, update, dirty);
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    EXPECT_TRUE(writes[i].status.ok()) << "chunk " << i;
+  }
+  EXPECT_GT(c.degraded_writes(), 0u);
+  EXPECT_FALSE(rig.store->benefactor(static_cast<size_t>(victim)).alive());
+  // Every chunk reads back the update from the surviving replicas.
+  ExpectReadsBack(c, id, kChunks, update);
+}
+
+TEST(BatchWriteTest, ConcurrentBatchedWritersSeeTheirOwnBytes) {
+  // A write storm over the streamed path: several client nodes batch-write
+  // their own striped files concurrently.  Exercises StreamTransfer and
+  // the write-run grouping under real threads (TSan coverage via the
+  // concurrency label); every writer must read back exactly its bytes.
+  constexpr int kWriters = 3;
+  constexpr uint32_t kChunks = 12;
+  Rig rig(/*benefactors=*/4, /*batch_write_rpc=*/true, /*replication=*/1,
+          /*client_nodes=*/kWriters);
+  std::vector<FileId> ids(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    sim::VirtualClock clock(0);
+    StoreClient& c = rig.client(w);
+    auto id = c.Create(clock, "/storm" + std::to_string(w));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(c.Fallocate(clock, *id, kChunks * kChunk).ok());
+    ids[static_cast<size_t>(w)] = *id;
+  }
+
+  std::atomic<int> failures{0};
+  auto placement = rig.cluster->BlockPlacement(1, kWriters);
+  rig.cluster->RunProcesses(placement, [&](net::ProcessEnv& env) {
+    StoreClient& c = rig.store->ClientForNode(env.node_id);
+    const FileId id = ids[static_cast<size_t>(env.node_id)];
+    const auto data =
+        Pattern(kChunks * kChunk, 50 + static_cast<uint64_t>(env.node_id));
+    std::vector<Bitmap> dirty(kChunks,
+                              Bitmap(kChunk / c.config().page_bytes));
+    std::vector<StoreClient::ChunkWrite> writes(kChunks);
+    for (uint32_t i = 0; i < kChunks; ++i) {
+      dirty[i].SetAll();
+      writes[i].index = i;
+      writes[i].dirty = &dirty[i];
+      writes[i].image = {data.data() + i * kChunk, kChunk};
+    }
+    if (!c.WriteChunks(*env.clock, id, writes).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    for (uint32_t i = 0; i < kChunks; ++i) {
+      if (!writes[i].status.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+    std::vector<std::vector<uint8_t>> bufs(kChunks,
+                                           std::vector<uint8_t>(kChunk));
+    std::vector<StoreClient::ChunkFetch> fetches(kChunks);
+    for (uint32_t i = 0; i < kChunks; ++i) {
+      fetches[i].index = i;
+      fetches[i].out = bufs[i];
+    }
+    if (!c.ReadChunks(*env.clock, id, fetches).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    for (uint32_t i = 0; i < kChunks; ++i) {
+      if (!fetches[i].status.ok() ||
+          std::memcmp(bufs[i].data(), data.data() + i * kChunk, kChunk) !=
+              0) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace nvm::store

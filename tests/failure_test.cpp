@@ -275,6 +275,121 @@ TEST(FailureTest, MidRunDeathSurfacesNoPartialChunksWithoutReplicas) {
   EXPECT_FALSE(rig.store->benefactor(static_cast<size_t>(victim)).alive());
 }
 
+// ---- mid-run death on the batched write path ----
+
+// A benefactor that holds replicas of at least two of the file's chunks —
+// its write run dies with one chunk already applied and more still owed.
+int ReplicaHolderOfAtLeastTwo(store::Manager& m, store::FileId id,
+                              uint32_t chunks) {
+  auto locs = m.GetReadLocations(sim::CurrentClock(), id, 0, chunks);
+  EXPECT_TRUE(locs.ok());
+  std::vector<int> held(8, 0);
+  for (const store::ReadLocation& loc : *locs) {
+    for (int b : loc.benefactors) ++held[static_cast<size_t>(b)];
+  }
+  for (size_t b = 0; b < held.size(); ++b) {
+    if (held[b] >= 2) return static_cast<int>(b);
+  }
+  return -1;
+}
+
+TEST(FailureTest, ReplicaDeathMidWriteRunDegradesWithoutDataLoss) {
+  // A replica holder dies after applying the first chunk of its write run.
+  // The whole run fails, the per-chunk fallback against the dead
+  // benefactor fails too, and every chunk must still land on its
+  // surviving replica: a degraded success, with the death reported and no
+  // stale replica ever surfaced to readers.
+  Rig rig(/*replication=*/2);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  constexpr uint32_t kChunks = 8;
+  const auto before = Pattern(kChunks * kChunk, 23);
+  const store::FileId id = WriteStoreFile(c, "/wmidrun2", kChunks, before);
+
+  const int victim =
+      ReplicaHolderOfAtLeastTwo(rig.store->manager(), id, kChunks);
+  ASSERT_GE(victim, 0);
+  rig.store->benefactor(static_cast<size_t>(victim)).KillAfterWrites(1);
+
+  const auto after = Pattern(kChunks * kChunk, 24);
+  sim::VirtualClock clock(0);
+  std::vector<Bitmap> dirty(kChunks,
+                            Bitmap(kChunk / c.config().page_bytes));
+  std::vector<store::StoreClient::ChunkWrite> writes(kChunks);
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    dirty[i].SetAll();
+    writes[i].index = i;
+    writes[i].dirty = &dirty[i];
+    writes[i].image = {after.data() + i * kChunk, kChunk};
+  }
+  ASSERT_TRUE(c.WriteChunks(clock, id, writes).ok());
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    EXPECT_TRUE(writes[i].status.ok()) << "chunk " << i;
+  }
+  EXPECT_GT(c.degraded_writes(), 0u);
+  EXPECT_FALSE(rig.store->benefactor(static_cast<size_t>(victim)).alive());
+
+  // Readers see only the new bytes: the partially-written dead replica is
+  // never consulted, the surviving replicas carry the whole update.
+  std::vector<uint8_t> buf(kChunk);
+  sim::VirtualClock rclock(0);
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    ASSERT_TRUE(c.ReadChunk(rclock, id, i, buf).ok()) << "chunk " << i;
+    EXPECT_EQ(0, std::memcmp(buf.data(), after.data() + i * kChunk, kChunk))
+        << "chunk " << i;
+  }
+}
+
+TEST(FailureTest, UnreplicatedWriteRunDeathFailsOnlyTheDeadChunks) {
+  // No replicas: the chunks owed to the dead benefactor must fail with a
+  // clean UNAVAILABLE (no partial run silently counted as flushed), while
+  // chunks on surviving benefactors still succeed.
+  Rig rig(/*replication=*/1);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  constexpr uint32_t kChunks = 8;
+  const auto before = Pattern(kChunks * kChunk, 25);
+  const store::FileId id = WriteStoreFile(c, "/wmidrun1", kChunks, before);
+
+  auto locs = rig.store->manager().GetReadLocations(sim::CurrentClock(), id,
+                                                    0, kChunks);
+  ASSERT_TRUE(locs.ok());
+  const int victim =
+      ReplicaHolderOfAtLeastTwo(rig.store->manager(), id, kChunks);
+  ASSERT_GE(victim, 0);
+  rig.store->benefactor(static_cast<size_t>(victim)).KillAfterWrites(1);
+
+  const uint64_t flushed_before = c.bytes_flushed();
+  const auto after = Pattern(kChunks * kChunk, 26);
+  sim::VirtualClock clock(0);
+  std::vector<Bitmap> dirty(kChunks,
+                            Bitmap(kChunk / c.config().page_bytes));
+  std::vector<store::StoreClient::ChunkWrite> writes(kChunks);
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    dirty[i].SetAll();
+    writes[i].index = i;
+    writes[i].dirty = &dirty[i];
+    writes[i].image = {after.data() + i * kChunk, kChunk};
+  }
+  ASSERT_TRUE(c.WriteChunks(clock, id, writes).ok());
+
+  uint32_t failed = 0;
+  uint64_t flushed_chunks = 0;
+  for (uint32_t i = 0; i < kChunks; ++i) {
+    if ((*locs)[i].benefactors.front() == victim) {
+      EXPECT_FALSE(writes[i].status.ok()) << "chunk " << i;
+      EXPECT_EQ(writes[i].status.code(), ErrorCode::kUnavailable);
+      ++failed;
+    } else {
+      EXPECT_TRUE(writes[i].status.ok()) << "chunk " << i;
+      ++flushed_chunks;
+    }
+  }
+  EXPECT_GE(failed, 2u);
+  // Flushed-byte accounting covers exactly the successful chunks — a
+  // discarded run contributes nothing.
+  EXPECT_EQ(c.bytes_flushed() - flushed_before, flushed_chunks * kChunk);
+  EXPECT_FALSE(rig.store->benefactor(static_cast<size_t>(victim)).alive());
+}
+
 // ---- decommission / drain ----
 
 TEST(DecommissionTest, DrainMigratesDataAndRetiresBenefactor) {

@@ -38,13 +38,14 @@ struct Harness {
   // Shadow model: the exact bytes every live file must read back.
   std::map<std::string, std::vector<uint8_t>> shadow;
 
-  explicit Harness(int replication) {
+  explicit Harness(int replication, bool batch_write_rpc = true) {
     net::ClusterConfig cc;
     cc.num_nodes = kBenefactors + 1;
     cluster = std::make_unique<net::Cluster>(cc);
     store::AggregateStoreConfig sc;
     sc.store.chunk_bytes = kChunk;
     sc.store.replication = replication;
+    sc.store.batch_write_rpc = batch_write_rpc;
     for (int b = 0; b < kBenefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
     sc.contribution_bytes = 64_MiB;
     sc.manager_node = 1;
@@ -127,8 +128,22 @@ struct Harness {
   std::string NameFor(uint64_t i) { return "/f" + std::to_string(i % 100); }
 };
 
-void RunSequence(uint64_t seed, int replication, int ops) {
-  Harness h(replication);
+// Options beyond the op dice: flip the batched write-back knob off (the
+// per-chunk legacy path must uphold the same invariants) or inject a
+// benefactor death partway through the sequence (kill_after_writes > 0:
+// one benefactor dies after that many more chunk writes, so the sequence
+// continues across degraded write-backs and replica failover).
+struct SequenceOptions {
+  bool batch_write_rpc = true;
+  uint64_t kill_after_writes = 0;
+};
+
+void RunSequence(uint64_t seed, int replication, int ops,
+                 const SequenceOptions& so = {}) {
+  Harness h(replication, so.batch_write_rpc);
+  if (so.kill_after_writes > 0) {
+    h.store->benefactor(2).KillAfterWrites(so.kill_after_writes);
+  }
   Xoshiro256 rng(seed);
   uint64_t next_name = 0;
 
@@ -225,6 +240,23 @@ TEST(StoreInvariantTest, RandomOpsKeepLayersConsistentSecondSeed) {
 
 TEST(StoreInvariantTest, RandomOpsKeepLayersConsistentWithReplication) {
   RunSequence(/*seed=*/7, /*replication=*/2, /*ops=*/120);
+}
+
+TEST(StoreInvariantTest, RandomOpsKeepLayersConsistentUnbatchedWriteback) {
+  SequenceOptions so;
+  so.batch_write_rpc = false;
+  RunSequence(/*seed=*/3, /*replication=*/1, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, ReplicatedSequenceSurvivesMidRunBenefactorDeath) {
+  // A benefactor dies partway through the sequence, mid write-back run.
+  // With replication 2 every later flush is a degraded success, reads fail
+  // over to the surviving replica, and all cross-layer invariants — space
+  // accounting, placement, orphans, shadow bytes — must keep holding
+  // through and after the death.
+  SequenceOptions so;
+  so.kill_after_writes = 10;
+  RunSequence(/*seed=*/11, /*replication=*/2, /*ops=*/120, so);
 }
 
 }  // namespace
