@@ -14,7 +14,9 @@
 //
 // Common keys: nodes, benefactors, remote, chunk=64K, cache=2M, pool=4M,
 // replication, readahead, readahead_max, cache_shards, batch_fetch,
-// batch_rpc, batch_write_rpc, page_writeback, report (print store status).
+// batch_rpc, batch_write_rpc, page_writeback, report (print store status),
+// maintenance (background failure detection/repair/scrub), plus its knobs
+// heartbeat_period_ms, heartbeat_misses, repair_bw_fraction, scrub_period_ms.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -54,6 +56,15 @@ TestbedOptions BuildTestbed(const Config& cfg) {
   to.store.batch_rpc = cfg.GetBool("batch_rpc", to.store.batch_rpc);
   to.store.batch_write_rpc =
       cfg.GetBool("batch_write_rpc", to.store.batch_write_rpc);
+  to.store.maintenance = cfg.GetBool("maintenance", to.store.maintenance);
+  to.store.heartbeat_period_ms =
+      cfg.GetInt("heartbeat_period_ms", to.store.heartbeat_period_ms);
+  to.store.heartbeat_misses = static_cast<int>(
+      cfg.GetInt("heartbeat_misses", to.store.heartbeat_misses));
+  to.store.repair_bw_fraction =
+      cfg.GetDouble("repair_bw_fraction", to.store.repair_bw_fraction);
+  to.store.scrub_period_ms =
+      cfg.GetInt("scrub_period_ms", to.store.scrub_period_ms);
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }

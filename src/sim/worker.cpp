@@ -1,0 +1,55 @@
+#include "sim/worker.hpp"
+
+#include <utility>
+
+namespace nvm::sim {
+
+VirtualWorker::VirtualWorker(std::string name) : name_(std::move(name)) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+VirtualWorker::~VirtualWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  thread_.join();
+}
+
+void VirtualWorker::Post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+}
+
+void VirtualWorker::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !busy_; });
+}
+
+void VirtualWorker::Loop() {
+  ExecutionContext ctx;
+  ctx.name = name_;
+  SetCurrentContext(&ctx);
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    task_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // stop requested and nothing pending
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    busy_ = true;
+    lock.unlock();
+    task(clock_);
+    now_snapshot_.store(clock_.now(), std::memory_order_release);
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+    busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+  SetCurrentContext(nullptr);
+}
+
+}  // namespace nvm::sim

@@ -1,0 +1,71 @@
+// A background service thread that lives in virtual time.
+//
+// Foreground "processes" of the simulated cluster own their clocks and run
+// to completion; a VirtualWorker models a long-lived *service* (write-back
+// daemon, maintenance engine) that is driven by posted work instead.  The
+// worker owns its own VirtualClock: each task runs on the worker's OS
+// thread, charges modelled time to that clock, and never stalls a
+// foreground clock.  Tasks execute strictly in post order, so service
+// state touched only from tasks needs no further locking.  Drain() blocks
+// the caller until the queue is empty — the deterministic rendezvous tests
+// use to assert "the service has caught up to virtual time T".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sim/clock.hpp"
+
+namespace nvm::sim {
+
+class VirtualWorker {
+ public:
+  // A unit of service work; receives the worker's clock to charge against.
+  using Task = std::function<void(VirtualClock&)>;
+
+  explicit VirtualWorker(std::string name);
+  ~VirtualWorker();  // stops the thread; pending tasks still run first
+
+  VirtualWorker(const VirtualWorker&) = delete;
+  VirtualWorker& operator=(const VirtualWorker&) = delete;
+
+  // Enqueue a task.  Tasks run FIFO on the worker thread.
+  void Post(Task task);
+
+  // Block until every task posted so far has finished.
+  void Drain();
+
+  // The worker clock's position, readable from any thread (updated after
+  // every task).  Tasks themselves use the VirtualClock& they are handed.
+  int64_t now_ns() const {
+    return now_snapshot_.load(std::memory_order_acquire);
+  }
+
+  const std::string& name() const { return name_; }
+  uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  const std::string name_;
+  VirtualClock clock_;  // touched only by the worker thread
+  std::atomic<int64_t> now_snapshot_{0};
+  std::atomic<uint64_t> tasks_run_{0};
+
+  std::mutex mutex_;
+  std::condition_variable task_cv_;  // work arrived / stop requested
+  std::condition_variable idle_cv_;  // queue fully drained
+  std::deque<Task> queue_;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace nvm::sim

@@ -91,9 +91,11 @@ class Benefactor {
   Status DeleteChunk(const ChunkKey& key);
 
   // --- liveness / failure injection ---
-  bool alive() const { return alive_; }
-  void Kill() { alive_ = false; }
-  void Revive() { alive_ = true; }
+  // Atomic: polled by the maintenance worker's heartbeat sweeps while
+  // client threads report failures.
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  void Kill() { alive_.store(false, std::memory_order_release); }
+  void Revive() { alive_.store(true, std::memory_order_release); }
   // Die after `n` more chunks have been read off the device — lets tests
   // crash a benefactor in the middle of a read run.  0 disarms.
   void KillAfterReads(uint64_t n) {
@@ -148,7 +150,7 @@ class Benefactor {
   uint64_t reserved_chunks_ = 0;
   uint64_t next_offset_ = 0;
   std::vector<uint64_t> free_offsets_;
-  bool alive_ = true;
+  std::atomic<bool> alive_{true};
   std::atomic<uint64_t> kill_after_reads_{0};
   std::atomic<uint64_t> kill_after_writes_{0};
   Counter data_bytes_in_;

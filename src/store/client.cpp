@@ -19,6 +19,9 @@ void StoreClient::ChargeMetaRoundTrip(sim::VirtualClock& clock) {
                               cfg.meta_request_bytes);
   cluster_.network().Transfer(clock, manager_.node_id(), local_node_,
                               cfg.meta_response_bytes);
+  // Every manager contact also paces the background maintenance worker:
+  // its heartbeat/scrub schedule follows foreground virtual time.
+  manager_.MaintenanceTick(clock.now());
 }
 
 StatusOr<FileId> StoreClient::Create(sim::VirtualClock& clock,
@@ -332,7 +335,12 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
     InvalidateLocation(id, chunk_index);
     return last;
   }
-  if (ok_replicas < loc.benefactors.size()) degraded_writes_.Add(1);
+  if (ok_replicas < loc.benefactors.size()) {
+    degraded_writes_.Add(1);
+    // Hand the chunk to the background repair queue (no-op when the
+    // maintenance service is off).
+    manager_.ReportDegraded(loc.key, clock.now());
+  }
   {
     // At least one replica holds the data: NOW the read cache may point at
     // the new chunk version.
@@ -485,7 +493,11 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
       w.status = last_err[j].ok() ? Unavailable("no replicas") : last_err[j];
       InvalidateLocation(id, w.index);
     } else {
-      if (ok_replicas[j] < loc.benefactors.size()) degraded_writes_.Add(1);
+      if (ok_replicas[j] < loc.benefactors.size()) {
+        degraded_writes_.Add(1);
+        // Degraded at the time this chunk's surviving writes completed.
+        manager_.ReportDegraded(loc.key, done[j]);
+      }
       std::lock_guard<std::mutex> lock(loc_mutex_);
       loc_cache_[LocKey{id, w.index}] = ReadLocation{loc.key, loc.benefactors};
     }

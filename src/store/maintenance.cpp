@@ -1,0 +1,259 @@
+#include "store/maintenance.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace nvm::store {
+
+namespace {
+constexpr int64_t kMsToNs = 1'000'000;
+// Keys pulled from the queue per repair batch: large enough to amortise
+// the plan/commit lock passes, small enough that the duty-cycle throttle
+// interleaves repair with foreground traffic at chunk granularity.
+constexpr size_t kRepairBatch = 8;
+}  // namespace
+
+MaintenanceService::MaintenanceService(Manager& manager)
+    : manager_(manager),
+      heartbeat_period_ns_(manager.config().heartbeat_period_ms * kMsToNs),
+      heartbeat_misses_(manager.config().heartbeat_misses),
+      bw_fraction_(manager.config().repair_bw_fraction),
+      scrub_period_ns_(manager.config().scrub_period_ms * kMsToNs),
+      next_heartbeat_ns_(heartbeat_period_ns_),
+      next_scrub_ns_(scrub_period_ns_),
+      worker_("maintenance") {
+  NVM_CHECK(heartbeat_period_ns_ > 0, "heartbeat_period_ms must be positive");
+  NVM_CHECK(heartbeat_misses_ >= 1, "heartbeat_misses must be >= 1");
+  NVM_CHECK(bw_fraction_ > 0.0 && bw_fraction_ <= 1.0,
+            "repair_bw_fraction must be in (0, 1]");
+  NVM_CHECK(scrub_period_ns_ > 0, "scrub_period_ms must be positive");
+  next_due_.store(std::min(next_heartbeat_ns_, next_scrub_ns_),
+                  std::memory_order_relaxed);
+  manager_.AttachMaintenance(this);
+}
+
+MaintenanceService::~MaintenanceService() {
+  manager_.AttachMaintenance(nullptr);
+  // worker_'s destructor runs any still-pending tasks and joins; every
+  // other member outlives it (declaration order), so in-flight tasks stay
+  // safe.
+}
+
+bool MaintenanceService::KickLocked() {
+  if (kicked_) return false;
+  kicked_ = true;
+  return true;
+}
+
+bool MaintenanceService::EnqueueLocked(const ChunkKey& key, int64_t now_ns) {
+  if (!queued_.insert(key).second) return false;  // already waiting
+  queue_.push_back(Pending{key, now_ns});
+  enqueued_.Add(1);
+  return true;
+}
+
+void MaintenanceService::ReportDegraded(const ChunkKey& key, int64_t now_ns) {
+  reports_.Add(1);
+  bool post = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnqueueLocked(key, now_ns);
+    target_ns_ = std::max(target_ns_, now_ns);
+    post = KickLocked();
+  }
+  if (post) worker_.Post([this](sim::VirtualClock& c) { CatchUp(c); });
+}
+
+void MaintenanceService::Tick(int64_t now_ns) {
+  // Fast path: nothing due yet — one relaxed load per metadata RTT.
+  if (now_ns < next_due_.load(std::memory_order_relaxed)) return;
+  bool post = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target_ns_ = std::max(target_ns_, now_ns);
+    post = KickLocked();
+  }
+  if (post) worker_.Post([this](sim::VirtualClock& c) { CatchUp(c); });
+}
+
+void MaintenanceService::RunUntil(int64_t deadline_ns) {
+  bool post = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target_ns_ = std::max(target_ns_, deadline_ns);
+    post = KickLocked();
+  }
+  if (post) worker_.Post([this](sim::VirtualClock& c) { CatchUp(c); });
+  // A catch-up task re-posts itself while still marked busy whenever work
+  // remains, so one Drain() observes the whole chain.
+  worker_.Drain();
+}
+
+bool MaintenanceService::QueueEmpty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.empty();
+}
+
+void MaintenanceService::CatchUp(sim::VirtualClock& clock) {
+  for (;;) {
+    // Queued repairs run first — a failure report outranks the schedule.
+    bool have_repairs;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      have_repairs = !queue_.empty();
+    }
+    if (have_repairs) {
+      RepairBatch(clock);
+      continue;
+    }
+    int64_t target;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      target = target_ns_;
+    }
+    const int64_t due = std::min(next_heartbeat_ns_, next_scrub_ns_);
+    if (due > target) break;  // schedule has caught up to foreground time
+    clock.AdvanceTo(due);
+    if (next_heartbeat_ns_ <= next_scrub_ns_) {
+      HeartbeatSweep(clock);
+      next_heartbeat_ns_ += heartbeat_period_ns_;
+    } else {
+      ScrubPass(clock);
+      next_scrub_ns_ += scrub_period_ns_;
+    }
+  }
+  next_due_.store(std::min(next_heartbeat_ns_, next_scrub_ns_),
+                  std::memory_order_relaxed);
+  bool again;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check under the lock: a report may have slipped in after the
+    // loop's last look.  Either we run again or we hand the kick token
+    // back — never both, so wakeups cannot be lost.
+    again = !queue_.empty() ||
+            std::min(next_heartbeat_ns_, next_scrub_ns_) <= target_ns_;
+    if (!again) kicked_ = false;
+  }
+  if (again) worker_.Post([this](sim::VirtualClock& c) { CatchUp(c); });
+}
+
+void MaintenanceService::RepairBatch(sim::VirtualClock& clock) {
+  std::vector<ChunkKey> keys;
+  int64_t report_floor = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!queue_.empty() && keys.size() < kRepairBatch) {
+      Pending p = std::move(queue_.front());
+      queue_.pop_front();
+      queued_.erase(p.key);
+      report_floor = std::max(report_floor, p.reported_ns);
+      keys.push_back(p.key);
+    }
+  }
+  if (keys.empty()) return;
+  // Repair cannot begin before the failure was reported.
+  clock.AdvanceTo(report_floor);
+  batches_.Add(1);
+
+  std::vector<Manager::RepairPlan> plans = manager_.PlanRepairs(keys);
+  const int64_t busy_start = clock.now();
+  for (const Manager::RepairPlan& plan : plans) {
+    if (plan.incomplete) capacity_misses_.Add(1);
+    Manager::RepairOutcome out = manager_.ExecuteRepairPlan(clock, plan);
+    bool requeue = false;
+    recreated_.Add(manager_.CommitRepair(out, &requeue));
+    if (requeue) {
+      // The chunk changed under the copy; try again with fresh bytes.
+      requeued_.Add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      EnqueueLocked(plan.key, clock.now());
+    }
+  }
+  const int64_t busy = clock.now() - busy_start;
+  repair_busy_ns_.fetch_add(busy, std::memory_order_relaxed);
+  // Duty-cycle throttle: after `busy` ns of repair traffic the worker
+  // idles busy*(1-f)/f ns.  The idle shows up as gaps in the device and
+  // NIC timelines, which foreground requests backfill — so at f=0.1,
+  // repair consumes at most ~10% of any resource over time.
+  if (bw_fraction_ < 1.0 && busy > 0) {
+    const auto idle = static_cast<int64_t>(
+        static_cast<double>(busy) * (1.0 - bw_fraction_) / bw_fraction_);
+    clock.Advance(idle);
+    throttle_idle_ns_.fetch_add(idle, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      converged_ns_.store(clock.now(), std::memory_order_relaxed);
+    }
+  }
+}
+
+void MaintenanceService::HeartbeatSweep(sim::VirtualClock& clock) {
+  std::vector<char> alive;
+  manager_.CheckLiveness(clock, &alive);
+  sweeps_.Add(1);
+  if (missed_.size() < alive.size()) missed_.resize(alive.size(), 0);
+  for (size_t i = 0; i < alive.size(); ++i) {
+    if (alive[i]) {
+      // A revived benefactor must miss the full threshold again before it
+      // is re-declared — flapping cannot amplify into repair storms.
+      missed_[i] = 0;
+      continue;
+    }
+    ++missed_[i];
+    if (missed_[i] == 1) suspected_.Add(1);
+    if (missed_[i] == heartbeat_misses_) {
+      // Suspicion confirmed: everything that held a replica there is now
+      // under-replicated.
+      declared_dead_.Add(1);
+      std::vector<ChunkKey> degraded =
+          manager_.ChunksWithReplicasOn(static_cast<int>(i));
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const ChunkKey& key : degraded) EnqueueLocked(key, clock.now());
+    }
+  }
+}
+
+void MaintenanceService::ScrubPass(sim::VirtualClock& clock) {
+  Manager::ScrubResult result = manager_.ScrubOnce(clock);
+  scrub_passes_.Add(1);
+  scrub_orphans_.Add(result.orphans_deleted);
+  scrub_res_fixes_.Add(result.reservation_fixes);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ChunkKey& key : result.under_replicated) {
+    // Chunks the report path missed (e.g. a benefactor died between
+    // flushes, with no write around to notice).
+    if (EnqueueLocked(key, clock.now())) scrub_requeued_.Add(1);
+  }
+}
+
+MaintenanceStats MaintenanceService::stats() const {
+  MaintenanceStats s;
+  s.heartbeat_sweeps = sweeps_.value();
+  s.benefactors_suspected = suspected_.value();
+  s.benefactors_declared_dead = declared_dead_.value();
+  s.degraded_reports = reports_.value();
+  s.repairs_enqueued = enqueued_.value();
+  s.repair_batches = batches_.value();
+  s.replicas_recreated = recreated_.value();
+  s.repairs_requeued = requeued_.value();
+  s.repair_capacity_misses = capacity_misses_.value();
+  s.lost_chunks = manager_.lost_chunks();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = queue_.size();
+  }
+  s.repair_busy_ns = repair_busy_ns_.load(std::memory_order_relaxed);
+  s.throttle_idle_ns = throttle_idle_ns_.load(std::memory_order_relaxed);
+  s.converged_at_ns = converged_ns_.load(std::memory_order_relaxed);
+  s.scrub_passes = scrub_passes_.value();
+  s.scrub_orphans_deleted = scrub_orphans_.value();
+  s.scrub_reservation_fixes = scrub_res_fixes_.value();
+  s.scrub_requeued = scrub_requeued_.value();
+  s.clock_ns = worker_.now_ns();
+  return s;
+}
+
+}  // namespace nvm::store

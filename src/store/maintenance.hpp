@@ -1,0 +1,165 @@
+// Background maintenance service of the aggregate store.
+//
+// The paper's store must survive benefactor loss without operator action:
+// "the available memory capacity is reduced" on a failure, but the data a
+// failed benefactor held has to be re-protected from the surviving
+// replicas.  This service runs manager-side on its own virtual-time worker
+// thread (sim::VirtualWorker) and cooperates three loops:
+//
+//   failure detector  periodic heartbeat sweeps; a benefactor is only
+//                     *declared* dead after `heartbeat_misses` consecutive
+//                     missed heartbeats (suspicion threshold), which
+//                     rides out transient stalls without spurious repair
+//   incremental repair clients report degraded ChunkKeys as their writes
+//                     observe failures; a dedup'd queue drains chunk by
+//                     chunk through the manager's plan/execute/commit
+//                     engine, throttled to `repair_bw_fraction` of the
+//                     worker's virtual time (duty cycle) so repair traffic
+//                     cannot starve foreground I/O
+//   scrubber          a slow periodic Manager::ScrubOnce pass reconciling
+//                     chunk maps against benefactor state, reclaiming
+//                     orphans and re-queueing missed under-replicated
+//                     chunks
+//
+// Locking discipline: all engine state (schedule, miss counters) is
+// touched only from worker tasks; the repair queue and schedule target are
+// the only cross-thread state, guarded by one small mutex.  Chunk data
+// moves only in Manager::ExecuteRepairPlan, never under the manager mutex.
+//
+// The service has no thread of time of its own — virtual time only moves
+// when something drives it.  Foreground metadata round-trips call Tick()
+// (cheap check against the next due time); tests and benchmarks call
+// RunUntil() to advance the schedule to a virtual deadline and drain the
+// repair queue deterministically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/worker.hpp"
+#include "store/manager.hpp"
+
+namespace nvm::store {
+
+struct MaintenanceStats {
+  // Failure detector.
+  uint64_t heartbeat_sweeps = 0;
+  uint64_t benefactors_suspected = 0;      // first missed heartbeat
+  uint64_t benefactors_declared_dead = 0;  // suspicion confirmed
+  // Repair.
+  uint64_t degraded_reports = 0;   // client ReportDegraded calls
+  uint64_t repairs_enqueued = 0;   // distinct keys accepted into the queue
+  uint64_t repair_batches = 0;
+  uint64_t replicas_recreated = 0;
+  uint64_t repairs_requeued = 0;   // commits lost to concurrent writes
+  uint64_t repair_capacity_misses = 0;  // plans short of the target count
+  uint64_t lost_chunks = 0;        // no surviving replica (manager total)
+  uint64_t queue_depth = 0;        // keys waiting right now
+  int64_t repair_busy_ns = 0;      // virtual time spent moving chunk data
+  int64_t throttle_idle_ns = 0;    // virtual time idled by the duty cycle
+  int64_t converged_at_ns = -1;    // virtual time the queue last drained
+  // Scrubber.
+  uint64_t scrub_passes = 0;
+  uint64_t scrub_orphans_deleted = 0;
+  uint64_t scrub_reservation_fixes = 0;
+  uint64_t scrub_requeued = 0;
+  // Worker clock position.
+  int64_t clock_ns = 0;
+};
+
+class MaintenanceService {
+ public:
+  // Reads every knob from manager.config(); attaches itself to the
+  // manager so client-side ReportDegraded/Tick signals reach it.
+  explicit MaintenanceService(Manager& manager);
+  ~MaintenanceService();  // detaches, then drains and joins the worker
+
+  MaintenanceService(const MaintenanceService&) = delete;
+  MaintenanceService& operator=(const MaintenanceService&) = delete;
+
+  // A client observed a replica write fail at virtual `now_ns`: queue the
+  // chunk for re-replication (dedup'd) and wake the worker.  Any thread.
+  void ReportDegraded(const ChunkKey& key, int64_t now_ns);
+
+  // Pacing hook from foreground traffic: if the schedule has work due at
+  // or before `now_ns`, post a catch-up task.  Cheap when idle (one
+  // relaxed load).  Any thread.
+  void Tick(int64_t now_ns);
+
+  // Deterministic driver: advance the heartbeat/scrub schedule to
+  // `deadline_ns`, drain the repair queue, and block until the worker is
+  // idle.  On return every repair enqueued before the call has been
+  // committed (or died as lost/requeued-and-retried).
+  void RunUntil(int64_t deadline_ns);
+
+  bool QueueEmpty() const;
+  MaintenanceStats stats() const;
+  int64_t now_ns() const { return worker_.now_ns(); }
+
+ private:
+  struct Pending {
+    ChunkKey key;
+    int64_t reported_ns = 0;
+  };
+
+  // Post a catch-up task unless one is already pending (mu_ held).
+  bool KickLocked();
+  // Accept `key` into the queue unless already waiting (mu_ held).
+  bool EnqueueLocked(const ChunkKey& key, int64_t now_ns);
+
+  // Worker-side loops (run only on the worker thread).
+  void CatchUp(sim::VirtualClock& clock);
+  void RepairBatch(sim::VirtualClock& clock);
+  void HeartbeatSweep(sim::VirtualClock& clock);
+  void ScrubPass(sim::VirtualClock& clock);
+
+  Manager& manager_;
+  const int64_t heartbeat_period_ns_;
+  const int heartbeat_misses_;
+  const double bw_fraction_;
+  const int64_t scrub_period_ns_;
+
+  // Cross-thread state: the repair queue and the schedule target.
+  mutable std::mutex mu_;
+  std::deque<Pending> queue_;
+  std::unordered_set<ChunkKey, ChunkKeyHash> queued_;  // dedup of queue_
+  int64_t target_ns_ = 0;  // virtual time the schedule must reach
+  bool kicked_ = false;    // a catch-up task is posted or running
+
+  // Fast-path gate for Tick(): the earliest virtual time anything is due.
+  std::atomic<int64_t> next_due_{0};
+
+  // Worker-only state (touched solely from tasks, no locking needed).
+  int64_t next_heartbeat_ns_;
+  int64_t next_scrub_ns_;
+  std::vector<int> missed_;  // consecutive missed heartbeats, by id
+
+  // Stats (atomic so stats() works from any thread).
+  Counter sweeps_;
+  Counter suspected_;
+  Counter declared_dead_;
+  Counter reports_;
+  Counter enqueued_;
+  Counter batches_;
+  Counter recreated_;
+  Counter requeued_;
+  Counter capacity_misses_;
+  Counter scrub_passes_;
+  Counter scrub_orphans_;
+  Counter scrub_res_fixes_;
+  Counter scrub_requeued_;
+  std::atomic<int64_t> repair_busy_ns_{0};
+  std::atomic<int64_t> throttle_idle_ns_{0};
+  std::atomic<int64_t> converged_ns_{-1};
+
+  // Declared last: its destructor joins the thread while everything above
+  // is still alive for in-flight tasks.
+  sim::VirtualWorker worker_;
+};
+
+}  // namespace nvm::store

@@ -1,8 +1,10 @@
 #include "store/manager.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/log.hpp"
+#include "store/maintenance.hpp"
 
 namespace nvm::store {
 
@@ -76,106 +78,366 @@ void Manager::MarkDead(int id) {
   }
 }
 
-size_t Manager::CheckLiveness(sim::VirtualClock& clock) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  size_t alive = 0;
-  for (auto* b : benefactors_) {
-    service_.Acquire(clock, config_.manager_op_ns);
-    // Heartbeat ping: a small round-trip to the benefactor's node.
-    cluster_.network().Transfer(clock, manager_node_, b->node_id(),
-                                config_.meta_request_bytes);
-    cluster_.network().Transfer(clock, b->node_id(), manager_node_,
-                                config_.meta_response_bytes);
-    if (b->alive()) ++alive;
+size_t Manager::CheckLiveness(sim::VirtualClock& clock,
+                              std::vector<char>* alive_out) {
+  std::vector<Benefactor*> bens;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bens = benefactors_;
   }
+  if (alive_out != nullptr) alive_out->assign(bens.size(), 0);
+  const int64_t start = clock.now();
+  int64_t done = start;
+  size_t alive = 0;
+  for (size_t i = 0; i < bens.size(); ++i) {
+    Benefactor* b = bens[i];
+    // Each ping runs on its own forked clock: the manager CPU still
+    // serialises the sends (service_ is a shared resource timeline), but
+    // the round-trips overlap in flight instead of queueing end-to-end.
+    sim::VirtualClock ping(start);
+    service_.Acquire(ping, config_.manager_op_ns);
+    cluster_.network().Transfer(ping, manager_node_, b->node_id(),
+                                config_.meta_request_bytes);
+    cluster_.network().Transfer(ping, b->node_id(), manager_node_,
+                                config_.meta_response_bytes);
+    done = std::max(done, ping.now());
+    if (b->alive()) {
+      ++alive;
+      if (alive_out != nullptr) (*alive_out)[i] = 1;
+    }
+  }
+  clock.AdvanceTo(done);  // the sweep completes when the last reply lands
   return alive;
+}
+
+void Manager::SetReplicasLocked(const ChunkKey& key,
+                                const std::vector<int>& replicas) {
+  for (auto& [fid, meta] : files_) {
+    for (ChunkRef& ref : meta.chunks) {
+      if (ref.key == key) ref.benefactors = replicas;
+    }
+  }
+}
+
+const std::vector<int>* Manager::CurrentReplicasLocked(
+    const ChunkKey& key) const {
+  for (const auto& [fid, meta] : files_) {
+    for (const ChunkRef& ref : meta.chunks) {
+      if (ref.key == key) return &ref.benefactors;
+    }
+  }
+  return nullptr;
+}
+
+void Manager::UndoRepairTargetLocked(const ChunkKey& key, int bid) {
+  if (bid < 0 || static_cast<size_t>(bid) >= benefactors_.size()) return;
+  Benefactor* b = benefactors_[static_cast<size_t>(bid)];
+  (void)b->DeleteChunk(key);  // drop any partially copied data
+  b->ReleaseChunkReservation(1);
+}
+
+std::vector<ChunkKey> Manager::CollectUnderReplicated() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ChunkKey> keys;
+  std::unordered_set<ChunkKey, ChunkKeyHash> seen;
+  for (const auto& [fid, meta] : files_) {
+    for (const ChunkRef& ref : meta.chunks) {
+      if (ref.benefactors.empty()) continue;  // lost: nothing to repair
+      bool degraded =
+          ref.benefactors.size() < static_cast<size_t>(config_.replication);
+      for (int bid : ref.benefactors) {
+        if (!benefactors_[static_cast<size_t>(bid)]->alive()) degraded = true;
+      }
+      if (degraded && seen.insert(ref.key).second) keys.push_back(ref.key);
+    }
+  }
+  return keys;
+}
+
+std::vector<ChunkKey> Manager::ChunksWithReplicasOn(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ChunkKey> keys;
+  std::unordered_set<ChunkKey, ChunkKeyHash> seen;
+  for (const auto& [fid, meta] : files_) {
+    for (const ChunkRef& ref : meta.chunks) {
+      if (std::find(ref.benefactors.begin(), ref.benefactors.end(), id) ==
+          ref.benefactors.end()) {
+        continue;
+      }
+      if (seen.insert(ref.key).second) keys.push_back(ref.key);
+    }
+  }
+  return keys;
+}
+
+std::vector<Manager::RepairPlan> Manager::PlanRepairs(
+    std::span<const ChunkKey> keys, uint64_t* lost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // One metadata pass resolves every requested key to its replica list
+  // (all refs of a shared chunk carry identical lists).
+  std::unordered_set<ChunkKey, ChunkKeyHash> wanted(keys.begin(), keys.end());
+  std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash> lists;
+  for (const auto& [fid, meta] : files_) {
+    for (const ChunkRef& ref : meta.chunks) {
+      if (wanted.contains(ref.key)) lists.try_emplace(ref.key, ref.benefactors);
+    }
+  }
+
+  std::vector<RepairPlan> plans;
+  for (const ChunkKey& key : keys) {
+    auto lit = lists.find(key);
+    if (lit == lists.end()) continue;  // freed since reported, or duplicate
+    const std::vector<int> recorded = std::move(lit->second);
+    lists.erase(lit);  // each key is planned at most once
+
+    std::vector<int> survivors;
+    std::vector<int> dead;
+    for (int bid : recorded) {
+      (benefactors_[static_cast<size_t>(bid)]->alive() ? survivors : dead)
+          .push_back(bid);
+    }
+    // The dead replicas' space bookkeeping is reclaimed; their data died
+    // with the device.
+    for (int bid : dead) {
+      Benefactor* b = benefactors_[static_cast<size_t>(bid)];
+      b->ReleaseChunkReservation(1);
+      (void)b->DeleteChunk(key);
+    }
+    if (survivors.empty()) {
+      if (!recorded.empty()) {
+        // Every replica is gone: record only the truth (no survivors) so
+        // readers fail fast instead of retrying dead benefactors.
+        lost_chunks_.Add(1);
+        if (lost != nullptr) ++*lost;
+        SetReplicasLocked(key, {});
+      }
+      continue;
+    }
+    // Publish the stripped list immediately — readers stop trying dead
+    // ids while the copy runs.
+    if (!dead.empty()) SetReplicasLocked(key, survivors);
+    if (survivors.size() >= static_cast<size_t>(config_.replication)) {
+      continue;  // healthy after stripping (stale report)
+    }
+
+    RepairPlan plan;
+    plan.key = key;
+    plan.survivors = survivors;
+    // Capacity-aware placement: least-loaded alive benefactors that do not
+    // already hold a replica (ties broken by id for determinism).
+    std::vector<std::pair<uint64_t, int>> cands;
+    for (size_t i = 0; i < benefactors_.size(); ++i) {
+      Benefactor* b = benefactors_[i];
+      if (!b->alive()) continue;
+      if (std::find(survivors.begin(), survivors.end(),
+                    static_cast<int>(i)) != survivors.end()) {
+        continue;
+      }
+      cands.emplace_back(b->bytes_free(), static_cast<int>(i));
+    }
+    std::sort(cands.begin(), cands.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    const size_t need =
+        static_cast<size_t>(config_.replication) - survivors.size();
+    for (const auto& [free, bid] : cands) {
+      if (plan.targets.size() == need) break;
+      if (benefactors_[static_cast<size_t>(bid)]->ReserveChunks(1).ok()) {
+        plan.targets.push_back(bid);
+      }
+    }
+    plan.incomplete = plan.targets.size() < need;
+    auto eit = repair_epochs_.find(key);
+    plan.epoch = eit == repair_epochs_.end() ? 0 : eit->second;
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
+                                                  const RepairPlan& plan) {
+  RepairOutcome out;
+  out.plan = plan;
+  if (plan.targets.empty()) return out;
+  std::vector<uint8_t> buf(config_.chunk_bytes);
+  // Read from the first survivor still answering (one may have died since
+  // the plan was made).
+  bool sparse = false;
+  int src = -1;
+  for (int bid : plan.survivors) {
+    Benefactor* b = benefactor(bid);
+    if (b != nullptr && b->ReadChunk(clock, plan.key, buf, &sparse).ok()) {
+      src = bid;
+      break;
+    }
+  }
+  if (src < 0) {
+    out.failed = plan.targets;
+    return out;
+  }
+  Bitmap all_pages(config_.pages_per_chunk());
+  all_pages.SetAll();
+  // Target copies fan out in parallel: fork a clock per target, join max.
+  const int64_t start = clock.now();
+  int64_t done = start;
+  for (int bid : plan.targets) {
+    Benefactor* b = benefactor(bid);
+    bool ok = b != nullptr && b->alive();
+    sim::VirtualClock copy(start);
+    if (ok && !sparse) {
+      // Benefactor-to-benefactor move; the manager never touches the data.
+      cluster_.network().Transfer(copy, benefactor(src)->node_id(),
+                                  b->node_id(), config_.chunk_bytes);
+      ok = b->WritePages(copy, plan.key, all_pages, buf).ok();
+    }
+    // A sparse chunk has no bytes to move: the reservation alone makes the
+    // replica (it reads back as zeros, exactly like the survivors).
+    done = std::max(done, copy.now());
+    (ok ? out.written : out.failed).push_back(bid);
+  }
+  clock.AdvanceTo(done);
+  return out;
+}
+
+uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
+  if (requeue != nullptr) *requeue = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const RepairPlan& plan = outcome.plan;
+  auto undo_all = [&] {
+    for (int bid : outcome.written) UndoRepairTargetLocked(plan.key, bid);
+    for (int bid : outcome.failed) UndoRepairTargetLocked(plan.key, bid);
+  };
+  // Freed while the copy ran?  Nothing references the chunk any more.
+  if (!refcounts_.contains(plan.key)) {
+    undo_all();
+    return 0;
+  }
+  // Rewritten (epoch moved) or concurrently re-placed (list changed) while
+  // the copy ran?  The bytes we moved are stale — retry from scratch.
+  auto eit = repair_epochs_.find(plan.key);
+  const uint64_t epoch = eit == repair_epochs_.end() ? 0 : eit->second;
+  const std::vector<int>* current = CurrentReplicasLocked(plan.key);
+  if (epoch != plan.epoch || current == nullptr ||
+      *current != plan.survivors) {
+    undo_all();
+    if (requeue != nullptr) *requeue = true;
+    return 0;
+  }
+  // Survivors stay first: the primary keeps holding every written byte, so
+  // reads served off it never observe the copy-window gap.
+  std::vector<int> fresh = plan.survivors;
+  uint64_t recreated = 0;
+  for (int bid : outcome.written) {
+    if (benefactors_[static_cast<size_t>(bid)]->alive()) {
+      fresh.push_back(bid);
+      ++recreated;
+    } else {
+      UndoRepairTargetLocked(plan.key, bid);  // died after the copy landed
+    }
+  }
+  for (int bid : outcome.failed) UndoRepairTargetLocked(plan.key, bid);
+  SetReplicasLocked(plan.key, fresh);
+  return recreated;
 }
 
 StatusOr<uint64_t> Manager::RepairReplication(sim::VirtualClock& clock,
                                               uint64_t* lost) {
-  std::lock_guard<std::mutex> lock(mutex_);
   if (lost != nullptr) *lost = 0;
-  // A shared chunk (checkpoint link) appears in several files: repair it
-  // once and reuse the fixed replica list everywhere.
-  std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash> repaired;
+  // Synchronous, unthrottled driver over the plan/execute/commit engine —
+  // the manager mutex is never held across a data transfer.
+  std::vector<ChunkKey> keys = CollectUnderReplicated();
+  uint64_t lost_now = 0;
+  std::vector<RepairPlan> plans = PlanRepairs(keys, &lost_now);
+  if (lost != nullptr) *lost = lost_now;
   uint64_t recreated = 0;
-  std::vector<uint8_t> buf(config_.chunk_bytes);
-  Bitmap all_pages(config_.pages_per_chunk());
-  all_pages.SetAll();
-
-  for (auto& [fid, meta] : files_) {
-    for (ChunkRef& ref : meta.chunks) {
-      bool degraded = false;
-      for (int bid : ref.benefactors) {
-        if (!benefactors_[static_cast<size_t>(bid)]->alive()) {
-          degraded = true;
-          break;
-        }
-      }
-      if (!degraded) continue;
-
-      auto done = repaired.find(ref.key);
-      if (done != repaired.end()) {
-        ref.benefactors = done->second;
-        continue;
-      }
-
-      // Partition into survivors and casualties.
-      std::vector<int> alive_ids;
-      for (int bid : ref.benefactors) {
-        Benefactor* b = benefactors_[static_cast<size_t>(bid)];
-        if (b->alive()) {
-          alive_ids.push_back(bid);
-        } else {
-          // The dead benefactor's space bookkeeping is reclaimed; its data
-          // is gone with it.
-          b->ReleaseChunkReservation(1);
-          (void)b->DeleteChunk(ref.key);
-        }
-      }
-      if (alive_ids.empty()) {
-        if (lost != nullptr) ++*lost;
-        repaired[ref.key] = ref.benefactors;  // nothing we can do
-        continue;
-      }
-
-      Benefactor* source = benefactors_[static_cast<size_t>(alive_ids[0])];
-      while (alive_ids.size() < static_cast<size_t>(config_.replication)) {
-        // Next healthy benefactor that does not already hold a replica.
-        int dst = -1;
-        for (size_t scan = 0; scan < benefactors_.size(); ++scan) {
-          Benefactor* cand = benefactors_[scan];
-          if (!cand->alive()) continue;
-          if (std::find(alive_ids.begin(), alive_ids.end(),
-                        static_cast<int>(scan)) != alive_ids.end()) {
-            continue;
-          }
-          if (cand->ReserveChunks(1).ok()) {
-            dst = static_cast<int>(scan);
-            break;
-          }
-        }
-        if (dst < 0) break;  // no capacity left; stay degraded
-
-        bool sparse = false;
-        NVM_RETURN_IF_ERROR(source->ReadChunk(clock, ref.key, buf, &sparse));
-        if (!sparse) {
-          cluster_.network().Transfer(
-              clock, source->node_id(),
-              benefactors_[static_cast<size_t>(dst)]->node_id(),
-              config_.chunk_bytes);
-          NVM_RETURN_IF_ERROR(benefactors_[static_cast<size_t>(dst)]
-                                  ->WritePages(clock, ref.key, all_pages,
-                                               buf));
-        }
-        alive_ids.push_back(dst);
-        ++recreated;
-      }
-      ref.benefactors = alive_ids;
-      repaired[ref.key] = alive_ids;
-    }
+  for (const RepairPlan& plan : plans) {
+    RepairOutcome out = ExecuteRepairPlan(clock, plan);
+    recreated += CommitRepair(out);
   }
   return recreated;
+}
+
+Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ScrubResult result;
+  // Pass 1 — the authoritative replica map, deduped by key.  Pointers into
+  // the chunk vectors stay valid: nothing below mutates file metadata.
+  std::unordered_map<ChunkKey, const std::vector<int>*, ChunkKeyHash> placed;
+  for (const auto& [fid, meta] : files_) {
+    service_.Acquire(clock, config_.manager_op_ns);  // per-file scan cost
+    for (const ChunkRef& ref : meta.chunks) {
+      placed.try_emplace(ref.key, &ref.benefactors);
+    }
+  }
+  // Pass 2 — reconcile each alive benefactor against the map.  Dead ones
+  // are the repair path's business, not the scrubber's.
+  for (size_t i = 0; i < benefactors_.size(); ++i) {
+    Benefactor* b = benefactors_[i];
+    // One metadata round-trip fetches the benefactor's stored-chunk set.
+    service_.Acquire(clock, config_.manager_op_ns);
+    cluster_.network().Transfer(clock, manager_node_, b->node_id(),
+                                config_.meta_request_bytes);
+    cluster_.network().Transfer(clock, b->node_id(), manager_node_,
+                                config_.meta_response_bytes);
+    if (!b->alive()) continue;
+    uint64_t expected = 0;
+    for (const auto& [key, list] : placed) {
+      if (std::find(list->begin(), list->end(), static_cast<int>(i)) !=
+          list->end()) {
+        ++expected;
+      }
+    }
+    for (const ChunkKey& key : b->StoredChunkKeys()) {
+      auto it = placed.find(key);
+      const bool reachable =
+          it != placed.end() &&
+          std::find(it->second->begin(), it->second->end(),
+                    static_cast<int>(i)) != it->second->end();
+      if (!reachable) {
+        // Orphan: stored but absent from the replica list — the leavings
+        // of an unlink against a then-dead benefactor or an abandoned
+        // repair copy.  No reader ever consults it; reclaim the space.
+        (void)b->DeleteChunk(key);
+        ++result.orphans_deleted;
+      }
+    }
+    // Reservation drift: reserved slots must equal the distinct chunks the
+    // metadata places here (reservations only move under this mutex, so
+    // the comparison is race-free).
+    const uint64_t reserved = b->bytes_used() / config_.chunk_bytes;
+    if (reserved > expected) {
+      b->ReleaseChunkReservation(reserved - expected);
+      result.reservation_fixes += reserved - expected;
+    } else if (reserved < expected) {
+      (void)b->ReserveChunks(expected - reserved);
+      result.reservation_fixes += expected - reserved;
+    }
+  }
+  // Pass 3 — re-find under-replicated chunks the report path missed.
+  for (const auto& [key, list] : placed) {
+    if (list->empty()) continue;  // lost
+    bool degraded =
+        list->size() < static_cast<size_t>(config_.replication);
+    for (int bid : *list) {
+      if (!benefactors_[static_cast<size_t>(bid)]->alive()) degraded = true;
+    }
+    if (degraded) result.under_replicated.push_back(key);
+  }
+  return result;
+}
+
+void Manager::AttachMaintenance(MaintenanceService* service) {
+  maintenance_.store(service, std::memory_order_release);
+}
+
+void Manager::ReportDegraded(const ChunkKey& key, int64_t now_ns) {
+  MaintenanceService* m = maintenance_.load(std::memory_order_acquire);
+  if (m != nullptr) m->ReportDegraded(key, now_ns);
+}
+
+void Manager::MaintenanceTick(int64_t now_ns) {
+  MaintenanceService* m = maintenance_.load(std::memory_order_acquire);
+  if (m != nullptr) m->Tick(now_ns);
 }
 
 StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
@@ -301,6 +563,7 @@ void Manager::UnrefChunkLocked(const ChunkRef& ref) {
   NVM_CHECK(it != refcounts_.end(), "unref of untracked chunk");
   if (--it->second == 0) {
     refcounts_.erase(it);
+    repair_epochs_.erase(ref.key);
     for (int bid : ref.benefactors) {
       Benefactor* b = benefactors_[static_cast<size_t>(bid)];
       (void)b->DeleteChunk(ref.key);
@@ -454,7 +717,10 @@ StatusOr<WriteLocation> Manager::PrepareWriteLocked(FileMeta& meta,
 
   WriteLocation loc;
   if (rc->second == 1) {
-    // Sole owner: write in place.
+    // Sole owner: write in place.  Bump the repair epoch — a repair copy
+    // planned before this write would publish stale bytes, and the moved
+    // epoch makes its commit fail and retry.
+    ++repair_epochs_[ref.key];
     loc.key = ref.key;
     loc.benefactors = ref.benefactors;
     return loc;
@@ -483,6 +749,7 @@ StatusOr<WriteLocation> Manager::PrepareWriteLocked(FileMeta& meta,
   }
   --rc->second;  // live file drops its reference to the shared version
   refcounts_[fresh] = 1;
+  ++repair_epochs_[fresh];  // the COW write targets the fresh version
 
   loc.needs_clone = true;
   loc.clone_from = ref.key;

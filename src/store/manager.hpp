@@ -12,6 +12,7 @@
 // StoreClient, not here.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -20,12 +21,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/status.hpp"
 #include "net/cluster.hpp"
 #include "store/benefactor.hpp"
 #include "store/types.hpp"
 
 namespace nvm::store {
+
+class MaintenanceService;
 
 // Location info for reading one chunk.
 struct ReadLocation {
@@ -84,17 +88,100 @@ class Manager {
   std::vector<int> AliveBenefactors() const;
   // Client-observed failure report.
   void MarkDead(int id);
-  // Heartbeat sweep: polls every registered benefactor, updating liveness.
-  // Returns the number found alive.  Charges one metadata op per poll.
-  size_t CheckLiveness(sim::VirtualClock& clock);
+  // Heartbeat sweep: polls every registered benefactor.  The pings fork a
+  // clock per benefactor and join at the max, so the round-trips overlap
+  // in flight (the manager CPU still serialises the sends through the
+  // service resource) instead of queueing N full RTTs end-to-end.  Returns
+  // the number found alive; `alive_out`, when given, receives one flag per
+  // benefactor id.
+  size_t CheckLiveness(sim::VirtualClock& clock,
+                       std::vector<char>* alive_out = nullptr);
+
+  // --- incremental repair engine ---
+  //
+  // A repair is split into three steps so chunk data never moves while the
+  // manager mutex is held:
+  //   PlanRepairs        (mutex)  snapshot survivors, reclaim dead
+  //                               replicas, reserve targets
+  //   ExecuteRepairPlan  (none)   copy the chunk survivor -> targets
+  //   CommitRepair       (mutex)  re-validate, publish the new replica
+  //                               list — or undo if the chunk changed
+  // RepairReplication below and the background MaintenanceService are both
+  // thin drivers over these steps.
+
+  struct RepairPlan {
+    ChunkKey key;
+    std::vector<int> survivors;  // alive holders, primary first
+    std::vector<int> targets;    // reserved destinations
+    uint64_t epoch = 0;          // repair epoch of `key` at plan time
+    bool incomplete = false;     // alive capacity too low to fully heal
+  };
+  struct RepairOutcome {
+    RepairPlan plan;
+    std::vector<int> written;  // targets now holding the data
+    std::vector<int> failed;   // targets that died mid-copy
+  };
+
+  // Every distinct chunk key whose replica list names a dead benefactor or
+  // is shorter than the replication factor (lost chunks excluded).
+  std::vector<ChunkKey> CollectUnderReplicated() const;
+  // Every distinct chunk key with a replica on benefactor `id`.
+  std::vector<ChunkKey> ChunksWithReplicasOn(int id) const;
+  // Build repair plans for `keys` under the mutex: strip dead replicas
+  // from the metadata immediately (readers stop trying them), reclaim
+  // their space, and reserve targets on the least-loaded alive benefactors
+  // (capacity-aware placement).  A chunk with no surviving replica is
+  // counted in *lost, its list emptied, and no plan emitted; stale keys
+  // (freed or already healthy) are skipped.
+  std::vector<RepairPlan> PlanRepairs(std::span<const ChunkKey> keys,
+                                      uint64_t* lost = nullptr);
+  // Copy the chunk from a surviving replica to every planned target,
+  // charging `clock`; target copies fork clocks and join at the max.
+  // Called WITHOUT the mutex — this is the slow part.
+  RepairOutcome ExecuteRepairPlan(sim::VirtualClock& clock,
+                                  const RepairPlan& plan);
+  // Publish the outcome under the mutex.  If the chunk was rewritten or
+  // freed while the copy ran (its repair epoch moved, or its replica list
+  // changed), the copied bytes are stale: every target is undone and
+  // *requeue set so the caller can retry.  Returns replicas recreated.
+  uint64_t CommitRepair(const RepairOutcome& outcome,
+                        bool* requeue = nullptr);
 
   // Repair replication after failures: for every chunk that lost replicas
   // to dead benefactors, re-copy the data from a surviving replica onto
   // healthy benefactors until the configured replication factor is met
-  // again.  Returns the number of replicas recreated; chunks with no
-  // surviving replica are left untouched (and counted in *lost if given).
+  // again.  Synchronous, unthrottled driver over the engine above.
+  // Returns the number of replicas recreated; chunks with no surviving
+  // replica are counted in *lost (and in lost_chunks()).
   StatusOr<uint64_t> RepairReplication(sim::VirtualClock& clock,
                                        uint64_t* lost = nullptr);
+
+  // One scrub pass reconciling metadata against benefactor state, fully
+  // under the mutex (metadata only — no data transfers): deletes stored
+  // chunks no file references any more (orphans of failed repairs or
+  // unlinks against dead benefactors), fixes reservation-accounting drift,
+  // and reports under-replicated chunks for re-queueing.
+  struct ScrubResult {
+    uint64_t orphans_deleted = 0;
+    uint64_t reservation_fixes = 0;  // chunk-slots corrected
+    std::vector<ChunkKey> under_replicated;
+  };
+  ScrubResult ScrubOnce(sim::VirtualClock& clock);
+
+  // Chunks that lost every replica to failures (cumulative).
+  uint64_t lost_chunks() const { return lost_chunks_.value(); }
+
+  // --- background maintenance hooks ---
+  // AggregateStore attaches its MaintenanceService here; the manager
+  // forwards client-side signals to it.  Detached (nullptr), both signal
+  // hooks are no-ops and the store behaves exactly as before.
+  void AttachMaintenance(MaintenanceService* service);
+  // A client saw a replica write fail (degraded write): hand the chunk to
+  // the background repair queue.  Never called with the mutex held.
+  void ReportDegraded(const ChunkKey& key, int64_t now_ns);
+  // Cheap pacing hook invoked on client metadata round-trips: lets the
+  // maintenance worker's schedule catch up to foreground virtual time.
+  void MaintenanceTick(int64_t now_ns);
 
   // Decommission a benefactor for maintenance/upgrade (the paper's
   // "aggregation ... allows for ... easy system hardware upgrades or
@@ -177,6 +264,16 @@ class Manager {
   // First-choice benefactor index for the next chunk of `meta`, per the
   // stripe policy (mutex held).
   size_t PlacementStartLocked(const FileMeta& meta, int client_node) const;
+  // Rewrite every file ref of `key` to `replicas` (mutex held) — shared
+  // chunks (checkpoint links) carry the list once per referencing file.
+  void SetReplicasLocked(const ChunkKey& key,
+                         const std::vector<int>& replicas);
+  // Replica list of `key` as recorded in the first referencing file, or
+  // nullptr when no file references it (mutex held).
+  const std::vector<int>* CurrentReplicasLocked(const ChunkKey& key) const;
+  // Drop a reserved (and possibly partially written) repair target of an
+  // abandoned plan (mutex held).
+  void UndoRepairTargetLocked(const ChunkKey& key, int bid);
 
   net::Cluster& cluster_;
   const int manager_node_;
@@ -188,8 +285,14 @@ class Manager {
   std::unordered_map<std::string, FileId> names_;
   std::unordered_map<FileId, FileMeta> files_;
   std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> refcounts_;
+  // Bumped on every write prepare of a chunk; CommitRepair compares it
+  // against the plan-time value to detect that a copy made outside the
+  // mutex went stale.  Entries die with the chunk's last reference.
+  std::unordered_map<ChunkKey, uint64_t, ChunkKeyHash> repair_epochs_;
   FileId next_file_id_ = 1;
   size_t stripe_cursor_ = 0;
+  Counter lost_chunks_;
+  std::atomic<MaintenanceService*> maintenance_{nullptr};
 };
 
 }  // namespace nvm::store

@@ -46,6 +46,51 @@ std::string StatusReport(AggregateStore& store,
           : 0.0,
       static_cast<unsigned long long>(store.manager().num_files()));
   out += line;
+  if (store.manager().lost_chunks() > 0) {
+    std::snprintf(line, sizeof(line), "LOST CHUNKS: %llu (no surviving replica)\n",
+                  static_cast<unsigned long long>(store.manager().lost_chunks()));
+    out += line;
+  }
+
+  if (const MaintenanceService* m = store.maintenance()) {
+    const MaintenanceStats s = m->stats();
+    std::snprintf(line, sizeof(line),
+                  "maintenance: clock %.3f ms, %llu sweeps, %llu suspected, "
+                  "%llu declared dead\n",
+                  static_cast<double>(s.clock_ns) / 1e6,
+                  static_cast<unsigned long long>(s.heartbeat_sweeps),
+                  static_cast<unsigned long long>(s.benefactors_suspected),
+                  static_cast<unsigned long long>(s.benefactors_declared_dead));
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "  repair: %llu reports, %llu enqueued, %llu queued now, "
+        "%llu batches, %llu replicas recreated, %llu requeued, "
+        "%llu capacity misses\n",
+        static_cast<unsigned long long>(s.degraded_reports),
+        static_cast<unsigned long long>(s.repairs_enqueued),
+        static_cast<unsigned long long>(s.queue_depth),
+        static_cast<unsigned long long>(s.repair_batches),
+        static_cast<unsigned long long>(s.replicas_recreated),
+        static_cast<unsigned long long>(s.repairs_requeued),
+        static_cast<unsigned long long>(s.repair_capacity_misses));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  repair time: %.3f ms busy, %.3f ms throttled idle, "
+                  "converged at %.3f ms\n",
+                  static_cast<double>(s.repair_busy_ns) / 1e6,
+                  static_cast<double>(s.throttle_idle_ns) / 1e6,
+                  static_cast<double>(s.converged_at_ns) / 1e6);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  scrub: %llu passes, %llu orphans deleted, "
+                  "%llu reservation fixes, %llu requeued\n",
+                  static_cast<unsigned long long>(s.scrub_passes),
+                  static_cast<unsigned long long>(s.scrub_orphans_deleted),
+                  static_cast<unsigned long long>(s.scrub_reservation_fixes),
+                  static_cast<unsigned long long>(s.scrub_requeued));
+    out += line;
+  }
 
   if (!mounts.empty()) {
     std::snprintf(line, sizeof(line),

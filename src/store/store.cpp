@@ -19,6 +19,9 @@ AggregateStore::AggregateStore(net::Cluster& cluster,
     benefactors_.push_back(std::move(b));
   }
   clients_.resize(cluster_.num_nodes());
+  if (config_.store.maintenance) {
+    maintenance_ = std::make_unique<MaintenanceService>(*manager_);
+  }
 }
 
 StoreClient& AggregateStore::ClientForNode(int node) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "store/client.hpp"
+#include "store/maintenance.hpp"
 
 namespace nvm::store {
 
@@ -32,6 +33,10 @@ class AggregateStore {
   Benefactor& benefactor(size_t i) { return *benefactors_.at(i); }
   size_t num_benefactors() const { return benefactors_.size(); }
   const AggregateStoreConfig& config() const { return config_; }
+  // The background maintenance service, or nullptr when the
+  // `maintenance` knob is off.
+  MaintenanceService* maintenance() { return maintenance_.get(); }
+  const MaintenanceService* maintenance() const { return maintenance_.get(); }
 
   // A client stub bound to `node` (one per compute node, shared by the
   // node's processes, like the single FUSE mount per node in the paper).
@@ -44,6 +49,9 @@ class AggregateStore {
   std::vector<std::unique_ptr<Benefactor>> benefactors_;
   std::vector<std::unique_ptr<StoreClient>> clients_;  // indexed by node id
   std::mutex clients_mutex_;
+  // Declared last: destroyed first, so its worker joins (and detaches from
+  // the manager) while manager and benefactors are still alive.
+  std::unique_ptr<MaintenanceService> maintenance_;
 };
 
 }  // namespace nvm::store

@@ -113,6 +113,29 @@ struct StoreConfig {
   // run.  Off reverts to per-chunk WriteChunkPages calls.
   bool batch_write_rpc = true;
 
+  // --- background maintenance service (store/maintenance.hpp) ---
+  // Master switch: when on, the AggregateStore runs a manager-side service
+  // on its own virtual-time worker thread with three loops — a heartbeat
+  // failure detector, an incremental repair queue fed by client degraded-
+  // write reports, and a slow metadata scrubber.  Off (default) keeps the
+  // store exactly as before: degraded chunks stay under-replicated until
+  // Manager::RepairReplication is invoked manually.
+  bool maintenance = false;
+  // Failure detector: sweep period and the number of consecutive missed
+  // heartbeats before a benefactor is *declared* dead (suspicion
+  // threshold; a transient stall shorter than misses*period never
+  // triggers repair).
+  int64_t heartbeat_period_ms = 50;
+  int heartbeat_misses = 3;
+  // Fraction of the maintenance worker's virtual time the repair loop may
+  // keep devices busy (duty cycle).  After each repair batch the worker
+  // idles busy*(1-f)/f ns, leaving timeline gaps foreground traffic
+  // backfills — repair cannot starve reads/writes.  1.0 = no throttle.
+  double repair_bw_fraction = 0.5;
+  // Scrubber: period of the slow scan reconciling manager chunk maps
+  // against benefactor stored-chunk sets and reservation accounting.
+  int64_t scrub_period_ms = 500;
+
   uint64_t pages_per_chunk() const { return chunk_bytes / page_bytes; }
 };
 

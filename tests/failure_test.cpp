@@ -16,18 +16,26 @@ namespace nvm {
 namespace {
 
 constexpr uint64_t kChunk = 64_KiB;
+constexpr int64_t kMs = 1'000'000;  // virtual ns per millisecond
 
 struct Rig {
   std::unique_ptr<net::Cluster> cluster;
   std::unique_ptr<store::AggregateStore> store;
 
-  explicit Rig(int replication, int benefactors = 4) {
+  explicit Rig(int replication, int benefactors = 4,
+               bool maintenance = false) {
     net::ClusterConfig cc;
     cc.num_nodes = static_cast<size_t>(benefactors + 1);
     cluster = std::make_unique<net::Cluster>(cc);
     store::AggregateStoreConfig sc;
     sc.store.chunk_bytes = kChunk;
     sc.store.replication = replication;
+    if (maintenance) {
+      sc.store.maintenance = true;
+      sc.store.heartbeat_period_ms = 1;
+      sc.store.heartbeat_misses = 3;
+      sc.store.scrub_period_ms = 50;
+    }
     for (int b = 0; b < benefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
     sc.contribution_bytes = 64_MiB;
     sc.manager_node = 1;
@@ -559,6 +567,67 @@ TEST(RepairTest, SharedCheckpointChunksRepairedOnce) {
   std::vector<uint8_t> got(4 * kChunk);
   ASSERT_TRUE((*fresh)->Read(0, got).ok());
   EXPECT_EQ(got, data);
+}
+
+TEST(RepairTest, MaintenanceSelfHealsMidWorkloadKillEndToEnd) {
+  // The full story, with NO manual RepairReplication call anywhere: a
+  // benefactor dies in the middle of a replicated workload, the degraded
+  // writes report the affected chunks (and the heartbeat detector catches
+  // the untouched ones), and the background service restores full
+  // replication within a bounded virtual-time window — proven by killing a
+  // SECOND benefactor afterwards and reading every byte back.
+  Rig rig(/*replication=*/2, /*benefactors=*/4, /*maintenance=*/true);
+  store::MaintenanceService& ms = *rig.store->maintenance();
+  NvmallocRuntime runtime(*rig.store, 0);
+  auto r = runtime.SsdMalloc(16 * kChunk);
+  ASSERT_TRUE(r.ok());
+  const auto data = Pattern(16 * kChunk, 31);
+
+  // First half lands healthy; the victim dies; the second half completes
+  // as degraded successes that feed the repair queue.
+  ASSERT_TRUE((*r)->Write(0, {data.data(), 8 * kChunk}).ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+  rig.store->benefactor(1).Kill();
+  ASSERT_TRUE((*r)->Write(8 * kChunk, {data.data() + 8 * kChunk,
+                                       8 * kChunk})
+                  .ok());
+  ASSERT_TRUE((*r)->Sync().ok());
+
+  // Bounded convergence in virtual time.  The window is generous: the
+  // cache's write-back runs fork clocks that can report degraded chunks
+  // tens of virtual ms ahead of the worker, and repair begins no earlier
+  // than the latest report it batches.
+  const int64_t deadline = ms.now_ns() + 100 * kMs;
+  ms.RunUntil(deadline);
+  const store::MaintenanceStats s = ms.stats();
+  EXPECT_TRUE(ms.QueueEmpty());
+  EXPECT_GT(s.replicas_recreated, 0u);
+  EXPECT_EQ(s.lost_chunks, 0u);
+  EXPECT_GE(s.converged_at_ns, 0);
+  EXPECT_LE(s.converged_at_ns, deadline);
+
+  // Every chunk is back at full replication on alive benefactors only.
+  sim::VirtualClock vclock(0);
+  auto locs = rig.store->manager().GetReadLocations(vclock, (*r)->file_id(),
+                                                    0, 16);
+  ASSERT_TRUE(locs.ok());
+  for (const store::ReadLocation& loc : *locs) {
+    EXPECT_EQ(loc.benefactors.size(), 2u);
+    for (int b : loc.benefactors) {
+      EXPECT_NE(b, 1);
+      EXPECT_TRUE(rig.store->benefactor(static_cast<size_t>(b)).alive());
+    }
+  }
+
+  // Replication held: a second death cannot lose data.
+  rig.store->benefactor(0).Kill();
+  (*r)->Invalidate();
+  ASSERT_TRUE(
+      runtime.mount().cache().Drop(sim::CurrentClock(), (*r)->file_id()).ok());
+  std::vector<uint8_t> got(16 * kChunk);
+  ASSERT_TRUE((*r)->Read(0, got).ok());
+  EXPECT_EQ(got, data);
+  ASSERT_TRUE(runtime.SsdFree(*r).ok());
 }
 
 // ---- workload-level resilience ----

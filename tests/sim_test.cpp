@@ -11,6 +11,7 @@
 #include "sim/device.hpp"
 #include "sim/resource.hpp"
 #include "sim/sync.hpp"
+#include "sim/worker.hpp"
 
 namespace nvm::sim {
 namespace {
@@ -235,6 +236,62 @@ TEST(VirtualBarrierTest, Reusable) {
     EXPECT_EQ(after[0], 20 * (round + 1));
     EXPECT_EQ(after[1], 20 * (round + 1));
   }
+}
+
+TEST(VirtualWorkerTest, RunsTasksInPostOrderOnOneClock) {
+  VirtualWorker w("svc");
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    w.Post([&order, i](VirtualClock& c) {
+      c.Advance(10);
+      order.push_back(i);
+    });
+  }
+  w.Drain();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  // All eight tasks charged the same worker clock.
+  EXPECT_EQ(w.now_ns(), 80);
+}
+
+TEST(VirtualWorkerTest, DrainObservesSelfRepostingChains) {
+  // A task that re-posts while still running extends the chain before the
+  // queue ever goes empty, so one Drain() sees the whole cascade.
+  VirtualWorker w("svc");
+  std::function<void(VirtualClock&)> step = [&](VirtualClock& c) {
+    c.Advance(5);
+    if (c.now() < 50) w.Post(step);
+  };
+  w.Post(step);
+  w.Drain();
+  EXPECT_EQ(w.now_ns(), 50);
+}
+
+TEST(VirtualWorkerTest, NowIsReadableFromOtherThreadsMidStream) {
+  VirtualWorker w("svc");
+  for (int i = 0; i < 4; ++i) {
+    w.Post([](VirtualClock& c) { c.Advance(100); });
+  }
+  // now_ns() is a monotonic snapshot — never ahead of completed work.
+  const int64_t seen = w.now_ns();
+  EXPECT_GE(seen, 0);
+  EXPECT_LE(seen, 400);
+  w.Drain();
+  EXPECT_EQ(w.now_ns(), 400);
+}
+
+TEST(VirtualWorkerTest, DestructorRunsPendingTasks) {
+  int ran = 0;
+  {
+    VirtualWorker w("svc");
+    for (int i = 0; i < 16; ++i) {
+      w.Post([&ran](VirtualClock& c) {
+        c.Advance(1);
+        ++ran;
+      });
+    }
+  }  // dtor joins after the queue empties
+  EXPECT_EQ(ran, 16);
 }
 
 }  // namespace

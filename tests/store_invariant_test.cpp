@@ -26,6 +26,7 @@ namespace nvm {
 namespace {
 
 constexpr uint64_t kChunk = 64_KiB;
+constexpr int64_t kMs = 1'000'000;  // virtual ns per millisecond
 constexpr uint64_t kCacheChunks = 8;
 constexpr int kBenefactors = 4;
 constexpr size_t kMaxFiles = 4;
@@ -38,7 +39,8 @@ struct Harness {
   // Shadow model: the exact bytes every live file must read back.
   std::map<std::string, std::vector<uint8_t>> shadow;
 
-  explicit Harness(int replication, bool batch_write_rpc = true) {
+  explicit Harness(int replication, bool batch_write_rpc = true,
+                   bool maintenance = false) {
     net::ClusterConfig cc;
     cc.num_nodes = kBenefactors + 1;
     cluster = std::make_unique<net::Cluster>(cc);
@@ -46,6 +48,12 @@ struct Harness {
     sc.store.chunk_bytes = kChunk;
     sc.store.replication = replication;
     sc.store.batch_write_rpc = batch_write_rpc;
+    if (maintenance) {
+      sc.store.maintenance = true;
+      sc.store.heartbeat_period_ms = 1;
+      sc.store.heartbeat_misses = 3;
+      sc.store.scrub_period_ms = 20;
+    }
     for (int b = 0; b < kBenefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
     sc.contribution_bytes = 64_MiB;
     sc.manager_node = 1;
@@ -54,6 +62,17 @@ struct Harness {
     fc.cache_bytes = kCacheChunks * kChunk;  // far below the working set
     mount = std::make_unique<fuselite::MountPoint>(*store, /*node=*/0, fc);
     sim::CurrentClock().Reset();
+  }
+
+  // Drain the maintenance service past the failure-detection horizon so
+  // mid-repair transients (stripped replica lists, in-flight copies) have
+  // settled before an invariant sweep.  A converged store must satisfy
+  // the same invariants as one that never failed.
+  void QuiesceMaintenance() {
+    store::MaintenanceService* ms = store->maintenance();
+    if (ms == nullptr) return;
+    ms->RunUntil(ms->now_ns() + 5 * kMs);
+    ASSERT_TRUE(ms->QueueEmpty());
   }
 
   // The invariant sweep: every view of "which chunks exist where" must
@@ -136,11 +155,15 @@ struct Harness {
 struct SequenceOptions {
   bool batch_write_rpc = true;
   uint64_t kill_after_writes = 0;
+  // Run the background maintenance service: after every op the harness
+  // quiesces it, so the invariants assert that background repair lands the
+  // store back in a fully-replicated, drift-free state.
+  bool maintenance = false;
 };
 
 void RunSequence(uint64_t seed, int replication, int ops,
                  const SequenceOptions& so = {}) {
-  Harness h(replication, so.batch_write_rpc);
+  Harness h(replication, so.batch_write_rpc, so.maintenance);
   if (so.kill_after_writes > 0) {
     h.store->benefactor(2).KillAfterWrites(so.kill_after_writes);
   }
@@ -213,6 +236,7 @@ void RunSequence(uint64_t seed, int replication, int ops,
       ASSERT_TRUE(h.mount->Unlink(name).ok());
       h.shadow.erase(name);
     }
+    ASSERT_NO_FATAL_FAILURE(h.QuiesceMaintenance()) << "op " << op;
     ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(replication)) << "op " << op;
   }
 
@@ -222,12 +246,22 @@ void RunSequence(uint64_t seed, int replication, int ops,
     ASSERT_TRUE(h.mount->Unlink(h.shadow.begin()->first).ok());
     h.shadow.erase(h.shadow.begin());
   }
+  ASSERT_NO_FATAL_FAILURE(h.QuiesceMaintenance());
   ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(replication));
   for (int b = 0; b < kBenefactors; ++b) {
     EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).num_chunks(), 0u);
     EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).bytes_used(), 0u);
   }
   EXPECT_EQ(h.mount->cache().resident_chunks(), 0u);
+
+  if (so.maintenance && so.kill_after_writes > 0) {
+    // The background service — not any manual repair call — must have
+    // detected the death and healed everything the victim held.
+    const store::MaintenanceStats ms = h.store->maintenance()->stats();
+    EXPECT_GT(ms.benefactors_declared_dead, 0u);
+    EXPECT_GT(ms.replicas_recreated, 0u);
+    EXPECT_EQ(ms.lost_chunks, 0u);
+  }
 }
 
 TEST(StoreInvariantTest, RandomOpsKeepLayersConsistent) {
@@ -257,6 +291,18 @@ TEST(StoreInvariantTest, ReplicatedSequenceSurvivesMidRunBenefactorDeath) {
   SequenceOptions so;
   so.kill_after_writes = 10;
   RunSequence(/*seed=*/11, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, MaintenanceConvergesKilledSequenceToHealedState) {
+  // Same mid-sequence death, but with the background maintenance service
+  // running.  After each op the harness waits for the service to converge
+  // and then demands the FULL invariant set — including exactly-R
+  // replication — i.e. background repair must land the store in a state
+  // indistinguishable from one that never lost a benefactor.
+  SequenceOptions so;
+  so.kill_after_writes = 10;
+  so.maintenance = true;
+  RunSequence(/*seed=*/13, /*replication=*/2, /*ops=*/120, so);
 }
 
 }  // namespace
