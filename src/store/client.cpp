@@ -328,6 +328,9 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
     }
   }
   clock.AdvanceTo(done);
+  // Close the prepared write (success or not): lifts the repair fence and
+  // moves the epoch past anything a concurrent repair copied.
+  manager_.CompleteWrite(loc.key);
 
   if (ok_replicas == 0) {
     // Nothing holds the (possibly fresh) version: make sure later reads
@@ -483,6 +486,11 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
       }
     }
   }
+
+  // Every replica attempt is over: close the prepared window in one lock
+  // pass (lifts the repair fences, moves the epochs) before reporting any
+  // degraded chunks to the repair queue.
+  manager_.CompleteWrites(locs);
 
   // Per-chunk verdicts, location-cache updates, and the caller's join.
   int64_t joined = t0;

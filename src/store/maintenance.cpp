@@ -34,6 +34,9 @@ MaintenanceService::MaintenanceService(Manager& manager)
 }
 
 MaintenanceService::~MaintenanceService() {
+  // The detach takes the manager's hook lock exclusively, so it blocks
+  // until every client thread already inside ReportDegraded/Tick has
+  // returned — after it, no new call can reach this object.
   manager_.AttachMaintenance(nullptr);
   // worker_'s destructor runs any still-pending tasks and joins; every
   // other member outlives it (declaration order), so in-flight tasks stay
@@ -164,7 +167,8 @@ void MaintenanceService::RepairBatch(sim::VirtualClock& clock) {
     bool requeue = false;
     recreated_.Add(manager_.CommitRepair(out, &requeue));
     if (requeue) {
-      // The chunk changed under the copy; try again with fresh bytes.
+      // The chunk changed under the copy (or the copy fell short of the
+      // plan); try again with fresh bytes.
       requeued_.Add(1);
       std::lock_guard<std::mutex> lock(mu_);
       EnqueueLocked(plan.key, clock.now());

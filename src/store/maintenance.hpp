@@ -56,7 +56,7 @@ struct MaintenanceStats {
   uint64_t repairs_enqueued = 0;   // distinct keys accepted into the queue
   uint64_t repair_batches = 0;
   uint64_t replicas_recreated = 0;
-  uint64_t repairs_requeued = 0;   // commits lost to concurrent writes
+  uint64_t repairs_requeued = 0;   // retries: lost races or mid-copy deaths
   uint64_t repair_capacity_misses = 0;  // plans short of the target count
   uint64_t lost_chunks = 0;        // no surviving replica (manager total)
   uint64_t queue_depth = 0;        // keys waiting right now

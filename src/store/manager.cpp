@@ -132,8 +132,43 @@ const std::vector<int>* Manager::CurrentReplicasLocked(
 void Manager::UndoRepairTargetLocked(const ChunkKey& key, int bid) {
   if (bid < 0 || static_cast<size_t>(bid) >= benefactors_.size()) return;
   Benefactor* b = benefactors_[static_cast<size_t>(bid)];
+  const std::vector<int>* current = CurrentReplicasLocked(key);
+  if (current != nullptr &&
+      std::find(current->begin(), current->end(), bid) != current->end()) {
+    // A racing repair picked the same target and already committed it:
+    // the data and one reservation belong to the published replica list.
+    // Only this plan's duplicate reservation comes back.
+    b->ReleaseChunkReservation(1);
+    return;
+  }
   (void)b->DeleteChunk(key);  // drop any partially copied data
   b->ReleaseChunkReservation(1);
+}
+
+bool Manager::IsRepairTargetLocked(const ChunkKey& key, int bid) const {
+  auto it = repair_targets_.find(key);
+  return it != repair_targets_.end() &&
+         std::find(it->second.begin(), it->second.end(), bid) !=
+             it->second.end();
+}
+
+void Manager::CompleteWriteLocked(const ChunkKey& key) {
+  auto it = inflight_writers_.find(key);
+  NVM_CHECK(it != inflight_writers_.end(), "unmatched CompleteWrite");
+  if (--it->second == 0) inflight_writers_.erase(it);
+  // The write's bytes (if any landed) postdate every repair copy taken
+  // while it was in flight: move the epoch so such a commit fails.
+  if (refcounts_.contains(key)) ++repair_epochs_[key];
+}
+
+void Manager::CompleteWrite(const ChunkKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CompleteWriteLocked(key);
+}
+
+void Manager::CompleteWrites(std::span<const WriteLocation> locs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const WriteLocation& loc : locs) CompleteWriteLocked(loc.key);
 }
 
 std::vector<ChunkKey> Manager::CollectUnderReplicated() const {
@@ -246,6 +281,12 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
         plan.targets.push_back(bid);
       }
     }
+    // Register the targets so the scrubber leaves the in-flight copies
+    // alone; CommitRepair deregisters them.
+    if (!plan.targets.empty()) {
+      std::vector<int>& open = repair_targets_[key];
+      open.insert(open.end(), plan.targets.begin(), plan.targets.end());
+    }
     plan.incomplete = plan.targets.size() < need;
     auto eit = repair_epochs_.find(key);
     plan.epoch = eit == repair_epochs_.end() ? 0 : eit->second;
@@ -303,6 +344,15 @@ uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
   if (requeue != nullptr) *requeue = false;
   std::lock_guard<std::mutex> lock(mutex_);
   const RepairPlan& plan = outcome.plan;
+  // The targets' fate is decided here: they stop being scrub-exempt.
+  auto rt = repair_targets_.find(plan.key);
+  if (rt != repair_targets_.end()) {
+    for (int bid : plan.targets) {
+      auto pos = std::find(rt->second.begin(), rt->second.end(), bid);
+      if (pos != rt->second.end()) rt->second.erase(pos);
+    }
+    if (rt->second.empty()) repair_targets_.erase(rt);
+  }
   auto undo_all = [&] {
     for (int bid : outcome.written) UndoRepairTargetLocked(plan.key, bid);
     for (int bid : outcome.failed) UndoRepairTargetLocked(plan.key, bid);
@@ -312,13 +362,15 @@ uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
     undo_all();
     return 0;
   }
-  // Rewritten (epoch moved) or concurrently re-placed (list changed) while
-  // the copy ran?  The bytes we moved are stale — retry from scratch.
+  // Rewritten (epoch moved), concurrently re-placed (list changed), or a
+  // prepared write still in flight (its bytes could land on a survivor
+  // after our read and never reach the targets)?  The bytes we moved are
+  // stale — retry from scratch.
   auto eit = repair_epochs_.find(plan.key);
   const uint64_t epoch = eit == repair_epochs_.end() ? 0 : eit->second;
   const std::vector<int>* current = CurrentReplicasLocked(plan.key);
   if (epoch != plan.epoch || current == nullptr ||
-      *current != plan.survivors) {
+      *current != plan.survivors || inflight_writers_.contains(plan.key)) {
     undo_all();
     if (requeue != nullptr) *requeue = true;
     return 0;
@@ -337,6 +389,10 @@ uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
   }
   for (int bid : outcome.failed) UndoRepairTargetLocked(plan.key, bid);
   SetReplicasLocked(plan.key, fresh);
+  // Short of the plan (no readable survivor, or targets died mid-copy):
+  // hand the key back so the caller retries promptly instead of waiting
+  // for the next heartbeat declaration or scrub pass to rediscover it.
+  if (requeue != nullptr && recreated < plan.targets.size()) *requeue = true;
   return recreated;
 }
 
@@ -344,15 +400,24 @@ StatusOr<uint64_t> Manager::RepairReplication(sim::VirtualClock& clock,
                                               uint64_t* lost) {
   if (lost != nullptr) *lost = 0;
   // Synchronous, unthrottled driver over the plan/execute/commit engine —
-  // the manager mutex is never held across a data transfer.
+  // the manager mutex is never held across a data transfer.  A commit
+  // that loses to a concurrent write or a mid-copy death asks for a
+  // requeue; retry those keys a bounded number of rounds so a single
+  // unlucky race does not leave the chunk degraded until the next sweep.
   std::vector<ChunkKey> keys = CollectUnderReplicated();
-  uint64_t lost_now = 0;
-  std::vector<RepairPlan> plans = PlanRepairs(keys, &lost_now);
-  if (lost != nullptr) *lost = lost_now;
   uint64_t recreated = 0;
-  for (const RepairPlan& plan : plans) {
-    RepairOutcome out = ExecuteRepairPlan(clock, plan);
-    recreated += CommitRepair(out);
+  for (int round = 0; round < 3 && !keys.empty(); ++round) {
+    uint64_t lost_now = 0;
+    std::vector<RepairPlan> plans = PlanRepairs(keys, &lost_now);
+    if (lost != nullptr) *lost += lost_now;
+    std::vector<ChunkKey> retry;
+    for (const RepairPlan& plan : plans) {
+      RepairOutcome out = ExecuteRepairPlan(clock, plan);
+      bool requeue = false;
+      recreated += CommitRepair(out, &requeue);
+      if (requeue) retry.push_back(plan.key);
+    }
+    keys = std::move(retry);
   }
   return recreated;
 }
@@ -387,13 +452,19 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
         ++expected;
       }
     }
+    // In-flight repair targets hold reservations (and possibly data) the
+    // replica lists do not name yet; their commit will settle them.
+    for (const auto& [key, bids] : repair_targets_) {
+      expected += static_cast<uint64_t>(
+          std::count(bids.begin(), bids.end(), static_cast<int>(i)));
+    }
     for (const ChunkKey& key : b->StoredChunkKeys()) {
       auto it = placed.find(key);
       const bool reachable =
           it != placed.end() &&
           std::find(it->second->begin(), it->second->end(),
                     static_cast<int>(i)) != it->second->end();
-      if (!reachable) {
+      if (!reachable && !IsRepairTargetLocked(key, static_cast<int>(i))) {
         // Orphan: stored but absent from the replica list — the leavings
         // of an unlink against a then-dead benefactor or an abandoned
         // repair copy.  No reader ever consults it; reclaim the space.
@@ -427,17 +498,21 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
 }
 
 void Manager::AttachMaintenance(MaintenanceService* service) {
-  maintenance_.store(service, std::memory_order_release);
+  // Exclusive: detaching blocks until every hook call already holding the
+  // shared lock has returned, so ~MaintenanceService cannot destroy the
+  // service under a client thread mid-call.
+  std::unique_lock<std::shared_mutex> lock(hook_mu_);
+  maintenance_ = service;
 }
 
 void Manager::ReportDegraded(const ChunkKey& key, int64_t now_ns) {
-  MaintenanceService* m = maintenance_.load(std::memory_order_acquire);
-  if (m != nullptr) m->ReportDegraded(key, now_ns);
+  std::shared_lock<std::shared_mutex> lock(hook_mu_);
+  if (maintenance_ != nullptr) maintenance_->ReportDegraded(key, now_ns);
 }
 
 void Manager::MaintenanceTick(int64_t now_ns) {
-  MaintenanceService* m = maintenance_.load(std::memory_order_acquire);
-  if (m != nullptr) m->Tick(now_ns);
+  std::shared_lock<std::shared_mutex> lock(hook_mu_);
+  if (maintenance_ != nullptr) maintenance_->Tick(now_ns);
 }
 
 StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
@@ -719,8 +794,11 @@ StatusOr<WriteLocation> Manager::PrepareWriteLocked(FileMeta& meta,
   if (rc->second == 1) {
     // Sole owner: write in place.  Bump the repair epoch — a repair copy
     // planned before this write would publish stale bytes, and the moved
-    // epoch makes its commit fail and retry.
+    // epoch makes its commit fail and retry.  The writer count fences off
+    // repair commits until CompleteWrite: the data lands outside the
+    // mutex, so until then any repair copy may be missing it.
     ++repair_epochs_[ref.key];
+    ++inflight_writers_[ref.key];
     loc.key = ref.key;
     loc.benefactors = ref.benefactors;
     return loc;
@@ -749,7 +827,8 @@ StatusOr<WriteLocation> Manager::PrepareWriteLocked(FileMeta& meta,
   }
   --rc->second;  // live file drops its reference to the shared version
   refcounts_[fresh] = 1;
-  ++repair_epochs_[fresh];  // the COW write targets the fresh version
+  ++repair_epochs_[fresh];     // the COW write targets the fresh version
+  ++inflight_writers_[fresh];  // fenced until the clone + write land
 
   loc.needs_clone = true;
   loc.clone_from = ref.key;
@@ -779,7 +858,13 @@ StatusOr<std::vector<WriteLocation>> Manager::PrepareWriteBatch(
   locs.reserve(indices.size());
   for (uint32_t index : indices) {
     auto loc = PrepareWriteLocked(it->second, index);
-    NVM_RETURN_IF_ERROR(loc.status());
+    if (!loc.ok()) {
+      // The caller gets an error and will never complete the window:
+      // close the writes already opened so they don't fence repairs of
+      // those chunks forever.
+      for (const WriteLocation& opened : locs) CompleteWriteLocked(opened.key);
+      return loc.status();
+    }
     locs.push_back(*std::move(loc));
   }
   return locs;

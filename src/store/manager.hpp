@@ -12,10 +12,10 @@
 // StoreClient, not here.
 #pragma once
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -141,9 +141,14 @@ class Manager {
   RepairOutcome ExecuteRepairPlan(sim::VirtualClock& clock,
                                   const RepairPlan& plan);
   // Publish the outcome under the mutex.  If the chunk was rewritten or
-  // freed while the copy ran (its repair epoch moved, or its replica list
-  // changed), the copied bytes are stale: every target is undone and
-  // *requeue set so the caller can retry.  Returns replicas recreated.
+  // freed while the copy ran (its repair epoch moved, its replica list
+  // changed, or a prepared write is still in flight — the copy may miss
+  // bytes that land on a survivor only), the copied bytes are stale:
+  // every target is undone and *requeue set so the caller can retry.
+  // *requeue is also set when fewer targets were published than planned
+  // (no readable survivor, or a target died mid-copy) so the chunk does
+  // not silently leave the repair queue while degraded.  Returns replicas
+  // recreated.
   uint64_t CommitRepair(const RepairOutcome& outcome,
                         bool* requeue = nullptr);
 
@@ -160,7 +165,10 @@ class Manager {
   // under the mutex (metadata only — no data transfers): deletes stored
   // chunks no file references any more (orphans of failed repairs or
   // unlinks against dead benefactors), fixes reservation-accounting drift,
-  // and reports under-replicated chunks for re-queueing.
+  // and reports under-replicated chunks for re-queueing.  In-flight
+  // repair targets (planned, not yet committed) are exempt from both the
+  // orphan sweep and the drift accounting — a concurrent repair's copy
+  // legitimately stores data the replica lists do not name yet.
   struct ScrubResult {
     uint64_t orphans_deleted = 0;
     uint64_t reservation_fixes = 0;  // chunk-slots corrected
@@ -219,14 +227,25 @@ class Manager {
       sim::VirtualClock& clock, FileId id, uint32_t first, uint32_t count);
   // Resolve the target for writing a chunk, performing the copy-on-write
   // decision: a chunk shared with a checkpoint gets a fresh version.
+  // Every successful prepare MUST be paired with one CompleteWrite of the
+  // returned key once the replica transfers finish (success or failure) —
+  // the open prepare fences the repair engine off the chunk.
   StatusOr<WriteLocation> PrepareWrite(sim::VirtualClock& clock, FileId id,
                                        uint32_t chunk_index);
   // Batched variant: resolve a whole flush window (any set of chunk
   // indices of one file) in ONE metadata service op, including the
   // copy-on-write version bumps — the control-plane saving behind the
   // client's batched write-back path.  Result order matches `indices`.
+  // On error no write is left open; on success every returned location
+  // must be completed (CompleteWrite / CompleteWrites).
   StatusOr<std::vector<WriteLocation>> PrepareWriteBatch(
       sim::VirtualClock& clock, FileId id, std::span<const uint32_t> indices);
+  // The write prepared for `key` has finished moving data (or given up):
+  // drops the in-flight-writer fence and moves the repair epoch, so a
+  // repair copy taken while the write was in flight can never commit.
+  void CompleteWrite(const ChunkKey& key);
+  // Batch variant: one lock pass completes a whole prepared window.
+  void CompleteWrites(std::span<const WriteLocation> locs);
 
   // --- checkpoint support ---
 
@@ -272,8 +291,15 @@ class Manager {
   // nullptr when no file references it (mutex held).
   const std::vector<int>* CurrentReplicasLocked(const ChunkKey& key) const;
   // Drop a reserved (and possibly partially written) repair target of an
-  // abandoned plan (mutex held).
+  // abandoned plan (mutex held).  If a racing repair already committed
+  // `bid` into the chunk's replica list, only this plan's duplicate
+  // reservation is released — the data now belongs to the published list.
   void UndoRepairTargetLocked(const ChunkKey& key, int bid);
+  // Mutex-held core of CompleteWrite.
+  void CompleteWriteLocked(const ChunkKey& key);
+  // True when (key, bid) is a reserved target of a repair plan whose
+  // commit has not run yet (mutex held).
+  bool IsRepairTargetLocked(const ChunkKey& key, int bid) const;
 
   net::Cluster& cluster_;
   const int manager_node_;
@@ -285,14 +311,30 @@ class Manager {
   std::unordered_map<std::string, FileId> names_;
   std::unordered_map<FileId, FileMeta> files_;
   std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> refcounts_;
-  // Bumped on every write prepare of a chunk; CommitRepair compares it
-  // against the plan-time value to detect that a copy made outside the
-  // mutex went stale.  Entries die with the chunk's last reference.
+  // Bumped on every write prepare AND every write completion of a chunk;
+  // CommitRepair compares it against the plan-time value to detect that a
+  // copy made outside the mutex went stale.  The completion-side bump is
+  // what catches a write prepared before the plan whose data lands after
+  // the repair's read.  Entries die with the chunk's last reference.
   std::unordered_map<ChunkKey, uint64_t, ChunkKeyHash> repair_epochs_;
+  // Chunks with a prepared-but-uncompleted write.  While an entry exists
+  // CommitRepair refuses to publish (requeues): the in-flight write could
+  // still land bytes on a survivor that the copied targets would miss.
+  std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> inflight_writers_;
+  // Reserved targets of repair plans between PlanRepairs and CommitRepair
+  // (duplicates possible when racing drivers plan the same key).  The
+  // scrubber must not reap these as orphans: their chunk data exists on
+  // the benefactor before the replica list names it.
+  std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash>
+      repair_targets_;
   FileId next_file_id_ = 1;
   size_t stripe_cursor_ = 0;
   Counter lost_chunks_;
-  std::atomic<MaintenanceService*> maintenance_{nullptr};
+  // Guards the maintenance hook pointer: signal forwarding holds it
+  // shared, attach/detach exclusive — so ~MaintenanceService's detach
+  // waits out any client thread already inside a hook call.
+  mutable std::shared_mutex hook_mu_;
+  MaintenanceService* maintenance_ = nullptr;
 };
 
 }  // namespace nvm::store

@@ -394,6 +394,278 @@ TEST(MaintenanceTest, ManualRepairStillWorksAlongsideService) {
   ExpectFullyReplicated(rig, id, 8, 2);
 }
 
+// ---- repair-engine races ----
+//
+// These drive the plan/execute/commit engine by hand to pin down
+// interleavings the background loops can produce but thread timing alone
+// cannot reproduce deterministically.  The rigs push both sweeps out of
+// the horizon so nothing interferes with the staged sequence.
+
+constexpr auto kQuiet = [](store::StoreConfig& cfg) {
+  cfg.heartbeat_period_ms = 1'000'000;
+  cfg.scrub_period_ms = 1'000'000;
+};
+
+TEST(MaintenanceTest, WriteLandingDuringRepairCopyCannotCommitStaleBytes) {
+  Rig rig(/*replication=*/2, kQuiet);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  store::Manager& m = rig.store->manager();
+  sim::VirtualClock clock(0);
+  const auto v1 = Pattern(kChunk, 21);
+  const store::FileId id = WriteStoreFile(c, "/race", 1, v1, clock);
+
+  auto loc0 = m.GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(loc0.ok());
+  ASSERT_EQ(loc0->benefactors.size(), 2u);
+  const store::ChunkKey key = loc0->key;
+  const int survivor = loc0->benefactors[0];
+  rig.store->benefactor(static_cast<size_t>(loc0->benefactors[1])).Kill();
+
+  // A write is prepared — and so in flight — before the repair plans.
+  auto wloc = m.PrepareWrite(clock, id, 0);
+  ASSERT_TRUE(wloc.ok());
+
+  // Plan + copy: the copy reads the PRE-write bytes off the survivor.
+  auto plans = m.PlanRepairs(std::vector<store::ChunkKey>{key});
+  ASSERT_EQ(plans.size(), 1u);
+  ASSERT_EQ(plans[0].targets.size(), 1u);
+  const int target = plans[0].targets[0];
+  auto out = m.ExecuteRepairPlan(clock, plans[0]);
+  ASSERT_EQ(out.written.size(), 1u);
+
+  // The write's data now lands on the survivor and completes.
+  const auto v2 = Pattern(kChunk, 22);
+  Bitmap all(kChunk / c.config().page_bytes);
+  all.SetAll();
+  sim::VirtualClock wc(clock.now());
+  ASSERT_TRUE(rig.store->benefactor(static_cast<size_t>(survivor))
+                  .WritePages(wc, key, all, v2)
+                  .ok());
+  m.CompleteWrite(wloc->key);
+
+  // The commit must refuse: its copy predates the landed write.  The
+  // stale target is undone and the chunk handed back for retry.
+  bool requeue = false;
+  EXPECT_EQ(m.CommitRepair(out, &requeue), 0u);
+  EXPECT_TRUE(requeue);
+  EXPECT_FALSE(
+      rig.store->benefactor(static_cast<size_t>(target)).HasChunk(key));
+
+  // The retry heals from the fresh bytes: every replica reads back v2.
+  ASSERT_TRUE(m.RepairReplication(clock).ok());
+  ExpectFullyReplicated(rig, id, 1, 2);
+  auto healed = m.GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(healed.ok());
+  std::vector<uint8_t> got(kChunk);
+  for (int b : healed->benefactors) {
+    sim::VirtualClock rc(clock.now());
+    ASSERT_TRUE(rig.store->benefactor(static_cast<size_t>(b))
+                    .ReadChunk(rc, key, got)
+                    .ok());
+    EXPECT_EQ(got, v2) << "replica on benefactor " << b;
+  }
+}
+
+TEST(MaintenanceTest, OpenWriteFencesRepairCommit) {
+  Rig rig(/*replication=*/2, kQuiet);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  store::Manager& m = rig.store->manager();
+  sim::VirtualClock clock(0);
+  const store::FileId id =
+      WriteStoreFile(c, "/fence", 1, Pattern(kChunk, 23), clock);
+  auto loc0 = m.GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(loc0.ok());
+  const store::ChunkKey key = loc0->key;
+  rig.store->benefactor(static_cast<size_t>(loc0->benefactors[1])).Kill();
+
+  auto wloc = m.PrepareWrite(clock, id, 0);
+  ASSERT_TRUE(wloc.ok());
+  auto plans = m.PlanRepairs(std::vector<store::ChunkKey>{key});
+  ASSERT_EQ(plans.size(), 1u);
+  auto out = m.ExecuteRepairPlan(clock, plans[0]);
+
+  // The prepared write has not completed: even though nothing moved the
+  // epoch yet, the commit must refuse — the writer could still land
+  // bytes on a survivor that the copied target would miss.
+  bool requeue = false;
+  EXPECT_EQ(m.CommitRepair(out, &requeue), 0u);
+  EXPECT_TRUE(requeue);
+
+  // Once the write closes, the next cycle publishes normally.
+  m.CompleteWrite(wloc->key);
+  auto recreated = m.RepairReplication(clock);
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_EQ(*recreated, 1u);
+  ExpectFullyReplicated(rig, id, 1, 2);
+}
+
+TEST(MaintenanceTest, ScrubSparesInFlightRepairTargets) {
+  Rig rig(/*replication=*/2, kQuiet);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  store::Manager& m = rig.store->manager();
+  sim::VirtualClock clock(0);
+  const auto v1 = Pattern(kChunk, 24);
+  const store::FileId id = WriteStoreFile(c, "/sc", 1, v1, clock);
+  auto loc0 = m.GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(loc0.ok());
+  const store::ChunkKey key = loc0->key;
+  rig.store->benefactor(static_cast<size_t>(loc0->benefactors[1])).Kill();
+
+  auto plans = m.PlanRepairs(std::vector<store::ChunkKey>{key});
+  ASSERT_EQ(plans.size(), 1u);
+  ASSERT_EQ(plans[0].targets.size(), 1u);
+  const auto target = static_cast<size_t>(plans[0].targets[0]);
+  auto out = m.ExecuteRepairPlan(clock, plans[0]);
+  ASSERT_TRUE(rig.store->benefactor(target).HasChunk(key));
+
+  // A scrub between copy and commit must not reap the target as an
+  // orphan nor "fix" its reservation: the copy is legitimately ahead of
+  // the replica lists.
+  auto scrub = m.ScrubOnce(clock);
+  EXPECT_EQ(scrub.orphans_deleted, 0u);
+  EXPECT_EQ(scrub.reservation_fixes, 0u);
+  EXPECT_TRUE(rig.store->benefactor(target).HasChunk(key));
+
+  bool requeue = false;
+  EXPECT_EQ(m.CommitRepair(out, &requeue), 1u);
+  EXPECT_FALSE(requeue);
+  ExpectFullyReplicated(rig, id, 1, 2);
+  // Post-commit the target is a named replica — still nothing to reap,
+  // and the published copy serves the data.
+  scrub = m.ScrubOnce(clock);
+  EXPECT_EQ(scrub.orphans_deleted, 0u);
+  std::vector<uint8_t> got(kChunk);
+  sim::VirtualClock rc(clock.now());
+  ASSERT_TRUE(rig.store->benefactor(target).ReadChunk(rc, key, got).ok());
+  EXPECT_EQ(got, v1);
+}
+
+TEST(MaintenanceTest, RacingRepairsSameTargetKeepThePublishedReplica) {
+  Rig rig(/*replication=*/2, kQuiet);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  store::Manager& m = rig.store->manager();
+  sim::VirtualClock clock(0);
+  const auto v1 = Pattern(kChunk, 31);
+  const store::FileId id = WriteStoreFile(c, "/dup", 1, v1, clock);
+  auto loc0 = m.GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(loc0.ok());
+  const store::ChunkKey key = loc0->key;
+  rig.store->benefactor(static_cast<size_t>(loc0->benefactors[1])).Kill();
+
+  // Overload one of the two non-holders so both racing plans pick the
+  // other as their (least-loaded) target.
+  int forced = -1, spare = -1;
+  for (int b = 0; b < kBenefactors; ++b) {
+    if (b == loc0->benefactors[0] || b == loc0->benefactors[1]) continue;
+    (forced < 0 ? forced : spare) = b;
+  }
+  ASSERT_TRUE(
+      rig.store->benefactor(static_cast<size_t>(spare)).ReserveChunks(16).ok());
+
+  // Two drivers (maintenance worker + manual repair) plan the same key.
+  auto plansA = m.PlanRepairs(std::vector<store::ChunkKey>{key});
+  auto plansB = m.PlanRepairs(std::vector<store::ChunkKey>{key});
+  ASSERT_EQ(plansA.size(), 1u);
+  ASSERT_EQ(plansB.size(), 1u);
+  ASSERT_EQ(plansA[0].targets, plansB[0].targets);
+  const int target = plansA[0].targets[0];
+  ASSERT_EQ(target, forced);
+
+  auto outA = m.ExecuteRepairPlan(clock, plansA[0]);
+  EXPECT_EQ(m.CommitRepair(outA), 1u);  // A publishes {survivor, target}
+
+  // B copied onto the same target; its commit loses the race (the list
+  // changed under it) but must NOT tear down the replica A published —
+  // only B's duplicate reservation comes back.
+  const uint64_t used_mid =
+      rig.store->benefactor(static_cast<size_t>(target)).bytes_used();
+  auto outB = m.ExecuteRepairPlan(clock, plansB[0]);
+  bool requeue = false;
+  EXPECT_EQ(m.CommitRepair(outB, &requeue), 0u);
+  EXPECT_TRUE(requeue);
+  EXPECT_TRUE(
+      rig.store->benefactor(static_cast<size_t>(target)).HasChunk(key));
+  EXPECT_EQ(rig.store->benefactor(static_cast<size_t>(target)).bytes_used(),
+            used_mid - kChunk);
+  ExpectFullyReplicated(rig, id, 1, 2);
+
+  // The requeued retry finds the chunk healthy (no-op) and the data
+  // reads back intact off the repaired replica; accounting is clean.
+  auto recreated = m.RepairReplication(clock);
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_EQ(*recreated, 0u);
+  std::vector<uint8_t> got(kChunk);
+  sim::VirtualClock rc(clock.now());
+  ASSERT_TRUE(rig.store->benefactor(static_cast<size_t>(target))
+                  .ReadChunk(rc, key, got)
+                  .ok());
+  EXPECT_EQ(got, v1);
+  rig.store->benefactor(static_cast<size_t>(spare)).ReleaseChunkReservation(16);
+  auto scrub = m.ScrubOnce(clock);
+  EXPECT_EQ(scrub.orphans_deleted, 0u);
+  EXPECT_EQ(scrub.reservation_fixes, 0u);
+}
+
+TEST(MaintenanceTest, LastSurvivorDeathBetweenPlanAndCopyRequeues) {
+  Rig rig(/*replication=*/2, kQuiet);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  store::Manager& m = rig.store->manager();
+  sim::VirtualClock clock(0);
+  const store::FileId id =
+      WriteStoreFile(c, "/gone", 1, Pattern(kChunk, 41), clock);
+  auto loc0 = m.GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(loc0.ok());
+  const store::ChunkKey key = loc0->key;
+  rig.store->benefactor(static_cast<size_t>(loc0->benefactors[1])).Kill();
+
+  auto plans = m.PlanRepairs(std::vector<store::ChunkKey>{key});
+  ASSERT_EQ(plans.size(), 1u);
+  ASSERT_EQ(plans[0].targets.size(), 1u);
+  const auto target = static_cast<size_t>(plans[0].targets[0]);
+  // The last survivor dies before the copy can read it.
+  rig.store->benefactor(static_cast<size_t>(loc0->benefactors[0])).Kill();
+  auto out = m.ExecuteRepairPlan(clock, plans[0]);
+  EXPECT_TRUE(out.written.empty());
+  EXPECT_EQ(out.failed.size(), 1u);
+
+  // Nothing was copied, but the chunk must not silently leave the repair
+  // queue: the commit undoes the target AND asks for a prompt retry.
+  bool requeue = false;
+  EXPECT_EQ(m.CommitRepair(out, &requeue), 0u);
+  EXPECT_TRUE(requeue);
+  EXPECT_FALSE(rig.store->benefactor(target).HasChunk(key));
+
+  // The retry discovers the truth — every replica is gone (lost chunk) —
+  // so the requeue loop terminates rather than spinning.
+  uint64_t lost = 0;
+  EXPECT_TRUE(m.PlanRepairs(std::vector<store::ChunkKey>{key}, &lost).empty());
+  EXPECT_EQ(lost, 1u);
+}
+
+TEST(MaintenanceTest, FailedPrepareBatchLeavesNoRepairFence) {
+  Rig rig(/*replication=*/2, kQuiet);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  store::Manager& m = rig.store->manager();
+  sim::VirtualClock clock(0);
+  const store::FileId id =
+      WriteStoreFile(c, "/batch", 1, Pattern(kChunk, 51), clock);
+  auto loc0 = m.GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(loc0.ok());
+
+  // A batch that dies mid-way (second index beyond EOF) must close the
+  // write it had already opened for chunk 0 ...
+  const std::vector<uint32_t> indices = {0, 5};
+  EXPECT_FALSE(m.PrepareWriteBatch(clock, id, indices).ok());
+
+  // ... otherwise this repair could never commit (the leaked fence would
+  // requeue it forever).
+  rig.store->benefactor(static_cast<size_t>(loc0->benefactors[1])).Kill();
+  auto recreated = m.RepairReplication(clock);
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_EQ(*recreated, 1u);
+  ExpectFullyReplicated(rig, id, 1, 2);
+}
+
 // ---- concurrency (runs under TSan via the `concurrency` label) ----
 
 TEST(MaintenanceConcurrencyTest, ConcurrentWritersConvergeAfterMidRunKill) {
@@ -459,6 +731,39 @@ TEST(MaintenanceConcurrencyTest, ConcurrentWritersConvergeAfterMidRunKill) {
           << "file " << t << " chunk " << i;
     }
   }
+}
+
+TEST(MaintenanceConcurrencyTest, HookDetachWaitsForInFlightSignals) {
+  // Client threads may be inside ReportDegraded/MaintenanceTick while the
+  // service is torn down; the detach must wait out any call already past
+  // the hook-pointer load instead of destroying the service under it.
+  // (Use-after-free would surface here under TSan/ASan.)
+  net::ClusterConfig cc;
+  cc.num_nodes = 2;
+  net::Cluster cluster(cc);
+  store::StoreConfig cfg;
+  cfg.chunk_bytes = kChunk;
+  store::Manager mgr(cluster, 0, cfg);
+  store::ChunkKey key;
+  key.origin_file = 1;
+  key.index = 0;
+  key.version = 0;
+
+  std::atomic<bool> stop{false};
+  std::thread signaller([&] {
+    int64_t t = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      mgr.ReportDegraded(key, ++t);
+      mgr.MaintenanceTick(t);
+    }
+  });
+  // Each round attaches a fresh service and detaches it in the
+  // destructor while the signaller hammers the hooks.
+  for (int i = 0; i < 100; ++i) {
+    store::MaintenanceService svc(mgr);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  signaller.join();
 }
 
 }  // namespace

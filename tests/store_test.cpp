@@ -256,6 +256,7 @@ TEST_F(StoreTest, CowOnlyOnSharedChunks) {
   ASSERT_TRUE(loc.ok());
   EXPECT_FALSE(loc->needs_clone);
   EXPECT_EQ(loc->key.version, 0u);
+  manager().CompleteWrite(loc->key);  // every prepare pairs with a complete
 }
 
 TEST_F(StoreTest, RepeatedCheckpointsShareUntouchedChunks) {
