@@ -14,8 +14,20 @@
 // Aggressive repair (f=1.0) minimises MTTR but steals device time;
 // f=0.1 cedes ~90% of it back to the foreground at the cost of a longer
 // window of reduced redundancy.
+//
+// A second experiment measures corruption MTTR: one replica silently rots
+// (a single flipped bit — no reader touches it, no failure is reported)
+// and only the scrub's incremental checksum verification can find it.  We
+// sweep scrub_verify_bytes and measure the virtual time from the flip to
+// detection (quarantine) and to the healed, fully-replicated state.  The
+// budget bounds how much of the store each scrub pass re-checksums, so a
+// larger budget finds silent rot in fewer passes.
+//
+// `--quick` shrinks the dataset for CI smoke runs; every SHAPE check
+// still executes.
 #include <algorithm>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -29,9 +41,75 @@ using namespace nvm::bench;
 namespace {
 
 constexpr uint64_t kChunk = 64_KiB;
-constexpr uint32_t kChunks = 256;  // 16 MiB dataset, r=2
 constexpr int kBenefactors = 4;
 constexpr int64_t kMs = 1'000'000;
+
+uint32_t g_chunks = 256;  // 16 MiB dataset, r=2 (64 with --quick)
+
+struct Rig {
+  net::Cluster cluster;
+  store::AggregateStore store;
+  store::FileId id = 0;
+  std::vector<uint8_t> data;
+
+  explicit Rig(const store::AggregateStoreConfig& sc_in)
+      : cluster(MakeClusterConfig()), store(cluster, Finish(sc_in)) {
+    sim::CurrentClock().Reset();
+    store::StoreClient& client = store.ClientForNode(0);
+    sim::VirtualClock clock(0);
+    auto created = client.Create(clock, "/mttr");
+    NVM_CHECK(created.ok());
+    id = *created;
+    NVM_CHECK(client.Fallocate(clock, id, g_chunks * kChunk).ok());
+    data.resize(g_chunks * kChunk);
+    Xoshiro256 rng(17);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+    Bitmap all(kChunk / client.config().page_bytes);
+    all.SetAll();
+    for (uint32_t i = 0; i < g_chunks; ++i) {
+      NVM_CHECK(client.WriteChunkPages(clock, id, i, all,
+                                       {data.data() + i * kChunk, kChunk})
+                    .ok());
+    }
+    populate_end_ns = clock.now();
+  }
+
+  int64_t populate_end_ns = 0;
+
+  static net::ClusterConfig MakeClusterConfig() {
+    net::ClusterConfig cc;
+    cc.num_nodes = kBenefactors + 1;
+    return cc;
+  }
+  static store::AggregateStoreConfig Finish(store::AggregateStoreConfig sc) {
+    sc.store.chunk_bytes = kChunk;
+    sc.store.replication = 2;
+    sc.store.maintenance = true;
+    for (int b = 0; b < kBenefactors; ++b) {
+      sc.benefactor_nodes.push_back(b + 1);
+    }
+    sc.contribution_bytes = 256_MiB;
+    sc.manager_node = 1;
+    return sc;
+  }
+
+  // Full STREAM-style cold read from virtual `t0`; checks every byte and
+  // returns the achieved bandwidth.
+  double ColdRead(int64_t t0) {
+    store::StoreClient& client = store.ClientForNode(0);
+    sim::VirtualClock fg(t0);
+    std::vector<uint8_t> buf(kChunk);
+    for (uint32_t i = 0; i < g_chunks; ++i) {
+      NVM_CHECK(client.ReadChunk(fg, id, i, buf).ok());
+      NVM_CHECK(
+          std::memcmp(buf.data(), data.data() + i * kChunk, kChunk) == 0,
+          "read-back mismatch");
+    }
+    const double secs = static_cast<double>(fg.now() - t0) / 1e9;
+    return static_cast<double>(g_chunks) * static_cast<double>(kChunk) /
+           secs / 1e9;
+  }
+};
 
 struct RunResult {
   double mttr_ms = 0;        // death -> converged (detection + repair)
@@ -42,48 +120,21 @@ struct RunResult {
 };
 
 RunResult RunWith(double fraction, bool kill) {
-  net::ClusterConfig cc;
-  cc.num_nodes = kBenefactors + 1;
-  net::Cluster cluster(cc);
   store::AggregateStoreConfig sc;
-  sc.store.chunk_bytes = kChunk;
-  sc.store.replication = 2;
-  sc.store.maintenance = true;
   sc.store.heartbeat_period_ms = 1;
   sc.store.heartbeat_misses = 3;
   sc.store.repair_bw_fraction = fraction;
   sc.store.scrub_period_ms = 1'000'000;  // out of the measurement window
-  for (int b = 0; b < kBenefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
-  sc.contribution_bytes = 256_MiB;
-  sc.manager_node = 1;
-  store::AggregateStore store(cluster, sc);
-  sim::CurrentClock().Reset();
-  store::StoreClient& client = store.ClientForNode(0);
-  store::MaintenanceService& ms = *store.maintenance();
-
-  // Populate the dataset.
-  sim::VirtualClock clock(0);
-  auto id = client.Create(clock, "/mttr");
-  NVM_CHECK(id.ok());
-  NVM_CHECK(client.Fallocate(clock, *id, kChunks * kChunk).ok());
-  std::vector<uint8_t> data(kChunks * kChunk);
-  Xoshiro256 rng(17);
-  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
-  Bitmap all(kChunk / client.config().page_bytes);
-  all.SetAll();
-  for (uint32_t i = 0; i < kChunks; ++i) {
-    NVM_CHECK(client.WriteChunkPages(clock, *id, i, all,
-                                     {data.data() + i * kChunk, kChunk})
-                  .ok());
-  }
+  Rig rig(sc);
+  store::MaintenanceService& ms = *rig.store.maintenance();
 
   // The common virtual "present": the moment the benefactor dies (or, in
   // the baseline, the moment the foreground read starts).
-  const int64_t t0 = std::max(clock.now(), ms.now_ns());
+  const int64_t t0 = std::max(rig.populate_end_ns, ms.now_ns());
 
   RunResult r;
   if (kill) {
-    store.benefactor(1).Kill();
+    rig.store.benefactor(1).Kill();
     // Let the service detect, queue, and drain; repair traffic lands on
     // the surviving device/NIC timelines starting a few heartbeats in.
     ms.RunUntil(t0 + 2'000 * kMs);
@@ -99,25 +150,84 @@ RunResult RunWith(double fraction, bool kill) {
   // Foreground STREAM-style cold read, launched from the same virtual t0
   // the repair started at: its requests contend with whatever device/NIC
   // time the repair already claimed, and backfill the throttle's gaps.
-  sim::VirtualClock fg(t0);
-  std::vector<uint8_t> buf(kChunk);
-  for (uint32_t i = 0; i < kChunks; ++i) {
-    NVM_CHECK(client.ReadChunk(fg, *id, i, buf).ok());
-    NVM_CHECK(std::memcmp(buf.data(), data.data() + i * kChunk, kChunk) == 0,
-              "read-back mismatch");
+  r.fg_gbps = rig.ColdRead(t0);
+  return r;
+}
+
+struct CorruptResult {
+  double detect_ms = -1;  // flip -> replica quarantined
+  double heal_ms = -1;    // flip -> back at full replication, queue empty
+  uint64_t scrub_passes = 0;
+};
+
+// Silent single-bit rot on one replica; only scrub verification (budget
+// `verify_bytes` per pass) can find it.  The scrub period is long enough
+// that population finishes before the first pass, so every budget starts
+// its sweep from the same cursor position and detection latency depends
+// only on how many passes the budget needs to reach the rotten key.
+CorruptResult RunCorrupt(uint64_t verify_bytes) {
+  // Long enough that populating even the full dataset (~335 ms of virtual
+  // time) finishes before the first pass.
+  constexpr int64_t kScrubPeriodMs = 400;
+  store::AggregateStoreConfig sc;
+  sc.store.heartbeat_period_ms = 1;
+  sc.store.heartbeat_misses = 3;
+  sc.store.repair_bw_fraction = 0.5;
+  sc.store.scrub_period_ms = kScrubPeriodMs;
+  sc.store.scrub_verify = true;
+  sc.store.scrub_verify_bytes = verify_bytes;
+  Rig rig(sc);
+  store::Manager& m = rig.store.manager();
+  store::MaintenanceService& ms = *rig.store.maintenance();
+
+  const int64_t t0 = std::max(rig.populate_end_ns, ms.now_ns());
+  NVM_CHECK(t0 < kScrubPeriodMs * kMs,
+            "population outlived the first scrub period; raise the period");
+
+  // Flip one bit in the middle of the keyspace — no reader sees it, no
+  // failure is reported, the manager still believes the chunk is healthy.
+  sim::VirtualClock mc(t0);
+  auto loc = m.GetReadLocation(mc, rig.id, g_chunks / 2);
+  NVM_CHECK(loc.ok());
+  NVM_CHECK(rig.store.benefactor(static_cast<size_t>(loc->benefactors[0]))
+                .CorruptChunk(loc->key, /*byte_offset=*/4097, /*xor_mask=*/0x40)
+                .ok());
+
+  CorruptResult r;
+  const int64_t step = 100 * kMs;  // detection resolution: 100 ms
+  for (int64_t k = 1; k <= 400; ++k) {
+    ms.RunUntil(t0 + k * step);
+    if (r.detect_ms < 0 && m.corrupt_detected() > 0) {
+      r.detect_ms = static_cast<double>(k * step) / 1e6;
+    }
+    if (r.detect_ms >= 0 && m.corrupt_repaired() > 0 && ms.QueueEmpty()) {
+      r.heal_ms = static_cast<double>(k * step) / 1e6;
+      break;
+    }
   }
-  const double secs = static_cast<double>(fg.now() - t0) / 1e9;
-  r.fg_gbps = static_cast<double>(kChunks) * static_cast<double>(kChunk) /
-              secs / 1e9;
+  NVM_CHECK(r.detect_ms >= 0, "scrub never detected the flipped bit");
+  NVM_CHECK(r.heal_ms >= 0, "quarantined replica was never re-replicated");
+  r.scrub_passes = ms.stats().scrub_passes;
+
+  // Zero wrong bytes: after healing, every replica serves the original
+  // data (the cold read fails over and re-verifies on the way).
+  rig.ColdRead(ms.now_ns());
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  if (quick) g_chunks = 64;  // 4 MiB dataset for CI smoke runs
+
   Title("Repair MTTR vs foreground interference",
-        "16 MiB dataset, r=2 over 4 benefactors; one dies; background "
-        "repair at varying repair_bw_fraction");
+        Fmt("%u MiB dataset, r=2 over 4 benefactors; one dies; background "
+            "repair at varying repair_bw_fraction",
+            static_cast<unsigned>(g_chunks * kChunk >> 20)));
 
   const RunResult baseline = RunWith(0.5, /*kill=*/false);
   const double fractions[] = {0.1, 0.5, 1.0};
@@ -159,7 +269,39 @@ int main() {
               "every fraction recreates the same replica set (%llu)",
               static_cast<unsigned long long>(results[0].recreated));
 
+  // --- Corruption MTTR: silent bit rot vs the scrub verification budget.
+  const uint64_t total = static_cast<uint64_t>(g_chunks) * kChunk;
+  const uint64_t budgets[] = {total / 64, total / 16, total / 4};
+  std::vector<CorruptResult> rot;
+  for (uint64_t b : budgets) rot.push_back(RunCorrupt(b));
+
+  Table ct({"scrub_verify_bytes", "Detect (ms)", "Heal (ms)",
+            "Scrub passes"});
+  for (size_t i = 0; i < rot.size(); ++i) {
+    ct.AddRow({Fmt("%llu KiB", static_cast<unsigned long long>(
+                                   budgets[i] >> 10)),
+               Fmt("%.0f", rot[i].detect_ms), Fmt("%.0f", rot[i].heal_ms),
+               Fmt("%llu",
+                   static_cast<unsigned long long>(rot[i].scrub_passes))});
+  }
+  ct.Print();
+  Note("one flipped bit on one replica; detection = quarantine by the "
+       "checksum scrub (400 ms pass period), heal = full replication "
+       "restored.");
+
+  ok &= Shape(rot[0].detect_ms >= rot[1].detect_ms &&
+                  rot[1].detect_ms >= rot[2].detect_ms,
+              "a larger verification budget finds silent rot sooner "
+              "(%.0f >= %.0f >= %.0f ms)",
+              rot[0].detect_ms, rot[1].detect_ms, rot[2].detect_ms);
+  for (const CorruptResult& r : rot) {
+    ok &= Shape(r.heal_ms >= r.detect_ms,
+                "healing completes after detection (%.0f >= %.0f ms)",
+                r.heal_ms, r.detect_ms);
+  }
+
   JsonReport json("repair_mttr");
+  json.Add("quick", quick);
   json.Add("baseline_fg_gbps", baseline.fg_gbps);
   const char* tags[] = {"f0.1", "f0.5", "f1.0"};
   for (size_t i = 0; i < results.size(); ++i) {
@@ -168,6 +310,12 @@ int main() {
     json.Add(std::string(tags[i]) + "_idle_ms", results[i].idle_ms);
     json.Add(std::string(tags[i]) + "_fg_gbps", results[i].fg_gbps);
     json.Add(std::string(tags[i]) + "_recreated", results[i].recreated);
+  }
+  const char* ctags[] = {"vb_small", "vb_mid", "vb_large"};
+  for (size_t i = 0; i < rot.size(); ++i) {
+    json.Add(std::string(ctags[i]) + "_budget_bytes", budgets[i]);
+    json.Add(std::string(ctags[i]) + "_detect_ms", rot[i].detect_ms);
+    json.Add(std::string(ctags[i]) + "_heal_ms", rot[i].heal_ms);
   }
   json.Add("shape_ok", ok);
   json.Print();

@@ -16,7 +16,9 @@
 // replication, readahead, readahead_max, cache_shards, batch_fetch,
 // batch_rpc, batch_write_rpc, page_writeback, report (print store status),
 // maintenance (background failure detection/repair/scrub), plus its knobs
-// heartbeat_period_ms, heartbeat_misses, repair_bw_fraction, scrub_period_ms.
+// heartbeat_period_ms, heartbeat_misses, repair_bw_fraction, scrub_period_ms,
+// and the integrity knobs verify_reads, scrub_verify, scrub_verify_bytes,
+// checksum_bw_gbps (per-chunk CRC32C: verifying reads + checksum scrub).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -65,6 +67,12 @@ TestbedOptions BuildTestbed(const Config& cfg) {
       cfg.GetDouble("repair_bw_fraction", to.store.repair_bw_fraction);
   to.store.scrub_period_ms =
       cfg.GetInt("scrub_period_ms", to.store.scrub_period_ms);
+  to.store.verify_reads = cfg.GetBool("verify_reads", to.store.verify_reads);
+  to.store.scrub_verify = cfg.GetBool("scrub_verify", to.store.scrub_verify);
+  to.store.scrub_verify_bytes =
+      cfg.GetBytes("scrub_verify_bytes", to.store.scrub_verify_bytes);
+  to.store.checksum_bw_gbps =
+      cfg.GetDouble("checksum_bw_gbps", to.store.checksum_bw_gbps);
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }

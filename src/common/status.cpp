@@ -15,6 +15,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kIoError: return "IO_ERROR";
+    case ErrorCode::kCorrupt: return "CORRUPT";
   }
   return "UNKNOWN";
 }

@@ -27,6 +27,7 @@ enum class ErrorCode : uint8_t {
   kInternal,
   kUnimplemented,
   kIoError,
+  kCorrupt,         // stored data failed checksum verification (bit rot)
 };
 
 std::string_view error_code_name(ErrorCode code);
@@ -83,6 +84,9 @@ inline Status Unimplemented(std::string msg) {
 }
 inline Status IoError(std::string msg) {
   return {ErrorCode::kIoError, std::move(msg)};
+}
+inline Status Corrupt(std::string msg) {
+  return {ErrorCode::kCorrupt, std::move(msg)};
 }
 
 // Value-or-error result.  Accessing value() on an error aborts in debug

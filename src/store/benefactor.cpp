@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <tuple>
+
+#include "common/checksum.hpp"
 
 namespace nvm::store {
 
@@ -84,6 +87,53 @@ void Benefactor::MaybeKillAfterWrite() {
   if (n == 1) alive_ = false;
 }
 
+void Benefactor::CorruptAfterWrites(uint64_t n, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  corrupt_period_ = n;
+  corrupt_countdown_ = n;
+  corrupt_rng_ = seed;
+}
+
+void Benefactor::MaybeCorruptAfterWrite() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (corrupt_period_ == 0) return;
+  if (--corrupt_countdown_ > 0) return;
+  corrupt_countdown_ = corrupt_period_;
+  if (chunks_.empty()) return;
+  // Deterministic victim pick: walk the rng over the sorted key set so a
+  // given seed flips the same bits regardless of hash-map iteration order.
+  std::vector<ChunkKey> keys;
+  keys.reserve(chunks_.size());
+  for (const auto& [key, chunk] : chunks_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(), [](const ChunkKey& a, const ChunkKey& b) {
+    return std::tie(a.origin_file, a.index, a.version) <
+           std::tie(b.origin_file, b.index, b.version);
+  });
+  auto next = [this] {
+    corrupt_rng_ = Mix64(corrupt_rng_ + 0x9e3779b97f4a7c15ULL);
+    return corrupt_rng_;
+  };
+  StoredChunk& victim = chunks_[keys[next() % keys.size()]];
+  const uint64_t byte = next() % victim.data.size();
+  victim.data[byte] ^= static_cast<uint8_t>(1u << (next() % 8));
+  bitrot_flips_.Add(1);
+}
+
+Status Benefactor::CorruptChunk(const ChunkKey& key, uint64_t byte_offset,
+                                uint8_t xor_mask) {
+  if (byte_offset >= config_.chunk_bytes || xor_mask == 0) {
+    return InvalidArgument("CorruptChunk: bad offset or empty mask");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chunks_.find(key);
+  if (it == chunks_.end()) {
+    return NotFound("no stored chunk " + key.ToString() + " to corrupt");
+  }
+  it->second.data[byte_offset] ^= xor_mask;
+  bitrot_flips_.Add(1);
+  return OkStatus();
+}
+
 Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
                              std::span<uint8_t> out, bool* sparse) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
@@ -91,6 +141,8 @@ Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
   NVM_CHECK(out.size() == config_.chunk_bytes);
   if (sparse != nullptr) *sparse = false;
   uint64_t offset = 0;
+  bool has_crc = false;
+  uint32_t crc = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = chunks_.find(key);
@@ -103,9 +155,19 @@ Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
     }
     std::memcpy(out.data(), it->second.data.data(), config_.chunk_bytes);
     offset = it->second.ssd_offset;
+    has_crc = it->second.has_crc;
+    crc = it->second.crc;
   }
   node_.ssd().ChargeRead(clock, offset, config_.chunk_bytes);
   data_bytes_out_.Add(config_.chunk_bytes);
+  // Verify before serving: bit rot must never reach a reader.
+  if (config_.verify_reads && has_crc) {
+    clock.Advance(config_.checksum_ns(config_.chunk_bytes));
+    if (Crc32c(out.data(), config_.chunk_bytes) != crc) {
+      return Corrupt("benefactor " + std::to_string(id_) +
+                     ": checksum mismatch on " + key.ToString());
+    }
+  }
   MaybeKillAfterRead();
   return OkStatus();
 }
@@ -117,6 +179,12 @@ Status Benefactor::ReadChunkRun(sim::VirtualClock& clock,
   read_requests_.Add(1);
   std::vector<uint8_t> buf;
   bool first_data_chunk = true;
+  // The checksum engine pipelines with the device stream: chunk i is
+  // verified while chunk i+1 streams off the device, so only the tail
+  // verification extends the run (`clock` tracks the device timeline,
+  // `verify_done_ns` the engine).
+  int64_t verify_done_ns = clock.now();
+  bool verified_any = false;
   for (const ChunkKey& key : keys) {
     // A crash between chunks takes down the rest of the run: the caller
     // sees one UNAVAILABLE for the whole run and must discard whatever it
@@ -126,6 +194,8 @@ Status Benefactor::ReadChunkRun(sim::VirtualClock& clock,
     item.key = key;
     uint64_t offset = 0;
     bool stored = false;
+    bool has_crc = false;
+    uint32_t crc = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = chunks_.find(key);
@@ -134,6 +204,8 @@ Status Benefactor::ReadChunkRun(sim::VirtualClock& clock,
         buf.resize(config_.chunk_bytes);
         std::memcpy(buf.data(), it->second.data.data(), config_.chunk_bytes);
         offset = it->second.ssd_offset;
+        has_crc = it->second.has_crc;
+        crc = it->second.crc;
       }
     }
     if (!stored) {
@@ -150,16 +222,83 @@ Status Benefactor::ReadChunkRun(sim::VirtualClock& clock,
                               first_data_chunk);
     first_data_chunk = false;
     data_bytes_out_.Add(config_.chunk_bytes);
-    item.ready_at = clock.now();
+    // Verify before the chunk enters the reply stream; a mismatch aborts
+    // the whole run (like a mid-run death, but with CORRUPT) and the
+    // caller falls back to per-chunk reads with replica failover.
+    if (config_.verify_reads && has_crc) {
+      verify_done_ns = std::max(verify_done_ns, clock.now()) +
+                       config_.checksum_ns(config_.chunk_bytes);
+      verified_any = true;
+      if (Crc32c(buf.data(), buf.size()) != crc) {
+        return Corrupt("benefactor " + std::to_string(id_) +
+                       ": checksum mismatch on " + key.ToString() +
+                       " mid-run");
+      }
+      item.ready_at = verify_done_ns;
+    } else {
+      item.ready_at = clock.now();
+    }
     NVM_RETURN_IF_ERROR(sink(item, buf));
     MaybeKillAfterRead();
+  }
+  // The run itself is not complete until the last chunk clears the engine.
+  if (verified_any && verify_done_ns > clock.now()) {
+    clock.Advance(verify_done_ns - clock.now());
+  }
+  return OkStatus();
+}
+
+bool Benefactor::StoreCrcLocked(StoredChunk& chunk, size_t pages_written,
+                                const uint32_t* crc) {
+  if (!config_.integrity() || pages_written == 0) return false;
+  if (crc != nullptr && pages_written == config_.pages_per_chunk()) {
+    // Full-image write: the client already computed (and paid for) the
+    // checksum of exactly these bytes — store it verbatim.
+    chunk.crc = *crc;
+    chunk.has_crc = true;
+    return false;
+  }
+  // Partial-dirty write (or no client crc): the stored image is a merge of
+  // old and new pages, so the checksum must cover the merged result.  The
+  // caller charges the checksum CPU cost.
+  chunk.crc = Crc32c(chunk.data.data(), chunk.data.size());
+  chunk.has_crc = true;
+  return true;
+}
+
+Status Benefactor::VerifyChunk(sim::VirtualClock& clock, const ChunkKey& key,
+                               uint32_t expected_crc, bool* sparse) {
+  NVM_RETURN_IF_ERROR(EnsureAlive());
+  verify_requests_.Add(1);
+  if (sparse != nullptr) *sparse = false;
+  std::vector<uint8_t> buf;
+  uint64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chunks_.find(key);
+    if (it == chunks_.end()) {
+      // Reserved-but-never-written: nothing stored, nothing to rot.
+      if (sparse != nullptr) *sparse = true;
+      return OkStatus();
+    }
+    buf = it->second.data;
+    offset = it->second.ssd_offset;
+  }
+  // The verification read hits the device like any other read, but the
+  // bytes never leave the node: only the verdict crosses the network.
+  node_.ssd().ChargeRead(clock, offset, config_.chunk_bytes);
+  clock.Advance(config_.checksum_ns(config_.chunk_bytes));
+  if (Crc32c(buf.data(), buf.size()) != expected_crc) {
+    return Corrupt("benefactor " + std::to_string(id_) +
+                   ": scrub checksum mismatch on " + key.ToString());
   }
   return OkStatus();
 }
 
 Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
                               const Bitmap& dirty_pages,
-                              std::span<const uint8_t> data) {
+                              std::span<const uint8_t> data,
+                              const uint32_t* crc) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   write_requests_.Add(1);
   NVM_CHECK(data.size() == config_.chunk_bytes);
@@ -167,6 +306,9 @@ Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
 
   uint64_t offset = 0;
   size_t pages_written = 0;
+  bool charge_crc = false;
+  bool pre_verified = false;
+  bool pre_corrupt = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = chunks_.find(key);
@@ -175,24 +317,45 @@ Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
       chunk.data.assign(config_.chunk_bytes, 0);
       chunk.ssd_offset = AllocateOffset();
       it = chunks_.emplace(key, std::move(chunk)).first;
+    } else if (config_.integrity() && it->second.has_crc &&
+               dirty_pages.PopCount() > 0 &&
+               dirty_pages.PopCount() < config_.pages_per_chunk()) {
+      // Partial-dirty merge onto an existing image: verify the base first.
+      // Recomputing the merged checksum over unverified clean pages would
+      // launder bit rot into a fresh, matching checksum — the one state no
+      // scrub could ever catch.
+      pre_verified = true;
+      pre_corrupt = Crc32c(it->second.data.data(), it->second.data.size()) !=
+                    it->second.crc;
     }
-    offset = it->second.ssd_offset;
-    dirty_pages.ForEachSet([&](size_t page) {
-      const uint64_t off = page * config_.page_bytes;
-      std::memcpy(it->second.data.data() + off, data.data() + off,
-                  config_.page_bytes);
-      ++pages_written;
-    });
+    if (!pre_corrupt) {
+      offset = it->second.ssd_offset;
+      dirty_pages.ForEachSet([&](size_t page) {
+        const uint64_t off = page * config_.page_bytes;
+        std::memcpy(it->second.data.data() + off, data.data() + off,
+                    config_.page_bytes);
+        ++pages_written;
+      });
+      charge_crc = StoreCrcLocked(it->second, pages_written, crc);
+    }
+  }
+  if (pre_verified) clock.Advance(config_.checksum_ns(config_.chunk_bytes));
+  if (pre_corrupt) {
+    return Corrupt("benefactor " + std::to_string(id_) +
+                   ": pre-image checksum mismatch merging into " +
+                   key.ToString());
   }
   // Charge the device only for the dirty pages.  Pages within one chunk are
   // contiguous enough that we charge them as one request per dirty run; a
   // single combined request keeps the model simple and matches the paper's
   // "send only the dirty pages" accounting.
   if (pages_written > 0) {
+    if (charge_crc) clock.Advance(config_.checksum_ns(config_.chunk_bytes));
     const uint64_t bytes = pages_written * config_.page_bytes;
     node_.ssd().ChargeWrite(clock, offset, bytes);
     data_bytes_in_.Add(bytes);
     MaybeKillAfterWrite();
+    MaybeCorruptAfterWrite();
   }
   return OkStatus();
 }
@@ -234,6 +397,9 @@ Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
 
     uint64_t offset = 0;
     size_t pages_written = 0;
+    bool charge_crc = false;
+    bool pre_verified = false;
+    bool pre_corrupt = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = chunks_.find(item.key);
@@ -242,16 +408,39 @@ Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
         chunk.data.assign(config_.chunk_bytes, 0);
         chunk.ssd_offset = AllocateOffset();
         it = chunks_.emplace(item.key, std::move(chunk)).first;
+      } else if (config_.integrity() && it->second.has_crc &&
+                 item.dirty->PopCount() > 0 &&
+                 item.dirty->PopCount() < config_.pages_per_chunk()) {
+        // Same base-image verification as the per-chunk path: a merge must
+        // never launder rotted clean pages into a fresh checksum.
+        pre_verified = true;
+        pre_corrupt =
+            Crc32c(it->second.data.data(), it->second.data.size()) !=
+            it->second.crc;
       }
-      offset = it->second.ssd_offset;
-      item.dirty->ForEachSet([&](size_t page) {
-        const uint64_t off = page * config_.page_bytes;
-        std::memcpy(it->second.data.data() + off, item.data.data() + off,
-                    config_.page_bytes);
-        ++pages_written;
-      });
+      if (!pre_corrupt) {
+        offset = it->second.ssd_offset;
+        item.dirty->ForEachSet([&](size_t page) {
+          const uint64_t off = page * config_.page_bytes;
+          std::memcpy(it->second.data.data() + off, item.data.data() + off,
+                      config_.page_bytes);
+          ++pages_written;
+        });
+        charge_crc = StoreCrcLocked(it->second, pages_written,
+                                    item.has_crc ? &item.crc : nullptr);
+      }
+    }
+    if (pre_verified) clock.Advance(config_.checksum_ns(config_.chunk_bytes));
+    if (pre_corrupt) {
+      // The whole run aborts (the stream protocol has no per-item status);
+      // the caller falls back to per-chunk writes, where the corrupt
+      // replica is reported and the healthy ones still land.
+      return Corrupt("benefactor " + std::to_string(id_) +
+                     ": pre-image checksum mismatch merging into " +
+                     item.key.ToString() + " mid-run");
     }
     if (pages_written > 0) {
+      if (charge_crc) clock.Advance(config_.checksum_ns(config_.chunk_bytes));
       // The run occupies one device queueing slot: the first programmed
       // chunk pays the per-request write latency, the rest stream at
       // bandwidth.
@@ -261,6 +450,7 @@ Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
       first_data_chunk = false;
       data_bytes_in_.Add(pages_written * config_.page_bytes);
       MaybeKillAfterWrite();
+      MaybeCorruptAfterWrite();
     }
   }
   return OkStatus();
@@ -279,6 +469,11 @@ Status Benefactor::CloneChunk(sim::VirtualClock& clock, const ChunkKey& from,
       StoredChunk clone;
       clone.data = it->second.data;
       clone.ssd_offset = AllocateOffset();
+      // The clone inherits the source's checksum: a local copy of bytes
+      // whose crc is already known needs no recompute (any rot in the
+      // source propagates and is caught by the clone's verification).
+      clone.has_crc = it->second.has_crc;
+      clone.crc = it->second.crc;
       src_offset = it->second.ssd_offset;
       dst_offset = clone.ssd_offset;
       chunks_.emplace(to, std::move(clone));
@@ -305,6 +500,14 @@ std::vector<ChunkKey> Benefactor::StoredChunkKeys() const {
   keys.reserve(chunks_.size());
   for (const auto& [key, chunk] : chunks_) keys.push_back(key);
   return keys;
+}
+
+bool Benefactor::StoredContentCrc(const ChunkKey& key, uint32_t* crc) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chunks_.find(key);
+  if (it == chunks_.end()) return false;
+  *crc = Crc32c(it->second.data.data(), it->second.data.size());
+  return true;
 }
 
 Status Benefactor::DeleteChunk(const ChunkKey& key) {

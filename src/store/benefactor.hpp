@@ -46,7 +46,9 @@ class Benefactor {
   // that was reserved but never written reads as zeros without touching
   // the device (the backing file is sparse); `*sparse` reports this so the
   // client can skip the wire transfer (an ENOENT-for-the-chunk-file, as in
-  // the paper's store).
+  // the paper's store).  With config.verify_reads the stored bytes are
+  // re-checksummed before serving (CPU charged at checksum_bw_gbps); a
+  // mismatch fails the read with CORRUPT and serves nothing.
   Status ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
                    std::span<uint8_t> out, bool* sparse = nullptr);
 
@@ -65,9 +67,23 @@ class Benefactor {
   // Write the pages marked in `dirty_pages` from the chunk image `data`
   // into the stored chunk, materialising it if absent.  Only dirty pages
   // are charged to the device — this is the write-optimisation path of
-  // Table VII.
+  // Table VII.  `crc` is the caller-computed CRC32C of the full image:
+  // stored verbatim when the dirty set covers the whole chunk, otherwise
+  // (partial write, or no crc supplied) the benefactor recomputes over the
+  // merged image, charging the checksum CPU cost.  Ignored when both
+  // integrity knobs are off.
   Status WritePages(sim::VirtualClock& clock, const ChunkKey& key,
-                    const Bitmap& dirty_pages, std::span<const uint8_t> data);
+                    const Bitmap& dirty_pages, std::span<const uint8_t> data,
+                    const uint32_t* crc = nullptr);
+
+  // Scrub support: re-read the stored chunk off the device, recompute its
+  // CRC32C (both charged to `clock`) and compare against the manager's
+  // authoritative `expected_crc`.  A never-written chunk reports
+  // `*sparse` and verifies trivially; a mismatch returns CORRUPT.  The
+  // chunk bytes never cross the network — verification is benefactor-
+  // local against the shipped expected value.
+  Status VerifyChunk(sim::VirtualClock& clock, const ChunkKey& key,
+                     uint32_t expected_crc, bool* sparse = nullptr);
 
   // Multi-chunk streamed write — the write-side run RPC.  One call is ONE
   // request at this benefactor (one header, one device queueing slot).
@@ -106,6 +122,18 @@ class Benefactor {
   void KillAfterWrites(uint64_t n) {
     kill_after_writes_.store(n, std::memory_order_relaxed);
   }
+  // Silent-corruption injection: XOR `xor_mask` into byte `byte_offset` of
+  // the stored chunk without updating its checksum — models an SSD bit
+  // flip no layer observed.  No device traffic, no liveness change.
+  Status CorruptChunk(const ChunkKey& key, uint64_t byte_offset,
+                      uint8_t xor_mask);
+  // Seeded background bit-rot model (the corruption twin of
+  // KillAfterWrites): every `n` chunk programs on this benefactor flip one
+  // random bit of one random stored chunk, deterministically from `seed`.
+  // Recurring until disarmed with n = 0.
+  void CorruptAfterWrites(uint64_t n, uint64_t seed);
+  // Bits flipped by the bit-rot model so far.
+  uint64_t bitrot_flips() const { return bitrot_flips_.value(); }
 
   sim::SsdDevice& ssd() { return node_.ssd(); }
 
@@ -120,15 +148,25 @@ class Benefactor {
   // Write-plane requests served: every WritePages and every WriteChunkRun
   // counts once — the unit the write run RPC amortises across a window.
   uint64_t write_requests() const { return write_requests_.value(); }
+  // Scrub verification requests served (kept out of read_requests so the
+  // request-amortisation accounting of the run RPCs stays undisturbed).
+  uint64_t verify_requests() const { return verify_requests_.value(); }
 
   // Introspection for invariant tests: the exact chunk set stored here.
   bool HasChunk(const ChunkKey& key) const;
   std::vector<ChunkKey> StoredChunkKeys() const;
+  // Invariant-test hook: CRC32C recomputed over the stored bytes of `key`
+  // right now (no device or CPU charge).  False when the chunk is absent.
+  bool StoredContentCrc(const ChunkKey& key, uint32_t* crc) const;
 
  private:
   struct StoredChunk {
     std::vector<uint8_t> data;
     uint64_t ssd_offset = 0;  // position in the device address space
+    // Checksum recorded at write time (never recomputed on rot — that is
+    // the point: verification compares stored bytes against it).
+    bool has_crc = false;
+    uint32_t crc = 0;
   };
 
   // Assign a device offset for a newly materialised chunk.
@@ -139,6 +177,15 @@ class Benefactor {
   // Tick the KillAfterWrites countdown after a chunk's pages were
   // programmed.
   void MaybeKillAfterWrite();
+  // Tick the bit-rot countdown after a chunk's pages were programmed,
+  // flipping a random stored bit when it fires.
+  void MaybeCorruptAfterWrite();
+  // Record the chunk's checksum after `pages_written` pages were merged
+  // into it (mutex held).  Returns true when the caller must charge the
+  // checksum CPU cost (the merged image was recomputed here rather than
+  // taking the client-supplied full-image crc).
+  bool StoreCrcLocked(StoredChunk& chunk, size_t pages_written,
+                      const uint32_t* crc);
 
   const int id_;
   net::Node& node_;
@@ -153,10 +200,16 @@ class Benefactor {
   std::atomic<bool> alive_{true};
   std::atomic<uint64_t> kill_after_reads_{0};
   std::atomic<uint64_t> kill_after_writes_{0};
+  // Bit-rot model state (mutex_-guarded: firing picks a stored chunk).
+  uint64_t corrupt_period_ = 0;     // 0 = disarmed
+  uint64_t corrupt_countdown_ = 0;  // programs until the next flip
+  uint64_t corrupt_rng_ = 0;        // deterministic splitmix64 walk
   Counter data_bytes_in_;
   Counter data_bytes_out_;
   Counter read_requests_;
   Counter write_requests_;
+  Counter verify_requests_;  // scrub VerifyChunk calls served
+  Counter bitrot_flips_;
 };
 
 }  // namespace nvm::store

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/checksum.hpp"
 #include "common/log.hpp"
 
 namespace nvm::store {
@@ -140,6 +141,17 @@ Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
         manager_.MarkDead(bid);
         NVM_WLOG("benefactor %d unavailable reading %s; trying next replica",
                  bid, loc.key.ToString().c_str());
+      } else if (s.code() == ErrorCode::kCorrupt) {
+        // The replica failed its checksum: treat it like a dead copy.
+        // ReportCorrupt quarantines it at the manager (strips the replica,
+        // queues a repair from a verified survivor); the cached location
+        // now names a stripped replica, so drop it before the next read
+        // resolves afresh.
+        corrupt_failovers_.Add(1);
+        manager_.ReportCorrupt(loc.key, bid, clock.now());
+        InvalidateLocation(id, chunk_index);
+        NVM_WLOG("benefactor %d served corrupt %s; trying next replica",
+                 bid, loc.key.ToString().c_str());
       }
     }
     InvalidateLocation(id, chunk_index);
@@ -270,7 +282,8 @@ Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
 Status StoreClient::WriteReplica(sim::VirtualClock& clock,
                                  const WriteLocation& loc, int bid,
                                  const Bitmap& dirty_pages,
-                                 std::span<const uint8_t> chunk_image) {
+                                 std::span<const uint8_t> chunk_image,
+                                 const uint32_t* crc) {
   const StoreConfig& cfg = manager_.config();
   Benefactor* b = manager_.benefactor(bid);
   NVM_CHECK(b != nullptr);
@@ -284,7 +297,8 @@ Status StoreClient::WriteReplica(sim::VirtualClock& clock,
   const uint64_t dirty_bytes = dirty_pages.PopCount() * cfg.page_bytes;
   cluster_.network().Transfer(clock, local_node_, b->node_id(),
                               dirty_bytes + cfg.meta_request_bytes);
-  NVM_RETURN_IF_ERROR(b->WritePages(clock, loc.key, dirty_pages, chunk_image));
+  NVM_RETURN_IF_ERROR(
+      b->WritePages(clock, loc.key, dirty_pages, chunk_image, crc));
   cluster_.network().Transfer(clock, b->node_id(), local_node_,
                               cfg.meta_response_bytes);
   return OkStatus();
@@ -298,6 +312,15 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
   NVM_CHECK(chunk_image.size() == cfg.chunk_bytes);
   if (dirty_pages.None()) return OkStatus();
 
+  // Flush-time checksum: computed once over the full image and charged to
+  // the writer before the metadata round-trip (the batched path charges at
+  // the same spot, so a batch of one stays time-identical to this path).
+  uint32_t crc = 0;
+  const bool with_crc = cfg.integrity();
+  if (with_crc) {
+    crc = Crc32c(chunk_image.data(), chunk_image.size());
+    clock.Advance(cfg.checksum_ns(cfg.chunk_bytes));
+  }
   ChargeMetaRoundTrip(clock);
   NVM_ASSIGN_OR_RETURN(WriteLocation loc,
                        manager_.PrepareWrite(clock, id, chunk_index));
@@ -309,10 +332,12 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
   const int64_t t0 = clock.now();
   int64_t done = t0;
   size_t ok_replicas = 0;
+  bool corrupt_replica = false;
   Status last = Unavailable("no replicas");
   for (int bid : loc.benefactors) {
     sim::VirtualClock replica_clock(t0);
-    Status s = WriteReplica(replica_clock, loc, bid, dirty_pages, chunk_image);
+    Status s = WriteReplica(replica_clock, loc, bid, dirty_pages, chunk_image,
+                            with_crc ? &crc : nullptr);
     if (s.ok()) {
       ++ok_replicas;
       bytes_flushed_.Add(dirty_bytes);
@@ -323,14 +348,25 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
         NVM_WLOG("benefactor %d unavailable writing %s; continuing with "
                  "surviving replicas",
                  bid, loc.key.ToString().c_str());
+      } else if (s.code() == ErrorCode::kCorrupt) {
+        // The replica's base image failed the pre-merge verification — the
+        // write never landed there.  Quarantine it; repair rebuilds it from
+        // a replica that did take the write.
+        corrupt_replica = true;
+        manager_.ReportCorrupt(loc.key, bid, replica_clock.now());
+        NVM_WLOG("benefactor %d rejected merge into corrupt %s; replica "
+                 "quarantined",
+                 bid, loc.key.ToString().c_str());
       }
       last = s;
     }
   }
   clock.AdvanceTo(done);
   // Close the prepared write (success or not): lifts the repair fence and
-  // moves the epoch past anything a concurrent repair copied.
-  manager_.CompleteWrite(loc.key);
+  // moves the epoch past anything a concurrent repair copied.  The
+  // authoritative checksum is recorded only once a replica holds the data.
+  manager_.CompleteWrite(loc.key,
+                         with_crc && ok_replicas > 0 ? &crc : nullptr);
 
   if (ok_replicas == 0) {
     // Nothing holds the (possibly fresh) version: make sure later reads
@@ -344,7 +380,12 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
     // maintenance service is off).
     manager_.ReportDegraded(loc.key, clock.now());
   }
-  {
+  if (corrupt_replica) {
+    // The quarantine stripped (and deleted) a replica this location still
+    // names: force the next read through a fresh manager lookup rather
+    // than let it hit the deleted copy and see sparse zeros.
+    InvalidateLocation(id, chunk_index);
+  } else {
     // At least one replica holds the data: NOW the read cache may point at
     // the new chunk version.
     std::lock_guard<std::mutex> lock(loc_mutex_);
@@ -358,7 +399,8 @@ Status StoreClient::WriteRun(sim::VirtualClock& clock,
                              const BenefactorRun& run,
                              std::span<const WriteLocation> locs,
                              std::span<const ChunkWrite> writes,
-                             std::span<const size_t> active) {
+                             std::span<const size_t> active,
+                             std::span<const uint32_t> crcs) {
   const StoreConfig& cfg = manager_.config();
   Benefactor* b = manager_.benefactor(run.benefactor);
   NVM_CHECK(b != nullptr);
@@ -374,6 +416,10 @@ Status StoreClient::WriteRun(sim::VirtualClock& clock,
     item.data = w.image;
     item.needs_clone = locs[j].needs_clone;
     item.clone_from = locs[j].clone_from;
+    if (!crcs.empty()) {
+      item.has_crc = true;
+      item.crc = crcs[j];
+    }
     items.push_back(item);
   }
 
@@ -426,6 +472,18 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
     return OkStatus();
   }
 
+  // Flush-time checksums for the whole window, charged before the batched
+  // metadata round-trip (mirrors WriteChunkPages, so a batch of one stays
+  // time-identical to the legacy path).
+  const bool with_crc = cfg.integrity();
+  std::vector<uint32_t> crcs(with_crc ? active.size() : 0, 0);
+  if (with_crc) {
+    for (size_t j = 0; j < active.size(); ++j) {
+      crcs[j] = Crc32c(writes[active[j]].image.data(), cfg.chunk_bytes);
+    }
+    clock.Advance(cfg.checksum_ns(active.size() * cfg.chunk_bytes));
+  }
+
   // One metadata round-trip COW-resolves the whole window.
   ChargeMetaRoundTrip(clock);
   std::vector<uint32_t> indices;
@@ -441,6 +499,7 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
 
   // Per-item replica outcomes across all runs.
   std::vector<size_t> ok_replicas(active.size(), 0);
+  std::vector<char> corrupt_replica(active.size(), 0);
   std::vector<Status> last_err(active.size(), OkStatus());
   std::vector<int64_t> done(active.size(), t0);
 
@@ -449,7 +508,7 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
   // with them the replicas of each chunk) overlap.
   for (const BenefactorRun& run : GroupByBenefactor(locs)) {
     sim::VirtualClock run_clock(t0);
-    Status s = WriteRun(run_clock, run, locs, writes, active);
+    Status s = WriteRun(run_clock, run, locs, writes, active, crcs);
     if (s.ok()) {
       for (size_t j : run.items) {
         ++ok_replicas[j];
@@ -473,7 +532,7 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
       const ChunkWrite& w = writes[active[j]];
       sim::VirtualClock fallback(t0);
       Status rs = WriteReplica(fallback, locs[j], run.benefactor, *w.dirty,
-                               w.image);
+                               w.image, with_crc ? &crcs[j] : nullptr);
       if (rs.ok()) {
         ++ok_replicas[j];
         bytes_flushed_.Add(w.dirty->PopCount() * cfg.page_bytes);
@@ -481,6 +540,11 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
       } else {
         if (rs.code() == ErrorCode::kUnavailable) {
           manager_.MarkDead(run.benefactor);
+        } else if (rs.code() == ErrorCode::kCorrupt) {
+          // Rotted base image refused the merge: quarantine this replica
+          // (repair rebuilds it from one that took the write).
+          corrupt_replica[j] = true;
+          manager_.ReportCorrupt(locs[j].key, run.benefactor, fallback.now());
         }
         last_err[j] = rs;
       }
@@ -489,8 +553,13 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
 
   // Every replica attempt is over: close the prepared window in one lock
   // pass (lifts the repair fences, moves the epochs) before reporting any
-  // degraded chunks to the repair queue.
-  manager_.CompleteWrites(locs);
+  // degraded chunks to the repair queue.  Checksums are recorded only for
+  // chunks that reached at least one replica.
+  std::vector<char> wrote(active.size(), 0);
+  for (size_t j = 0; j < active.size(); ++j) {
+    wrote[j] = ok_replicas[j] > 0 ? 1 : 0;
+  }
+  manager_.CompleteWrites(locs, crcs, wrote);
 
   // Per-chunk verdicts, location-cache updates, and the caller's join.
   int64_t joined = t0;
@@ -506,8 +575,15 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
         // Degraded at the time this chunk's surviving writes completed.
         manager_.ReportDegraded(loc.key, done[j]);
       }
-      std::lock_guard<std::mutex> lock(loc_mutex_);
-      loc_cache_[LocKey{id, w.index}] = ReadLocation{loc.key, loc.benefactors};
+      if (corrupt_replica[j]) {
+        // A quarantined (deleted) replica is still in this list: force the
+        // next read through a fresh lookup instead of sparse zeros.
+        InvalidateLocation(id, w.index);
+      } else {
+        std::lock_guard<std::mutex> lock(loc_mutex_);
+        loc_cache_[LocKey{id, w.index}] =
+            ReadLocation{loc.key, loc.benefactors};
+      }
     }
     w.ready_at = done[j];
     joined = std::max(joined, done[j]);
@@ -523,6 +599,7 @@ void StoreClient::ResetCounters() {
   run_rpcs_.Reset();
   write_run_rpcs_.Reset();
   degraded_writes_.Reset();
+  corrupt_failovers_.Reset();
 }
 
 }  // namespace nvm::store

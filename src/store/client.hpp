@@ -134,6 +134,9 @@ class StoreClient {
   // Writes that succeeded on ≥1 but not all replicas (failed benefactors
   // were MarkDead'd; re-replication is the manager's repair job).
   uint64_t degraded_writes() const { return degraded_writes_.value(); }
+  // Reads that hit a checksum-mismatch (CORRUPT) reply and fell over to
+  // another replica; the bad copy was reported for quarantine + repair.
+  uint64_t corrupt_failovers() const { return corrupt_failovers_.value(); }
   void ResetCounters();
 
  private:
@@ -168,17 +171,22 @@ class StoreClient {
   // The legacy per-replica write wire sequence (clone instruction, dirty
   // pages + header, device program, response) against one benefactor on
   // the given clock.  Does not touch counters or the location cache.
+  // `crc` is the flush-time CRC32C of the full chunk image (nullptr when
+  // integrity is off).
   Status WriteReplica(sim::VirtualClock& clock, const WriteLocation& loc,
                       int bid, const Bitmap& dirty_pages,
-                      std::span<const uint8_t> chunk_image);
+                      std::span<const uint8_t> chunk_image,
+                      const uint32_t* crc);
   // One streamed WriteChunkRun against run.benefactor covering the items
   // named by run.items (indices into locs/active).  All-or-nothing: on
   // failure the caller retries every item per chunk — nothing a failed
-  // run streamed counts.
+  // run streamed counts.  `crcs` (parallel to locs/active) carries the
+  // flush-time checksums; empty when integrity is off.
   Status WriteRun(sim::VirtualClock& clock, const BenefactorRun& run,
                   std::span<const WriteLocation> locs,
                   std::span<const ChunkWrite> writes,
-                  std::span<const size_t> active);
+                  std::span<const size_t> active,
+                  std::span<const uint32_t> crcs);
 
   net::Cluster& cluster_;
   Manager& manager_;
@@ -189,6 +197,7 @@ class StoreClient {
   Counter run_rpcs_;
   Counter write_run_rpcs_;
   Counter degraded_writes_;
+  Counter corrupt_failovers_;
   std::mutex loc_mutex_;
   std::unordered_map<LocKey, ReadLocation, LocKeyHash> loc_cache_;
 };

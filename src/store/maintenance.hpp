@@ -19,7 +19,11 @@
 //   scrubber          a slow periodic Manager::ScrubOnce pass reconciling
 //                     chunk maps against benefactor state, reclaiming
 //                     orphans and re-queueing missed under-replicated
-//                     chunks
+//                     chunks; with scrub_verify it also runs an incremental
+//                     Manager::VerifyScrub sweep re-checksumming stored
+//                     chunk contents (scrub_verify_bytes per pass, same
+//                     duty-cycle throttle as repair) and queueing
+//                     quarantined bit rot for re-replication
 //
 // Locking discipline: all engine state (schedule, miss counters) is
 // touched only from worker tasks; the repair queue and schedule target are
@@ -68,6 +72,11 @@ struct MaintenanceStats {
   uint64_t scrub_orphans_deleted = 0;
   uint64_t scrub_reservation_fixes = 0;
   uint64_t scrub_requeued = 0;
+  // Checksum verification (scrub_verify).
+  uint64_t scrub_chunks_verified = 0;  // distinct keys visited by the sweep
+  uint64_t scrub_bytes_verified = 0;   // chunk bytes read + checksummed
+  uint64_t corrupt_chunks_detected = 0;  // replicas quarantined (read+scrub)
+  uint64_t corrupt_chunks_repaired = 0;  // healed back to full replication
   // Worker clock position.
   int64_t clock_ns = 0;
 };
@@ -153,6 +162,8 @@ class MaintenanceService {
   Counter scrub_orphans_;
   Counter scrub_res_fixes_;
   Counter scrub_requeued_;
+  Counter scrub_chunks_verified_;
+  Counter scrub_bytes_verified_;
   std::atomic<int64_t> repair_busy_ns_{0};
   std::atomic<int64_t> throttle_idle_ns_{0};
   std::atomic<int64_t> converged_ns_{-1};

@@ -1,8 +1,10 @@
 #include "store/manager.hpp"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_set>
 
+#include "common/checksum.hpp"
 #include "common/log.hpp"
 #include "store/maintenance.hpp"
 
@@ -145,6 +147,36 @@ void Manager::UndoRepairTargetLocked(const ChunkKey& key, int bid) {
   b->ReleaseChunkReservation(1);
 }
 
+bool Manager::QuarantineReplicaLocked(const ChunkKey& key, int bid) {
+  const std::vector<int>* current = CurrentReplicasLocked(key);
+  if (current == nullptr ||
+      std::find(current->begin(), current->end(), bid) == current->end()) {
+    return false;  // already quarantined, replaced, or freed
+  }
+  corrupt_detected_.Add(1);
+  corrupt_pending_.insert(key);
+  // The copy is untrustworthy: drop its data and space immediately so no
+  // reader or repair ever consults it again.
+  Benefactor* b = benefactors_[static_cast<size_t>(bid)];
+  (void)b->DeleteChunk(key);
+  b->ReleaseChunkReservation(1);
+  std::vector<int> rest;
+  rest.reserve(current->size() - 1);
+  for (int id : *current) {
+    if (id != bid) rest.push_back(id);
+  }
+  if (rest.empty()) {
+    // Every replica has now failed verification: the chunk is lost, not
+    // degraded (there is no verified source to repair from).
+    lost_chunks_.Add(1);
+  }
+  SetReplicasLocked(key, rest);
+  // Any repair copy in flight may have read the quarantined replica: move
+  // the epoch so its commit fails and retries against the verified list.
+  ++repair_epochs_[key];
+  return true;
+}
+
 bool Manager::IsRepairTargetLocked(const ChunkKey& key, int bid) const {
   auto it = repair_targets_.find(key);
   return it != repair_targets_.end() &&
@@ -152,23 +184,40 @@ bool Manager::IsRepairTargetLocked(const ChunkKey& key, int bid) const {
              it->second.end();
 }
 
-void Manager::CompleteWriteLocked(const ChunkKey& key) {
+void Manager::CompleteWriteLocked(const ChunkKey& key, const uint32_t* crc) {
   auto it = inflight_writers_.find(key);
   NVM_CHECK(it != inflight_writers_.end(), "unmatched CompleteWrite");
   if (--it->second == 0) inflight_writers_.erase(it);
   // The write's bytes (if any landed) postdate every repair copy taken
   // while it was in flight: move the epoch so such a commit fails.
-  if (refcounts_.contains(key)) ++repair_epochs_[key];
+  if (refcounts_.contains(key)) {
+    ++repair_epochs_[key];
+    // The flush-time checksum becomes authoritative for the new contents.
+    // A completion without one (raw benefactor write, failed flush) leaves
+    // the contents unknown: drop any stale entry rather than let a later
+    // repair stamp the old checksum onto fresh bytes.
+    if (crc != nullptr) {
+      checksums_[key] = *crc;
+    } else {
+      checksums_.erase(key);
+    }
+  }
 }
 
-void Manager::CompleteWrite(const ChunkKey& key) {
+void Manager::CompleteWrite(const ChunkKey& key, const uint32_t* crc) {
   std::lock_guard<std::mutex> lock(mutex_);
-  CompleteWriteLocked(key);
+  CompleteWriteLocked(key, crc);
 }
 
-void Manager::CompleteWrites(std::span<const WriteLocation> locs) {
+void Manager::CompleteWrites(std::span<const WriteLocation> locs,
+                             std::span<const uint32_t> crcs,
+                             std::span<const char> ok) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const WriteLocation& loc : locs) CompleteWriteLocked(loc.key);
+  for (size_t i = 0; i < locs.size(); ++i) {
+    const uint32_t* crc =
+        !crcs.empty() && (ok.empty() || ok[i] != 0) ? &crcs[i] : nullptr;
+    CompleteWriteLocked(locs[i].key, crc);
+  }
 }
 
 std::vector<ChunkKey> Manager::CollectUnderReplicated() const {
@@ -290,6 +339,13 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
     plan.incomplete = plan.targets.size() < need;
     auto eit = repair_epochs_.find(key);
     plan.epoch = eit == repair_epochs_.end() ? 0 : eit->second;
+    // Snapshot the authoritative checksum: the copy must be verified
+    // against it before any target receives the bytes.
+    auto cit = checksums_.find(key);
+    if (cit != checksums_.end()) {
+      plan.has_crc = true;
+      plan.crc = cit->second;
+    }
     plans.push_back(std::move(plan));
   }
   return plans;
@@ -301,16 +357,35 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
   out.plan = plan;
   if (plan.targets.empty()) return out;
   std::vector<uint8_t> buf(config_.chunk_bytes);
-  // Read from the first survivor still answering (one may have died since
-  // the plan was made).
+  // Read from the first survivor still answering whose bytes VERIFY (one
+  // may have died — or rotted — since the plan was made).  Re-replication
+  // must never seed targets from an unverified replica while a verified
+  // one may exist.
   bool sparse = false;
   int src = -1;
   for (int bid : plan.survivors) {
     Benefactor* b = benefactor(bid);
-    if (b != nullptr && b->ReadChunk(clock, plan.key, buf, &sparse).ok()) {
-      src = bid;
-      break;
+    if (b == nullptr) continue;
+    Status s = b->ReadChunk(clock, plan.key, buf, &sparse);
+    if (s.code() == ErrorCode::kCorrupt) {
+      // The survivor failed its own read verification: quarantine at
+      // commit, try the next one.
+      out.corrupt_sources.push_back(bid);
+      continue;
     }
+    if (!s.ok()) continue;
+    if (!sparse && plan.has_crc && !config_.verify_reads) {
+      // With verify_reads off the benefactor served unchecked bytes —
+      // verify here against the authoritative checksum (and charge the
+      // CPU; with verify_reads on the read already did both).
+      clock.Advance(config_.checksum_ns(config_.chunk_bytes));
+      if (Crc32c(buf.data(), buf.size()) != plan.crc) {
+        out.corrupt_sources.push_back(bid);
+        continue;
+      }
+    }
+    src = bid;
+    break;
   }
   if (src < 0) {
     out.failed = plan.targets;
@@ -327,9 +402,13 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
     sim::VirtualClock copy(start);
     if (ok && !sparse) {
       // Benefactor-to-benefactor move; the manager never touches the data.
+      // The verified source bytes carry the authoritative checksum, so the
+      // target stores it without recomputing.
       cluster_.network().Transfer(copy, benefactor(src)->node_id(),
                                   b->node_id(), config_.chunk_bytes);
-      ok = b->WritePages(copy, plan.key, all_pages, buf).ok();
+      ok = b->WritePages(copy, plan.key, all_pages, buf,
+                         plan.has_crc ? &plan.crc : nullptr)
+               .ok();
     }
     // A sparse chunk has no bytes to move: the reservation alone makes the
     // replica (it reads back as zeros, exactly like the survivors).
@@ -389,6 +468,24 @@ uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
   }
   for (int bid : outcome.failed) UndoRepairTargetLocked(plan.key, bid);
   SetReplicasLocked(plan.key, fresh);
+  // Survivors caught serving corrupt bytes during the copy are stripped
+  // now, under the same commit (the epoch check above guarantees no write
+  // refreshed them in between); the shortened list needs another round.
+  bool stripped = false;
+  for (int bid : outcome.corrupt_sources) {
+    if (QuarantineReplicaLocked(plan.key, bid)) stripped = true;
+  }
+  if (stripped && requeue != nullptr) *requeue = true;
+  // A chunk quarantined earlier counts as healed once it is back at full
+  // replication with verified copies only.
+  if (corrupt_pending_.contains(plan.key)) {
+    const std::vector<int>* now = CurrentReplicasLocked(plan.key);
+    if (now != nullptr &&
+        now->size() >= static_cast<size_t>(config_.replication)) {
+      corrupt_pending_.erase(plan.key);
+      corrupt_repaired_.Add(1);
+    }
+  }
   // Short of the plan (no readable survivor, or targets died mid-copy):
   // hand the key back so the caller retries promptly instead of waiting
   // for the next heartbeat declaration or scrub pass to rediscover it.
@@ -497,6 +594,148 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
   return result;
 }
 
+Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
+                                           uint64_t max_bytes) {
+  VerifyResult result;
+  if (!config_.scrub_verify || max_bytes == 0) return result;
+
+  struct Candidate {
+    ChunkKey key;
+    std::vector<int> replicas;
+    uint32_t crc = 0;
+    uint64_t epoch = 0;
+  };
+  auto key_less = [](const ChunkKey& a, const ChunkKey& b) {
+    return std::tie(a.origin_file, a.index, a.version) <
+           std::tie(b.origin_file, b.index, b.version);
+  };
+
+  // Phase 1 (mutex) — snapshot the next cursor batch: placed chunks with a
+  // recorded checksum and no write in flight, in sorted key order, until
+  // the byte budget is covered (at least one chunk always makes the batch
+  // so tiny budgets still progress).
+  std::vector<Candidate> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    service_.Acquire(clock, config_.manager_op_ns);  // batch lookup cost
+    std::unordered_map<ChunkKey, const std::vector<int>*, ChunkKeyHash> placed;
+    for (const auto& [fid, meta] : files_) {
+      for (const ChunkRef& ref : meta.chunks) {
+        placed.try_emplace(ref.key, &ref.benefactors);
+      }
+    }
+    std::vector<ChunkKey> keys;
+    keys.reserve(placed.size());
+    for (const auto& [key, list] : placed) keys.push_back(key);
+    std::sort(keys.begin(), keys.end(), key_less);
+
+    uint64_t planned = 0;
+    bool stopped = false;
+    for (const ChunkKey& key : keys) {
+      if (verify_cursor_.has_value() && !key_less(*verify_cursor_, key)) {
+        continue;  // at or before the cursor: already covered this lap
+      }
+      const std::vector<int>* list = placed[key];
+      if (list->empty()) continue;                    // lost: nothing to read
+      if (inflight_writers_.contains(key)) continue;  // bytes in flux
+      auto cit = checksums_.find(key);
+      if (cit == checksums_.end()) continue;  // never written: nothing to rot
+      const uint64_t cost = config_.chunk_bytes * list->size();
+      if (!batch.empty() && planned + cost > max_bytes) {
+        stopped = true;
+        break;
+      }
+      planned += cost;
+      Candidate c;
+      c.key = key;
+      c.replicas = *list;
+      c.crc = cit->second;
+      auto eit = repair_epochs_.find(key);
+      c.epoch = eit == repair_epochs_.end() ? 0 : eit->second;
+      batch.push_back(std::move(c));
+      verify_cursor_ = key;
+    }
+    if (!stopped) {
+      result.wrapped = true;  // covered the tail of the keyspace
+      verify_cursor_.reset();
+    }
+  }
+
+  // Phase 2 (no mutex) — verify every alive replica benefactor-locally:
+  // one request/verdict round-trip each; the chunk bytes never leave the
+  // benefactor's node.
+  uint32_t zero_crc = 0;
+  if (!batch.empty()) {
+    const std::vector<uint8_t> zeros(config_.chunk_bytes, 0);
+    zero_crc = Crc32c(zeros.data(), zeros.size());
+  }
+  struct Mismatch {
+    size_t cand;
+    int bid;
+  };
+  std::vector<Mismatch> mismatches;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Candidate& c = batch[i];
+    ++result.chunks_checked;
+    for (int bid : c.replicas) {
+      Benefactor* b = benefactor(bid);
+      if (b == nullptr || !b->alive()) continue;  // repair's business
+      cluster_.network().Transfer(clock, manager_node_, b->node_id(),
+                                  config_.meta_request_bytes);
+      bool sparse = false;
+      Status s = b->VerifyChunk(clock, c.key, c.crc, &sparse);
+      cluster_.network().Transfer(clock, b->node_id(), manager_node_,
+                                  config_.meta_response_bytes);
+      if (s.code() == ErrorCode::kCorrupt) {
+        result.bytes_checked += config_.chunk_bytes;
+        mismatches.push_back({i, bid});
+      } else if (s.ok()) {
+        if (sparse) {
+          // A replica with no stored bytes reads as zeros: that is silent
+          // corruption too unless the chunk really is all zeros.
+          if (c.crc != zero_crc) mismatches.push_back({i, bid});
+        } else {
+          result.bytes_checked += config_.chunk_bytes;
+        }
+      }
+      // Unavailable: died between phases — the heartbeat/repair path owns
+      // dead replicas.
+    }
+  }
+
+  // Phase 3 (mutex) — quarantine confirmed mismatches, dropping any whose
+  // chunk was rewritten or repaired while the verification ran (their
+  // verdicts describe bytes that no longer exist).
+  if (!mismatches.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    service_.Acquire(clock, config_.manager_op_ns);
+    // Our own quarantines bump the epoch by one each; account for them so
+    // a chunk with several corrupt replicas sheds all of them in one pass.
+    std::unordered_map<ChunkKey, uint64_t, ChunkKeyHash> own_bumps;
+    for (const Mismatch& m : mismatches) {
+      const Candidate& c = batch[m.cand];
+      auto eit = repair_epochs_.find(c.key);
+      const uint64_t epoch = eit == repair_epochs_.end() ? 0 : eit->second;
+      if (epoch != c.epoch + own_bumps[c.key] ||
+          inflight_writers_.contains(c.key)) {
+        ++result.skipped;
+        continue;
+      }
+      if (QuarantineReplicaLocked(c.key, m.bid)) {
+        ++own_bumps[c.key];
+        ++result.corrupt_found;
+        const std::vector<int>* now = CurrentReplicasLocked(c.key);
+        if (now != nullptr && !now->empty()) {
+          result.quarantined.push_back(c.key);
+        }
+      } else {
+        ++result.skipped;
+      }
+    }
+  }
+  return result;
+}
+
 void Manager::AttachMaintenance(MaintenanceService* service) {
   // Exclusive: detaching blocks until every hook call already holding the
   // shared lock has returned, so ~MaintenanceService cannot destroy the
@@ -508,6 +747,28 @@ void Manager::AttachMaintenance(MaintenanceService* service) {
 void Manager::ReportDegraded(const ChunkKey& key, int64_t now_ns) {
   std::shared_lock<std::shared_mutex> lock(hook_mu_);
   if (maintenance_ != nullptr) maintenance_->ReportDegraded(key, now_ns);
+}
+
+void Manager::ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns) {
+  bool degraded = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (QuarantineReplicaLocked(key, bid)) {
+      const std::vector<int>* current = CurrentReplicasLocked(key);
+      degraded = current != nullptr && !current->empty();
+    }
+  }
+  // Queue a repair only when a surviving replica can seed the
+  // re-replication (a fully corrupt chunk is lost, not degraded).
+  if (degraded) ReportDegraded(key, now_ns);
+}
+
+bool Manager::LookupChecksum(const ChunkKey& key, uint32_t* crc) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = checksums_.find(key);
+  if (it == checksums_.end()) return false;
+  *crc = it->second;
+  return true;
 }
 
 void Manager::MaintenanceTick(int64_t now_ns) {
@@ -571,9 +832,12 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
                 clock, leaving->node_id(),
                 benefactors_[static_cast<size_t>(dst)]->node_id(),
                 config_.chunk_bytes);
+            // The migrated bytes keep their authoritative checksum.
+            auto cit = checksums_.find(ref.key);
             NVM_RETURN_IF_ERROR(
                 benefactors_[static_cast<size_t>(dst)]->WritePages(
-                    clock, ref.key, all_pages, buf));
+                    clock, ref.key, all_pages, buf,
+                    cit != checksums_.end() ? &cit->second : nullptr));
           }
           (void)leaving->DeleteChunk(ref.key);
           leaving->ReleaseChunkReservation(1);
@@ -639,6 +903,8 @@ void Manager::UnrefChunkLocked(const ChunkRef& ref) {
   if (--it->second == 0) {
     refcounts_.erase(it);
     repair_epochs_.erase(ref.key);
+    checksums_.erase(ref.key);
+    corrupt_pending_.erase(ref.key);
     for (int bid : ref.benefactors) {
       Benefactor* b = benefactors_[static_cast<size_t>(bid)];
       (void)b->DeleteChunk(ref.key);

@@ -15,10 +15,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -115,11 +117,19 @@ class Manager {
     std::vector<int> targets;    // reserved destinations
     uint64_t epoch = 0;          // repair epoch of `key` at plan time
     bool incomplete = false;     // alive capacity too low to fully heal
+    // Authoritative checksum snapshot: the copy must come from a survivor
+    // whose bytes verify against it — never from an unverified replica
+    // while a verified one may exist.
+    bool has_crc = false;
+    uint32_t crc = 0;
   };
   struct RepairOutcome {
     RepairPlan plan;
     std::vector<int> written;  // targets now holding the data
     std::vector<int> failed;   // targets that died mid-copy
+    // Survivors whose bytes failed checksum verification during the copy:
+    // CommitRepair quarantines them (strips the replica, requeues).
+    std::vector<int> corrupt_sources;
   };
 
   // Every distinct chunk key whose replica list names a dead benefactor or
@@ -175,6 +185,40 @@ class Manager {
     std::vector<ChunkKey> under_replicated;
   };
   ScrubResult ScrubOnce(sim::VirtualClock& clock);
+
+  // --- checksum verification scrub ---
+  //
+  // Incremental sweep verifying stored chunk contents against the
+  // manager's authoritative checksums, at most `max_bytes` of chunk data
+  // per call; a cursor over the sorted keyspace makes successive calls
+  // cover the whole store.  Three phases so no chunk data moves while the
+  // mutex is held: snapshot a candidate batch (mutex), VerifyChunk each
+  // replica benefactor-locally (no mutex — only the verdict crosses the
+  // network), then quarantine confirmed mismatches (mutex, re-validating
+  // that no write or repair raced the verification).
+  struct VerifyResult {
+    uint64_t chunks_checked = 0;   // distinct keys visited
+    uint64_t bytes_checked = 0;    // chunk bytes read + checksummed
+    uint64_t corrupt_found = 0;    // replicas quarantined
+    uint64_t skipped = 0;          // mismatches dropped: raced a write/repair
+    bool wrapped = false;          // cursor passed the end of the keyspace
+    // Quarantined keys that still have a verified survivor — hand these to
+    // the repair queue for re-replication.
+    std::vector<ChunkKey> quarantined;
+  };
+  VerifyResult VerifyScrub(sim::VirtualClock& clock, uint64_t max_bytes);
+
+  // A reader saw a checksum mismatch on (key, bid): quarantine that
+  // replica (strip it from the list, drop its data and space) and, when a
+  // survivor remains, queue a repair.  Never called with the mutex held.
+  void ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns);
+
+  // Corrupt replicas detected (read path + scrub, cumulative) and corrupt
+  // chunks healed back to full replication by the repair engine.
+  uint64_t corrupt_detected() const { return corrupt_detected_.value(); }
+  uint64_t corrupt_repaired() const { return corrupt_repaired_.value(); }
+  // Test hook: the authoritative checksum recorded for `key`, if any.
+  bool LookupChecksum(const ChunkKey& key, uint32_t* crc) const;
 
   // Chunks that lost every replica to failures (cumulative).
   uint64_t lost_chunks() const { return lost_chunks_.value(); }
@@ -243,9 +287,16 @@ class Manager {
   // The write prepared for `key` has finished moving data (or given up):
   // drops the in-flight-writer fence and moves the repair epoch, so a
   // repair copy taken while the write was in flight can never commit.
-  void CompleteWrite(const ChunkKey& key);
+  // `crc` (when non-null) becomes the chunk's authoritative checksum —
+  // callers pass it only when at least one replica holds the data.
+  void CompleteWrite(const ChunkKey& key, const uint32_t* crc = nullptr);
   // Batch variant: one lock pass completes a whole prepared window.
-  void CompleteWrites(std::span<const WriteLocation> locs);
+  // `crcs` (parallel to locs; may be empty) carries the flush-time
+  // checksums, recorded per chunk only where `ok` (parallel; may be empty
+  // = all ok) says a replica holds the data.
+  void CompleteWrites(std::span<const WriteLocation> locs,
+                      std::span<const uint32_t> crcs = {},
+                      std::span<const char> ok = {});
 
   // --- checkpoint support ---
 
@@ -296,10 +347,15 @@ class Manager {
   // reservation is released — the data now belongs to the published list.
   void UndoRepairTargetLocked(const ChunkKey& key, int bid);
   // Mutex-held core of CompleteWrite.
-  void CompleteWriteLocked(const ChunkKey& key);
+  void CompleteWriteLocked(const ChunkKey& key, const uint32_t* crc = nullptr);
   // True when (key, bid) is a reserved target of a repair plan whose
   // commit has not run yet (mutex held).
   bool IsRepairTargetLocked(const ChunkKey& key, int bid) const;
+  // Strip the corrupt replica (key, bid): drop its data and space, publish
+  // the shortened list, bump the repair epoch.  Returns false when bid is
+  // no longer in the chunk's list (already quarantined or replaced) —
+  // nothing new to learn.  Mutex held.
+  bool QuarantineReplicaLocked(const ChunkKey& key, int bid);
 
   net::Cluster& cluster_;
   const int manager_node_;
@@ -327,9 +383,20 @@ class Manager {
   // the benefactor before the replica list names it.
   std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash>
       repair_targets_;
+  // Authoritative per-chunk checksums, recorded at write completion (only
+  // when integrity is on).  Entries die with the chunk's last reference.
+  std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> checksums_;
+  // Chunks with a quarantined (corrupt) replica still awaiting full
+  // re-replication; drained into corrupt_repaired_ by CommitRepair.
+  std::unordered_set<ChunkKey, ChunkKeyHash> corrupt_pending_;
+  // Resume point of the incremental verification sweep (nullopt: restart
+  // from the lowest key).
+  std::optional<ChunkKey> verify_cursor_;
   FileId next_file_id_ = 1;
   size_t stripe_cursor_ = 0;
   Counter lost_chunks_;
+  Counter corrupt_detected_;
+  Counter corrupt_repaired_;
   // Guards the maintenance hook pointer: signal forwarding holds it
   // shared, attach/detach exclusive — so ~MaintenanceService's detach
   // waits out any client thread already inside a hook call.

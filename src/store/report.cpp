@@ -51,6 +51,14 @@ std::string StatusReport(AggregateStore& store,
                   static_cast<unsigned long long>(store.manager().lost_chunks()));
     out += line;
   }
+  if (store.manager().corrupt_detected() > 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "CORRUPT replicas detected: %llu (%llu chunks healed)\n",
+        static_cast<unsigned long long>(store.manager().corrupt_detected()),
+        static_cast<unsigned long long>(store.manager().corrupt_repaired()));
+    out += line;
+  }
 
   if (const MaintenanceService* m = store.maintenance()) {
     const MaintenanceStats s = m->stats();
@@ -89,6 +97,15 @@ std::string StatusReport(AggregateStore& store,
                   static_cast<unsigned long long>(s.scrub_orphans_deleted),
                   static_cast<unsigned long long>(s.scrub_reservation_fixes),
                   static_cast<unsigned long long>(s.scrub_requeued));
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "  verify: %llu chunks (%s) checksummed, %llu corrupt detected, "
+        "%llu healed\n",
+        static_cast<unsigned long long>(s.scrub_chunks_verified),
+        FormatBytes(s.scrub_bytes_verified).c_str(),
+        static_cast<unsigned long long>(s.corrupt_chunks_detected),
+        static_cast<unsigned long long>(s.corrupt_chunks_repaired));
     out += line;
   }
 

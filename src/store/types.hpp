@@ -69,6 +69,11 @@ struct ChunkWriteItem {
   std::span<const uint8_t> data;
   bool needs_clone = false;
   ChunkKey clone_from;
+  // Client-computed CRC32C of the full chunk image (valid when `has_crc`);
+  // the benefactor stores it with the chunk — or recomputes over the
+  // merged image when the dirty set covers only part of the chunk.
+  bool has_crc = false;
+  uint32_t crc = 0;
 };
 
 // Wire-message kinds inside a write run.  kControl carries run/clone
@@ -135,6 +140,33 @@ struct StoreConfig {
   // Scrubber: period of the slow scan reconciling manager chunk maps
   // against benefactor stored-chunk sets and reservation accounting.
   int64_t scrub_period_ms = 500;
+
+  // --- end-to-end chunk integrity (common/checksum.hpp) ---
+  // Benefactors verify a chunk's CRC32C before serving it; a mismatch
+  // fails the read with CORRUPT and the client fails over to another
+  // replica, quarantining the bad copy for repair.
+  bool verify_reads = true;
+  // The scrubber additionally verifies stored chunk contents against the
+  // manager's authoritative checksums, `scrub_verify_bytes` per pass, and
+  // quarantines silent bit rot no reader has touched yet.
+  bool scrub_verify = true;
+  // Per-pass byte budget of the scrub verification sweep (a round-robin
+  // cursor covers the whole store incrementally across passes).
+  uint64_t scrub_verify_bytes = 8_MiB;
+  // Modelled CPU throughput of the software CRC32C, in GB/s: every
+  // checksummed byte charges 1/bw ns to the computing side's clock, so
+  // integrity is never free in virtual-time results.
+  double checksum_bw_gbps = 4.0;
+
+  // With both integrity knobs off no checksum is computed, stored, or
+  // charged anywhere — byte- and virtual-time-identical to the pre-
+  // integrity store.
+  bool integrity() const { return verify_reads || scrub_verify; }
+  int64_t checksum_ns(uint64_t bytes) const {
+    // 1 GB/s == 1 byte/ns, so bytes / GBps is already ns.
+    return static_cast<int64_t>(static_cast<double>(bytes) /
+                                checksum_bw_gbps);
+  }
 
   uint64_t pages_per_chunk() const { return chunk_bytes / page_bytes; }
 };

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -38,9 +39,15 @@ struct Harness {
   std::unique_ptr<fuselite::MountPoint> mount;
   // Shadow model: the exact bytes every live file must read back.
   std::map<std::string, std::vector<uint8_t>> shadow;
+  // While bit rot is armed, a stored replica may legitimately disagree
+  // with the manager's authoritative checksum until a read or scrub finds
+  // it; the checksum invariant is suspended until the rot is disarmed and
+  // the scrub has converged.
+  bool expect_clean_checksums = true;
 
   explicit Harness(int replication, bool batch_write_rpc = true,
-                   bool maintenance = false) {
+                   bool maintenance = false,
+                   std::function<void(store::StoreConfig&)> tweak = {}) {
     net::ClusterConfig cc;
     cc.num_nodes = kBenefactors + 1;
     cluster = std::make_unique<net::Cluster>(cc);
@@ -54,6 +61,7 @@ struct Harness {
       sc.store.heartbeat_misses = 3;
       sc.store.scrub_period_ms = 20;
     }
+    if (tweak) tweak(sc.store);
     for (int b = 0; b < kBenefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
     sc.contribution_bytes = 64_MiB;
     sc.manager_node = 1;
@@ -117,6 +125,26 @@ struct Harness {
           ++expected_reserved[static_cast<size_t>(b)];
         }
         ASSERT_GE(store->manager().ChunkRefcount(loc.key), 1u);
+        // 5. Checksum agreement: whenever the manager holds an
+        //    authoritative flush-time checksum for a chunk, every stored
+        //    replica's bytes must hash to exactly that value.  (Sparse
+        //    replicas — reserved but never flushed — store nothing; dead
+        //    benefactors hold unreachable pre-death bytes that missed
+        //    later degraded writes; both are exempt.)
+        uint32_t want_crc = 0;
+        if (expect_clean_checksums && store->manager().config().integrity() &&
+            store->manager().LookupChecksum(loc.key, &want_crc)) {
+          for (int b : loc.benefactors) {
+            uint32_t stored_crc = 0;
+            if (store->benefactor(static_cast<size_t>(b)).alive() &&
+                store->benefactor(static_cast<size_t>(b))
+                    .StoredContentCrc(loc.key, &stored_crc)) {
+              ASSERT_EQ(stored_crc, want_crc)
+                  << "benefactor " << b << " stores divergent bytes for "
+                  << loc.key.ToString();
+            }
+          }
+        }
         auto& entry = placed[loc.key.ToString()];
         entry.insert(loc.benefactors.begin(), loc.benefactors.end());
       }
@@ -159,13 +187,27 @@ struct SequenceOptions {
   // quiesces it, so the invariants assert that background repair lands the
   // store back in a fully-replicated, drift-free state.
   bool maintenance = false;
+  // Arm seeded recurring bit rot on benefactor 1: every `bitrot_period`-th
+  // chunk write landing there flips one random stored bit afterwards.
+  // Requires maintenance (quarantined replicas must be re-replicated for
+  // the placement invariant to hold after quiesce).
+  uint64_t bitrot_period = 0;
+  uint64_t bitrot_seed = 0;
+  // Extra config knobs for the run (e.g. a scrub verify budget large
+  // enough that one pass covers the whole working set).
+  std::function<void(store::StoreConfig&)> tweak;
 };
 
 void RunSequence(uint64_t seed, int replication, int ops,
                  const SequenceOptions& so = {}) {
-  Harness h(replication, so.batch_write_rpc, so.maintenance);
+  Harness h(replication, so.batch_write_rpc, so.maintenance, so.tweak);
   if (so.kill_after_writes > 0) {
     h.store->benefactor(2).KillAfterWrites(so.kill_after_writes);
+  }
+  if (so.bitrot_period > 0) {
+    h.store->benefactor(1).CorruptAfterWrites(so.bitrot_period,
+                                              so.bitrot_seed);
+    h.expect_clean_checksums = false;
   }
   Xoshiro256 rng(seed);
   uint64_t next_name = 0;
@@ -240,6 +282,22 @@ void RunSequence(uint64_t seed, int replication, int ops,
     ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(replication)) << "op " << op;
   }
 
+  if (so.bitrot_period > 0) {
+    // Disarm the rot, then let the checksum scrub sweep the whole store a
+    // couple of times: every flip still hiding in a stored replica must be
+    // found, quarantined, and healed, after which the FULL invariant set —
+    // including checksum agreement on every replica — holds again.
+    h.store->benefactor(1).CorruptAfterWrites(0, 0);
+    store::MaintenanceService& ms = *h.store->maintenance();
+    ms.RunUntil(ms.now_ns() + 60 * kMs);  // ≥ two 20 ms scrub periods
+    ASSERT_TRUE(ms.QueueEmpty());
+    h.expect_clean_checksums = true;
+    ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(replication));
+    EXPECT_GT(h.store->benefactor(1).bitrot_flips(), 0u);  // rot really ran
+    EXPECT_GT(h.store->maintenance()->stats().corrupt_chunks_detected, 0u);
+    EXPECT_EQ(h.store->manager().lost_chunks(), 0u);
+  }
+
   // Teardown: freeing everything must return the store to empty — no
   // leaked reservations, no orphaned chunks, no stale cache slots.
   while (!h.shadow.empty()) {
@@ -291,6 +349,21 @@ TEST(StoreInvariantTest, ReplicatedSequenceSurvivesMidRunBenefactorDeath) {
   SequenceOptions so;
   so.kill_after_writes = 10;
   RunSequence(/*seed=*/11, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, ScrubHealsSeededBitRotToChecksumCleanState) {
+  // One benefactor silently flips a stored bit every few writes that land
+  // there.  Throughout the sequence every read must still return exactly
+  // the shadow bytes (verifying reads catch the rot, fail over to the
+  // clean replica, and quarantine the bad copy), and after the rot is
+  // disarmed the checksum scrub must converge the store back to fully
+  // replicated, checksum-clean state with zero lost chunks.
+  SequenceOptions so;
+  so.maintenance = true;
+  so.bitrot_period = 6;
+  so.bitrot_seed = 0x5eed;
+  so.tweak = [](store::StoreConfig& s) { s.scrub_verify_bytes = 64_MiB; };
+  RunSequence(/*seed=*/17, /*replication=*/2, /*ops=*/120, so);
 }
 
 TEST(StoreInvariantTest, MaintenanceConvergesKilledSequenceToHealedState) {
