@@ -18,7 +18,8 @@
 // maintenance (background failure detection/repair/scrub), plus its knobs
 // heartbeat_period_ms, heartbeat_misses, repair_bw_fraction, scrub_period_ms,
 // and the integrity knobs verify_reads, scrub_verify, scrub_verify_bytes,
-// checksum_bw_gbps (per-chunk CRC32C: verifying reads + checksum scrub).
+// checksum_bw_gbps (per-chunk CRC32C: verifying reads + checksum scrub),
+// and meta_shards (manager metadata-plane shard count).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -73,6 +74,8 @@ TestbedOptions BuildTestbed(const Config& cfg) {
       cfg.GetBytes("scrub_verify_bytes", to.store.scrub_verify_bytes);
   to.store.checksum_bw_gbps =
       cfg.GetDouble("checksum_bw_gbps", to.store.checksum_bw_gbps);
+  to.store.meta_shards = static_cast<size_t>(
+      cfg.GetInt("meta_shards", static_cast<int64_t>(to.store.meta_shards)));
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }

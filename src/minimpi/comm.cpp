@@ -53,7 +53,9 @@ void Comm::Recv(sim::VirtualClock& clock, int dst, int src, int tag,
   NVM_CHECK(msg.data.size() == out.size(),
             "Recv size mismatch: posted %zu, message %zu", out.size(),
             msg.data.size());
-  std::memcpy(out.data(), msg.data.data(), out.size());
+  // Zero-byte messages carry no payload; an empty span's data() may be
+  // null, which memcpy must not see even for n=0.
+  if (!out.empty()) std::memcpy(out.data(), msg.data.data(), out.size());
   // The receiver cannot complete before the last byte arrives.
   clock.AdvanceTo(msg.arrival_ns);
 }

@@ -19,8 +19,8 @@ Benefactor::Benefactor(int id, net::Node& node, uint64_t contributed_bytes,
 }
 
 uint64_t Benefactor::bytes_used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return reserved_chunks_ * config_.chunk_bytes;
+  return reserved_chunks_.load(std::memory_order_relaxed) *
+         config_.chunk_bytes;
 }
 
 uint64_t Benefactor::bytes_free() const {
@@ -41,21 +41,27 @@ Status Benefactor::EnsureAlive() const {
 
 Status Benefactor::ReserveChunks(uint64_t count) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
-  std::lock_guard<std::mutex> lock(mutex_);
-  const uint64_t want = (reserved_chunks_ + count) * config_.chunk_bytes;
-  if (want > contributed_bytes_) {
-    return OutOfSpace("benefactor " + std::to_string(id_) +
-                      ": reservation exceeds contribution of " +
-                      FormatBytes(contributed_bytes_));
+  // CAS loop bounded by the contribution: concurrent reservers (write
+  // preparers, repair planners on different metadata shards) race here
+  // instead of on a mutex, and a loser of the capacity check fails cleanly.
+  uint64_t cur = reserved_chunks_.load(std::memory_order_relaxed);
+  for (;;) {
+    if ((cur + count) * config_.chunk_bytes > contributed_bytes_) {
+      return OutOfSpace("benefactor " + std::to_string(id_) +
+                        ": reservation exceeds contribution of " +
+                        FormatBytes(contributed_bytes_));
+    }
+    if (reserved_chunks_.compare_exchange_weak(cur, cur + count,
+                                               std::memory_order_relaxed)) {
+      return OkStatus();
+    }
   }
-  reserved_chunks_ += count;
-  return OkStatus();
 }
 
 void Benefactor::ReleaseChunkReservation(uint64_t count) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  NVM_CHECK(reserved_chunks_ >= count);
-  reserved_chunks_ -= count;
+  const uint64_t prev =
+      reserved_chunks_.fetch_sub(count, std::memory_order_relaxed);
+  NVM_CHECK(prev >= count);
 }
 
 uint64_t Benefactor::AllocateOffset() {

@@ -194,7 +194,12 @@ class Benefactor {
 
   mutable std::mutex mutex_;
   std::unordered_map<ChunkKey, StoredChunk, ChunkKeyHash> chunks_;
-  uint64_t reserved_chunks_ = 0;
+  // Space accounting is a lone atomic (CAS-bounded by the contribution):
+  // reservations are taken on the manager's metadata hot paths (write
+  // prepare COW, repair planning, fallocate) and read by every capacity-
+  // aware placement decision and status report — none of which should
+  // contend with the data-plane mutex_ below.
+  std::atomic<uint64_t> reserved_chunks_{0};
   uint64_t next_offset_ = 0;
   std::vector<uint64_t> free_offsets_;
   std::atomic<bool> alive_{true};

@@ -255,7 +255,7 @@ Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
 
   // One streamed run per benefactor, each on its own clock branched at the
   // post-lookup time, so runs against distinct benefactors overlap.
-  for (const BenefactorRun& run : GroupByPrimaryBenefactor(locs)) {
+  for (const BenefactorRun& run : Manager::GroupByPrimaryBenefactor(locs)) {
     sim::VirtualClock run_clock(t0);
     Status s = ReadRun(run_clock, run, locs, fetches);
     if (s.ok()) continue;
@@ -506,7 +506,7 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
   // One streamed run per benefactor — every replica holder gets its own
   // run — each on a clock forked at the post-prepare time, so runs (and
   // with them the replicas of each chunk) overlap.
-  for (const BenefactorRun& run : GroupByBenefactor(locs)) {
+  for (const BenefactorRun& run : Manager::GroupByBenefactor(locs)) {
     sim::VirtualClock run_clock(t0);
     Status s = WriteRun(run_clock, run, locs, writes, active, crcs);
     if (s.ok()) {

@@ -20,6 +20,7 @@ MaintenanceService::MaintenanceService(Manager& manager)
       heartbeat_misses_(manager.config().heartbeat_misses),
       bw_fraction_(manager.config().repair_bw_fraction),
       scrub_period_ns_(manager.config().scrub_period_ms * kMsToNs),
+      queues_(manager.meta_shards()),
       next_heartbeat_ns_(heartbeat_period_ns_),
       next_scrub_ns_(scrub_period_ns_),
       worker_("maintenance") {
@@ -49,19 +50,29 @@ bool MaintenanceService::KickLocked() {
   return true;
 }
 
-bool MaintenanceService::EnqueueLocked(const ChunkKey& key, int64_t now_ns) {
-  if (!queued_.insert(key).second) return false;  // already waiting
-  queue_.push_back(Pending{key, now_ns});
+bool MaintenanceService::Enqueue(const ChunkKey& key, int64_t now_ns) {
+  QueueShard& q =
+      queues_[static_cast<size_t>(ChunkKeyHash{}(key)) % queues_.size()];
+  {
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.queued.insert(key).second) return false;  // already waiting
+    q.queue.push_back(Pending{key, now_ns});
+  }
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
   enqueued_.Add(1);
   return true;
 }
 
 void MaintenanceService::ReportDegraded(const ChunkKey& key, int64_t now_ns) {
   reports_.Add(1);
+  // The enqueue takes only the key's queue-shard lock; mu_ comes after
+  // (never nested) for the schedule target and the kick token.  The
+  // catch-up loop's final re-check runs under mu_ too, so the enqueue
+  // above is visible to it — the kick handoff cannot lose this report.
+  Enqueue(key, now_ns);
   bool post = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    EnqueueLocked(key, now_ns);
     target_ns_ = std::max(target_ns_, now_ns);
     post = KickLocked();
   }
@@ -94,19 +105,13 @@ void MaintenanceService::RunUntil(int64_t deadline_ns) {
 }
 
 bool MaintenanceService::QueueEmpty() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queue_.empty();
+  return queue_depth_.load(std::memory_order_relaxed) == 0;
 }
 
 void MaintenanceService::CatchUp(sim::VirtualClock& clock) {
   for (;;) {
     // Queued repairs run first — a failure report outranks the schedule.
-    bool have_repairs;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      have_repairs = !queue_.empty();
-    }
-    if (have_repairs) {
+    if (queue_depth_.load(std::memory_order_relaxed) > 0) {
       RepairBatch(clock);
       continue;
     }
@@ -133,8 +138,10 @@ void MaintenanceService::CatchUp(sim::VirtualClock& clock) {
     std::lock_guard<std::mutex> lock(mu_);
     // Re-check under the lock: a report may have slipped in after the
     // loop's last look.  Either we run again or we hand the kick token
-    // back — never both, so wakeups cannot be lost.
-    again = !queue_.empty() ||
+    // back — never both, so wakeups cannot be lost.  (A reporter bumps
+    // queue_depth_ before taking mu_, so any enqueue that found the token
+    // still held is visible to this load.)
+    again = queue_depth_.load(std::memory_order_relaxed) > 0 ||
             std::min(next_heartbeat_ns_, next_scrub_ns_) <= target_ns_;
     if (!again) kicked_ = false;
   }
@@ -142,18 +149,25 @@ void MaintenanceService::CatchUp(sim::VirtualClock& clock) {
 }
 
 void MaintenanceService::RepairBatch(sim::VirtualClock& clock) {
+  // Drain round-robin across the queue shards from the worker's cursor,
+  // FIFO within each shard — with one shard this is exactly the historic
+  // single-FIFO pop, and with many no shard can starve the others.
   std::vector<ChunkKey> keys;
   int64_t report_floor = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    while (!queue_.empty() && keys.size() < kRepairBatch) {
-      Pending p = std::move(queue_.front());
-      queue_.pop_front();
-      queued_.erase(p.key);
+  for (size_t scanned = 0;
+       scanned < queues_.size() && keys.size() < kRepairBatch; ++scanned) {
+    QueueShard& q = queues_[(drain_cursor_ + scanned) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mu);
+    while (!q.queue.empty() && keys.size() < kRepairBatch) {
+      Pending p = std::move(q.queue.front());
+      q.queue.pop_front();
+      q.queued.erase(p.key);
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
       report_floor = std::max(report_floor, p.reported_ns);
       keys.push_back(p.key);
     }
   }
+  drain_cursor_ = (drain_cursor_ + 1) % queues_.size();
   if (keys.empty()) return;
   // Repair cannot begin before the failure was reported.
   clock.AdvanceTo(report_floor);
@@ -170,8 +184,7 @@ void MaintenanceService::RepairBatch(sim::VirtualClock& clock) {
       // The chunk changed under the copy (or the copy fell short of the
       // plan); try again with fresh bytes.
       requeued_.Add(1);
-      std::lock_guard<std::mutex> lock(mu_);
-      EnqueueLocked(plan.key, clock.now());
+      Enqueue(plan.key, clock.now());
     }
   }
   const int64_t busy = clock.now() - busy_start;
@@ -186,11 +199,8 @@ void MaintenanceService::RepairBatch(sim::VirtualClock& clock) {
     clock.Advance(idle);
     throttle_idle_ns_.fetch_add(idle, std::memory_order_relaxed);
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) {
-      converged_ns_.store(clock.now(), std::memory_order_relaxed);
-    }
+  if (queue_depth_.load(std::memory_order_relaxed) == 0) {
+    converged_ns_.store(clock.now(), std::memory_order_relaxed);
   }
 }
 
@@ -214,8 +224,7 @@ void MaintenanceService::HeartbeatSweep(sim::VirtualClock& clock) {
       declared_dead_.Add(1);
       std::vector<ChunkKey> degraded =
           manager_.ChunksWithReplicasOn(static_cast<int>(i));
-      std::lock_guard<std::mutex> lock(mu_);
-      for (const ChunkKey& key : degraded) EnqueueLocked(key, clock.now());
+      for (const ChunkKey& key : degraded) Enqueue(key, clock.now());
     }
   }
 }
@@ -245,15 +254,14 @@ void MaintenanceService::ScrubPass(sim::VirtualClock& clock) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
   for (const ChunkKey& key : result.under_replicated) {
     // Chunks the report path missed (e.g. a benefactor died between
     // flushes, with no write around to notice).
-    if (EnqueueLocked(key, clock.now())) scrub_requeued_.Add(1);
+    if (Enqueue(key, clock.now())) scrub_requeued_.Add(1);
   }
   for (const ChunkKey& key : verified.quarantined) {
     // Quarantined bit rot with a verified survivor: re-replicate.
-    if (EnqueueLocked(key, clock.now())) scrub_requeued_.Add(1);
+    if (Enqueue(key, clock.now())) scrub_requeued_.Add(1);
   }
 }
 
@@ -269,10 +277,7 @@ MaintenanceStats MaintenanceService::stats() const {
   s.repairs_requeued = requeued_.value();
   s.repair_capacity_misses = capacity_misses_.value();
   s.lost_chunks = manager_.lost_chunks();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s.queue_depth = queue_.size();
-  }
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.repair_busy_ns = repair_busy_ns_.load(std::memory_order_relaxed);
   s.throttle_idle_ns = throttle_idle_ns_.load(std::memory_order_relaxed);
   s.converged_at_ns = converged_ns_.load(std::memory_order_relaxed);

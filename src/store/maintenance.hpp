@@ -26,9 +26,12 @@
 //                     quarantined bit rot for re-replication
 //
 // Locking discipline: all engine state (schedule, miss counters) is
-// touched only from worker tasks; the repair queue and schedule target are
-// the only cross-thread state, guarded by one small mutex.  Chunk data
-// moves only in Manager::ExecuteRepairPlan, never under the manager mutex.
+// touched only from worker tasks; the cross-thread state is the repair
+// queue — sharded by ChunkKey hash exactly like the manager's metadata
+// plane, so reporters on different shards never contend — and the
+// schedule target, guarded by one small mutex.  A queue-shard lock is
+// never held while taking mu_ (or any manager lock), and chunk data moves
+// only in Manager::ExecuteRepairPlan, never under any metadata mutex.
 //
 // The service has no thread of time of its own — virtual time only moves
 // when something drives it.  Foreground metadata round-trips call Tick()
@@ -50,6 +53,11 @@
 
 namespace nvm::store {
 
+// Point-in-time snapshot assembled by MaintenanceService::stats() from the
+// service's relaxed atomic counters (and the manager's Counter totals), so
+// any thread — the report path in particular — can read it without taking
+// the worker's locks.  Fields are plain values: the snapshot is coherent
+// enough for reporting, not a linearisable view.
 struct MaintenanceStats {
   // Failure detector.
   uint64_t heartbeat_sweeps = 0;
@@ -116,10 +124,20 @@ class MaintenanceService {
     int64_t reported_ns = 0;
   };
 
+  // One slice of the repair queue: the keys whose manager metadata shard
+  // this is (same splitmix64 partition), FIFO within the shard, dedup'd by
+  // `queued`.  Reporters on different shards take different locks.
+  struct QueueShard {
+    mutable std::mutex mu;
+    std::deque<Pending> queue;
+    std::unordered_set<ChunkKey, ChunkKeyHash> queued;  // dedup of queue
+  };
+
   // Post a catch-up task unless one is already pending (mu_ held).
   bool KickLocked();
-  // Accept `key` into the queue unless already waiting (mu_ held).
-  bool EnqueueLocked(const ChunkKey& key, int64_t now_ns);
+  // Accept `key` into its queue shard unless already waiting.  Takes (and
+  // releases) only that shard's lock.  Any thread.
+  bool Enqueue(const ChunkKey& key, int64_t now_ns);
 
   // Worker-side loops (run only on the worker thread).
   void CatchUp(sim::VirtualClock& clock);
@@ -133,10 +151,14 @@ class MaintenanceService {
   const double bw_fraction_;
   const int64_t scrub_period_ns_;
 
-  // Cross-thread state: the repair queue and the schedule target.
+  // Cross-thread state: the sharded repair queue (one shard per manager
+  // metadata shard) plus the schedule target under mu_.
+  std::vector<QueueShard> queues_;
+  // Total keys waiting across all shards, maintained by Enqueue and the
+  // batch drain: QueueEmpty(), stats(), and the catch-up loop read one
+  // relaxed load instead of sweeping every shard lock.
+  std::atomic<uint64_t> queue_depth_{0};
   mutable std::mutex mu_;
-  std::deque<Pending> queue_;
-  std::unordered_set<ChunkKey, ChunkKeyHash> queued_;  // dedup of queue_
   int64_t target_ns_ = 0;  // virtual time the schedule must reach
   bool kicked_ = false;    // a catch-up task is posted or running
 
@@ -147,6 +169,7 @@ class MaintenanceService {
   int64_t next_heartbeat_ns_;
   int64_t next_scrub_ns_;
   std::vector<int> missed_;  // consecutive missed heartbeats, by id
+  size_t drain_cursor_ = 0;  // queue shard the next repair batch starts at
 
   // Stats (atomic so stats() works from any thread).
   Counter sweeps_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <tuple>
-#include <unordered_set>
 
 #include "common/checksum.hpp"
 #include "common/log.hpp"
@@ -10,7 +9,19 @@
 
 namespace nvm::store {
 
-std::vector<BenefactorRun> GroupByPrimaryBenefactor(
+namespace {
+
+// Total order on chunk keys, used wherever results are accumulated across
+// shards: sorting by key makes the output independent of the shard count
+// and of hash-map iteration order.
+bool KeyLess(const ChunkKey& a, const ChunkKey& b) {
+  return std::tie(a.origin_file, a.index, a.version) <
+         std::tie(b.origin_file, b.index, b.version);
+}
+
+}  // namespace
+
+std::vector<BenefactorRun> Manager::GroupByPrimaryBenefactor(
     std::span<const ReadLocation> locs) {
   std::vector<BenefactorRun> runs;
   std::unordered_map<int, size_t> run_of;  // benefactor id -> index in runs
@@ -24,7 +35,7 @@ std::vector<BenefactorRun> GroupByPrimaryBenefactor(
   return runs;
 }
 
-std::vector<BenefactorRun> GroupByBenefactor(
+std::vector<BenefactorRun> Manager::GroupByBenefactor(
     std::span<const WriteLocation> locs) {
   std::vector<BenefactorRun> runs;
   std::unordered_map<int, size_t> run_of;  // benefactor id -> index in runs
@@ -42,30 +53,47 @@ Manager::Manager(net::Cluster& cluster, int manager_node, StoreConfig config)
     : cluster_(cluster),
       manager_node_(manager_node),
       config_(config),
-      service_("manager") {
+      meta_shards_(config.meta_shards),
+      shards_(meta_shards_) {
   NVM_CHECK(config_.chunk_bytes % config_.page_bytes == 0);
   NVM_CHECK(config_.replication >= 1);
+  NVM_CHECK(config_.meta_shards >= 1, "meta_shards must be at least 1");
+  services_.reserve(meta_shards_);
+  for (size_t i = 0; i < meta_shards_; ++i) {
+    // Keep the historic resource name when unsharded so single-shard
+    // virtual-time traces stay byte-identical to the pre-shard store.
+    services_.push_back(std::make_unique<sim::Resource>(
+        meta_shards_ == 1 ? std::string("manager")
+                          : "manager[" + std::to_string(i) + "]"));
+  }
 }
 
 int Manager::RegisterBenefactor(Benefactor* benefactor) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(reg_mu_);
   benefactors_.push_back(benefactor);
   return static_cast<int>(benefactors_.size() - 1);
 }
 
-Benefactor* Manager::benefactor(int id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Benefactor* Manager::BenefactorAt(int id) const {
+  std::shared_lock<std::shared_mutex> lock(reg_mu_);
   if (id < 0 || static_cast<size_t>(id) >= benefactors_.size()) return nullptr;
   return benefactors_[static_cast<size_t>(id)];
 }
 
+Benefactor* Manager::benefactor(int id) { return BenefactorAt(id); }
+
 size_t Manager::num_benefactors() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(reg_mu_);
   return benefactors_.size();
 }
 
+std::vector<Benefactor*> Manager::SnapshotBenefactors() const {
+  std::shared_lock<std::shared_mutex> lock(reg_mu_);
+  return benefactors_;
+}
+
 std::vector<int> Manager::AliveBenefactors() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(reg_mu_);
   std::vector<int> alive;
   for (size_t i = 0; i < benefactors_.size(); ++i) {
     if (benefactors_[i]->alive()) alive.push_back(static_cast<int>(i));
@@ -74,19 +102,14 @@ std::vector<int> Manager::AliveBenefactors() const {
 }
 
 void Manager::MarkDead(int id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (id >= 0 && static_cast<size_t>(id) < benefactors_.size()) {
-    benefactors_[static_cast<size_t>(id)]->Kill();
-  }
+  // Kill() is atomic on the benefactor; the registry itself is unchanged.
+  Benefactor* b = BenefactorAt(id);
+  if (b != nullptr) b->Kill();
 }
 
 size_t Manager::CheckLiveness(sim::VirtualClock& clock,
                               std::vector<char>* alive_out) {
-  std::vector<Benefactor*> bens;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    bens = benefactors_;
-  }
+  std::vector<Benefactor*> bens = SnapshotBenefactors();
   if (alive_out != nullptr) alive_out->assign(bens.size(), 0);
   const int64_t start = clock.now();
   int64_t done = start;
@@ -94,10 +117,11 @@ size_t Manager::CheckLiveness(sim::VirtualClock& clock,
   for (size_t i = 0; i < bens.size(); ++i) {
     Benefactor* b = bens[i];
     // Each ping runs on its own forked clock: the manager CPU still
-    // serialises the sends (service_ is a shared resource timeline), but
-    // the round-trips overlap in flight instead of queueing end-to-end.
+    // serialises the sends (the per-lane services are shared resource
+    // timelines, striped over the shard lanes), but the round-trips
+    // overlap in flight instead of queueing end-to-end.
     sim::VirtualClock ping(start);
-    service_.Acquire(ping, config_.manager_op_ns);
+    ChargeOp(ping, i % meta_shards_);
     cluster_.network().Transfer(ping, manager_node_, b->node_id(),
                                 config_.meta_request_bytes);
     cluster_.network().Transfer(ping, b->node_id(), manager_node_,
@@ -112,52 +136,52 @@ size_t Manager::CheckLiveness(sim::VirtualClock& clock,
   return alive;
 }
 
-void Manager::SetReplicasLocked(const ChunkKey& key,
-                                const std::vector<int>& replicas) {
-  for (auto& [fid, meta] : files_) {
-    for (ChunkRef& ref : meta.chunks) {
-      if (ref.key == key) ref.benefactors = replicas;
-    }
-  }
+std::shared_ptr<Manager::FileMeta> Manager::FindFile(FileId id) const {
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
+  auto it = files_.find(id);
+  return it == files_.end() ? nullptr : it->second;
 }
 
-const std::vector<int>* Manager::CurrentReplicasLocked(
-    const ChunkKey& key) const {
-  for (const auto& [fid, meta] : files_) {
-    for (const ChunkRef& ref : meta.chunks) {
-      if (ref.key == key) return &ref.benefactors;
-    }
-  }
-  return nullptr;
+void Manager::PublishReplicasLocked(ChunkHandle& h,
+                                    std::vector<int> replicas) {
+  h.replicas.store(
+      std::make_shared<const std::vector<int>>(std::move(replicas)),
+      std::memory_order_release);
 }
 
-void Manager::UndoRepairTargetLocked(const ChunkKey& key, int bid) {
-  if (bid < 0 || static_cast<size_t>(bid) >= benefactors_.size()) return;
-  Benefactor* b = benefactors_[static_cast<size_t>(bid)];
-  const std::vector<int>* current = CurrentReplicasLocked(key);
-  if (current != nullptr &&
-      std::find(current->begin(), current->end(), bid) != current->end()) {
-    // A racing repair picked the same target and already committed it:
-    // the data and one reservation belong to the published replica list.
-    // Only this plan's duplicate reservation comes back.
-    b->ReleaseChunkReservation(1);
-    return;
+void Manager::UndoRepairTargetLocked(MetaShard& shard, const ChunkKey& key,
+                                     int bid) {
+  Benefactor* b = BenefactorAt(bid);
+  if (b == nullptr) return;
+  auto it = shard.chunks.find(key);
+  if (it != shard.chunks.end()) {
+    auto current = it->second->replicas.load(std::memory_order_acquire);
+    if (std::find(current->begin(), current->end(), bid) != current->end()) {
+      // A racing repair picked the same target and already committed it:
+      // the data and one reservation belong to the published replica list.
+      // Only this plan's duplicate reservation comes back.
+      b->ReleaseChunkReservation(1);
+      return;
+    }
   }
   (void)b->DeleteChunk(key);  // drop any partially copied data
   b->ReleaseChunkReservation(1);
 }
 
-bool Manager::QuarantineReplicaLocked(const ChunkKey& key, int bid) {
-  const std::vector<int>* current = CurrentReplicasLocked(key);
-  if (current == nullptr ||
-      std::find(current->begin(), current->end(), bid) == current->end()) {
-    return false;  // already quarantined, replaced, or freed
+bool Manager::QuarantineReplicaLocked(MetaShard& shard, const ChunkKey& key,
+                                      int bid) {
+  auto it = shard.chunks.find(key);
+  if (it == shard.chunks.end()) return false;  // freed meanwhile
+  ChunkHandle& h = *it->second;
+  auto current = h.replicas.load(std::memory_order_acquire);
+  if (std::find(current->begin(), current->end(), bid) == current->end()) {
+    return false;  // already quarantined or replaced
   }
   corrupt_detected_.Add(1);
-  corrupt_pending_.insert(key);
+  h.corrupt_pending = true;
   // The copy is untrustworthy: drop its data and space immediately so no
   // reader or repair ever consults it again.
-  Benefactor* b = benefactors_[static_cast<size_t>(bid)];
+  Benefactor* b = BenefactorAt(bid);
   (void)b->DeleteChunk(key);
   b->ReleaseChunkReservation(1);
   std::vector<int> rest;
@@ -170,120 +194,135 @@ bool Manager::QuarantineReplicaLocked(const ChunkKey& key, int bid) {
     // degraded (there is no verified source to repair from).
     lost_chunks_.Add(1);
   }
-  SetReplicasLocked(key, rest);
+  PublishReplicasLocked(h, std::move(rest));
   // Any repair copy in flight may have read the quarantined replica: move
   // the epoch so its commit fails and retries against the verified list.
-  ++repair_epochs_[key];
+  ++h.repair_epoch;
   return true;
 }
 
-bool Manager::IsRepairTargetLocked(const ChunkKey& key, int bid) const {
-  auto it = repair_targets_.find(key);
-  return it != repair_targets_.end() &&
+bool Manager::IsRepairTargetLocked(const MetaShard& shard, const ChunkKey& key,
+                                   int bid) const {
+  auto it = shard.repair_targets.find(key);
+  return it != shard.repair_targets.end() &&
          std::find(it->second.begin(), it->second.end(), bid) !=
              it->second.end();
 }
 
-void Manager::CompleteWriteLocked(const ChunkKey& key, const uint32_t* crc) {
-  auto it = inflight_writers_.find(key);
-  NVM_CHECK(it != inflight_writers_.end(), "unmatched CompleteWrite");
-  if (--it->second == 0) inflight_writers_.erase(it);
+void Manager::CompleteWriteLocked(MetaShard& shard, const ChunkKey& key,
+                                  const uint32_t* crc) {
+  auto it = shard.inflight_writers.find(key);
+  NVM_CHECK(it != shard.inflight_writers.end(), "unmatched CompleteWrite");
+  if (--it->second == 0) shard.inflight_writers.erase(it);
   // The write's bytes (if any landed) postdate every repair copy taken
   // while it was in flight: move the epoch so such a commit fails.
-  if (refcounts_.contains(key)) {
-    ++repair_epochs_[key];
+  auto cit = shard.chunks.find(key);
+  if (cit != shard.chunks.end()) {
+    ChunkHandle& h = *cit->second;
+    ++h.repair_epoch;
     // The flush-time checksum becomes authoritative for the new contents.
     // A completion without one (raw benefactor write, failed flush) leaves
     // the contents unknown: drop any stale entry rather than let a later
     // repair stamp the old checksum onto fresh bytes.
     if (crc != nullptr) {
-      checksums_[key] = *crc;
+      h.has_crc = true;
+      h.crc = *crc;
     } else {
-      checksums_.erase(key);
+      h.has_crc = false;
     }
   }
 }
 
 void Manager::CompleteWrite(const ChunkKey& key, const uint32_t* crc) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  CompleteWriteLocked(key, crc);
+  MetaShard& shard = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  CompleteWriteLocked(shard, key, crc);
 }
 
 void Manager::CompleteWrites(std::span<const WriteLocation> locs,
                              std::span<const uint32_t> crcs,
                              std::span<const char> ok) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Lock the whole involved shard set up front, in ascending index order
+  // (the ChunkCache flush-window discipline), so the window completes in
+  // one pass no matter how its chunks hash across shards.
+  std::vector<size_t> shard_of_loc;
+  shard_of_loc.reserve(locs.size());
+  for (const WriteLocation& loc : locs) {
+    shard_of_loc.push_back(shard_of(loc.key));
+  }
+  std::vector<size_t> order = shard_of_loc;
+  std::sort(order.begin(), order.end());
+  order.erase(std::unique(order.begin(), order.end()), order.end());
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(order.size());
+  for (size_t s : order) held.emplace_back(shards_[s].mu);
   for (size_t i = 0; i < locs.size(); ++i) {
     const uint32_t* crc =
         !crcs.empty() && (ok.empty() || ok[i] != 0) ? &crcs[i] : nullptr;
-    CompleteWriteLocked(locs[i].key, crc);
+    CompleteWriteLocked(shards_[shard_of_loc[i]], locs[i].key, crc);
   }
 }
 
 std::vector<ChunkKey> Manager::CollectUnderReplicated() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<Benefactor*> bens = SnapshotBenefactors();
   std::vector<ChunkKey> keys;
-  std::unordered_set<ChunkKey, ChunkKeyHash> seen;
-  for (const auto& [fid, meta] : files_) {
-    for (const ChunkRef& ref : meta.chunks) {
-      if (ref.benefactors.empty()) continue;  // lost: nothing to repair
+  for (const MetaShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, h] : shard.chunks) {
+      auto list = h->replicas.load(std::memory_order_acquire);
+      if (list->empty()) continue;  // lost: nothing to repair
       bool degraded =
-          ref.benefactors.size() < static_cast<size_t>(config_.replication);
-      for (int bid : ref.benefactors) {
-        if (!benefactors_[static_cast<size_t>(bid)]->alive()) degraded = true;
+          list->size() < static_cast<size_t>(config_.replication);
+      for (int bid : *list) {
+        if (!bens[static_cast<size_t>(bid)]->alive()) degraded = true;
       }
-      if (degraded && seen.insert(ref.key).second) keys.push_back(ref.key);
+      if (degraded) keys.push_back(key);
     }
   }
+  std::sort(keys.begin(), keys.end(), KeyLess);
   return keys;
 }
 
 std::vector<ChunkKey> Manager::ChunksWithReplicasOn(int id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<ChunkKey> keys;
-  std::unordered_set<ChunkKey, ChunkKeyHash> seen;
-  for (const auto& [fid, meta] : files_) {
-    for (const ChunkRef& ref : meta.chunks) {
-      if (std::find(ref.benefactors.begin(), ref.benefactors.end(), id) ==
-          ref.benefactors.end()) {
-        continue;
+  for (const MetaShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [key, h] : shard.chunks) {
+      auto list = h->replicas.load(std::memory_order_acquire);
+      if (std::find(list->begin(), list->end(), id) != list->end()) {
+        keys.push_back(key);
       }
-      if (seen.insert(ref.key).second) keys.push_back(ref.key);
     }
   }
+  std::sort(keys.begin(), keys.end(), KeyLess);
   return keys;
 }
 
 std::vector<Manager::RepairPlan> Manager::PlanRepairs(
     std::span<const ChunkKey> keys, uint64_t* lost) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  // One metadata pass resolves every requested key to its replica list
-  // (all refs of a shared chunk carry identical lists).
-  std::unordered_set<ChunkKey, ChunkKeyHash> wanted(keys.begin(), keys.end());
-  std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash> lists;
-  for (const auto& [fid, meta] : files_) {
-    for (const ChunkRef& ref : meta.chunks) {
-      if (wanted.contains(ref.key)) lists.try_emplace(ref.key, ref.benefactors);
-    }
-  }
-
+  const std::vector<Benefactor*> bens = SnapshotBenefactors();
+  std::unordered_set<ChunkKey, ChunkKeyHash> seen;
   std::vector<RepairPlan> plans;
   for (const ChunkKey& key : keys) {
-    auto lit = lists.find(key);
-    if (lit == lists.end()) continue;  // freed since reported, or duplicate
-    const std::vector<int> recorded = std::move(lit->second);
-    lists.erase(lit);  // each key is planned at most once
+    if (!seen.insert(key).second) continue;  // each key planned at most once
+    MetaShard& shard = shards_[shard_of(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto hit = shard.chunks.find(key);
+    if (hit == shard.chunks.end()) continue;  // freed since reported
+    ChunkHandle& h = *hit->second;
+    const std::vector<int> recorded =
+        *h.replicas.load(std::memory_order_acquire);
 
     std::vector<int> survivors;
     std::vector<int> dead;
     for (int bid : recorded) {
-      (benefactors_[static_cast<size_t>(bid)]->alive() ? survivors : dead)
+      (bens[static_cast<size_t>(bid)]->alive() ? survivors : dead)
           .push_back(bid);
     }
     // The dead replicas' space bookkeeping is reclaimed; their data died
     // with the device.
     for (int bid : dead) {
-      Benefactor* b = benefactors_[static_cast<size_t>(bid)];
+      Benefactor* b = bens[static_cast<size_t>(bid)];
       b->ReleaseChunkReservation(1);
       (void)b->DeleteChunk(key);
     }
@@ -293,13 +332,13 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
         // readers fail fast instead of retrying dead benefactors.
         lost_chunks_.Add(1);
         if (lost != nullptr) ++*lost;
-        SetReplicasLocked(key, {});
+        PublishReplicasLocked(h, {});
       }
       continue;
     }
     // Publish the stripped list immediately — readers stop trying dead
     // ids while the copy runs.
-    if (!dead.empty()) SetReplicasLocked(key, survivors);
+    if (!dead.empty()) PublishReplicasLocked(h, survivors);
     if (survivors.size() >= static_cast<size_t>(config_.replication)) {
       continue;  // healthy after stripping (stale report)
     }
@@ -308,10 +347,13 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
     plan.key = key;
     plan.survivors = survivors;
     // Capacity-aware placement: least-loaded alive benefactors that do not
-    // already hold a replica (ties broken by id for determinism).
+    // already hold a replica (ties broken by id for determinism).  The
+    // reservations race planners on other shards only through the
+    // benefactors' CAS-bounded counters — a loser simply plans incomplete
+    // and requeues.
     std::vector<std::pair<uint64_t, int>> cands;
-    for (size_t i = 0; i < benefactors_.size(); ++i) {
-      Benefactor* b = benefactors_[i];
+    for (size_t i = 0; i < bens.size(); ++i) {
+      Benefactor* b = bens[i];
       if (!b->alive()) continue;
       if (std::find(survivors.begin(), survivors.end(),
                     static_cast<int>(i)) != survivors.end()) {
@@ -326,26 +368,22 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
         static_cast<size_t>(config_.replication) - survivors.size();
     for (const auto& [free, bid] : cands) {
       if (plan.targets.size() == need) break;
-      if (benefactors_[static_cast<size_t>(bid)]->ReserveChunks(1).ok()) {
+      if (bens[static_cast<size_t>(bid)]->ReserveChunks(1).ok()) {
         plan.targets.push_back(bid);
       }
     }
     // Register the targets so the scrubber leaves the in-flight copies
     // alone; CommitRepair deregisters them.
     if (!plan.targets.empty()) {
-      std::vector<int>& open = repair_targets_[key];
+      std::vector<int>& open = shard.repair_targets[key];
       open.insert(open.end(), plan.targets.begin(), plan.targets.end());
     }
     plan.incomplete = plan.targets.size() < need;
-    auto eit = repair_epochs_.find(key);
-    plan.epoch = eit == repair_epochs_.end() ? 0 : eit->second;
+    plan.epoch = h.repair_epoch;
     // Snapshot the authoritative checksum: the copy must be verified
     // against it before any target receives the bytes.
-    auto cit = checksums_.find(key);
-    if (cit != checksums_.end()) {
-      plan.has_crc = true;
-      plan.crc = cit->second;
-    }
+    plan.has_crc = h.has_crc;
+    plan.crc = h.crc;
     plans.push_back(std::move(plan));
   }
   return plans;
@@ -364,7 +402,7 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
   bool sparse = false;
   int src = -1;
   for (int bid : plan.survivors) {
-    Benefactor* b = benefactor(bid);
+    Benefactor* b = BenefactorAt(bid);
     if (b == nullptr) continue;
     Status s = b->ReadChunk(clock, plan.key, buf, &sparse);
     if (s.code() == ErrorCode::kCorrupt) {
@@ -397,14 +435,14 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
   const int64_t start = clock.now();
   int64_t done = start;
   for (int bid : plan.targets) {
-    Benefactor* b = benefactor(bid);
+    Benefactor* b = BenefactorAt(bid);
     bool ok = b != nullptr && b->alive();
     sim::VirtualClock copy(start);
     if (ok && !sparse) {
       // Benefactor-to-benefactor move; the manager never touches the data.
       // The verified source bytes carry the authoritative checksum, so the
       // target stores it without recomputing.
-      cluster_.network().Transfer(copy, benefactor(src)->node_id(),
+      cluster_.network().Transfer(copy, BenefactorAt(src)->node_id(),
                                   b->node_id(), config_.chunk_bytes);
       ok = b->WritePages(copy, plan.key, all_pages, buf,
                          plan.has_crc ? &plan.crc : nullptr)
@@ -421,35 +459,41 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
 
 uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
   if (requeue != nullptr) *requeue = false;
-  std::lock_guard<std::mutex> lock(mutex_);
   const RepairPlan& plan = outcome.plan;
+  MetaShard& shard = shards_[shard_of(plan.key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
   // The targets' fate is decided here: they stop being scrub-exempt.
-  auto rt = repair_targets_.find(plan.key);
-  if (rt != repair_targets_.end()) {
+  auto rt = shard.repair_targets.find(plan.key);
+  if (rt != shard.repair_targets.end()) {
     for (int bid : plan.targets) {
       auto pos = std::find(rt->second.begin(), rt->second.end(), bid);
       if (pos != rt->second.end()) rt->second.erase(pos);
     }
-    if (rt->second.empty()) repair_targets_.erase(rt);
+    if (rt->second.empty()) shard.repair_targets.erase(rt);
   }
   auto undo_all = [&] {
-    for (int bid : outcome.written) UndoRepairTargetLocked(plan.key, bid);
-    for (int bid : outcome.failed) UndoRepairTargetLocked(plan.key, bid);
+    for (int bid : outcome.written) {
+      UndoRepairTargetLocked(shard, plan.key, bid);
+    }
+    for (int bid : outcome.failed) {
+      UndoRepairTargetLocked(shard, plan.key, bid);
+    }
   };
   // Freed while the copy ran?  Nothing references the chunk any more.
-  if (!refcounts_.contains(plan.key)) {
+  auto hit = shard.chunks.find(plan.key);
+  if (hit == shard.chunks.end()) {
     undo_all();
     return 0;
   }
+  ChunkHandle& h = *hit->second;
   // Rewritten (epoch moved), concurrently re-placed (list changed), or a
   // prepared write still in flight (its bytes could land on a survivor
   // after our read and never reach the targets)?  The bytes we moved are
   // stale — retry from scratch.
-  auto eit = repair_epochs_.find(plan.key);
-  const uint64_t epoch = eit == repair_epochs_.end() ? 0 : eit->second;
-  const std::vector<int>* current = CurrentReplicasLocked(plan.key);
-  if (epoch != plan.epoch || current == nullptr ||
-      *current != plan.survivors || inflight_writers_.contains(plan.key)) {
+  const std::vector<int> current =
+      *h.replicas.load(std::memory_order_acquire);
+  if (h.repair_epoch != plan.epoch || current != plan.survivors ||
+      shard.inflight_writers.contains(plan.key)) {
     undo_all();
     if (requeue != nullptr) *requeue = true;
     return 0;
@@ -459,30 +503,31 @@ uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
   std::vector<int> fresh = plan.survivors;
   uint64_t recreated = 0;
   for (int bid : outcome.written) {
-    if (benefactors_[static_cast<size_t>(bid)]->alive()) {
+    Benefactor* b = BenefactorAt(bid);
+    if (b != nullptr && b->alive()) {
       fresh.push_back(bid);
       ++recreated;
     } else {
-      UndoRepairTargetLocked(plan.key, bid);  // died after the copy landed
+      // Died after the copy landed.
+      UndoRepairTargetLocked(shard, plan.key, bid);
     }
   }
-  for (int bid : outcome.failed) UndoRepairTargetLocked(plan.key, bid);
-  SetReplicasLocked(plan.key, fresh);
+  for (int bid : outcome.failed) UndoRepairTargetLocked(shard, plan.key, bid);
+  PublishReplicasLocked(h, std::move(fresh));
   // Survivors caught serving corrupt bytes during the copy are stripped
   // now, under the same commit (the epoch check above guarantees no write
   // refreshed them in between); the shortened list needs another round.
   bool stripped = false;
   for (int bid : outcome.corrupt_sources) {
-    if (QuarantineReplicaLocked(plan.key, bid)) stripped = true;
+    if (QuarantineReplicaLocked(shard, plan.key, bid)) stripped = true;
   }
   if (stripped && requeue != nullptr) *requeue = true;
   // A chunk quarantined earlier counts as healed once it is back at full
   // replication with verified copies only.
-  if (corrupt_pending_.contains(plan.key)) {
-    const std::vector<int>* now = CurrentReplicasLocked(plan.key);
-    if (now != nullptr &&
-        now->size() >= static_cast<size_t>(config_.replication)) {
-      corrupt_pending_.erase(plan.key);
+  if (h.corrupt_pending) {
+    auto now = h.replicas.load(std::memory_order_acquire);
+    if (now->size() >= static_cast<size_t>(config_.replication)) {
+      h.corrupt_pending = false;
       corrupt_repaired_.Add(1);
     }
   }
@@ -497,10 +542,10 @@ StatusOr<uint64_t> Manager::RepairReplication(sim::VirtualClock& clock,
                                               uint64_t* lost) {
   if (lost != nullptr) *lost = 0;
   // Synchronous, unthrottled driver over the plan/execute/commit engine —
-  // the manager mutex is never held across a data transfer.  A commit
-  // that loses to a concurrent write or a mid-copy death asks for a
-  // requeue; retry those keys a bounded number of rounds so a single
-  // unlucky race does not leave the chunk degraded until the next sweep.
+  // no shard mutex is ever held across a data transfer.  A commit that
+  // loses to a concurrent write or a mid-copy death asks for a requeue;
+  // retry those keys a bounded number of rounds so a single unlucky race
+  // does not leave the chunk degraded until the next sweep.
   std::vector<ChunkKey> keys = CollectUnderReplicated();
   uint64_t recreated = 0;
   for (int round = 0; round < 3 && !keys.empty(); ++round) {
@@ -520,30 +565,52 @@ StatusOr<uint64_t> Manager::RepairReplication(sim::VirtualClock& clock,
 }
 
 Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
-  std::lock_guard<std::mutex> lock(mutex_);
   ScrubResult result;
-  // Pass 1 — the authoritative replica map, deduped by key.  Pointers into
-  // the chunk vectors stay valid: nothing below mutates file metadata.
-  std::unordered_map<ChunkKey, const std::vector<int>*, ChunkKeyHash> placed;
-  for (const auto& [fid, meta] : files_) {
-    service_.Acquire(clock, config_.manager_op_ns);  // per-file scan cost
-    for (const ChunkRef& ref : meta.chunks) {
-      placed.try_emplace(ref.key, &ref.benefactors);
+  // Per-file metadata scan cost, charged before any shard lock is taken
+  // (the lock graph stays acyclic: ns_mu_ is never held across shard
+  // acquisitions, and the charges land on the files' own lanes).
+  std::vector<FileId> fids;
+  {
+    std::shared_lock<std::shared_mutex> lock(ns_mu_);
+    fids.reserve(files_.size());
+    for (const auto& [fid, meta] : files_) fids.push_back(fid);
+  }
+  std::sort(fids.begin(), fids.end());
+  for (FileId fid : fids) ChargeOp(clock, FileLane(fid));
+
+  // Stop-the-world metadata pass: every shard mutex held, in ascending
+  // order.  Reservations only move under some shard mutex, so the drift
+  // comparison below is race-free.
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(meta_shards_);
+  for (MetaShard& shard : shards_) held.emplace_back(shard.mu);
+
+  // Pass 1 — the authoritative replica map, straight from the shard chunk
+  // tables (every live chunk has exactly one handle there).
+  std::unordered_map<ChunkKey, const ChunkHandle*, ChunkKeyHash> placed;
+  std::unordered_map<ChunkKey, std::shared_ptr<const std::vector<int>>,
+                     ChunkKeyHash>
+      lists;
+  for (const MetaShard& shard : shards_) {
+    for (const auto& [key, h] : shard.chunks) {
+      placed.try_emplace(key, h.get());
+      lists.try_emplace(key, h->replicas.load(std::memory_order_acquire));
     }
   }
   // Pass 2 — reconcile each alive benefactor against the map.  Dead ones
   // are the repair path's business, not the scrubber's.
-  for (size_t i = 0; i < benefactors_.size(); ++i) {
-    Benefactor* b = benefactors_[i];
+  const std::vector<Benefactor*> bens = SnapshotBenefactors();
+  for (size_t i = 0; i < bens.size(); ++i) {
+    Benefactor* b = bens[i];
     // One metadata round-trip fetches the benefactor's stored-chunk set.
-    service_.Acquire(clock, config_.manager_op_ns);
+    ChargeOp(clock, i % meta_shards_);
     cluster_.network().Transfer(clock, manager_node_, b->node_id(),
                                 config_.meta_request_bytes);
     cluster_.network().Transfer(clock, b->node_id(), manager_node_,
                                 config_.meta_response_bytes);
     if (!b->alive()) continue;
     uint64_t expected = 0;
-    for (const auto& [key, list] : placed) {
+    for (const auto& [key, list] : lists) {
       if (std::find(list->begin(), list->end(), static_cast<int>(i)) !=
           list->end()) {
         ++expected;
@@ -551,17 +618,21 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
     }
     // In-flight repair targets hold reservations (and possibly data) the
     // replica lists do not name yet; their commit will settle them.
-    for (const auto& [key, bids] : repair_targets_) {
-      expected += static_cast<uint64_t>(
-          std::count(bids.begin(), bids.end(), static_cast<int>(i)));
+    for (const MetaShard& shard : shards_) {
+      for (const auto& [key, bids] : shard.repair_targets) {
+        expected += static_cast<uint64_t>(
+            std::count(bids.begin(), bids.end(), static_cast<int>(i)));
+      }
     }
     for (const ChunkKey& key : b->StoredChunkKeys()) {
-      auto it = placed.find(key);
+      auto it = lists.find(key);
       const bool reachable =
-          it != placed.end() &&
+          it != lists.end() &&
           std::find(it->second->begin(), it->second->end(),
                     static_cast<int>(i)) != it->second->end();
-      if (!reachable && !IsRepairTargetLocked(key, static_cast<int>(i))) {
+      if (!reachable &&
+          !IsRepairTargetLocked(shards_[shard_of(key)], key,
+                                static_cast<int>(i))) {
         // Orphan: stored but absent from the replica list — the leavings
         // of an unlink against a then-dead benefactor or an abandoned
         // repair copy.  No reader ever consults it; reclaim the space.
@@ -570,8 +641,7 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
       }
     }
     // Reservation drift: reserved slots must equal the distinct chunks the
-    // metadata places here (reservations only move under this mutex, so
-    // the comparison is race-free).
+    // metadata places here plus the in-flight repair targets.
     const uint64_t reserved = b->bytes_used() / config_.chunk_bytes;
     if (reserved > expected) {
       b->ReleaseChunkReservation(reserved - expected);
@@ -582,15 +652,18 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
     }
   }
   // Pass 3 — re-find under-replicated chunks the report path missed.
-  for (const auto& [key, list] : placed) {
+  for (const auto& [key, list] : lists) {
     if (list->empty()) continue;  // lost
-    bool degraded =
-        list->size() < static_cast<size_t>(config_.replication);
+    bool degraded = list->size() < static_cast<size_t>(config_.replication);
     for (int bid : *list) {
-      if (!benefactors_[static_cast<size_t>(bid)]->alive()) degraded = true;
+      if (!bens[static_cast<size_t>(bid)]->alive()) degraded = true;
     }
     if (degraded) result.under_replicated.push_back(key);
   }
+  // Sorted so the requeue order does not depend on shard count or hash
+  // iteration order.
+  std::sort(result.under_replicated.begin(), result.under_replicated.end(),
+            KeyLess);
   return result;
 }
 
@@ -598,6 +671,10 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
                                            uint64_t max_bytes) {
   VerifyResult result;
   if (!config_.scrub_verify || max_bytes == 0) return result;
+  // One sweep at a time: verify_mu_ guards the inter-shard cursor and is
+  // ordered strictly before the shard mutexes.
+  std::lock_guard<std::mutex> sweep(verify_mu_);
+  const size_t start_lane = verify_shard_ % meta_shards_;
 
   struct Candidate {
     ChunkKey key;
@@ -605,65 +682,63 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
     uint32_t crc = 0;
     uint64_t epoch = 0;
   };
-  auto key_less = [](const ChunkKey& a, const ChunkKey& b) {
-    return std::tie(a.origin_file, a.index, a.version) <
-           std::tie(b.origin_file, b.index, b.version);
-  };
 
-  // Phase 1 (mutex) — snapshot the next cursor batch: placed chunks with a
-  // recorded checksum and no write in flight, in sorted key order, until
-  // the byte budget is covered (at least one chunk always makes the batch
-  // so tiny budgets still progress).
+  // Phase 1 (shard mutexes, one at a time) — snapshot the next cursor
+  // batch: placed chunks with a recorded checksum and no write in flight,
+  // shards in index order and sorted keys within each shard, until the
+  // byte budget is covered (at least one chunk always makes the batch so
+  // tiny budgets still progress).
   std::vector<Candidate> batch;
+  ChargeOp(clock, start_lane);  // batch lookup cost
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    service_.Acquire(clock, config_.manager_op_ns);  // batch lookup cost
-    std::unordered_map<ChunkKey, const std::vector<int>*, ChunkKeyHash> placed;
-    for (const auto& [fid, meta] : files_) {
-      for (const ChunkRef& ref : meta.chunks) {
-        placed.try_emplace(ref.key, &ref.benefactors);
-      }
-    }
-    std::vector<ChunkKey> keys;
-    keys.reserve(placed.size());
-    for (const auto& [key, list] : placed) keys.push_back(key);
-    std::sort(keys.begin(), keys.end(), key_less);
-
     uint64_t planned = 0;
     bool stopped = false;
-    for (const ChunkKey& key : keys) {
-      if (verify_cursor_.has_value() && !key_less(*verify_cursor_, key)) {
-        continue;  // at or before the cursor: already covered this lap
+    for (size_t s = verify_shard_; s < meta_shards_ && !stopped; ++s) {
+      MetaShard& shard = shards_[s];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      std::vector<ChunkKey> keys;
+      keys.reserve(shard.chunks.size());
+      for (const auto& [key, h] : shard.chunks) keys.push_back(key);
+      std::sort(keys.begin(), keys.end(), KeyLess);
+      for (const ChunkKey& key : keys) {
+        if (shard.verify_cursor.has_value() &&
+            !KeyLess(*shard.verify_cursor, key)) {
+          continue;  // at or before the cursor: already covered this lap
+        }
+        const ChunkHandle& h = *shard.chunks.at(key);
+        auto list = h.replicas.load(std::memory_order_acquire);
+        if (list->empty()) continue;  // lost: nothing to read
+        if (shard.inflight_writers.contains(key)) continue;  // in flux
+        if (!h.has_crc) continue;  // never written: nothing to rot
+        const uint64_t cost = config_.chunk_bytes * list->size();
+        if (!batch.empty() && planned + cost > max_bytes) {
+          stopped = true;
+          break;
+        }
+        planned += cost;
+        Candidate c;
+        c.key = key;
+        c.replicas = *list;
+        c.crc = h.crc;
+        c.epoch = h.repair_epoch;
+        batch.push_back(std::move(c));
+        shard.verify_cursor = key;
       }
-      const std::vector<int>* list = placed[key];
-      if (list->empty()) continue;                    // lost: nothing to read
-      if (inflight_writers_.contains(key)) continue;  // bytes in flux
-      auto cit = checksums_.find(key);
-      if (cit == checksums_.end()) continue;  // never written: nothing to rot
-      const uint64_t cost = config_.chunk_bytes * list->size();
-      if (!batch.empty() && planned + cost > max_bytes) {
-        stopped = true;
-        break;
+      if (stopped) {
+        verify_shard_ = s;  // resume this shard at its cursor
+      } else {
+        shard.verify_cursor.reset();  // shard fully covered this lap
       }
-      planned += cost;
-      Candidate c;
-      c.key = key;
-      c.replicas = *list;
-      c.crc = cit->second;
-      auto eit = repair_epochs_.find(key);
-      c.epoch = eit == repair_epochs_.end() ? 0 : eit->second;
-      batch.push_back(std::move(c));
-      verify_cursor_ = key;
     }
     if (!stopped) {
       result.wrapped = true;  // covered the tail of the keyspace
-      verify_cursor_.reset();
+      verify_shard_ = 0;
     }
   }
 
-  // Phase 2 (no mutex) — verify every alive replica benefactor-locally:
-  // one request/verdict round-trip each; the chunk bytes never leave the
-  // benefactor's node.
+  // Phase 2 (no shard mutex) — verify every alive replica benefactor-
+  // locally: one request/verdict round-trip each; the chunk bytes never
+  // leave the benefactor's node.
   uint32_t zero_crc = 0;
   if (!batch.empty()) {
     const std::vector<uint8_t> zeros(config_.chunk_bytes, 0);
@@ -678,7 +753,7 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
     const Candidate& c = batch[i];
     ++result.chunks_checked;
     for (int bid : c.replicas) {
-      Benefactor* b = benefactor(bid);
+      Benefactor* b = BenefactorAt(bid);
       if (b == nullptr || !b->alive()) continue;  // repair's business
       cluster_.network().Transfer(clock, manager_node_, b->node_id(),
                                   config_.meta_request_bytes);
@@ -703,29 +778,32 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
     }
   }
 
-  // Phase 3 (mutex) — quarantine confirmed mismatches, dropping any whose
-  // chunk was rewritten or repaired while the verification ran (their
-  // verdicts describe bytes that no longer exist).
+  // Phase 3 (shard mutex per mismatch) — quarantine confirmed mismatches,
+  // dropping any whose chunk was rewritten or repaired while the
+  // verification ran (their verdicts describe bytes that no longer exist).
   if (!mismatches.empty()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    service_.Acquire(clock, config_.manager_op_ns);
+    ChargeOp(clock, start_lane);
     // Our own quarantines bump the epoch by one each; account for them so
     // a chunk with several corrupt replicas sheds all of them in one pass.
     std::unordered_map<ChunkKey, uint64_t, ChunkKeyHash> own_bumps;
     for (const Mismatch& m : mismatches) {
       const Candidate& c = batch[m.cand];
-      auto eit = repair_epochs_.find(c.key);
-      const uint64_t epoch = eit == repair_epochs_.end() ? 0 : eit->second;
-      if (epoch != c.epoch + own_bumps[c.key] ||
-          inflight_writers_.contains(c.key)) {
+      MetaShard& shard = shards_[shard_of(c.key)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto hit = shard.chunks.find(c.key);
+      const uint64_t epoch =
+          hit == shard.chunks.end() ? 0 : hit->second->repair_epoch;
+      if (hit == shard.chunks.end() ||
+          epoch != c.epoch + own_bumps[c.key] ||
+          shard.inflight_writers.contains(c.key)) {
         ++result.skipped;
         continue;
       }
-      if (QuarantineReplicaLocked(c.key, m.bid)) {
+      if (QuarantineReplicaLocked(shard, c.key, m.bid)) {
         ++own_bumps[c.key];
         ++result.corrupt_found;
-        const std::vector<int>* now = CurrentReplicasLocked(c.key);
-        if (now != nullptr && !now->empty()) {
+        auto now = hit->second->replicas.load(std::memory_order_acquire);
+        if (!now->empty()) {
           result.quarantined.push_back(c.key);
         }
       } else {
@@ -752,10 +830,13 @@ void Manager::ReportDegraded(const ChunkKey& key, int64_t now_ns) {
 void Manager::ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns) {
   bool degraded = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (QuarantineReplicaLocked(key, bid)) {
-      const std::vector<int>* current = CurrentReplicasLocked(key);
-      degraded = current != nullptr && !current->empty();
+    MetaShard& shard = shards_[shard_of(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (QuarantineReplicaLocked(shard, key, bid)) {
+      auto it = shard.chunks.find(key);
+      degraded =
+          it != shard.chunks.end() &&
+          !it->second->replicas.load(std::memory_order_acquire)->empty();
     }
   }
   // Queue a repair only when a surviving replica can seed the
@@ -764,10 +845,11 @@ void Manager::ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns) {
 }
 
 bool Manager::LookupChecksum(const ChunkKey& key, uint32_t* crc) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = checksums_.find(key);
-  if (it == checksums_.end()) return false;
-  *crc = it->second;
+  const MetaShard& shard = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chunks.find(key);
+  if (it == shard.chunks.end() || !it->second->has_crc) return false;
+  *crc = it->second->crc;
   return true;
 }
 
@@ -777,77 +859,80 @@ void Manager::MaintenanceTick(int64_t now_ns) {
 }
 
 StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (id < 0 || static_cast<size_t>(id) >= benefactors_.size()) {
+  const std::vector<Benefactor*> bens = SnapshotBenefactors();
+  if (id < 0 || static_cast<size_t>(id) >= bens.size()) {
     return NotFound("benefactor " + std::to_string(id));
   }
-  Benefactor* leaving = benefactors_[static_cast<size_t>(id)];
+  Benefactor* leaving = bens[static_cast<size_t>(id)];
   if (!leaving->alive()) {
     return FailedPrecondition("cannot drain a dead benefactor");
   }
 
-  // Collect every (file, slot) placement that references the leaver.  A
-  // shared chunk (checkpoint link) appears in several files but must
-  // migrate only once; track migrated keys.
-  std::unordered_map<ChunkKey, int, ChunkKeyHash> new_home;
+  // Rare, operator-driven: hold every shard mutex for the duration so the
+  // placement rewrite is atomic against the whole metadata plane.
+  std::vector<std::unique_lock<std::mutex>> held;
+  held.reserve(meta_shards_);
+  for (MetaShard& shard : shards_) held.emplace_back(shard.mu);
+
+  // Each chunk has exactly one handle; visit them in key order so the
+  // migration sequence (and its virtual-time trace) is deterministic.
+  std::vector<ChunkHandle*> handles;
+  for (const MetaShard& shard : shards_) {
+    for (const auto& [key, h] : shard.chunks) handles.push_back(h.get());
+  }
+  std::sort(handles.begin(), handles.end(),
+            [](const ChunkHandle* a, const ChunkHandle* b) {
+              return KeyLess(a->key, b->key);
+            });
+
   uint64_t migrated = 0;
   std::vector<uint8_t> buf(config_.chunk_bytes);
   Bitmap all_pages(config_.pages_per_chunk());
   all_pages.SetAll();
 
-  for (auto& [fid, meta] : files_) {
-    for (ChunkRef& ref : meta.chunks) {
-      for (int& bid : ref.benefactors) {
-        if (bid != id) continue;
-        auto moved = new_home.find(ref.key);
-        if (moved == new_home.end()) {
-          // Pick a destination: the next alive benefactor with space that
-          // does not already hold a replica of this chunk.
-          int dst = -1;
-          for (size_t scan = 1; scan < benefactors_.size(); ++scan) {
-            const size_t cand = (static_cast<size_t>(id) + scan) %
-                                benefactors_.size();
-            Benefactor* b = benefactors_[cand];
-            if (!b->alive() || static_cast<int>(cand) == id) continue;
-            if (std::find(ref.benefactors.begin(), ref.benefactors.end(),
-                          static_cast<int>(cand)) != ref.benefactors.end()) {
-              continue;
-            }
-            if (b->ReserveChunks(1).ok()) {
-              dst = static_cast<int>(cand);
-              break;
-            }
-          }
-          if (dst < 0) {
-            return OutOfSpace("no destination for chunk " +
-                              ref.key.ToString());
-          }
-          // Move the data benefactor-to-benefactor (read + network hop +
-          // write), like the paper's re-configuration path would.
-          bool sparse = false;
-          NVM_RETURN_IF_ERROR(
-              leaving->ReadChunk(clock, ref.key, buf, &sparse));
-          if (!sparse) {
-            cluster_.network().Transfer(
-                clock, leaving->node_id(),
-                benefactors_[static_cast<size_t>(dst)]->node_id(),
-                config_.chunk_bytes);
-            // The migrated bytes keep their authoritative checksum.
-            auto cit = checksums_.find(ref.key);
-            NVM_RETURN_IF_ERROR(
-                benefactors_[static_cast<size_t>(dst)]->WritePages(
-                    clock, ref.key, all_pages, buf,
-                    cit != checksums_.end() ? &cit->second : nullptr));
-          }
-          (void)leaving->DeleteChunk(ref.key);
-          leaving->ReleaseChunkReservation(1);
-          new_home[ref.key] = dst;
-          ++migrated;
-          moved = new_home.find(ref.key);
-        }
-        bid = moved->second;
+  for (ChunkHandle* h : handles) {
+    const std::vector<int> current =
+        *h->replicas.load(std::memory_order_acquire);
+    auto pos = std::find(current.begin(), current.end(), id);
+    if (pos == current.end()) continue;
+    // Pick a destination: the next alive benefactor with space that does
+    // not already hold a replica of this chunk.
+    int dst = -1;
+    for (size_t scan = 1; scan < bens.size(); ++scan) {
+      const size_t cand = (static_cast<size_t>(id) + scan) % bens.size();
+      Benefactor* b = bens[cand];
+      if (!b->alive() || static_cast<int>(cand) == id) continue;
+      if (std::find(current.begin(), current.end(),
+                    static_cast<int>(cand)) != current.end()) {
+        continue;
+      }
+      if (b->ReserveChunks(1).ok()) {
+        dst = static_cast<int>(cand);
+        break;
       }
     }
+    if (dst < 0) {
+      return OutOfSpace("no destination for chunk " + h->key.ToString());
+    }
+    // Move the data benefactor-to-benefactor (read + network hop + write),
+    // like the paper's re-configuration path would.
+    bool sparse = false;
+    NVM_RETURN_IF_ERROR(leaving->ReadChunk(clock, h->key, buf, &sparse));
+    if (!sparse) {
+      cluster_.network().Transfer(clock, leaving->node_id(),
+                                  bens[static_cast<size_t>(dst)]->node_id(),
+                                  config_.chunk_bytes);
+      // The migrated bytes keep their authoritative checksum.
+      NVM_RETURN_IF_ERROR(bens[static_cast<size_t>(dst)]->WritePages(
+          clock, h->key, all_pages, buf,
+          h->has_crc ? &h->crc : nullptr));
+    }
+    (void)leaving->DeleteChunk(h->key);
+    leaving->ReleaseChunkReservation(1);
+    std::vector<int> rewritten = current;
+    rewritten[static_cast<size_t>(pos - current.begin())] = dst;
+    PublishReplicasLocked(*h, std::move(rewritten));
+    ++migrated;
   }
   leaving->Kill();  // retired: no longer schedulable
   return migrated;
@@ -855,80 +940,87 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
 
 StatusOr<FileId> Manager::CreateFile(sim::VirtualClock& clock,
                                      const std::string& name) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
+  ChargeOp(clock, NameLane(name));
+  std::unique_lock<std::shared_mutex> lock(ns_mu_);
   if (names_.contains(name)) {
     return AlreadyExists("file '" + name + "' already exists");
   }
   const FileId id = next_file_id_++;
   names_[name] = id;
-  FileMeta meta;
-  meta.name = name;
-  meta.stripe_cursor = stripe_cursor_;
+  auto meta = std::make_shared<FileMeta>();
+  meta->name = name;
+  meta->stripe_cursor = stripe_cursor_;
   // Stagger striping start points so many small files still spread load.
-  if (!benefactors_.empty()) {
-    stripe_cursor_ = (stripe_cursor_ + 1) % benefactors_.size();
-  }
+  const size_t n = num_benefactors();
+  if (n > 0) stripe_cursor_ = (stripe_cursor_ + 1) % n;
   files_[id] = std::move(meta);
   return id;
 }
 
 StatusOr<FileId> Manager::LookupFile(sim::VirtualClock& clock,
                                      const std::string& name) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
+  ChargeOp(clock, NameLane(name));
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   auto it = names_.find(name);
   if (it == names_.end()) return NotFound("no file named '" + name + "'");
   return it->second;
 }
 
 StatusOr<FileInfo> Manager::Stat(sim::VirtualClock& clock, FileId id) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = files_.find(id);
-  if (it == files_.end()) {
-    return NotFound("file id " + std::to_string(id));
-  }
+  ChargeOp(clock, FileLane(id));
+  std::shared_ptr<FileMeta> meta = FindFile(id);
+  if (meta == nullptr) return NotFound("file id " + std::to_string(id));
+  std::shared_lock<std::shared_mutex> lock(meta->mu);
   FileInfo info;
   info.id = id;
-  info.name = it->second.name;
-  info.size = it->second.size;
-  info.num_chunks = it->second.chunks.size();
+  info.name = meta->name;
+  info.size = meta->size;
+  info.num_chunks = meta->chunks.size();
   return info;
 }
 
-void Manager::UnrefChunkLocked(const ChunkRef& ref) {
-  auto it = refcounts_.find(ref.key);
-  NVM_CHECK(it != refcounts_.end(), "unref of untracked chunk");
-  if (--it->second == 0) {
-    refcounts_.erase(it);
-    repair_epochs_.erase(ref.key);
-    checksums_.erase(ref.key);
-    corrupt_pending_.erase(ref.key);
-    for (int bid : ref.benefactors) {
-      Benefactor* b = benefactors_[static_cast<size_t>(bid)];
-      (void)b->DeleteChunk(ref.key);
+void Manager::UnrefChunkLocked(MetaShard& shard, ChunkHandle& h) {
+  NVM_CHECK(h.refcount > 0, "unref of untracked chunk");
+  if (--h.refcount == 0) {
+    auto list = h.replicas.load(std::memory_order_acquire);
+    for (int bid : *list) {
+      Benefactor* b = BenefactorAt(bid);
+      (void)b->DeleteChunk(h.key);
       b->ReleaseChunkReservation(1);
     }
+    // The handle (and with it epoch/checksum/corruption state) dies here;
+    // an open write fence or reserved repair target survives in the shard
+    // side maps until its CompleteWrite / CommitRepair settles it.
+    shard.chunks.erase(h.key);
   }
 }
 
 Status Manager::Unlink(sim::VirtualClock& clock, FileId id) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = files_.find(id);
-  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
-  for (const ChunkRef& ref : it->second.chunks) {
-    UnrefChunkLocked(ref);
+  ChargeOp(clock, FileLane(id));
+  std::shared_ptr<FileMeta> meta;
+  {
+    std::unique_lock<std::shared_mutex> lock(ns_mu_);
+    auto it = files_.find(id);
+    if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+    meta = it->second;
+    names_.erase(meta->name);
+    files_.erase(it);
   }
-  names_.erase(it->second.name);
-  files_.erase(it);
+  std::unique_lock<std::shared_mutex> flock(meta->mu);
+  for (const std::shared_ptr<ChunkHandle>& h : meta->chunks) {
+    MetaShard& shard = shards_[shard_of(h->key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    UnrefChunkLocked(shard, *h);
+  }
+  // Late resolvers still holding the meta see an empty file (OutOfRange),
+  // never a freed chunk.
+  meta->chunks.clear();
   return OkStatus();
 }
 
-size_t Manager::PlacementStartLocked(const FileMeta& meta,
-                                     int client_node) const {
-  const size_t n = benefactors_.size();
+size_t Manager::PlacementStart(const FileMeta& meta, int client_node,
+                               const std::vector<Benefactor*>& bens) const {
+  const size_t n = bens.size();
   switch (config_.stripe_policy) {
     case StripePolicy::kRoundRobin:
       return meta.stripe_cursor;
@@ -936,9 +1028,8 @@ size_t Manager::PlacementStartLocked(const FileMeta& meta,
       // Prefer a benefactor co-located with the allocating client; fall
       // back to the round-robin cursor when none exists.
       for (size_t i = 0; i < n; ++i) {
-        if (benefactors_[i]->alive() &&
-            benefactors_[i]->node_id() == client_node &&
-            benefactors_[i]->bytes_free() >= config_.chunk_bytes) {
+        if (bens[i]->alive() && bens[i]->node_id() == client_node &&
+            bens[i]->bytes_free() >= config_.chunk_bytes) {
           return i;
         }
       }
@@ -947,8 +1038,8 @@ size_t Manager::PlacementStartLocked(const FileMeta& meta,
       size_t best = meta.stripe_cursor;
       uint64_t best_free = 0;
       for (size_t i = 0; i < n; ++i) {
-        if (!benefactors_[i]->alive()) continue;
-        const uint64_t free = benefactors_[i]->bytes_free();
+        if (!bens[i]->alive()) continue;
+        const uint64_t free = bens[i]->bytes_free();
         if (free > best_free) {
           best_free = free;
           best = i;
@@ -962,48 +1053,58 @@ size_t Manager::PlacementStartLocked(const FileMeta& meta,
 
 Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
                           uint64_t size, int client_node) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = files_.find(id);
-  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
-  FileMeta& meta = it->second;
+  ChargeOp(clock, FileLane(id));
+  std::shared_ptr<FileMeta> file = FindFile(id);
+  if (file == nullptr) return NotFound("file id " + std::to_string(id));
+  std::unique_lock<std::shared_mutex> flock(file->mu);
+  FileMeta& meta = *file;
 
+  const std::vector<Benefactor*> bens = SnapshotBenefactors();
   const uint64_t want_chunks = CeilDiv(size, config_.chunk_bytes);
-  const size_t n = benefactors_.size();
+  const size_t n = bens.size();
   if (want_chunks > meta.chunks.size() && n == 0) {
     return Unavailable("no benefactors registered");
   }
   while (meta.chunks.size() < want_chunks) {
     // First choice per the stripe policy; then scan onward, skipping dead
     // or full benefactors; replicas land on consecutive distinct ones.
-    ChunkRef ref;
-    ref.key.origin_file = id;
-    ref.key.index = static_cast<uint32_t>(meta.chunks.size());
-    ref.key.version = 0;
-    const size_t start = PlacementStartLocked(meta, client_node);
+    ChunkKey key;
+    key.origin_file = id;
+    key.index = static_cast<uint32_t>(meta.chunks.size());
+    key.version = 0;
+    std::vector<int> replicas;
+    const size_t start = PlacementStart(meta, client_node, bens);
     size_t placed = 0;
     for (size_t scanned = 0;
          placed < static_cast<size_t>(config_.replication) && scanned < n;
          ++scanned) {
       const size_t i = (start + scanned) % n;
-      Benefactor* b = benefactors_[i];
+      Benefactor* b = bens[i];
       if (!b->alive()) continue;
       if (!b->ReserveChunks(1).ok()) continue;
-      ref.benefactors.push_back(static_cast<int>(i));
+      replicas.push_back(static_cast<int>(i));
       ++placed;
     }
     if (placed < static_cast<size_t>(config_.replication)) {
       // Roll back partial placement.
-      for (int bid : ref.benefactors) {
-        benefactors_[static_cast<size_t>(bid)]->ReleaseChunkReservation(1);
+      for (int bid : replicas) {
+        bens[static_cast<size_t>(bid)]->ReleaseChunkReservation(1);
       }
       return OutOfSpace("aggregate store out of space at chunk " +
                         std::to_string(meta.chunks.size()) + " of '" +
                         meta.name + "'");
     }
     meta.stripe_cursor = (meta.stripe_cursor + 1) % n;
-    refcounts_[ref.key] = 1;
-    meta.chunks.push_back(std::move(ref));
+    auto h = std::make_shared<ChunkHandle>(key);
+    h->refcount = 1;
+    PublishReplicasLocked(*h, std::move(replicas));
+    {
+      MetaShard& shard = shards_[shard_of(key)];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      NVM_CHECK(shard.chunks.emplace(key, h).second,
+                "fallocate key collision");
+    }
+    meta.chunks.push_back(std::move(h));
   }
   meta.size = std::max(meta.size, size);
   return OkStatus();
@@ -1012,123 +1113,146 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
 StatusOr<ReadLocation> Manager::GetReadLocation(sim::VirtualClock& clock,
                                                 FileId id,
                                                 uint32_t chunk_index) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = files_.find(id);
-  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
-  if (chunk_index >= it->second.chunks.size()) {
+  ChargeOp(clock, FileLane(id));
+  std::shared_ptr<FileMeta> meta = FindFile(id);
+  if (meta == nullptr) return NotFound("file id " + std::to_string(id));
+  // The fast path: a shared file lock plus one atomic snapshot load — no
+  // shard mutex.
+  std::shared_lock<std::shared_mutex> lock(meta->mu);
+  if (chunk_index >= meta->chunks.size()) {
     return OutOfRange("chunk " + std::to_string(chunk_index) +
-                      " beyond EOF of '" + it->second.name + "'");
+                      " beyond EOF of '" + meta->name + "'");
   }
-  const ChunkRef& ref = it->second.chunks[chunk_index];
-  return ReadLocation{ref.key, ref.benefactors};
+  const ChunkHandle& h = *meta->chunks[chunk_index];
+  return ReadLocation{h.key,
+                      *h.replicas.load(std::memory_order_acquire)};
 }
 
 StatusOr<std::vector<ReadLocation>> Manager::GetReadLocations(
     sim::VirtualClock& clock, FileId id, uint32_t first, uint32_t count) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = files_.find(id);
-  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
-  const auto& chunks = it->second.chunks;
+  ChargeOp(clock, FileLane(id));
+  std::shared_ptr<FileMeta> meta = FindFile(id);
+  if (meta == nullptr) return NotFound("file id " + std::to_string(id));
+  std::shared_lock<std::shared_mutex> lock(meta->mu);
+  const auto& chunks = meta->chunks;
   if (first >= chunks.size()) {
     return OutOfRange("chunk " + std::to_string(first) + " beyond EOF of '" +
-                      it->second.name + "'");
+                      meta->name + "'");
   }
   const auto n =
       static_cast<uint32_t>(std::min<uint64_t>(count, chunks.size() - first));
   std::vector<ReadLocation> locs;
   locs.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    const ChunkRef& ref = chunks[first + i];
-    locs.push_back(ReadLocation{ref.key, ref.benefactors});
+    const ChunkHandle& h = *chunks[first + i];
+    locs.push_back(ReadLocation{
+        h.key, *h.replicas.load(std::memory_order_acquire)});
   }
   return locs;
 }
 
-StatusOr<WriteLocation> Manager::PrepareWriteLocked(FileMeta& meta,
-                                                    uint32_t chunk_index) {
+StatusOr<WriteLocation> Manager::PrepareWriteSlot(FileMeta& meta,
+                                                  uint32_t chunk_index) {
   if (chunk_index >= meta.chunks.size()) {
     return OutOfRange("chunk " + std::to_string(chunk_index) +
                       " beyond EOF of '" + meta.name + "'");
   }
-  ChunkRef& ref = meta.chunks[chunk_index];
-  auto rc = refcounts_.find(ref.key);
-  NVM_CHECK(rc != refcounts_.end());
+  std::shared_ptr<ChunkHandle>& slot = meta.chunks[chunk_index];
+  // The COW outcome (version+1) may hash to a different shard than the
+  // current version: lock both up front, ascending, so the refcount check
+  // and the fresh-handle insert happen under one consistent lock set.
+  ChunkKey fresh_key = slot->key;
+  ++fresh_key.version;
+  const size_t so = shard_of(slot->key);
+  const size_t sf = shard_of(fresh_key);
+  std::unique_lock<std::mutex> first(shards_[std::min(so, sf)].mu);
+  std::unique_lock<std::mutex> second;
+  if (so != sf) {
+    second = std::unique_lock<std::mutex>(shards_[std::max(so, sf)].mu);
+  }
+  MetaShard& old_shard = shards_[so];
+  MetaShard& fresh_shard = shards_[sf];
+  ChunkHandle& h = *slot;
 
   WriteLocation loc;
-  if (rc->second == 1) {
+  if (h.refcount == 1) {
     // Sole owner: write in place.  Bump the repair epoch — a repair copy
     // planned before this write would publish stale bytes, and the moved
     // epoch makes its commit fail and retry.  The writer count fences off
     // repair commits until CompleteWrite: the data lands outside the
-    // mutex, so until then any repair copy may be missing it.
-    ++repair_epochs_[ref.key];
-    ++inflight_writers_[ref.key];
-    loc.key = ref.key;
-    loc.benefactors = ref.benefactors;
+    // shard mutex, so until then any repair copy may be missing it.
+    ++h.repair_epoch;
+    ++old_shard.inflight_writers[h.key];
+    loc.key = h.key;
+    loc.benefactors = *h.replicas.load(std::memory_order_acquire);
     return loc;
   }
 
   // Shared with a checkpoint: copy-on-write.  The live file always carries
   // the highest version for its slot, so version+1 is fresh.
-  ChunkKey fresh = ref.key;
-  ++fresh.version;
-  NVM_CHECK(!refcounts_.contains(fresh), "COW version collision");
+  NVM_CHECK(!fresh_shard.chunks.contains(fresh_key), "COW version collision");
 
   // The clone stays on the same benefactors (local device copy, no
   // network); reserve space for the new version on every replica, rolling
   // back if one runs out mid-way so a failed COW leaks nothing.
+  auto replicas = h.replicas.load(std::memory_order_acquire);
   size_t reserved = 0;
-  for (int bid : ref.benefactors) {
-    Status s = benefactors_[static_cast<size_t>(bid)]->ReserveChunks(1);
+  for (int bid : *replicas) {
+    Status s = BenefactorAt(bid)->ReserveChunks(1);
     if (!s.ok()) {
       for (size_t r = 0; r < reserved; ++r) {
-        benefactors_[static_cast<size_t>(ref.benefactors[r])]
-            ->ReleaseChunkReservation(1);
+        BenefactorAt((*replicas)[r])->ReleaseChunkReservation(1);
       }
       return s;
     }
     ++reserved;
   }
-  --rc->second;  // live file drops its reference to the shared version
-  refcounts_[fresh] = 1;
-  ++repair_epochs_[fresh];     // the COW write targets the fresh version
-  ++inflight_writers_[fresh];  // fenced until the clone + write land
+  --h.refcount;  // live file drops its reference to the shared version
+  auto nh = std::make_shared<ChunkHandle>(fresh_key);
+  nh->refcount = 1;
+  nh->repair_epoch = 1;  // the COW write targets the fresh version
+  // The fresh version shares the (immutable) replica snapshot.
+  nh->replicas.store(replicas, std::memory_order_release);
+  fresh_shard.inflight_writers[fresh_key] = 1;  // fenced until write lands
+  fresh_shard.chunks.emplace(fresh_key, nh);
 
   loc.needs_clone = true;
-  loc.clone_from = ref.key;
-  loc.key = fresh;
-  loc.benefactors = ref.benefactors;
-  ref.key = fresh;
+  loc.clone_from = h.key;
+  loc.key = fresh_key;
+  loc.benefactors = *replicas;
+  slot = std::move(nh);
   return loc;
 }
 
 StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
                                               FileId id,
                                               uint32_t chunk_index) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = files_.find(id);
-  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
-  return PrepareWriteLocked(it->second, chunk_index);
+  ChargeOp(clock, FileLane(id));
+  std::shared_ptr<FileMeta> meta = FindFile(id);
+  if (meta == nullptr) return NotFound("file id " + std::to_string(id));
+  std::unique_lock<std::shared_mutex> lock(meta->mu);
+  return PrepareWriteSlot(*meta, chunk_index);
 }
 
 StatusOr<std::vector<WriteLocation>> Manager::PrepareWriteBatch(
     sim::VirtualClock& clock, FileId id, std::span<const uint32_t> indices) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = files_.find(id);
-  if (it == files_.end()) return NotFound("file id " + std::to_string(id));
+  ChargeOp(clock, FileLane(id));
+  std::shared_ptr<FileMeta> meta = FindFile(id);
+  if (meta == nullptr) return NotFound("file id " + std::to_string(id));
+  std::unique_lock<std::shared_mutex> lock(meta->mu);
   std::vector<WriteLocation> locs;
   locs.reserve(indices.size());
   for (uint32_t index : indices) {
-    auto loc = PrepareWriteLocked(it->second, index);
+    auto loc = PrepareWriteSlot(*meta, index);
     if (!loc.ok()) {
       // The caller gets an error and will never complete the window:
       // close the writes already opened so they don't fence repairs of
       // those chunks forever.
-      for (const WriteLocation& opened : locs) CompleteWriteLocked(opened.key);
+      for (const WriteLocation& opened : locs) {
+        MetaShard& shard = shards_[shard_of(opened.key)];
+        std::lock_guard<std::mutex> slock(shard.mu);
+        CompleteWriteLocked(shard, opened.key);
+      }
       return loc.status();
     }
     locs.push_back(*std::move(loc));
@@ -1138,31 +1262,48 @@ StatusOr<std::vector<WriteLocation>> Manager::PrepareWriteBatch(
 
 StatusOr<uint64_t> Manager::LinkFileChunks(sim::VirtualClock& clock,
                                            FileId dst, FileId src) {
-  ChargeOp(clock);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto dst_it = files_.find(dst);
-  auto src_it = files_.find(src);
-  if (dst_it == files_.end()) return NotFound("dst file " + std::to_string(dst));
-  if (src_it == files_.end()) return NotFound("src file " + std::to_string(src));
-  // Linked chunks land at the next chunk boundary of dst.
-  const uint64_t link_offset =
-      dst_it->second.chunks.size() * config_.chunk_bytes;
-  for (const ChunkRef& ref : src_it->second.chunks) {
-    ++refcounts_[ref.key];
-    dst_it->second.chunks.push_back(ref);
+  ChargeOp(clock, FileLane(dst));
+  std::shared_ptr<FileMeta> dmeta = FindFile(dst);
+  std::shared_ptr<FileMeta> smeta = FindFile(src);
+  if (dmeta == nullptr) return NotFound("dst file " + std::to_string(dst));
+  if (smeta == nullptr) return NotFound("src file " + std::to_string(src));
+  // Two files lock in FileId order (deadlock-free against a concurrent
+  // link the other way); self-link takes the one lock once and snapshots
+  // the chunk list up front so appending never walks a growing vector.
+  std::unique_lock<std::shared_mutex> dlock;
+  std::unique_lock<std::shared_mutex> slock;
+  if (dmeta == smeta) {
+    dlock = std::unique_lock<std::shared_mutex>(dmeta->mu);
+  } else if (dst < src) {
+    dlock = std::unique_lock<std::shared_mutex>(dmeta->mu);
+    slock = std::unique_lock<std::shared_mutex>(smeta->mu);
+  } else {
+    slock = std::unique_lock<std::shared_mutex>(smeta->mu);
+    dlock = std::unique_lock<std::shared_mutex>(dmeta->mu);
   }
-  dst_it->second.size = link_offset + src_it->second.size;
+  const std::vector<std::shared_ptr<ChunkHandle>> linked = smeta->chunks;
+  const uint64_t src_size = smeta->size;
+  // Linked chunks land at the next chunk boundary of dst.
+  const uint64_t link_offset = dmeta->chunks.size() * config_.chunk_bytes;
+  for (const std::shared_ptr<ChunkHandle>& h : linked) {
+    MetaShard& shard = shards_[shard_of(h->key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++h->refcount;
+    dmeta->chunks.push_back(h);
+  }
+  dmeta->size = link_offset + src_size;
   return link_offset;
 }
 
 uint32_t Manager::ChunkRefcount(const ChunkKey& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = refcounts_.find(key);
-  return (it == refcounts_.end()) ? 0 : it->second;
+  const MetaShard& shard = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.chunks.find(key);
+  return it == shard.chunks.end() ? 0 : it->second->refcount;
 }
 
 uint64_t Manager::num_files() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(ns_mu_);
   return files_.size();
 }
 

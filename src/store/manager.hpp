@@ -6,12 +6,42 @@
 // flows through the manager — clients look up locations here and then talk
 // to benefactors directly, exactly as in the paper.
 //
+// Concurrency model (the metadata plane is sharded; see DESIGN.md
+// "metadata sharding & lock-free resolves"):
+//
+//   * The chunk namespace is partitioned into config.meta_shards
+//     independent shards by splitmix64 hash of ChunkKey.  Each MetaShard
+//     owns its slice of the chunk table (location lists, refcounts, repair
+//     epochs, checksums), the in-flight-writer fences, the reserved repair
+//     targets and the verify-scrub cursor, all behind its own mutex.
+//   * Every chunk has ONE authoritative home — a ChunkHandle shared by all
+//     referencing file slots — and its replica list is an atomically-
+//     swapped immutable snapshot: stores happen only under the owning
+//     shard's mutex (publish-on-commit), loads are lock-free.  The read-
+//     resolve fast path (GetReadLocation/GetReadLocations) therefore takes
+//     NO shard lock.
+//   * Cross-shard lock sets (CompleteWrites over a flush window, the COW
+//     old/new pair of a prepare, the scrubber's stop-the-world pass) are
+//     always acquired in ascending shard-index order — the same deadlock-
+//     free discipline as ChunkCache::FlushFileWindow.
+//   * Lock hierarchy (acquire strictly left to right; ns_mu_ is never held
+//     across a file or shard acquisition):
+//       file mu  ->  shard mu (ascending)  ->  reg_mu_ / benefactor
+//     ns_mu_ guards only the name map and file table and is released
+//     before any other lock is taken (CreateFile additionally takes
+//     reg_mu_ shared inside it, which nothing else nests the other way).
+//
 // Every operation charges a modelled metadata service time to the caller's
-// virtual clock via a sim::Resource, so manager contention shows up in
-// benchmark results.  Network cost for reaching the manager is charged by
-// StoreClient, not here.
+// virtual clock via a per-shard sim::Resource lane (file-addressed ops use
+// the file's lane, key-addressed ops the key's shard lane), so manager
+// contention shows up in benchmark results — and stops being a single
+// serial timeline once meta_shards > 1.  With meta_shards == 1 every op
+// lands on lane 0 and the manager behaves exactly like the pre-shard,
+// single-mutex implementation.  Network cost for reaching the manager is
+// charged by StoreClient, not here.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -26,6 +56,7 @@
 #include "common/stats.hpp"
 #include "common/status.hpp"
 #include "net/cluster.hpp"
+#include "sim/resource.hpp"
 #include "store/benefactor.hpp"
 #include "store/types.hpp"
 
@@ -47,14 +78,6 @@ struct BenefactorRun {
   std::vector<size_t> items;  // indices into the grouped span, input order
 };
 
-// Group read locations by primary (first-listed) benefactor, preserving
-// input order within each run; runs are ordered by first appearance, so
-// the result is deterministic for a given input.  Locations with no
-// benefactor (unresolved/EOF) are skipped — callers handle those through
-// the per-chunk path.
-std::vector<BenefactorRun> GroupByPrimaryBenefactor(
-    std::span<const ReadLocation> locs);
-
 // Location info for writing one chunk.  If `needs_clone` is set the chunk
 // is shared with a checkpoint: the client must ask the (first) benefactor
 // to CloneChunk(clone_from -> key) before writing.
@@ -65,20 +88,35 @@ struct WriteLocation {
   ChunkKey clone_from;
 };
 
-// Group write locations by benefactor for the write-side run RPC.  Unlike
-// the read-side grouping, a chunk appears in the run of EVERY benefactor
-// that holds a replica (writes must reach all replicas, reads only one).
-// Runs are ordered by first appearance and preserve input order within
-// each run, so the result is deterministic for a given input.
-std::vector<BenefactorRun> GroupByBenefactor(
-    std::span<const WriteLocation> locs);
-
 class Manager {
  public:
   Manager(net::Cluster& cluster, int manager_node, StoreConfig config);
 
   const StoreConfig& config() const { return config_; }
   int node_id() const { return manager_node_; }
+  size_t meta_shards() const { return meta_shards_; }
+
+  // --- pure grouping helpers (no locks, no manager state) ---
+  //
+  // Both operate on already-resolved location spans, so grouping a batch
+  // for the run RPCs never re-enters any manager lock.
+
+  // Group read locations by primary (first-listed) benefactor, preserving
+  // input order within each run; runs are ordered by first appearance, so
+  // the result is deterministic for a given input.  Locations with no
+  // benefactor (unresolved/EOF) are skipped — callers handle those through
+  // the per-chunk path.
+  static std::vector<BenefactorRun> GroupByPrimaryBenefactor(
+      std::span<const ReadLocation> locs);
+
+  // Group write locations by benefactor for the write-side run RPC.
+  // Unlike the read-side grouping, a chunk appears in the run of EVERY
+  // benefactor that holds a replica (writes must reach all replicas, reads
+  // only one).  Runs are ordered by first appearance and preserve input
+  // order within each run, so the result is deterministic for a given
+  // input.
+  static std::vector<BenefactorRun> GroupByBenefactor(
+      std::span<const WriteLocation> locs);
 
   // --- benefactor registry ---
 
@@ -93,21 +131,21 @@ class Manager {
   // Heartbeat sweep: polls every registered benefactor.  The pings fork a
   // clock per benefactor and join at the max, so the round-trips overlap
   // in flight (the manager CPU still serialises the sends through the
-  // service resource) instead of queueing N full RTTs end-to-end.  Returns
-  // the number found alive; `alive_out`, when given, receives one flag per
-  // benefactor id.
+  // per-lane service resources) instead of queueing N full RTTs
+  // end-to-end.  Returns the number found alive; `alive_out`, when given,
+  // receives one flag per benefactor id.
   size_t CheckLiveness(sim::VirtualClock& clock,
                        std::vector<char>* alive_out = nullptr);
 
   // --- incremental repair engine ---
   //
-  // A repair is split into three steps so chunk data never moves while the
-  // manager mutex is held:
-  //   PlanRepairs        (mutex)  snapshot survivors, reclaim dead
-  //                               replicas, reserve targets
-  //   ExecuteRepairPlan  (none)   copy the chunk survivor -> targets
-  //   CommitRepair       (mutex)  re-validate, publish the new replica
-  //                               list — or undo if the chunk changed
+  // A repair is split into three steps so chunk data never moves while any
+  // shard mutex is held:
+  //   PlanRepairs        (shard mu)  snapshot survivors, reclaim dead
+  //                                  replicas, reserve targets
+  //   ExecuteRepairPlan  (none)      copy the chunk survivor -> targets
+  //   CommitRepair       (shard mu)  re-validate, publish the new replica
+  //                                  list — or undo if the chunk changed
   // RepairReplication below and the background MaintenanceService are both
   // thin drivers over these steps.
 
@@ -134,31 +172,33 @@ class Manager {
 
   // Every distinct chunk key whose replica list names a dead benefactor or
   // is shorter than the replication factor (lost chunks excluded).
+  // Shards are visited one at a time; the result is sorted by key so it
+  // does not depend on the shard count or hash iteration order.
   std::vector<ChunkKey> CollectUnderReplicated() const;
-  // Every distinct chunk key with a replica on benefactor `id`.
+  // Every distinct chunk key with a replica on benefactor `id` (sorted).
   std::vector<ChunkKey> ChunksWithReplicasOn(int id) const;
-  // Build repair plans for `keys` under the mutex: strip dead replicas
-  // from the metadata immediately (readers stop trying them), reclaim
-  // their space, and reserve targets on the least-loaded alive benefactors
-  // (capacity-aware placement).  A chunk with no surviving replica is
-  // counted in *lost, its list emptied, and no plan emitted; stale keys
-  // (freed or already healthy) are skipped.
+  // Build repair plans for `keys`, each under its shard's mutex: strip
+  // dead replicas from the metadata immediately (readers stop trying
+  // them), reclaim their space, and reserve targets on the least-loaded
+  // alive benefactors (capacity-aware placement).  A chunk with no
+  // surviving replica is counted in *lost, its list emptied, and no plan
+  // emitted; stale keys (freed or already healthy) are skipped.
   std::vector<RepairPlan> PlanRepairs(std::span<const ChunkKey> keys,
                                       uint64_t* lost = nullptr);
   // Copy the chunk from a surviving replica to every planned target,
   // charging `clock`; target copies fork clocks and join at the max.
-  // Called WITHOUT the mutex — this is the slow part.
+  // Called WITHOUT any lock — this is the slow part.
   RepairOutcome ExecuteRepairPlan(sim::VirtualClock& clock,
                                   const RepairPlan& plan);
-  // Publish the outcome under the mutex.  If the chunk was rewritten or
-  // freed while the copy ran (its repair epoch moved, its replica list
-  // changed, or a prepared write is still in flight — the copy may miss
-  // bytes that land on a survivor only), the copied bytes are stale:
-  // every target is undone and *requeue set so the caller can retry.
-  // *requeue is also set when fewer targets were published than planned
-  // (no readable survivor, or a target died mid-copy) so the chunk does
-  // not silently leave the repair queue while degraded.  Returns replicas
-  // recreated.
+  // Publish the outcome under the key's shard mutex.  If the chunk was
+  // rewritten or freed while the copy ran (its repair epoch moved, its
+  // replica list changed, or a prepared write is still in flight — the
+  // copy may miss bytes that land on a survivor only), the copied bytes
+  // are stale: every target is undone and *requeue set so the caller can
+  // retry.  *requeue is also set when fewer targets were published than
+  // planned (no readable survivor, or a target died mid-copy) so the
+  // chunk does not silently leave the repair queue while degraded.
+  // Returns replicas recreated.
   uint64_t CommitRepair(const RepairOutcome& outcome,
                         bool* requeue = nullptr);
 
@@ -171,13 +211,15 @@ class Manager {
   StatusOr<uint64_t> RepairReplication(sim::VirtualClock& clock,
                                        uint64_t* lost = nullptr);
 
-  // One scrub pass reconciling metadata against benefactor state, fully
-  // under the mutex (metadata only — no data transfers): deletes stored
-  // chunks no file references any more (orphans of failed repairs or
-  // unlinks against dead benefactors), fixes reservation-accounting drift,
-  // and reports under-replicated chunks for re-queueing.  In-flight
-  // repair targets (planned, not yet committed) are exempt from both the
-  // orphan sweep and the drift accounting — a concurrent repair's copy
+  // One scrub pass reconciling metadata against benefactor state, with
+  // EVERY shard mutex held (ascending — a stop-the-world metadata pass, no
+  // data transfers): deletes stored chunks no file references any more
+  // (orphans of failed repairs or unlinks against dead benefactors), fixes
+  // reservation-accounting drift, and reports under-replicated chunks for
+  // re-queueing.  Holding all shards makes the drift comparison race-free:
+  // reservations only move under some shard mutex.  In-flight repair
+  // targets (planned, not yet committed) are exempt from both the orphan
+  // sweep and the drift accounting — a concurrent repair's copy
   // legitimately stores data the replica lists do not name yet.
   struct ScrubResult {
     uint64_t orphans_deleted = 0;
@@ -190,12 +232,13 @@ class Manager {
   //
   // Incremental sweep verifying stored chunk contents against the
   // manager's authoritative checksums, at most `max_bytes` of chunk data
-  // per call; a cursor over the sorted keyspace makes successive calls
-  // cover the whole store.  Three phases so no chunk data moves while the
-  // mutex is held: snapshot a candidate batch (mutex), VerifyChunk each
-  // replica benefactor-locally (no mutex — only the verdict crosses the
-  // network), then quarantine confirmed mismatches (mutex, re-validating
-  // that no write or repair raced the verification).
+  // per call; a per-shard cursor (shards visited in index order, sorted
+  // keys within each shard) makes successive calls cover the whole store.
+  // Three phases so no chunk data moves while any shard mutex is held:
+  // snapshot a candidate batch (one shard mutex at a time), VerifyChunk
+  // each replica benefactor-locally (no locks — only the verdict crosses
+  // the network), then quarantine confirmed mismatches (shard mutex,
+  // re-validating that no write or repair raced the verification).
   struct VerifyResult {
     uint64_t chunks_checked = 0;   // distinct keys visited
     uint64_t bytes_checked = 0;    // chunk bytes read + checksummed
@@ -210,7 +253,8 @@ class Manager {
 
   // A reader saw a checksum mismatch on (key, bid): quarantine that
   // replica (strip it from the list, drop its data and space) and, when a
-  // survivor remains, queue a repair.  Never called with the mutex held.
+  // survivor remains, queue a repair.  Never called with a shard mutex
+  // held.
   void ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns);
 
   // Corrupt replicas detected (read path + scrub, cumulative) and corrupt
@@ -229,7 +273,7 @@ class Manager {
   // hooks are no-ops and the store behaves exactly as before.
   void AttachMaintenance(MaintenanceService* service);
   // A client saw a replica write fail (degraded write): hand the chunk to
-  // the background repair queue.  Never called with the mutex held.
+  // the background repair queue.  Never called with a shard mutex held.
   void ReportDegraded(const ChunkKey& key, int64_t now_ns);
   // Cheap pacing hook invoked on client metadata round-trips: lets the
   // maintenance worker's schedule catch up to foreground virtual time.
@@ -238,8 +282,9 @@ class Manager {
   // Decommission a benefactor for maintenance/upgrade (the paper's
   // "aggregation ... allows for ... easy system hardware upgrades or
   // re-configuration"): migrate every chunk it holds to the surviving
-  // benefactors, rewrite the placement metadata, then retire it.
-  // Returns the number of chunks migrated.
+  // benefactors, rewrite the placement metadata, then retire it.  Holds
+  // every shard mutex for the duration (rare, operator-driven).  Returns
+  // the number of chunks migrated.
   StatusOr<uint64_t> Decommission(sim::VirtualClock& clock, int id);
 
   // --- namespace ---
@@ -261,6 +306,8 @@ class Manager {
 
   // --- data-plane lookups ---
 
+  // The read-resolve fast path: file table shared locks plus one atomic
+  // replica-snapshot load per chunk — no shard mutex.
   StatusOr<ReadLocation> GetReadLocation(sim::VirtualClock& clock, FileId id,
                                          uint32_t chunk_index);
   // Batched variant: locations of `count` consecutive chunks starting at
@@ -290,8 +337,9 @@ class Manager {
   // `crc` (when non-null) becomes the chunk's authoritative checksum —
   // callers pass it only when at least one replica holds the data.
   void CompleteWrite(const ChunkKey& key, const uint32_t* crc = nullptr);
-  // Batch variant: one lock pass completes a whole prepared window.
-  // `crcs` (parallel to locs; may be empty) carries the flush-time
+  // Batch variant: the involved shard set is locked once, in ascending
+  // index order, and the whole prepared window completes in that one lock
+  // pass.  `crcs` (parallel to locs; may be empty) carries the flush-time
   // checksums, recorded per chunk only where `ok` (parallel; may be empty
   // = all ok) says a replica holds the data.
   void CompleteWrites(std::span<const WriteLocation> locs,
@@ -310,90 +358,159 @@ class Manager {
   // Refcount of a chunk (test/diagnostic hook).
   uint32_t ChunkRefcount(const ChunkKey& key) const;
 
-  sim::Resource& service() { return service_; }
   uint64_t num_files() const;
 
  private:
+  // One chunk's single metadata home, shared (via shared_ptr) by every
+  // file slot that references it — checkpoint links reference the same
+  // handle, so publishing a replica list is one store here, not a scan
+  // over every referencing file.  `key` is immutable: a COW creates a
+  // fresh handle for the bumped version and swaps the file slot.
+  //
+  // `replicas` is the atomically-swapped immutable snapshot read by the
+  // lock-free resolve path: STORES happen only under the owning shard's
+  // mutex (PublishReplicasLocked), LOADS take no lock.  Every other field
+  // is guarded by the owning shard's mutex.  The in-flight-writer fences
+  // and reserved repair targets deliberately live in per-shard side maps,
+  // NOT here: both must survive the chunk's last unref (a CompleteWrite
+  // races an unlink; a planned repair target must stay scrub-exempt until
+  // its commit), while epoch/checksum/corruption state dies with the
+  // chunk.
+  struct ChunkHandle {
+    explicit ChunkHandle(const ChunkKey& k) : key(k) {
+      // Never-null invariant: resolvers load without any lock, so even a
+      // handle between construction and its first publish must carry a
+      // (then empty) snapshot.
+      replicas.store(std::make_shared<const std::vector<int>>(),
+                     std::memory_order_relaxed);
+    }
+    const ChunkKey key;
+    std::atomic<std::shared_ptr<const std::vector<int>>> replicas;
+    uint32_t refcount = 0;       // referencing file slots
+    uint64_t repair_epoch = 0;   // bumped on write prepare AND completion
+    bool has_crc = false;        // authoritative checksum recorded?
+    uint32_t crc = 0;
+    bool corrupt_pending = false;  // quarantined replica awaiting heal
+  };
+
+  // One slice of the chunk namespace: every key with shard_of(key) ==
+  // this shard's index.  All members are guarded by `mu`.
+  struct MetaShard {
+    mutable std::mutex mu;
+    std::unordered_map<ChunkKey, std::shared_ptr<ChunkHandle>, ChunkKeyHash>
+        chunks;
+    // Chunks with a prepared-but-uncompleted write.  While an entry exists
+    // CommitRepair refuses to publish (requeues): the in-flight write
+    // could still land bytes on a survivor that the copied targets would
+    // miss.  Side map (not a handle field): the fence must survive an
+    // unlink so the paired CompleteWrite still finds it.
+    std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> inflight_writers;
+    // Reserved targets of repair plans between PlanRepairs and
+    // CommitRepair (duplicates possible when racing drivers plan the same
+    // key).  The scrubber must not reap these as orphans: their chunk data
+    // exists on the benefactor before the replica list names it.
+    std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash>
+        repair_targets;
+    // Resume point of the incremental verification sweep within this
+    // shard (nullopt: restart from the shard's lowest key).
+    std::optional<ChunkKey> verify_cursor;
+  };
+
   struct FileMeta {
-    std::string name;
+    // Guards size/chunks/stripe_cursor.  The resolve fast path holds it
+    // shared; slot swaps (COW prepare) and extension hold it exclusive.
+    // LinkFileChunks locks two files in FileId order.
+    mutable std::shared_mutex mu;
+    std::string name;  // immutable after create
     uint64_t size = 0;
-    std::vector<ChunkRef> chunks;
-    // Next benefactor (index into benefactors_) for striping continuation.
+    std::vector<std::shared_ptr<ChunkHandle>> chunks;
+    // Next benefactor (registry index) for striping continuation.
     size_t stripe_cursor = 0;
   };
 
-  void ChargeOp(sim::VirtualClock& clock) {
-    service_.Acquire(clock, config_.manager_op_ns);
+  size_t shard_of(const ChunkKey& key) const {
+    return static_cast<size_t>(ChunkKeyHash{}(key)) % meta_shards_;
   }
-  // Drop one reference; frees the chunk on its benefactors at zero.
-  void UnrefChunkLocked(const ChunkRef& ref);
-  // COW-resolve one chunk of `meta` (mutex held).  Rolls back partial
+  // Service lane of file- and name-addressed metadata ops.
+  size_t FileLane(FileId id) const {
+    return static_cast<size_t>(Mix64(id)) % meta_shards_;
+  }
+  size_t NameLane(const std::string& name) const {
+    return static_cast<size_t>(Mix64(std::hash<std::string>{}(name))) %
+           meta_shards_;
+  }
+  void ChargeOp(sim::VirtualClock& clock, size_t lane) {
+    services_[lane]->Acquire(clock, config_.manager_op_ns);
+  }
+  // File table lookup; takes (and releases) ns_mu_ shared.
+  std::shared_ptr<FileMeta> FindFile(FileId id) const;
+  // Registry snapshot / bounds-checked lookup (reg_mu_ shared).
+  std::vector<Benefactor*> SnapshotBenefactors() const;
+  Benefactor* BenefactorAt(int id) const;
+  // Publish a fresh immutable replica snapshot (owning shard mu held).
+  static void PublishReplicasLocked(ChunkHandle& h, std::vector<int> replicas);
+  // Drop one reference; frees the chunk on its benefactors at zero
+  // (owning shard mu held).
+  void UnrefChunkLocked(MetaShard& shard, ChunkHandle& h);
+  // COW-resolve one slot of `meta` (file mu held exclusive; takes the
+  // old/new shard mutexes in ascending order itself).  Rolls back partial
   // space reservations if a replica runs out of space mid-COW.
-  StatusOr<WriteLocation> PrepareWriteLocked(FileMeta& meta,
-                                             uint32_t chunk_index);
-  // First-choice benefactor index for the next chunk of `meta`, per the
-  // stripe policy (mutex held).
-  size_t PlacementStartLocked(const FileMeta& meta, int client_node) const;
-  // Rewrite every file ref of `key` to `replicas` (mutex held) — shared
-  // chunks (checkpoint links) carry the list once per referencing file.
-  void SetReplicasLocked(const ChunkKey& key,
-                         const std::vector<int>& replicas);
-  // Replica list of `key` as recorded in the first referencing file, or
-  // nullptr when no file references it (mutex held).
-  const std::vector<int>* CurrentReplicasLocked(const ChunkKey& key) const;
+  StatusOr<WriteLocation> PrepareWriteSlot(FileMeta& meta,
+                                           uint32_t chunk_index);
+  // First-choice registry index for the next chunk of `meta`, per the
+  // stripe policy (file mu held).
+  size_t PlacementStart(const FileMeta& meta, int client_node,
+                        const std::vector<Benefactor*>& bens) const;
   // Drop a reserved (and possibly partially written) repair target of an
-  // abandoned plan (mutex held).  If a racing repair already committed
+  // abandoned plan (shard mu held).  If a racing repair already committed
   // `bid` into the chunk's replica list, only this plan's duplicate
   // reservation is released — the data now belongs to the published list.
-  void UndoRepairTargetLocked(const ChunkKey& key, int bid);
-  // Mutex-held core of CompleteWrite.
-  void CompleteWriteLocked(const ChunkKey& key, const uint32_t* crc = nullptr);
+  void UndoRepairTargetLocked(MetaShard& shard, const ChunkKey& key, int bid);
+  // Shard-mutex-held core of CompleteWrite.
+  void CompleteWriteLocked(MetaShard& shard, const ChunkKey& key,
+                           const uint32_t* crc = nullptr);
   // True when (key, bid) is a reserved target of a repair plan whose
-  // commit has not run yet (mutex held).
-  bool IsRepairTargetLocked(const ChunkKey& key, int bid) const;
+  // commit has not run yet (shard mu held).
+  bool IsRepairTargetLocked(const MetaShard& shard, const ChunkKey& key,
+                            int bid) const;
   // Strip the corrupt replica (key, bid): drop its data and space, publish
   // the shortened list, bump the repair epoch.  Returns false when bid is
   // no longer in the chunk's list (already quarantined or replaced) —
-  // nothing new to learn.  Mutex held.
-  bool QuarantineReplicaLocked(const ChunkKey& key, int bid);
+  // nothing new to learn.  Shard mu held.
+  bool QuarantineReplicaLocked(MetaShard& shard, const ChunkKey& key,
+                               int bid);
 
   net::Cluster& cluster_;
   const int manager_node_;
   const StoreConfig config_;
-  sim::Resource service_;
+  const size_t meta_shards_;
+  // Per-shard metadata service lanes: the modelled manager CPU stops being
+  // one serial timeline once meta_shards > 1.  Lane assignment must be
+  // deterministic (file hash / key shard) so virtual-time results are
+  // reproducible; with meta_shards == 1 everything lands on lane 0,
+  // identical to the historic single `service_` resource.
+  std::vector<std::unique_ptr<sim::Resource>> services_;
 
-  mutable std::mutex mutex_;
+  // Benefactor registry: append-only after wiring.  Shared for the hot
+  // reads (liveness, capacity), exclusive only for registration.
+  mutable std::shared_mutex reg_mu_;
   std::vector<Benefactor*> benefactors_;
+
+  // Namespace: never held across any other lock (see header comment).
+  mutable std::shared_mutex ns_mu_;
   std::unordered_map<std::string, FileId> names_;
-  std::unordered_map<FileId, FileMeta> files_;
-  std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> refcounts_;
-  // Bumped on every write prepare AND every write completion of a chunk;
-  // CommitRepair compares it against the plan-time value to detect that a
-  // copy made outside the mutex went stale.  The completion-side bump is
-  // what catches a write prepared before the plan whose data lands after
-  // the repair's read.  Entries die with the chunk's last reference.
-  std::unordered_map<ChunkKey, uint64_t, ChunkKeyHash> repair_epochs_;
-  // Chunks with a prepared-but-uncompleted write.  While an entry exists
-  // CommitRepair refuses to publish (requeues): the in-flight write could
-  // still land bytes on a survivor that the copied targets would miss.
-  std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> inflight_writers_;
-  // Reserved targets of repair plans between PlanRepairs and CommitRepair
-  // (duplicates possible when racing drivers plan the same key).  The
-  // scrubber must not reap these as orphans: their chunk data exists on
-  // the benefactor before the replica list names it.
-  std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash>
-      repair_targets_;
-  // Authoritative per-chunk checksums, recorded at write completion (only
-  // when integrity is on).  Entries die with the chunk's last reference.
-  std::unordered_map<ChunkKey, uint32_t, ChunkKeyHash> checksums_;
-  // Chunks with a quarantined (corrupt) replica still awaiting full
-  // re-replication; drained into corrupt_repaired_ by CommitRepair.
-  std::unordered_set<ChunkKey, ChunkKeyHash> corrupt_pending_;
-  // Resume point of the incremental verification sweep (nullopt: restart
-  // from the lowest key).
-  std::optional<ChunkKey> verify_cursor_;
+  std::unordered_map<FileId, std::shared_ptr<FileMeta>> files_;
   FileId next_file_id_ = 1;
   size_t stripe_cursor_ = 0;
+
+  // The sharded chunk namespace.
+  std::vector<MetaShard> shards_;
+
+  // Serialises verification sweeps and guards the inter-shard cursor
+  // position (which shard the next VerifyScrub call resumes at).
+  mutable std::mutex verify_mu_;
+  size_t verify_shard_ = 0;
+
   Counter lost_chunks_;
   Counter corrupt_detected_;
   Counter corrupt_repaired_;

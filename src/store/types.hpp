@@ -106,6 +106,16 @@ struct StoreConfig {
   int64_t manager_op_ns = 3'000;       // metadata service time per op
   uint64_t meta_request_bytes = 64;    // modelled RPC request size
   uint64_t meta_response_bytes = 128;  // modelled RPC response size
+  // Metadata shards of the manager.  The chunk namespace is partitioned by
+  // splitmix64 hash of ChunkKey into this many independent shards, each
+  // owning its slice of the location/checksum maps, write fences, repair
+  // epochs and repair queue behind its own mutex — and each with its own
+  // modelled metadata service lane, so clients working on different files
+  // stop serialising on one manager timeline.  1 (the default) keeps the
+  // manager fully serialised and is behaviorally identical to the
+  // pre-shard store; raise it (16 is a good production setting) for
+  // many-client metadata scaling (bench_meta_ops sweeps 1/4/16).
+  size_t meta_shards = 1;
   // Batched benefactor-side reads: StoreClient::ReadChunks groups a batch
   // by primary benefactor and issues one streamed ReadChunkRun per group —
   // one request header and one device queueing slot per run instead of per

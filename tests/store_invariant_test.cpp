@@ -366,6 +366,26 @@ TEST(StoreInvariantTest, ScrubHealsSeededBitRotToChecksumCleanState) {
   RunSequence(/*seed=*/17, /*replication=*/2, /*ops=*/120, so);
 }
 
+TEST(StoreInvariantTest, RandomOpsKeepLayersConsistentShardedMetadata) {
+  // Same invariant sweep with the manager metadata plane split over four
+  // shards: every cross-layer view (location maps, refcounts, reservation
+  // accounting, checksums) must hold exactly as it does with one shard.
+  SequenceOptions so;
+  so.tweak = [](store::StoreConfig& s) { s.meta_shards = 4; };
+  RunSequence(/*seed=*/1, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, ShardedMaintenanceConvergesKilledSequence) {
+  // Mid-sequence benefactor death with background maintenance AND four
+  // metadata shards: repair fences, target registries, and epochs span
+  // shards while the service converges after every op.
+  SequenceOptions so;
+  so.kill_after_writes = 10;
+  so.maintenance = true;
+  so.tweak = [](store::StoreConfig& s) { s.meta_shards = 4; };
+  RunSequence(/*seed=*/13, /*replication=*/2, /*ops=*/120, so);
+}
+
 TEST(StoreInvariantTest, MaintenanceConvergesKilledSequenceToHealedState) {
   // Same mid-sequence death, but with the background maintenance service
   // running.  After each op the harness waits for the service to converge
