@@ -57,8 +57,11 @@ bool MaintenanceService::Enqueue(const ChunkKey& key, int64_t now_ns) {
     std::lock_guard<std::mutex> lock(q.mu);
     if (!q.queued.insert(key).second) return false;  // already waiting
     q.queue.push_back(Pending{key, now_ns});
+    // Bumped before the lock drops: RepairBatch decrements under this same
+    // lock right after popping, so the add is ordered before any drain of
+    // this entry and the unsigned counter can never transiently underflow.
+    queue_depth_.fetch_add(1, std::memory_order_relaxed);
   }
-  queue_depth_.fetch_add(1, std::memory_order_relaxed);
   enqueued_.Add(1);
   return true;
 }

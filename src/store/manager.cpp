@@ -1072,6 +1072,13 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
     key.origin_file = id;
     key.index = static_cast<uint32_t>(meta.chunks.size());
     key.version = 0;
+    // The liveness checks, reservations (and any rollback) and the chunk
+    // insert all happen under the chunk's shard mutex: the scrubber's
+    // drift reconciliation and Decommission hold every shard mutex, so
+    // neither can observe a reservation without its chunk, nor retire a
+    // benefactor between the alive() check and publication.
+    MetaShard& shard = shards_[shard_of(key)];
+    std::unique_lock<std::mutex> slock(shard.mu);
     std::vector<int> replicas;
     const size_t start = PlacementStart(meta, client_node, bens);
     size_t placed = 0;
@@ -1098,12 +1105,9 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
     auto h = std::make_shared<ChunkHandle>(key);
     h->refcount = 1;
     PublishReplicasLocked(*h, std::move(replicas));
-    {
-      MetaShard& shard = shards_[shard_of(key)];
-      std::lock_guard<std::mutex> lock(shard.mu);
-      NVM_CHECK(shard.chunks.emplace(key, h).second,
-                "fallocate key collision");
-    }
+    NVM_CHECK(shard.chunks.emplace(key, h).second,
+              "fallocate key collision");
+    slock.unlock();
     meta.chunks.push_back(std::move(h));
   }
   meta.size = std::max(meta.size, size);

@@ -8,6 +8,7 @@
 // multi-shard locking discipline.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <set>
@@ -510,6 +511,70 @@ TEST(MetaShardConcurrencyTest, ParallelResolversAndWritersStayCoherent) {
   }
   auto scrub = m.ScrubOnce(sim::CurrentClock());
   EXPECT_EQ(scrub.orphans_deleted, 0u);
+  EXPECT_EQ(scrub.reservation_fixes, 0u);
+}
+
+TEST(MetaShardConcurrencyTest, FallocateRacingScrubKeepsReservationsExact) {
+  // Regression: Fallocate must reserve space and publish the chunk as one
+  // step under the chunk's shard mutex.  It used to reserve before taking
+  // any shard lock, so a concurrent ScrubOnce (holding every shard mutex)
+  // could observe the in-flight reservation without its chunk, call it
+  // drift, and release it — leaving the benefactor permanently
+  // under-counted and a later Unlink's release free to underflow.
+  Rig rig(/*replication=*/2);
+  store::Manager& m = rig.store->manager();
+  constexpr int kThreads = 4;
+  constexpr int kFilesPerThread = 12;
+  constexpr uint32_t kChunksPerFile = 8;
+  const auto name = [](int t, int f) {
+    return "/ra" + std::to_string(t) + "_" + std::to_string(f);
+  };
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> racing_fixes{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      sim::VirtualClock clock(0);
+      store::StoreClient& c = rig.store->ClientForNode(t);
+      for (int f = 0; f < kFilesPerThread; ++f) {
+        auto id = c.Create(clock, name(t, f));
+        ASSERT_TRUE(id.ok());
+        ASSERT_TRUE(c.Fallocate(clock, *id, kChunksPerFile * kChunk).ok());
+      }
+    });
+  }
+  std::thread scrubber([&] {
+    sim::VirtualClock clock(0);
+    while (!done.load(std::memory_order_relaxed)) {
+      racing_fixes.fetch_add(m.ScrubOnce(clock).reservation_fixes,
+                             std::memory_order_relaxed);
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  scrubber.join();
+
+  // No scrub may ever have seen drift: every reservation it could observe
+  // was published with its chunk under the same shard-mutex hold.
+  EXPECT_EQ(racing_fixes.load(), 0u);
+
+  // Unlink everything: each release must be backed by a still-standing
+  // reservation (an underflow trips NVM_CHECK inside ReleaseChunkReservation)
+  // and the store must come back empty.
+  sim::VirtualClock clock(0);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int f = 0; f < kFilesPerThread; ++f) {
+      auto id = m.LookupFile(clock, name(t, f));
+      ASSERT_TRUE(id.ok());
+      ASSERT_TRUE(m.Unlink(clock, *id).ok());
+    }
+  }
+  for (int b = 0; b < kBenefactors; ++b) {
+    EXPECT_EQ(rig.store->benefactor(static_cast<size_t>(b)).bytes_used(), 0u)
+        << "benefactor " << b;
+  }
+  auto scrub = m.ScrubOnce(clock);
   EXPECT_EQ(scrub.reservation_fixes, 0u);
 }
 
