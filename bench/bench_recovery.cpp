@@ -1,0 +1,218 @@
+// Cold-start recovery cost vs WAL length and checkpoint cadence — the
+// operational story for the crash-consistent metadata plane.
+//
+// A manager restart replays the durable log over the newest valid
+// checkpoint and then reconciles against the benefactor inventories.
+// Replay work is proportional to the records written since the covering
+// checkpoint, so two knobs govern restart latency:
+//
+//   * how much history the log holds (series A: writes since boot with
+//     checkpointing off — recovery virtual time must grow with the log),
+//   * how often the maintenance loop checkpoints (series B: same write
+//     count, checkpoint every K writes — a tighter cadence must shrink
+//     both the records replayed and the recovery time).
+//
+// Every restart also proves itself: the recovered store must serve the
+// exact bytes of the last completed write to every chunk.
+//
+// `--quick` shrinks the write counts for CI smoke runs; every SHAPE
+// check still executes.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/clock.hpp"
+#include "store/store.hpp"
+
+using namespace nvm;
+using namespace nvm::bench;
+
+namespace {
+
+constexpr uint64_t kChunk = 64_KiB;
+constexpr int kBenefactors = 4;
+constexpr uint32_t kFileChunks = 8;  // writes rotate over these slots
+
+std::vector<uint64_t> g_wal_sweep = {64, 512, 2048};  // series A write counts
+// Series B: a write count that is NOT a multiple of either cadence, so the
+// crash always lands mid-interval and each cadence leaves a real log tail.
+uint64_t g_ckpt_writes = 4000;
+std::vector<uint64_t> g_ckpt_sweep = {0, 512, 64};  // 0 = never checkpoint
+
+struct Rig {
+  net::Cluster cluster;
+  store::AggregateStore store;
+
+  Rig() : cluster(MakeClusterConfig()), store(cluster, MakeStoreConfig()) {}
+
+  static net::ClusterConfig MakeClusterConfig() {
+    net::ClusterConfig cc;
+    cc.num_nodes = kBenefactors + 1;
+    return cc;
+  }
+  static store::AggregateStoreConfig MakeStoreConfig() {
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.replication = 2;
+    sc.store.wal = true;
+    for (int b = 0; b < kBenefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = 1;
+    return sc;
+  }
+};
+
+std::vector<uint8_t> Pattern(uint64_t tag) {
+  std::vector<uint8_t> v(kChunk);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<uint8_t>(tag * 131 + i * 7);
+  }
+  return v;
+}
+
+struct Point {
+  uint64_t writes = 0;
+  uint64_t ckpt_every = 0;    // 0 = never
+  uint64_t wal_records = 0;   // records replayed at recovery
+  int64_t recovery_ns = 0;    // virtual time KillManager -> recovered
+  int64_t per_record_ns = 0;  // recovery_ns / max(1, wal_records)
+};
+
+// Boot a store, run `writes` in-place chunk writes (checkpointing every
+// `ckpt_every` of them; 0 = never), cold-restart the manager, and
+// measure the restart's virtual-time cost.  The recovered store must
+// serve the last completed image of every chunk.
+Point Run(uint64_t writes, uint64_t ckpt_every) {
+  Rig rig;
+  sim::VirtualClock clock(0);
+  store::StoreClient& c = rig.store.ClientForNode(0);
+  auto id = c.Create(clock, "/bench/recovery");
+  NVM_CHECK(id.ok());
+  NVM_CHECK(c.Fallocate(clock, *id, kFileChunks * kChunk).ok());
+
+  std::vector<uint64_t> last_tag(kFileChunks, 0);
+  Bitmap all(kChunk / c.config().page_bytes);
+  all.SetAll();
+  for (uint64_t w = 0; w < writes; ++w) {
+    const uint32_t slot = static_cast<uint32_t>(w % kFileChunks);
+    const std::vector<uint8_t> bytes = Pattern(w + 1);
+    NVM_CHECK(c.WriteChunkPages(clock, *id, slot, all, bytes).ok());
+    last_tag[slot] = w + 1;
+    if (ckpt_every > 0 && (w + 1) % ckpt_every == 0) {
+      rig.store.manager().Checkpoint(clock);
+    }
+  }
+
+  rig.store.KillManager();
+  const int64_t t0 = clock.now();
+  const store::RecoveryReport report = rig.store.RestartManager(clock);
+  const int64_t t1 = clock.now();
+  NVM_CHECK(report.chunks_lost == 0);
+
+  // Readback proof: every chunk serves its last completed image.
+  std::vector<uint8_t> buf(kChunk);
+  store::StoreClient& c2 = rig.store.ClientForNode(0);
+  for (uint32_t s = 0; s < kFileChunks; ++s) {
+    if (last_tag[s] == 0) continue;
+    NVM_CHECK(c2.ReadChunk(clock, *id, s, buf).ok());
+    const std::vector<uint8_t> want = Pattern(last_tag[s]);
+    NVM_CHECK(std::memcmp(buf.data(), want.data(), kChunk) == 0);
+  }
+
+  Point p;
+  p.writes = writes;
+  p.ckpt_every = ckpt_every;
+  p.wal_records = report.records_replayed;
+  p.recovery_ns = t1 - t0;
+  p.per_record_ns = p.recovery_ns /
+                    static_cast<int64_t>(std::max<uint64_t>(1, p.wal_records));
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  if (quick) {
+    g_wal_sweep = {32, 128, 512};
+    g_ckpt_writes = 1000;
+  }
+
+  Title("Manager cold-start recovery vs WAL length / checkpoint cadence",
+        Fmt("%d benefactors, replication 2, %u-chunk file, in-place "
+            "overwrites (one completion record each)",
+            kBenefactors, kFileChunks));
+
+  // Series A: checkpointing off, recovery replays the whole history.
+  std::vector<Point> series_a;
+  for (uint64_t w : g_wal_sweep) series_a.push_back(Run(w, 0));
+
+  Table at(
+      {"writes", "replayed records", "recovery (virt us)", "per record (ns)"});
+  for (const Point& p : series_a) {
+    at.AddRow({Fmt("%llu", (unsigned long long)p.writes),
+               Fmt("%llu", (unsigned long long)p.wal_records),
+               Fmt("%.1f", p.recovery_ns / 1e3),
+               Fmt("%lld", (long long)p.per_record_ns)});
+  }
+  at.Print();
+
+  // Series B: same write count, tightening checkpoint cadence.
+  std::vector<Point> series_b;
+  for (uint64_t k : g_ckpt_sweep) series_b.push_back(Run(g_ckpt_writes, k));
+
+  Table bt({"ckpt every", "replayed records", "recovery (virt us)"});
+  for (const Point& p : series_b) {
+    bt.AddRow(
+        {p.ckpt_every == 0 ? std::string("never")
+                           : Fmt("%llu", (unsigned long long)p.ckpt_every),
+         Fmt("%llu", (unsigned long long)p.wal_records),
+         Fmt("%.1f", p.recovery_ns / 1e3)});
+  }
+  bt.Print();
+  Note("recovery = checkpoint decode + WAL replay + one inventory "
+       "round-trip per benefactor; the round-trips are the flat floor "
+       "every point pays.");
+
+  bool ok = true;
+  ok &= Shape(series_a.back().wal_records > series_a.front().wal_records,
+              "longer histories leave longer logs (%llu vs %llu records)",
+              (unsigned long long)series_a.back().wal_records,
+              (unsigned long long)series_a.front().wal_records);
+  ok &= Shape(series_a.back().recovery_ns > series_a.front().recovery_ns,
+              "recovery time grows with WAL length (%.1f vs %.1f virt us)",
+              series_a.back().recovery_ns / 1e3,
+              series_a.front().recovery_ns / 1e3);
+  ok &= Shape(series_b[2].wal_records < series_b[1].wal_records &&
+                  series_b[1].wal_records < series_b[0].wal_records,
+              "tighter checkpoint cadence replays fewer records "
+              "(%llu < %llu < %llu)",
+              (unsigned long long)series_b[2].wal_records,
+              (unsigned long long)series_b[1].wal_records,
+              (unsigned long long)series_b[0].wal_records);
+  ok &= Shape(series_b[2].recovery_ns < series_b[0].recovery_ns,
+              "checkpointing shrinks recovery time (%.1f vs %.1f virt us)",
+              series_b[2].recovery_ns / 1e3, series_b[0].recovery_ns / 1e3);
+
+  JsonReport json("recovery");
+  json.Add("quick", quick);
+  for (const Point& p : series_a) {
+    const std::string tag = "wal_w" + std::to_string(p.writes);
+    json.Add(tag + "_records", static_cast<double>(p.wal_records));
+    json.Add(tag + "_recovery_ns", static_cast<double>(p.recovery_ns));
+  }
+  for (const Point& p : series_b) {
+    const std::string tag =
+        "ckpt_k" + (p.ckpt_every == 0 ? std::string("never")
+                                      : std::to_string(p.ckpt_every));
+    json.Add(tag + "_records", static_cast<double>(p.wal_records));
+    json.Add(tag + "_recovery_ns", static_cast<double>(p.recovery_ns));
+  }
+  json.Add("shape_ok", ok);
+  json.Print();
+  return ok ? 0 : 1;
+}

@@ -19,7 +19,9 @@
 // heartbeat_period_ms, heartbeat_misses, repair_bw_fraction, scrub_period_ms,
 // and the integrity knobs verify_reads, scrub_verify, scrub_verify_bytes,
 // checksum_bw_gbps (per-chunk CRC32C: verifying reads + checksum scrub),
-// and meta_shards (manager metadata-plane shard count).
+// meta_shards (manager metadata-plane shard count), and the crash-
+// consistency knobs wal, checkpoint_period_ms, wal_segment, wal_device,
+// wal_device_wear_leveling (durable manager metadata: WAL + checkpoints).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -76,6 +78,14 @@ TestbedOptions BuildTestbed(const Config& cfg) {
       cfg.GetDouble("checksum_bw_gbps", to.store.checksum_bw_gbps);
   to.store.meta_shards = static_cast<size_t>(
       cfg.GetInt("meta_shards", static_cast<int64_t>(to.store.meta_shards)));
+  to.store.wal = cfg.GetBool("wal", to.store.wal);
+  to.store.checkpoint_period_ms =
+      cfg.GetInt("checkpoint_period_ms", to.store.checkpoint_period_ms);
+  to.store.wal_segment_bytes =
+      cfg.GetBytes("wal_segment", to.store.wal_segment_bytes);
+  to.store.wal_device = cfg.GetString("wal_device", to.store.wal_device);
+  to.store.wal_device_wear_leveling = cfg.GetBool(
+      "wal_device_wear_leveling", to.store.wal_device_wear_leveling);
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }

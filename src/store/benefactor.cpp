@@ -516,6 +516,16 @@ bool Benefactor::StoredContentCrc(const ChunkKey& key, uint32_t* crc) const {
   return true;
 }
 
+bool Benefactor::StoredChunkCrc(const ChunkKey& key, bool* has_crc,
+                                uint32_t* crc) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = chunks_.find(key);
+  if (it == chunks_.end()) return false;
+  *has_crc = it->second.has_crc;
+  *crc = it->second.crc;
+  return true;
+}
+
 Status Benefactor::DeleteChunk(const ChunkKey& key) {
   // Deletion is allowed even on a dead benefactor: the manager is cleaning
   // up its metadata and the data is already unreachable.

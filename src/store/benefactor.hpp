@@ -158,6 +158,13 @@ class Benefactor {
   // Invariant-test hook: CRC32C recomputed over the stored bytes of `key`
   // right now (no device or CPU charge).  False when the chunk is absent.
   bool StoredContentCrc(const ChunkKey& key, uint32_t* crc) const;
+  // Recovery hook: the checksum RECORDED with the chunk at write time
+  // (never recomputed — a replica whose write-time crc diverges from the
+  // manager's authoritative one belongs to a different write generation,
+  // which is exactly what cold-start reconciliation must detect; content
+  // rot against a matching recorded crc stays the scrubber's business).
+  // Returns false when the chunk is absent (reserved-but-sparse).
+  bool StoredChunkCrc(const ChunkKey& key, bool* has_crc, uint32_t* crc) const;
 
  private:
   struct StoredChunk {

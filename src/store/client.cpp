@@ -148,7 +148,7 @@ Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
         // now names a stripped replica, so drop it before the next read
         // resolves afresh.
         corrupt_failovers_.Add(1);
-        manager_.ReportCorrupt(loc.key, bid, clock.now());
+        manager_.ReportCorrupt(clock, loc.key, bid);
         InvalidateLocation(id, chunk_index);
         NVM_WLOG("benefactor %d served corrupt %s; trying next replica",
                  bid, loc.key.ToString().c_str());
@@ -353,7 +353,7 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
         // write never landed there.  Quarantine it; repair rebuilds it from
         // a replica that did take the write.
         corrupt_replica = true;
-        manager_.ReportCorrupt(loc.key, bid, replica_clock.now());
+        manager_.ReportCorrupt(replica_clock, loc.key, bid);
         NVM_WLOG("benefactor %d rejected merge into corrupt %s; replica "
                  "quarantined",
                  bid, loc.key.ToString().c_str());
@@ -365,7 +365,7 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
   // Close the prepared write (success or not): lifts the repair fence and
   // moves the epoch past anything a concurrent repair copied.  The
   // authoritative checksum is recorded only once a replica holds the data.
-  manager_.CompleteWrite(loc.key,
+  manager_.CompleteWrite(clock, loc.key,
                          with_crc && ok_replicas > 0 ? &crc : nullptr);
 
   if (ok_replicas == 0) {
@@ -544,7 +544,7 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
           // Rotted base image refused the merge: quarantine this replica
           // (repair rebuilds it from one that took the write).
           corrupt_replica[j] = true;
-          manager_.ReportCorrupt(locs[j].key, run.benefactor, fallback.now());
+          manager_.ReportCorrupt(fallback, locs[j].key, run.benefactor);
         }
         last_err[j] = rs;
       }
@@ -559,7 +559,7 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
   for (size_t j = 0; j < active.size(); ++j) {
     wrote[j] = ok_replicas[j] > 0 ? 1 : 0;
   }
-  manager_.CompleteWrites(locs, crcs, wrote);
+  manager_.CompleteWrites(clock, locs, crcs, wrote);
 
   // Per-chunk verdicts, location-cache updates, and the caller's join.
   int64_t joined = t0;

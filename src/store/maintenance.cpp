@@ -1,6 +1,7 @@
 #include "store/maintenance.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.hpp"
 
@@ -20,16 +21,28 @@ MaintenanceService::MaintenanceService(Manager& manager)
       heartbeat_misses_(manager.config().heartbeat_misses),
       bw_fraction_(manager.config().repair_bw_fraction),
       scrub_period_ns_(manager.config().scrub_period_ms * kMsToNs),
+      // Checkpointing needs a WAL to write into; a wal-less manager (or a
+      // zero period) disables the loop entirely.
+      checkpoint_period_ns_(
+          manager.wal() != nullptr
+              ? manager.config().checkpoint_period_ms * kMsToNs
+              : 0),
       queues_(manager.meta_shards()),
       next_heartbeat_ns_(heartbeat_period_ns_),
       next_scrub_ns_(scrub_period_ns_),
+      next_checkpoint_ns_(checkpoint_period_ns_ > 0
+                              ? checkpoint_period_ns_
+                              : std::numeric_limits<int64_t>::max()),
       worker_("maintenance") {
   NVM_CHECK(heartbeat_period_ns_ > 0, "heartbeat_period_ms must be positive");
   NVM_CHECK(heartbeat_misses_ >= 1, "heartbeat_misses must be >= 1");
   NVM_CHECK(bw_fraction_ > 0.0 && bw_fraction_ <= 1.0,
             "repair_bw_fraction must be in (0, 1]");
   NVM_CHECK(scrub_period_ns_ > 0, "scrub_period_ms must be positive");
-  next_due_.store(std::min(next_heartbeat_ns_, next_scrub_ns_),
+  NVM_CHECK(checkpoint_period_ns_ >= 0,
+            "checkpoint_period_ms must not be negative");
+  next_due_.store(std::min({next_heartbeat_ns_, next_scrub_ns_,
+                            next_checkpoint_ns_}),
                   std::memory_order_relaxed);
   manager_.AttachMaintenance(this);
 }
@@ -123,18 +136,25 @@ void MaintenanceService::CatchUp(sim::VirtualClock& clock) {
       std::lock_guard<std::mutex> lock(mu_);
       target = target_ns_;
     }
-    const int64_t due = std::min(next_heartbeat_ns_, next_scrub_ns_);
+    const int64_t due =
+        std::min({next_heartbeat_ns_, next_scrub_ns_, next_checkpoint_ns_});
     if (due > target) break;  // schedule has caught up to foreground time
     clock.AdvanceTo(due);
-    if (next_heartbeat_ns_ <= next_scrub_ns_) {
+    // Ties resolve heartbeat > scrub > checkpoint: liveness first, the
+    // checkpoint last so it serialises the state the others just settled.
+    if (next_heartbeat_ns_ == due) {
       HeartbeatSweep(clock);
       next_heartbeat_ns_ += heartbeat_period_ns_;
-    } else {
+    } else if (next_scrub_ns_ == due) {
       ScrubPass(clock);
       next_scrub_ns_ += scrub_period_ns_;
+    } else {
+      CheckpointPass(clock);
+      next_checkpoint_ns_ += checkpoint_period_ns_;
     }
   }
-  next_due_.store(std::min(next_heartbeat_ns_, next_scrub_ns_),
+  next_due_.store(std::min({next_heartbeat_ns_, next_scrub_ns_,
+                            next_checkpoint_ns_}),
                   std::memory_order_relaxed);
   bool again;
   {
@@ -145,7 +165,8 @@ void MaintenanceService::CatchUp(sim::VirtualClock& clock) {
     // queue_depth_ before taking mu_, so any enqueue that found the token
     // still held is visible to this load.)
     again = queue_depth_.load(std::memory_order_relaxed) > 0 ||
-            std::min(next_heartbeat_ns_, next_scrub_ns_) <= target_ns_;
+            std::min({next_heartbeat_ns_, next_scrub_ns_,
+                      next_checkpoint_ns_}) <= target_ns_;
     if (!again) kicked_ = false;
   }
   if (again) worker_.Post([this](sim::VirtualClock& c) { CatchUp(c); });
@@ -176,13 +197,13 @@ void MaintenanceService::RepairBatch(sim::VirtualClock& clock) {
   clock.AdvanceTo(report_floor);
   batches_.Add(1);
 
-  std::vector<Manager::RepairPlan> plans = manager_.PlanRepairs(keys);
+  std::vector<Manager::RepairPlan> plans = manager_.PlanRepairs(clock, keys);
   const int64_t busy_start = clock.now();
   for (const Manager::RepairPlan& plan : plans) {
     if (plan.incomplete) capacity_misses_.Add(1);
     Manager::RepairOutcome out = manager_.ExecuteRepairPlan(clock, plan);
     bool requeue = false;
-    recreated_.Add(manager_.CommitRepair(out, &requeue));
+    recreated_.Add(manager_.CommitRepair(clock, out, &requeue));
     if (requeue) {
       // The chunk changed under the copy (or the copy fell short of the
       // plan); try again with fresh bytes.
@@ -268,6 +289,15 @@ void MaintenanceService::ScrubPass(sim::VirtualClock& clock) {
   }
 }
 
+void MaintenanceService::CheckpointPass(sim::VirtualClock& clock) {
+  // Serialise the metadata plane into the WAL's checkpoint store.  The
+  // charge (metadata op + log-device write) lands on the worker's clock:
+  // metadata durability is background work with a virtual-time cost, the
+  // same accounting frame as repair and scrub.
+  manager_.Checkpoint(clock);
+  checkpoints_.Add(1);
+}
+
 MaintenanceStats MaintenanceService::stats() const {
   MaintenanceStats s;
   s.heartbeat_sweeps = sweeps_.value();
@@ -288,6 +318,7 @@ MaintenanceStats MaintenanceService::stats() const {
   s.scrub_orphans_deleted = scrub_orphans_.value();
   s.scrub_reservation_fixes = scrub_res_fixes_.value();
   s.scrub_requeued = scrub_requeued_.value();
+  s.checkpoints = checkpoints_.value();
   s.scrub_chunks_verified = scrub_chunks_verified_.value();
   s.scrub_bytes_verified = scrub_bytes_verified_.value();
   s.corrupt_chunks_detected = manager_.corrupt_detected();

@@ -24,6 +24,10 @@
 //                     chunk contents (scrub_verify_bytes per pass, same
 //                     duty-cycle throttle as repair) and queueing
 //                     quarantined bit rot for re-replication
+//   checkpointer      with the wal knob on and checkpoint_period_ms > 0, a
+//                     periodic Manager::Checkpoint serialises the metadata
+//                     plane into the WAL's checkpoint store, bounding the
+//                     log length a cold-start recovery must replay
 //
 // Locking discipline: all engine state (schedule, miss counters) is
 // touched only from worker tasks; the cross-thread state is the repair
@@ -80,6 +84,8 @@ struct MaintenanceStats {
   uint64_t scrub_orphans_deleted = 0;
   uint64_t scrub_reservation_fixes = 0;
   uint64_t scrub_requeued = 0;
+  // Checkpointer (wal knob + checkpoint_period_ms > 0).
+  uint64_t checkpoints = 0;
   // Checksum verification (scrub_verify).
   uint64_t scrub_chunks_verified = 0;  // distinct keys visited by the sweep
   uint64_t scrub_bytes_verified = 0;   // chunk bytes read + checksummed
@@ -144,12 +150,15 @@ class MaintenanceService {
   void RepairBatch(sim::VirtualClock& clock);
   void HeartbeatSweep(sim::VirtualClock& clock);
   void ScrubPass(sim::VirtualClock& clock);
+  void CheckpointPass(sim::VirtualClock& clock);
 
   Manager& manager_;
   const int64_t heartbeat_period_ns_;
   const int heartbeat_misses_;
   const double bw_fraction_;
   const int64_t scrub_period_ns_;
+  // 0 when disabled (no WAL attached, or checkpoint_period_ms == 0).
+  const int64_t checkpoint_period_ns_;
 
   // Cross-thread state: the sharded repair queue (one shard per manager
   // metadata shard) plus the schedule target under mu_.
@@ -168,6 +177,7 @@ class MaintenanceService {
   // Worker-only state (touched solely from tasks, no locking needed).
   int64_t next_heartbeat_ns_;
   int64_t next_scrub_ns_;
+  int64_t next_checkpoint_ns_;  // INT64_MAX when disabled
   std::vector<int> missed_;  // consecutive missed heartbeats, by id
   size_t drain_cursor_ = 0;  // queue shard the next repair batch starts at
 
@@ -185,6 +195,7 @@ class MaintenanceService {
   Counter scrub_orphans_;
   Counter scrub_res_fixes_;
   Counter scrub_requeued_;
+  Counter checkpoints_;
   Counter scrub_chunks_verified_;
   Counter scrub_bytes_verified_;
   std::atomic<int64_t> repair_busy_ns_{0};

@@ -49,11 +49,13 @@ std::vector<BenefactorRun> Manager::GroupByBenefactor(
   return runs;
 }
 
-Manager::Manager(net::Cluster& cluster, int manager_node, StoreConfig config)
+Manager::Manager(net::Cluster& cluster, int manager_node, StoreConfig config,
+                 WalStore* wal)
     : cluster_(cluster),
       manager_node_(manager_node),
       config_(config),
       meta_shards_(config.meta_shards),
+      wal_(wal),
       shards_(meta_shards_) {
   NVM_CHECK(config_.chunk_bytes % config_.page_bytes == 0);
   NVM_CHECK(config_.replication >= 1);
@@ -168,7 +170,8 @@ void Manager::UndoRepairTargetLocked(MetaShard& shard, const ChunkKey& key,
   b->ReleaseChunkReservation(1);
 }
 
-bool Manager::QuarantineReplicaLocked(MetaShard& shard, const ChunkKey& key,
+bool Manager::QuarantineReplicaLocked(sim::VirtualClock& clock,
+                                      MetaShard& shard, const ChunkKey& key,
                                       int bid) {
   auto it = shard.chunks.find(key);
   if (it == shard.chunks.end()) return false;  // freed meanwhile
@@ -179,16 +182,27 @@ bool Manager::QuarantineReplicaLocked(MetaShard& shard, const ChunkKey& key,
   }
   corrupt_detected_.Add(1);
   h.corrupt_pending = true;
-  // The copy is untrustworthy: drop its data and space immediately so no
-  // reader or repair ever consults it again.
-  Benefactor* b = BenefactorAt(bid);
-  (void)b->DeleteChunk(key);
-  b->ReleaseChunkReservation(1);
   std::vector<int> rest;
   rest.reserve(current->size() - 1);
   for (int id : *current) {
     if (id != bid) rest.push_back(id);
   }
+  // Log the shortened list BEFORE destroying the quarantined replica's
+  // data.  The reverse order is unrecoverable: a crash in between would
+  // leave a durable list still naming bid, and recovery — finding no data
+  // there and a quarantined (possibly wrong-byte) image gone — could pick
+  // the corrupt replica's stored checksum as truth or fail chunks that
+  // have a healthy survivor.
+  WalRecord rec;
+  rec.type = WalRecordType::kReplicas;
+  rec.key = key;
+  rec.replicas = rest;
+  LogAppend(clock, std::move(rec));
+  // The copy is untrustworthy: drop its data and space immediately so no
+  // reader or repair ever consults it again.
+  Benefactor* b = BenefactorAt(bid);
+  (void)b->DeleteChunk(key);
+  b->ReleaseChunkReservation(1);
   if (rest.empty()) {
     // Every replica has now failed verification: the chunk is lost, not
     // degraded (there is no verified source to repair from).
@@ -233,15 +247,34 @@ void Manager::CompleteWriteLocked(MetaShard& shard, const ChunkKey& key,
   }
 }
 
-void Manager::CompleteWrite(const ChunkKey& key, const uint32_t* crc) {
+void Manager::CompleteWrite(sim::VirtualClock& clock, const ChunkKey& key,
+                            const uint32_t* crc) {
   MetaShard& shard = shards_[shard_of(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
+  if (wal_ != nullptr) {
+    auto cit = shard.chunks.find(key);
+    if (cit != shard.chunks.end()) {
+      const ChunkHandle& h = *cit->second;
+      // Log-before-publish: the erase of a stale checksum is as durable a
+      // transition as a new one — without it, recovery would stamp the old
+      // checksum onto bytes a failed flush left in an unknown state.
+      if (crc != nullptr || h.has_crc) {
+        WalRecord rec;
+        rec.type = WalRecordType::kComplete;
+        rec.completions.push_back(
+            WalCompletion{key, crc != nullptr, crc != nullptr ? *crc : 0});
+        LogAppend(clock, std::move(rec));
+      }
+    }
+  }
   CompleteWriteLocked(shard, key, crc);
 }
 
-void Manager::CompleteWrites(std::span<const WriteLocation> locs,
+void Manager::CompleteWrites(sim::VirtualClock& clock,
+                             std::span<const WriteLocation> locs,
                              std::span<const uint32_t> crcs,
                              std::span<const char> ok) {
+  if (wal_ != nullptr) wal_->TriggerPoint(CrashPoint::kMidBatch);
   // Lock the whole involved shard set up front, in ascending index order
   // (the ChunkCache flush-window discipline), so the window completes in
   // one pass no matter how its chunks hash across shards.
@@ -256,6 +289,25 @@ void Manager::CompleteWrites(std::span<const WriteLocation> locs,
   std::vector<std::unique_lock<std::mutex>> held;
   held.reserve(order.size());
   for (size_t s : order) held.emplace_back(shards_[s].mu);
+  if (wal_ != nullptr) {
+    // One batched record for the whole window, appended with every
+    // involved shard locked and BEFORE any in-memory mutation: only the
+    // durable checksum transitions (set or erase) make the record —
+    // completions that change nothing durable (sparse, crc-less over
+    // crc-less) are skipped, so a no-checksum window appends nothing.
+    WalRecord rec;
+    rec.type = WalRecordType::kComplete;
+    for (size_t i = 0; i < locs.size(); ++i) {
+      const uint32_t* crc =
+          !crcs.empty() && (ok.empty() || ok[i] != 0) ? &crcs[i] : nullptr;
+      auto cit = shards_[shard_of_loc[i]].chunks.find(locs[i].key);
+      if (cit == shards_[shard_of_loc[i]].chunks.end()) continue;
+      if (crc == nullptr && !cit->second->has_crc) continue;
+      rec.completions.push_back(WalCompletion{
+          locs[i].key, crc != nullptr, crc != nullptr ? *crc : 0});
+    }
+    if (!rec.completions.empty()) LogAppend(clock, std::move(rec));
+  }
   for (size_t i = 0; i < locs.size(); ++i) {
     const uint32_t* crc =
         !crcs.empty() && (ok.empty() || ok[i] != 0) ? &crcs[i] : nullptr;
@@ -299,7 +351,8 @@ std::vector<ChunkKey> Manager::ChunksWithReplicasOn(int id) const {
 }
 
 std::vector<Manager::RepairPlan> Manager::PlanRepairs(
-    std::span<const ChunkKey> keys, uint64_t* lost) {
+    sim::VirtualClock& clock, std::span<const ChunkKey> keys,
+    uint64_t* lost) {
   const std::vector<Benefactor*> bens = SnapshotBenefactors();
   std::unordered_set<ChunkKey, ChunkKeyHash> seen;
   std::vector<RepairPlan> plans;
@@ -318,6 +371,16 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
     for (int bid : recorded) {
       (bens[static_cast<size_t>(bid)]->alive() ? survivors : dead)
           .push_back(bid);
+    }
+    if (!dead.empty()) {
+      // Log the stripped list (empty = lost) before touching any
+      // benefactor state, so a crash mid-strip recovers to the truth
+      // rather than a list still naming reclaimed replicas.
+      WalRecord rec;
+      rec.type = WalRecordType::kReplicas;
+      rec.key = key;
+      rec.replicas = survivors;
+      LogAppend(clock, std::move(rec));
     }
     // The dead replicas' space bookkeeping is reclaimed; their data died
     // with the device.
@@ -457,8 +520,10 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
   return out;
 }
 
-uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
+uint64_t Manager::CommitRepair(sim::VirtualClock& clock,
+                               const RepairOutcome& outcome, bool* requeue) {
   if (requeue != nullptr) *requeue = false;
+  if (wal_ != nullptr) wal_->TriggerPoint(CrashPoint::kMidRepairCommit);
   const RepairPlan& plan = outcome.plan;
   MetaShard& shard = shards_[shard_of(plan.key)];
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -513,13 +578,22 @@ uint64_t Manager::CommitRepair(const RepairOutcome& outcome, bool* requeue) {
     }
   }
   for (int bid : outcome.failed) UndoRepairTargetLocked(shard, plan.key, bid);
+  if (fresh != plan.survivors) {
+    // Log the committed list before publishing it (log-before-publish).
+    // An unchanged list (every target died/failed) appends nothing.
+    WalRecord rec;
+    rec.type = WalRecordType::kReplicas;
+    rec.key = plan.key;
+    rec.replicas = fresh;
+    LogAppend(clock, std::move(rec));
+  }
   PublishReplicasLocked(h, std::move(fresh));
   // Survivors caught serving corrupt bytes during the copy are stripped
   // now, under the same commit (the epoch check above guarantees no write
   // refreshed them in between); the shortened list needs another round.
   bool stripped = false;
   for (int bid : outcome.corrupt_sources) {
-    if (QuarantineReplicaLocked(shard, plan.key, bid)) stripped = true;
+    if (QuarantineReplicaLocked(clock, shard, plan.key, bid)) stripped = true;
   }
   if (stripped && requeue != nullptr) *requeue = true;
   // A chunk quarantined earlier counts as healed once it is back at full
@@ -550,13 +624,13 @@ StatusOr<uint64_t> Manager::RepairReplication(sim::VirtualClock& clock,
   uint64_t recreated = 0;
   for (int round = 0; round < 3 && !keys.empty(); ++round) {
     uint64_t lost_now = 0;
-    std::vector<RepairPlan> plans = PlanRepairs(keys, &lost_now);
+    std::vector<RepairPlan> plans = PlanRepairs(clock, keys, &lost_now);
     if (lost != nullptr) *lost += lost_now;
     std::vector<ChunkKey> retry;
     for (const RepairPlan& plan : plans) {
       RepairOutcome out = ExecuteRepairPlan(clock, plan);
       bool requeue = false;
-      recreated += CommitRepair(out, &requeue);
+      recreated += CommitRepair(clock, out, &requeue);
       if (requeue) retry.push_back(plan.key);
     }
     keys = std::move(retry);
@@ -599,6 +673,7 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
   }
   // Pass 2 — reconcile each alive benefactor against the map.  Dead ones
   // are the repair path's business, not the scrubber's.
+  if (wal_ != nullptr) wal_->TriggerPoint(CrashPoint::kMidScrub);
   const std::vector<Benefactor*> bens = SnapshotBenefactors();
   for (size_t i = 0; i < bens.size(); ++i) {
     Benefactor* b = bens[i];
@@ -799,7 +874,7 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
         ++result.skipped;
         continue;
       }
-      if (QuarantineReplicaLocked(shard, c.key, m.bid)) {
+      if (QuarantineReplicaLocked(clock, shard, c.key, m.bid)) {
         ++own_bumps[c.key];
         ++result.corrupt_found;
         auto now = hit->second->replicas.load(std::memory_order_acquire);
@@ -827,12 +902,13 @@ void Manager::ReportDegraded(const ChunkKey& key, int64_t now_ns) {
   if (maintenance_ != nullptr) maintenance_->ReportDegraded(key, now_ns);
 }
 
-void Manager::ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns) {
+void Manager::ReportCorrupt(sim::VirtualClock& clock, const ChunkKey& key,
+                            int bid) {
   bool degraded = false;
   {
     MetaShard& shard = shards_[shard_of(key)];
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (QuarantineReplicaLocked(shard, key, bid)) {
+    if (QuarantineReplicaLocked(clock, shard, key, bid)) {
       auto it = shard.chunks.find(key);
       degraded =
           it != shard.chunks.end() &&
@@ -841,7 +917,14 @@ void Manager::ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns) {
   }
   // Queue a repair only when a surviving replica can seed the
   // re-replication (a fully corrupt chunk is lost, not degraded).
-  if (degraded) ReportDegraded(key, now_ns);
+  if (degraded) ReportDegraded(key, clock.now());
+}
+
+void Manager::ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns) {
+  // Legacy entry point: same semantics on a throwaway clock pinned at
+  // now_ns (identical when no WAL is attached — nothing charges it).
+  sim::VirtualClock wal_clock(now_ns);
+  ReportCorrupt(wal_clock, key, bid);
 }
 
 bool Manager::LookupChecksum(const ChunkKey& key, uint32_t* crc) const {
@@ -927,10 +1010,18 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
           clock, h->key, all_pages, buf,
           h->has_crc ? &h->crc : nullptr));
     }
-    (void)leaving->DeleteChunk(h->key);
-    leaving->ReleaseChunkReservation(1);
     std::vector<int> rewritten = current;
     rewritten[static_cast<size_t>(pos - current.begin())] = dst;
+    // Log the rewritten placement BEFORE dropping the leaving replica's
+    // copy: a crash in between then recovers to the new list (the copy on
+    // dst is already in place), never to a list naming deleted data.
+    WalRecord rec;
+    rec.type = WalRecordType::kReplicas;
+    rec.key = h->key;
+    rec.replicas = rewritten;
+    LogAppend(clock, std::move(rec));
+    (void)leaving->DeleteChunk(h->key);
+    leaving->ReleaseChunkReservation(1);
     PublishReplicasLocked(*h, std::move(rewritten));
     ++migrated;
   }
@@ -946,6 +1037,13 @@ StatusOr<FileId> Manager::CreateFile(sim::VirtualClock& clock,
     return AlreadyExists("file '" + name + "' already exists");
   }
   const FileId id = next_file_id_++;
+  // Log under ns_mu_ exclusive, before the maps change: namespace records
+  // are totally ordered by the namespace lock.
+  WalRecord rec;
+  rec.type = WalRecordType::kCreateFile;
+  rec.file_id = id;
+  rec.name = name;
+  LogAppend(clock, std::move(rec));
   names_[name] = id;
   auto meta = std::make_shared<FileMeta>();
   meta->name = name;
@@ -1003,6 +1101,14 @@ Status Manager::Unlink(sim::VirtualClock& clock, FileId id) {
     auto it = files_.find(id);
     if (it == files_.end()) return NotFound("file id " + std::to_string(id));
     meta = it->second;
+    // Log before the namespace mutation AND before any chunk data is
+    // dropped below: if the crash lands on this very append, recovery
+    // keeps the file but may find unreferenced data already gone — chunks
+    // surface as lost, never as wrong bytes.
+    WalRecord rec;
+    rec.type = WalRecordType::kUnlink;
+    rec.file_id = id;
+    LogAppend(clock, std::move(rec));
     names_.erase(meta->name);
     files_.erase(it);
   }
@@ -1065,6 +1171,10 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
   if (want_chunks > meta.chunks.size() && n == 0) {
     return Unavailable("no benefactors registered");
   }
+  // The whole extension logs as ONE kExtend record, appended while the
+  // file mutex is still held (below): resolves of the new slots need that
+  // mutex, so nothing observes the placements before their record exists.
+  std::vector<WalPlacement> wal_placements;
   while (meta.chunks.size() < want_chunks) {
     // First choice per the stripe policy; then scan onward, skipping dead
     // or full benefactors; replicas land on consecutive distinct ones.
@@ -1097,6 +1207,17 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
       for (int bid : replicas) {
         bens[static_cast<size_t>(bid)]->ReleaseChunkReservation(1);
       }
+      // The chunks placed by EARLIER loop iterations stay (they are live
+      // in the file already): log them with the unchanged logical size so
+      // the durable image matches what the caller can now read.
+      if (wal_ != nullptr && !wal_placements.empty()) {
+        WalRecord rec;
+        rec.type = WalRecordType::kExtend;
+        rec.file_id = id;
+        rec.size = meta.size;
+        rec.placements = std::move(wal_placements);
+        LogAppend(clock, std::move(rec));
+      }
       return OutOfSpace("aggregate store out of space at chunk " +
                         std::to_string(meta.chunks.size()) + " of '" +
                         meta.name + "'");
@@ -1104,11 +1225,24 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
     meta.stripe_cursor = (meta.stripe_cursor + 1) % n;
     auto h = std::make_shared<ChunkHandle>(key);
     h->refcount = 1;
+    if (wal_ != nullptr) {
+      wal_placements.push_back(WalPlacement{
+          key.index, key, replicas});
+    }
     PublishReplicasLocked(*h, std::move(replicas));
     NVM_CHECK(shard.chunks.emplace(key, h).second,
               "fallocate key collision");
     slock.unlock();
     meta.chunks.push_back(std::move(h));
+  }
+  if (wal_ != nullptr &&
+      (!wal_placements.empty() || size > meta.size)) {
+    WalRecord rec;
+    rec.type = WalRecordType::kExtend;
+    rec.file_id = id;
+    rec.size = std::max(meta.size, size);
+    rec.placements = std::move(wal_placements);
+    LogAppend(clock, std::move(rec));
   }
   meta.size = std::max(meta.size, size);
   return OkStatus();
@@ -1155,7 +1289,8 @@ StatusOr<std::vector<ReadLocation>> Manager::GetReadLocations(
   return locs;
 }
 
-StatusOr<WriteLocation> Manager::PrepareWriteSlot(FileMeta& meta,
+StatusOr<WriteLocation> Manager::PrepareWriteSlot(sim::VirtualClock& clock,
+                                                  FileId id, FileMeta& meta,
                                                   uint32_t chunk_index) {
   if (chunk_index >= meta.chunks.size()) {
     return OutOfRange("chunk " + std::to_string(chunk_index) +
@@ -1211,6 +1346,19 @@ StatusOr<WriteLocation> Manager::PrepareWriteSlot(FileMeta& meta,
     }
     ++reserved;
   }
+  // Log the swap before any of it becomes visible (the reservations above
+  // are benefactor-side state recovery reconciles wholesale).  After a
+  // crash the durable slot points at the fresh version; if its data never
+  // landed anywhere, recovery rolls the slot back to `old_key` — the
+  // chunk reads old bytes or new bytes, never a mix, never zeros.
+  WalRecord rec;
+  rec.type = WalRecordType::kCowSwap;
+  rec.file_id = id;
+  rec.slot = chunk_index;
+  rec.old_key = h.key;
+  rec.key = fresh_key;
+  rec.replicas = *replicas;
+  LogAppend(clock, std::move(rec));
   --h.refcount;  // live file drops its reference to the shared version
   auto nh = std::make_shared<ChunkHandle>(fresh_key);
   nh->refcount = 1;
@@ -1235,7 +1383,7 @@ StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
   std::shared_ptr<FileMeta> meta = FindFile(id);
   if (meta == nullptr) return NotFound("file id " + std::to_string(id));
   std::unique_lock<std::shared_mutex> lock(meta->mu);
-  return PrepareWriteSlot(*meta, chunk_index);
+  return PrepareWriteSlot(clock, id, *meta, chunk_index);
 }
 
 StatusOr<std::vector<WriteLocation>> Manager::PrepareWriteBatch(
@@ -1247,11 +1395,13 @@ StatusOr<std::vector<WriteLocation>> Manager::PrepareWriteBatch(
   std::vector<WriteLocation> locs;
   locs.reserve(indices.size());
   for (uint32_t index : indices) {
-    auto loc = PrepareWriteSlot(*meta, index);
+    auto loc = PrepareWriteSlot(clock, id, *meta, index);
     if (!loc.ok()) {
       // The caller gets an error and will never complete the window:
       // close the writes already opened so they don't fence repairs of
-      // those chunks forever.
+      // those chunks forever.  These closures log nothing — no byte
+      // moved, so the durable checksum (if any) still matches the stored
+      // contents; only the volatile fence and epoch need settling.
       for (const WriteLocation& opened : locs) {
         MetaShard& shard = shards_[shard_of(opened.key)];
         std::lock_guard<std::mutex> slock(shard.mu);
@@ -1289,6 +1439,14 @@ StatusOr<uint64_t> Manager::LinkFileChunks(sim::VirtualClock& clock,
   const uint64_t src_size = smeta->size;
   // Linked chunks land at the next chunk boundary of dst.
   const uint64_t link_offset = dmeta->chunks.size() * config_.chunk_bytes;
+  // Log under both file mutexes, before any refcount moves: replay
+  // re-reads src's chunk list at the same point of the record order, so
+  // it reconstructs exactly this link.
+  WalRecord rec;
+  rec.type = WalRecordType::kLink;
+  rec.file_id = dst;
+  rec.src_file = src;
+  LogAppend(clock, std::move(rec));
   for (const std::shared_ptr<ChunkHandle>& h : linked) {
     MetaShard& shard = shards_[shard_of(h->key)];
     std::lock_guard<std::mutex> lock(shard.mu);

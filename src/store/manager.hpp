@@ -58,7 +58,9 @@
 #include "net/cluster.hpp"
 #include "sim/resource.hpp"
 #include "store/benefactor.hpp"
+#include "store/recovery.hpp"
 #include "store/types.hpp"
+#include "store/wal.hpp"
 
 namespace nvm::store {
 
@@ -90,11 +92,18 @@ struct WriteLocation {
 
 class Manager {
  public:
-  Manager(net::Cluster& cluster, int manager_node, StoreConfig config);
+  // `wal` (optional, owned by the AggregateStore so it survives a manager
+  // crash): when non-null every durable metadata mutation appends a
+  // record there BEFORE publishing in memory, and Checkpoint()/Recover()
+  // become functional.  Null keeps the manager byte- and virtual-time-
+  // identical to the WAL-less implementation.
+  Manager(net::Cluster& cluster, int manager_node, StoreConfig config,
+          WalStore* wal = nullptr);
 
   const StoreConfig& config() const { return config_; }
   int node_id() const { return manager_node_; }
   size_t meta_shards() const { return meta_shards_; }
+  WalStore* wal() { return wal_; }
 
   // --- pure grouping helpers (no locks, no manager state) ---
   //
@@ -183,8 +192,17 @@ class Manager {
   // alive benefactors (capacity-aware placement).  A chunk with no
   // surviving replica is counted in *lost, its list emptied, and no plan
   // emitted; stale keys (freed or already healthy) are skipped.
-  std::vector<RepairPlan> PlanRepairs(std::span<const ChunkKey> keys,
+  // The clock-taking overload charges WAL appends (lost / dead-strip
+  // publishes are logged); the clock-less one keeps legacy callers
+  // compiling and is exactly equivalent when no WAL is attached.
+  std::vector<RepairPlan> PlanRepairs(sim::VirtualClock& clock,
+                                      std::span<const ChunkKey> keys,
                                       uint64_t* lost = nullptr);
+  std::vector<RepairPlan> PlanRepairs(std::span<const ChunkKey> keys,
+                                      uint64_t* lost = nullptr) {
+    sim::VirtualClock wal_clock(0);
+    return PlanRepairs(wal_clock, keys, lost);
+  }
   // Copy the chunk from a surviving replica to every planned target,
   // charging `clock`; target copies fork clocks and join at the max.
   // Called WITHOUT any lock — this is the slow part.
@@ -199,8 +217,14 @@ class Manager {
   // planned (no readable survivor, or a target died mid-copy) so the
   // chunk does not silently leave the repair queue while degraded.
   // Returns replicas recreated.
-  uint64_t CommitRepair(const RepairOutcome& outcome,
+  uint64_t CommitRepair(sim::VirtualClock& clock,
+                        const RepairOutcome& outcome,
                         bool* requeue = nullptr);
+  uint64_t CommitRepair(const RepairOutcome& outcome,
+                        bool* requeue = nullptr) {
+    sim::VirtualClock wal_clock(0);
+    return CommitRepair(wal_clock, outcome, requeue);
+  }
 
   // Repair replication after failures: for every chunk that lost replicas
   // to dead benefactors, re-copy the data from a surviving replica onto
@@ -254,7 +278,8 @@ class Manager {
   // A reader saw a checksum mismatch on (key, bid): quarantine that
   // replica (strip it from the list, drop its data and space) and, when a
   // survivor remains, queue a repair.  Never called with a shard mutex
-  // held.
+  // held.  The clock-taking overload charges the quarantine's WAL append.
+  void ReportCorrupt(sim::VirtualClock& clock, const ChunkKey& key, int bid);
   void ReportCorrupt(const ChunkKey& key, int bid, int64_t now_ns);
 
   // Corrupt replicas detected (read path + scrub, cumulative) and corrupt
@@ -335,16 +360,32 @@ class Manager {
   // drops the in-flight-writer fence and moves the repair epoch, so a
   // repair copy taken while the write was in flight can never commit.
   // `crc` (when non-null) becomes the chunk's authoritative checksum —
-  // callers pass it only when at least one replica holds the data.
-  void CompleteWrite(const ChunkKey& key, const uint32_t* crc = nullptr);
+  // callers pass it only when at least one replica holds the data.  The
+  // clock-taking overload logs the checksum transition (set OR erase) to
+  // the WAL before publishing it; the clock-less one keeps legacy callers
+  // compiling and is identical when no WAL is attached.
+  void CompleteWrite(sim::VirtualClock& clock, const ChunkKey& key,
+                     const uint32_t* crc = nullptr);
+  void CompleteWrite(const ChunkKey& key, const uint32_t* crc = nullptr) {
+    sim::VirtualClock wal_clock(0);
+    CompleteWrite(wal_clock, key, crc);
+  }
   // Batch variant: the involved shard set is locked once, in ascending
   // index order, and the whole prepared window completes in that one lock
   // pass.  `crcs` (parallel to locs; may be empty) carries the flush-time
   // checksums, recorded per chunk only where `ok` (parallel; may be empty
-  // = all ok) says a replica holds the data.
-  void CompleteWrites(std::span<const WriteLocation> locs,
+  // = all ok) says a replica holds the data.  One batched WAL record
+  // covers the whole window, appended before any in-memory mutation.
+  void CompleteWrites(sim::VirtualClock& clock,
+                      std::span<const WriteLocation> locs,
                       std::span<const uint32_t> crcs = {},
                       std::span<const char> ok = {});
+  void CompleteWrites(std::span<const WriteLocation> locs,
+                      std::span<const uint32_t> crcs = {},
+                      std::span<const char> ok = {}) {
+    sim::VirtualClock wal_clock(0);
+    CompleteWrites(wal_clock, locs, crcs, ok);
+  }
 
   // --- checkpoint support ---
 
@@ -359,6 +400,26 @@ class Manager {
   uint32_t ChunkRefcount(const ChunkKey& key) const;
 
   uint64_t num_files() const;
+
+  // --- crash consistency (store/recovery.cpp) ---
+
+  // Serialise the whole metadata plane into the WAL's checkpoint store.
+  // Takes ns_mu_ shared, every file mutex shared (FileId order) and every
+  // shard mutex (ascending) for the serialisation instant: every WAL
+  // append happens under one of those locks, so each record is either
+  // fully reflected in the blob (seq <= covered) or entirely after it —
+  // replay needs no idempotency.  No-op without a WAL.
+  void Checkpoint(sim::VirtualClock& clock);
+
+  // Cold-start recovery on a FRESH manager (no files, no chunks, no
+  // client traffic yet): load the newest valid checkpoint, replay the WAL
+  // records after it, then reconcile the result against the live
+  // benefactor inventories — per-replica write-time {has_crc, crc}
+  // metadata decides conflicts, so a chunk either comes back with bytes
+  // that verify or is surfaced as lost (empty location list), never with
+  // wrong bytes.  Charges the log reads and the per-benefactor inventory
+  // round-trips to `clock`.  No-op without a WAL.
+  RecoveryReport Recover(sim::VirtualClock& clock);
 
  private:
   // One chunk's single metadata home, shared (via shared_ptr) by every
@@ -454,8 +515,12 @@ class Manager {
   void UnrefChunkLocked(MetaShard& shard, ChunkHandle& h);
   // COW-resolve one slot of `meta` (file mu held exclusive; takes the
   // old/new shard mutexes in ascending order itself).  Rolls back partial
-  // space reservations if a replica runs out of space mid-COW.
-  StatusOr<WriteLocation> PrepareWriteSlot(FileMeta& meta,
+  // space reservations if a replica runs out of space mid-COW.  A COW
+  // swap logs a kCowSwap record (under the file + shard locks) before the
+  // slot moves; the in-place branch logs nothing — the chunk's identity
+  // and placement are unchanged.
+  StatusOr<WriteLocation> PrepareWriteSlot(sim::VirtualClock& clock,
+                                           FileId id, FileMeta& meta,
                                            uint32_t chunk_index);
   // First-choice registry index for the next chunk of `meta`, per the
   // stripe policy (file mu held).
@@ -476,14 +541,41 @@ class Manager {
   // Strip the corrupt replica (key, bid): drop its data and space, publish
   // the shortened list, bump the repair epoch.  Returns false when bid is
   // no longer in the chunk's list (already quarantined or replaced) —
-  // nothing new to learn.  Shard mu held.
-  bool QuarantineReplicaLocked(MetaShard& shard, const ChunkKey& key,
-                               int bid);
+  // nothing new to learn.  Shard mu held.  The shortened list is logged
+  // BEFORE the replica's data is dropped: the reverse order would leave a
+  // crashed recovery believing the deleted replica still held the bytes.
+  bool QuarantineReplicaLocked(sim::VirtualClock& clock, MetaShard& shard,
+                               const ChunkKey& key, int bid);
+  // Append `rec` to the WAL (charging `clock`) — no-op without a WAL.
+  // Call sites hold the mutex that orders the mutation being logged
+  // (ns_mu_, a file mu, or the owning shard mu); the WAL's own mutex is
+  // innermost.
+  void LogAppend(sim::VirtualClock& clock, WalRecord rec) {
+    if (wal_ != nullptr) wal_->Append(clock, std::move(rec));
+  }
+
+  // --- recovery internals (store/recovery.cpp) ---
+
+  // Serialise every file table and chunk handle into a checkpoint blob.
+  // Caller holds ns_mu_ shared + every file mu shared + every shard mu.
+  std::string EncodeCheckpointLocked() const;
+  // Rebuild namespace/file/chunk state from a checkpoint blob (fresh
+  // manager, no locks needed).  Returns false on a malformed blob (which
+  // the slot CRC makes a code bug, not torn media).
+  bool DecodeCheckpoint(const std::string& blob);
+  // Apply one replayed WAL record (fresh manager, no locks needed).
+  void ApplyWalRecord(const WalRecord& rec);
+  // Post-replay reconciliation against the live benefactor inventories.
+  void ReconcileWithBenefactors(sim::VirtualClock& clock,
+                                RecoveryReport* report);
 
   net::Cluster& cluster_;
   const int manager_node_;
   const StoreConfig config_;
   const size_t meta_shards_;
+  // Durable half of the metadata plane; owned by the AggregateStore (it
+  // must survive KillManager).  Null = crash consistency off.
+  WalStore* const wal_;
   // Per-shard metadata service lanes: the modelled manager CPU stops being
   // one serial timeline once meta_shards > 1.  Lane assignment must be
   // deterministic (file hash / key shard) so virtual-time results are

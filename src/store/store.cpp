@@ -9,8 +9,11 @@ AggregateStore::AggregateStore(net::Cluster& cluster,
     : cluster_(cluster), config_(std::move(config)) {
   NVM_CHECK(!config_.benefactor_nodes.empty(),
             "aggregate store needs at least one benefactor node");
+  if (config_.store.wal) {
+    wal_ = std::make_unique<WalStore>(config_.store);
+  }
   manager_ = std::make_unique<Manager>(cluster_, config_.manager_node,
-                                       config_.store);
+                                       config_.store, wal_.get());
   for (int node : config_.benefactor_nodes) {
     auto b = std::make_unique<Benefactor>(
         static_cast<int>(benefactors_.size()), cluster_.node(node),
@@ -31,6 +34,35 @@ StoreClient& AggregateStore::ClientForNode(int node) {
     slot = std::make_unique<StoreClient>(cluster_, *manager_, node);
   }
   return *slot;
+}
+
+void AggregateStore::KillManager() {
+  // Order matters: the maintenance worker must join (and detach) before
+  // its manager dies, and every client stub holds a Manager& that would
+  // dangle, so they go too.  What survives is exactly what a real crash
+  // leaves behind: benefactor processes on other nodes, and the bytes the
+  // WAL device managed to absorb before the crash point.
+  maintenance_.reset();
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (auto& slot : clients_) slot.reset();
+  }
+  manager_.reset();
+}
+
+RecoveryReport AggregateStore::RestartManager(sim::VirtualClock& clock) {
+  NVM_CHECK(manager_ == nullptr, "RestartManager without KillManager");
+  if (wal_ != nullptr) wal_->Reopen();
+  manager_ = std::make_unique<Manager>(cluster_, config_.manager_node,
+                                       config_.store, wal_.get());
+  // Re-register the surviving benefactors in creation order, so ids match
+  // every id recorded in the durable metadata.
+  for (auto& b : benefactors_) manager_->RegisterBenefactor(b.get());
+  RecoveryReport report = manager_->Recover(clock);
+  if (config_.store.maintenance) {
+    maintenance_ = std::make_unique<MaintenanceService>(*manager_);
+  }
+  return report;
 }
 
 }  // namespace nvm::store

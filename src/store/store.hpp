@@ -37,14 +37,35 @@ class AggregateStore {
   // `maintenance` knob is off.
   MaintenanceService* maintenance() { return maintenance_.get(); }
   const MaintenanceService* maintenance() const { return maintenance_.get(); }
+  // The durable metadata log, or nullptr when the `wal` knob is off.
+  // Owned here, NOT by the manager: it is the on-SSD state that survives
+  // KillManager, exactly like a metadata partition survives a process.
+  WalStore* wal() { return wal_.get(); }
 
   // A client stub bound to `node` (one per compute node, shared by the
   // node's processes, like the single FUSE mount per node in the paper).
   StoreClient& ClientForNode(int node);
 
+  // --- manager crash / restart (the crash-schedule harness) ---
+
+  // Tear down the manager process, volatile state and all: the
+  // maintenance worker joins, every client stub dies (their manager
+  // reference dangles), then the manager itself.  Benefactors and the
+  // WAL device survive — they are other machines / durable media.
+  // Call sites must drop any StoreClient references they hold first.
+  void KillManager();
+  // Bring up a FRESH manager over the surviving benefactors and WAL, run
+  // cold-start recovery (charged to `clock`), and restart the
+  // maintenance service if configured.  ClientForNode hands out stubs
+  // bound to the new manager afterwards.
+  RecoveryReport RestartManager(sim::VirtualClock& clock);
+
  private:
   net::Cluster& cluster_;
   AggregateStoreConfig config_;
+  // Declared before the manager: the manager holds a raw pointer into it
+  // for its whole lifetime (and it must outlive every manager incarnation).
+  std::unique_ptr<WalStore> wal_;
   std::unique_ptr<Manager> manager_;
   std::vector<std::unique_ptr<Benefactor>> benefactors_;
   std::vector<std::unique_ptr<StoreClient>> clients_;  // indexed by node id

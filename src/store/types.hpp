@@ -168,6 +168,27 @@ struct StoreConfig {
   // integrity is never free in virtual-time results.
   double checksum_bw_gbps = 4.0;
 
+  // --- crash-consistent manager metadata (store/wal.hpp, recovery.hpp) ---
+  // Master switch: when on, the AggregateStore owns a write-ahead log +
+  // checkpoint store on a manager-local SSD and the manager appends one
+  // durable record ahead of every metadata mutation (log-before-publish).
+  // A killed manager then restarts via Manager::Recover: checkpoint +
+  // WAL replay, reconciled against the live benefactor inventories.  Off
+  // (default) keeps the store byte- and virtual-time-identical to the
+  // WAL-less implementation — nothing is logged, charged, or recoverable.
+  bool wal = false;
+  // Period of the maintenance-loop checkpoint that supersedes the log
+  // prefix it covers (0 disables periodic checkpoints; manual
+  // Manager::Checkpoint still works).  Requires wal and maintenance.
+  int64_t checkpoint_period_ms = 1000;
+  // WAL segment size: records append to fixed-size segments so superseded
+  // history is dropped segment-at-a-time.
+  uint64_t wal_segment_bytes = 64_KiB;
+  // Device profile of the manager-local log/checkpoint SSD:
+  // "x25e" | "fusionio" | "ocz" | "dram" (Table I profiles).
+  std::string wal_device = "x25e";
+  bool wal_device_wear_leveling = true;
+
   // With both integrity knobs off no checksum is computed, stored, or
   // charged anywhere — byte- and virtual-time-identical to the pre-
   // integrity store.

@@ -83,6 +83,23 @@ struct Harness {
     ASSERT_TRUE(ms->QueueEmpty());
   }
 
+  // Cold-restart the manager mid-sequence: tear down the mount (its
+  // client stub dies with the manager), kill, recover from the WAL, and
+  // remount.  With no crash armed the log is complete, so recovery must
+  // be lossless — the sequence then continues against the fresh manager
+  // under the same invariants.
+  void RestartManager() {
+    mount.reset();
+    store->KillManager();
+    const store::RecoveryReport report =
+        store->RestartManager(sim::CurrentClock());
+    EXPECT_EQ(report.chunks_lost, 0u);
+    EXPECT_GT(report.records_replayed + report.files_recovered, 0u);
+    fuselite::FuseliteConfig fc;
+    fc.cache_bytes = kCacheChunks * kChunk;
+    mount = std::make_unique<fuselite::MountPoint>(*store, /*node=*/0, fc);
+  }
+
   // The invariant sweep: every view of "which chunks exist where" must
   // agree after every operation.
   void CheckInvariants(int replication) {
@@ -193,6 +210,11 @@ struct SequenceOptions {
   // the placement invariant to hold after quiesce).
   uint64_t bitrot_period = 0;
   uint64_t bitrot_seed = 0;
+  // Kill and cold-restart the manager after this many ops (0 = never).
+  // Requires the WAL (tweak wal = true): the restarted manager rebuilds
+  // its whole metadata plane from the durable log + benefactor
+  // inventories, and the sequence keeps running against it.
+  uint64_t kill_manager_after_ops = 0;
   // Extra config knobs for the run (e.g. a scrub verify budget large
   // enough that one pass covers the whole working set).
   std::function<void(store::StoreConfig&)> tweak;
@@ -220,6 +242,18 @@ void RunSequence(uint64_t seed, int replication, int ops,
   };
 
   for (int op = 0; op < ops; ++op) {
+    if (so.kill_manager_after_ops > 0 &&
+        op == static_cast<int>(so.kill_manager_after_ops)) {
+      // Flush every file first: dirty cache pages are client-side state
+      // and die with the mount, so the restart boundary is a sync point.
+      for (const auto& [name, bytes] : h.shadow) {
+        auto f = h.mount->Open(name);
+        ASSERT_TRUE(f.ok()) << name;
+        ASSERT_TRUE(f->Sync().ok()) << name;
+      }
+      ASSERT_NO_FATAL_FAILURE(h.RestartManager()) << "op " << op;
+      ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(replication)) << "op " << op;
+    }
     const uint64_t dice = rng.NextBelow(100);
     if (dice < 15 || h.shadow.empty()) {
       // Create (bounded number of live files).
@@ -384,6 +418,31 @@ TEST(StoreInvariantTest, ShardedMaintenanceConvergesKilledSequence) {
   so.maintenance = true;
   so.tweak = [](store::StoreConfig& s) { s.meta_shards = 4; };
   RunSequence(/*seed=*/13, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, ColdManagerRestartMidSequenceIsLossless) {
+  // The manager is killed and cold-restarted halfway through the
+  // sequence (single metadata shard).  Recovery rebuilds the namespace,
+  // placements, checksums and reservations from the WAL + benefactor
+  // inventories, and every cross-layer invariant must keep holding for
+  // the rest of the run — including the empty-store teardown.
+  SequenceOptions so;
+  so.kill_manager_after_ops = 60;
+  so.tweak = [](store::StoreConfig& s) { s.wal = true; };
+  RunSequence(/*seed=*/19, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, ColdManagerRestartMidSequenceShardedMetadata) {
+  // Same mid-sequence cold restart with the metadata plane split over
+  // four shards: the checkpoint/replay path must reassemble state across
+  // shards exactly as it does with one.
+  SequenceOptions so;
+  so.kill_manager_after_ops = 60;
+  so.tweak = [](store::StoreConfig& s) {
+    s.wal = true;
+    s.meta_shards = 4;
+  };
+  RunSequence(/*seed=*/23, /*replication=*/2, /*ops=*/120, so);
 }
 
 TEST(StoreInvariantTest, MaintenanceConvergesKilledSequenceToHealedState) {
