@@ -77,6 +77,8 @@ struct Point {
   uint64_t wal_records = 0;   // records replayed at recovery
   int64_t recovery_ns = 0;    // virtual time KillManager -> recovered
   int64_t per_record_ns = 0;  // recovery_ns / max(1, wal_records)
+  double wal_wear = 0;        // log-device wear fraction at crash time
+  uint64_t wal_bytes = 0;     // log-device host bytes written at crash time
 };
 
 // Boot a store, run `writes` in-place chunk writes (checkpointing every
@@ -104,6 +106,12 @@ Point Run(uint64_t writes, uint64_t ckpt_every) {
     }
   }
 
+  // Snapshot the log device's wear before the crash: every append and
+  // every checkpoint image landed on it, so cadence shows up here as the
+  // endurance price of faster restarts.
+  const double wal_wear = rig.store.wal()->device().wear_fraction();
+  const uint64_t wal_bytes = rig.store.wal()->device().host_bytes_written();
+
   rig.store.KillManager();
   const int64_t t0 = clock.now();
   const store::RecoveryReport report = rig.store.RestartManager(clock);
@@ -127,6 +135,8 @@ Point Run(uint64_t writes, uint64_t ckpt_every) {
   p.recovery_ns = t1 - t0;
   p.per_record_ns = p.recovery_ns /
                     static_cast<int64_t>(std::max<uint64_t>(1, p.wal_records));
+  p.wal_wear = wal_wear;
+  p.wal_bytes = wal_bytes;
   return p;
 }
 
@@ -165,13 +175,16 @@ int main(int argc, char** argv) {
   std::vector<Point> series_b;
   for (uint64_t k : g_ckpt_sweep) series_b.push_back(Run(g_ckpt_writes, k));
 
-  Table bt({"ckpt every", "replayed records", "recovery (virt us)"});
+  Table bt({"ckpt every", "replayed records", "recovery (virt us)",
+            "WAL dev KiB written", "WAL dev wear"});
   for (const Point& p : series_b) {
     bt.AddRow(
         {p.ckpt_every == 0 ? std::string("never")
                            : Fmt("%llu", (unsigned long long)p.ckpt_every),
          Fmt("%llu", (unsigned long long)p.wal_records),
-         Fmt("%.1f", p.recovery_ns / 1e3)});
+         Fmt("%.1f", p.recovery_ns / 1e3),
+         Fmt("%llu", (unsigned long long)(p.wal_bytes / 1024)),
+         Fmt("%.4f%%", p.wal_wear * 100)});
   }
   bt.Print();
   Note("recovery = checkpoint decode + WAL replay + one inventory "
@@ -197,6 +210,24 @@ int main(int argc, char** argv) {
   ok &= Shape(series_b[2].recovery_ns < series_b[0].recovery_ns,
               "checkpointing shrinks recovery time (%.1f vs %.1f virt us)",
               series_b[2].recovery_ns / 1e3, series_b[0].recovery_ns / 1e3);
+  // The flip side of fast restarts: each checkpoint writes a full
+  // metadata image to the log device, so tighter cadence must push more
+  // bytes through it over the same write history.  Bytes are the strict
+  // gate; the wear fraction is the same signal after erase-count
+  // quantisation, so it only has to be monotone, not strict.
+  ok &= Shape(series_b[2].wal_bytes > series_b[1].wal_bytes &&
+                  series_b[1].wal_bytes > series_b[0].wal_bytes,
+              "tighter checkpoint cadence writes the log device harder "
+              "(%llu > %llu > %llu KiB)",
+              (unsigned long long)(series_b[2].wal_bytes / 1024),
+              (unsigned long long)(series_b[1].wal_bytes / 1024),
+              (unsigned long long)(series_b[0].wal_bytes / 1024));
+  ok &= Shape(series_b[2].wal_wear >= series_b[1].wal_wear &&
+                  series_b[1].wal_wear >= series_b[0].wal_wear,
+              "log-device wear tracks the cadence (%.4f%% >= %.4f%% >= "
+              "%.4f%%)",
+              series_b[2].wal_wear * 100, series_b[1].wal_wear * 100,
+              series_b[0].wal_wear * 100);
 
   JsonReport json("recovery");
   json.Add("quick", quick);
@@ -211,6 +242,8 @@ int main(int argc, char** argv) {
                                       : std::to_string(p.ckpt_every));
     json.Add(tag + "_records", static_cast<double>(p.wal_records));
     json.Add(tag + "_recovery_ns", static_cast<double>(p.recovery_ns));
+    json.Add(tag + "_wal_wear", p.wal_wear);
+    json.Add(tag + "_wal_bytes", static_cast<double>(p.wal_bytes));
   }
   json.Add("shape_ok", ok);
   json.Print();

@@ -19,9 +19,12 @@
 // heartbeat_period_ms, heartbeat_misses, repair_bw_fraction, scrub_period_ms,
 // and the integrity knobs verify_reads, scrub_verify, scrub_verify_bytes,
 // checksum_bw_gbps (per-chunk CRC32C: verifying reads + checksum scrub),
-// meta_shards (manager metadata-plane shard count), and the crash-
+// meta_shards (manager metadata-plane shard count), the crash-
 // consistency knobs wal, checkpoint_period_ms, wal_segment, wal_device,
-// wal_device_wear_leveling (durable manager metadata: WAL + checkpoints).
+// wal_device_wear_leveling (durable manager metadata: WAL + checkpoints),
+// and the placement-engine knobs placement_avoid_suspected (steer
+// striping/COW/repair around suspected and correlated-loss benefactors)
+// and placement_wear_weight (bias placement away from worn devices).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -86,6 +89,10 @@ TestbedOptions BuildTestbed(const Config& cfg) {
   to.store.wal_device = cfg.GetString("wal_device", to.store.wal_device);
   to.store.wal_device_wear_leveling = cfg.GetBool(
       "wal_device_wear_leveling", to.store.wal_device_wear_leveling);
+  to.store.placement_avoid_suspected = cfg.GetBool(
+      "placement_avoid_suspected", to.store.placement_avoid_suspected);
+  to.store.placement_wear_weight = cfg.GetDouble(
+      "placement_wear_weight", to.store.placement_wear_weight);
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }

@@ -304,7 +304,7 @@ Status Benefactor::VerifyChunk(sim::VirtualClock& clock, const ChunkKey& key,
 Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
                               const Bitmap& dirty_pages,
                               std::span<const uint8_t> data,
-                              const uint32_t* crc) {
+                              const uint32_t* crc, uint32_t* stored_crc) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   write_requests_.Add(1);
   NVM_CHECK(data.size() == config_.chunk_bytes);
@@ -343,6 +343,9 @@ Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
         ++pages_written;
       });
       charge_crc = StoreCrcLocked(it->second, pages_written, crc);
+      if (stored_crc != nullptr && it->second.has_crc) {
+        *stored_crc = it->second.crc;
+      }
     }
   }
   if (pre_verified) clock.Advance(config_.checksum_ns(config_.chunk_bytes));
@@ -434,6 +437,9 @@ Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
         });
         charge_crc = StoreCrcLocked(it->second, pages_written,
                                     item.has_crc ? &item.crc : nullptr);
+        if (item.stored_crc != nullptr && it->second.has_crc) {
+          *item.stored_crc = it->second.crc;
+        }
       }
     }
     if (pre_verified) clock.Advance(config_.checksum_ns(config_.chunk_bytes));

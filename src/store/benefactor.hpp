@@ -71,10 +71,14 @@ class Benefactor {
   // stored verbatim when the dirty set covers the whole chunk, otherwise
   // (partial write, or no crc supplied) the benefactor recomputes over the
   // merged image, charging the checksum CPU cost.  Ignored when both
-  // integrity knobs are off.
+  // integrity knobs are off.  `stored_crc` (when non-null) returns the CRC
+  // actually stored with the chunk — the merged-image value on a partial
+  // write — which is what the caller must hand the manager as the
+  // authoritative checksum.
   Status WritePages(sim::VirtualClock& clock, const ChunkKey& key,
                     const Bitmap& dirty_pages, std::span<const uint8_t> data,
-                    const uint32_t* crc = nullptr);
+                    const uint32_t* crc = nullptr,
+                    uint32_t* stored_crc = nullptr);
 
   // Scrub support: re-read the stored chunk off the device, recompute its
   // CRC32C (both charged to `clock`) and compare against the manager's

@@ -283,7 +283,7 @@ Status StoreClient::WriteReplica(sim::VirtualClock& clock,
                                  const WriteLocation& loc, int bid,
                                  const Bitmap& dirty_pages,
                                  std::span<const uint8_t> chunk_image,
-                                 const uint32_t* crc) {
+                                 const uint32_t* crc, uint32_t* stored_crc) {
   const StoreConfig& cfg = manager_.config();
   Benefactor* b = manager_.benefactor(bid);
   NVM_CHECK(b != nullptr);
@@ -298,7 +298,8 @@ Status StoreClient::WriteReplica(sim::VirtualClock& clock,
   cluster_.network().Transfer(clock, local_node_, b->node_id(),
                               dirty_bytes + cfg.meta_request_bytes);
   NVM_RETURN_IF_ERROR(
-      b->WritePages(clock, loc.key, dirty_pages, chunk_image, crc));
+      b->WritePages(clock, loc.key, dirty_pages, chunk_image, crc,
+                    stored_crc));
   cluster_.network().Transfer(clock, b->node_id(), local_node_,
                               cfg.meta_response_bytes);
   return OkStatus();
@@ -333,12 +334,21 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
   int64_t done = t0;
   size_t ok_replicas = 0;
   bool corrupt_replica = false;
+  // On a partial-dirty write the replicas merge the shipped pages over
+  // their stored base, so the stored image — and with it the checksum the
+  // manager may record — can differ from the client's in-memory image
+  // (whose clean pages may never have been faulted in).  The authority is
+  // the CRC the first successful replica actually stored.
+  uint32_t authority = crc;
   Status last = Unavailable("no replicas");
   for (int bid : loc.benefactors) {
     sim::VirtualClock replica_clock(t0);
+    uint32_t replica_stored = crc;
     Status s = WriteReplica(replica_clock, loc, bid, dirty_pages, chunk_image,
-                            with_crc ? &crc : nullptr);
+                            with_crc ? &crc : nullptr,
+                            with_crc ? &replica_stored : nullptr);
     if (s.ok()) {
+      if (ok_replicas == 0) authority = replica_stored;
       ++ok_replicas;
       bytes_flushed_.Add(dirty_bytes);
       done = std::max(done, replica_clock.now());
@@ -366,7 +376,7 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
   // moves the epoch past anything a concurrent repair copied.  The
   // authoritative checksum is recorded only once a replica holds the data.
   manager_.CompleteWrite(clock, loc.key,
-                         with_crc && ok_replicas > 0 ? &crc : nullptr);
+                         with_crc && ok_replicas > 0 ? &authority : nullptr);
 
   if (ok_replicas == 0) {
     // Nothing holds the (possibly fresh) version: make sure later reads
@@ -400,7 +410,8 @@ Status StoreClient::WriteRun(sim::VirtualClock& clock,
                              std::span<const WriteLocation> locs,
                              std::span<const ChunkWrite> writes,
                              std::span<const size_t> active,
-                             std::span<const uint32_t> crcs) {
+                             std::span<const uint32_t> crcs,
+                             std::span<uint32_t> stored_crcs) {
   const StoreConfig& cfg = manager_.config();
   Benefactor* b = manager_.benefactor(run.benefactor);
   NVM_CHECK(b != nullptr);
@@ -419,6 +430,7 @@ Status StoreClient::WriteRun(sim::VirtualClock& clock,
     if (!crcs.empty()) {
       item.has_crc = true;
       item.crc = crcs[j];
+      item.stored_crc = stored_crcs.empty() ? nullptr : &stored_crcs[j];
     }
     items.push_back(item);
   }
@@ -502,15 +514,24 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
   std::vector<char> corrupt_replica(active.size(), 0);
   std::vector<Status> last_err(active.size(), OkStatus());
   std::vector<int64_t> done(active.size(), t0);
+  // Authoritative checksums to record at CompleteWrites: seeded with the
+  // client's full-image values, overwritten per item by the CRC the first
+  // successful replica actually stored (a partial-dirty merge can
+  // legitimately differ from the client image when clean pages were never
+  // faulted in).
+  std::vector<uint32_t> authority(crcs.begin(), crcs.end());
 
   // One streamed run per benefactor — every replica holder gets its own
   // run — each on a clock forked at the post-prepare time, so runs (and
   // with them the replicas of each chunk) overlap.
   for (const BenefactorRun& run : Manager::GroupByBenefactor(locs)) {
     sim::VirtualClock run_clock(t0);
-    Status s = WriteRun(run_clock, run, locs, writes, active, crcs);
+    std::vector<uint32_t> run_stored(crcs.begin(), crcs.end());
+    Status s = WriteRun(run_clock, run, locs, writes, active, crcs,
+                        run_stored);
     if (s.ok()) {
       for (size_t j : run.items) {
+        if (ok_replicas[j] == 0) authority[j] = run_stored[j];
         ++ok_replicas[j];
         bytes_flushed_.Add(writes[active[j]].dirty->PopCount() *
                            cfg.page_bytes);
@@ -531,9 +552,12 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
     for (size_t j : run.items) {
       const ChunkWrite& w = writes[active[j]];
       sim::VirtualClock fallback(t0);
+      uint32_t replica_stored = with_crc ? crcs[j] : 0;
       Status rs = WriteReplica(fallback, locs[j], run.benefactor, *w.dirty,
-                               w.image, with_crc ? &crcs[j] : nullptr);
+                               w.image, with_crc ? &crcs[j] : nullptr,
+                               with_crc ? &replica_stored : nullptr);
       if (rs.ok()) {
+        if (ok_replicas[j] == 0) authority[j] = replica_stored;
         ++ok_replicas[j];
         bytes_flushed_.Add(w.dirty->PopCount() * cfg.page_bytes);
         done[j] = std::max(done[j], fallback.now());
@@ -559,7 +583,7 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
   for (size_t j = 0; j < active.size(); ++j) {
     wrote[j] = ok_replicas[j] > 0 ? 1 : 0;
   }
-  manager_.CompleteWrites(clock, locs, crcs, wrote);
+  manager_.CompleteWrites(clock, locs, authority, wrote);
 
   // Per-chunk verdicts, location-cache updates, and the caller's join.
   int64_t joined = t0;

@@ -172,21 +172,26 @@ class StoreClient {
   // pages + header, device program, response) against one benefactor on
   // the given clock.  Does not touch counters or the location cache.
   // `crc` is the flush-time CRC32C of the full chunk image (nullptr when
-  // integrity is off).
+  // integrity is off); `stored_crc` (when non-null) returns the CRC the
+  // replica actually stored — the merged-image value on a partial write —
+  // which is what CompleteWrite must record as authoritative.
   Status WriteReplica(sim::VirtualClock& clock, const WriteLocation& loc,
                       int bid, const Bitmap& dirty_pages,
                       std::span<const uint8_t> chunk_image,
-                      const uint32_t* crc);
+                      const uint32_t* crc, uint32_t* stored_crc = nullptr);
   // One streamed WriteChunkRun against run.benefactor covering the items
   // named by run.items (indices into locs/active).  All-or-nothing: on
   // failure the caller retries every item per chunk — nothing a failed
   // run streamed counts.  `crcs` (parallel to locs/active) carries the
-  // flush-time checksums; empty when integrity is off.
+  // flush-time checksums; empty when integrity is off.  `stored_crcs`
+  // (parallel to locs/active; empty when integrity is off) receives, for
+  // each item the run covers, the CRC this replica actually stored.
   Status WriteRun(sim::VirtualClock& clock, const BenefactorRun& run,
                   std::span<const WriteLocation> locs,
                   std::span<const ChunkWrite> writes,
                   std::span<const size_t> active,
-                  std::span<const uint32_t> crcs);
+                  std::span<const uint32_t> crcs,
+                  std::span<uint32_t> stored_crcs);
 
   net::Cluster& cluster_;
   Manager& manager_;

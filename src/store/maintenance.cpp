@@ -33,6 +33,9 @@ MaintenanceService::MaintenanceService(Manager& manager)
       next_checkpoint_ns_(checkpoint_period_ns_ > 0
                               ? checkpoint_period_ns_
                               : std::numeric_limits<int64_t>::max()),
+      suspect_slots_(manager.num_benefactors()),
+      suspect_counts_(
+          std::make_unique<std::atomic<uint32_t>[]>(suspect_slots_)),
       worker_("maintenance") {
   NVM_CHECK(heartbeat_period_ns_ > 0, "heartbeat_period_ms must be positive");
   NVM_CHECK(heartbeat_misses_ >= 1, "heartbeat_misses must be >= 1");
@@ -124,7 +127,34 @@ bool MaintenanceService::QueueEmpty() const {
   return queue_depth_.load(std::memory_order_relaxed) == 0;
 }
 
+std::vector<char> MaintenanceService::SuspectedSnapshot() const {
+  std::vector<char> suspected(suspect_slots_, 0);
+  for (size_t i = 0; i < suspect_slots_; ++i) {
+    if (suspect_counts_[i].load(std::memory_order_relaxed) > 0) {
+      suspected[i] = 1;
+    }
+  }
+  return suspected;
+}
+
 void MaintenanceService::CatchUp(sim::VirtualClock& clock) {
+  // Bounds how far a loop's schedule may fall behind the worker's own
+  // clock.  An event whose cost exceeds its period (a 25ms scrub on a
+  // 20ms cadence) accumulates replay backlog faster than it drains; with
+  // unbounded replay every foreground Tick chases an ever-receding
+  // schedule and the worker's virtual clock runs away exponentially.
+  // Dropping only the slots beyond the window keeps moderate backlogs —
+  // a repair burst's duty-cycle idle, a congested sweep — replaying at
+  // exact fixed rate, which the failure-detector timing tests rely on,
+  // while capping the per-catch-up work for a genuinely overrunning
+  // loop (the schedule then stays within the window of the clock, so
+  // each drain round is bounded instead of compounding).
+  constexpr int64_t kMaxBacklogPeriods = 16;
+  const auto reschedule = [&clock](int64_t& next, int64_t period) {
+    next += period;
+    const int64_t floor = clock.now() - kMaxBacklogPeriods * period;
+    if (next < floor) next = floor;
+  };
   for (;;) {
     // Queued repairs run first — a failure report outranks the schedule.
     if (queue_depth_.load(std::memory_order_relaxed) > 0) {
@@ -144,13 +174,13 @@ void MaintenanceService::CatchUp(sim::VirtualClock& clock) {
     // checkpoint last so it serialises the state the others just settled.
     if (next_heartbeat_ns_ == due) {
       HeartbeatSweep(clock);
-      next_heartbeat_ns_ += heartbeat_period_ns_;
+      reschedule(next_heartbeat_ns_, heartbeat_period_ns_);
     } else if (next_scrub_ns_ == due) {
       ScrubPass(clock);
-      next_scrub_ns_ += scrub_period_ns_;
+      reschedule(next_scrub_ns_, scrub_period_ns_);
     } else {
       CheckpointPass(clock);
-      next_checkpoint_ns_ += checkpoint_period_ns_;
+      reschedule(next_checkpoint_ns_, checkpoint_period_ns_);
     }
   }
   next_due_.store(std::min({next_heartbeat_ns_, next_scrub_ns_,
@@ -238,9 +268,16 @@ void MaintenanceService::HeartbeatSweep(sim::VirtualClock& clock) {
       // A revived benefactor must miss the full threshold again before it
       // is re-declared — flapping cannot amplify into repair storms.
       missed_[i] = 0;
+      if (i < suspect_slots_) {
+        suspect_counts_[i].store(0, std::memory_order_relaxed);
+      }
       continue;
     }
     ++missed_[i];
+    if (i < suspect_slots_) {
+      suspect_counts_[i].store(static_cast<uint32_t>(missed_[i]),
+                               std::memory_order_relaxed);
+    }
     if (missed_[i] == 1) suspected_.Add(1);
     if (missed_[i] == heartbeat_misses_) {
       // Suspicion confirmed: everything that held a replica there is now

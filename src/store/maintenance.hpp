@@ -47,6 +47,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_set>
 #include <vector>
@@ -124,6 +125,14 @@ class MaintenanceService {
   MaintenanceStats stats() const;
   int64_t now_ns() const { return worker_.now_ns(); }
 
+  // Per-benefactor suspicion flags for the placement engine: one entry
+  // per benefactor registered when the service started, set while the
+  // heartbeat detector counts >= 1 consecutive missed heartbeat (the
+  // suspected-but-not-yet-declared-dead window; a clean sweep clears it).
+  // Lock-free snapshot of the mirrored atomic counters — callable from
+  // any thread, including under the manager's hook lock.
+  std::vector<char> SuspectedSnapshot() const;
+
  private:
   struct Pending {
     ChunkKey key;
@@ -180,6 +189,13 @@ class MaintenanceService {
   int64_t next_checkpoint_ns_;  // INT64_MAX when disabled
   std::vector<int> missed_;  // consecutive missed heartbeats, by id
   size_t drain_cursor_ = 0;  // queue shard the next repair batch starts at
+
+  // Cross-thread mirror of missed_ for SuspectedSnapshot(): sized at
+  // construction (benefactors register before the service in both
+  // AggregateStore wiring paths; one registered later is simply never
+  // suspected), written only by the heartbeat sweep.
+  const size_t suspect_slots_;
+  std::unique_ptr<std::atomic<uint32_t>[]> suspect_counts_;
 
   // Stats (atomic so stats() works from any thread).
   Counter sweeps_;

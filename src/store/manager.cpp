@@ -182,6 +182,13 @@ bool Manager::QuarantineReplicaLocked(sim::VirtualClock& clock,
   }
   corrupt_detected_.Add(1);
   h.corrupt_pending = true;
+  // Correlated-loss memory: this device just served wrong bytes for this
+  // chunk — the placement engine must not pick it as a repair target for
+  // the same chunk (placement_avoid_suspected).
+  if (std::find(h.tainted.begin(), h.tainted.end(), bid) ==
+      h.tainted.end()) {
+    h.tainted.push_back(bid);
+  }
   std::vector<int> rest;
   rest.reserve(current->size() - 1);
   for (int id : *current) {
@@ -241,6 +248,9 @@ void Manager::CompleteWriteLocked(MetaShard& shard, const ChunkKey& key,
     if (crc != nullptr) {
       h.has_crc = true;
       h.crc = *crc;
+      // Fresh verified bytes landed everywhere the list names: the
+      // correlated-loss memory described the overwritten contents.
+      h.tainted.clear();
     } else {
       h.has_crc = false;
     }
@@ -354,6 +364,10 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
     sim::VirtualClock& clock, std::span<const ChunkKey> keys,
     uint64_t* lost) {
   const std::vector<Benefactor*> bens = SnapshotBenefactors();
+  // Reliability signal for target placement, snapshotted once per call
+  // and BEFORE any shard mutex (hook_mu_ is never taken under one).
+  std::vector<char> suspected;
+  if (config_.placement_avoid_suspected) suspected = SuspectedBenefactors();
   std::unordered_set<ChunkKey, ChunkKeyHash> seen;
   std::vector<RepairPlan> plans;
   for (const ChunkKey& key : keys) {
@@ -409,27 +423,35 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
     RepairPlan plan;
     plan.key = key;
     plan.survivors = survivors;
-    // Capacity-aware placement: least-loaded alive benefactors that do not
-    // already hold a replica (ties broken by id for determinism).  The
-    // reservations race planners on other shards only through the
-    // benefactors' CAS-bounded counters — a loser simply plans incomplete
-    // and requeues.
-    std::vector<std::pair<uint64_t, int>> cands;
-    for (size_t i = 0; i < bens.size(); ++i) {
-      Benefactor* b = bens[i];
-      if (!b->alive()) continue;
-      if (std::find(survivors.begin(), survivors.end(),
-                    static_cast<int>(i)) != survivors.end()) {
-        continue;
-      }
-      cands.emplace_back(b->bytes_free(), static_cast<int>(i));
+    // Target placement through the shared engine: least-loaded alive
+    // benefactors that do not already hold a replica (ties broken by id
+    // for determinism).  With placement_avoid_suspected on, benefactors
+    // missing heartbeats are HARD-excluded (re-protection must not bet on
+    // a flapping node) and so are the chunk's correlated-loss sources
+    // (h.tainted — the devices that corrupted or diverged on these very
+    // bytes).  The reservations race planners on other shards only
+    // through the benefactors' CAS-bounded counters — a loser simply
+    // plans incomplete and requeues.
+    std::vector<PlacementCandidate> cands = BuildPlacementCandidates(
+        bens, suspected.empty() ? nullptr : &suspected);
+    for (int bid : survivors) {
+      cands[static_cast<size_t>(bid)].excluded = true;
     }
-    std::sort(cands.begin(), cands.end(), [](const auto& a, const auto& b) {
-      return a.first != b.first ? a.first > b.first : a.second < b.second;
-    });
+    if (config_.placement_avoid_suspected) {
+      for (int bid : h.tainted) {
+        if (static_cast<size_t>(bid) < cands.size()) {
+          cands[static_cast<size_t>(bid)].excluded = true;
+        }
+      }
+    }
+    PlacementRequest req;
+    req.order = PlacementRequest::Order::kLeastLoaded;
+    req.avoid_suspected = config_.placement_avoid_suspected;
+    req.exclude_suspected = config_.placement_avoid_suspected;
+    req.wear_weight = config_.placement_wear_weight;
     const size_t need =
         static_cast<size_t>(config_.replication) - survivors.size();
-    for (const auto& [free, bid] : cands) {
+    for (int bid : RankPlacement(cands, req)) {
       if (plan.targets.size() == need) break;
       if (bens[static_cast<size_t>(bid)]->ReserveChunks(1).ok()) {
         plan.targets.push_back(bid);
@@ -1124,37 +1146,32 @@ Status Manager::Unlink(sim::VirtualClock& clock, FileId id) {
   return OkStatus();
 }
 
-size_t Manager::PlacementStart(const FileMeta& meta, int client_node,
-                               const std::vector<Benefactor*>& bens) const {
-  const size_t n = bens.size();
-  switch (config_.stripe_policy) {
-    case StripePolicy::kRoundRobin:
-      return meta.stripe_cursor;
-    case StripePolicy::kLocalityAware:
-      // Prefer a benefactor co-located with the allocating client; fall
-      // back to the round-robin cursor when none exists.
-      for (size_t i = 0; i < n; ++i) {
-        if (bens[i]->alive() && bens[i]->node_id() == client_node &&
-            bens[i]->bytes_free() >= config_.chunk_bytes) {
-          return i;
-        }
-      }
-      return meta.stripe_cursor;
-    case StripePolicy::kCapacityBalanced: {
-      size_t best = meta.stripe_cursor;
-      uint64_t best_free = 0;
-      for (size_t i = 0; i < n; ++i) {
-        if (!bens[i]->alive()) continue;
-        const uint64_t free = bens[i]->bytes_free();
-        if (free > best_free) {
-          best_free = free;
-          best = i;
-        }
-      }
-      return best;
+std::vector<char> Manager::SuspectedBenefactors() const {
+  std::shared_lock<std::shared_mutex> lock(hook_mu_);
+  if (maintenance_ == nullptr) return {};
+  return maintenance_->SuspectedSnapshot();
+}
+
+std::vector<PlacementCandidate> Manager::BuildPlacementCandidates(
+    const std::vector<Benefactor*>& bens,
+    const std::vector<char>* suspected) const {
+  const bool want_wear = config_.placement_wear_weight > 0.0;
+  std::vector<PlacementCandidate> cands(bens.size());
+  for (size_t i = 0; i < bens.size(); ++i) {
+    Benefactor* b = bens[i];
+    PlacementCandidate& c = cands[i];
+    c.bid = static_cast<int>(i);
+    c.alive = b->alive();
+    c.bytes_free = b->bytes_free();
+    c.node = b->node_id();
+    if (suspected != nullptr && i < suspected->size()) {
+      c.suspected = (*suspected)[i] != 0;
     }
+    // The wear read is gated on the knob so the knob-off store never
+    // consults the device's erase accounting.
+    if (want_wear) c.wear = b->ssd().wear_fraction();
   }
-  return meta.stripe_cursor;
+  return cands;
 }
 
 Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
@@ -1162,6 +1179,10 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
   ChargeOp(clock, FileLane(id));
   std::shared_ptr<FileMeta> file = FindFile(id);
   if (file == nullptr) return NotFound("file id " + std::to_string(id));
+  // Reliability signal for the placement engine, snapshotted before the
+  // file lock (hook_mu_ is never taken under a file or shard mutex).
+  std::vector<char> suspected;
+  if (config_.placement_avoid_suspected) suspected = SuspectedBenefactors();
   std::unique_lock<std::shared_mutex> flock(file->mu);
   FileMeta& meta = *file;
 
@@ -1176,33 +1197,40 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
   // mutex, so nothing observes the placements before their record exists.
   std::vector<WalPlacement> wal_placements;
   while (meta.chunks.size() < want_chunks) {
-    // First choice per the stripe policy; then scan onward, skipping dead
-    // or full benefactors; replicas land on consecutive distinct ones.
+    // First choice per the stripe policy; the engine then ranks the
+    // remaining alive benefactors (rotation order, suspected-last and
+    // least-worn-first under the placement knobs) and the try-reserve
+    // walk places replicas on consecutive distinct eligible ones.
     ChunkKey key;
     key.origin_file = id;
     key.index = static_cast<uint32_t>(meta.chunks.size());
     key.version = 0;
-    // The liveness checks, reservations (and any rollback) and the chunk
-    // insert all happen under the chunk's shard mutex: the scrubber's
-    // drift reconciliation and Decommission hold every shard mutex, so
-    // neither can observe a reservation without its chunk, nor retire a
-    // benefactor between the alive() check and publication.
+    // The candidate snapshot, reservations (and any rollback) and the
+    // chunk insert all happen under the chunk's shard mutex: the
+    // scrubber's drift reconciliation and Decommission hold every shard
+    // mutex, so neither can observe a reservation without its chunk, nor
+    // retire a benefactor between the alive() check and publication.
     MetaShard& shard = shards_[shard_of(key)];
     std::unique_lock<std::mutex> slock(shard.mu);
+    const std::vector<PlacementCandidate> cands = BuildPlacementCandidates(
+        bens, suspected.empty() ? nullptr : &suspected);
+    const size_t start =
+        ChooseStripeStart(cands, config_.stripe_policy, meta.stripe_cursor,
+                          client_node, config_.chunk_bytes);
+    PlacementRequest req;
+    req.order = PlacementRequest::Order::kRotation;
+    req.start = start;
+    // Soft avoidance only: a suspected benefactor ranks last but stays
+    // eligible — allocation must not fail just because a node flaps.
+    req.avoid_suspected = config_.placement_avoid_suspected;
+    req.wear_weight = config_.placement_wear_weight;
     std::vector<int> replicas;
-    const size_t start = PlacementStart(meta, client_node, bens);
-    size_t placed = 0;
-    for (size_t scanned = 0;
-         placed < static_cast<size_t>(config_.replication) && scanned < n;
-         ++scanned) {
-      const size_t i = (start + scanned) % n;
-      Benefactor* b = bens[i];
-      if (!b->alive()) continue;
-      if (!b->ReserveChunks(1).ok()) continue;
-      replicas.push_back(static_cast<int>(i));
-      ++placed;
+    for (int bid : RankPlacement(cands, req)) {
+      if (replicas.size() == static_cast<size_t>(config_.replication)) break;
+      if (!bens[static_cast<size_t>(bid)]->ReserveChunks(1).ok()) continue;
+      replicas.push_back(bid);
     }
-    if (placed < static_cast<size_t>(config_.replication)) {
+    if (replicas.size() < static_cast<size_t>(config_.replication)) {
       // Roll back partial placement.
       for (int bid : replicas) {
         bens[static_cast<size_t>(bid)]->ReleaseChunkReservation(1);
@@ -1217,6 +1245,15 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
         rec.size = meta.size;
         rec.placements = std::move(wal_placements);
         LogAppend(clock, std::move(rec));
+      }
+      // Nothing alive at all is unavailability, not exhaustion — the old
+      // silent stripe-cursor fallback reported it as out-of-space.
+      bool any_alive = false;
+      for (const PlacementCandidate& c : cands) any_alive |= c.alive;
+      if (!any_alive) {
+        return Unavailable("no alive benefactor for chunk " +
+                           std::to_string(meta.chunks.size()) + " of '" +
+                           meta.name + "'");
       }
       return OutOfSpace("aggregate store out of space at chunk " +
                         std::to_string(meta.chunks.size()) + " of '" +
@@ -1289,9 +1326,9 @@ StatusOr<std::vector<ReadLocation>> Manager::GetReadLocations(
   return locs;
 }
 
-StatusOr<WriteLocation> Manager::PrepareWriteSlot(sim::VirtualClock& clock,
-                                                  FileId id, FileMeta& meta,
-                                                  uint32_t chunk_index) {
+StatusOr<WriteLocation> Manager::PrepareWriteSlot(
+    sim::VirtualClock& clock, FileId id, FileMeta& meta, uint32_t chunk_index,
+    const std::vector<char>* suspected) {
   if (chunk_index >= meta.chunks.size()) {
     return OutOfRange("chunk " + std::to_string(chunk_index) +
                       " beyond EOF of '" + meta.name + "'");
@@ -1335,12 +1372,39 @@ StatusOr<WriteLocation> Manager::PrepareWriteSlot(sim::VirtualClock& clock,
   // network); reserve space for the new version on every replica, rolling
   // back if one runs out mid-way so a failed COW leaks nothing.
   auto replicas = h.replicas.load(std::memory_order_acquire);
+  // With placement_avoid_suspected on, the fresh version drops dead or
+  // suspected inherited holders, keeping at least one: a dead holder
+  // would otherwise fail the whole prepare on its reservation, and a
+  // suspected one would take the only fresh bytes onto a flapping node.
+  // Only holders of the old version are eligible (the clone is a local
+  // device copy), so the list can shrink but never gain members; the
+  // shortened list is ordinary tracked under-replication the scrubber
+  // re-queues for repair.  Knob off: the inherited immutable snapshot is
+  // reused verbatim.
+  std::shared_ptr<const std::vector<int>> fresh_list = replicas;
+  if (config_.placement_avoid_suspected) {
+    std::vector<int> keep;
+    keep.reserve(replicas->size());
+    for (int bid : *replicas) {
+      Benefactor* b = BenefactorAt(bid);
+      if (b == nullptr || !b->alive()) continue;
+      if (suspected != nullptr &&
+          static_cast<size_t>(bid) < suspected->size() &&
+          (*suspected)[static_cast<size_t>(bid)] != 0) {
+        continue;
+      }
+      keep.push_back(bid);
+    }
+    if (!keep.empty() && keep.size() != replicas->size()) {
+      fresh_list = std::make_shared<const std::vector<int>>(std::move(keep));
+    }
+  }
   size_t reserved = 0;
-  for (int bid : *replicas) {
+  for (int bid : *fresh_list) {
     Status s = BenefactorAt(bid)->ReserveChunks(1);
     if (!s.ok()) {
       for (size_t r = 0; r < reserved; ++r) {
-        BenefactorAt((*replicas)[r])->ReleaseChunkReservation(1);
+        BenefactorAt((*fresh_list)[r])->ReleaseChunkReservation(1);
       }
       return s;
     }
@@ -1357,21 +1421,22 @@ StatusOr<WriteLocation> Manager::PrepareWriteSlot(sim::VirtualClock& clock,
   rec.slot = chunk_index;
   rec.old_key = h.key;
   rec.key = fresh_key;
-  rec.replicas = *replicas;
+  rec.replicas = *fresh_list;
   LogAppend(clock, std::move(rec));
   --h.refcount;  // live file drops its reference to the shared version
   auto nh = std::make_shared<ChunkHandle>(fresh_key);
   nh->refcount = 1;
   nh->repair_epoch = 1;  // the COW write targets the fresh version
-  // The fresh version shares the (immutable) replica snapshot.
-  nh->replicas.store(replicas, std::memory_order_release);
+  // The fresh version shares the (immutable) replica snapshot — or, when
+  // the placement engine dropped holders, its filtered copy.
+  nh->replicas.store(fresh_list, std::memory_order_release);
   fresh_shard.inflight_writers[fresh_key] = 1;  // fenced until write lands
   fresh_shard.chunks.emplace(fresh_key, nh);
 
   loc.needs_clone = true;
   loc.clone_from = h.key;
   loc.key = fresh_key;
-  loc.benefactors = *replicas;
+  loc.benefactors = *fresh_list;
   slot = std::move(nh);
   return loc;
 }
@@ -1382,8 +1447,12 @@ StatusOr<WriteLocation> Manager::PrepareWrite(sim::VirtualClock& clock,
   ChargeOp(clock, FileLane(id));
   std::shared_ptr<FileMeta> meta = FindFile(id);
   if (meta == nullptr) return NotFound("file id " + std::to_string(id));
+  // Suspicion snapshot before any file/shard lock (see Fallocate).
+  std::vector<char> suspected;
+  if (config_.placement_avoid_suspected) suspected = SuspectedBenefactors();
   std::unique_lock<std::shared_mutex> lock(meta->mu);
-  return PrepareWriteSlot(clock, id, *meta, chunk_index);
+  return PrepareWriteSlot(clock, id, *meta, chunk_index,
+                          suspected.empty() ? nullptr : &suspected);
 }
 
 StatusOr<std::vector<WriteLocation>> Manager::PrepareWriteBatch(
@@ -1391,11 +1460,16 @@ StatusOr<std::vector<WriteLocation>> Manager::PrepareWriteBatch(
   ChargeOp(clock, FileLane(id));
   std::shared_ptr<FileMeta> meta = FindFile(id);
   if (meta == nullptr) return NotFound("file id " + std::to_string(id));
+  // Suspicion snapshot before any file/shard lock (see Fallocate); one
+  // snapshot covers the whole window.
+  std::vector<char> suspected;
+  if (config_.placement_avoid_suspected) suspected = SuspectedBenefactors();
   std::unique_lock<std::shared_mutex> lock(meta->mu);
   std::vector<WriteLocation> locs;
   locs.reserve(indices.size());
   for (uint32_t index : indices) {
-    auto loc = PrepareWriteSlot(clock, id, *meta, index);
+    auto loc = PrepareWriteSlot(clock, id, *meta, index,
+                                suspected.empty() ? nullptr : &suspected);
     if (!loc.ok()) {
       // The caller gets an error and will never complete the window:
       // close the writes already opened so they don't fence repairs of

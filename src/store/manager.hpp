@@ -58,6 +58,7 @@
 #include "net/cluster.hpp"
 #include "sim/resource.hpp"
 #include "store/benefactor.hpp"
+#include "store/placement.hpp"
 #include "store/recovery.hpp"
 #include "store/types.hpp"
 #include "store/wal.hpp"
@@ -452,6 +453,14 @@ class Manager {
     bool has_crc = false;        // authoritative checksum recorded?
     uint32_t crc = 0;
     bool corrupt_pending = false;  // quarantined replica awaiting heal
+    // Correlated-loss memory: benefactors whose replica of THIS chunk was
+    // quarantined as corrupt or diverged during recovery.  The placement
+    // engine (placement_avoid_suspected) refuses them as repair targets —
+    // re-replicating onto the device that just lost the bytes would
+    // re-correlate the failure.  Cleared when a completed write refreshes
+    // the chunk's contents; volatile (not WAL-logged): after a restart
+    // the conservative empty set only widens the target pool.
+    std::vector<int> tainted;
   };
 
   // One slice of the chunk namespace: every key with shard_of(key) ==
@@ -518,14 +527,27 @@ class Manager {
   // space reservations if a replica runs out of space mid-COW.  A COW
   // swap logs a kCowSwap record (under the file + shard locks) before the
   // slot moves; the in-place branch logs nothing — the chunk's identity
-  // and placement are unchanged.
-  StatusOr<WriteLocation> PrepareWriteSlot(sim::VirtualClock& clock,
-                                           FileId id, FileMeta& meta,
-                                           uint32_t chunk_index);
-  // First-choice registry index for the next chunk of `meta`, per the
-  // stripe policy (file mu held).
-  size_t PlacementStart(const FileMeta& meta, int client_node,
-                        const std::vector<Benefactor*>& bens) const;
+  // and placement are unchanged.  `suspected` (may be null) is the
+  // caller's SuspectedBenefactors() snapshot, taken before any lock: with
+  // placement_avoid_suspected on, a COW drops dead or suspected inherited
+  // holders (keeping at least one) instead of failing the whole prepare
+  // on a dead holder's reservation.
+  StatusOr<WriteLocation> PrepareWriteSlot(
+      sim::VirtualClock& clock, FileId id, FileMeta& meta,
+      uint32_t chunk_index, const std::vector<char>* suspected = nullptr);
+  // Per-benefactor suspicion flags from the heartbeat detector, via the
+  // maintenance hook (hook_mu_ shared; empty when detached).  Callers
+  // snapshot ONCE per operation before taking any file or shard lock and
+  // only when placement_avoid_suspected is on — the knob-off store never
+  // touches hook_mu_ here.
+  std::vector<char> SuspectedBenefactors() const;
+  // Snapshot per-benefactor placement state for the engine.  `suspected`
+  // may be null (no suspicion signal); wear fractions are read only when
+  // placement_wear_weight > 0.  Called with the chunk's shard mutex held,
+  // like the capacity reads it replaces.
+  std::vector<PlacementCandidate> BuildPlacementCandidates(
+      const std::vector<Benefactor*>& bens,
+      const std::vector<char>* suspected) const;
   // Drop a reserved (and possibly partially written) repair target of an
   // abandoned plan (shard mu held).  If a racing repair already committed
   // `bid` into the chunk's replica list, only this plan's duplicate

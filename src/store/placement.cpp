@@ -1,0 +1,105 @@
+#include "store/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nvm::store {
+
+namespace {
+
+// Granularity of the wear bias: a candidate's band is
+// floor(wear * weight * kWearBands), so at weight 1.0 the [0,1] wear
+// spectrum splits into 16 bands — coarse enough that small wear
+// differences never override capacity order, fine enough that a
+// half-worn device loses to a fresh one at modest weights.
+constexpr double kWearBands = 16.0;
+
+int64_t WearBand(double wear, double weight) {
+  if (weight <= 0.0) return 0;
+  const double band = std::floor(wear * weight * kWearBands);
+  return band <= 0.0 ? 0 : static_cast<int64_t>(band);
+}
+
+bool Eligible(const PlacementCandidate& c, const PlacementRequest& req) {
+  if (!c.alive || c.excluded) return false;
+  if (req.exclude_suspected && c.suspected) return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> RankPlacement(const std::vector<PlacementCandidate>& cands,
+                               const PlacementRequest& req) {
+  const size_t n = cands.size();
+  // Eligible candidate positions in the requested base order.
+  std::vector<size_t> order;
+  order.reserve(n);
+  if (req.order == PlacementRequest::Order::kRotation) {
+    for (size_t k = 0; k < n; ++k) {
+      const size_t i = (req.start + k) % std::max<size_t>(n, 1);
+      if (Eligible(cands[i], req)) order.push_back(i);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      if (Eligible(cands[i], req)) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cands[a].bytes_free != cands[b].bytes_free
+                 ? cands[a].bytes_free > cands[b].bytes_free
+                 : cands[a].bid < cands[b].bid;
+    });
+  }
+  // Reliability/endurance ranking on top of the base order.  The sort is
+  // stable, so with every knob off (all keys equal) the base order comes
+  // back unchanged — the knob-off engine is byte-identical to the
+  // historic capacity-only placement.
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const int sa = req.avoid_suspected && cands[a].suspected ? 1 : 0;
+    const int sb = req.avoid_suspected && cands[b].suspected ? 1 : 0;
+    if (sa != sb) return sa < sb;
+    return WearBand(cands[a].wear, req.wear_weight) <
+           WearBand(cands[b].wear, req.wear_weight);
+  });
+  std::vector<int> ids;
+  ids.reserve(order.size());
+  for (size_t i : order) ids.push_back(cands[i].bid);
+  return ids;
+}
+
+size_t ChooseStripeStart(const std::vector<PlacementCandidate>& cands,
+                         StripePolicy policy, size_t cursor, int client_node,
+                         uint64_t chunk_bytes) {
+  const size_t n = cands.size();
+  auto eligible = [&](const PlacementCandidate& c) {
+    return c.alive && !c.excluded && c.bytes_free >= chunk_bytes;
+  };
+  switch (policy) {
+    case StripePolicy::kRoundRobin:
+      return cursor;
+    case StripePolicy::kLocalityAware:
+      // Prefer a benefactor co-located with the allocating client; fall
+      // back to the round-robin cursor when none is eligible.
+      for (size_t i = 0; i < n; ++i) {
+        if (eligible(cands[i]) && cands[i].node == client_node) return i;
+      }
+      return cursor;
+    case StripePolicy::kCapacityBalanced: {
+      // Emptiest ELIGIBLE benefactor — the minimum-free filter applies
+      // here exactly as it does to the locality policy, so an argmax that
+      // cannot hold even one chunk no longer wins the start slot.
+      size_t best = cursor;
+      uint64_t best_free = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!eligible(cands[i])) continue;
+        if (cands[i].bytes_free > best_free) {
+          best_free = cands[i].bytes_free;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return cursor;
+}
+
+}  // namespace nvm::store

@@ -494,6 +494,14 @@ void Manager::ReconcileWithBenefactors(sim::VirtualClock& clock,
         // them (the reservation settles in the final accounting pass).
         if (m.stored) {
           (void)bens[static_cast<size_t>(m.bid)]->DeleteChunk(key);
+          // A member that diverged from the chunk's authority is a
+          // correlated-loss source: the placement engine must not pick
+          // it as a repair target for this very chunk
+          // (placement_avoid_suspected).
+          if (std::find(h.tainted.begin(), h.tainted.end(), m.bid) ==
+              h.tainted.end()) {
+            h.tainted.push_back(m.bid);
+          }
         }
         ++report->replicas_dropped;
       }

@@ -74,6 +74,12 @@ struct ChunkWriteItem {
   // merged image when the dirty set covers only part of the chunk.
   bool has_crc = false;
   uint32_t crc = 0;
+  // Out (rides the run's ack): the CRC the benefactor actually stored.
+  // For a partial-dirty merge this covers the MERGED image, which can
+  // legitimately differ from `crc` when the client's clean pages were
+  // never faulted in — the merged value is the only one the manager may
+  // record as authoritative.
+  uint32_t* stored_crc = nullptr;
 };
 
 // Wire-message kinds inside a write run.  kControl carries run/clone
@@ -188,6 +194,38 @@ struct StoreConfig {
   // "x25e" | "fusionio" | "ocz" | "dram" (Table I profiles).
   std::string wal_device = "x25e";
   bool wal_device_wear_leveling = true;
+
+  // --- placement engine (store/placement.hpp) ---
+  // Every placement decision (Fallocate striping, COW write targets,
+  // repair re-replication) flows through one shared engine that filters
+  // and ranks candidate benefactors.  These knobs feed it reliability and
+  // endurance signals; with BOTH at their defaults the engine reproduces
+  // the capacity-only placement exactly — byte- and virtual-time-
+  // identical to the pre-engine store (no suspicion snapshot is taken, no
+  // wear fraction is read).
+  //
+  // placement_avoid_suspected: consult the maintenance service's
+  // heartbeat detector.  Benefactors with >= 1 consecutive missed
+  // heartbeat (suspected but not yet declared dead) rank LAST for
+  // striping and COW targets (soft avoidance — they are still used when
+  // nothing else has space) and are fully ineligible as repair targets
+  // (hard exclusion — re-protection must not bet on a flapping node).
+  // The same knob turns on correlated-loss exclusion: a benefactor whose
+  // replica of a chunk was quarantined as corrupt, or that produced a
+  // divergent replica during recovery, is not an eligible repair target
+  // for that chunk until a completed write refreshes its bytes.
+  bool placement_avoid_suspected = false;
+  // placement_wear_weight: bias placement away from benefactors whose
+  // SSD has consumed more of its rated erase endurance.  Candidates are
+  // ranked by floor(wear_fraction * weight * 16) — 0 disables the bias
+  // entirely; larger weights split the wear spectrum into finer bands
+  // that override capacity/rotation order sooner.
+  double placement_wear_weight = 0.0;
+
+  // True when any placement-engine signal beyond capacity is active.
+  bool placement_aware() const {
+    return placement_avoid_suspected || placement_wear_weight > 0.0;
+  }
 
   // With both integrity knobs off no checksum is computed, stored, or
   // charged anywhere — byte- and virtual-time-identical to the pre-

@@ -29,7 +29,9 @@ RandWriteResult RunRandWrite(Testbed& testbed,
         for (uint64_t w = 0; w < options.num_writes; ++w) {
           const uint64_t offset = rng.NextBelow(options.region_bytes);
           const uint8_t value = static_cast<uint8_t>(rng.Next());
-          NVM_CHECK(region->Write(offset, {&value, 1}).ok());
+          const Status write_status = region->Write(offset, {&value, 1});
+          NVM_CHECK(write_status.ok(), "%s",
+                    write_status.ToString().c_str());
           shadow[offset] = value;
         }
         NVM_CHECK(region->Sync().ok());

@@ -816,6 +816,52 @@ TEST(CorruptionTest, ScrubFindsSilentRotEndToEnd) {
   EXPECT_EQ(c.corrupt_failovers(), 0u);  // nothing ever reached a reader
 }
 
+TEST(CorruptionTest, BlindPartialWriteSurvivesChecksumScrub) {
+  // A page-granular writeback ships the full client image plus a dirty
+  // bitmap, but the cache writes fully-covered pages blind — the clean
+  // pages of the image may never have been faulted in.  The replicas
+  // merge the dirty pages over their stored base, so the authoritative
+  // checksum must cover the merged image, not the client's.  (Recording
+  // the client-image CRC made the checksum scrub quarantine every such
+  // chunk as corrupt — destroying the sole replica at replication=1.)
+  Rig rig(/*replication=*/2, /*benefactors=*/4, /*maintenance=*/true);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  store::Manager& m = rig.store->manager();
+  store::MaintenanceService& ms = *rig.store->maintenance();
+  sim::VirtualClock clock(0);
+  const auto data = Pattern(kChunk, 66);
+  const store::FileId id = WriteStoreFile(c, "/blind", 1, data, clock);
+
+  // Rewrite one page "blind": zeros everywhere else in the image, exactly
+  // as a fresh cache slot that never faulted the rest of the chunk.
+  const uint64_t page = c.config().page_bytes;
+  Bitmap dirty(kChunk / page);
+  dirty.Set(1);
+  const auto patch = Pattern(page, 67);
+  std::vector<uint8_t> image(kChunk, 0);
+  std::memcpy(image.data() + page, patch.data(), page);
+  ASSERT_TRUE(c.WriteChunkPages(clock, id, 0, dirty, image).ok());
+
+  // A full scrub cycle over the store must find nothing to quarantine.
+  ms.RunUntil(std::max(clock.now(), ms.now_ns()) + 2'000 * kMs);
+  ASSERT_TRUE(ms.QueueEmpty());
+  EXPECT_EQ(ms.stats().corrupt_chunks_detected, 0u);
+  EXPECT_EQ(m.lost_chunks(), 0u);
+
+  // Both replicas still stand, and a verifying read returns the merge:
+  // old bytes outside the dirty page, the patch inside.
+  sim::VirtualClock rc(ms.now_ns());
+  auto loc = m.GetReadLocation(rc, id, 0);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->benefactors.size(), 2u);
+  std::vector<uint8_t> expect = data;
+  std::memcpy(expect.data() + page, patch.data(), page);
+  std::vector<uint8_t> got(kChunk);
+  ASSERT_TRUE(c.ReadChunk(rc, id, 0, got).ok());
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(c.corrupt_failovers(), 0u);
+}
+
 TEST(CorruptionTest, VerifyOffServesRotSilently) {
   // Negative control for the knob: with the integrity layer off the same
   // flipped bit sails through to the reader — checksums, not luck, are

@@ -351,8 +351,14 @@ void RunSequence(uint64_t seed, int replication, int ops,
     // detected the death and healed everything the victim held.
     const store::MaintenanceStats ms = h.store->maintenance()->stats();
     EXPECT_GT(ms.benefactors_declared_dead, 0u);
-    EXPECT_GT(ms.replicas_recreated, 0u);
     EXPECT_EQ(ms.lost_chunks, 0u);
+    // A manager restart replaces the service and zeroes its counters: the
+    // restarted detector re-declares the still-dead benefactor, but the
+    // healing usually happened before the crash, so only the no-restart
+    // runs can insist the visible counter moved.
+    if (so.kill_manager_after_ops == 0) {
+      EXPECT_GT(ms.replicas_recreated, 0u);
+    }
   }
 }
 
@@ -443,6 +449,122 @@ TEST(StoreInvariantTest, ColdManagerRestartMidSequenceShardedMetadata) {
     s.meta_shards = 4;
   };
   RunSequence(/*seed=*/23, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, RestartUnderMaintenanceLoadIsLossless) {
+  // Restart under load: the background service (heartbeat sweeps, a real
+  // benefactor death healed by repair, periodic scrubs) is live across a
+  // mid-sequence manager kill + WAL recovery.  Every invariant — exact
+  // replication, reservation accounting, shadow bytes — must keep
+  // holding through the restart and to the empty-store teardown.
+  SequenceOptions so;
+  so.maintenance = true;
+  so.kill_after_writes = 10;
+  so.kill_manager_after_ops = 60;
+  so.tweak = [](store::StoreConfig& s) { s.wal = true; };
+  RunSequence(/*seed=*/29, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, RestartUnderMaintenanceLoadIsLosslessSecondSeed) {
+  // Second seeded schedule, with the benefactor death landing later and
+  // the metadata plane split over four shards.
+  SequenceOptions so;
+  so.maintenance = true;
+  so.kill_after_writes = 25;
+  so.kill_manager_after_ops = 40;
+  so.tweak = [](store::StoreConfig& s) {
+    s.wal = true;
+    s.meta_shards = 4;
+  };
+  RunSequence(/*seed=*/0xabba, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, ManagerRestartMidRepairStormConverges) {
+  // The manager dies in the MIDDLE of a repair storm over a declared
+  // benefactor death, with every engine stage in flight at the crash
+  // point: plans whose reserved targets will never see a copy, plans
+  // whose copies landed but will never commit (orphaned bytes on the
+  // targets), and plans already committed.  Heartbeat and scrub loops
+  // are live when the plug is pulled.  Cold recovery plus the restarted
+  // service must converge to a fully replicated, drift-free store: no
+  // chunk double-repaired (exact replica sets), no reservation leaked or
+  // double-counted (exact space accounting), no byte lost.
+  Harness h(/*replication=*/2, /*batch_write_rpc=*/true, /*maintenance=*/true,
+            [](store::StoreConfig& s) {
+              s.wal = true;
+              s.meta_shards = 4;
+              s.scrub_verify_bytes = 64_MiB;
+            });
+  Xoshiro256 rng(0x57012);
+  for (int f = 0; f < 4; ++f) {
+    const std::string name = "/storm" + std::to_string(f);
+    auto file = h.mount->Create(name, 6 * kChunk);
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> bytes(6 * kChunk);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.Next());
+    ASSERT_TRUE(file->Write(0, bytes).ok());
+    ASSERT_TRUE(file->Sync().ok());
+    h.shadow[name] = std::move(bytes);
+  }
+
+  store::MaintenanceService* ms = h.store->maintenance();
+  ms->RunUntil(ms->now_ns() + 5 * kMs);  // heartbeat + scrub loops live
+  h.store->benefactor(2).Kill();
+  h.store->manager().MarkDead(2);
+
+  // Drive the repair engine to the mid-storm point by hand (the
+  // background worker always drains its whole queue before yielding, so
+  // a part-drained queue can only be frozen this way): a third of the
+  // plans stay reserved-only, a third copy but never commit, a third
+  // complete.
+  sim::VirtualClock clock(sim::CurrentClock().now());
+  auto keys = h.store->manager().CollectUnderReplicated();
+  ASSERT_GE(keys.size(), 3u);
+  uint64_t lost = 0;
+  auto plans = h.store->manager().PlanRepairs(clock, keys, &lost);
+  ASSERT_EQ(lost, 0u);
+  ASSERT_EQ(plans.size(), keys.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    if (i % 3 == 0) continue;  // reserved, never executed
+    auto outcome = h.store->manager().ExecuteRepairPlan(clock, plans[i]);
+    if (i % 3 == 1) continue;  // copied, never committed
+    h.store->manager().CommitRepair(clock, outcome, nullptr);
+  }
+  ASSERT_NO_FATAL_FAILURE(h.RestartManager());
+
+  // The restarted service re-detects the still-dead benefactor, re-runs
+  // the storm to completion, and its scrub reclaims whatever the aborted
+  // plans left behind (orphaned target copies, reservation drift).
+  store::MaintenanceService* ms2 = h.store->maintenance();
+  const int64_t deadline = ms2->now_ns() + 2'000 * kMs;
+  while (!(ms2->stats().benefactors_declared_dead > 0 && ms2->QueueEmpty() &&
+           ms2->stats().scrub_passes > 2) &&
+         ms2->now_ns() < deadline) {
+    ms2->RunUntil(ms2->now_ns() + 20 * kMs);
+  }
+  ASSERT_GT(ms2->stats().benefactors_declared_dead, 0u);
+  ASSERT_TRUE(ms2->QueueEmpty());
+  ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(/*replication=*/2));
+  for (const auto& [name, bytes] : h.shadow) {
+    auto file = h.mount->Open(name);
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> got(bytes.size());
+    ASSERT_TRUE(file->Read(0, got).ok());
+    ASSERT_EQ(got, bytes) << name;
+  }
+
+  // Teardown to empty: every release must be backed by a still-standing
+  // reservation, on survivors and the dead benefactor alike.
+  while (!h.shadow.empty()) {
+    ASSERT_TRUE(h.mount->Unlink(h.shadow.begin()->first).ok());
+    h.shadow.erase(h.shadow.begin());
+  }
+  ms2->RunUntil(ms2->now_ns() + 50 * kMs);
+  ASSERT_TRUE(ms2->QueueEmpty());
+  for (int b = 0; b < kBenefactors; ++b) {
+    EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).bytes_used(), 0u)
+        << "benefactor " << b;
+  }
 }
 
 TEST(StoreInvariantTest, MaintenanceConvergesKilledSequenceToHealedState) {
