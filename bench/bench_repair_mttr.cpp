@@ -52,8 +52,10 @@ struct Rig {
   store::FileId id = 0;
   std::vector<uint8_t> data;
 
-  explicit Rig(const store::AggregateStoreConfig& sc_in)
-      : cluster(MakeClusterConfig()), store(cluster, Finish(sc_in)) {
+  explicit Rig(const store::AggregateStoreConfig& sc_in,
+               int benefactors = kBenefactors)
+      : cluster(MakeClusterConfig(benefactors)),
+        store(cluster, Finish(sc_in, benefactors)) {
     sim::CurrentClock().Reset();
     store::StoreClient& client = store.ClientForNode(0);
     sim::VirtualClock clock(0);
@@ -76,16 +78,17 @@ struct Rig {
 
   int64_t populate_end_ns = 0;
 
-  static net::ClusterConfig MakeClusterConfig() {
+  static net::ClusterConfig MakeClusterConfig(int benefactors) {
     net::ClusterConfig cc;
-    cc.num_nodes = kBenefactors + 1;
+    cc.num_nodes = benefactors + 1;
     return cc;
   }
-  static store::AggregateStoreConfig Finish(store::AggregateStoreConfig sc) {
+  static store::AggregateStoreConfig Finish(store::AggregateStoreConfig sc,
+                                            int benefactors) {
     sc.store.chunk_bytes = kChunk;
     sc.store.replication = 2;
     sc.store.maintenance = true;
-    for (int b = 0; b < kBenefactors; ++b) {
+    for (int b = 0; b < benefactors; ++b) {
       sc.benefactor_nodes.push_back(b + 1);
     }
     sc.contribution_bytes = 256_MiB;
@@ -215,6 +218,68 @@ CorruptResult RunCorrupt(uint64_t verify_bytes) {
   return r;
 }
 
+// --- Repair traffic: re-replication vs fragment re-encode. -------------
+//
+// One benefactor dies and the service heals the store.  Replication reads
+// the lost chunk once from its survivor and writes one copy: 2 device
+// bytes moved per lost byte.  RS(4,2) must read k=4 verified fragments to
+// re-encode ONE missing fragment and writes that fragment: k+1 = 5 device
+// bytes per lost byte — erasure coding trades steady-state space for
+// repair amplification, and this experiment pins both constants.
+struct TrafficResult {
+  double mttr_ms = 0;
+  uint64_t lost_bytes = 0;     // payload the dead benefactor held
+  uint64_t traffic_bytes = 0;  // device data moved during the repair
+  uint64_t repaired = 0;       // members recreated (replicas or fragments)
+  double per_lost = 0;         // traffic_bytes / lost_bytes
+};
+
+TrafficResult RunRepairTraffic(bool ec) {
+  store::AggregateStoreConfig sc;
+  sc.store.heartbeat_period_ms = 1;
+  sc.store.heartbeat_misses = 3;
+  sc.store.repair_bw_fraction = 0.5;
+  sc.store.scrub_period_ms = 1'000'000;  // out of the measurement window
+  int benefactors = kBenefactors;
+  if (ec) {
+    sc.store.redundancy = store::RedundancyMode::kErasure;
+    sc.store.ec_k = 4;
+    sc.store.ec_m = 2;
+    benefactors = 8;  // six failure domains per stripe + repair spares
+  }
+  Rig rig(sc, benefactors);
+  store::MaintenanceService& ms = *rig.store.maintenance();
+  const int64_t t0 = std::max(rig.populate_end_ns, ms.now_ns());
+
+  auto device_traffic = [&]() {
+    uint64_t sum = 0;
+    for (int b = 0; b < benefactors; ++b) {
+      const store::Benefactor& ben =
+          rig.store.benefactor(static_cast<size_t>(b));
+      sum += ben.data_bytes_in() + ben.data_bytes_out();
+    }
+    return sum;
+  };
+
+  TrafficResult r;
+  r.lost_bytes = rig.store.benefactor(1).bytes_used();
+  const uint64_t before = device_traffic();
+  rig.store.benefactor(1).Kill();
+  ms.RunUntil(t0 + 2'000 * kMs);
+  NVM_CHECK(ms.QueueEmpty());
+  const store::MaintenanceStats s = ms.stats();
+  NVM_CHECK(s.converged_at_ns >= t0);
+  r.mttr_ms = static_cast<double>(s.converged_at_ns - t0) / 1e6;
+  r.traffic_bytes = device_traffic() - before;
+  r.repaired = ec ? rig.store.manager().ec_fragments_repaired()
+                  : s.replicas_recreated;
+  r.per_lost = static_cast<double>(r.traffic_bytes) /
+               static_cast<double>(r.lost_bytes);
+  // Byte-exactness after the heal (reads fail over past the dead holder).
+  rig.ColdRead(ms.now_ns());
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -300,6 +365,39 @@ int main(int argc, char** argv) {
                 r.heal_ms, r.detect_ms);
   }
 
+  // --- Repair traffic: replication vs RS(4,2) fragment re-encode.
+  const TrafficResult t_repl = RunRepairTraffic(/*ec=*/false);
+  const TrafficResult t_ec = RunRepairTraffic(/*ec=*/true);
+  Table et({"mode", "MTTR (ms)", "Lost (MiB)", "Repair traffic (MiB)",
+            "Members recreated", "Bytes moved / lost byte"});
+  et.AddRow({"replication r=2", Fmt("%.2f", t_repl.mttr_ms),
+             Fmt("%.2f", static_cast<double>(t_repl.lost_bytes) / 1048576.0),
+             Fmt("%.2f", static_cast<double>(t_repl.traffic_bytes) / 1048576.0),
+             Fmt("%llu", static_cast<unsigned long long>(t_repl.repaired)),
+             Fmt("%.2f", t_repl.per_lost)});
+  et.AddRow({"RS(4,2)", Fmt("%.2f", t_ec.mttr_ms),
+             Fmt("%.2f", static_cast<double>(t_ec.lost_bytes) / 1048576.0),
+             Fmt("%.2f", static_cast<double>(t_ec.traffic_bytes) / 1048576.0),
+             Fmt("%llu", static_cast<unsigned long long>(t_ec.repaired)),
+             Fmt("%.2f", t_ec.per_lost)});
+  et.Print();
+  Note("replication repairs a lost chunk with one read + one write "
+       "(2 bytes/byte); RS(4,2) re-encodes a lost fragment from k=4 "
+       "verified survivors (k reads + 1 write = 5 bytes/byte).");
+
+  ok &= Shape(t_repl.per_lost >= 1.7 && t_repl.per_lost <= 2.3,
+              "replicated repair moves ~2 device bytes per lost byte "
+              "(%.2f)",
+              t_repl.per_lost);
+  ok &= Shape(t_ec.per_lost >= 4.2 && t_ec.per_lost <= 5.8,
+              "RS(4,2) repair moves ~k+1 = 5 device bytes per lost byte "
+              "(%.2f)",
+              t_ec.per_lost);
+  ok &= Shape(t_ec.mttr_ms > 0 && t_ec.repaired > 0,
+              "the service re-encoded every missing fragment (%llu) in "
+              "%.2f ms",
+              static_cast<unsigned long long>(t_ec.repaired), t_ec.mttr_ms);
+
   JsonReport json("repair_mttr");
   json.Add("quick", quick);
   json.Add("baseline_fg_gbps", baseline.fg_gbps);
@@ -317,6 +415,11 @@ int main(int argc, char** argv) {
     json.Add(std::string(ctags[i]) + "_detect_ms", rot[i].detect_ms);
     json.Add(std::string(ctags[i]) + "_heal_ms", rot[i].heal_ms);
   }
+  json.Add("repl_repair_traffic_per_lost", t_repl.per_lost);
+  json.Add("ec_repair_traffic_per_lost", t_ec.per_lost);
+  json.Add("repl_repair_mttr_ms", t_repl.mttr_ms);
+  json.Add("ec_repair_mttr_ms", t_ec.mttr_ms);
+  json.Add("ec_fragments_repaired", t_ec.repaired);
   json.Add("shape_ok", ok);
   json.Print();
   return ok ? 0 : 1;

@@ -24,7 +24,10 @@
 // wal_device_wear_leveling (durable manager metadata: WAL + checkpoints),
 // and the placement-engine knobs placement_avoid_suspected (steer
 // striping/COW/repair around suspected and correlated-loss benefactors)
-// and placement_wear_weight (bias placement away from worn devices).
+// and placement_wear_weight (bias placement away from worn devices), and
+// the redundancy knobs redundancy=replicate|erasure, ec_k, ec_m,
+// ec_encode_bw_gbps (RS(k,m) striping with degraded reads + fragment
+// repair instead of whole-chunk replication).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -93,6 +96,17 @@ TestbedOptions BuildTestbed(const Config& cfg) {
       "placement_avoid_suspected", to.store.placement_avoid_suspected);
   to.store.placement_wear_weight = cfg.GetDouble(
       "placement_wear_weight", to.store.placement_wear_weight);
+  const std::string redundancy = cfg.GetString(
+      "redundancy",
+      to.store.redundancy == store::RedundancyMode::kErasure ? "erasure"
+                                                             : "replicate");
+  to.store.redundancy = redundancy == "erasure"
+                            ? store::RedundancyMode::kErasure
+                            : store::RedundancyMode::kReplicate;
+  to.store.ec_k = static_cast<uint32_t>(cfg.GetInt("ec_k", to.store.ec_k));
+  to.store.ec_m = static_cast<uint32_t>(cfg.GetInt("ec_m", to.store.ec_m));
+  to.store.ec_encode_bw_gbps =
+      cfg.GetDouble("ec_encode_bw_gbps", to.store.ec_encode_bw_gbps);
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }

@@ -83,4 +83,56 @@ inline uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0) {
   return ~crc;
 }
 
+namespace detail {
+
+// One step of GF(2) linear algebra over the reflected-CRC state space:
+// mat is a 32x32 bit-matrix (column per input bit), vec a CRC register.
+inline uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if ((vec & 1u) != 0) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+inline void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = Gf2MatrixTimes(mat, mat[n]);
+}
+
+}  // namespace detail
+
+// CRC32C of a concatenation from the parts' checksums alone:
+//   Crc32cCombine(Crc32c(a, na), Crc32c(b, nb), nb) == Crc32c(ab, na + nb)
+// Advancing crc_a through len_b zero bytes is multiplication by the
+// shift-matrix raised to the 8*len_b power, built here by repeated
+// squaring (the zlib crc32_combine construction, with the Castagnoli
+// polynomial).  O(log len_b), no access to the underlying bytes — what
+// lets a full-image checksum be derived from per-fragment ones.
+inline uint32_t Crc32cCombine(uint32_t crc_a, uint32_t crc_b,
+                              uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+  uint32_t even[32];  // shift-matrix ^ (2n)
+  uint32_t odd[32];   // shift-matrix ^ (2n+1)
+  // odd := the one-bit shift operator for the reflected polynomial.
+  odd[0] = detail::kCrc32cPoly;
+  for (int n = 1; n < 32; ++n) odd[n] = 1u << (n - 1);
+  // Square twice: one zero BYTE per application of `odd`.
+  detail::Gf2MatrixSquare(even, odd);
+  detail::Gf2MatrixSquare(odd, even);
+  uint32_t crc = crc_a;
+  uint64_t len = len_b;
+  do {
+    detail::Gf2MatrixSquare(even, odd);
+    if ((len & 1u) != 0) crc = detail::Gf2MatrixTimes(even, crc);
+    len >>= 1;
+    if (len == 0) break;
+    detail::Gf2MatrixSquare(odd, even);
+    if ((len & 1u) != 0) crc = detail::Gf2MatrixTimes(odd, crc);
+    len >>= 1;
+  } while (len != 0);
+  return crc ^ crc_b;
+}
+
 }  // namespace nvm

@@ -19,8 +19,7 @@ Benefactor::Benefactor(int id, net::Node& node, uint64_t contributed_bytes,
 }
 
 uint64_t Benefactor::bytes_used() const {
-  return reserved_chunks_.load(std::memory_order_relaxed) *
-         config_.chunk_bytes;
+  return reserved_bytes_.load(std::memory_order_relaxed);
 }
 
 uint64_t Benefactor::bytes_free() const {
@@ -40,28 +39,36 @@ Status Benefactor::EnsureAlive() const {
 }
 
 Status Benefactor::ReserveChunks(uint64_t count) {
+  return ReserveBytes(count * config_.chunk_bytes);
+}
+
+void Benefactor::ReleaseChunkReservation(uint64_t count) {
+  ReleaseBytes(count * config_.chunk_bytes);
+}
+
+Status Benefactor::ReserveBytes(uint64_t bytes) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   // CAS loop bounded by the contribution: concurrent reservers (write
   // preparers, repair planners on different metadata shards) race here
   // instead of on a mutex, and a loser of the capacity check fails cleanly.
-  uint64_t cur = reserved_chunks_.load(std::memory_order_relaxed);
+  uint64_t cur = reserved_bytes_.load(std::memory_order_relaxed);
   for (;;) {
-    if ((cur + count) * config_.chunk_bytes > contributed_bytes_) {
+    if (cur + bytes > contributed_bytes_) {
       return OutOfSpace("benefactor " + std::to_string(id_) +
                         ": reservation exceeds contribution of " +
                         FormatBytes(contributed_bytes_));
     }
-    if (reserved_chunks_.compare_exchange_weak(cur, cur + count,
-                                               std::memory_order_relaxed)) {
+    if (reserved_bytes_.compare_exchange_weak(cur, cur + bytes,
+                                              std::memory_order_relaxed)) {
       return OkStatus();
     }
   }
 }
 
-void Benefactor::ReleaseChunkReservation(uint64_t count) {
+void Benefactor::ReleaseBytes(uint64_t bytes) {
   const uint64_t prev =
-      reserved_chunks_.fetch_sub(count, std::memory_order_relaxed);
-  NVM_CHECK(prev >= count);
+      reserved_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  NVM_CHECK(prev >= bytes);
 }
 
 uint64_t Benefactor::AllocateOffset() {
@@ -127,13 +134,16 @@ void Benefactor::MaybeCorruptAfterWrite() {
 
 Status Benefactor::CorruptChunk(const ChunkKey& key, uint64_t byte_offset,
                                 uint8_t xor_mask) {
-  if (byte_offset >= config_.chunk_bytes || xor_mask == 0) {
-    return InvalidArgument("CorruptChunk: bad offset or empty mask");
+  if (xor_mask == 0) {
+    return InvalidArgument("CorruptChunk: empty mask");
   }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = chunks_.find(key);
   if (it == chunks_.end()) {
     return NotFound("no stored chunk " + key.ToString() + " to corrupt");
+  }
+  if (byte_offset >= it->second.data.size()) {
+    return InvalidArgument("CorruptChunk: offset past stored blob");
   }
   it->second.data[byte_offset] ^= xor_mask;
   bitrot_flips_.Add(1);
@@ -292,8 +302,10 @@ Status Benefactor::VerifyChunk(sim::VirtualClock& clock, const ChunkKey& key,
   }
   // The verification read hits the device like any other read, but the
   // bytes never leave the node: only the verdict crosses the network.
-  node_.ssd().ChargeRead(clock, offset, config_.chunk_bytes);
-  clock.Advance(config_.checksum_ns(config_.chunk_bytes));
+  // Charged for the stored blob's actual size — a full chunk for
+  // replicated data, one fragment for erasure-coded data.
+  node_.ssd().ChargeRead(clock, offset, buf.size());
+  clock.Advance(config_.checksum_ns(buf.size()));
   if (Crc32c(buf.data(), buf.size()) != expected_crc) {
     return Corrupt("benefactor " + std::to_string(id_) +
                    ": scrub checksum mismatch on " + key.ToString());
@@ -465,6 +477,78 @@ Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
       MaybeCorruptAfterWrite();
     }
   }
+  return OkStatus();
+}
+
+Status Benefactor::WriteFragment(sim::VirtualClock& clock, const ChunkKey& key,
+                                 std::span<const uint8_t> data,
+                                 const uint32_t* crc) {
+  NVM_RETURN_IF_ERROR(EnsureAlive());
+  write_requests_.Add(1);
+  NVM_CHECK(data.size() > 0 && data.size() <= config_.chunk_bytes);
+  uint64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chunks_.find(key);
+    if (it == chunks_.end()) {
+      StoredChunk chunk;
+      chunk.ssd_offset = AllocateOffset();
+      it = chunks_.emplace(key, std::move(chunk)).first;
+    } else {
+      NVM_CHECK(it->second.data.size() == data.size(),
+                "fragment size changed under %s", key.ToString().c_str());
+    }
+    it->second.data.assign(data.begin(), data.end());
+    offset = it->second.ssd_offset;
+    if (config_.integrity() && crc != nullptr) {
+      it->second.crc = *crc;
+      it->second.has_crc = true;
+    }
+  }
+  node_.ssd().ChargeWrite(clock, offset, data.size());
+  data_bytes_in_.Add(data.size());
+  MaybeKillAfterWrite();
+  MaybeCorruptAfterWrite();
+  return OkStatus();
+}
+
+Status Benefactor::ReadFragment(sim::VirtualClock& clock, const ChunkKey& key,
+                                std::span<uint8_t> out, bool* sparse) {
+  NVM_RETURN_IF_ERROR(EnsureAlive());
+  read_requests_.Add(1);
+  if (sparse != nullptr) *sparse = false;
+  uint64_t offset = 0;
+  bool has_crc = false;
+  uint32_t crc = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = chunks_.find(key);
+    if (it == chunks_.end()) {
+      // Reserved-but-never-written fragment: sparse read, all zeros, no
+      // device access.
+      std::memset(out.data(), 0, out.size());
+      if (sparse != nullptr) *sparse = true;
+      return OkStatus();
+    }
+    NVM_CHECK(it->second.data.size() == out.size(),
+              "fragment size mismatch on %s", key.ToString().c_str());
+    std::memcpy(out.data(), it->second.data.data(), out.size());
+    offset = it->second.ssd_offset;
+    has_crc = it->second.has_crc;
+    crc = it->second.crc;
+  }
+  node_.ssd().ChargeRead(clock, offset, out.size());
+  data_bytes_out_.Add(out.size());
+  // Verify before serving: a rotted fragment must surface as CORRUPT, not
+  // poison a reconstruction with wrong bytes.
+  if (config_.verify_reads && has_crc) {
+    clock.Advance(config_.checksum_ns(out.size()));
+    if (Crc32c(out.data(), out.size()) != crc) {
+      return Corrupt("benefactor " + std::to_string(id_) +
+                     ": fragment checksum mismatch on " + key.ToString());
+    }
+  }
+  MaybeKillAfterRead();
   return OkStatus();
 }
 

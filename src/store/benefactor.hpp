@@ -39,6 +39,12 @@ class Benefactor {
   // traffic: reservation only.
   Status ReserveChunks(uint64_t count);
   void ReleaseChunkReservation(uint64_t count);
+  // Byte-granular reservation twin — erasure-coded fragments reserve
+  // chunk_bytes/ec_k per stripe member, so the accounting unit is bytes.
+  // ReserveChunks(n) is exactly ReserveBytes(n * chunk_bytes); replicated
+  // arithmetic is unchanged.
+  Status ReserveBytes(uint64_t bytes);
+  void ReleaseBytes(uint64_t bytes);
 
   // --- data plane (invoked by StoreClient after a location lookup) ---
 
@@ -101,6 +107,27 @@ class Benefactor {
   Status WriteChunkRun(sim::VirtualClock& clock,
                        std::span<const ChunkWriteItem> items,
                        const ChunkRunSend& send);
+
+  // --- erasure-coded fragment plane ---
+  // A fragment is stored under the chunk's plain ChunkKey (failure-domain
+  // spreading guarantees at most one fragment of a stripe per benefactor)
+  // as a blob of chunk_bytes/ec_k bytes.  Fragments are always written
+  // whole (the client's EC write path is full-stripe), so there is no
+  // dirty-page or merge machinery here.
+
+  // Store the full fragment image.  `crc` is the caller-computed CRC32C
+  // of the fragment (stored verbatim; ignored when integrity is off).
+  Status WriteFragment(sim::VirtualClock& clock, const ChunkKey& key,
+                       std::span<const uint8_t> data,
+                       const uint32_t* crc = nullptr);
+
+  // Read the full fragment into `out` (out.size() == ec_frag_bytes).  A
+  // reserved-but-never-written fragment reads as zeros without touching
+  // the device; with config.verify_reads the stored bytes are
+  // re-checksummed before serving and a mismatch fails with CORRUPT —
+  // rot surfaces as an error, never as wrong bytes in a reconstruction.
+  Status ReadFragment(sim::VirtualClock& clock, const ChunkKey& key,
+                      std::span<uint8_t> out, bool* sparse = nullptr);
 
   // Copy-on-write support: duplicate `from` under key `to` locally
   // (device read + write of one chunk, no network).
@@ -209,8 +236,10 @@ class Benefactor {
   // reservations are taken on the manager's metadata hot paths (write
   // prepare COW, repair planning, fallocate) and read by every capacity-
   // aware placement decision and status report — none of which should
-  // contend with the data-plane mutex_ below.
-  std::atomic<uint64_t> reserved_chunks_{0};
+  // contend with the data-plane mutex_ below.  Byte-granular because
+  // erasure fragments reserve chunk_bytes/ec_k each; replicated chunks
+  // reserve whole chunk_bytes multiples exactly as before.
+  std::atomic<uint64_t> reserved_bytes_{0};
   uint64_t next_offset_ = 0;
   std::vector<uint64_t> free_offsets_;
   std::atomic<bool> alive_{true};

@@ -6,6 +6,7 @@
 
 #include "common/checksum.hpp"
 #include "common/log.hpp"
+#include "store/erasure.hpp"
 
 namespace nvm::store {
 
@@ -118,6 +119,17 @@ Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
         ReadLocation loc,
         LookupRead(clock, id, chunk_index, /*refresh=*/attempt > 0));
 
+    if (loc.ec) {
+      Status s = ReadStripe(clock, id, chunk_index, loc, out);
+      if (s.ok()) return s;
+      // Below k readable fragments on this resolution: quarantines and
+      // MarkDeads already went to the manager, so a fresh lookup may see
+      // a repaired stripe.
+      InvalidateLocation(id, chunk_index);
+      if (attempt > 0) return s;
+      continue;
+    }
+
     Status last = Unavailable("no replicas");
     for (int bid : loc.benefactors) {
       Benefactor* b = manager_.benefactor(bid);
@@ -158,6 +170,108 @@ Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
     if (attempt > 0) return last;
   }
   return Unavailable("no replicas");
+}
+
+Status StoreClient::ReadStripe(sim::VirtualClock& clock, FileId id,
+                               uint32_t chunk_index, const ReadLocation& loc,
+                               std::span<uint8_t> out) {
+  const StoreConfig& cfg = manager_.config();
+  const size_t k = cfg.ec_k;
+  const size_t nf = cfg.ec_fragments();
+  const uint64_t fb = cfg.ec_frag_bytes();
+  if (loc.benefactors.size() != nf) {
+    return Unavailable("erasure stripe lost");  // durably below k survivors
+  }
+
+  // Live positions in preference order: data fragments first (the
+  // systematic fast path), parity fills in for holes and failures.
+  std::vector<size_t> candidates;
+  candidates.reserve(nf);
+  for (size_t pos = 0; pos < nf; ++pos) {
+    if (loc.benefactors[pos] >= 0) candidates.push_back(pos);
+  }
+
+  std::vector<std::vector<uint8_t>> frags(nf);
+  size_t good = 0;
+  size_t next = 0;
+  bool saw_corrupt = false;
+  Status last = Unavailable("fewer than k fragments readable");
+  // Each round issues the (k - good) outstanding fetches in parallel —
+  // clocks forked at the round start, joined at the max — and failures
+  // discovered at the join pull the next candidates in a follow-up round.
+  int64_t round_start = clock.now();
+  while (good < k && next < candidates.size()) {
+    int64_t join = round_start;
+    const size_t want = std::min(candidates.size(), next + (k - good));
+    const size_t begin = next;
+    next = want;
+    for (size_t c = begin; c < want; ++c) {
+      const size_t pos = candidates[c];
+      const int bid = loc.benefactors[pos];
+      Benefactor* b = manager_.benefactor(bid);
+      NVM_CHECK(b != nullptr);
+      sim::VirtualClock frag_clock(round_start);
+      cluster_.network().Transfer(frag_clock, local_node_, b->node_id(),
+                                  cfg.meta_request_bytes);
+      std::vector<uint8_t> buf(fb);
+      bool sparse = false;
+      Status s = b->ReadFragment(frag_clock, loc.key, buf, &sparse);
+      if (s.ok()) {
+        // A hole costs only the "no such fragment" reply (it reads as
+        // zeros — a never-written region of the stripe).
+        cluster_.network().Transfer(
+            frag_clock, b->node_id(), local_node_,
+            sparse ? cfg.meta_response_bytes : fb);
+        if (!sparse) bytes_fetched_.Add(fb);
+        frags[pos] = std::move(buf);
+        ++good;
+      } else {
+        last = s;
+        if (s.code() == ErrorCode::kUnavailable) {
+          manager_.MarkDead(bid);
+          NVM_WLOG(
+              "benefactor %d unavailable reading fragment %zu of %s; "
+              "falling over to parity",
+              bid, pos, loc.key.ToString().c_str());
+        } else if (s.code() == ErrorCode::kCorrupt) {
+          // The fragment failed its checksum: rot surfaces as CORRUPT,
+          // never as wrong bytes in the assembled chunk.  Quarantine it
+          // and reconstruct from the survivors.
+          saw_corrupt = true;
+          corrupt_failovers_.Add(1);
+          manager_.ReportCorrupt(frag_clock, loc.key, bid);
+          NVM_WLOG("benefactor %d served corrupt fragment %zu of %s; "
+                   "falling over to parity",
+                   bid, pos, loc.key.ToString().c_str());
+        }
+      }
+      join = std::max(join, frag_clock.now());
+    }
+    clock.AdvanceTo(join);
+    round_start = join;
+  }
+  if (saw_corrupt) {
+    // The quarantine punched a hole this cached location still names.
+    InvalidateLocation(id, chunk_index);
+  }
+  if (good < k) return last;
+
+  bool data_complete = true;
+  for (size_t pos = 0; pos < k; ++pos) {
+    if (frags[pos].empty()) data_complete = false;
+  }
+  if (!data_complete) {
+    // Degraded read: any k of the k+m fragments reconstruct the chunk.
+    // The matrix solve is charged as one chunk through the encode engine.
+    ec_degraded_reads_.Add(1);
+    manager_.NoteEcDegradedRead();
+    clock.Advance(cfg.ec_encode_ns(cfg.chunk_bytes));
+    ErasureCodec codec(cfg.ec_k, cfg.ec_m);
+    NVM_CHECK(codec.Reconstruct(frags),
+              "k fragments must reconstruct the stripe");
+  }
+  ErasureCodec::Assemble(frags, cfg.ec_k, out);
+  return OkStatus();
 }
 
 Status StoreClient::ReadRun(sim::VirtualClock& clock,
@@ -220,7 +334,10 @@ Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
   NVM_RETURN_IF_ERROR(LookupReadMany(clock, id, lo, hi - lo + 1));
   const int64_t t0 = clock.now();
 
-  if (!cfg.batch_rpc) {
+  // Erasure stripes scatter a chunk across k+m benefactors, so there is no
+  // primary holder to stream a run from: every chunk takes the per-chunk
+  // stripe path on its own detached clock.
+  if (!cfg.batch_rpc || cfg.ec()) {
     for (ChunkFetch& f : fetches) {
       // Each transfer branches off the post-lookup time: requests to
       // distinct benefactors overlap, and shared NICs/devices serialise
@@ -312,6 +429,10 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
   const StoreConfig& cfg = manager_.config();
   NVM_CHECK(chunk_image.size() == cfg.chunk_bytes);
   if (dirty_pages.None()) return OkStatus();
+  if (cfg.ec()) {
+    // Every file of an erasure-mode store stripes: writes go full-stripe.
+    return WriteStripe(clock, id, chunk_index, dirty_pages, chunk_image);
+  }
 
   // Flush-time checksum: computed once over the full image and charged to
   // the writer before the metadata round-trip (the batched path charges at
@@ -405,6 +526,119 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
   return OkStatus();
 }
 
+Status StoreClient::WriteStripe(sim::VirtualClock& clock, FileId id,
+                                uint32_t chunk_index, const Bitmap& dirty_pages,
+                                std::span<const uint8_t> chunk_image) {
+  const StoreConfig& cfg = manager_.config();
+  const size_t k = cfg.ec_k;
+  const size_t nf = cfg.ec_fragments();
+  const uint64_t fb = cfg.ec_frag_bytes();
+
+  // Full-stripe discipline: fragments are rewritten whole, so a partial-
+  // dirty flush first reads the chunk's current bytes (degraded-capable)
+  // and overlays the dirty pages — the classic erasure read-modify-write
+  // penalty, paid serially on the writer's clock.
+  std::vector<uint8_t> merged;
+  std::span<const uint8_t> full = chunk_image;
+  if (dirty_pages.PopCount() < cfg.pages_per_chunk()) {
+    merged.resize(cfg.chunk_bytes);
+    NVM_RETURN_IF_ERROR(ReadChunk(clock, id, chunk_index, merged));
+    dirty_pages.ForEachSet([&](size_t p) {
+      std::memcpy(merged.data() + p * cfg.page_bytes,
+                  chunk_image.data() + p * cfg.page_bytes, cfg.page_bytes);
+    });
+    full = merged;
+  }
+
+  // Encode k data + m parity fragments (the matrix math is real; the CPU
+  // cost is one chunk through the encode engine) and checksum the full
+  // image plus each fragment — the positional checksums are what degraded
+  // reads and repair verify survivors against.
+  ErasureCodec codec(cfg.ec_k, cfg.ec_m);
+  std::vector<std::vector<uint8_t>> frags = codec.Encode(full);
+  clock.Advance(cfg.ec_encode_ns(cfg.chunk_bytes));
+  const bool with_crc = cfg.integrity();
+  uint32_t crc = 0;
+  std::vector<uint32_t> frag_crcs;
+  if (with_crc) {
+    crc = Crc32c(full.data(), full.size());
+    frag_crcs.reserve(nf);
+    for (const std::vector<uint8_t>& f : frags) {
+      frag_crcs.push_back(Crc32c(f.data(), f.size()));
+    }
+    clock.Advance(cfg.checksum_ns(cfg.chunk_bytes) +
+                  cfg.checksum_ns(nf * fb));
+  }
+
+  ChargeMetaRoundTrip(clock);
+  NVM_ASSIGN_OR_RETURN(WriteLocation loc,
+                       manager_.PrepareWrite(clock, id, chunk_index));
+  NVM_CHECK(loc.ec, "erasure-mode store prepared a replicate write");
+  NVM_CHECK(loc.benefactors.size() == nf);
+
+  // Each live fragment is written on its own clock forked at the post-
+  // prepare time; the writer joins at the max, so a stripe write costs
+  // max(fragment times), not their sum.
+  const int64_t t0 = clock.now();
+  int64_t done = t0;
+  size_t good = 0;
+  uint64_t parity_bytes = 0;
+  Status last = Unavailable("no fragments written");
+  for (size_t pos = 0; pos < nf; ++pos) {
+    const int bid = loc.benefactors[pos];
+    if (bid < 0) continue;  // hole: already the repair queue's business
+    Benefactor* b = manager_.benefactor(bid);
+    NVM_CHECK(b != nullptr);
+    sim::VirtualClock frag_clock(t0);
+    cluster_.network().Transfer(frag_clock, local_node_, b->node_id(),
+                                fb + cfg.meta_request_bytes);
+    Status s = b->WriteFragment(frag_clock, loc.key, frags[pos],
+                                with_crc ? &frag_crcs[pos] : nullptr);
+    if (s.ok()) {
+      cluster_.network().Transfer(frag_clock, b->node_id(), local_node_,
+                                  cfg.meta_response_bytes);
+      ++good;
+      bytes_flushed_.Add(fb);
+      if (pos >= k) parity_bytes += fb;
+      done = std::max(done, frag_clock.now());
+    } else {
+      last = s;
+      if (s.code() == ErrorCode::kUnavailable) {
+        manager_.MarkDead(bid);
+        NVM_WLOG("benefactor %d unavailable writing fragment %zu of %s; "
+                 "continuing with surviving fragments",
+                 bid, pos, loc.key.ToString().c_str());
+      }
+    }
+  }
+  clock.AdvanceTo(done);
+
+  // A stripe that reached at least k fragments is reconstructible: commit
+  // its checksums.  Below k the write failed — the completion records no
+  // checksum, so recovery rolls the uncommitted stripe back rather than
+  // ever assembling mixed-generation fragments.
+  const bool committed = good >= k;
+  manager_.CompleteWrite(
+      clock, loc.key, with_crc && committed ? &crc : nullptr,
+      with_crc && committed ? std::span<const uint32_t>(frag_crcs)
+                            : std::span<const uint32_t>());
+  if (!committed) {
+    InvalidateLocation(id, chunk_index);
+    return last;
+  }
+  manager_.NoteEcParityBytes(parity_bytes);
+  if (good < nf) {
+    degraded_writes_.Add(1);
+    manager_.ReportDegraded(loc.key, clock.now());
+  }
+  {
+    std::lock_guard<std::mutex> lock(loc_mutex_);
+    loc_cache_[LocKey{id, chunk_index}] =
+        ReadLocation{loc.key, loc.benefactors, /*ec=*/true};
+  }
+  return OkStatus();
+}
+
 Status StoreClient::WriteRun(sim::VirtualClock& clock,
                              const BenefactorRun& run,
                              std::span<const WriteLocation> locs,
@@ -473,7 +707,9 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
   }
   if (active.empty()) return OkStatus();
 
-  if (!cfg.batch_write_rpc) {
+  // Erasure-mode writes are full-stripe fan-outs with no per-benefactor
+  // run to stream: each chunk goes through the stripe path serially.
+  if (!cfg.batch_write_rpc || cfg.ec()) {
     // Per-chunk path: one PrepareWrite round-trip and one write request
     // per chunk, serialised on the caller's clock.
     for (size_t i : active) {
@@ -624,6 +860,7 @@ void StoreClient::ResetCounters() {
   write_run_rpcs_.Reset();
   degraded_writes_.Reset();
   corrupt_failovers_.Reset();
+  ec_degraded_reads_.Reset();
 }
 
 }  // namespace nvm::store

@@ -137,6 +137,9 @@ class StoreClient {
   // Reads that hit a checksum-mismatch (CORRUPT) reply and fell over to
   // another replica; the bad copy was reported for quarantine + repair.
   uint64_t corrupt_failovers() const { return corrupt_failovers_.value(); }
+  // Erasure-coded reads that could not be served from the k data fragments
+  // alone and reconstructed the chunk from a k-subset including parity.
+  uint64_t ec_degraded_reads() const { return ec_degraded_reads_.value(); }
   void ResetCounters();
 
  private:
@@ -192,6 +195,23 @@ class StoreClient {
                   std::span<const size_t> active,
                   std::span<const uint32_t> crcs,
                   std::span<uint32_t> stored_crcs);
+  // One read attempt against a resolved erasure stripe: the k data
+  // fragments are fetched in parallel (clocks forked at the issue time,
+  // caller joins at the max); any failure or hole falls over to parity
+  // fragments and reconstructs — a degraded read.  Fails only when fewer
+  // than k fragments of the stripe are readable.
+  Status ReadStripe(sim::VirtualClock& clock, FileId id, uint32_t chunk_index,
+                    const ReadLocation& loc, std::span<uint8_t> out);
+  // The erasure-coded write path: always full-stripe.  A partial-dirty
+  // flush first reads the chunk's current bytes (degraded-capable) and
+  // overlays the dirty pages — the classic EC read-modify-write penalty —
+  // then encodes k+m fragments and writes each on a forked clock.  A
+  // stripe that reached at least k fragments is a (possibly degraded)
+  // success; below k the write failed and the completion records no
+  // checksum (recovery rolls the uncommitted stripe back).
+  Status WriteStripe(sim::VirtualClock& clock, FileId id, uint32_t chunk_index,
+                     const Bitmap& dirty_pages,
+                     std::span<const uint8_t> chunk_image);
 
   net::Cluster& cluster_;
   Manager& manager_;
@@ -203,6 +223,7 @@ class StoreClient {
   Counter write_run_rpcs_;
   Counter degraded_writes_;
   Counter corrupt_failovers_;
+  Counter ec_degraded_reads_;
   std::mutex loc_mutex_;
   std::unordered_map<LocKey, ReadLocation, LocKeyHash> loc_cache_;
 };

@@ -5,6 +5,7 @@
 
 #include "common/checksum.hpp"
 #include "common/log.hpp"
+#include "store/erasure.hpp"
 #include "store/maintenance.hpp"
 
 namespace nvm::store {
@@ -27,6 +28,9 @@ std::vector<BenefactorRun> Manager::GroupByPrimaryBenefactor(
   std::unordered_map<int, size_t> run_of;  // benefactor id -> index in runs
   for (size_t i = 0; i < locs.size(); ++i) {
     if (locs[i].benefactors.empty()) continue;
+    // Erasure-coded chunks never join run RPCs: every read touches k
+    // devices, so there is no single-benefactor run to coalesce into.
+    if (locs[i].ec) continue;
     const int primary = locs[i].benefactors.front();
     auto [it, fresh] = run_of.try_emplace(primary, runs.size());
     if (fresh) runs.push_back(BenefactorRun{primary, {}});
@@ -40,6 +44,7 @@ std::vector<BenefactorRun> Manager::GroupByBenefactor(
   std::vector<BenefactorRun> runs;
   std::unordered_map<int, size_t> run_of;  // benefactor id -> index in runs
   for (size_t i = 0; i < locs.size(); ++i) {
+    if (locs[i].ec) continue;  // EC chunks go through the per-chunk path
     for (int b : locs[i].benefactors) {
       auto [it, fresh] = run_of.try_emplace(b, runs.size());
       if (fresh) runs.push_back(BenefactorRun{b, {}});
@@ -60,6 +65,17 @@ Manager::Manager(net::Cluster& cluster, int manager_node, StoreConfig config,
   NVM_CHECK(config_.chunk_bytes % config_.page_bytes == 0);
   NVM_CHECK(config_.replication >= 1);
   NVM_CHECK(config_.meta_shards >= 1, "meta_shards must be at least 1");
+  if (config_.ec()) {
+    // Fragments must be page-aligned slices: chunk_bytes = k * frag_bytes
+    // with frag_bytes a whole number of pages.
+    NVM_CHECK(config_.ec_k >= 1 && config_.ec_k + config_.ec_m <= 256,
+              "erasure geometry must satisfy 1 <= k and k+m <= 256");
+    NVM_CHECK(
+        config_.chunk_bytes % (config_.ec_k * config_.page_bytes) == 0,
+        "chunk_bytes must divide into ec_k page-aligned fragments");
+    NVM_CHECK(config_.ec_encode_bw_gbps > 0.0,
+              "ec_encode_bw_gbps must be positive");
+  }
   services_.reserve(meta_shards_);
   for (size_t i = 0; i < meta_shards_; ++i) {
     // Keep the historic resource name when unsharded so single-shard
@@ -152,7 +168,7 @@ void Manager::PublishReplicasLocked(ChunkHandle& h,
 }
 
 void Manager::UndoRepairTargetLocked(MetaShard& shard, const ChunkKey& key,
-                                     int bid) {
+                                     int bid, uint64_t bytes) {
   Benefactor* b = BenefactorAt(bid);
   if (b == nullptr) return;
   auto it = shard.chunks.find(key);
@@ -162,12 +178,12 @@ void Manager::UndoRepairTargetLocked(MetaShard& shard, const ChunkKey& key,
       // A racing repair picked the same target and already committed it:
       // the data and one reservation belong to the published replica list.
       // Only this plan's duplicate reservation comes back.
-      b->ReleaseChunkReservation(1);
+      b->ReleaseBytes(bytes);
       return;
     }
   }
   (void)b->DeleteChunk(key);  // drop any partially copied data
-  b->ReleaseChunkReservation(1);
+  b->ReleaseBytes(bytes);
 }
 
 bool Manager::QuarantineReplicaLocked(sim::VirtualClock& clock,
@@ -190,9 +206,18 @@ bool Manager::QuarantineReplicaLocked(sim::VirtualClock& clock,
     h.tainted.push_back(bid);
   }
   std::vector<int> rest;
-  rest.reserve(current->size() - 1);
-  for (int id : *current) {
-    if (id != bid) rest.push_back(id);
+  if (h.ec) {
+    // Positional fragment map: the quarantined fragment's slot goes to -1
+    // (positions are stable — a repair re-fills the hole in place).
+    rest = *current;
+    for (int& id : rest) {
+      if (id == bid) id = -1;
+    }
+  } else {
+    rest.reserve(current->size() - 1);
+    for (int id : *current) {
+      if (id != bid) rest.push_back(id);
+    }
   }
   // Log the shortened list BEFORE destroying the quarantined replica's
   // data.  The reverse order is unrecoverable: a crash in between would
@@ -209,8 +234,18 @@ bool Manager::QuarantineReplicaLocked(sim::VirtualClock& clock,
   // reader or repair ever consults it again.
   Benefactor* b = BenefactorAt(bid);
   (void)b->DeleteChunk(key);
-  b->ReleaseChunkReservation(1);
-  if (rest.empty()) {
+  b->ReleaseBytes(ChunkResBytes(h.ec));
+  if (h.ec) {
+    const auto live = static_cast<size_t>(
+        std::count_if(rest.begin(), rest.end(), [](int id) { return id >= 0; }));
+    if (live + 1 == config_.ec_k) {
+      // This quarantine dropped the stripe below k surviving fragments: no
+      // reconstruction exists any more — the chunk is lost, not degraded.
+      // Counted exactly once: repairs never run below k, so the live count
+      // crosses k-1 at most once.
+      lost_chunks_.Add(1);
+    }
+  } else if (rest.empty()) {
     // Every replica has now failed verification: the chunk is lost, not
     // degraded (there is no verified source to repair from).
     lost_chunks_.Add(1);
@@ -225,13 +260,15 @@ bool Manager::QuarantineReplicaLocked(sim::VirtualClock& clock,
 bool Manager::IsRepairTargetLocked(const MetaShard& shard, const ChunkKey& key,
                                    int bid) const {
   auto it = shard.repair_targets.find(key);
-  return it != shard.repair_targets.end() &&
-         std::find(it->second.begin(), it->second.end(), bid) !=
-             it->second.end();
+  if (it == shard.repair_targets.end()) return false;
+  return std::any_of(
+      it->second.begin(), it->second.end(),
+      [bid](const MetaShard::RepairTarget& t) { return t.bid == bid; });
 }
 
 void Manager::CompleteWriteLocked(MetaShard& shard, const ChunkKey& key,
-                                  const uint32_t* crc) {
+                                  const uint32_t* crc,
+                                  std::span<const uint32_t> frag_crcs) {
   auto it = shard.inflight_writers.find(key);
   NVM_CHECK(it != shard.inflight_writers.end(), "unmatched CompleteWrite");
   if (--it->second == 0) shard.inflight_writers.erase(it);
@@ -248,17 +285,22 @@ void Manager::CompleteWriteLocked(MetaShard& shard, const ChunkKey& key,
     if (crc != nullptr) {
       h.has_crc = true;
       h.crc = *crc;
+      // Per-fragment checksums travel with the full-image one (EC writes
+      // always pass both; frag repair verifies fragments against these).
+      h.frag_crcs.assign(frag_crcs.begin(), frag_crcs.end());
       // Fresh verified bytes landed everywhere the list names: the
       // correlated-loss memory described the overwritten contents.
       h.tainted.clear();
     } else {
       h.has_crc = false;
+      h.frag_crcs.clear();
     }
   }
 }
 
 void Manager::CompleteWrite(sim::VirtualClock& clock, const ChunkKey& key,
-                            const uint32_t* crc) {
+                            const uint32_t* crc,
+                            std::span<const uint32_t> frag_crcs) {
   MetaShard& shard = shards_[shard_of(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (wal_ != nullptr) {
@@ -271,13 +313,16 @@ void Manager::CompleteWrite(sim::VirtualClock& clock, const ChunkKey& key,
       if (crc != nullptr || h.has_crc) {
         WalRecord rec;
         rec.type = WalRecordType::kComplete;
-        rec.completions.push_back(
-            WalCompletion{key, crc != nullptr, crc != nullptr ? *crc : 0});
+        WalCompletion done{key, crc != nullptr, crc != nullptr ? *crc : 0};
+        if (crc != nullptr) {
+          done.frag_crcs.assign(frag_crcs.begin(), frag_crcs.end());
+        }
+        rec.completions.push_back(std::move(done));
         LogAppend(clock, std::move(rec));
       }
     }
   }
-  CompleteWriteLocked(shard, key, crc);
+  CompleteWriteLocked(shard, key, crc, frag_crcs);
 }
 
 void Manager::CompleteWrites(sim::VirtualClock& clock,
@@ -333,10 +378,26 @@ std::vector<ChunkKey> Manager::CollectUnderReplicated() const {
     for (const auto& [key, h] : shard.chunks) {
       auto list = h->replicas.load(std::memory_order_acquire);
       if (list->empty()) continue;  // lost: nothing to repair
-      bool degraded =
-          list->size() < static_cast<size_t>(config_.replication);
-      for (int bid : *list) {
-        if (!bens[static_cast<size_t>(bid)]->alive()) degraded = true;
+      bool degraded = false;
+      if (h->ec) {
+        // Positional fragment map: a hole (-1) or a dead holder degrades
+        // the stripe; below k live fragments it is lost, not repairable.
+        size_t live = 0;
+        for (int bid : *list) {
+          if (bid < 0) {
+            degraded = true;
+          } else if (bens[static_cast<size_t>(bid)]->alive()) {
+            ++live;
+          } else {
+            degraded = true;
+          }
+        }
+        if (live < config_.ec_k) continue;  // lost: nothing to repair
+      } else {
+        degraded = list->size() < static_cast<size_t>(config_.replication);
+        for (int bid : *list) {
+          if (!bens[static_cast<size_t>(bid)]->alive()) degraded = true;
+        }
       }
       if (degraded) keys.push_back(key);
     }
@@ -379,6 +440,117 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
     ChunkHandle& h = *hit->second;
     const std::vector<int> recorded =
         *h.replicas.load(std::memory_order_acquire);
+
+    if (h.ec) {
+      // Erasure-coded stripe: positions are stable.  Dead holders become
+      // holes (-1) in place — their fragment died with the device — and
+      // the plan reserves one target per hole, spread over failure
+      // domains distinct from every surviving fragment's node.
+      const uint64_t fb = config_.ec_frag_bytes();
+      std::vector<int> positions = recorded;
+      std::vector<int> dead;
+      size_t live = 0;
+      for (int& bid : positions) {
+        if (bid < 0) continue;
+        if (bens[static_cast<size_t>(bid)]->alive()) {
+          ++live;
+          continue;
+        }
+        dead.push_back(bid);
+        bid = -1;
+      }
+      if (!dead.empty()) {
+        // Log the holed map (log-before-publish), then reclaim the dead
+        // fragments' space bookkeeping.
+        WalRecord rec;
+        rec.type = WalRecordType::kReplicas;
+        rec.key = key;
+        rec.replicas = positions;
+        LogAppend(clock, std::move(rec));
+        for (int bid : dead) {
+          Benefactor* b = bens[static_cast<size_t>(bid)];
+          b->ReleaseBytes(fb);
+          (void)b->DeleteChunk(key);
+        }
+        PublishReplicasLocked(h, positions);
+      }
+      if (live < config_.ec_k) {
+        // Below k surviving fragments no reconstruction exists.  Count the
+        // loss only when THIS strip crossed the threshold (repairs never
+        // run below k, so the crossing happens at most once).
+        if (live + dead.size() >= config_.ec_k) {
+          lost_chunks_.Add(1);
+          if (lost != nullptr) ++*lost;
+        }
+        continue;
+      }
+      std::vector<uint32_t> holes;
+      for (size_t pos = 0; pos < positions.size(); ++pos) {
+        if (positions[pos] < 0) holes.push_back(static_cast<uint32_t>(pos));
+      }
+      if (holes.empty()) continue;  // healthy after stripping (stale report)
+
+      std::vector<PlacementCandidate> cands = BuildPlacementCandidates(
+          bens, suspected.empty() ? nullptr : &suspected);
+      // Hard failure-domain spreading: no target may share a node with a
+      // surviving fragment (or another target) — a single node failure
+      // must never take out two fragments of one stripe.
+      std::vector<int> exclude_nodes;
+      for (int bid : positions) {
+        if (bid < 0) continue;
+        cands[static_cast<size_t>(bid)].excluded = true;
+        const int node = bens[static_cast<size_t>(bid)]->node_id();
+        if (node >= 0 && std::find(exclude_nodes.begin(), exclude_nodes.end(),
+                                   node) == exclude_nodes.end()) {
+          exclude_nodes.push_back(node);
+        }
+      }
+      if (config_.placement_avoid_suspected) {
+        for (int bid : h.tainted) {
+          if (static_cast<size_t>(bid) < cands.size()) {
+            cands[static_cast<size_t>(bid)].excluded = true;
+          }
+        }
+      }
+      PlacementRequest req;
+      req.order = PlacementRequest::Order::kLeastLoaded;
+      req.avoid_suspected = config_.placement_avoid_suspected;
+      req.exclude_suspected = config_.placement_avoid_suspected;
+      req.wear_weight = config_.placement_wear_weight;
+      req.exclude_nodes = &exclude_nodes;
+
+      RepairPlan plan;
+      plan.key = key;
+      plan.ec = true;
+      plan.survivors = positions;
+      plan.epoch = h.repair_epoch;
+      plan.has_crc = h.has_crc;
+      plan.crc = h.crc;
+      plan.frag_crcs = h.frag_crcs;
+      size_t hole_i = 0;
+      for (int bid : RankPlacement(cands, req)) {
+        if (hole_i == holes.size()) break;
+        // Targets picked earlier in this walk extend the exclusion set;
+        // re-check here (RankPlacement saw only the survivors' nodes).
+        const int node = bens[static_cast<size_t>(bid)]->node_id();
+        if (node >= 0 && std::find(exclude_nodes.begin(), exclude_nodes.end(),
+                                   node) != exclude_nodes.end()) {
+          continue;
+        }
+        if (!bens[static_cast<size_t>(bid)]->ReserveBytes(fb).ok()) continue;
+        plan.targets.push_back(bid);
+        plan.target_positions.push_back(holes[hole_i++]);
+        if (node >= 0) exclude_nodes.push_back(node);
+      }
+      if (!plan.targets.empty()) {
+        std::vector<MetaShard::RepairTarget>& open =
+            shard.repair_targets[key];
+        for (int bid : plan.targets) open.push_back({bid, fb});
+      }
+      plan.incomplete = plan.targets.size() < holes.size();
+      plans.push_back(std::move(plan));
+      continue;
+    }
 
     std::vector<int> survivors;
     std::vector<int> dead;
@@ -460,8 +632,8 @@ std::vector<Manager::RepairPlan> Manager::PlanRepairs(
     // Register the targets so the scrubber leaves the in-flight copies
     // alone; CommitRepair deregisters them.
     if (!plan.targets.empty()) {
-      std::vector<int>& open = shard.repair_targets[key];
-      open.insert(open.end(), plan.targets.begin(), plan.targets.end());
+      std::vector<MetaShard::RepairTarget>& open = shard.repair_targets[key];
+      for (int bid : plan.targets) open.push_back({bid, config_.chunk_bytes});
     }
     plan.incomplete = plan.targets.size() < need;
     plan.epoch = h.repair_epoch;
@@ -479,6 +651,97 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
   RepairOutcome out;
   out.plan = plan;
   if (plan.targets.empty()) return out;
+  if (plan.ec) {
+    // Fragment repair: fetch k VERIFIED surviving fragments to the
+    // manager's node, decode + re-encode, then write each missing
+    // fragment to its reserved target.  The stripe is never read in full
+    // off one device — that is the repair-traffic saving the MTTR bench
+    // measures (k fragments + the rebuilt ones vs one full replica copy).
+    const uint32_t k = config_.ec_k;
+    const uint32_t nf = config_.ec_fragments();
+    const uint64_t fb = config_.ec_frag_bytes();
+    NVM_CHECK(plan.survivors.size() == nf,
+              "EC repair plan with malformed fragment map");
+    std::vector<std::vector<uint8_t>> frags(nf);
+    const int64_t start = clock.now();
+    int64_t fetched = start;
+    size_t good = 0;
+    bool any_data = false;
+    for (uint32_t pos = 0; pos < nf && good < k; ++pos) {
+      const int bid = plan.survivors[pos];
+      if (bid < 0) continue;
+      Benefactor* b = BenefactorAt(bid);
+      if (b == nullptr || !b->alive()) continue;
+      // Fetches fork from the plan start and join at the max: the k reads
+      // overlap in flight; a fallback read past a corrupt fragment simply
+      // joins later.
+      sim::VirtualClock fetch(start);
+      std::vector<uint8_t> buf(fb);
+      bool sparse = false;
+      Status s = b->ReadFragment(fetch, plan.key, buf, &sparse);
+      if (s.code() == ErrorCode::kCorrupt) {
+        // The survivor failed its own read verification: quarantine at
+        // commit, try the next fragment.
+        out.corrupt_sources.push_back(bid);
+        fetched = std::max(fetched, fetch.now());
+        continue;
+      }
+      if (!s.ok()) continue;
+      if (!sparse && plan.has_crc && plan.frag_crcs.size() == nf &&
+          !config_.verify_reads) {
+        // With verify_reads off the benefactor served unchecked bytes —
+        // verify here against the authoritative per-fragment checksum.
+        fetch.Advance(config_.checksum_ns(fb));
+        if (Crc32c(buf.data(), buf.size()) != plan.frag_crcs[pos]) {
+          out.corrupt_sources.push_back(bid);
+          fetched = std::max(fetched, fetch.now());
+          continue;
+        }
+      }
+      if (!sparse) {
+        cluster_.network().Transfer(fetch, b->node_id(), manager_node_, fb);
+        any_data = true;
+      }
+      frags[pos] = std::move(buf);  // sparse reads back as zeros
+      ++good;
+      fetched = std::max(fetched, fetch.now());
+    }
+    clock.AdvanceTo(fetched);
+    if (good < k) {
+      out.failed = plan.targets;
+      return out;
+    }
+    if (any_data) {
+      // Decode + re-encode cost is modelled; the parity math is real, so
+      // the rebuilt fragments are byte-exact.
+      clock.Advance(config_.ec_encode_ns(config_.chunk_bytes));
+      ErasureCodec codec(k, config_.ec_m);
+      NVM_CHECK(codec.Reconstruct(frags),
+                "k verified fragments failed to reconstruct");
+    }
+    const int64_t rebuilt = clock.now();
+    int64_t done = rebuilt;
+    for (size_t i = 0; i < plan.targets.size(); ++i) {
+      const int bid = plan.targets[i];
+      const uint32_t pos = plan.target_positions[i];
+      Benefactor* b = BenefactorAt(bid);
+      bool ok = b != nullptr && b->alive();
+      sim::VirtualClock copy(rebuilt);
+      if (ok && any_data) {
+        cluster_.network().Transfer(copy, manager_node_, b->node_id(), fb);
+        const uint32_t* crc = plan.has_crc && plan.frag_crcs.size() == nf
+                                  ? &plan.frag_crcs[pos]
+                                  : nullptr;
+        ok = b->WriteFragment(copy, plan.key, frags[pos], crc).ok();
+      }
+      // An all-sparse stripe has no bytes to move: the reservation alone
+      // makes the fragment (it reads back as zeros, like the survivors).
+      done = std::max(done, copy.now());
+      (ok ? out.written : out.failed).push_back(bid);
+    }
+    clock.AdvanceTo(done);
+    return out;
+  }
   std::vector<uint8_t> buf(config_.chunk_bytes);
   // Read from the first survivor still answering whose bytes VERIFY (one
   // may have died — or rotted — since the plan was made).  Re-replication
@@ -547,23 +810,26 @@ uint64_t Manager::CommitRepair(sim::VirtualClock& clock,
   if (requeue != nullptr) *requeue = false;
   if (wal_ != nullptr) wal_->TriggerPoint(CrashPoint::kMidRepairCommit);
   const RepairPlan& plan = outcome.plan;
+  const uint64_t res_bytes = ChunkResBytes(plan.ec);
   MetaShard& shard = shards_[shard_of(plan.key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   // The targets' fate is decided here: they stop being scrub-exempt.
   auto rt = shard.repair_targets.find(plan.key);
   if (rt != shard.repair_targets.end()) {
     for (int bid : plan.targets) {
-      auto pos = std::find(rt->second.begin(), rt->second.end(), bid);
+      auto pos = std::find_if(
+          rt->second.begin(), rt->second.end(),
+          [bid](const MetaShard::RepairTarget& t) { return t.bid == bid; });
       if (pos != rt->second.end()) rt->second.erase(pos);
     }
     if (rt->second.empty()) shard.repair_targets.erase(rt);
   }
   auto undo_all = [&] {
     for (int bid : outcome.written) {
-      UndoRepairTargetLocked(shard, plan.key, bid);
+      UndoRepairTargetLocked(shard, plan.key, bid, res_bytes);
     }
     for (int bid : outcome.failed) {
-      UndoRepairTargetLocked(shard, plan.key, bid);
+      UndoRepairTargetLocked(shard, plan.key, bid, res_bytes);
     }
   };
   // Freed while the copy ran?  Nothing references the chunk any more.
@@ -586,20 +852,35 @@ uint64_t Manager::CommitRepair(sim::VirtualClock& clock,
     return 0;
   }
   // Survivors stay first: the primary keeps holding every written byte, so
-  // reads served off it never observe the copy-window gap.
+  // reads served off it never observe the copy-window gap.  (EC: written
+  // fragments slot back into their stable positions instead.)
   std::vector<int> fresh = plan.survivors;
   uint64_t recreated = 0;
   for (int bid : outcome.written) {
     Benefactor* b = BenefactorAt(bid);
     if (b != nullptr && b->alive()) {
-      fresh.push_back(bid);
+      if (plan.ec) {
+        const auto at = static_cast<size_t>(
+            std::find(plan.targets.begin(), plan.targets.end(), bid) -
+            plan.targets.begin());
+        NVM_CHECK(at < plan.target_positions.size(),
+                  "EC repair wrote an unplanned target");
+        const uint32_t pos = plan.target_positions[at];
+        NVM_CHECK(fresh[pos] == -1, "EC repair filling an occupied slot");
+        fresh[pos] = bid;
+        ec_fragments_repaired_.Add(1);
+      } else {
+        fresh.push_back(bid);
+      }
       ++recreated;
     } else {
       // Died after the copy landed.
-      UndoRepairTargetLocked(shard, plan.key, bid);
+      UndoRepairTargetLocked(shard, plan.key, bid, res_bytes);
     }
   }
-  for (int bid : outcome.failed) UndoRepairTargetLocked(shard, plan.key, bid);
+  for (int bid : outcome.failed) {
+    UndoRepairTargetLocked(shard, plan.key, bid, res_bytes);
+  }
   if (fresh != plan.survivors) {
     // Log the committed list before publishing it (log-before-publish).
     // An unchanged list (every target died/failed) appends nothing.
@@ -619,10 +900,14 @@ uint64_t Manager::CommitRepair(sim::VirtualClock& clock,
   }
   if (stripped && requeue != nullptr) *requeue = true;
   // A chunk quarantined earlier counts as healed once it is back at full
-  // replication with verified copies only.
+  // replication (EC: a hole-free fragment map) with verified copies only.
   if (h.corrupt_pending) {
     auto now = h.replicas.load(std::memory_order_acquire);
-    if (now->size() >= static_cast<size_t>(config_.replication)) {
+    const bool healed =
+        h.ec ? std::none_of(now->begin(), now->end(),
+                            [](int bid) { return bid < 0; })
+             : now->size() >= static_cast<size_t>(config_.replication);
+    if (healed) {
       h.corrupt_pending = false;
       corrupt_repaired_.Add(1);
     }
@@ -706,19 +991,22 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
     cluster_.network().Transfer(clock, b->node_id(), manager_node_,
                                 config_.meta_response_bytes);
     if (!b->alive()) continue;
+    // Expected reservation in BYTES: a replica reserves a full chunk, an
+    // erasure-coded fragment one k-th of it.
     uint64_t expected = 0;
     for (const auto& [key, list] : lists) {
       if (std::find(list->begin(), list->end(), static_cast<int>(i)) !=
           list->end()) {
-        ++expected;
+        expected += ChunkResBytes(placed.at(key)->ec);
       }
     }
     // In-flight repair targets hold reservations (and possibly data) the
     // replica lists do not name yet; their commit will settle them.
     for (const MetaShard& shard : shards_) {
-      for (const auto& [key, bids] : shard.repair_targets) {
-        expected += static_cast<uint64_t>(
-            std::count(bids.begin(), bids.end(), static_cast<int>(i)));
+      for (const auto& [key, targets] : shard.repair_targets) {
+        for (const MetaShard::RepairTarget& t : targets) {
+          if (t.bid == static_cast<int>(i)) expected += t.bytes;
+        }
       }
     }
     for (const ChunkKey& key : b->StoredChunkKeys()) {
@@ -737,23 +1025,42 @@ Manager::ScrubResult Manager::ScrubOnce(sim::VirtualClock& clock) {
         ++result.orphans_deleted;
       }
     }
-    // Reservation drift: reserved slots must equal the distinct chunks the
-    // metadata places here plus the in-flight repair targets.
-    const uint64_t reserved = b->bytes_used() / config_.chunk_bytes;
+    // Reservation drift: reserved bytes must equal the bytes the metadata
+    // places here plus the in-flight repair targets.  Fixes are reported
+    // in chunk-slot units (rounded up) for continuity with the historic
+    // counter.
+    const uint64_t reserved = b->bytes_used();
     if (reserved > expected) {
-      b->ReleaseChunkReservation(reserved - expected);
-      result.reservation_fixes += reserved - expected;
+      b->ReleaseBytes(reserved - expected);
+      result.reservation_fixes +=
+          CeilDiv(reserved - expected, config_.chunk_bytes);
     } else if (reserved < expected) {
-      (void)b->ReserveChunks(expected - reserved);
-      result.reservation_fixes += expected - reserved;
+      (void)b->ReserveBytes(expected - reserved);
+      result.reservation_fixes +=
+          CeilDiv(expected - reserved, config_.chunk_bytes);
     }
   }
   // Pass 3 — re-find under-replicated chunks the report path missed.
   for (const auto& [key, list] : lists) {
     if (list->empty()) continue;  // lost
-    bool degraded = list->size() < static_cast<size_t>(config_.replication);
-    for (int bid : *list) {
-      if (!bens[static_cast<size_t>(bid)]->alive()) degraded = true;
+    bool degraded = false;
+    if (placed.at(key)->ec) {
+      size_t live = 0;
+      for (int bid : *list) {
+        if (bid < 0) {
+          degraded = true;
+        } else if (bens[static_cast<size_t>(bid)]->alive()) {
+          ++live;
+        } else {
+          degraded = true;
+        }
+      }
+      if (live < config_.ec_k) continue;  // lost: nothing to repair
+    } else {
+      degraded = list->size() < static_cast<size_t>(config_.replication);
+      for (int bid : *list) {
+        if (!bens[static_cast<size_t>(bid)]->alive()) degraded = true;
+      }
     }
     if (degraded) result.under_replicated.push_back(key);
   }
@@ -778,6 +1085,8 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
     std::vector<int> replicas;
     uint32_t crc = 0;
     uint64_t epoch = 0;
+    bool ec = false;
+    std::vector<uint32_t> frag_crcs;  // positional, EC only
   };
 
   // Phase 1 (shard mutexes, one at a time) — snapshot the next cursor
@@ -807,7 +1116,15 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
         if (list->empty()) continue;  // lost: nothing to read
         if (shard.inflight_writers.contains(key)) continue;  // in flux
         if (!h.has_crc) continue;  // never written: nothing to rot
-        const uint64_t cost = config_.chunk_bytes * list->size();
+        if (h.ec && h.frag_crcs.size() != list->size()) continue;
+        uint64_t cost;
+        if (h.ec) {
+          const auto live = static_cast<uint64_t>(std::count_if(
+              list->begin(), list->end(), [](int bid) { return bid >= 0; }));
+          cost = config_.ec_frag_bytes() * live;
+        } else {
+          cost = config_.chunk_bytes * list->size();
+        }
         if (!batch.empty() && planned + cost > max_bytes) {
           stopped = true;
           break;
@@ -818,6 +1135,8 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
         c.replicas = *list;
         c.crc = h.crc;
         c.epoch = h.repair_epoch;
+        c.ec = h.ec;
+        c.frag_crcs = h.frag_crcs;
         batch.push_back(std::move(c));
         shard.verify_cursor = key;
       }
@@ -837,9 +1156,13 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
   // locally: one request/verdict round-trip each; the chunk bytes never
   // leave the benefactor's node.
   uint32_t zero_crc = 0;
+  uint32_t zero_frag_crc = 0;
   if (!batch.empty()) {
     const std::vector<uint8_t> zeros(config_.chunk_bytes, 0);
     zero_crc = Crc32c(zeros.data(), zeros.size());
+    if (config_.ec()) {
+      zero_frag_crc = Crc32c(zeros.data(), config_.ec_frag_bytes());
+    }
   }
   struct Mismatch {
     size_t cand;
@@ -849,25 +1172,32 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
   for (size_t i = 0; i < batch.size(); ++i) {
     const Candidate& c = batch[i];
     ++result.chunks_checked;
-    for (int bid : c.replicas) {
+    for (size_t ri = 0; ri < c.replicas.size(); ++ri) {
+      const int bid = c.replicas[ri];
+      if (bid < 0) continue;  // EC hole: repair's business
       Benefactor* b = BenefactorAt(bid);
       if (b == nullptr || !b->alive()) continue;  // repair's business
+      // Each EC fragment verifies against ITS positional checksum; a
+      // replica against the full-image one.
+      const uint32_t want = c.ec ? c.frag_crcs[ri] : c.crc;
+      const uint32_t want_zero = c.ec ? zero_frag_crc : zero_crc;
+      const uint64_t stored_bytes = ChunkResBytes(c.ec);
       cluster_.network().Transfer(clock, manager_node_, b->node_id(),
                                   config_.meta_request_bytes);
       bool sparse = false;
-      Status s = b->VerifyChunk(clock, c.key, c.crc, &sparse);
+      Status s = b->VerifyChunk(clock, c.key, want, &sparse);
       cluster_.network().Transfer(clock, b->node_id(), manager_node_,
                                   config_.meta_response_bytes);
       if (s.code() == ErrorCode::kCorrupt) {
-        result.bytes_checked += config_.chunk_bytes;
+        result.bytes_checked += stored_bytes;
         mismatches.push_back({i, bid});
       } else if (s.ok()) {
         if (sparse) {
           // A replica with no stored bytes reads as zeros: that is silent
           // corruption too unless the chunk really is all zeros.
-          if (c.crc != zero_crc) mismatches.push_back({i, bid});
+          if (want != want_zero) mismatches.push_back({i, bid});
         } else {
-          result.bytes_checked += config_.chunk_bytes;
+          result.bytes_checked += stored_bytes;
         }
       }
       // Unavailable: died between phases — the heartbeat/repair path owns
@@ -900,7 +1230,15 @@ Manager::VerifyResult Manager::VerifyScrub(sim::VirtualClock& clock,
         ++own_bumps[c.key];
         ++result.corrupt_found;
         auto now = hit->second->replicas.load(std::memory_order_acquire);
-        if (!now->empty()) {
+        // Requeue only when a repair can still help: a surviving replica,
+        // or (EC) at least k surviving fragments to reconstruct from.
+        bool repairable = !now->empty();
+        if (c.ec) {
+          const auto live = static_cast<size_t>(std::count_if(
+              now->begin(), now->end(), [](int bid) { return bid >= 0; }));
+          repairable = live >= config_.ec_k;
+        }
+        if (repairable) {
           result.quarantined.push_back(c.key);
         }
       } else {
@@ -932,9 +1270,17 @@ void Manager::ReportCorrupt(sim::VirtualClock& clock, const ChunkKey& key,
     std::lock_guard<std::mutex> lock(shard.mu);
     if (QuarantineReplicaLocked(clock, shard, key, bid)) {
       auto it = shard.chunks.find(key);
-      degraded =
-          it != shard.chunks.end() &&
-          !it->second->replicas.load(std::memory_order_acquire)->empty();
+      if (it != shard.chunks.end()) {
+        auto now = it->second->replicas.load(std::memory_order_acquire);
+        if (it->second->ec) {
+          // Repairable only while k fragments survive to reconstruct from.
+          const auto live = static_cast<size_t>(std::count_if(
+              now->begin(), now->end(), [](int b) { return b >= 0; }));
+          degraded = live >= config_.ec_k;
+        } else {
+          degraded = !now->empty();
+        }
+      }
     }
   }
   // Queue a repair only when a surviving replica can seed the
@@ -1000,8 +1346,12 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
         *h->replicas.load(std::memory_order_acquire);
     auto pos = std::find(current.begin(), current.end(), id);
     if (pos == current.end()) continue;
+    const bool ec = h->ec;
+    const uint64_t move_bytes = ChunkResBytes(ec);
     // Pick a destination: the next alive benefactor with space that does
-    // not already hold a replica of this chunk.
+    // not already hold a replica of this chunk — and, for an EC fragment,
+    // whose node hosts no OTHER fragment of the stripe (the failure-domain
+    // spread survives the migration).
     int dst = -1;
     for (size_t scan = 1; scan < bens.size(); ++scan) {
       const size_t cand = (static_cast<size_t>(id) + scan) % bens.size();
@@ -1011,7 +1361,18 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
                     static_cast<int>(cand)) != current.end()) {
         continue;
       }
-      if (b->ReserveChunks(1).ok()) {
+      if (ec && b->node_id() >= 0) {
+        bool colocated = false;
+        for (int other : current) {
+          if (other < 0 || other == id) continue;
+          if (bens[static_cast<size_t>(other)]->node_id() == b->node_id()) {
+            colocated = true;
+            break;
+          }
+        }
+        if (colocated) continue;
+      }
+      if (b->ReserveBytes(move_bytes).ok()) {
         dst = static_cast<int>(cand);
         break;
       }
@@ -1022,15 +1383,34 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
     // Move the data benefactor-to-benefactor (read + network hop + write),
     // like the paper's re-configuration path would.
     bool sparse = false;
-    NVM_RETURN_IF_ERROR(leaving->ReadChunk(clock, h->key, buf, &sparse));
-    if (!sparse) {
-      cluster_.network().Transfer(clock, leaving->node_id(),
-                                  bens[static_cast<size_t>(dst)]->node_id(),
-                                  config_.chunk_bytes);
-      // The migrated bytes keep their authoritative checksum.
-      NVM_RETURN_IF_ERROR(bens[static_cast<size_t>(dst)]->WritePages(
-          clock, h->key, all_pages, buf,
-          h->has_crc ? &h->crc : nullptr));
+    if (ec) {
+      const size_t frag_pos = static_cast<size_t>(pos - current.begin());
+      std::vector<uint8_t> frag(move_bytes);
+      NVM_RETURN_IF_ERROR(
+          leaving->ReadFragment(clock, h->key, frag, &sparse));
+      if (!sparse) {
+        cluster_.network().Transfer(clock, leaving->node_id(),
+                                    bens[static_cast<size_t>(dst)]->node_id(),
+                                    move_bytes);
+        // The migrated fragment keeps its authoritative checksum.
+        const uint32_t* crc =
+            h->has_crc && h->frag_crcs.size() == current.size()
+                ? &h->frag_crcs[frag_pos]
+                : nullptr;
+        NVM_RETURN_IF_ERROR(bens[static_cast<size_t>(dst)]->WriteFragment(
+            clock, h->key, frag, crc));
+      }
+    } else {
+      NVM_RETURN_IF_ERROR(leaving->ReadChunk(clock, h->key, buf, &sparse));
+      if (!sparse) {
+        cluster_.network().Transfer(clock, leaving->node_id(),
+                                    bens[static_cast<size_t>(dst)]->node_id(),
+                                    config_.chunk_bytes);
+        // The migrated bytes keep their authoritative checksum.
+        NVM_RETURN_IF_ERROR(bens[static_cast<size_t>(dst)]->WritePages(
+            clock, h->key, all_pages, buf,
+            h->has_crc ? &h->crc : nullptr));
+      }
     }
     std::vector<int> rewritten = current;
     rewritten[static_cast<size_t>(pos - current.begin())] = dst;
@@ -1043,7 +1423,7 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
     rec.replicas = rewritten;
     LogAppend(clock, std::move(rec));
     (void)leaving->DeleteChunk(h->key);
-    leaving->ReleaseChunkReservation(1);
+    leaving->ReleaseBytes(move_bytes);
     PublishReplicasLocked(*h, std::move(rewritten));
     ++migrated;
   }
@@ -1104,9 +1484,10 @@ void Manager::UnrefChunkLocked(MetaShard& shard, ChunkHandle& h) {
   if (--h.refcount == 0) {
     auto list = h.replicas.load(std::memory_order_acquire);
     for (int bid : *list) {
+      if (bid < 0) continue;  // EC hole: nothing stored, nothing reserved
       Benefactor* b = BenefactorAt(bid);
       (void)b->DeleteChunk(h.key);
-      b->ReleaseChunkReservation(1);
+      b->ReleaseBytes(ChunkResBytes(h.ec));
     }
     // The handle (and with it epoch/checksum/corruption state) dies here;
     // an open write fence or reserved repair target survives in the shard
@@ -1186,6 +1567,24 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
   std::unique_lock<std::shared_mutex> flock(file->mu);
   FileMeta& meta = *file;
 
+  if (!meta.redundancy_decided) {
+    // The file's redundancy mode is fixed at its first Fallocate from the
+    // store-wide config: a file never mixes replicated and erasure-coded
+    // chunks.  Erasure is journaled BEFORE any kExtend of the file so
+    // replay rebuilds positional fragment maps, not replica lists; the
+    // default (replicate) appends nothing — knob-off WAL streams stay
+    // byte-identical.
+    meta.redundancy_decided = true;
+    meta.ec = config_.ec();
+    if (meta.ec && wal_ != nullptr) {
+      WalRecord rec;
+      rec.type = WalRecordType::kRedundancy;
+      rec.file_id = id;
+      rec.mode = static_cast<uint8_t>(RedundancyMode::kErasure);
+      LogAppend(clock, std::move(rec));
+    }
+  }
+
   const std::vector<Benefactor*> bens = SnapshotBenefactors();
   const uint64_t want_chunks = CeilDiv(size, config_.chunk_bytes);
   const size_t n = bens.size();
@@ -1214,9 +1613,13 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
     std::unique_lock<std::mutex> slock(shard.mu);
     const std::vector<PlacementCandidate> cands = BuildPlacementCandidates(
         bens, suspected.empty() ? nullptr : &suspected);
+    const uint64_t member_bytes = ChunkResBytes(meta.ec);
+    const size_t want_members =
+        meta.ec ? config_.ec_fragments()
+                : static_cast<size_t>(config_.replication);
     const size_t start =
         ChooseStripeStart(cands, config_.stripe_policy, meta.stripe_cursor,
-                          client_node, config_.chunk_bytes);
+                          client_node, member_bytes);
     PlacementRequest req;
     req.order = PlacementRequest::Order::kRotation;
     req.start = start;
@@ -1225,15 +1628,34 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
     req.avoid_suspected = config_.placement_avoid_suspected;
     req.wear_weight = config_.placement_wear_weight;
     std::vector<int> replicas;
+    // Erasure stripes spread HARD over node-level failure domains: no two
+    // fragments of one stripe may share a node (a node failure must cost
+    // at most one fragment), enforced here even under capacity pressure —
+    // a stripe that cannot spread fails, it never silently co-locates.
+    std::vector<int> used_nodes;
     for (int bid : RankPlacement(cands, req)) {
-      if (replicas.size() == static_cast<size_t>(config_.replication)) break;
-      if (!bens[static_cast<size_t>(bid)]->ReserveChunks(1).ok()) continue;
-      replicas.push_back(bid);
+      if (replicas.size() == want_members) break;
+      if (meta.ec) {
+        const int node = bens[static_cast<size_t>(bid)]->node_id();
+        if (node >= 0 && std::find(used_nodes.begin(), used_nodes.end(),
+                                   node) != used_nodes.end()) {
+          continue;
+        }
+        if (!bens[static_cast<size_t>(bid)]->ReserveBytes(member_bytes)
+                 .ok()) {
+          continue;
+        }
+        replicas.push_back(bid);
+        if (node >= 0) used_nodes.push_back(node);
+      } else {
+        if (!bens[static_cast<size_t>(bid)]->ReserveChunks(1).ok()) continue;
+        replicas.push_back(bid);
+      }
     }
-    if (replicas.size() < static_cast<size_t>(config_.replication)) {
+    if (replicas.size() < want_members) {
       // Roll back partial placement.
       for (int bid : replicas) {
-        bens[static_cast<size_t>(bid)]->ReleaseChunkReservation(1);
+        bens[static_cast<size_t>(bid)]->ReleaseBytes(member_bytes);
       }
       // The chunks placed by EARLIER loop iterations stay (they are live
       // in the file already): log them with the unchanged logical size so
@@ -1255,6 +1677,15 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
                            std::to_string(meta.chunks.size()) + " of '" +
                            meta.name + "'");
       }
+      if (meta.ec) {
+        // The spread constraint could not be met (too few distinct alive
+        // failure domains with a fragment of space): unavailability, not
+        // exhaustion — adding capacity to an existing domain won't help.
+        return Unavailable(
+            "erasure stripe needs " + std::to_string(want_members) +
+            " distinct failure domains for chunk " +
+            std::to_string(meta.chunks.size()) + " of '" + meta.name + "'");
+      }
       return OutOfSpace("aggregate store out of space at chunk " +
                         std::to_string(meta.chunks.size()) + " of '" +
                         meta.name + "'");
@@ -1262,6 +1693,7 @@ Status Manager::Fallocate(sim::VirtualClock& clock, FileId id,
     meta.stripe_cursor = (meta.stripe_cursor + 1) % n;
     auto h = std::make_shared<ChunkHandle>(key);
     h->refcount = 1;
+    h->ec = meta.ec;
     if (wal_ != nullptr) {
       wal_placements.push_back(WalPlacement{
           key.index, key, replicas});
@@ -1299,8 +1731,8 @@ StatusOr<ReadLocation> Manager::GetReadLocation(sim::VirtualClock& clock,
                       " beyond EOF of '" + meta->name + "'");
   }
   const ChunkHandle& h = *meta->chunks[chunk_index];
-  return ReadLocation{h.key,
-                      *h.replicas.load(std::memory_order_acquire)};
+  return ReadLocation{h.key, *h.replicas.load(std::memory_order_acquire),
+                      h.ec};
 }
 
 StatusOr<std::vector<ReadLocation>> Manager::GetReadLocations(
@@ -1321,7 +1753,7 @@ StatusOr<std::vector<ReadLocation>> Manager::GetReadLocations(
   for (uint32_t i = 0; i < n; ++i) {
     const ChunkHandle& h = *chunks[first + i];
     locs.push_back(ReadLocation{
-        h.key, *h.replicas.load(std::memory_order_acquire)});
+        h.key, *h.replicas.load(std::memory_order_acquire), h.ec});
   }
   return locs;
 }
@@ -1361,6 +1793,7 @@ StatusOr<WriteLocation> Manager::PrepareWriteSlot(
     ++old_shard.inflight_writers[h.key];
     loc.key = h.key;
     loc.benefactors = *h.replicas.load(std::memory_order_acquire);
+    loc.ec = h.ec;
     return loc;
   }
 
@@ -1382,7 +1815,10 @@ StatusOr<WriteLocation> Manager::PrepareWriteSlot(
   // re-queues for repair.  Knob off: the inherited immutable snapshot is
   // reused verbatim.
   std::shared_ptr<const std::vector<int>> fresh_list = replicas;
-  if (config_.placement_avoid_suspected) {
+  if (config_.placement_avoid_suspected && !h.ec) {
+    // Replicated chunks only: an EC fragment map is positional, so the
+    // fresh version inherits it verbatim (a dead or suspected holder is
+    // the repair engine's business — dropping it would punch a hole).
     std::vector<int> keep;
     keep.reserve(replicas->size());
     for (int bid : *replicas) {
@@ -1399,12 +1835,15 @@ StatusOr<WriteLocation> Manager::PrepareWriteSlot(
       fresh_list = std::make_shared<const std::vector<int>>(std::move(keep));
     }
   }
+  const uint64_t member_bytes = ChunkResBytes(h.ec);
   size_t reserved = 0;
   for (int bid : *fresh_list) {
-    Status s = BenefactorAt(bid)->ReserveChunks(1);
+    Status s = bid < 0 ? OkStatus()  // EC hole: nothing to reserve
+                       : BenefactorAt(bid)->ReserveBytes(member_bytes);
     if (!s.ok()) {
       for (size_t r = 0; r < reserved; ++r) {
-        BenefactorAt((*fresh_list)[r])->ReleaseChunkReservation(1);
+        const int rb = (*fresh_list)[r];
+        if (rb >= 0) BenefactorAt(rb)->ReleaseBytes(member_bytes);
       }
       return s;
     }
@@ -1427,16 +1866,21 @@ StatusOr<WriteLocation> Manager::PrepareWriteSlot(
   auto nh = std::make_shared<ChunkHandle>(fresh_key);
   nh->refcount = 1;
   nh->repair_epoch = 1;  // the COW write targets the fresh version
+  nh->ec = h.ec;
   // The fresh version shares the (immutable) replica snapshot — or, when
   // the placement engine dropped holders, its filtered copy.
   nh->replicas.store(fresh_list, std::memory_order_release);
   fresh_shard.inflight_writers[fresh_key] = 1;  // fenced until write lands
   fresh_shard.chunks.emplace(fresh_key, nh);
 
-  loc.needs_clone = true;
+  // Erasure stripes are always rewritten whole (full-stripe writes), so
+  // the fresh version never merges over cloned bytes — and an uncompleted
+  // stripe rolls back at recovery instead of reading a cloned base.
+  loc.needs_clone = !h.ec;
   loc.clone_from = h.key;
   loc.key = fresh_key;
   loc.benefactors = *fresh_list;
+  loc.ec = h.ec;
   slot = std::move(nh);
   return loc;
 }

@@ -67,10 +67,14 @@ namespace nvm::store {
 
 class MaintenanceService;
 
-// Location info for reading one chunk.
+// Location info for reading one chunk.  For a replicated chunk
+// `benefactors` lists replicas primary-first; for an erasure-coded chunk
+// (`ec` set) it is the POSITIONAL fragment map — length k+m, entry i holds
+// fragment i's benefactor id, -1 for a missing fragment.
 struct ReadLocation {
   ChunkKey key;
-  std::vector<int> benefactors;  // replicas, primary first
+  std::vector<int> benefactors;  // replicas, primary first (EC: positional)
+  bool ec = false;
 };
 
 // One benefactor's slice of a batched read: the indices (into the caller's
@@ -86,8 +90,9 @@ struct BenefactorRun {
 // to CloneChunk(clone_from -> key) before writing.
 struct WriteLocation {
   ChunkKey key;
-  std::vector<int> benefactors;
+  std::vector<int> benefactors;  // EC: positional fragment map, -1 missing
   bool needs_clone = false;
+  bool ec = false;
   ChunkKey clone_from;
 };
 
@@ -170,6 +175,13 @@ class Manager {
     // while a verified one may exist.
     bool has_crc = false;
     uint32_t crc = 0;
+    // Erasure-coded chunk: `survivors` is the POSITIONAL fragment map
+    // (length k+m, -1 = missing), `targets[i]` is the reserved destination
+    // for fragment position `target_positions[i]`, and `frag_crcs` (when
+    // has_crc) snapshots the per-fragment authoritative checksums.
+    bool ec = false;
+    std::vector<uint32_t> target_positions;
+    std::vector<uint32_t> frag_crcs;
   };
   struct RepairOutcome {
     RepairPlan plan;
@@ -290,8 +302,23 @@ class Manager {
   // Test hook: the authoritative checksum recorded for `key`, if any.
   bool LookupChecksum(const ChunkKey& key, uint32_t* crc) const;
 
-  // Chunks that lost every replica to failures (cumulative).
+  // Chunks that lost every replica to failures (cumulative).  An
+  // erasure-coded chunk counts as lost when fewer than k fragments
+  // survive — below that no reconstruction exists.
   uint64_t lost_chunks() const { return lost_chunks_.value(); }
+
+  // --- erasure-coding accounting ---
+  // Reads served by k-of-(k+m) reconstruction instead of the plain data
+  // fragments (client-reported), fragments rebuilt by the repair engine,
+  // and parity bytes written by clients (the redundancy overhead the
+  // space/bandwidth reports attribute to EC).
+  uint64_t ec_degraded_reads() const { return ec_degraded_reads_.value(); }
+  uint64_t ec_fragments_repaired() const {
+    return ec_fragments_repaired_.value();
+  }
+  uint64_t ec_parity_bytes() const { return ec_parity_bytes_.value(); }
+  void NoteEcDegradedRead() { ec_degraded_reads_.Add(1); }
+  void NoteEcParityBytes(uint64_t bytes) { ec_parity_bytes_.Add(bytes); }
 
   // --- background maintenance hooks ---
   // AggregateStore attaches its MaintenanceService here; the manager
@@ -364,9 +391,12 @@ class Manager {
   // callers pass it only when at least one replica holds the data.  The
   // clock-taking overload logs the checksum transition (set OR erase) to
   // the WAL before publishing it; the clock-less one keeps legacy callers
-  // compiling and is identical when no WAL is attached.
+  // compiling and is identical when no WAL is attached.  For an
+  // erasure-coded chunk `frag_crcs` (k+m entries, positional) carries the
+  // per-fragment checksums that become authoritative alongside `crc`.
   void CompleteWrite(sim::VirtualClock& clock, const ChunkKey& key,
-                     const uint32_t* crc = nullptr);
+                     const uint32_t* crc = nullptr,
+                     std::span<const uint32_t> frag_crcs = {});
   void CompleteWrite(const ChunkKey& key, const uint32_t* crc = nullptr) {
     sim::VirtualClock wal_clock(0);
     CompleteWrite(wal_clock, key, crc);
@@ -452,6 +482,11 @@ class Manager {
     uint64_t repair_epoch = 0;   // bumped on write prepare AND completion
     bool has_crc = false;        // authoritative checksum recorded?
     uint32_t crc = 0;
+    // Erasure-coded chunk: the replica snapshot is the positional fragment
+    // map (length k+m, -1 = missing) and `frag_crcs` (when has_crc) holds
+    // the per-fragment authoritative checksums, parallel to it.
+    bool ec = false;
+    std::vector<uint32_t> frag_crcs;
     bool corrupt_pending = false;  // quarantined replica awaiting heal
     // Correlated-loss memory: benefactors whose replica of THIS chunk was
     // quarantined as corrupt or diverged during recovery.  The placement
@@ -478,8 +513,15 @@ class Manager {
     // Reserved targets of repair plans between PlanRepairs and
     // CommitRepair (duplicates possible when racing drivers plan the same
     // key).  The scrubber must not reap these as orphans: their chunk data
-    // exists on the benefactor before the replica list names it.
-    std::unordered_map<ChunkKey, std::vector<int>, ChunkKeyHash>
+    // exists on the benefactor before the replica list names it.  Each
+    // entry carries the bytes it reserved (a full chunk for a replica, one
+    // fragment for an EC target) — the entry can outlive the chunk handle
+    // (unlink racing a commit), so the undo cannot re-derive the amount.
+    struct RepairTarget {
+      int bid = -1;
+      uint64_t bytes = 0;
+    };
+    std::unordered_map<ChunkKey, std::vector<RepairTarget>, ChunkKeyHash>
         repair_targets;
     // Resume point of the incremental verification sweep within this
     // shard (nullopt: restart from the shard's lowest key).
@@ -496,6 +538,11 @@ class Manager {
     std::vector<std::shared_ptr<ChunkHandle>> chunks;
     // Next benefactor (registry index) for striping continuation.
     size_t stripe_cursor = 0;
+    // Redundancy mode, fixed at the file's first Fallocate from the
+    // store-wide config (journaled as a kRedundancy record when erasure):
+    // a file never mixes replicated and erasure-coded chunks.
+    bool ec = false;
+    bool redundancy_decided = false;
   };
 
   size_t shard_of(const ChunkKey& key) const {
@@ -548,14 +595,23 @@ class Manager {
   std::vector<PlacementCandidate> BuildPlacementCandidates(
       const std::vector<Benefactor*>& bens,
       const std::vector<char>* suspected) const;
+  // Bytes one member of `key`'s location list reserves on its benefactor:
+  // a full chunk for a replica, one fragment for an erasure-coded chunk.
+  uint64_t ChunkResBytes(bool ec) const {
+    return ec ? config_.ec_frag_bytes() : config_.chunk_bytes;
+  }
   // Drop a reserved (and possibly partially written) repair target of an
-  // abandoned plan (shard mu held).  If a racing repair already committed
-  // `bid` into the chunk's replica list, only this plan's duplicate
-  // reservation is released — the data now belongs to the published list.
-  void UndoRepairTargetLocked(MetaShard& shard, const ChunkKey& key, int bid);
+  // abandoned plan (shard mu held).  `bytes` is the amount the plan
+  // reserved on `bid` (chunk or fragment).  If a racing repair already
+  // committed `bid` into the chunk's replica list, only this plan's
+  // duplicate reservation is released — the data now belongs to the
+  // published list.
+  void UndoRepairTargetLocked(MetaShard& shard, const ChunkKey& key, int bid,
+                              uint64_t bytes);
   // Shard-mutex-held core of CompleteWrite.
   void CompleteWriteLocked(MetaShard& shard, const ChunkKey& key,
-                           const uint32_t* crc = nullptr);
+                           const uint32_t* crc = nullptr,
+                           std::span<const uint32_t> frag_crcs = {});
   // True when (key, bid) is a reserved target of a repair plan whose
   // commit has not run yet (shard mu held).
   bool IsRepairTargetLocked(const MetaShard& shard, const ChunkKey& key,
@@ -628,6 +684,9 @@ class Manager {
   Counter lost_chunks_;
   Counter corrupt_detected_;
   Counter corrupt_repaired_;
+  Counter ec_degraded_reads_;
+  Counter ec_fragments_repaired_;
+  Counter ec_parity_bytes_;
   // Guards the maintenance hook pointer: signal forwarding holds it
   // shared, attach/detach exclusive — so ~MaintenanceService's detach
   // waits out any client thread already inside a hook call.

@@ -23,6 +23,11 @@ int64_t WearBand(double wear, double weight) {
 bool Eligible(const PlacementCandidate& c, const PlacementRequest& req) {
   if (!c.alive || c.excluded) return false;
   if (req.exclude_suspected && c.suspected) return false;
+  if (req.exclude_nodes != nullptr && c.node >= 0 &&
+      std::find(req.exclude_nodes->begin(), req.exclude_nodes->end(),
+                c.node) != req.exclude_nodes->end()) {
+    return false;
+  }
   return true;
 }
 

@@ -70,6 +70,15 @@ struct PlacementRequest {
   // Wear bias: candidates rank by floor(wear * weight * 16) ascending
   // before the base order.  0 disables (no wear is even read).
   double wear_weight = 0.0;
+  // Per-call failure-domain anti-affinity: candidates whose `node`
+  // appears in this set are ineligible for THIS request.  Erasure-coded
+  // stripes use it to demand k+m distinct failure domains (no two
+  // fragments of one stripe behind the same node), and fragment repair
+  // uses it to keep replacement fragments off the survivors' nodes.
+  // Candidates with an unknown node (node < 0) are never excluded this
+  // way.  nullptr (the default) disables the filter — knob-off ranking
+  // is unchanged.
+  const std::vector<int>* exclude_nodes = nullptr;
 };
 
 // Ranked benefactor ids: every candidate that is alive, not

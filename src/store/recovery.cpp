@@ -62,6 +62,8 @@ std::string Manager::EncodeCheckpointLocked() const {
     wire::PutString(out, meta.name);
     wire::PutU64(out, meta.size);
     wire::PutU64(out, static_cast<uint64_t>(meta.stripe_cursor));
+    // Redundancy mode: 0 = undecided, 1 = replicate, 2 = erasure.
+    wire::PutU8(out, !meta.redundancy_decided ? 0 : (meta.ec ? 2 : 1));
     wire::PutU32(out, static_cast<uint32_t>(meta.chunks.size()));
     // Slots serialise as keys only: decode re-wires them to the single
     // handle per key below (and recomputes refcounts from the wiring).
@@ -83,6 +85,9 @@ std::string Manager::EncodeCheckpointLocked() const {
     wire::PutKey(out, h->key);
     wire::PutU8(out, h->has_crc ? 1 : 0);
     wire::PutU32(out, h->crc);
+    wire::PutU8(out, h->ec ? 1 : 0);
+    wire::PutU32(out, static_cast<uint32_t>(h->frag_crcs.size()));
+    for (uint32_t crc : h->frag_crcs) wire::PutU32(out, crc);
     wire::PutReplicas(out, *h->replicas.load(std::memory_order_acquire));
   }
   return out;
@@ -147,6 +152,10 @@ bool Manager::DecodeCheckpoint(const std::string& blob) {
     pf.meta->name = r.Str();
     pf.meta->size = r.U64();
     pf.meta->stripe_cursor = static_cast<size_t>(r.U64());
+    const uint8_t mode = r.U8();
+    if (mode > 2) return false;
+    pf.meta->redundancy_decided = mode != 0;
+    pf.meta->ec = mode == 2;
     const uint32_t nslots = r.U32();
     if (!r.ok || nslots > r.n) return false;  // each slot is >= 1 byte
     pf.slots.reserve(nslots);
@@ -160,11 +169,19 @@ bool Manager::DecodeCheckpoint(const std::string& blob) {
     const ChunkKey key = r.Key();
     const bool has_crc = r.U8() != 0;
     const uint32_t crc = r.U32();
+    const bool ec = r.U8() != 0;
+    const uint32_t nfrag = r.U32();
+    if (!r.ok || nfrag > r.n) return false;
+    std::vector<uint32_t> frag_crcs;
+    frag_crcs.reserve(nfrag);
+    for (uint32_t fc = 0; fc < nfrag && r.ok; ++fc) frag_crcs.push_back(r.U32());
     std::vector<int> replicas = r.Replicas();
     if (!r.ok) break;
     auto h = std::make_shared<ChunkHandle>(key);
     h->has_crc = has_crc;
     h->crc = crc;
+    h->ec = ec;
+    h->frag_crcs = std::move(frag_crcs);
     PublishReplicasLocked(*h, std::move(replicas));
     if (!shards_[shard_of(key)].chunks.emplace(key, std::move(h)).second) {
       return false;  // duplicate key: malformed
@@ -215,6 +232,7 @@ void Manager::ApplyWalRecord(const WalRecord& rec) {
       for (const WalPlacement& p : rec.placements) {
         auto h = std::make_shared<ChunkHandle>(p.key);
         h->refcount = 1;
+        h->ec = meta.ec;
         PublishReplicasLocked(*h, p.replicas);
         shards_[shard_of(p.key)].chunks.emplace(p.key, h);
         meta.chunks.push_back(std::move(h));
@@ -230,6 +248,7 @@ void Manager::ApplyWalRecord(const WalRecord& rec) {
       if (rec.slot >= meta.chunks.size()) break;
       auto h = std::make_shared<ChunkHandle>(rec.key);
       h->refcount = 1;  // recomputed wholesale in reconciliation anyway
+      h->ec = meta.ec;
       PublishReplicasLocked(*h, rec.replicas);
       shards_[shard_of(rec.key)].chunks.emplace(rec.key, h);
       meta.chunks[rec.slot] = std::move(h);
@@ -242,7 +261,20 @@ void Manager::ApplyWalRecord(const WalRecord& rec) {
         if (it == shard.chunks.end()) continue;
         it->second->has_crc = c.has_crc;
         it->second->crc = c.crc;
+        if (c.has_crc) {
+          it->second->frag_crcs = c.frag_crcs;
+        } else {
+          it->second->frag_crcs.clear();
+        }
       }
+      break;
+    }
+    case WalRecordType::kRedundancy: {
+      auto fit = files_.find(rec.file_id);
+      if (fit == files_.end()) break;
+      fit->second->redundancy_decided = true;
+      fit->second->ec =
+          rec.mode == static_cast<uint8_t>(RedundancyMode::kErasure);
       break;
     }
     case WalRecordType::kReplicas: {
@@ -328,9 +360,13 @@ void Manager::ReconcileWithBenefactors(sim::VirtualClock& clock,
   }
 
   uint32_t zero_crc = 0;
+  uint32_t zero_frag_crc = 0;
   {
     const std::vector<uint8_t> zeros(config_.chunk_bytes, 0);
     zero_crc = Crc32c(zeros.data(), zeros.size());
+    if (config_.ec()) {
+      zero_frag_crc = Crc32c(zeros.data(), config_.ec_frag_bytes());
+    }
   }
 
   // Per-chunk reconciliation, keys sorted so the decision sequence (and
@@ -345,6 +381,28 @@ void Manager::ReconcileWithBenefactors(sim::VirtualClock& clock,
     PublishReplicasLocked(h, {});
     lost_chunks_.Add(1);
     ++report->chunks_lost;
+  };
+
+  // Roll a COW-pending slot back to the previous version — the chunk reads
+  // its old bytes, never zeros.  A missing previous handle means the swap's
+  // record survived but its predecessor's history did not (checkpointed
+  // away after an unlink raced in) — then the truth is loss.
+  auto rollback_cow = [&](const ChunkKey& key, ChunkHandle& h,
+                          MetaShard& shard) {
+    ChunkKey prev = key;
+    --prev.version;
+    MetaShard& pshard = shards_[shard_of(prev)];
+    auto pit = pshard.chunks.find(prev);
+    if (pit != pshard.chunks.end()) {
+      for (const SlotRef& ref : slot_refs[key]) {
+        files_.at(ref.file)->chunks[ref.slot] = pit->second;
+        ++pit->second->refcount;
+      }
+      shard.chunks.erase(key);
+      ++report->cow_rolled_back;
+    } else {
+      mark_lost(h);
+    }
   };
 
   for (const ChunkKey& key : keys) {
@@ -396,28 +454,107 @@ void Manager::ReconcileWithBenefactors(sim::VirtualClock& clock,
     if (!h.has_crc && !any_data) {
       if (key.version > 0) {
         // COW-pending: the durable slot points at a fresh version whose
-        // data (clone or write) never landed anywhere.  Roll the slot
-        // back to the previous version — the chunk reads its old bytes,
-        // never zeros.  A missing previous handle means the swap's record
-        // survived but its predecessor's history did not (checkpointed
-        // away after an unlink raced in) — then the truth is loss.
-        ChunkKey prev = key;
-        --prev.version;
-        MetaShard& pshard = shards_[shard_of(prev)];
-        auto pit = pshard.chunks.find(prev);
-        if (pit != pshard.chunks.end()) {
-          for (const SlotRef& ref : slot_refs[key]) {
-            files_.at(ref.file)->chunks[ref.slot] = pit->second;
-            ++pit->second->refcount;
-          }
-          shard.chunks.erase(key);
-          ++report->cow_rolled_back;
-        } else {
-          mark_lost(h);
-        }
+        // data (clone or write) never landed anywhere.
+        rollback_cow(key, h, shard);
         continue;
       }
       // Never-written v0 chunk: sparse everywhere is its normal state.
+      continue;
+    }
+
+    if (h.ec) {
+      if (!h.has_crc) {
+        // An erasure stripe commits at its completion record: unlike a
+        // replica, one fragment cannot certify the full image, and the
+        // fragments of a torn stripe can straddle write generations —
+        // assembling them would splice bytes.  Roll the slot back to the
+        // previous version; a torn v0 stripe deletes what landed and
+        // reads as the zeros the uncompleted write left behind.  (With
+        // the integrity knobs off a completed stripe is also crc-less —
+        // then nothing is decidable and the stripe stands.)
+        if (!config_.integrity()) continue;
+        if (key.version > 0) {
+          rollback_cow(key, h, shard);
+        } else {
+          for (const Member& m : members) {
+            if (m.stored) {
+              (void)bens[static_cast<size_t>(m.bid)]->DeleteChunk(key);
+            }
+          }
+        }
+        continue;
+      }
+      // Erasure stripes reconcile per fragment: every position carries its
+      // own write-time checksum, so the full-image adoption logic below
+      // does not apply.  A completion without positional checksums only
+      // occurs with the integrity knobs off — nothing decidable then.
+      if (h.frag_crcs.size() != list.size()) continue;
+      // In-place rewrite completed on the benefactors, completion record
+      // died with the crash: every position stores a fragment and NONE of
+      // the write-time checksums matches the durable stripe (a full-stripe
+      // rewrite replaces all k+m fragments).  The new generation is
+      // complete — adopt it, exactly as the replicated path adopts the
+      // agreed data-holder checksum; the full-image authority combines
+      // from the k data fragments' checksums.  Any position still on the
+      // old generation (or sparse) falls through to the per-fragment sift:
+      // the durable checksums stay authoritative and the partial rewrite
+      // is destroyed, never spliced.
+      {
+        bool all_stored_new = !members.empty();
+        for (size_t pos = 0; pos < members.size(); ++pos) {
+          const Member& m = members[pos];
+          if (!m.stored || !m.has_crc || m.crc == h.frag_crcs[pos]) {
+            all_stored_new = false;
+            break;
+          }
+        }
+        if (all_stored_new) {
+          std::vector<uint32_t> fresh;
+          fresh.reserve(members.size());
+          for (const Member& m : members) fresh.push_back(m.crc);
+          uint32_t image = 0;
+          for (uint32_t c = 0; c < config_.ec_k; ++c) {
+            image = Crc32cCombine(image, fresh[c], config_.ec_frag_bytes());
+          }
+          h.frag_crcs = std::move(fresh);
+          h.crc = image;
+          ++report->crc_adopted;
+          continue;
+        }
+      }
+      std::vector<int> keep = list;
+      size_t live = 0;
+      bool changed = false;
+      for (size_t pos = 0; pos < members.size(); ++pos) {
+        const Member& m = members[pos];
+        bool ok;
+        if (m.stored) {
+          ok = m.has_crc ? m.crc == h.frag_crcs[pos] : true;
+        } else {
+          ok = h.frag_crcs[pos] == zero_frag_crc;  // sparse reads as zeros
+        }
+        if (ok) {
+          ++live;
+          continue;
+        }
+        if (m.stored) {
+          // Wrong-generation fragment: destroy it and punch a hole at its
+          // position so repair re-encodes it from verified survivors.
+          (void)bens[static_cast<size_t>(m.bid)]->DeleteChunk(key);
+          if (std::find(h.tainted.begin(), h.tainted.end(), m.bid) ==
+              h.tainted.end()) {
+            h.tainted.push_back(m.bid);
+          }
+        }
+        keep[pos] = -1;
+        changed = true;
+        ++report->replicas_dropped;
+      }
+      if (live < static_cast<size_t>(config_.ec_k)) {
+        mark_lost(h);  // below k survivors: not reconstructible
+      } else if (changed) {
+        PublishReplicasLocked(h, std::move(keep));
+      }
       continue;
     }
 
@@ -536,27 +673,28 @@ void Manager::ReconcileWithBenefactors(sim::VirtualClock& clock,
   }
 
   // Reservations are not logged: set each alive benefactor to the exact
-  // count of chunk slots the reconciled metadata places on it.  (Dead
-  // benefactors keep their accounting untouched, like the scrubber.)
+  // byte footprint the reconciled metadata places on it — a full chunk per
+  // replica, a fragment per erasure-stripe member.  (Dead benefactors keep
+  // their accounting untouched, like the scrubber.)
   std::vector<uint64_t> expected(bens.size(), 0);
   for (const MetaShard& shard : shards_) {
     for (const auto& [key, h] : shard.chunks) {
       auto l = h->replicas.load(std::memory_order_acquire);
       for (int bid : *l) {
         if (bid >= 0 && static_cast<size_t>(bid) < bens.size()) {
-          ++expected[static_cast<size_t>(bid)];
+          expected[static_cast<size_t>(bid)] += ChunkResBytes(h->ec);
         }
       }
     }
   }
   for (size_t i = 0; i < bens.size(); ++i) {
     if (alive[i] == 0) continue;
-    const uint64_t reserved = bens[i]->bytes_used() / config_.chunk_bytes;
+    const uint64_t reserved = bens[i]->bytes_used();
     if (reserved > expected[i]) {
-      bens[i]->ReleaseChunkReservation(reserved - expected[i]);
+      bens[i]->ReleaseBytes(reserved - expected[i]);
       ++report->reservation_fixes;
     } else if (reserved < expected[i]) {
-      (void)bens[i]->ReserveChunks(expected[i] - reserved);
+      (void)bens[i]->ReserveBytes(expected[i] - reserved);
       ++report->reservation_fixes;
     }
   }

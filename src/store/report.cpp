@@ -51,6 +51,18 @@ std::string StatusReport(AggregateStore& store,
                   static_cast<unsigned long long>(store.manager().lost_chunks()));
     out += line;
   }
+  if (store.manager().config().ec()) {
+    const Manager& mgr = store.manager();
+    std::snprintf(
+        line, sizeof(line),
+        "ec: RS(%u,%u), %llu degraded reads, %llu fragments repaired, "
+        "%s parity written\n",
+        mgr.config().ec_k, mgr.config().ec_m,
+        static_cast<unsigned long long>(mgr.ec_degraded_reads()),
+        static_cast<unsigned long long>(mgr.ec_fragments_repaired()),
+        FormatBytes(mgr.ec_parity_bytes()).c_str());
+    out += line;
+  }
   if (store.manager().corrupt_detected() > 0) {
     std::snprintf(
         line, sizeof(line),

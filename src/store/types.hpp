@@ -103,6 +103,15 @@ enum class StripePolicy : uint8_t {
   kCapacityBalanced,  // always the emptiest alive benefactor
 };
 
+// How a file's chunks are protected against benefactor loss.  The mode is
+// decided per file at Fallocate time from StoreConfig::redundancy and
+// journaled through the WAL, so a store can mix replicated and
+// erasure-coded files across a config change.
+enum class RedundancyMode : uint8_t {
+  kReplicate = 0,  // `replication` full copies per chunk
+  kErasure = 1,    // RS(ec_k, ec_m) fragments, chunk_bytes/ec_k each
+};
+
 struct StoreConfig {
   uint64_t chunk_bytes = 256_KiB;  // paper default stripe unit
   uint64_t page_bytes = 4_KiB;     // OS page / flash page
@@ -221,6 +230,36 @@ struct StoreConfig {
   // entirely; larger weights split the wear spectrum into finer bands
   // that override capacity/rotation order sooner.
   double placement_wear_weight = 0.0;
+
+  // --- erasure-coded redundancy (store/erasure.hpp) ---
+  // Redundancy mode for files allocated from now on.  kErasure stripes
+  // every chunk into ec_k data + ec_m parity fragments of
+  // chunk_bytes/ec_k bytes each (RS over GF(2^8)), placed on k+m distinct
+  // benefactors (hard failure-domain spreading).  Any k surviving
+  // fragments reconstruct the chunk byte-exactly: reads degrade through
+  // parity instead of failing, and repair re-encodes lost fragments from
+  // k verified survivors.  Space and write-bandwidth overhead is
+  // (k+m)/k× (1.5× at the 4+2 default) versus replication's `replication`×.
+  // With ec_m = 0 (default) or redundancy = kReplicate the erasure paths
+  // are dormant and the store is byte- and virtual-time-identical to the
+  // replication-only implementation.
+  RedundancyMode redundancy = RedundancyMode::kReplicate;
+  uint32_t ec_k = 4;  // data fragments per stripe
+  uint32_t ec_m = 0;  // parity fragments per stripe (0 = EC off)
+  // Modelled CPU throughput of the RS encode/decode matrix arithmetic, in
+  // GB/s: every encoded or reconstructed byte charges 1/bw ns to the
+  // computing side's clock.
+  double ec_encode_bw_gbps = 2.0;
+
+  // True when newly allocated files are erasure-coded.
+  bool ec() const { return redundancy == RedundancyMode::kErasure && ec_m > 0; }
+  uint32_t ec_fragments() const { return ec_k + ec_m; }
+  uint64_t ec_frag_bytes() const { return chunk_bytes / ec_k; }
+  int64_t ec_encode_ns(uint64_t bytes) const {
+    // 1 GB/s == 1 byte/ns, so bytes / GBps is already ns.
+    return static_cast<int64_t>(static_cast<double>(bytes) /
+                                ec_encode_bw_gbps);
+  }
 
   // True when any placement-engine signal beyond capacity is active.
   bool placement_aware() const {

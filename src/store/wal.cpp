@@ -45,6 +45,8 @@ std::string EncodePayload(const WalRecord& rec) {
         wire::PutKey(out, c.key);
         wire::PutU8(out, c.has_crc ? 1 : 0);
         wire::PutU32(out, c.crc);
+        wire::PutU32(out, static_cast<uint32_t>(c.frag_crcs.size()));
+        for (uint32_t fc : c.frag_crcs) wire::PutU32(out, fc);
       }
       break;
     case WalRecordType::kReplicas:
@@ -58,6 +60,10 @@ std::string EncodePayload(const WalRecord& rec) {
       wire::PutU64(out, rec.file_id);
       wire::PutU64(out, rec.src_file);
       break;
+    case WalRecordType::kRedundancy:
+      wire::PutU64(out, rec.file_id);
+      wire::PutU8(out, rec.mode);
+      break;
   }
   return out;
 }
@@ -67,7 +73,7 @@ bool DecodePayload(const char* data, size_t n, WalRecord* rec) {
   rec->seq = r.U64();
   const uint8_t type = r.U8();
   if (type < static_cast<uint8_t>(WalRecordType::kCreateFile) ||
-      type > static_cast<uint8_t>(WalRecordType::kLink)) {
+      type > static_cast<uint8_t>(WalRecordType::kRedundancy)) {
     return false;
   }
   rec->type = static_cast<WalRecordType>(type);
@@ -104,6 +110,10 @@ bool DecodePayload(const char* data, size_t n, WalRecord* rec) {
         c.key = r.Key();
         c.has_crc = r.U8() != 0;
         c.crc = r.U32();
+        const uint32_t nfrag = r.U32();
+        if (!r.ok || nfrag > r.n) return false;
+        c.frag_crcs.resize(nfrag);
+        for (uint32_t& fc : c.frag_crcs) fc = r.U32();
       }
       break;
     }
@@ -117,6 +127,10 @@ bool DecodePayload(const char* data, size_t n, WalRecord* rec) {
     case WalRecordType::kLink:
       rec->file_id = r.U64();
       rec->src_file = r.U64();
+      break;
+    case WalRecordType::kRedundancy:
+      rec->file_id = r.U64();
+      rec->mode = r.U8();
       break;
   }
   return r.ok;

@@ -152,6 +152,8 @@ enum class WalRecordType : uint8_t {
                     // dead-strip / decommission / lost (empty list)
   kUnlink = 6,      // file_id
   kLink = 7,        // checkpoint linking: file_id (dst) takes src_file's refs
+  kRedundancy = 8,  // file_id, RedundancyMode decided at first Fallocate —
+                    // cold-start recovery needs it to rebuild fragment maps
 };
 
 struct WalPlacement {
@@ -164,6 +166,10 @@ struct WalCompletion {
   ChunkKey key;
   bool has_crc = false;  // false: the completion ERASED the authoritative crc
   uint32_t crc = 0;
+  // Erasure-coded chunks: per-fragment CRC32Cs (k+m entries, positional);
+  // empty for replicated chunks.  Repair and scrub verify individual
+  // fragments against these, so they are journaled with the completion.
+  std::vector<uint32_t> frag_crcs;
 };
 
 struct WalRecord {
@@ -179,6 +185,7 @@ struct WalRecord {
   std::vector<int> replicas;              // kCowSwap / kReplicas
   std::vector<WalPlacement> placements;   // kExtend
   std::vector<WalCompletion> completions; // kComplete
+  uint8_t mode = 0;                       // kRedundancy: RedundancyMode
 };
 
 // Named crash points of the crash-schedule harness: the manager calls

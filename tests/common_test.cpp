@@ -311,6 +311,33 @@ TEST(Crc32cTest, MatchesBitwiseReferenceOnRandomBuffers) {
   }
 }
 
+TEST(Crc32cTest, CombineMatchesWholeBufferAtEverySplit) {
+  // Crc32cCombine(crc(a), crc(b), |b|) == crc(ab) with no access to the
+  // bytes — the identity that lets a full-image checksum be derived from
+  // per-fragment ones.  Checked at every split (both halves empty too)
+  // and chained across many pieces.
+  Xoshiro256 rng(41);
+  std::vector<uint8_t> buf(509);
+  for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+  const uint32_t whole = Crc32c(buf.data(), buf.size());
+  for (size_t split = 0; split <= buf.size(); split += 7) {
+    const uint32_t head = Crc32c(buf.data(), split);
+    const uint32_t tail = Crc32c(buf.data() + split, buf.size() - split);
+    EXPECT_EQ(Crc32cCombine(head, tail, buf.size() - split), whole)
+        << "split at " << split;
+  }
+  EXPECT_EQ(Crc32cCombine(whole, Crc32c(nullptr, 0), 0), whole);
+  // Fragment-chain shape: k equal pieces folded left to right.
+  const size_t frag = 64;
+  std::vector<uint8_t> chunk(4 * frag);
+  for (auto& b : chunk) b = static_cast<uint8_t>(rng.Next());
+  uint32_t image = 0;
+  for (size_t f = 0; f < 4; ++f) {
+    image = Crc32cCombine(image, Crc32c(chunk.data() + f * frag, frag), frag);
+  }
+  EXPECT_EQ(image, Crc32c(chunk.data(), chunk.size()));
+}
+
 TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
   std::vector<uint8_t> buf(4096, 0xA5);
   const uint32_t clean = Crc32c(buf.data(), buf.size());

@@ -1,0 +1,456 @@
+// Erasure-coded redundancy: GF(2^8)/RS known-answer vectors, the
+// encode -> drop-any-m -> reconstruct byte-exactness guarantee, the
+// client degraded-read failover, background fragment repair from verified
+// survivors, corrupt-fragment quarantine (rot surfaces as a repair, never
+// as wrong bytes), and the knob-off pin: a store with the erasure knobs
+// present but the mode off stays byte- and virtual-time-identical to the
+// replicated default.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "common/rng.hpp"
+#include "sim/clock.hpp"
+#include "store/erasure.hpp"
+#include "store/store.hpp"
+
+namespace nvm {
+namespace {
+
+using store::ErasureCodec;
+
+constexpr uint64_t kChunk = 64_KiB;
+constexpr int64_t kMs = 1'000'000;  // virtual ns per millisecond
+
+// ---- GF(2^8) known answers ----
+
+TEST(Gf256Test, KnownAnswerVectors) {
+  // alpha^8 reduces through the primitive polynomial 0x11D: 0x80 * 2 = 0x1D.
+  EXPECT_EQ(store::gf256::Mul(0x80, 0x02), 0x1D);
+  // Hand-checked products (carry-less multiply mod 0x11D).
+  EXPECT_EQ(store::gf256::Mul(0x02, 0x02), 0x04);
+  EXPECT_EQ(store::gf256::Mul(0x53, 0xCA), 0x8F);
+  EXPECT_EQ(store::gf256::Mul(0x0E, 0x0E), 0x54);  // squaring is carry-less
+  // Identity and absorbing elements.
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(store::gf256::Mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(store::gf256::Mul(static_cast<uint8_t>(a), 0), 0);
+  }
+  // Exp/Log are inverse bijections and alpha^255 = 1.
+  EXPECT_EQ(store::gf256::Exp(0), 1);
+  EXPECT_EQ(store::gf256::Exp(255), 1);
+  EXPECT_EQ(store::gf256::Log(2), 1u);
+  for (unsigned a = 1; a < 256; ++a) {
+    EXPECT_EQ(store::gf256::Exp(store::gf256::Log(static_cast<uint8_t>(a))),
+              a);
+  }
+}
+
+TEST(Gf256Test, MulDivInvIdentities) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.Next());
+    const uint8_t b = static_cast<uint8_t>(rng.Next() | 1);  // non-zero
+    EXPECT_EQ(store::gf256::Div(store::gf256::Mul(a, b), b), a);
+    EXPECT_EQ(store::gf256::Mul(b, store::gf256::Inv(b)), 1);
+    // Commutativity and distributivity over XOR (field addition).
+    const uint8_t c = static_cast<uint8_t>(rng.Next());
+    EXPECT_EQ(store::gf256::Mul(a, b), store::gf256::Mul(b, a));
+    EXPECT_EQ(store::gf256::Mul(a, b ^ c),
+              store::gf256::Mul(a, b) ^ store::gf256::Mul(a, c));
+  }
+}
+
+// ---- RS codec ----
+
+std::vector<uint8_t> Pattern(uint64_t n, uint64_t seed) {
+  std::vector<uint8_t> v(n);
+  Xoshiro256 rng(seed);
+  for (auto& b : v) b = static_cast<uint8_t>(rng.Next());
+  return v;
+}
+
+TEST(ErasureCodecTest, ParityMatchesNaiveReference) {
+  // Independent reference: parity row r is sum_c C[r][c] * data[c], with
+  // the coefficients read back through ParityCoeff and the field ops used
+  // one byte at a time.
+  const uint32_t k = 4, m = 2;
+  ErasureCodec codec(k, m);
+  const auto chunk = Pattern(k * 64, 11);
+  const auto frags = codec.Encode(chunk);
+  ASSERT_EQ(frags.size(), k + m);
+  for (uint32_t r = 0; r < m; ++r) {
+    for (size_t byte = 0; byte < 64; ++byte) {
+      uint8_t want = 0;
+      for (uint32_t c = 0; c < k; ++c) {
+        want = static_cast<uint8_t>(
+            want ^ store::gf256::Mul(codec.ParityCoeff(r, c),
+                                     chunk[c * 64 + byte]));
+      }
+      ASSERT_EQ(frags[k + r][byte], want) << "row " << r << " byte " << byte;
+    }
+  }
+  // Systematic: data fragments are contiguous slices of the chunk.
+  for (uint32_t c = 0; c < k; ++c) {
+    EXPECT_EQ(0, std::memcmp(frags[c].data(), chunk.data() + c * 64, 64));
+  }
+}
+
+TEST(ErasureCodecTest, AnyTwoLossesReconstructByteExact) {
+  // RS(4,2): all C(6,2) = 15 double-loss patterns must reconstruct the
+  // chunk byte-exactly (the MDS property of the Cauchy construction).
+  const uint32_t k = 4, m = 2;
+  ErasureCodec codec(k, m);
+  const auto chunk = Pattern(k * 512, 12);
+  const auto encoded = codec.Encode(chunk);
+  std::vector<uint8_t> out(chunk.size());
+  for (uint32_t a = 0; a < k + m; ++a) {
+    for (uint32_t b = a + 1; b < k + m; ++b) {
+      auto frags = encoded;
+      frags[a].clear();
+      frags[b].clear();
+      ASSERT_TRUE(codec.Reconstruct(frags)) << a << "," << b;
+      for (uint32_t f = 0; f < k + m; ++f) {
+        ASSERT_EQ(frags[f], encoded[f]) << "loss " << a << "," << b
+                                        << " fragment " << f;
+      }
+      ErasureCodec::Assemble(frags, k, out);
+      ASSERT_EQ(0, std::memcmp(out.data(), chunk.data(), chunk.size()))
+          << "loss " << a << "," << b;
+    }
+  }
+  // m+1 losses are unrecoverable and must say so, not fabricate bytes.
+  auto frags = encoded;
+  frags[0].clear();
+  frags[2].clear();
+  frags[5].clear();
+  EXPECT_FALSE(codec.Reconstruct(frags));
+}
+
+TEST(ErasureCodecTest, WideGeometryRoundTrips) {
+  // A non-RAID shape exercises the general Cauchy solve.
+  const uint32_t k = 10, m = 4;
+  ErasureCodec codec(k, m);
+  const auto chunk = Pattern(k * 128, 13);
+  auto frags = codec.Encode(chunk);
+  // Drop m scattered fragments, parity and data mixed.
+  frags[1].clear();
+  frags[7].clear();
+  frags[10].clear();
+  frags[13].clear();
+  ASSERT_TRUE(codec.Reconstruct(frags));
+  std::vector<uint8_t> out(chunk.size());
+  ErasureCodec::Assemble(frags, k, out);
+  EXPECT_EQ(0, std::memcmp(out.data(), chunk.data(), chunk.size()));
+}
+
+// ---- store rig ----
+
+// RS(4,2) needs six distinct failure domains: one benefactor per node.
+struct Rig {
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<store::AggregateStore> store;
+
+  explicit Rig(int benefactors,
+               std::function<void(store::StoreConfig&)> tweak = {}) {
+    net::ClusterConfig cc;
+    cc.num_nodes = benefactors + 1;
+    cluster = std::make_unique<net::Cluster>(cc);
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.replication = 1;
+    sc.store.redundancy = store::RedundancyMode::kErasure;
+    sc.store.ec_k = 4;
+    sc.store.ec_m = 2;
+    sc.store.maintenance = true;
+    sc.store.heartbeat_period_ms = 1;
+    sc.store.heartbeat_misses = 3;
+    sc.store.scrub_period_ms = 20;
+    if (tweak) tweak(sc.store);
+    for (int b = 0; b < benefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = 1;
+    store = std::make_unique<store::AggregateStore>(*cluster, sc);
+    sim::CurrentClock().Reset();
+  }
+
+  store::MaintenanceService& ms() { return *store->maintenance(); }
+};
+
+store::FileId WriteStoreFile(store::StoreClient& c, const std::string& name,
+                             uint32_t chunks, const std::vector<uint8_t>& data,
+                             sim::VirtualClock& clock) {
+  auto id = c.Create(clock, name);
+  EXPECT_TRUE(id.ok());
+  EXPECT_TRUE(c.Fallocate(clock, *id, chunks * kChunk).ok());
+  Bitmap all(kChunk / c.config().page_bytes);
+  all.SetAll();
+  for (uint32_t i = 0; i < chunks; ++i) {
+    EXPECT_TRUE(
+        c.WriteChunkPages(clock, *id, i, all,
+                          {data.data() + i * kChunk, kChunk})
+            .ok());
+  }
+  return *id;
+}
+
+void ExpectBytes(store::StoreClient& c, sim::VirtualClock& clock,
+                 store::FileId id, uint32_t chunks,
+                 const std::vector<uint8_t>& want) {
+  std::vector<uint8_t> buf(kChunk);
+  for (uint32_t i = 0; i < chunks; ++i) {
+    ASSERT_TRUE(c.ReadChunk(clock, id, i, buf).ok()) << "chunk " << i;
+    ASSERT_EQ(0, std::memcmp(buf.data(), want.data() + i * kChunk, kChunk))
+        << "chunk " << i;
+  }
+}
+
+// Every chunk carries a full positional fragment map: k+m entries, no
+// holes, all distinct, all on alive benefactors.
+void ExpectFullStripes(Rig& rig, store::FileId id, uint32_t chunks) {
+  sim::VirtualClock clock(0);
+  const auto& cfg = rig.store->manager().config();
+  auto locs = rig.store->manager().GetReadLocations(clock, id, 0, chunks);
+  ASSERT_TRUE(locs.ok());
+  for (uint32_t i = 0; i < chunks; ++i) {
+    const store::ReadLocation& loc = (*locs)[i];
+    ASSERT_TRUE(loc.ec) << "chunk " << i;
+    ASSERT_EQ(loc.benefactors.size(), cfg.ec_fragments()) << "chunk " << i;
+    std::set<int> distinct;
+    for (int b : loc.benefactors) {
+      ASSERT_GE(b, 0) << "chunk " << i << " has a hole";
+      EXPECT_TRUE(rig.store->benefactor(static_cast<size_t>(b)).alive())
+          << "chunk " << i << " fragment on dead benefactor " << b;
+      distinct.insert(b);
+    }
+    EXPECT_EQ(distinct.size(), loc.benefactors.size())
+        << "chunk " << i << " co-locates fragments";
+  }
+}
+
+// ---- degraded reads ----
+
+TEST(ErasureStoreTest, WriteThenReadRoundTripsIntact) {
+  Rig rig(6);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  sim::VirtualClock clock(0);
+  constexpr uint32_t kChunks = 8;
+  const auto data = Pattern(kChunks * kChunk, 21);
+  const store::FileId id = WriteStoreFile(c, "/ec", kChunks, data, clock);
+  ExpectFullStripes(rig, id, kChunks);
+  ExpectBytes(c, clock, id, kChunks, data);
+  // The intact fast path never reconstructs.
+  EXPECT_EQ(c.ec_degraded_reads(), 0u);
+  EXPECT_EQ(rig.store->manager().ec_degraded_reads(), 0u);
+  // Parity accounting: m/k of the data volume rode along as parity.
+  EXPECT_EQ(rig.store->manager().ec_parity_bytes(),
+            kChunks * kChunk * 2 / 4);
+}
+
+TEST(ErasureStoreTest, DegradedReadSurvivesAnyTwoFragmentLosses) {
+  // Detector pushed out of the horizon: the reads themselves must fail
+  // over, with no repair help.
+  Rig rig(6, [](store::StoreConfig& cfg) {
+    cfg.heartbeat_period_ms = 1'000'000;
+    cfg.scrub_period_ms = 1'000'000;
+  });
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  sim::VirtualClock clock(0);
+  constexpr uint32_t kChunks = 6;
+  const auto data = Pattern(kChunks * kChunk, 22);
+  const store::FileId id = WriteStoreFile(c, "/deg", kChunks, data, clock);
+
+  // m = 2 losses: every stripe spans all six benefactors, so every chunk
+  // loses exactly two fragments — the worst tolerable case.
+  rig.store->benefactor(1).Kill();
+  rig.store->benefactor(4).Kill();
+  ExpectBytes(c, clock, id, kChunks, data);
+  EXPECT_GT(c.ec_degraded_reads(), 0u);
+  EXPECT_EQ(rig.store->manager().ec_degraded_reads(), c.ec_degraded_reads());
+  EXPECT_EQ(rig.store->manager().lost_chunks(), 0u);
+}
+
+TEST(ErasureStoreTest, PartialDirtyWriteMergesOverDegradedStripe) {
+  Rig rig(6, [](store::StoreConfig& cfg) {
+    cfg.heartbeat_period_ms = 1'000'000;
+    cfg.scrub_period_ms = 1'000'000;
+  });
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  sim::VirtualClock clock(0);
+  const auto data = Pattern(kChunk, 23);
+  const store::FileId id = WriteStoreFile(c, "/rmw", 1, data, clock);
+
+  // Kill one fragment holder, then flush a single dirty page: the
+  // read-modify-write must reconstruct the old bytes, overlay the page,
+  // and land a consistent new stripe on the survivors.
+  rig.store->benefactor(2).Kill();
+  auto want = data;
+  std::fill(want.begin() + 4096, want.begin() + 8192, 0x5A);
+  Bitmap one(kChunk / c.config().page_bytes);
+  one.Set(1);
+  ASSERT_TRUE(c.WriteChunkPages(clock, id, 0, one, want).ok());
+  ExpectBytes(c, clock, id, 1, want);
+  EXPECT_EQ(rig.store->manager().lost_chunks(), 0u);
+}
+
+// ---- fragment repair ----
+
+TEST(ErasureStoreTest, FragmentRepairRestoresFullStripes) {
+  Rig rig(7);
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  sim::VirtualClock clock(0);
+  constexpr uint32_t kChunks = 8;
+  const auto data = Pattern(kChunks * kChunk, 24);
+  const store::FileId id = WriteStoreFile(c, "/rep", kChunks, data, clock);
+
+  // Kill a holder; the detector declares it and repair re-encodes every
+  // missing fragment onto the spare failure domain.
+  rig.ms().RunUntil(rig.ms().now_ns());
+  rig.store->benefactor(3).Kill();
+  rig.ms().RunUntil(rig.ms().now_ns() + 10 * kMs);
+  EXPECT_TRUE(rig.ms().QueueEmpty());
+  EXPECT_GT(rig.store->manager().ec_fragments_repaired(), 0u);
+  EXPECT_EQ(rig.store->manager().lost_chunks(), 0u);
+  ExpectFullStripes(rig, id, kChunks);
+
+  // The repaired stripes must survive a FURTHER double loss byte-exactly:
+  // repaired parity is real parity, not a placeholder.
+  rig.store->benefactor(0).Kill();
+  rig.store->benefactor(5).Kill();
+  sim::VirtualClock rclock(clock.now());
+  ExpectBytes(c, rclock, id, kChunks, data);
+}
+
+TEST(ErasureStoreTest, StripeBelowKIsLostNotFabricated) {
+  Rig rig(6, [](store::StoreConfig& cfg) {
+    cfg.heartbeat_period_ms = 1'000'000;
+    cfg.scrub_period_ms = 1'000'000;
+  });
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  sim::VirtualClock clock(0);
+  const auto data = Pattern(kChunk, 25);
+  const store::FileId id = WriteStoreFile(c, "/lost", 1, data, clock);
+
+  // m+1 = 3 losses: below k survivors, the read must fail — never
+  // fabricate bytes.
+  rig.store->benefactor(0).Kill();
+  rig.store->benefactor(2).Kill();
+  rig.store->benefactor(4).Kill();
+  std::vector<uint8_t> buf(kChunk);
+  EXPECT_FALSE(c.ReadChunk(clock, id, 0, buf).ok());
+}
+
+// ---- corrupt fragments ----
+
+TEST(ErasureStoreTest, CorruptFragmentQuarantinedNeverWrongBytes) {
+  Rig rig(7, [](store::StoreConfig& cfg) {
+    cfg.verify_reads = true;
+    cfg.heartbeat_period_ms = 1'000'000;
+    cfg.scrub_period_ms = 1'000'000;
+  });
+  store::StoreClient& c = rig.store->ClientForNode(0);
+  sim::VirtualClock clock(0);
+  const auto data = Pattern(kChunk, 26);
+  const store::FileId id = WriteStoreFile(c, "/rot", 1, data, clock);
+
+  // Flip a bit in a DATA fragment (position 0) behind everyone's back.
+  auto loc = rig.store->manager().GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(loc.ok());
+  const int bad = loc->benefactors[0];
+  ASSERT_TRUE(rig.store->benefactor(static_cast<size_t>(bad))
+                  .CorruptChunk(loc->key, 17, 0x40)
+                  .ok());
+
+  // The verifying read catches the rot, quarantines the fragment, and
+  // reconstructs the true bytes from the survivors.
+  std::vector<uint8_t> buf(kChunk);
+  ASSERT_TRUE(c.ReadChunk(clock, id, 0, buf).ok());
+  EXPECT_EQ(0, std::memcmp(buf.data(), data.data(), kChunk));
+  EXPECT_GT(c.corrupt_failovers(), 0u);
+  EXPECT_GT(c.ec_degraded_reads(), 0u);
+  EXPECT_GT(rig.store->manager().corrupt_detected(), 0u);
+
+  // The quarantine queued a repair: draining it re-encodes the fragment
+  // (onto a clean domain) and the stripe is whole again.
+  rig.ms().RunUntil(rig.ms().now_ns() + 5 * kMs);
+  EXPECT_TRUE(rig.ms().QueueEmpty());
+  EXPECT_GT(rig.store->manager().ec_fragments_repaired(), 0u);
+  ExpectFullStripes(rig, id, 1);
+  ExpectBytes(c, clock, id, 1, data);
+}
+
+// ---- knob-off identity pin ----
+
+// With the redundancy mode off, the erasure knobs must be completely
+// dormant: a run with ec_k/ec_m/ec_encode_bw_gbps set (but
+// redundancy=replicate) is byte- and virtual-time-identical to the
+// default store.  This is the "EC off changes nothing" contract that
+// keeps every pre-erasure benchmark table valid.
+TEST(ErasureStoreTest, ModeOffIsByteAndTimeIdenticalToDefault) {
+  struct RunResult {
+    int64_t final_time = 0;
+    uint64_t fetched = 0;
+    uint64_t flushed = 0;
+    uint64_t meta_rtts = 0;
+    uint32_t crc = 0;
+  };
+  auto run = [](bool set_dormant_knobs) {
+    net::ClusterConfig cc;
+    cc.num_nodes = 5;
+    net::Cluster cluster(cc);
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.replication = 2;
+    sc.store.maintenance = true;
+    if (set_dormant_knobs) {
+      sc.store.redundancy = store::RedundancyMode::kReplicate;  // mode OFF
+      sc.store.ec_k = 5;
+      sc.store.ec_m = 3;
+      sc.store.ec_encode_bw_gbps = 0.25;
+    }
+    for (int b = 0; b < 4; ++b) sc.benefactor_nodes.push_back(b + 1);
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = 1;
+    store::AggregateStore st(cluster, sc);
+    sim::CurrentClock().Reset();
+    store::StoreClient& c = st.ClientForNode(0);
+    sim::VirtualClock clock(0);
+    constexpr uint32_t kChunks = 6;
+    const auto data = Pattern(kChunks * kChunk, 42);
+    const store::FileId id = WriteStoreFile(c, "/pin", kChunks, data, clock);
+    // Mixed traffic: full overwrite of one chunk, partial of another,
+    // reads of everything.
+    Bitmap one(kChunk / c.config().page_bytes);
+    one.Set(3);
+    EXPECT_TRUE(
+        c.WriteChunkPages(clock, id, 2, one, {data.data() + 2 * kChunk, kChunk})
+            .ok());
+    std::vector<uint8_t> buf(kChunk);
+    uint32_t crc = 0;
+    for (uint32_t i = 0; i < kChunks; ++i) {
+      EXPECT_TRUE(c.ReadChunk(clock, id, i, buf).ok());
+      crc = Crc32c(buf.data(), buf.size()) ^ (crc << 1);
+    }
+    RunResult r;
+    r.final_time = clock.now();
+    r.fetched = c.bytes_fetched();
+    r.flushed = c.bytes_flushed();
+    r.meta_rtts = c.meta_round_trips();
+    r.crc = crc;
+    return r;
+  };
+  const RunResult base = run(false);
+  const RunResult dormant = run(true);
+  EXPECT_EQ(base.final_time, dormant.final_time);
+  EXPECT_EQ(base.fetched, dormant.fetched);
+  EXPECT_EQ(base.flushed, dormant.flushed);
+  EXPECT_EQ(base.meta_rtts, dormant.meta_rtts);
+  EXPECT_EQ(base.crc, dormant.crc);
+}
+
+}  // namespace
+}  // namespace nvm

@@ -836,5 +836,125 @@ TEST(PlacementWearTest, WearWeightSteersStripesOffWornDevice) {
   }
 }
 
+// ---- per-call exclude set ----
+
+TEST(PlacementEngineTest, ExcludeNodesDropsCoResidentCandidatesHard) {
+  // One request can demand distinct failure domains: every candidate on
+  // an excluded node drops entirely (hard, like dead), while candidates
+  // with an unknown node (-1) are never excluded by the node filter.
+  std::vector<PlacementCandidate> cands = {
+      Cand(0, true, 400, false, false, 0.0, /*node=*/1),
+      Cand(1, true, 300, false, false, 0.0, /*node=*/2),
+      Cand(2, true, 200, false, false, 0.0, /*node=*/1),
+      Cand(3, true, 100, false, false, 0.0, /*node=*/-1)};
+  PlacementRequest req;
+  req.order = PlacementRequest::Order::kLeastLoaded;
+  std::vector<int> exclude = {1, 5};
+  req.exclude_nodes = &exclude;
+  EXPECT_EQ(RankPlacement(cands, req), (std::vector<int>{1, 3}));
+  // No exclude set: nothing drops and the base order is untouched.
+  req.exclude_nodes = nullptr;
+  EXPECT_EQ(RankPlacement(cands, req), (std::vector<int>{0, 1, 2, 3}));
+}
+
+// ---- erasure anti-affinity: hard node-level fragment spreading ----
+
+// Erasure rigs need their own benefactor->node map: the spread rule is
+// about failure domains, so the tests below control co-residency.
+struct EcRig {
+  std::unique_ptr<net::Cluster> cluster;
+  std::unique_ptr<AggregateStore> store;
+
+  explicit EcRig(std::vector<int> benefactor_nodes,
+                 uint64_t contribution = 64_MiB) {
+    net::ClusterConfig cc;
+    int max_node = 0;
+    for (int n : benefactor_nodes) max_node = std::max(max_node, n);
+    cc.num_nodes = max_node + 1;
+    cluster = std::make_unique<net::Cluster>(cc);
+    AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.replication = 1;
+    sc.store.redundancy = RedundancyMode::kErasure;
+    sc.store.ec_k = 4;
+    sc.store.ec_m = 2;
+    sc.benefactor_nodes = std::move(benefactor_nodes);
+    sc.contribution_bytes = contribution;
+    sc.manager_node = 1;
+    store = std::make_unique<AggregateStore>(*cluster, sc);
+    sim::CurrentClock().Reset();
+  }
+};
+
+TEST(PlacementEcTest, StripeNeverCoLocatesUnderCapacityPressure) {
+  // Six benefactors on six nodes — exactly enough domains for RS(4,2).
+  // Fill one benefactor to the brim: five domains with room is NOT a
+  // stripe, and the placement may not quietly put two fragments on one
+  // of the survivors.  The allocation fails Unavailable (adding capacity
+  // to an existing domain cannot help) without leaking a reserved byte,
+  // and succeeds again the moment the sixth domain has room.
+  EcRig rig({1, 2, 3, 4, 5, 6});
+  StoreClient& c = rig.store->ClientForNode(0);
+  sim::VirtualClock clock(0);
+  const uint64_t frag = rig.store->manager().config().ec_frag_bytes();
+  const uint64_t contribution = 64_MiB;
+  ASSERT_TRUE(rig.store->benefactor(0).ReserveBytes(contribution).ok());
+
+  auto id = c.Create(clock, "/spread");
+  ASSERT_TRUE(id.ok());
+  Status s = c.Fallocate(clock, *id, kChunk);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kUnavailable) << s.ToString();
+  for (size_t b = 1; b < 6; ++b) {
+    EXPECT_EQ(rig.store->benefactor(b).bytes_used(), 0u) << "benefactor " << b;
+  }
+
+  rig.store->benefactor(0).ReleaseBytes(contribution);
+  ASSERT_TRUE(c.Fallocate(clock, *id, kChunk).ok());
+  auto loc = rig.store->manager().GetReadLocation(clock, *id, 0);
+  ASSERT_TRUE(loc.ok());
+  ASSERT_TRUE(loc->ec);
+  std::set<int> bids(loc->benefactors.begin(), loc->benefactors.end());
+  EXPECT_EQ(bids.size(), 6u) << "stripe co-locates fragments";
+  for (size_t b = 0; b < 6; ++b) {
+    EXPECT_EQ(rig.store->benefactor(b).bytes_used(), frag)
+        << "benefactor " << b;
+  }
+}
+
+TEST(PlacementEcTest, CoResidentBenefactorsAreOneFailureDomain) {
+  // Six benefactors but two share a node: five failure domains.  All six
+  // have oceans of space, yet a 4+2 stripe must refuse to place — a node
+  // loss would cost two fragments of the same stripe.
+  EcRig shared({1, 2, 3, 4, 5, 5});
+  StoreClient& c = shared.store->ClientForNode(0);
+  sim::VirtualClock clock(0);
+  auto id = c.Create(clock, "/domains");
+  ASSERT_TRUE(id.ok());
+  Status s = c.Fallocate(clock, *id, kChunk);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kUnavailable) << s.ToString();
+  for (size_t b = 0; b < 6; ++b) {
+    EXPECT_EQ(shared.store->benefactor(b).bytes_used(), 0u)
+        << "benefactor " << b;
+  }
+
+  // Control: the same shape on six distinct nodes places one fragment
+  // per node.
+  EcRig spread({1, 2, 3, 4, 5, 6});
+  StoreClient& c2 = spread.store->ClientForNode(0);
+  auto id2 = c2.Create(clock, "/domains");
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(c2.Fallocate(clock, *id2, kChunk).ok());
+  auto loc = spread.store->manager().GetReadLocation(clock, *id2, 0);
+  ASSERT_TRUE(loc.ok());
+  std::set<int> nodes;
+  for (int b : loc->benefactors) {
+    nodes.insert(spread.store->benefactor(static_cast<size_t>(b)).node_id());
+  }
+  EXPECT_EQ(nodes.size(), loc->benefactors.size())
+      << "two fragments share a node";
+}
+
 }  // namespace
 }  // namespace nvm::store

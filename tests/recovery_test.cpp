@@ -28,8 +28,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/checksum.hpp"
 #include "common/rng.hpp"
 #include "sim/clock.hpp"
+#include "store/erasure.hpp"
 #include "store/store.hpp"
 #include "store/wal.hpp"
 
@@ -88,8 +90,9 @@ TEST(WalUnit, EveryRecordTypeRoundTrips) {
 
   WalRecord complete;
   complete.type = WalRecordType::kComplete;
-  complete.completions = {{Key(7, 0, 0), true, 0xdeadbeef},
-                          {Key(7, 1, 1), false, 0}};
+  complete.completions = {{Key(7, 0, 0), true, 0xdeadbeef,
+                           {0xa1u, 0xb2u, 0xc3u}},  // erasure per-fragment crcs
+                          {Key(7, 1, 1), false, 0, {}}};
 
   WalRecord replicas;
   replicas.type = WalRecordType::kReplicas;
@@ -110,17 +113,22 @@ TEST(WalUnit, EveryRecordTypeRoundTrips) {
   link.file_id = 9;
   link.src_file = 7;
 
-  for (const WalRecord* r :
-       {&create, &extend, &cow, &complete, &replicas, &lost, &unlink, &link}) {
+  WalRecord redundancy;
+  redundancy.type = WalRecordType::kRedundancy;
+  redundancy.file_id = 7;
+  redundancy.mode = static_cast<uint8_t>(store::RedundancyMode::kErasure);
+
+  for (const WalRecord* r : {&create, &extend, &cow, &complete, &replicas,
+                             &lost, &unlink, &link, &redundancy}) {
     wal.Append(clock, *r);
   }
-  EXPECT_EQ(wal.last_seq(), 8u);
+  EXPECT_EQ(wal.last_seq(), 9u);
   EXPECT_GT(clock.now(), 0);  // durability has a virtual-time cost
 
   auto replay = wal.ReadForRecovery(clock);
   EXPECT_FALSE(replay.used_checkpoint);
   EXPECT_FALSE(replay.torn_tail);
-  ASSERT_EQ(replay.records.size(), 8u);
+  ASSERT_EQ(replay.records.size(), 9u);
   for (size_t i = 0; i < replay.records.size(); ++i) {
     EXPECT_EQ(replay.records[i].seq, i + 1);
   }
@@ -153,8 +161,11 @@ TEST(WalUnit, EveryRecordTypeRoundTrips) {
   EXPECT_EQ(k.completions[0].key, Key(7, 0, 0));
   EXPECT_TRUE(k.completions[0].has_crc);
   EXPECT_EQ(k.completions[0].crc, 0xdeadbeefu);
+  EXPECT_EQ(k.completions[0].frag_crcs,
+            (std::vector<uint32_t>{0xa1u, 0xb2u, 0xc3u}));
   EXPECT_EQ(k.completions[1].key, Key(7, 1, 1));
   EXPECT_FALSE(k.completions[1].has_crc);
+  EXPECT_TRUE(k.completions[1].frag_crcs.empty());
 
   EXPECT_EQ(replay.records[4].replicas, (std::vector<int>{1}));
   EXPECT_TRUE(replay.records[5].replicas.empty());  // lost publish survives
@@ -163,6 +174,10 @@ TEST(WalUnit, EveryRecordTypeRoundTrips) {
   EXPECT_EQ(replay.records[7].type, WalRecordType::kLink);
   EXPECT_EQ(replay.records[7].file_id, 9u);
   EXPECT_EQ(replay.records[7].src_file, 7u);
+  EXPECT_EQ(replay.records[8].type, WalRecordType::kRedundancy);
+  EXPECT_EQ(replay.records[8].file_id, 7u);
+  EXPECT_EQ(replay.records[8].mode,
+            static_cast<uint8_t>(store::RedundancyMode::kErasure));
 }
 
 WalRecord UnlinkRecord(uint64_t file_id) {
@@ -657,6 +672,147 @@ TEST(CrashMatrix, PreparedButUnwrittenCowRollsBack) {
   shadow["/w0.ckpt"] = {*ckpt, {old_bytes}};
   ASSERT_NO_FATAL_FAILURE(ExpectBytes(rig, clock, shadow));
   ASSERT_NO_FATAL_FAILURE(CheckInvariants(rig, shadow, /*expect_full=*/true));
+}
+
+// ---------------------------------------------------------------------------
+// Erasure stripes: commit-at-completion crash semantics
+// ---------------------------------------------------------------------------
+
+// RS(4,2) crash rig: six benefactors on six nodes, WAL on.
+struct EcRig {
+  net::Cluster cluster;
+  store::AggregateStore store;
+
+  EcRig() : cluster(MakeCluster()), store(cluster, MakeStore()) {}
+
+  static net::ClusterConfig MakeCluster() {
+    net::ClusterConfig cc;
+    cc.num_nodes = 7;
+    return cc;
+  }
+  static store::AggregateStoreConfig MakeStore() {
+    store::AggregateStoreConfig sc;
+    sc.store.chunk_bytes = kChunk;
+    sc.store.replication = 1;
+    sc.store.redundancy = store::RedundancyMode::kErasure;
+    sc.store.ec_k = 4;
+    sc.store.ec_m = 2;
+    sc.store.wal = true;
+    sc.store.wal_segment_bytes = 4_KiB;
+    for (int b = 0; b < 6; ++b) sc.benefactor_nodes.push_back(b + 1);
+    sc.contribution_bytes = 64_MiB;
+    sc.manager_node = 1;
+    return sc;
+  }
+
+  store::StoreClient& client() { return store.ClientForNode(0); }
+};
+
+TEST(CrashMatrix, EcStripeTornBetweenEncodeAndCommitRollsBack) {
+  // The manager dies between the fragment encode (all six fragments of
+  // the fresh COW version already landed on the benefactors) and the
+  // stripe's completion record.  An uncommitted stripe could straddle
+  // write generations, so recovery must roll the slot back to the
+  // previous committed version — the chunk reads its old bytes, never a
+  // splice — and the torn generation's fragments die as orphans.
+  EcRig rig;
+  sim::VirtualClock clock(0);
+  auto idr = rig.client().Create(clock, "/ec0");
+  ASSERT_TRUE(idr.ok());
+  ASSERT_TRUE(rig.client().Fallocate(clock, *idr, kChunk).ok());
+  const store::FileId id = *idr;
+  const auto old_bytes = Pattern(90);
+  ASSERT_TRUE(WriteChunk(rig.client(), clock, id, 0, old_bytes).ok());
+
+  // Share the stripe with a checkpoint link so the next write COWs.
+  auto ckpt = rig.client().Create(clock, "/ec0.ckpt");
+  ASSERT_TRUE(ckpt.ok());
+  ASSERT_TRUE(rig.client().LinkFileChunks(clock, *ckpt, id).ok());
+
+  auto loc = rig.store.manager().PrepareWrite(clock, id, 0);
+  ASSERT_TRUE(loc.ok());
+  ASSERT_TRUE(loc->ec);
+  EXPECT_GT(loc->key.version, 0u);  // it really was a COW prepare
+  ASSERT_EQ(loc->benefactors.size(), 6u);
+
+  // Encode and land every fragment of the new generation by hand; the
+  // completion record never happens.
+  const auto new_bytes = Pattern(91);
+  store::ErasureCodec codec(4, 2);
+  const auto frags = codec.Encode(new_bytes);
+  for (size_t pos = 0; pos < frags.size(); ++pos) {
+    const int bid = loc->benefactors[pos];
+    const uint32_t crc = Crc32c(frags[pos].data(), frags[pos].size());
+    ASSERT_TRUE(rig.store.benefactor(static_cast<size_t>(bid))
+                    .WriteFragment(clock, loc->key, frags[pos], &crc)
+                    .ok());
+  }
+
+  rig.store.KillManager();
+  auto report = rig.store.RestartManager(clock);
+  EXPECT_EQ(report.cow_rolled_back, 1u);
+  EXPECT_EQ(report.chunks_lost, 0u);
+  // The rolled-back generation's six fragments die in recovery's own
+  // orphan sweep.
+  EXPECT_EQ(report.orphans_deleted, 6u);
+
+  std::vector<uint8_t> buf(kChunk);
+  ASSERT_TRUE(rig.client().ReadChunk(clock, id, 0, buf).ok());
+  EXPECT_EQ(0, std::memcmp(buf.data(), old_bytes.data(), kChunk));
+  ASSERT_TRUE(rig.client().ReadChunk(clock, *ckpt, 0, buf).ok());
+  EXPECT_EQ(0, std::memcmp(buf.data(), old_bytes.data(), kChunk));
+
+  // The accounting settled at exactly one stripe — one fragment's
+  // reservation per benefactor — with nothing left for a scrub to fix.
+  auto scrub = rig.store.manager().ScrubOnce(clock);
+  EXPECT_EQ(scrub.orphans_deleted, 0u);
+  EXPECT_EQ(scrub.reservation_fixes, 0u);
+  const uint64_t frag = rig.store.manager().config().ec_frag_bytes();
+  for (size_t b = 0; b < 6; ++b) {
+    EXPECT_EQ(rig.store.benefactor(b).bytes_used(), frag)
+        << "benefactor " << b;
+  }
+}
+
+TEST(CrashMatrix, EcRewriteCompletedOnBenefactorsAdoptsFragmentChecksums) {
+  // The in-place analog of MidCompletionBatchAdoptsChecksumsFromReplicas:
+  // a full-stripe rewrite replaced all six fragments on the benefactors,
+  // then the completion record (the authoritative per-fragment checksums)
+  // died with the crash.  Every stored fragment carries a write-time
+  // checksum and none matches the durable stripe — the new generation is
+  // complete, and recovery adopts it rather than destroying it.  The
+  // adopted full-image authority must equal the checksum of the bytes the
+  // client wrote (it is combined from the data fragments' checksums).
+  EcRig rig;
+  sim::VirtualClock clock(0);
+  auto idr = rig.client().Create(clock, "/ec1");
+  ASSERT_TRUE(idr.ok());
+  ASSERT_TRUE(rig.client().Fallocate(clock, *idr, kChunk).ok());
+  const store::FileId id = *idr;
+  const auto v1 = Pattern(92);
+  ASSERT_TRUE(WriteChunk(rig.client(), clock, id, 0, v1).ok());
+
+  rig.store.wal()->CrashAfterAppends(1, 0);  // tear the next completion
+  const auto v2 = Pattern(93);
+  ASSERT_TRUE(WriteChunk(rig.client(), clock, id, 0, v2).ok());
+  ASSERT_TRUE(rig.store.wal()->crashed());
+
+  rig.store.KillManager();
+  auto report = rig.store.RestartManager(clock);
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_EQ(report.crc_adopted, 1u);
+  EXPECT_EQ(report.chunks_lost, 0u);
+  EXPECT_EQ(report.replicas_dropped, 0u);
+
+  std::vector<uint8_t> buf(kChunk);
+  ASSERT_TRUE(rig.client().ReadChunk(clock, id, 0, buf).ok());
+  EXPECT_EQ(0, std::memcmp(buf.data(), v2.data(), kChunk));
+
+  auto loc = rig.store.manager().GetReadLocation(clock, id, 0);
+  ASSERT_TRUE(loc.ok());
+  uint32_t auth = 0;
+  ASSERT_TRUE(rig.store.manager().LookupChecksum(loc->key, &auth));
+  EXPECT_EQ(auth, Crc32c(v2.data(), v2.size()));
 }
 
 // ---------------------------------------------------------------------------

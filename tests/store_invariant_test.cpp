@@ -45,11 +45,17 @@ struct Harness {
   // the scrub has converged.
   bool expect_clean_checksums = true;
 
+  // One benefactor per node; erasure sequences pass a wider store so an
+  // RS(4,2) stripe has six distinct failure domains plus repair spares.
+  int nbens = kBenefactors;
+
   explicit Harness(int replication, bool batch_write_rpc = true,
                    bool maintenance = false,
-                   std::function<void(store::StoreConfig&)> tweak = {}) {
+                   std::function<void(store::StoreConfig&)> tweak = {},
+                   int benefactors = kBenefactors) {
+    nbens = benefactors;
     net::ClusterConfig cc;
-    cc.num_nodes = kBenefactors + 1;
+    cc.num_nodes = nbens + 1;
     cluster = std::make_unique<net::Cluster>(cc);
     store::AggregateStoreConfig sc;
     sc.store.chunk_bytes = kChunk;
@@ -62,7 +68,7 @@ struct Harness {
       sc.store.scrub_period_ms = 20;
     }
     if (tweak) tweak(sc.store);
-    for (int b = 0; b < kBenefactors; ++b) sc.benefactor_nodes.push_back(b + 1);
+    for (int b = 0; b < nbens; ++b) sc.benefactor_nodes.push_back(b + 1);
     sc.contribution_bytes = 64_MiB;
     sc.manager_node = 1;
     store = std::make_unique<store::AggregateStore>(*cluster, sc);
@@ -115,8 +121,16 @@ struct Harness {
     ASSERT_LE(occupied, kCacheChunks);
 
     // Union of every live file's location map: chunk key -> replicas.
+    // Erasure mode swaps the per-chunk shape: k+m positional fragments of
+    // chunk_bytes/k each instead of `replication` full copies.
+    const store::StoreConfig& cfg = store->manager().config();
+    const bool ec = cfg.ec();
+    const size_t want_members =
+        ec ? static_cast<size_t>(cfg.ec_fragments())
+           : static_cast<size_t>(replication);
+    const uint64_t member_bytes = ec ? cfg.ec_frag_bytes() : kChunk;
     std::map<std::string, std::set<int>> placed;  // key string -> benefactors
-    std::vector<uint64_t> expected_reserved(kBenefactors, 0);
+    std::vector<uint64_t> expected_reserved(static_cast<size_t>(nbens), 0);
     for (const auto& [name, bytes] : shadow) {
       auto f = mount->Open(name);
       ASSERT_TRUE(f.ok());
@@ -132,13 +146,16 @@ struct Harness {
       ASSERT_EQ(locs->size(), want_chunks) << name;
       for (const store::ReadLocation& loc : *locs) {
         // 2. Placement sanity: exactly `replication` distinct, valid
-        //    benefactors per chunk, and a live refcount.
-        ASSERT_EQ(loc.benefactors.size(), static_cast<size_t>(replication));
+        //    benefactors per chunk (erasure: exactly k+m, positional, no
+        //    holes after quiesce — the sequences below only run hole-free
+        //    combinations), and a live refcount.
+        ASSERT_EQ(loc.ec, ec);
+        ASSERT_EQ(loc.benefactors.size(), want_members);
         std::set<int> distinct(loc.benefactors.begin(), loc.benefactors.end());
         ASSERT_EQ(distinct.size(), loc.benefactors.size());
         for (int b : loc.benefactors) {
-          ASSERT_GE(b, 0);
-          ASSERT_LT(b, kBenefactors);
+          ASSERT_GE(b, 0) << "hole in " << loc.key.ToString();
+          ASSERT_LT(b, nbens);
           ++expected_reserved[static_cast<size_t>(b)];
         }
         ASSERT_GE(store->manager().ChunkRefcount(loc.key), 1u);
@@ -148,8 +165,12 @@ struct Harness {
         //    replicas — reserved but never flushed — store nothing; dead
         //    benefactors hold unreachable pre-death bytes that missed
         //    later degraded writes; both are exempt.)
+        //    (Erasure stripes carry the authority per FRAGMENT, not per
+        //    replica — the full-image checksum never matches any one
+        //    stored fragment, so the scrub owns that agreement there.)
         uint32_t want_crc = 0;
-        if (expect_clean_checksums && store->manager().config().integrity() &&
+        if (!ec && expect_clean_checksums &&
+            store->manager().config().integrity() &&
             store->manager().LookupChecksum(loc.key, &want_crc)) {
           for (int b : loc.benefactors) {
             uint32_t stored_crc = 0;
@@ -167,12 +188,12 @@ struct Harness {
       }
     }
 
-    for (int b = 0; b < kBenefactors; ++b) {
+    for (int b = 0; b < nbens; ++b) {
       store::Benefactor& ben = store->benefactor(static_cast<size_t>(b));
-      // 3. Space accounting: reservations equal the chunks the manager has
-      //    placed here — no leaks, no double counting.
+      // 3. Space accounting: reservations equal the members the manager
+      //    has placed here — no leaks, no double counting.
       ASSERT_EQ(ben.bytes_used(),
-                expected_reserved[static_cast<size_t>(b)] * kChunk)
+                expected_reserved[static_cast<size_t>(b)] * member_bytes)
           << "benefactor " << b;
       // 4. No orphans: every chunk a benefactor stores is a chunk some
       //    live file's location map names on this very benefactor.
@@ -218,11 +239,15 @@ struct SequenceOptions {
   // Extra config knobs for the run (e.g. a scrub verify budget large
   // enough that one pass covers the whole working set).
   std::function<void(store::StoreConfig&)> tweak;
+  // Store width: erasure sequences need k+m distinct failure domains plus
+  // spares for repair targets.
+  int benefactors = kBenefactors;
 };
 
 void RunSequence(uint64_t seed, int replication, int ops,
                  const SequenceOptions& so = {}) {
-  Harness h(replication, so.batch_write_rpc, so.maintenance, so.tweak);
+  Harness h(replication, so.batch_write_rpc, so.maintenance, so.tweak,
+            so.benefactors);
   if (so.kill_after_writes > 0) {
     h.store->benefactor(2).KillAfterWrites(so.kill_after_writes);
   }
@@ -340,7 +365,7 @@ void RunSequence(uint64_t seed, int replication, int ops,
   }
   ASSERT_NO_FATAL_FAILURE(h.QuiesceMaintenance());
   ASSERT_NO_FATAL_FAILURE(h.CheckInvariants(replication));
-  for (int b = 0; b < kBenefactors; ++b) {
+  for (int b = 0; b < h.nbens; ++b) {
     EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).num_chunks(), 0u);
     EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).bytes_used(), 0u);
   }
@@ -565,6 +590,56 @@ TEST(StoreInvariantTest, ManagerRestartMidRepairStormConverges) {
     EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).bytes_used(), 0u)
         << "benefactor " << b;
   }
+}
+
+// Shared knob set for the erasure sequences: RS(4,2) over eight
+// single-benefactor nodes (six distinct failure domains for a stripe,
+// two spares for repair targets).
+SequenceOptions ErasureOptions() {
+  SequenceOptions so;
+  so.benefactors = 8;
+  so.tweak = [](store::StoreConfig& s) {
+    s.redundancy = store::RedundancyMode::kErasure;
+    s.ec_k = 4;
+    s.ec_m = 2;
+  };
+  return so;
+}
+
+TEST(StoreInvariantTest, RandomOpsKeepLayersConsistentErasure) {
+  // The full randomized sequence with every chunk an RS(4,2) stripe: the
+  // same cross-layer sweep, reshaped — exactly k+m distinct positional
+  // fragments per chunk, fragment-sized reservation accounting, no
+  // orphaned fragments, byte-exact reads through the mount (partial
+  // writes exercise the read-merge-encode path underneath).
+  RunSequence(/*seed=*/1, /*replication=*/1, /*ops=*/120, ErasureOptions());
+}
+
+TEST(StoreInvariantTest, ErasureSequenceSurvivesMidRunBenefactorDeath) {
+  // A fragment holder dies mid-sequence.  Later full-stripe writes land
+  // degraded (a hole at the dead position), reads reconstruct through
+  // the parity fragments, and after every op the background repair must
+  // have re-encoded the missing fragments onto the spare benefactors —
+  // the sweep demands hole-free k+m stripes every time.
+  SequenceOptions so = ErasureOptions();
+  so.kill_after_writes = 10;
+  so.maintenance = true;
+  RunSequence(/*seed=*/11, /*replication=*/1, /*ops=*/100, so);
+}
+
+TEST(StoreInvariantTest, ColdManagerRestartMidSequenceErasure) {
+  // Cold manager restart halfway through an erasure sequence: the WAL's
+  // redundancy-mode records, per-fragment completion checksums and the
+  // checkpoint's fragment maps must rebuild the stripe state exactly —
+  // the sequence keeps running under the same hole-free invariants.
+  SequenceOptions so = ErasureOptions();
+  so.kill_manager_after_ops = 50;
+  const auto ec_tweak = so.tweak;
+  so.tweak = [ec_tweak](store::StoreConfig& s) {
+    ec_tweak(s);
+    s.wal = true;
+  };
+  RunSequence(/*seed=*/19, /*replication=*/1, /*ops=*/100, so);
 }
 
 TEST(StoreInvariantTest, MaintenanceConvergesKilledSequenceToHealedState) {
