@@ -7,8 +7,14 @@
 // rates and projects device lifetime (from the SSD model's per-block
 // erase accounting) for: naive full-copy checkpoints, linked/incremental
 // checkpoints, and linked checkpoints without the dirty-page write-back
-// optimisation.
+// optimisation.  Two follow-on studies ride on the same workload:
+//  - metadata endurance: the manager's WAL device wear per checkpoint
+//    cycle, next to the data devices it journals for;
+//  - redundancy write amplification: device write volume per checkpoint
+//    under r=1, r=2 and RS(4,2), i.e. what each durability policy costs
+//    in erase budget.
 #include "bench_util.hpp"
+#include "store/wal.hpp"
 #include "workloads/ckpt.hpp"
 
 using namespace nvm;
@@ -20,17 +26,36 @@ namespace {
 struct Endurance {
   uint64_t device_writes = 0;  // bytes programmed per checkpoint cycle
   double wear = 0;             // max block-wear fraction consumed
+  uint64_t wal_writes = 0;     // WAL-device bytes per checkpoint cycle
+  double wal_wear = 0;         // WAL-device block-wear fraction consumed
 };
 
-Endurance RunMode(bool link_nvm, bool page_writeback) {
+struct ModeOptions {
+  bool link_nvm = true;
+  bool page_writeback = true;
+  bool wal = false;
+  int replication = 1;
+  bool ec = false;  // RS(4,2) striping instead of replication
+};
+
+Endurance RunMode(const ModeOptions& m) {
   TestbedOptions to;
-  to.fuse.dirty_page_writeback = page_writeback;
+  to.fuse.dirty_page_writeback = m.page_writeback;
+  to.store.wal = m.wal;
+  to.store.replication = m.replication;
+  if (m.ec) {
+    to.store.redundancy = store::RedundancyMode::kErasure;
+    to.store.ec_k = 4;
+    to.store.ec_m = 2;
+  }
   Testbed tb(to);
   CkptOptions o;
   o.dram_bytes = ScaledBytes(1_GiB);
   o.nvm_bytes = ScaledBytes(4_GiB);
   o.timesteps = 6;
-  o.link_nvm = link_nvm;
+  o.link_nvm = m.link_nvm;
+  const uint64_t wal_before =
+      m.wal ? tb.store().wal()->device().host_bytes_written() : 0;
   auto r = RunCheckpointStudy(tb, o);
   NVM_CHECK(r.restart_verified);
 
@@ -38,10 +63,28 @@ Endurance RunMode(bool link_nvm, bool page_writeback) {
   // Steady-state cost: average the post-first timesteps.
   for (size_t s = 1; s < r.steps.size(); ++s) {
     e.device_writes += r.steps[s].ssd_bytes_written;
+    if (std::getenv("NVM_ENDUR_DEBUG") != nullptr) {
+      std::fprintf(stderr,
+                   "  [step %zu r=%d ec=%d] dram %llu linked %llu copied "
+                   "%llu ssd %llu\n",
+                   s, m.replication, m.ec ? 1 : 0,
+                   (unsigned long long)r.steps[s].dram_bytes_copied,
+                   (unsigned long long)r.steps[s].nvm_bytes_linked,
+                   (unsigned long long)r.steps[s].nvm_bytes_copied,
+                   (unsigned long long)r.steps[s].ssd_bytes_written);
+    }
   }
   e.device_writes /= (r.steps.size() - 1);
   for (size_t b = 0; b < tb.store().num_benefactors(); ++b) {
     e.wear = std::max(e.wear, tb.store().benefactor(b).ssd().wear_fraction());
+  }
+  if (m.wal) {
+    // The WAL journals every step, setup included; a per-cycle average
+    // over the whole run is the honest steady-state figure.
+    e.wal_writes =
+        (tb.store().wal()->device().host_bytes_written() - wal_before) /
+        static_cast<uint64_t>(o.timesteps);
+    e.wal_wear = tb.store().wal()->device().wear_fraction();
   }
   return e;
 }
@@ -53,9 +96,9 @@ int main() {
         "SSD write volume and wear per checkpoint cycle (1 GiB-class DRAM "
         "+ 4 GiB-class NVM variable, 10% dirtied per step)");
 
-  const Endurance linked = RunMode(true, true);
-  const Endurance copied = RunMode(false, true);
-  const Endurance chunk_wb = RunMode(true, false);
+  const Endurance linked = RunMode({});
+  const Endurance copied = RunMode({.link_nvm = false});
+  const Endurance chunk_wb = RunMode({.page_writeback = false});
 
   Table t({"Checkpoint mode", "SSD writes / step", "vs linked"});
   t.AddRow({"linked + dirty-page writeback (NVMalloc)",
@@ -68,6 +111,37 @@ int main() {
             Fmt("%.1fx", static_cast<double>(copied.device_writes) /
                              static_cast<double>(linked.device_writes))});
   t.Print();
+
+  // --- metadata endurance: the WAL device next to the data devices ---
+  const Endurance waled = RunMode({.wal = true});
+  Table w({"Device (wal=on run)", "writes / step", "wear consumed"});
+  w.AddRow({"data SSDs (max benefactor)", FormatBytes(waled.device_writes),
+            Fmt("%.2e", waled.wear)});
+  w.AddRow({"manager WAL device", FormatBytes(waled.wal_writes),
+            Fmt("%.2e", waled.wal_wear)});
+  w.Print();
+
+  // --- redundancy write amplification: what durability costs in erases ---
+  const Endurance r2 = RunMode({.replication = 2});
+  const Endurance ec = RunMode({.ec = true});
+  const double r2_amp = static_cast<double>(r2.device_writes) /
+                        static_cast<double>(linked.device_writes);
+  const double ec_amp = static_cast<double>(ec.device_writes) /
+                        static_cast<double>(linked.device_writes);
+  Table rt({"Redundancy mode", "SSD writes / step", "write amp vs r=1"});
+  rt.AddRow({"r=1 (paper setup)", FormatBytes(linked.device_writes), "1.0x"});
+  rt.AddRow({"r=2 replicas", FormatBytes(r2.device_writes),
+             Fmt("%.1fx", r2_amp)});
+  rt.AddRow({"RS(4,2) stripes", FormatBytes(ec.device_writes),
+             Fmt("%.1fx", ec_amp)});
+  rt.Print();
+  Note("RS(4,2) carries 1.5x raw redundancy, and the checkpoint image "
+       "pays exactly that; the dirty-chunk COW path lands cheaper than "
+       "1.5x because a stripe is re-encoded client-side and programmed "
+       "once where replication's partial-dirty merge programs the full "
+       "chunk per flush — the blended amp sits between 1x and 1.5x, "
+       "well under replication-2's uniform 2x for twice the loss "
+       "tolerance");
 
   // Lifetime projection at a paper-like checkpoint cadence (hourly), for
   // the paper-scale volumes (unscale by the data ratio).
@@ -92,5 +166,26 @@ int main() {
         "dirty-page writeback further reduces wear vs whole-chunk flushes");
   Shape(years_linked > years_naive,
         "the paper's design extends device lifetime");
+  Shape(waled.wal_writes > 0 && waled.wal_writes < waled.device_writes,
+        "metadata journaling costs real WAL-device wear, but less than "
+        "the data it journals for");
+  Shape(r2_amp > 1.6 && r2_amp < 2.5,
+        "r=2 roughly doubles device write volume");
+  Shape(ec_amp > 1.0 && ec_amp < r2_amp,
+        "RS(4,2) spends more erase budget than bare r=1 but beats r=2 "
+        "while surviving double loss");
+
+  JsonReport j("endurance");
+  j.Add("linked_bytes_per_step", static_cast<double>(linked.device_writes));
+  j.Add("chunk_wb_bytes_per_step",
+        static_cast<double>(chunk_wb.device_writes));
+  j.Add("naive_bytes_per_step", static_cast<double>(copied.device_writes));
+  j.Add("wal_bytes_per_step", static_cast<double>(waled.wal_writes));
+  j.Add("wal_wear_fraction", waled.wal_wear);
+  j.Add("r2_write_amp", r2_amp);
+  j.Add("ec42_write_amp", ec_amp);
+  j.Add("years_linked", years_linked);
+  j.Add("years_naive", years_naive);
+  j.Print();
   return 0;
 }

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Compare a merged bench.json against the committed baseline.
+
+    python3 bench/compare_bench.py bench/baseline.json bench.json [--threshold 0.15]
+
+The simulator runs in virtual time, so most per-bench metrics are
+near-exact fingerprints of behaviour, not noisy wall-clock samples:
+drift is a real change.  This gate allows small drift (refactors that
+legitimately shave a few service charges) and fails the build when any
+numeric metric moves more than the threshold (default 15%) in either
+direction — a speedup you didn't expect deserves the same scrutiny as a
+slowdown.
+
+One class of metric is exempt: benches that race real threads against
+the virtual clocks (the threaded metadata-plane sweep, the QoS mix with
+a live maintenance service) report tail percentiles and per-second
+rates that depend on OS thread scheduling and legitimately wobble more
+than the threshold between identical runs.  Keys matching
+VOLATILE_PATTERNS are skipped here — each of those metrics is bounded
+by its bench's own SHAPE thresholds instead, and `shape_ok` flipping
+still fails this gate exactly.
+
+When a change legitimately moves a metric (a new optimisation, a new
+cost charged), re-baseline deliberately: regenerate with the smoke
+commands from ci.yml plus merge_bench.py, eyeball the diff, and commit
+the new bench/baseline.json in the same PR as the change that moved it.
+
+Benches present in the run but absent from the baseline are reported and
+tolerated (new benches land before their first baseline); benches in the
+baseline but missing from the run fail — the suite must not silently
+shrink.  Boolean fields must match exactly ("shape_ok" flipping is never
+drift).
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# Thread-scheduling-dependent metrics: bounded by SHAPE gates in the
+# bench binaries, not by baseline drift.
+VOLATILE_PATTERNS = [
+    re.compile(r"_p(50|99|999)_us$"),
+    re.compile(r"_per_s$"),
+    re.compile(r"^speedup_"),
+    re.compile(r"_ratio$"),
+    re.compile(r"_delta_frac$"),
+]
+
+
+def volatile(key):
+    return any(p.search(key) for p in VOLATILE_PATTERNS)
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def compare(baseline, current, threshold):
+    failures = []
+    notes = []
+    for bench, base_metrics in sorted(baseline.items()):
+        cur_metrics = current.get(bench)
+        if cur_metrics is None:
+            failures.append(f"{bench}: missing from this run")
+            continue
+        for key, base_val in sorted(base_metrics.items()):
+            if volatile(key):
+                continue
+            cur_val = cur_metrics.get(key)
+            if cur_val is None:
+                failures.append(f"{bench}.{key}: metric disappeared")
+                continue
+            if isinstance(base_val, bool) or isinstance(cur_val, bool):
+                if bool(base_val) != bool(cur_val):
+                    failures.append(
+                        f"{bench}.{key}: {base_val} -> {cur_val}")
+                continue
+            if not isinstance(base_val, (int, float)) or not isinstance(
+                    cur_val, (int, float)):
+                if base_val != cur_val:
+                    failures.append(
+                        f"{bench}.{key}: {base_val!r} -> {cur_val!r}")
+                continue
+            if base_val == 0:
+                if cur_val != 0:
+                    failures.append(
+                        f"{bench}.{key}: baseline 0 -> {cur_val}")
+                continue
+            rel = (cur_val - base_val) / abs(base_val)
+            if abs(rel) > threshold:
+                failures.append(
+                    f"{bench}.{key}: {base_val} -> {cur_val} "
+                    f"({rel:+.1%}, limit ±{threshold:.0%})")
+    for bench in sorted(set(current) - set(baseline)):
+        notes.append(f"{bench}: new bench, no baseline yet — consider "
+                     "re-baselining")
+    return failures, notes
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail on >threshold drift vs the committed baseline")
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max relative drift per metric (default 0.15)")
+    args = ap.parse_args()
+
+    failures, notes = compare(load(args.baseline), load(args.current),
+                              args.threshold)
+    for n in notes:
+        print(f"compare_bench: note: {n}")
+    if failures:
+        for f in failures:
+            print(f"compare_bench: FAIL {f}")
+        print(f"compare_bench: {len(failures)} metric(s) drifted beyond "
+              f"±{args.threshold:.0%}; see bench/compare_bench.py for the "
+              "re-baselining procedure")
+        return 1
+    print("compare_bench: all metrics within "
+          f"±{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Merge BENCH_JSON lines from bench logs into one bench.json document.
+
+Every bench binary prints a single machine-readable line
+
+    BENCH_JSON {"bench": "<name>", "metric": value, ...}
+
+next to its human-readable tables.  CI runs the smoke benches, tees their
+stdout to log files, and calls this script to fold all the BENCH_JSON
+lines into one JSON object keyed by bench name:
+
+    python3 bench/merge_bench.py bench.json log1 [log2 ...]
+
+The merged document is the run's perf fingerprint — upload it as an
+artifact and diff it against bench/baseline.json with compare_bench.py.
+A bench that appears twice (e.g. --quick and full in one log) keeps the
+last line, matching "the most recent run wins".
+"""
+
+import json
+import sys
+
+PREFIX = "BENCH_JSON "
+
+
+def merge(paths):
+    merged = {}
+    for path in paths:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            for line in f:
+                line = line.strip()
+                if not line.startswith(PREFIX):
+                    continue
+                record = json.loads(line[len(PREFIX):])
+                name = record.pop("bench", None)
+                if name is None:
+                    raise ValueError(f"{path}: BENCH_JSON line without 'bench'")
+                merged[name] = record
+    return merged
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    out_path, logs = argv[1], argv[2:]
+    merged = merge(logs)
+    if not merged:
+        print("merge_bench: no BENCH_JSON lines found", file=sys.stderr)
+        return 1
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"merge_bench: wrote {len(merged)} bench record(s) to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

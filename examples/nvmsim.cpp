@@ -27,8 +27,12 @@
 // and placement_wear_weight (bias placement away from worn devices), and
 // the redundancy knobs redundancy=replicate|erasure, ec_k, ec_m,
 // ec_encode_bw_gbps (RS(k,m) striping with degraded reads + fragment
-// repair instead of whole-chunk replication).
+// repair instead of whole-chunk replication), and the QoS knobs qos
+// (multi-tenant admission scheduling), qos_burst_ms, qos_window_ms and
+// tenant=<id>:<weight>:<share>:<priority>[,...] (per-tenant policy;
+// maintenance is tenant 1 and inherits repair_bw_fraction by default).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -107,6 +111,35 @@ TestbedOptions BuildTestbed(const Config& cfg) {
   to.store.ec_m = static_cast<uint32_t>(cfg.GetInt("ec_m", to.store.ec_m));
   to.store.ec_encode_bw_gbps =
       cfg.GetDouble("ec_encode_bw_gbps", to.store.ec_encode_bw_gbps);
+  to.store.qos = cfg.GetBool("qos", to.store.qos);
+  to.store.qos_burst_ms = cfg.GetInt("qos_burst_ms", to.store.qos_burst_ms);
+  to.store.qos_window_ms =
+      cfg.GetInt("qos_window_ms", to.store.qos_window_ms);
+  // tenant=<id>:<weight>:<share>:<priority>, comma-separated.  Trailing
+  // fields may be omitted (defaults: weight 1, share 0, priority 1).
+  if (cfg.Has("tenant")) {
+    const std::string spec = cfg.GetString("tenant");
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t end = spec.find(',', pos);
+      if (end == std::string::npos) end = spec.size();
+      const std::string one = spec.substr(pos, end - pos);
+      pos = end + 1;
+      if (one.empty()) continue;
+      store::QosTenant t;
+      char* cur = nullptr;
+      t.id = static_cast<store::TenantId>(
+          std::strtoul(one.c_str(), &cur, 10));
+      if (cur != nullptr && *cur == ':') t.weight = std::strtod(cur + 1, &cur);
+      if (cur != nullptr && *cur == ':') {
+        t.bw_share = std::strtod(cur + 1, &cur);
+      }
+      if (cur != nullptr && *cur == ':') {
+        t.priority = static_cast<int>(std::strtol(cur + 1, &cur, 10));
+      }
+      to.store.qos_tenants.push_back(t);
+    }
+  }
   to.page_pool_bytes = cfg.GetBytes("pool", to.page_pool_bytes);
   return to;
 }

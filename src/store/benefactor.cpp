@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/checksum.hpp"
+#include "store/qos.hpp"
 
 namespace nvm::store {
 
@@ -36,6 +37,19 @@ Status Benefactor::EnsureAlive() const {
     return Unavailable("benefactor " + std::to_string(id_) + " is down");
   }
   return OkStatus();
+}
+
+void Benefactor::AdmitTransfer(sim::VirtualClock& clock, TenantId tenant,
+                               uint64_t ssd_bytes, bool is_write,
+                               uint64_t wire_bytes) {
+  if (qos_ == nullptr || !qos_->enabled()) return;
+  const sim::DeviceProfile& p = node_.ssd().profile();
+  const int64_t service = sim::TransferNs(
+      ssd_bytes, is_write ? p.write_bw_mbps : p.read_bw_mbps,
+      is_write ? p.write_latency_ns : p.read_latency_ns);
+  const int64_t start = qos_->AdmitChunk(id_, node_.id(), tenant, service,
+                                         wire_bytes, clock.now());
+  if (start > clock.now()) clock.AdvanceTo(start);
 }
 
 Status Benefactor::ReserveChunks(uint64_t count) {
@@ -151,7 +165,8 @@ Status Benefactor::CorruptChunk(const ChunkKey& key, uint64_t byte_offset,
 }
 
 Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
-                             std::span<uint8_t> out, bool* sparse) {
+                             std::span<uint8_t> out, bool* sparse,
+                             TenantId tenant) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   read_requests_.Add(1);
   NVM_CHECK(out.size() == config_.chunk_bytes);
@@ -174,6 +189,8 @@ Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
     has_crc = it->second.has_crc;
     crc = it->second.crc;
   }
+  AdmitTransfer(clock, tenant, config_.chunk_bytes, /*is_write=*/false,
+                config_.chunk_bytes);
   node_.ssd().ChargeRead(clock, offset, config_.chunk_bytes);
   data_bytes_out_.Add(config_.chunk_bytes);
   // Verify before serving: bit rot must never reach a reader.
@@ -190,7 +207,7 @@ Status Benefactor::ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
 
 Status Benefactor::ReadChunkRun(sim::VirtualClock& clock,
                                 std::span<const ChunkKey> keys,
-                                const ChunkRunSink& sink) {
+                                const ChunkRunSink& sink, TenantId tenant) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   read_requests_.Add(1);
   std::vector<uint8_t> buf;
@@ -234,6 +251,10 @@ Status Benefactor::ReadChunkRun(sim::VirtualClock& clock,
     }
     // The run occupies one device queueing slot: the first stored chunk
     // pays the per-request read latency, the rest stream at bandwidth.
+    // QoS admits chunk-by-chunk, so a throttled tenant's long run leaves
+    // gaps other tenants backfill instead of one multi-millisecond hog.
+    AdmitTransfer(clock, tenant, config_.chunk_bytes, /*is_write=*/false,
+                  config_.chunk_bytes);
     node_.ssd().ChargeRunRead(clock, offset, config_.chunk_bytes,
                               first_data_chunk);
     first_data_chunk = false;
@@ -283,7 +304,8 @@ bool Benefactor::StoreCrcLocked(StoredChunk& chunk, size_t pages_written,
 }
 
 Status Benefactor::VerifyChunk(sim::VirtualClock& clock, const ChunkKey& key,
-                               uint32_t expected_crc, bool* sparse) {
+                               uint32_t expected_crc, bool* sparse,
+                               TenantId tenant) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   verify_requests_.Add(1);
   if (sparse != nullptr) *sparse = false;
@@ -304,6 +326,8 @@ Status Benefactor::VerifyChunk(sim::VirtualClock& clock, const ChunkKey& key,
   // bytes never leave the node: only the verdict crosses the network.
   // Charged for the stored blob's actual size — a full chunk for
   // replicated data, one fragment for erasure-coded data.
+  AdmitTransfer(clock, tenant, buf.size(), /*is_write=*/false,
+                /*wire_bytes=*/0);
   node_.ssd().ChargeRead(clock, offset, buf.size());
   clock.Advance(config_.checksum_ns(buf.size()));
   if (Crc32c(buf.data(), buf.size()) != expected_crc) {
@@ -316,7 +340,8 @@ Status Benefactor::VerifyChunk(sim::VirtualClock& clock, const ChunkKey& key,
 Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
                               const Bitmap& dirty_pages,
                               std::span<const uint8_t> data,
-                              const uint32_t* crc, uint32_t* stored_crc) {
+                              const uint32_t* crc, uint32_t* stored_crc,
+                              TenantId /*tenant*/) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   write_requests_.Add(1);
   NVM_CHECK(data.size() == config_.chunk_bytes);
@@ -373,6 +398,8 @@ Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
   if (pages_written > 0) {
     if (charge_crc) clock.Advance(config_.checksum_ns(config_.chunk_bytes));
     const uint64_t bytes = pages_written * config_.page_bytes;
+    // No admission here: the caller admitted BEFORE shipping the dirty
+    // pages over the wire (see AdmitTransfer's contract in the header).
     node_.ssd().ChargeWrite(clock, offset, bytes);
     data_bytes_in_.Add(bytes);
     MaybeKillAfterWrite();
@@ -383,7 +410,7 @@ Status Benefactor::WritePages(sim::VirtualClock& clock, const ChunkKey& key,
 
 Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
                                  std::span<const ChunkWriteItem> items,
-                                 const ChunkRunSend& send) {
+                                 const ChunkRunSend& send, TenantId tenant) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   write_requests_.Add(1);
   const int64_t t0 = clock.now();
@@ -404,7 +431,8 @@ Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
       const int64_t instr_at =
           send(RunMsg::kControl, t0, config_.meta_request_bytes);
       clock.AdvanceTo(instr_at);
-      NVM_RETURN_IF_ERROR(CloneChunk(clock, item.clone_from, item.key));
+      NVM_RETURN_IF_ERROR(
+          CloneChunk(clock, item.clone_from, item.key, tenant));
     }
 
     const uint64_t dirty_bytes = item.dirty->PopCount() * config_.page_bytes;
@@ -467,7 +495,10 @@ Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
       if (charge_crc) clock.Advance(config_.checksum_ns(config_.chunk_bytes));
       // The run occupies one device queueing slot: the first programmed
       // chunk pays the per-request write latency, the rest stream at
-      // bandwidth.
+      // bandwidth.  QoS admits chunk-by-chunk so a throttled writer's run
+      // yields the device between chunks.
+      AdmitTransfer(clock, tenant, pages_written * config_.page_bytes,
+                    /*is_write=*/true, /*wire_bytes=*/0);
       node_.ssd().ChargeRunWrite(clock, offset,
                                  pages_written * config_.page_bytes,
                                  first_data_chunk);
@@ -482,7 +513,7 @@ Status Benefactor::WriteChunkRun(sim::VirtualClock& clock,
 
 Status Benefactor::WriteFragment(sim::VirtualClock& clock, const ChunkKey& key,
                                  std::span<const uint8_t> data,
-                                 const uint32_t* crc) {
+                                 const uint32_t* crc, TenantId /*tenant*/) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   write_requests_.Add(1);
   NVM_CHECK(data.size() > 0 && data.size() <= config_.chunk_bytes);
@@ -505,6 +536,7 @@ Status Benefactor::WriteFragment(sim::VirtualClock& clock, const ChunkKey& key,
       it->second.has_crc = true;
     }
   }
+  // No admission here: the caller admitted before shipping the fragment.
   node_.ssd().ChargeWrite(clock, offset, data.size());
   data_bytes_in_.Add(data.size());
   MaybeKillAfterWrite();
@@ -513,7 +545,8 @@ Status Benefactor::WriteFragment(sim::VirtualClock& clock, const ChunkKey& key,
 }
 
 Status Benefactor::ReadFragment(sim::VirtualClock& clock, const ChunkKey& key,
-                                std::span<uint8_t> out, bool* sparse) {
+                                std::span<uint8_t> out, bool* sparse,
+                                TenantId tenant) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   read_requests_.Add(1);
   if (sparse != nullptr) *sparse = false;
@@ -537,6 +570,7 @@ Status Benefactor::ReadFragment(sim::VirtualClock& clock, const ChunkKey& key,
     has_crc = it->second.has_crc;
     crc = it->second.crc;
   }
+  AdmitTransfer(clock, tenant, out.size(), /*is_write=*/false, out.size());
   node_.ssd().ChargeRead(clock, offset, out.size());
   data_bytes_out_.Add(out.size());
   // Verify before serving: a rotted fragment must surface as CORRUPT, not
@@ -553,7 +587,7 @@ Status Benefactor::ReadFragment(sim::VirtualClock& clock, const ChunkKey& key,
 }
 
 Status Benefactor::CloneChunk(sim::VirtualClock& clock, const ChunkKey& from,
-                              const ChunkKey& to) {
+                              const ChunkKey& to, TenantId tenant) {
   NVM_RETURN_IF_ERROR(EnsureAlive());
   uint64_t src_offset = 0;
   uint64_t dst_offset = 0;
@@ -579,7 +613,11 @@ Status Benefactor::CloneChunk(sim::VirtualClock& clock, const ChunkKey& from,
     // clone is sparse too.
   }
   if (materialised) {
+    AdmitTransfer(clock, tenant, config_.chunk_bytes, /*is_write=*/false,
+                  /*wire_bytes=*/0);
     node_.ssd().ChargeRead(clock, src_offset, config_.chunk_bytes);
+    AdmitTransfer(clock, tenant, config_.chunk_bytes, /*is_write=*/true,
+                  /*wire_bytes=*/0);
     node_.ssd().ChargeWrite(clock, dst_offset, config_.chunk_bytes);
   }
   return OkStatus();

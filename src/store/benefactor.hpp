@@ -21,6 +21,8 @@
 
 namespace nvm::store {
 
+class QosScheduler;
+
 class Benefactor {
  public:
   Benefactor(int id, net::Node& node, uint64_t contributed_bytes,
@@ -46,6 +48,13 @@ class Benefactor {
   Status ReserveBytes(uint64_t bytes);
   void ReleaseBytes(uint64_t bytes);
 
+  // Attach the store-wide QoS scheduler.  Every data-plane request below
+  // carries a TenantId; before booking device or wire time the benefactor
+  // asks the scheduler for an admission floor on its SSD lane and its
+  // node's NIC lane (a no-op when `qos` is off or no scheduler is
+  // attached).
+  void AttachQos(QosScheduler* qos) { qos_ = qos; }
+
   // --- data plane (invoked by StoreClient after a location lookup) ---
 
   // Read the full chunk into `out` (out.size() == chunk_bytes).  A chunk
@@ -56,7 +65,8 @@ class Benefactor {
   // re-checksummed before serving (CPU charged at checksum_bw_gbps); a
   // mismatch fails the read with CORRUPT and serves nothing.
   Status ReadChunk(sim::VirtualClock& clock, const ChunkKey& key,
-                   std::span<uint8_t> out, bool* sparse = nullptr);
+                   std::span<uint8_t> out, bool* sparse = nullptr,
+                   TenantId tenant = kTenantForeground);
 
   // Multi-chunk streamed read — the run RPC.  One call is ONE request at
   // this benefactor (one header, one device queueing slot): each stored
@@ -68,7 +78,8 @@ class Benefactor {
   // UNAVAILABLE — the caller must discard any chunks already streamed (no
   // partial runs are surfaced).
   Status ReadChunkRun(sim::VirtualClock& clock, std::span<const ChunkKey> keys,
-                      const ChunkRunSink& sink);
+                      const ChunkRunSink& sink,
+                      TenantId tenant = kTenantForeground);
 
   // Write the pages marked in `dirty_pages` from the chunk image `data`
   // into the stored chunk, materialising it if absent.  Only dirty pages
@@ -84,7 +95,8 @@ class Benefactor {
   Status WritePages(sim::VirtualClock& clock, const ChunkKey& key,
                     const Bitmap& dirty_pages, std::span<const uint8_t> data,
                     const uint32_t* crc = nullptr,
-                    uint32_t* stored_crc = nullptr);
+                    uint32_t* stored_crc = nullptr,
+                    TenantId tenant = kTenantForeground);
 
   // Scrub support: re-read the stored chunk off the device, recompute its
   // CRC32C (both charged to `clock`) and compare against the manager's
@@ -93,7 +105,8 @@ class Benefactor {
   // chunk bytes never cross the network — verification is benefactor-
   // local against the shipped expected value.
   Status VerifyChunk(sim::VirtualClock& clock, const ChunkKey& key,
-                     uint32_t expected_crc, bool* sparse = nullptr);
+                     uint32_t expected_crc, bool* sparse = nullptr,
+                     TenantId tenant = kTenantMaintenance);
 
   // Multi-chunk streamed write — the write-side run RPC.  One call is ONE
   // request at this benefactor (one header, one device queueing slot).
@@ -106,7 +119,8 @@ class Benefactor {
   // unwritten on this replica.
   Status WriteChunkRun(sim::VirtualClock& clock,
                        std::span<const ChunkWriteItem> items,
-                       const ChunkRunSend& send);
+                       const ChunkRunSend& send,
+                       TenantId tenant = kTenantForeground);
 
   // --- erasure-coded fragment plane ---
   // A fragment is stored under the chunk's plain ChunkKey (failure-domain
@@ -119,7 +133,8 @@ class Benefactor {
   // of the fragment (stored verbatim; ignored when integrity is off).
   Status WriteFragment(sim::VirtualClock& clock, const ChunkKey& key,
                        std::span<const uint8_t> data,
-                       const uint32_t* crc = nullptr);
+                       const uint32_t* crc = nullptr,
+                       TenantId tenant = kTenantForeground);
 
   // Read the full fragment into `out` (out.size() == ec_frag_bytes).  A
   // reserved-but-never-written fragment reads as zeros without touching
@@ -127,12 +142,14 @@ class Benefactor {
   // re-checksummed before serving and a mismatch fails with CORRUPT —
   // rot surfaces as an error, never as wrong bytes in a reconstruction.
   Status ReadFragment(sim::VirtualClock& clock, const ChunkKey& key,
-                      std::span<uint8_t> out, bool* sparse = nullptr);
+                      std::span<uint8_t> out, bool* sparse = nullptr,
+                      TenantId tenant = kTenantForeground);
 
   // Copy-on-write support: duplicate `from` under key `to` locally
   // (device read + write of one chunk, no network).
   Status CloneChunk(sim::VirtualClock& clock, const ChunkKey& from,
-                    const ChunkKey& to);
+                    const ChunkKey& to,
+                    TenantId tenant = kTenantForeground);
 
   // Drop the chunk (refcount reached zero at the manager).
   Status DeleteChunk(const ChunkKey& key);
@@ -197,6 +214,20 @@ class Benefactor {
   // Returns false when the chunk is absent (reserved-but-sparse).
   bool StoredChunkCrc(const ChunkKey& key, bool* has_crc, uint32_t* crc) const;
 
+ // QoS admission for one chunk-sized transfer: estimate the device
+  // service time for `ssd_bytes`, ask the scheduler for a start floor on
+  // this benefactor's SSD lane and this node's NIC lane (`wire_bytes` on
+  // the wire), and advance `clock` to it.  No-op when qos is off.
+  //
+  // Callers that ship chunk data to this benefactor MUST admit before
+  // booking the wire transfer: admission is the request's entry gate, and
+  // bytes sent ahead of it would occupy the NIC in front of tenants the
+  // scheduler is protecting.  WritePages/WriteFragment therefore do NOT
+  // re-admit internally; the read RPCs admit themselves (their payload
+  // crosses the wire after the device read, behind the admission point).
+  void AdmitTransfer(sim::VirtualClock& clock, TenantId tenant,
+                     uint64_t ssd_bytes, bool is_write, uint64_t wire_bytes);
+
  private:
   struct StoredChunk {
     std::vector<uint8_t> data;
@@ -224,11 +255,11 @@ class Benefactor {
   // taking the client-supplied full-image crc).
   bool StoreCrcLocked(StoredChunk& chunk, size_t pages_written,
                       const uint32_t* crc);
-
   const int id_;
   net::Node& node_;
   const uint64_t contributed_bytes_;
   const StoreConfig config_;
+  QosScheduler* qos_ = nullptr;  // store-owned; attached after construction
 
   mutable std::mutex mutex_;
   std::unordered_map<ChunkKey, StoredChunk, ChunkKeyHash> chunks_;

@@ -7,12 +7,16 @@
 #include "common/checksum.hpp"
 #include "common/log.hpp"
 #include "store/erasure.hpp"
+#include "store/qos.hpp"
 
 namespace nvm::store {
 
 StoreClient::StoreClient(net::Cluster& cluster, Manager& manager,
-                         int local_node)
-    : cluster_(cluster), manager_(manager), local_node_(local_node) {}
+                         int local_node, QosScheduler* qos)
+    : cluster_(cluster),
+      manager_(manager),
+      local_node_(local_node),
+      qos_(qos) {}
 
 void StoreClient::ChargeMetaRoundTrip(sim::VirtualClock& clock) {
   const StoreConfig& cfg = manager_.config();
@@ -109,6 +113,15 @@ void StoreClient::InvalidateLocation(FileId id, uint32_t chunk_index) {
 
 Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
                               uint32_t chunk_index, std::span<uint8_t> out) {
+  const int64_t t0 = clock.now();
+  Status s = ReadChunkInner(clock, id, chunk_index, out);
+  if (s.ok() && qos_ != nullptr) qos_->RecordRead(tenant_, clock.now() - t0);
+  return s;
+}
+
+Status StoreClient::ReadChunkInner(sim::VirtualClock& clock, FileId id,
+                                   uint32_t chunk_index,
+                                   std::span<uint8_t> out) {
   const StoreConfig& cfg = manager_.config();
   NVM_CHECK(out.size() == cfg.chunk_bytes);
 
@@ -138,7 +151,7 @@ Status StoreClient::ReadChunk(sim::VirtualClock& clock, FileId id,
       cluster_.network().Transfer(clock, local_node_, b->node_id(),
                                   cfg.meta_request_bytes);
       bool sparse = false;
-      Status s = b->ReadChunk(clock, loc.key, out, &sparse);
+      Status s = b->ReadChunk(clock, loc.key, out, &sparse, tenant_);
       if (s.ok()) {
         // A hole costs only the "no such chunk" reply, not a data
         // transfer.
@@ -215,7 +228,7 @@ Status StoreClient::ReadStripe(sim::VirtualClock& clock, FileId id,
                                   cfg.meta_request_bytes);
       std::vector<uint8_t> buf(fb);
       bool sparse = false;
-      Status s = b->ReadFragment(frag_clock, loc.key, buf, &sparse);
+      Status s = b->ReadFragment(frag_clock, loc.key, buf, &sparse, tenant_);
       if (s.ok()) {
         // A hole costs only the "no such fragment" reply (it reads as
         // zeros — a never-written region of the stripe).
@@ -313,7 +326,8 @@ Status StoreClient::ReadRun(sim::VirtualClock& clock,
         }
         f.status = OkStatus();
         return OkStatus();
-      });
+      },
+      tenant_);
   if (!streamed.ok()) return streamed;
   bytes_fetched_.Add(data_bytes);
   return OkStatus();
@@ -321,6 +335,18 @@ Status StoreClient::ReadRun(sim::VirtualClock& clock,
 
 Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
                                std::span<ChunkFetch> fetches) {
+  const int64_t t_entry = clock.now();
+  Status s = ReadChunksInner(clock, id, fetches);
+  if (s.ok() && qos_ != nullptr) {
+    for (const ChunkFetch& f : fetches) {
+      if (f.status.ok()) qos_->RecordRead(tenant_, f.ready_at - t_entry);
+    }
+  }
+  return s;
+}
+
+Status StoreClient::ReadChunksInner(sim::VirtualClock& clock, FileId id,
+                                    std::span<ChunkFetch> fetches) {
   if (fetches.empty()) return OkStatus();
   const StoreConfig& cfg = manager_.config();
   uint32_t lo = fetches[0].index;
@@ -345,7 +371,7 @@ Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
       // already warm, so ReadChunk issues no further lookups unless a
       // replica fails.
       sim::VirtualClock detached(t0);
-      f.status = ReadChunk(detached, id, f.index, f.out);
+      f.status = ReadChunkInner(detached, id, f.index, f.out);
       f.ready_at = detached.now();
     }
     return OkStatus();
@@ -365,8 +391,8 @@ Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
   for (size_t i = 0; i < fetches.size(); ++i) {
     if (!locs[i].benefactors.empty()) continue;
     sim::VirtualClock detached(t0);
-    fetches[i].status = ReadChunk(detached, id, fetches[i].index,
-                                  fetches[i].out);
+    fetches[i].status = ReadChunkInner(detached, id, fetches[i].index,
+                                       fetches[i].out);
     fetches[i].ready_at = detached.now();
   }
 
@@ -389,7 +415,7 @@ Status StoreClient::ReadChunks(sim::VirtualClock& clock, FileId id,
     for (size_t idx : run.items) {
       sim::VirtualClock fallback(t0);
       fetches[idx].status =
-          ReadChunk(fallback, id, fetches[idx].index, fetches[idx].out);
+          ReadChunkInner(fallback, id, fetches[idx].index, fetches[idx].out);
       fetches[idx].ready_at = fallback.now();
     }
   }
@@ -408,15 +434,18 @@ Status StoreClient::WriteReplica(sim::VirtualClock& clock,
     // COW: instruct the benefactor to clone locally before the write.
     cluster_.network().Transfer(clock, local_node_, b->node_id(),
                                 cfg.meta_request_bytes);
-    NVM_RETURN_IF_ERROR(b->CloneChunk(clock, loc.clone_from, loc.key));
+    NVM_RETURN_IF_ERROR(
+        b->CloneChunk(clock, loc.clone_from, loc.key, tenant_));
   }
-  // Ship only the dirty pages.
+  // Ship only the dirty pages — admission first: the scheduler gates the
+  // request before its bytes occupy the benefactor's NIC.
   const uint64_t dirty_bytes = dirty_pages.PopCount() * cfg.page_bytes;
+  b->AdmitTransfer(clock, tenant_, dirty_bytes, /*is_write=*/true,
+                   dirty_bytes + cfg.meta_request_bytes);
   cluster_.network().Transfer(clock, local_node_, b->node_id(),
                               dirty_bytes + cfg.meta_request_bytes);
-  NVM_RETURN_IF_ERROR(
-      b->WritePages(clock, loc.key, dirty_pages, chunk_image, crc,
-                    stored_crc));
+  NVM_RETURN_IF_ERROR(b->WritePages(clock, loc.key, dirty_pages,
+                                    chunk_image, crc, stored_crc, tenant_));
   cluster_.network().Transfer(clock, b->node_id(), local_node_,
                               cfg.meta_response_bytes);
   return OkStatus();
@@ -426,6 +455,17 @@ Status StoreClient::WriteChunkPages(sim::VirtualClock& clock, FileId id,
                                     uint32_t chunk_index,
                                     const Bitmap& dirty_pages,
                                     std::span<const uint8_t> chunk_image) {
+  const int64_t t0 = clock.now();
+  Status s =
+      WriteChunkPagesInner(clock, id, chunk_index, dirty_pages, chunk_image);
+  if (s.ok() && qos_ != nullptr) qos_->RecordWrite(tenant_, clock.now() - t0);
+  return s;
+}
+
+Status StoreClient::WriteChunkPagesInner(sim::VirtualClock& clock, FileId id,
+                                         uint32_t chunk_index,
+                                         const Bitmap& dirty_pages,
+                                         std::span<const uint8_t> chunk_image) {
   const StoreConfig& cfg = manager_.config();
   NVM_CHECK(chunk_image.size() == cfg.chunk_bytes);
   if (dirty_pages.None()) return OkStatus();
@@ -542,7 +582,7 @@ Status StoreClient::WriteStripe(sim::VirtualClock& clock, FileId id,
   std::span<const uint8_t> full = chunk_image;
   if (dirty_pages.PopCount() < cfg.pages_per_chunk()) {
     merged.resize(cfg.chunk_bytes);
-    NVM_RETURN_IF_ERROR(ReadChunk(clock, id, chunk_index, merged));
+    NVM_RETURN_IF_ERROR(ReadChunkInner(clock, id, chunk_index, merged));
     dirty_pages.ForEachSet([&](size_t p) {
       std::memcpy(merged.data() + p * cfg.page_bytes,
                   chunk_image.data() + p * cfg.page_bytes, cfg.page_bytes);
@@ -590,10 +630,13 @@ Status StoreClient::WriteStripe(sim::VirtualClock& clock, FileId id,
     Benefactor* b = manager_.benefactor(bid);
     NVM_CHECK(b != nullptr);
     sim::VirtualClock frag_clock(t0);
+    b->AdmitTransfer(frag_clock, tenant_, fb, /*is_write=*/true,
+                     fb + cfg.meta_request_bytes);
     cluster_.network().Transfer(frag_clock, local_node_, b->node_id(),
                                 fb + cfg.meta_request_bytes);
     Status s = b->WriteFragment(frag_clock, loc.key, frags[pos],
-                                with_crc ? &frag_crcs[pos] : nullptr);
+                                with_crc ? &frag_crcs[pos] : nullptr,
+                                tenant_);
     if (s.ok()) {
       cluster_.network().Transfer(frag_clock, b->node_id(), local_node_,
                                   cfg.meta_response_bytes);
@@ -683,7 +726,7 @@ Status StoreClient::WriteRun(sim::VirtualClock& clock,
     }
     return stream.Push(earliest, bytes);
   };
-  NVM_RETURN_IF_ERROR(b->WriteChunkRun(clock, items, send));
+  NVM_RETURN_IF_ERROR(b->WriteChunkRun(clock, items, send, tenant_));
   // One response acknowledges the whole run.
   cluster_.network().Transfer(clock, b->node_id(), local_node_,
                               cfg.meta_response_bytes);
@@ -692,6 +735,20 @@ Status StoreClient::WriteRun(sim::VirtualClock& clock,
 
 Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
                                 std::span<ChunkWrite> writes) {
+  const int64_t t_entry = clock.now();
+  Status s = WriteChunksInner(clock, id, writes);
+  if (s.ok() && qos_ != nullptr) {
+    for (const ChunkWrite& w : writes) {
+      if (w.status.ok() && w.dirty != nullptr && !w.dirty->None()) {
+        qos_->RecordWrite(tenant_, w.ready_at - t_entry);
+      }
+    }
+  }
+  return s;
+}
+
+Status StoreClient::WriteChunksInner(sim::VirtualClock& clock, FileId id,
+                                     std::span<ChunkWrite> writes) {
   if (writes.empty()) return OkStatus();
   const StoreConfig& cfg = manager_.config();
 
@@ -714,7 +771,7 @@ Status StoreClient::WriteChunks(sim::VirtualClock& clock, FileId id,
     // per chunk, serialised on the caller's clock.
     for (size_t i : active) {
       ChunkWrite& w = writes[i];
-      w.status = WriteChunkPages(clock, id, w.index, *w.dirty, w.image);
+      w.status = WriteChunkPagesInner(clock, id, w.index, *w.dirty, w.image);
       w.ready_at = clock.now();
     }
     return OkStatus();

@@ -20,12 +20,24 @@
 
 namespace nvm::store {
 
+class QosScheduler;
+
 class StoreClient {
  public:
-  StoreClient(net::Cluster& cluster, Manager& manager, int local_node);
+  // `qos` (may be null) is the store-wide scheduler: the client stamps its
+  // TenantId on every benefactor request and records per-tenant read/write
+  // latencies against it.
+  StoreClient(net::Cluster& cluster, Manager& manager, int local_node,
+              QosScheduler* qos = nullptr);
 
   int local_node() const { return local_node_; }
   const StoreConfig& config() const { return manager_.config(); }
+
+  // The tenant this client's traffic is accounted (and admission-
+  // scheduled) as.  Defaults to kTenantForeground; one client serves one
+  // tenant at a time (a mount is a tenant's view of the store).
+  void SetTenant(TenantId tenant) { tenant_ = tenant; }
+  TenantId tenant() const { return tenant_; }
 
   // All operations charge modelled time to the explicit `clock` — callers
   // that issue background transfers (read-ahead) pass a detached clock so
@@ -156,6 +168,19 @@ class StoreClient {
 
   // Charge the metadata round-trip to the manager node.
   void ChargeMetaRoundTrip(sim::VirtualClock& clock);
+  // Un-instrumented bodies of the public data-plane calls.  The public
+  // wrappers record per-tenant end-to-end latency; internal re-entries
+  // (batch fallbacks, the EC read-modify-write) call these directly so a
+  // single logical operation is recorded exactly once.
+  Status ReadChunkInner(sim::VirtualClock& clock, FileId id,
+                        uint32_t chunk_index, std::span<uint8_t> out);
+  Status ReadChunksInner(sim::VirtualClock& clock, FileId id,
+                         std::span<ChunkFetch> fetches);
+  Status WriteChunkPagesInner(sim::VirtualClock& clock, FileId id,
+                              uint32_t chunk_index, const Bitmap& dirty_pages,
+                              std::span<const uint8_t> chunk_image);
+  Status WriteChunksInner(sim::VirtualClock& clock, FileId id,
+                          std::span<ChunkWrite> writes);
   // Chunk locations are immutable until a COW bumps the version, so the
   // client caches read locations after the first manager lookup (the
   // paper's FUSE client keeps the same mapping state).  A failed read
@@ -216,6 +241,8 @@ class StoreClient {
   net::Cluster& cluster_;
   Manager& manager_;
   const int local_node_;
+  QosScheduler* qos_ = nullptr;
+  TenantId tenant_ = kTenantForeground;
   Counter bytes_fetched_;
   Counter bytes_flushed_;
   Counter meta_rtts_;

@@ -20,6 +20,7 @@ MaintenanceService::MaintenanceService(Manager& manager)
       heartbeat_period_ns_(manager.config().heartbeat_period_ms * kMsToNs),
       heartbeat_misses_(manager.config().heartbeat_misses),
       bw_fraction_(manager.config().repair_bw_fraction),
+      qos_on_(manager.config().qos),
       scrub_period_ns_(manager.config().scrub_period_ms * kMsToNs),
       // Checkpointing needs a WAL to write into; a wal-less manager (or a
       // zero period) disables the loop entirely.
@@ -246,8 +247,9 @@ void MaintenanceService::RepairBatch(sim::VirtualClock& clock) {
   // Duty-cycle throttle: after `busy` ns of repair traffic the worker
   // idles busy*(1-f)/f ns.  The idle shows up as gaps in the device and
   // NIC timelines, which foreground requests backfill — so at f=0.1,
-  // repair consumes at most ~10% of any resource over time.
-  if (bw_fraction_ < 1.0 && busy > 0) {
+  // repair consumes at most ~10% of any resource over time.  With QoS on
+  // the scheduler already paces maintenance per lane, so skip the idle.
+  if (bw_fraction_ < 1.0 && busy > 0 && !qos_on_) {
     const auto idle = static_cast<int64_t>(
         static_cast<double>(busy) * (1.0 - bw_fraction_) / bw_fraction_);
     clock.Advance(idle);
@@ -307,7 +309,7 @@ void MaintenanceService::ScrubPass(sim::VirtualClock& clock) {
     scrub_chunks_verified_.Add(verified.chunks_checked);
     scrub_bytes_verified_.Add(verified.bytes_checked);
     const int64_t busy = clock.now() - busy_start;
-    if (bw_fraction_ < 1.0 && busy > 0) {
+    if (bw_fraction_ < 1.0 && busy > 0 && !qos_on_) {
       const auto idle = static_cast<int64_t>(
           static_cast<double>(busy) * (1.0 - bw_fraction_) / bw_fraction_);
       clock.Advance(idle);

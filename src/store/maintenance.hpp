@@ -165,6 +165,9 @@ class MaintenanceService {
   const int64_t heartbeat_period_ns_;
   const int heartbeat_misses_;
   const double bw_fraction_;
+  // When the QoS scheduler arbitrates maintenance as a tenant, the local
+  // duty-cycle throttle is redundant (and would double-penalise repair).
+  const bool qos_on_;
   const int64_t scrub_period_ns_;
   // 0 when disabled (no WAL attached, or checkpoint_period_ms == 0).
   const int64_t checkpoint_period_ns_;

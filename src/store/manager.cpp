@@ -678,7 +678,8 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
       sim::VirtualClock fetch(start);
       std::vector<uint8_t> buf(fb);
       bool sparse = false;
-      Status s = b->ReadFragment(fetch, plan.key, buf, &sparse);
+      Status s = b->ReadFragment(fetch, plan.key, buf, &sparse,
+                                 kTenantMaintenance);
       if (s.code() == ErrorCode::kCorrupt) {
         // The survivor failed its own read verification: quarantine at
         // commit, try the next fragment.
@@ -728,11 +729,14 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
       bool ok = b != nullptr && b->alive();
       sim::VirtualClock copy(rebuilt);
       if (ok && any_data) {
+        b->AdmitTransfer(copy, kTenantMaintenance, fb, /*is_write=*/true, fb);
         cluster_.network().Transfer(copy, manager_node_, b->node_id(), fb);
         const uint32_t* crc = plan.has_crc && plan.frag_crcs.size() == nf
                                   ? &plan.frag_crcs[pos]
                                   : nullptr;
-        ok = b->WriteFragment(copy, plan.key, frags[pos], crc).ok();
+        ok = b->WriteFragment(copy, plan.key, frags[pos], crc,
+                              kTenantMaintenance)
+                 .ok();
       }
       // An all-sparse stripe has no bytes to move: the reservation alone
       // makes the fragment (it reads back as zeros, like the survivors).
@@ -752,7 +756,8 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
   for (int bid : plan.survivors) {
     Benefactor* b = BenefactorAt(bid);
     if (b == nullptr) continue;
-    Status s = b->ReadChunk(clock, plan.key, buf, &sparse);
+    Status s = b->ReadChunk(clock, plan.key, buf, &sparse,
+                            kTenantMaintenance);
     if (s.code() == ErrorCode::kCorrupt) {
       // The survivor failed its own read verification: quarantine at
       // commit, try the next one.
@@ -789,11 +794,15 @@ Manager::RepairOutcome Manager::ExecuteRepairPlan(sim::VirtualClock& clock,
     if (ok && !sparse) {
       // Benefactor-to-benefactor move; the manager never touches the data.
       // The verified source bytes carry the authoritative checksum, so the
-      // target stores it without recomputing.
+      // target stores it without recomputing.  Admit before the wire so a
+      // repair storm queues behind the scheduler, not in front of it.
+      b->AdmitTransfer(copy, kTenantMaintenance, config_.chunk_bytes,
+                       /*is_write=*/true, config_.chunk_bytes);
       cluster_.network().Transfer(copy, BenefactorAt(src)->node_id(),
                                   b->node_id(), config_.chunk_bytes);
       ok = b->WritePages(copy, plan.key, all_pages, buf,
-                         plan.has_crc ? &plan.crc : nullptr)
+                         plan.has_crc ? &plan.crc : nullptr,
+                         /*stored_crc=*/nullptr, kTenantMaintenance)
                .ok();
     }
     // A sparse chunk has no bytes to move: the reservation alone makes the
@@ -1386,9 +1395,12 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
     if (ec) {
       const size_t frag_pos = static_cast<size_t>(pos - current.begin());
       std::vector<uint8_t> frag(move_bytes);
-      NVM_RETURN_IF_ERROR(
-          leaving->ReadFragment(clock, h->key, frag, &sparse));
+      NVM_RETURN_IF_ERROR(leaving->ReadFragment(clock, h->key, frag,
+                                                &sparse, kTenantMaintenance));
       if (!sparse) {
+        bens[static_cast<size_t>(dst)]->AdmitTransfer(
+            clock, kTenantMaintenance, move_bytes, /*is_write=*/true,
+            move_bytes);
         cluster_.network().Transfer(clock, leaving->node_id(),
                                     bens[static_cast<size_t>(dst)]->node_id(),
                                     move_bytes);
@@ -1398,18 +1410,22 @@ StatusOr<uint64_t> Manager::Decommission(sim::VirtualClock& clock, int id) {
                 ? &h->frag_crcs[frag_pos]
                 : nullptr;
         NVM_RETURN_IF_ERROR(bens[static_cast<size_t>(dst)]->WriteFragment(
-            clock, h->key, frag, crc));
+            clock, h->key, frag, crc, kTenantMaintenance));
       }
     } else {
-      NVM_RETURN_IF_ERROR(leaving->ReadChunk(clock, h->key, buf, &sparse));
+      NVM_RETURN_IF_ERROR(leaving->ReadChunk(clock, h->key, buf, &sparse,
+                                             kTenantMaintenance));
       if (!sparse) {
+        bens[static_cast<size_t>(dst)]->AdmitTransfer(
+            clock, kTenantMaintenance, config_.chunk_bytes,
+            /*is_write=*/true, config_.chunk_bytes);
         cluster_.network().Transfer(clock, leaving->node_id(),
                                     bens[static_cast<size_t>(dst)]->node_id(),
                                     config_.chunk_bytes);
         // The migrated bytes keep their authoritative checksum.
         NVM_RETURN_IF_ERROR(bens[static_cast<size_t>(dst)]->WritePages(
-            clock, h->key, all_pages, buf,
-            h->has_crc ? &h->crc : nullptr));
+            clock, h->key, all_pages, buf, h->has_crc ? &h->crc : nullptr,
+            /*stored_crc=*/nullptr, kTenantMaintenance));
       }
     }
     std::vector<int> rewritten = current;

@@ -1,0 +1,262 @@
+#include "store/qos.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/device.hpp"
+
+namespace nvm::store {
+
+namespace {
+
+// Effective-rate floor: even a zero-share tenant losing every priority
+// tie drains its queue at 2% of the lane — starvation-freedom.
+constexpr double kMinEffectiveRate = 0.02;
+
+uint64_t LaneKey(QosScheduler::Lane kind, int id) {
+  return (static_cast<uint64_t>(kind) << 32) |
+         static_cast<uint32_t>(id);
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(int64_t ns) {
+  const uint64_t v = ns > 0 ? static_cast<uint64_t>(ns) : 0;
+  counts_[static_cast<size_t>(BucketIndex(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int LatencyHistogram::BucketIndex(uint64_t v) {
+  if (v < (1u << kSubBits)) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int sub =
+      static_cast<int>((v >> (msb - kSubBits)) & ((1u << kSubBits) - 1));
+  return ((msb - kSubBits + 1) << kSubBits) + sub;
+}
+
+int64_t LatencyHistogram::BucketUpperEdge(int index) {
+  if (index < (1 << kSubBits)) return index;
+  const int octave = index >> kSubBits;
+  const int sub = index & ((1 << kSubBits) - 1);
+  const int msb = octave + kSubBits - 1;
+  const uint64_t lower = static_cast<uint64_t>((1 << kSubBits) + sub)
+                         << (msb - kSubBits);
+  return static_cast<int64_t>(lower + ((1ull << (msb - kSubBits)) - 1));
+}
+
+int64_t LatencyHistogram::Percentile(double p) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(n) + 0.5));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (seen >= target) return BucketUpperEdge(i);
+  }
+  return BucketUpperEdge(kBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+}
+
+QosScheduler::QosScheduler(const StoreConfig& config, double nic_bw_mbps)
+    : enabled_(config.qos),
+      min_rate_(kMinEffectiveRate),
+      burst_ns_(config.qos_burst_ms * 1'000'000),
+      window_ns_(config.qos_window_ms * 1'000'000),
+      nic_bw_mbps_(nic_bw_mbps),
+      policies_(config.qos_tenants) {
+  // Maintenance inherits the duty-cycle knob unless explicitly configured:
+  // share = repair_bw_fraction at priority 0 reproduces "repair may keep
+  // the devices f-busy, foreground goes first" as a tenant policy.
+  const bool has_maintenance =
+      std::any_of(policies_.begin(), policies_.end(),
+                  [](const QosTenant& t) { return t.id == kTenantMaintenance; });
+  if (!has_maintenance) {
+    QosTenant m;
+    m.id = kTenantMaintenance;
+    m.weight = 1.0;
+    m.bw_share = std::clamp(config.repair_bw_fraction, 0.0, 1.0);
+    m.priority = 0;
+    policies_.push_back(m);
+  }
+}
+
+QosScheduler::Policy QosScheduler::PolicyFor(TenantId tenant) const {
+  for (const QosTenant& t : policies_) {
+    if (t.id == tenant) {
+      return Policy{t.weight > 0 ? t.weight : 1.0,
+                    std::clamp(t.bw_share, 0.0, 1.0), t.priority};
+    }
+  }
+  return Policy{};
+}
+
+QosScheduler::TenantAccount& QosScheduler::Account(TenantId tenant) {
+  std::lock_guard<std::mutex> lock(accounts_mu_);
+  auto it = accounts_.find(tenant);
+  if (it == accounts_.end()) {
+    auto acct = std::make_unique<TenantAccount>();
+    acct->policy = PolicyFor(tenant);
+    it = accounts_.emplace(tenant, std::move(acct)).first;
+  }
+  return *it->second;
+}
+
+QosScheduler::LaneState& QosScheduler::LaneFor(Lane kind, int id) {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  auto& slot = lanes_[LaneKey(kind, id)];
+  if (!slot) slot = std::make_unique<LaneState>();
+  return *slot;
+}
+
+int64_t QosScheduler::Admit(Lane kind, int id, TenantId tenant,
+                            int64_t service_ns, int64_t now) {
+  if (!enabled_ || service_ns <= 0) return now;
+  const Policy mine = PolicyFor(tenant);
+  LaneState& lane = LaneFor(kind, id);
+  TenantAccount& acct = Account(tenant);
+  acct.admitted.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(lane.mu);
+  LaneTenant& me = lane.tenants[tenant];
+
+  // Refill the guaranteed share forward to `now` (requests can arrive out
+  // of virtual-time order across client threads; never refill backwards).
+  if (now > me.refill_at_ns) {
+    me.tokens_ns = std::min<double>(
+        static_cast<double>(burst_ns_),
+        me.tokens_ns +
+            mine.share * static_cast<double>(now - me.refill_at_ns));
+    me.refill_at_ns = now;
+  }
+
+  // Who else is competing for this lane right now?
+  const int64_t horizon = now - window_ns_;
+  double active_share = mine.share;
+  double top_tier_weight = 0;
+  int top_priority = mine.priority;
+  bool contended = false;
+  for (const auto& [other_id, other] : lane.tenants) {
+    if (other_id == tenant) continue;
+    if (other.active_until_ns <= horizon) continue;
+    contended = true;
+    const Policy p = PolicyFor(other_id);
+    active_share += p.share;
+    top_priority = std::max(top_priority, p.priority);
+  }
+  // Work conservation, stronger form: if everything already admitted on
+  // this lane completes by `now`, delaying this request protects nobody —
+  // the device would simply sit idle through the wait.  Pacing only makes
+  // sense against a backlog.
+  const bool backlogged = lane.frontier_ns > now;
+  int64_t start = now;
+  if (!contended || !backlogged) {
+    // A lone tenant (or an idle lane) is admitted immediately and spends
+    // nothing — identical to qos=off.
+  } else {
+    double active_weight = 0;
+    for (const auto& [other_id, other] : lane.tenants) {
+      if (other.active_until_ns <= horizon && other_id != tenant) continue;
+      const Policy p =
+          other_id == tenant ? mine : PolicyFor(other_id);
+      active_weight += p.weight;
+      if (p.priority == top_priority) top_tier_weight += p.weight;
+    }
+    // Work conservation: capacity the guaranteed shares leave idle is
+    // redistributed across every active tenant by weight — a low-priority
+    // tenant on a half-idle lane runs faster than its floor.  Priority
+    // buys the burst privilege (below), not a monopoly on idle capacity.
+    const double idle = std::max(0.0, 1.0 - active_share);
+    double rate = mine.share;
+    if (active_weight > 0) {
+      rate += idle * mine.weight / active_weight;
+    }
+    rate = std::max(rate, min_rate_);
+    if (mine.priority < top_priority) {
+      // Bursting is a privilege of the top active tier: a lower tier
+      // spending a saved-up allowance would land it as one contiguous
+      // slab right in front of the latency-sensitive tenant's next
+      // request — the exact tail this scheduler exists to shave.  One
+      // service quantum keeps the first request prompt; the rest pace
+      // out at the guaranteed rate.
+      me.tokens_ns = std::min(me.tokens_ns, static_cast<double>(service_ns));
+    }
+    if (me.tokens_ns >= static_cast<double>(service_ns)) {
+      me.tokens_ns -= static_cast<double>(service_ns);
+    } else {
+      const double deficit =
+          static_cast<double>(service_ns) - me.tokens_ns;
+      // Queue behind the tenant's own backlog: refill_at_ns doubles as
+      // the backlog horizon, so a pile of same-instant requests (a
+      // parallel checkpoint burst) is paced out one earn-interval apart
+      // instead of all landing on the same start floor.
+      const int64_t queue_from = std::max(now, me.refill_at_ns);
+      start = queue_from + static_cast<int64_t>(deficit / rate);
+      me.tokens_ns = 0;
+      // The wait itself earned the deficit; do not also refill it.
+      me.refill_at_ns = start;
+      acct.delayed.fetch_add(1, std::memory_order_relaxed);
+      acct.delay_ns.fetch_add(start - now, std::memory_order_relaxed);
+    }
+  }
+  me.active_until_ns = std::max(me.active_until_ns, start + service_ns);
+  lane.frontier_ns = std::max(lane.frontier_ns, start + service_ns);
+  return start;
+}
+
+int64_t QosScheduler::AdmitChunk(int benefactor_lane, int node_lane,
+                                 TenantId tenant, int64_t ssd_service_ns,
+                                 uint64_t wire_bytes, int64_t now) {
+  if (!enabled_) return now;
+  Account(tenant).bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
+  int64_t start =
+      Admit(Lane::kSsd, benefactor_lane, tenant, ssd_service_ns, now);
+  if (wire_bytes > 0) {
+    const int64_t nic_service = sim::TransferNs(wire_bytes, nic_bw_mbps_, 0);
+    start = Admit(Lane::kNic, node_lane, tenant, nic_service, start);
+  }
+  return start;
+}
+
+void QosScheduler::RecordRead(TenantId tenant, int64_t ns) {
+  Account(tenant).read_lat.Record(ns);
+}
+
+void QosScheduler::RecordWrite(TenantId tenant, int64_t ns) {
+  Account(tenant).write_lat.Record(ns);
+}
+
+QosStats QosScheduler::Snapshot() const {
+  QosStats stats;
+  std::lock_guard<std::mutex> lock(accounts_mu_);
+  for (const auto& [id, acct] : accounts_) {
+    QosTenantStats t;
+    t.id = id;
+    t.admitted = acct->admitted.load(std::memory_order_relaxed);
+    t.delayed = acct->delayed.load(std::memory_order_relaxed);
+    t.delay_ns = acct->delay_ns.load(std::memory_order_relaxed);
+    t.bytes = acct->bytes.load(std::memory_order_relaxed);
+    t.reads = acct->read_lat.count();
+    t.writes = acct->write_lat.count();
+    t.read_p50_ns = acct->read_lat.Percentile(0.50);
+    t.read_p99_ns = acct->read_lat.Percentile(0.99);
+    t.read_p999_ns = acct->read_lat.Percentile(0.999);
+    t.write_p50_ns = acct->write_lat.Percentile(0.50);
+    t.write_p99_ns = acct->write_lat.Percentile(0.99);
+    t.write_p999_ns = acct->write_lat.Percentile(0.999);
+    stats.tenants.push_back(t);
+  }
+  std::sort(stats.tenants.begin(), stats.tenants.end(),
+            [](const QosTenantStats& a, const QosTenantStats& b) {
+              return a.id < b.id;
+            });
+  return stats;
+}
+
+}  // namespace nvm::store

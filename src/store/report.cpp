@@ -121,6 +121,42 @@ std::string StatusReport(AggregateStore& store,
     out += line;
   }
 
+  {
+    const QosStats qs = store.qos().Snapshot();
+    if (!qs.tenants.empty()) {
+      std::snprintf(line, sizeof(line), "qos: %s, %zu tenants\n",
+                    store.config().store.qos ? "on" : "off (accounting only)",
+                    qs.tenants.size());
+      out += line;
+      for (const QosTenantStats& t : qs.tenants) {
+        std::snprintf(
+            line, sizeof(line),
+            "  tenant %u: %llu reads p50/p99/p999 %.1f/%.1f/%.1f us, "
+            "%llu writes p50/p99/p999 %.1f/%.1f/%.1f us\n",
+            t.id, static_cast<unsigned long long>(t.reads),
+            static_cast<double>(t.read_p50_ns) / 1e3,
+            static_cast<double>(t.read_p99_ns) / 1e3,
+            static_cast<double>(t.read_p999_ns) / 1e3,
+            static_cast<unsigned long long>(t.writes),
+            static_cast<double>(t.write_p50_ns) / 1e3,
+            static_cast<double>(t.write_p99_ns) / 1e3,
+            static_cast<double>(t.write_p999_ns) / 1e3);
+        out += line;
+        if (t.admitted > 0) {
+          std::snprintf(
+              line, sizeof(line),
+              "    admissions %llu (%llu delayed, %.3f ms total delay), "
+              "%s on the wire\n",
+              static_cast<unsigned long long>(t.admitted),
+              static_cast<unsigned long long>(t.delayed),
+              static_cast<double>(t.delay_ns) / 1e6,
+              FormatBytes(t.bytes).c_str());
+          out += line;
+        }
+      }
+    }
+  }
+
   if (!mounts.empty()) {
     std::snprintf(line, sizeof(line),
                   "%-6s %-10s %-10s %-10s %-10s %-10s %-10s %-10s %-10s\n",

@@ -12,12 +12,15 @@ AggregateStore::AggregateStore(net::Cluster& cluster,
   if (config_.store.wal) {
     wal_ = std::make_unique<WalStore>(config_.store);
   }
+  qos_ = std::make_unique<QosScheduler>(
+      config_.store, cluster_.network().profile().nic_bw_mbps);
   manager_ = std::make_unique<Manager>(cluster_, config_.manager_node,
                                        config_.store, wal_.get());
   for (int node : config_.benefactor_nodes) {
     auto b = std::make_unique<Benefactor>(
         static_cast<int>(benefactors_.size()), cluster_.node(node),
         config_.contribution_bytes, config_.store);
+    b->AttachQos(qos_.get());
     manager_->RegisterBenefactor(b.get());
     benefactors_.push_back(std::move(b));
   }
@@ -31,7 +34,8 @@ StoreClient& AggregateStore::ClientForNode(int node) {
   std::lock_guard<std::mutex> lock(clients_mutex_);
   auto& slot = clients_.at(static_cast<size_t>(node));
   if (!slot) {
-    slot = std::make_unique<StoreClient>(cluster_, *manager_, node);
+    slot = std::make_unique<StoreClient>(cluster_, *manager_, node,
+                                         qos_.get());
   }
   return *slot;
 }

@@ -12,6 +12,7 @@
 
 #include "store/client.hpp"
 #include "store/maintenance.hpp"
+#include "store/qos.hpp"
 
 namespace nvm::store {
 
@@ -37,6 +38,8 @@ class AggregateStore {
   // `maintenance` knob is off.
   MaintenanceService* maintenance() { return maintenance_.get(); }
   const MaintenanceService* maintenance() const { return maintenance_.get(); }
+  // The QoS scheduler (always constructed; a no-op unless `qos` is on).
+  QosScheduler& qos() { return *qos_; }
   // The durable metadata log, or nullptr when the `wal` knob is off.
   // Owned here, NOT by the manager: it is the on-SSD state that survives
   // KillManager, exactly like a metadata partition survives a process.
@@ -66,6 +69,11 @@ class AggregateStore {
   // Declared before the manager: the manager holds a raw pointer into it
   // for its whole lifetime (and it must outlive every manager incarnation).
   std::unique_ptr<WalStore> wal_;
+  // Declared before benefactors/clients (they hold raw pointers into it)
+  // and outside the manager: scheduler state — token buckets, per-tenant
+  // histograms — lives with the devices, so it survives KillManager just
+  // like the benefactor processes do.
+  std::unique_ptr<QosScheduler> qos_;
   std::unique_ptr<Manager> manager_;
   std::vector<std::unique_ptr<Benefactor>> benefactors_;
   std::vector<std::unique_ptr<StoreClient>> clients_;  // indexed by node id

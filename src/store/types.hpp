@@ -94,6 +94,30 @@ enum class RunMsg : uint8_t { kControl, kPayload };
 // NIC pipelines messages in order from there).
 using ChunkRunSend = std::function<int64_t(RunMsg, int64_t, uint64_t)>;
 
+// Identity of one bandwidth principal sharing the store.  Every data-plane
+// request carries a TenantId; the QoS scheduler (store/qos.hpp) arbitrates
+// SSD and NIC admission between tenants.  Maintenance traffic (repair,
+// scrub, decommission data movement) is just another tenant.
+using TenantId = uint32_t;
+constexpr TenantId kTenantForeground = 0;   // default for untagged clients
+constexpr TenantId kTenantMaintenance = 1;  // repair/scrub/decommission
+
+// Per-tenant QoS policy (StoreConfig::qos_tenants).  Tenants not listed
+// get {weight 1, bw_share 0, priority 1}.
+struct QosTenant {
+  TenantId id = kTenantForeground;
+  // Relative share of otherwise-idle bandwidth among same-priority tenants
+  // competing at the same instant (work-conserving redistribution).
+  double weight = 1.0;
+  // Guaranteed fraction of each resource's bandwidth, refilled into the
+  // tenant's token bucket; 0 means the tenant runs purely on idle
+  // bandwidth (it is still starvation-proof via the scheduler's floor).
+  double bw_share = 0.0;
+  // Higher priority tenants split idle bandwidth first; lower tiers fall
+  // back to their guaranteed share while a higher tier is waiting.
+  int priority = 1;
+};
+
 // Chunk placement policy (paper §III-A: "we need to optimize the NVM
 // store by taking into account the locality of the NVM, data access
 // patterns, etc.").
@@ -250,6 +274,29 @@ struct StoreConfig {
   // GB/s: every encoded or reconstructed byte charges 1/bw ns to the
   // computing side's clock.
   double ec_encode_bw_gbps = 2.0;
+
+  // --- multi-tenant QoS (store/qos.hpp) ---
+  // Master switch: when on, every chunk-sized SSD/NIC charge passes
+  // through a per-benefactor-lane token-bucket + weighted-priority
+  // scheduler before it may book device time.  Contended tenants are
+  // admission-delayed to their configured share; the delay leaves
+  // virtual-time gaps on the devices that waiting tenants backfill, so
+  // the scheduler is work-conserving (an uncontended tenant is admitted
+  // immediately and pays nothing).  Off (default) admits everything
+  // immediately — byte- and virtual-time-identical to the QoS-less
+  // store.  Per-tenant latency histograms are recorded either way.
+  bool qos = false;
+  // Per-tenant {weight, bw_share, priority}; unlisted tenants default to
+  // {1.0, 0.0, 1}.  When no entry names kTenantMaintenance, maintenance
+  // traffic inherits repair_bw_fraction as its bw_share at priority 0 —
+  // the old duty-cycle throttle expressed as a tenant.
+  std::vector<QosTenant> qos_tenants;
+  // Token-bucket burst ceiling: a tenant may accumulate at most this many
+  // milliseconds of unused device time before further refill is capped.
+  int64_t qos_burst_ms = 2;
+  // Contention window: a lane counts a tenant as actively competing if it
+  // touched the lane within this many milliseconds of virtual time.
+  int64_t qos_window_ms = 8;
 
   // True when newly allocated files are erasure-coded.
   bool ec() const { return redundancy == RedundancyMode::kErasure && ec_m > 0; }

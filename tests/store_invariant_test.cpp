@@ -22,6 +22,7 @@
 #include "fuselite/mount.hpp"
 #include "sim/clock.hpp"
 #include "store/store.hpp"
+#include "stress_env.hpp"
 
 namespace nvm {
 namespace {
@@ -242,10 +243,14 @@ struct SequenceOptions {
   // Store width: erasure sequences need k+m distinct failure domains plus
   // spares for repair targets.
   int benefactors = kBenefactors;
+  // Runs after the op loop (before the empty-store teardown) — extra
+  // store-level assertions, e.g. per-tenant QoS accounting.
+  std::function<void(Harness&)> post_check;
 };
 
 void RunSequence(uint64_t seed, int replication, int ops,
                  const SequenceOptions& so = {}) {
+  ops = StressIters(ops);  // nightly tier runs the same seeds 10x deeper
   Harness h(replication, so.batch_write_rpc, so.maintenance, so.tweak,
             so.benefactors);
   if (so.kill_after_writes > 0) {
@@ -355,6 +360,10 @@ void RunSequence(uint64_t seed, int replication, int ops,
     EXPECT_GT(h.store->benefactor(1).bitrot_flips(), 0u);  // rot really ran
     EXPECT_GT(h.store->maintenance()->stats().corrupt_chunks_detected, 0u);
     EXPECT_EQ(h.store->manager().lost_chunks(), 0u);
+  }
+
+  if (so.post_check) {
+    ASSERT_NO_FATAL_FAILURE(so.post_check(h));
   }
 
   // Teardown: freeing everything must return the store to empty — no
@@ -590,6 +599,54 @@ TEST(StoreInvariantTest, ManagerRestartMidRepairStormConverges) {
     EXPECT_EQ(h.store->benefactor(static_cast<size_t>(b)).bytes_used(), 0u)
         << "benefactor " << b;
   }
+}
+
+TEST(StoreInvariantTest, QosRestartUnderLoadKeepsInvariantsAndAccounting) {
+  // Restart under load with the QoS scheduler arbitrating: the foreground
+  // tenant and the maintenance tenant (healing a real mid-sequence
+  // benefactor death) race through a manager kill + WAL recovery.  Every
+  // cross-layer invariant must keep holding, and because the scheduler
+  // lives with the devices — not the manager — per-tenant accounting must
+  // survive the restart and show both tenants' traffic.
+  SequenceOptions so;
+  so.maintenance = true;
+  so.kill_after_writes = 10;
+  so.kill_manager_after_ops = 60;
+  so.tweak = [](store::StoreConfig& s) {
+    s.wal = true;
+    s.qos = true;
+    s.qos_tenants = {{store::kTenantForeground, 2.0, 0.6, 2}};
+  };
+  so.post_check = [](Harness& h) {
+    const store::QosStats qs = h.store->qos().Snapshot();
+    bool fg = false, maint = false;
+    for (const auto& t : qs.tenants) {
+      if (t.id == store::kTenantForeground) {
+        fg = t.admitted > 0 && t.reads + t.writes > 0;
+      }
+      if (t.id == store::kTenantMaintenance) maint = t.admitted > 0;
+    }
+    EXPECT_TRUE(fg) << "foreground traffic unaccounted";
+    EXPECT_TRUE(maint) << "maintenance repair traffic unaccounted";
+  };
+  RunSequence(/*seed=*/31, /*replication=*/2, /*ops=*/120, so);
+}
+
+TEST(StoreInvariantTest, QosRestartUnderLoadShardedMetadata) {
+  // Second seeded schedule: QoS on over a four-shard metadata plane, with
+  // the benefactor death landing later relative to the manager kill.
+  SequenceOptions so;
+  so.maintenance = true;
+  so.kill_after_writes = 25;
+  so.kill_manager_after_ops = 40;
+  so.tweak = [](store::StoreConfig& s) {
+    s.wal = true;
+    s.meta_shards = 4;
+    s.qos = true;
+    s.qos_tenants = {{store::kTenantForeground, 2.0, 0.6, 2},
+                     {store::kTenantMaintenance, 1.0, 0.25, 0}};
+  };
+  RunSequence(/*seed=*/0xabba, /*replication=*/2, /*ops=*/120, so);
 }
 
 // Shared knob set for the erasure sequences: RS(4,2) over eight

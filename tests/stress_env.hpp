@@ -1,0 +1,20 @@
+// NVM_STRESS_ITERS multiplies the iteration counts of the randomized
+// stress / invariant suites (the nightly CI tier exports it as 10 to run
+// the same seeds ten times deeper; unset means 1).
+#pragma once
+
+#include <cstdlib>
+
+namespace nvm {
+
+inline int StressIters(int base) {
+  static const int mult = [] {
+    const char* env = std::getenv("NVM_STRESS_ITERS");
+    if (env == nullptr) return 1;
+    const int m = std::atoi(env);
+    return m > 0 ? m : 1;
+  }();
+  return base * mult;
+}
+
+}  // namespace nvm

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "minimpi/comm.hpp"
 #include "nvmalloc/runtime.hpp"
+#include "stress_env.hpp"
 #include "workloads/testbed.hpp"
 
 namespace nvm {
@@ -38,7 +39,8 @@ TEST(StressTest, ManyClientsManyNodesMixedOps) {
     }
     std::vector<uint8_t> buf(4096);
     std::vector<uint8_t> mirror(4 * kChunk, 0);
-    for (int op = 0; op < 120; ++op) {
+    const int ops = StressIters(120);
+    for (int op = 0; op < ops; ++op) {
       const uint64_t off = rng.NextBelow(4 * kChunk - buf.size());
       switch (rng.NextBelow(4)) {
         case 0: {
@@ -158,7 +160,8 @@ TEST(StressTest, CheckpointsWhileOthersCompute) {
     } else {
       std::vector<uint8_t> buf(4096);
       Xoshiro256 r2(static_cast<uint64_t>(env.rank));
-      for (int op = 0; op < 200; ++op) {
+      const int ops = StressIters(200);
+      for (int op = 0; op < ops; ++op) {
         const uint64_t off = r2.NextBelow(8 * kChunk - buf.size());
         if (!(*region)->Read(off, buf).ok()) {
           failures.fetch_add(1);
